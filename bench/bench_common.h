@@ -1,0 +1,60 @@
+// Shared scaffolding for the table/figure reproduction benches: a paper-
+// shape world + pipeline built once per binary, and printing helpers that
+// put the paper's published values next to the measured ones.
+//
+// Absolute counts scale with the synthetic world (~1/6 of the paper's), so
+// the comparisons to read are the *percentages, ratios, and orderings*.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/pipeline.h"
+#include "topology/generator.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace cloudmap::bench {
+
+inline constexpr std::uint64_t kBenchSeed = 1;
+
+inline const World& world() {
+  static const World instance = [] {
+    GeneratorConfig config = GeneratorConfig::paper_shape();
+    config.seed = kBenchSeed;
+    return generate_world(config);
+  }();
+  return instance;
+}
+
+inline Pipeline& pipeline() {
+  static Pipeline* instance = [] {
+    auto* p = new Pipeline(world());
+    return p;
+  }();
+  return *instance;
+}
+
+inline void header(const std::string& title, const std::string& paper_note) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", paper_note.c_str());
+  std::printf("world: seed %llu, %zu ASes, %zu interconnects (~1/6 paper scale)\n",
+              static_cast<unsigned long long>(kBenchSeed),
+              world().ases.size(), world().interconnects.size());
+  std::printf("================================================================\n\n");
+}
+
+// Render a CDF series as rows of (x, fraction) for plotting/diffing.
+inline void print_cdf(const std::string& name, const CdfSeries& series,
+                      int stride = 1) {
+  std::printf("%s\n  x:        ", name.c_str());
+  for (std::size_t i = 0; i < series.x.size(); i += stride)
+    std::printf("%7.2f", series.x[i]);
+  std::printf("\n  fraction: ");
+  for (std::size_t i = 0; i < series.fraction.size(); i += stride)
+    std::printf("%7.3f", series.fraction[i]);
+  std::printf("\n");
+}
+
+}  // namespace cloudmap::bench

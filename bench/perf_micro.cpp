@@ -1,0 +1,121 @@
+// Engine microbenchmarks (google-benchmark): the hot paths behind the
+// reproduction — trie lookups, hop annotation, path computation, full
+// traceroutes, BGP table computation, and world generation.
+#include <benchmark/benchmark.h>
+
+#include "controlplane/bgp.h"
+#include "core/pipeline.h"
+#include "dataplane/traceroute.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cloudmap;
+
+const World& bench_world() {
+  static const World world = [] {
+    GeneratorConfig config = GeneratorConfig::paper_shape();
+    config.seed = 1;
+    return generate_world(config);
+  }();
+  return world;
+}
+
+struct Stack {
+  const World& world = bench_world();
+  BgpSimulator sim{world};
+  Forwarder forwarder{world, sim};
+  VantagePoint vp = VantagePoint::cloud_vm(
+      CloudProvider::kAmazon,
+      world.regions_of(CloudProvider::kAmazon).front(), "vm");
+};
+
+Stack& stack() {
+  static Stack instance;
+  return instance;
+}
+
+void BM_PrefixTrieLookup(benchmark::State& state) {
+  const World& world = bench_world();
+  Rng rng(7);
+  std::vector<Ipv4> targets;
+  for (int i = 0; i < 1024; ++i)
+    targets.emplace_back(static_cast<std::uint32_t>(rng.next()));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        world.prefix_owner.lookup(targets[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_PrefixTrieLookup);
+
+void BM_ForwardPath(benchmark::State& state) {
+  Stack& s = stack();
+  Rng rng(8);
+  const auto slash24s = s.world.probeable_slash24s();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Prefix& prefix = slash24s[(i++ * 2654435761u) % slash24s.size()];
+    benchmark::DoNotOptimize(s.forwarder.path(s.vp, prefix.network().next(1)));
+  }
+}
+BENCHMARK(BM_ForwardPath);
+
+void BM_Traceroute(benchmark::State& state) {
+  Stack& s = stack();
+  TracerouteEngine engine(s.forwarder, 9);
+  const auto slash24s = s.world.probeable_slash24s();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Prefix& prefix = slash24s[(i++ * 2654435761u) % slash24s.size()];
+    benchmark::DoNotOptimize(engine.trace(s.vp, prefix.network().next(1)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Traceroute);
+
+void BM_BgpRoutesToOrigin(benchmark::State& state) {
+  const World& world = bench_world();
+  std::uint32_t origin = 0;
+  for (auto _ : state) {
+    // Fresh simulator each batch so the cache does not trivialize the loop.
+    state.PauseTiming();
+    BgpSimulator sim(world);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        sim.routes_to(AsId{origin % static_cast<std::uint32_t>(
+                               world.ases.size())}));
+    ++origin;
+  }
+}
+BENCHMARK(BM_BgpRoutesToOrigin)->Unit(benchmark::kMicrosecond);
+
+void BM_GenerateSmallWorld(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    GeneratorConfig config = GeneratorConfig::small();
+    config.seed = ++seed;
+    benchmark::DoNotOptimize(generate_world(config));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GenerateSmallWorld)->Unit(benchmark::kMillisecond);
+
+void BM_RttToInterface(benchmark::State& state) {
+  Stack& s = stack();
+  std::vector<InterfaceId> targets;
+  for (const GroundTruthInterconnect& ic : s.world.interconnects)
+    if (ic.cloud == CloudProvider::kAmazon && !ic.private_address)
+      targets.push_back(ic.client_interface);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.forwarder.rtt_to_interface(s.vp, targets[i++ % targets.size()]));
+  }
+}
+BENCHMARK(BM_RttToInterface);
+
+}  // namespace
+
+BENCHMARK_MAIN();

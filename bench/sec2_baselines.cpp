@@ -1,0 +1,87 @@
+// §2 related-work claims, quantified: MAP-IT cannot see through layer-2
+// fabrics, and CFS-style facility search is starved by incomplete public
+// data and broken by remote peering — versus the paper's own methodology.
+#include "bench_common.h"
+
+#include "baselines/mapit.h"
+#include "pinning/cfs.h"
+#include "pinning/evaluate.h"
+
+using namespace cloudmap;
+
+int main() {
+  bench::header("§2 baselines — MAP-IT and constrained facility search",
+                "claims: MAP-IT 'not applicable where layer-2 switching "
+                "fabrics are employed at the borders'; CFS 'problematic' "
+                "given Amazon's limited BGP visibility");
+
+  Pipeline& p = bench::pipeline();
+  p.alias_verification();
+  Annotator annotator = p.annotator();
+  annotator.set_snapshot(&p.snapshot_round2());
+
+  // --- MAP-IT ---
+  Mapit mapit(p.world(), p.forwarder(), annotator);
+  const MapitResult mapit_result = mapit.run(CloudProvider::kAmazon);
+  const MapitScore mapit_score =
+      score_mapit(p.world(), mapit_result, CloudProvider::kAmazon);
+
+  std::printf("MAP-IT: %zu inter-AS edges from %zu adjacencies (%zu skipped "
+              "for lack of BGP origin — the L2/WHOIS blind spot)\n",
+              mapit_result.edges.size(), mapit_result.adjacencies_examined,
+              mapit_result.skipped_unannotated);
+  TextTable mapit_table(
+      {"interconnect kind", "found", "total", "recovery"});
+  mapit_table.add_row({"cross-connect (true /30s)",
+                       std::to_string(mapit_score.xconnect_found),
+                       std::to_string(mapit_score.xconnect_total),
+                       TextTable::pct(mapit_score.xconnect_rate())});
+  mapit_table.add_row({"public IXP (shared LAN)",
+                       std::to_string(mapit_score.ixp_found),
+                       std::to_string(mapit_score.ixp_total),
+                       TextTable::pct(mapit_score.ixp_rate())});
+  mapit_table.add_row({"VPI (cloud exchange)",
+                       std::to_string(mapit_score.vpi_found),
+                       std::to_string(mapit_score.vpi_total),
+                       TextTable::pct(mapit_score.vpi_rate())});
+  std::printf("%s", mapit_table.render("MAP-IT recovery by kind").c_str());
+
+  const InferenceScore ours = p.score();
+  std::printf("cloudmap recovers %.1f%% of the same population at router "
+              "level (%.1f%% exact interface) — the L2-aware methodology is "
+              "what closes the gap\n\n",
+              100.0 * ours.router_recall(), 100.0 * ours.recall());
+
+  // --- CFS ---
+  ConstrainedFacilitySearch::Inputs inputs;
+  inputs.fabric = &p.campaign().fabric();
+  inputs.annotator = &annotator;
+  inputs.peeringdb = &p.peeringdb();
+  inputs.world = &p.world();
+  inputs.rtts = &p.rtts();
+  inputs.vps = &p.campaign().vantage_points();
+  ConstrainedFacilitySearch cfs(inputs);
+  const CfsResult cfs_result = cfs.run();
+  const CfsScore cfs_score =
+      score_cfs(p.world(), cfs_result, CloudProvider::kAmazon);
+
+  const std::size_t cbis = p.campaign().fabric().unique_cbis().size();
+  std::printf("CFS: pinned %zu of %zu CBIs to a single facility (%.1f%%); "
+              "failures: %zu no tenant candidates, %zu all candidates "
+              "RTT-infeasible, %zu ambiguous, %zu unattributed\n",
+              cfs_result.pinned.size(), cbis,
+              100.0 * cfs_result.pinned.size() / static_cast<double>(cbis),
+              cfs_result.no_tenant_candidates, cfs_result.rtt_eliminated_all,
+              cfs_result.ambiguous, cfs_result.unattributed);
+  std::printf("CFS accuracy on its pins: facility %.1f%%, metro %.1f%%\n",
+              100.0 * cfs_score.facility_accuracy(),
+              100.0 * cfs_score.metro_accuracy());
+
+  const GroundTruthAccuracy co_presence =
+      score_against_truth(p.world(), p.pinning());
+  std::printf("co-presence pinning (this paper's method): %zu interfaces at "
+              "metro level, %.1f%% correct — broader coverage at comparable "
+              "precision\n",
+              co_presence.pinned, 100.0 * co_presence.accuracy);
+  return 0;
+}

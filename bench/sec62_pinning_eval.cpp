@@ -1,0 +1,76 @@
+// §6.2: evaluation of pinning — 10-fold stratified cross-validation
+// (precision/recall), geographic coverage against the cloud's published
+// metro list, ground-truth accuracy (only possible here), and the
+// co-presence threshold ablation.
+#include "bench_common.h"
+
+#include "pinning/evaluate.h"
+
+using namespace cloudmap;
+
+int main() {
+  bench::header("§6.2 — pinning evaluation",
+                "10-fold stratified CV: precision 99.34% (σ 1.6e-3), recall "
+                "57.21% (σ 5.5e-3); coverage: 71 of 74 Amazon metros; "
+                "pinned interfaces span 305 metros");
+
+  Pipeline& p = bench::pipeline();
+  const AnchorSet& anchors = p.anchors();
+
+  const CrossValidationResult cv =
+      cross_validate(p.pinner(), anchors, /*folds=*/10, 0.3, 29);
+  std::printf("cross-validation (%d folds, 70-30 stratified):\n", cv.folds);
+  std::printf("  precision %.2f%% ± %.4f (paper 99.34%% ± 0.0016)\n",
+              100.0 * cv.precision_mean, cv.precision_std);
+  std::printf("  recall    %.2f%% ± %.4f (paper 57.21%% ± 0.0055)\n\n",
+              100.0 * cv.recall_mean, cv.recall_std);
+
+  const CoverageResult coverage = geographic_coverage(
+      p.world(), p.peeringdb(), CloudProvider::kAmazon, p.pinning());
+  std::printf("geographic coverage: %zu of %zu known Amazon metros have "
+              "pinned interfaces (paper: 71 of 74); pinned interfaces span "
+              "%zu metros (paper: 305)\n",
+              coverage.covered, coverage.cloud_metros,
+              coverage.pinned_metros);
+  if (!coverage.missing.empty()) {
+    std::printf("missing metros:");
+    for (const MetroId metro : coverage.missing)
+      std::printf(" %s", p.world().metro(metro).name.c_str());
+    std::printf(" (paper: Bangalore, Zhongwei, Cape Town)\n");
+  }
+
+  const GroundTruthAccuracy truth =
+      score_against_truth(p.world(), p.pinning());
+  std::printf("\nground-truth scoring (unavailable to the paper):\n");
+  std::printf("  metro pins: %zu, correct %.2f%%\n", truth.pinned,
+              100.0 * truth.accuracy);
+  std::printf("  regional assignments: %zu, correct %.2f%%\n",
+              truth.regional_assigned, 100.0 * truth.regional_accuracy);
+
+  // Ablation: the 2 ms co-presence threshold (design choice of §6.1).
+  std::printf("\nco-presence threshold ablation (Rule 2):\n");
+  Pinner::Inputs inputs;
+  inputs.fabric = &p.campaign().fabric();
+  const Annotator annotator = p.annotator();
+  inputs.annotator = &annotator;
+  inputs.peeringdb = &p.peeringdb();
+  inputs.dns = &p.dns();
+  inputs.aliases = &p.alias_sets();
+  inputs.world = &p.world();
+  inputs.rtts = &p.rtts();
+  inputs.vps = &p.campaign().vantage_points();
+  for (const double threshold : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    PinningOptions options;
+    options.copresence_ms = threshold;
+    Pinner pinner(inputs, options);
+    const PinningResult result = pinner.run();
+    const GroundTruthAccuracy accuracy =
+        score_against_truth(p.world(), result);
+    std::printf("  %.1f ms -> %zu pinned (Rule 2: %zu), accuracy %.2f%%\n",
+                threshold, result.pins.size(), result.pinned_by_rtt,
+                100.0 * accuracy.accuracy);
+  }
+  std::printf("(the paper picks 2 ms from the Fig. 4b knee — the sweep shows "
+              "the coverage/accuracy trade beyond it)\n");
+  return 0;
+}

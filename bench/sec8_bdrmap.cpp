@@ -1,0 +1,57 @@
+// §8: running the reimplemented bdrmap baseline per region and quantifying
+// the inconsistency classes the paper documents, plus the agreement with
+// the cloudmap fabric.
+#include "bench_common.h"
+
+#include "bdrmap/bdrmap.h"
+
+using namespace cloudmap;
+
+int main() {
+  bench::header("§8 — bdrmap comparison",
+                "bdrmap: 4.83k ABIs, 9.65k CBIs, 2.66k ASes; 0.32k AS0-owned "
+                "CBIs; >500 multi-owner CBIs; 872 ABI/CBI flips; common with "
+                "the paper's method: 1.85k ABIs, 5.48k CBIs, 2k ASes");
+
+  Pipeline& p = bench::pipeline();
+  p.alias_verification();
+
+  Bdrmap bdrmap(p.world(), p.forwarder(), p.snapshot_round2(), p.as2org(),
+                CloudProvider::kAmazon);
+  const BdrmapResult result = bdrmap.run();
+
+  std::printf("bdrmap merged view: %zu ABIs, %zu CBIs, %zu owner ASes "
+              "(paper: 4.83k / 9.65k / 2.66k)\n",
+              result.abis.size(), result.cbis.size(),
+              result.owner_asns.size());
+  std::printf("cloudmap view:      %zu ABIs, %zu CBIs, %zu peer ASes\n\n",
+              p.campaign().fabric().unique_abis().size(),
+              p.campaign().fabric().unique_cbis().size(),
+              p.peer_asns().size());
+
+  std::printf("inconsistency classes (paper values):\n");
+  std::printf("  CBIs with AS0 owner:              %zu   (0.32k)\n",
+              result.as0_owner_cbis);
+  std::printf("  CBIs with multiple region owners: %zu   (>500)\n",
+              result.multi_owner_cbis);
+  std::printf("  ABI-in-one-region/CBI-in-another: %zu   (872)\n",
+              result.abi_cbi_flips);
+  std::printf("  third-party-heuristic owners:     %zu   (62%% of "
+              "bdrmap-exclusive private peerings)\n\n",
+              result.thirdparty_cbis);
+
+  const BdrmapComparison comparison = compare_with_fabric(
+      result, p.campaign().fabric(), p.peer_asns());
+  std::printf("agreement: common ABIs %zu, common CBIs %zu, common ASes %zu "
+              "(paper: 1.85k / 5.48k / 2k)\n",
+              comparison.common_abis, comparison.common_cbis,
+              comparison.common_ases);
+  std::printf("exclusive ASes: bdrmap-only %zu (paper 0.65k), cloudmap-only "
+              "%zu\n",
+              comparison.bdrmap_only_ases, comparison.cloudmap_only_ases);
+  std::printf("\nwhy bdrmap lags in a cloud setting (as §8 argues): it "
+              "selects targets and annotates hops from BGP alone — WHOIS-"
+              "only interconnect space and IXP LANs are ASN 0 to it, and a "
+              "third of Amazon's peerings are invisible in BGP.\n");
+  return 0;
+}

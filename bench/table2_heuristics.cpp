@@ -1,0 +1,107 @@
+// Table 2: candidate ABIs (and their CBIs) confirmed by the §5.1 heuristics,
+// individually and cumulatively, plus the §5.2 alias-set corrections.
+// Doubles as the heuristic-subset ablation: the individual row shows what
+// each heuristic would confirm alone.
+#include <unordered_set>
+
+#include "bench_common.h"
+
+using namespace cloudmap;
+
+int main() {
+  bench::header("Table 2 — verification heuristics (individual / cumulative)",
+                "individual: IXP 0.83k(13.66k) hybrid 2.05k(14.44k) "
+                "reachable 2.8k(15.14k); cumulative: 0.83k(13.66k) "
+                "2.26k(15.14k) 3.31k(24.23k); 87.8% of ABIs confirmed; "
+                "alias corrections 18/2/25");
+
+  Pipeline& p = bench::pipeline();
+  const HeuristicCounts& h = p.heuristics();
+
+  TextTable table({"", "IXP", "Hybrid", "Reachable"});
+  auto cell = [](std::size_t abis, std::size_t cbis) {
+    return std::to_string(abis) + " (" + std::to_string(cbis) + ")";
+  };
+  table.add_row({"Individual", cell(h.ixp_abis, h.ixp_cbis),
+                 cell(h.hybrid_abis, h.hybrid_cbis),
+                 cell(h.reachable_abis, h.reachable_cbis)});
+  table.add_row({"Cumulative", cell(h.cum_ixp_abis, h.cum_ixp_cbis),
+                 cell(h.cum_ixp_abis + h.cum_hybrid_abis,
+                      h.cum_ixp_cbis + h.cum_hybrid_cbis),
+                 cell(h.cum_ixp_abis + h.cum_hybrid_abis +
+                          h.cum_reachable_abis,
+                      h.cum_ixp_cbis + h.cum_hybrid_cbis +
+                          h.cum_reachable_cbis)});
+  table.add_row({"paper Indiv.", "0.83k (13.66k)", "2.05k (14.44k)",
+                 "2.8k (15.14k)"});
+  table.add_row({"paper Cumul.", "0.83k (13.66k)", "2.26k (15.14k)",
+                 "3.31k (24.23k)"});
+  std::printf("%s\n", table.render("ABIs (CBIs) confirmed").c_str());
+
+  const std::size_t confirmed =
+      h.cum_ixp_abis + h.cum_hybrid_abis + h.cum_reachable_abis;
+  std::printf("confirmed ABIs: %zu / %zu = %.1f%% (paper 87.8%%); "
+              "unconfirmed %zu (paper 9.8%%)\n",
+              confirmed, confirmed + h.unconfirmed_abis,
+              100.0 * static_cast<double>(confirmed) /
+                  static_cast<double>(confirmed + h.unconfirmed_abis),
+              h.unconfirmed_abis);
+  std::printf("Fig.2 shifts applied by the hybrid heuristic: %zu\n",
+              h.shifts_applied);
+
+  const AliasVerifyStats& a = p.alias_verification();
+  std::printf("\nalias verification (§5.2): %zu sets, %zu interfaces "
+              "(paper 2.64k sets, 8.68k ifaces)\n",
+              a.sets, a.interfaces_in_sets);
+  std::printf("majority-owned sets: %.1f%% (paper >94%%), unanimous: %.1f%% "
+              "(paper 92%%)\n",
+              100.0 * a.majority_fraction, 100.0 * a.unanimous_fraction);
+  std::printf("corrections: ABI->CBI %zu, CBI->ABI %zu, CBI->CBI %zu "
+              "(paper: 18, 2, 25)\n",
+              a.abi_to_cbi, a.cbi_to_abi, a.cbi_to_cbi);
+
+  // Ground-truth audit of the Fig. 2 shift machinery — a check the paper
+  // had no way to run: of the segments the verification stage rewrote, how
+  // many now name a true planted interconnection (cloud border interface →
+  // client border interface)?
+  {
+    const World& world = bench::world();
+    std::unordered_set<std::uint64_t> true_pairs;
+    for (const GroundTruthInterconnect& ic : world.interconnects) {
+      if (ic.cloud != CloudProvider::kAmazon || ic.private_address) continue;
+      const std::uint32_t cloud_side =
+          world.interface(ic.cloud_interface).address.value();
+      const std::uint32_t client_side =
+          world.interface(ic.client_interface).address.value();
+      true_pairs.insert((static_cast<std::uint64_t>(cloud_side) << 32) |
+                        client_side);
+    }
+    // Shifted segments' (abi, cbi) should now be the cloud-side/client-side
+    // of a real interconnect; the abi may also legitimately be the border's
+    // upstream interface, so also accept "cbi is a true client interface".
+    std::unordered_set<std::uint32_t> true_client_sides;
+    for (const std::uint64_t pair : true_pairs)
+      true_client_sides.insert(static_cast<std::uint32_t>(pair));
+    std::size_t shifted = 0;
+    std::size_t exact = 0;
+    std::size_t client_ok = 0;
+    for (const InferredSegment& segment : p.campaign().fabric().segments()) {
+      if (!segment.shifted) continue;
+      ++shifted;
+      const std::uint64_t pair =
+          (static_cast<std::uint64_t>(segment.abi.value()) << 32) |
+          segment.cbi.value();
+      if (true_pairs.count(pair)) ++exact;
+      if (true_client_sides.count(segment.cbi.value())) ++client_ok;
+    }
+    if (shifted > 0) {
+      std::printf("\nshift audit vs ground truth (unavailable to the "
+                  "paper): %zu shifted segments; %.1f%% now name the exact "
+                  "planted interface pair, %.1f%% the true client "
+                  "interface\n",
+                  shifted, 100.0 * exact / static_cast<double>(shifted),
+                  100.0 * client_ok / static_cast<double>(shifted));
+    }
+  }
+  return 0;
+}

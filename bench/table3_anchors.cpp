@@ -1,0 +1,72 @@
+// Table 3: anchor interfaces by evidence type and interfaces pinned by each
+// co-presence rule, exclusive and cumulative (§6.1).
+#include "bench_common.h"
+
+using namespace cloudmap;
+
+int main() {
+  bench::header("Table 3 — anchors and co-presence pinning",
+                "exclusive: DNS 5.31k, IXP 2.0k, Metro 1.66k, Native 1.42k, "
+                "Alias 0.65k, min-RTT 5.38k; cumulative to 14.37k; overall "
+                "50.2% of border interfaces pinned at metro level");
+
+  Pipeline& p = bench::pipeline();
+  const AnchorSet& anchors = p.anchors();
+  const PinningResult& pins = p.pinning();
+
+  const std::size_t dns = anchors.dns;
+  const std::size_t ixp = anchors.ixp;
+  const std::size_t metro = anchors.metro_footprint;
+  const std::size_t native = anchors.native;
+  const std::size_t alias = pins.pinned_by_alias;
+  const std::size_t rtt = pins.pinned_by_rtt;
+
+  TextTable table({"", "DNS", "IXP", "Metro", "Native", "Alias", "min-RTT"});
+  table.add_row({"Exclusive", std::to_string(dns), std::to_string(ixp),
+                 std::to_string(metro), std::to_string(native),
+                 std::to_string(alias), std::to_string(rtt)});
+  table.add_row(
+      {"Cumulative", std::to_string(dns), std::to_string(dns + ixp),
+       std::to_string(dns + ixp + metro),
+       std::to_string(dns + ixp + metro + native),
+       std::to_string(dns + ixp + metro + native + alias),
+       std::to_string(dns + ixp + metro + native + alias + rtt)});
+  table.add_row({"paper Exc.", "5.31k", "2.0k", "1.66k", "1.42k", "0.65k",
+                 "5.38k"});
+  table.add_row({"paper Cum.", "5.31k", "6.73k", "7.22k", "8.64k", "9.21k",
+                 "14.37k"});
+  std::printf("%s\n",
+              table.render("anchor / pinned interfaces by evidence").c_str());
+
+  const std::size_t abi_count = p.campaign().fabric().unique_abis().size();
+  const std::size_t cbi_count = p.campaign().fabric().unique_cbis().size();
+  std::size_t pinned_abis = 0;
+  std::size_t pinned_cbis = 0;
+  {
+    const auto abis = p.campaign().fabric().unique_abis();
+    const auto cbis = p.campaign().fabric().unique_cbis();
+    for (const auto& [address, pin] : pins.pins) {
+      (void)pin;
+      if (abis.count(address)) ++pinned_abis;
+      if (cbis.count(address)) ++pinned_cbis;
+    }
+  }
+  std::printf("metro-level coverage: CBIs %.1f%% (paper 45.1%%), ABIs %.1f%% "
+              "(paper 75.9%%), all %.1f%% (paper 50.2%%)\n",
+              100.0 * pinned_cbis / static_cast<double>(cbi_count),
+              100.0 * pinned_abis / static_cast<double>(abi_count),
+              100.0 * (pinned_abis + pinned_cbis) /
+                  static_cast<double>(abi_count + cbi_count));
+  std::printf("propagation: %d rounds (paper: 4), unanimity conflicts %zu "
+              "(paper: 179 interfaces, 1.2%%)\n",
+              pins.rounds, pins.propagation_conflicts);
+  std::printf("anchor consistency filters: %zu multi-evidence conflicts, "
+              "%zu alias conflicts removed (paper: 48 + 18 = 66)\n",
+              anchors.conflict_evidence, anchors.conflict_alias);
+  std::printf("DNS feasibility exclusions: %zu (paper 0.87k); remote IXP "
+              "members excluded: %zu (paper ~1.5k of 3.5k); multi-metro IXP "
+              "members excluded: %zu (paper 366)\n",
+              anchors.dns_rtt_excluded, anchors.ixp_remote_excluded,
+              anchors.ixp_multi_metro_excluded);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table 4: Amazon CBIs also observed from Microsoft, Google, IBM, and
+// Oracle clouds — the VPI lower bound (§7.1), pairwise and cumulative.
+// The cumulative row is also the "how many foreign clouds do you need"
+// ablation the design calls out.
+#include "bench_common.h"
+
+using namespace cloudmap;
+
+int main() {
+  bench::header("Table 4 — multi-cloud VPI detection",
+                "pairwise: Microsoft 4.69k (18.9%), Google 0.79k (3.2%), "
+                "IBM 0.23k (0.9%), Oracle 0 (0%); cumulative 5.01k (20.2%)");
+
+  Pipeline& p = bench::pipeline();
+  const VpiDetectionResult& vpis = p.vpis();
+  const double total = static_cast<double>(vpis.subject_cbis);
+
+  TextTable table({"cloud", "pairwise", "pairwise %", "cumulative",
+                   "cumulative %", "paper pairwise", "paper cum."});
+  const char* paper_pair[] = {"4.69k (18.9%)", "0.79k (3.2%)",
+                              "0.23k (0.9%)", "0 (0%)"};
+  const char* paper_cum[] = {"4.69k (18.9%)", "4.93k (19.9%)",
+                             "5.01k (20.2%)", "5.01k (20.2%)"};
+  for (std::size_t i = 0; i < vpis.per_cloud.size(); ++i) {
+    const VpiCloudResult& cloud = vpis.per_cloud[i];
+    table.add_row({to_string(cloud.provider), std::to_string(cloud.overlap),
+                   TextTable::pct(cloud.overlap / total),
+                   std::to_string(cloud.cumulative_overlap),
+                   TextTable::pct(cloud.cumulative_overlap / total),
+                   i < 4 ? paper_pair[i] : "-", i < 4 ? paper_cum[i] : "-"});
+  }
+  std::printf("%s\n", table.render("CBIs shared with other clouds").c_str());
+
+  std::printf("target pool: %zu addresses (paper ~327k at full scale)\n",
+              vpis.target_pool);
+  std::printf("VPI share of CBIs: %.1f%% (paper ~20%%, a lower bound)\n",
+              100.0 * static_cast<double>(vpis.vpi_cbis.size()) / total);
+
+  // Ground-truth context the paper could not have: how many true VPIs the
+  // overlap method can even see.
+  const World& w = bench::world();
+  std::size_t true_vpis = 0;
+  std::size_t private_vpis = 0;
+  std::size_t shared_ports = 0;
+  for (const GroundTruthInterconnect& ic : w.interconnects) {
+    if (ic.cloud != CloudProvider::kAmazon || ic.kind != PeeringKind::kVpi)
+      continue;
+    ++true_vpis;
+    if (ic.private_address) ++private_vpis;
+    if (ic.shared_port_address) ++shared_ports;
+  }
+  std::printf("\nground truth: %zu Amazon VPIs planted (%zu private-address "
+              "— invisible by design; %zu shared-port — the only ones the "
+              "overlap method can attribute)\n",
+              true_vpis, private_vpis, shared_ports);
+  std::printf("detected %zu — consistent with the paper's argument that "
+              "Table 4 undercounts (§7.1, §7.3)\n",
+              vpis.vpi_cbis.size());
+  return 0;
+}

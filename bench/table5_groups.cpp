@@ -1,0 +1,79 @@
+// Table 5: breakdown of all Amazon peerings into the six groups defined by
+// public/private × BGP-visible/invisible × virtual/non-virtual (§7.2),
+// with the hidden-peering headline.
+#include "bench_common.h"
+
+#include "analysis/grouping.h"
+
+using namespace cloudmap;
+
+int main() {
+  bench::header("Table 5 — peering groups",
+                "ASes%: Pb-nB 71, Pb-B 5, [Pb 76]; Pr-nB-V 7, Pr-nB-nV 31, "
+                "[Pr-nB 33]; Pr-B-nV 3, Pr-B-V 2, [Pr-B 3]; hidden (virtual "
+                "or non-BGP) = 33.3% of peerings");
+
+  Pipeline& p = bench::pipeline();
+  p.vpis();  // ensure the virtual axis is populated
+  const PeeringClassifier classifier = p.classifier();
+  const GroupBreakdown b = breakdown(p.campaign().fabric(), classifier);
+
+  const double as_total = static_cast<double>(b.total_ases);
+  const double cbi_total = static_cast<double>(b.total_cbis);
+  const double abi_total = static_cast<double>(b.total_abis);
+
+  TextTable table({"group", "ASes(%)", "CBIs(%)", "ABIs(%)",
+                   "paper ASes(%)", "paper CBIs(%)", "paper ABIs(%)"});
+  auto row = [&](const std::string& name, const GroupRow& group,
+                 const char* pa, const char* pc, const char* pb) {
+    table.add_row(
+        {name,
+         std::to_string(group.ases.size()) + " (" +
+             TextTable::pct(group.ases.size() / as_total, 0) + ")",
+         std::to_string(group.cbis.size()) + " (" +
+             TextTable::pct(group.cbis.size() / cbi_total, 0) + ")",
+         std::to_string(group.abis.size()) + " (" +
+             TextTable::pct(group.abis.size() / abi_total, 0) + ")",
+         pa, pc, pb});
+  };
+  row("Pb-nB", b.rows[static_cast<int>(PeeringGroup::kPbNb)], "2.52k (71%)",
+      "3.93k (16%)", "0.79k (21%)");
+  row("Pb-B", b.rows[static_cast<int>(PeeringGroup::kPbB)], "0.20k (5%)",
+      "0.56k (2%)", "0.56k (15%)");
+  row("[Pb]", b.pb, "2.69k (76%)", "4.46k (18%)", "0.83k (22%)");
+  row("Pr-nB-V", b.rows[static_cast<int>(PeeringGroup::kPrNbV)],
+      "0.24k (7%)", "2.99k (12%)", "0.54k (14%)");
+  row("Pr-nB-nV", b.rows[static_cast<int>(PeeringGroup::kPrNbNv)],
+      "1.1k (31%)", "10.24k (41%)", "2.59k (69%)");
+  row("[Pr-nB]", b.pr_nb, "1.18k (33%)", "13.24k (53%)", "2.68k (71%)");
+  row("Pr-B-nV", b.rows[static_cast<int>(PeeringGroup::kPrBNv)],
+      "0.11k (3%)", "5.67k (23%)", "2.07k (55%)");
+  row("Pr-B-V", b.rows[static_cast<int>(PeeringGroup::kPrBV)], "0.06k (2%)",
+      "2.09k (8%)", "0.33k (9%)");
+  row("[Pr-B]", b.pr_b, "0.12k (3%)", "7.76k (31%)", "2.11k (56%)");
+  std::printf("%s\n", table.render("six peering groups").c_str());
+
+  // Hidden peerings (§7.2): the virtual and private-invisible peerings —
+  // the 33.29% headline corresponds to the AS share of the Pr-nB and
+  // Pr-B-V groups (BGP-invisible private peerings plus all VPIs).
+  std::unordered_set<std::uint32_t> hidden_ases = b.pr_nb.ases;
+  for (const std::uint32_t as :
+       b.rows[static_cast<int>(PeeringGroup::kPrBV)].ases)
+    hidden_ases.insert(as);
+  std::printf("hidden peerings (private non-BGP or virtual): %.1f%% of peer "
+              "ASes (paper: 33.3%%)\n",
+              100.0 * hidden_ases.size() / as_total);
+  std::unordered_set<std::uint32_t> bgp_invisible_cbis;
+  for (const PeeringGroup g :
+       {PeeringGroup::kPbNb, PeeringGroup::kPrNbV, PeeringGroup::kPrNbNv,
+        PeeringGroup::kPrBV}) {
+    for (const std::uint32_t cbi : b.rows[static_cast<int>(g)].cbis)
+      bgp_invisible_cbis.insert(cbi);
+  }
+  std::printf("interconnections invisible to public BGP (incl. Pb-nB): "
+              "%.1f%% of CBIs\n",
+              100.0 * bgp_invisible_cbis.size() / cbi_total);
+  std::printf("unattributed segments (unknown owner): %zu\n",
+              b.unattributed_segments);
+  return 0;
+}

@@ -1,0 +1,107 @@
+// VPI hunting scenario (§7.1): after mapping the subject cloud's fabric,
+// probe the CBI target pool from a configurable set of foreign clouds and
+// watch the lower bound grow cloud by cloud — then compare against the
+// planted ground truth, which the paper never had.
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "vpi/detector.h"
+
+using namespace cloudmap;
+
+int main() {
+  GeneratorConfig config = GeneratorConfig::small();
+  config.seed = 77;
+  // Make VPIs common so the scenario is rich even in a small world.
+  config.enterprise_vpi = 0.6;
+  config.vpi_shared_port = 0.8;
+  const World world = generate_world(config);
+
+  Pipeline pipeline(world);
+  pipeline.alias_verification();  // run the campaign + verification
+
+  std::printf("mapped fabric: %zu CBIs\n",
+              pipeline.campaign().fabric().unique_cbis().size());
+
+  // Probe clouds one at a time to show the marginal value of each vantage.
+  Annotator annotator = pipeline.annotator();
+  annotator.set_snapshot(&pipeline.snapshot_round2());
+  VpiDetector detector(world, pipeline.forwarder(), annotator, 99);
+  const VpiDetectionResult result = detector.detect(
+      pipeline.campaign(),
+      {CloudProvider::kMicrosoft, CloudProvider::kGoogle, CloudProvider::kIbm,
+       CloudProvider::kOracle});
+
+  std::printf("\n%-12s %10s %12s\n", "cloud", "pairwise", "cumulative");
+  for (const VpiCloudResult& cloud : result.per_cloud) {
+    std::printf("%-12s %10zu %12zu\n", to_string(cloud.provider),
+                cloud.overlap, cloud.cumulative_overlap);
+  }
+
+  // Ground-truth audit: how much of the true VPI population did the
+  // overlap method recover, and what is invisible in principle?
+  std::size_t total_vpis = 0;
+  std::size_t private_vpis = 0;
+  std::size_t single_cloud = 0;
+  std::size_t detectable = 0;
+  std::unordered_map<std::uint32_t, std::unordered_set<int>> port_clouds;
+  for (const GroundTruthInterconnect& ic : world.interconnects) {
+    if (ic.kind != PeeringKind::kVpi) continue;
+    if (ic.cloud == CloudProvider::kAmazon) {
+      ++total_vpis;
+      if (ic.private_address) ++private_vpis;
+    }
+    if (!ic.private_address && ic.shared_port_address)
+      port_clouds[world.interface(ic.client_interface).address.value()]
+          .insert(static_cast<int>(ic.cloud));
+  }
+  for (const auto& [address, clouds] : port_clouds) {
+    (void)address;
+    if (clouds.size() >= 2) ++detectable;
+    else ++single_cloud;
+  }
+  std::printf("\nground truth: %zu Amazon VPIs (%zu private-address — "
+              "invisible in principle)\n",
+              total_vpis, private_vpis);
+  std::printf("shared ports: %zu multi-cloud (detectable), %zu single-cloud "
+              "(invisible to the overlap method)\n",
+              detectable, single_cloud);
+
+  // Router-level audit: an overlapping CBI implies its router is directly
+  // connected to two or more clouds (the §7.1 inference); detected routers
+  // never exceed that true multi-cloud client population.
+  std::unordered_map<std::uint32_t, std::unordered_set<int>> router_clouds;
+  for (const GroundTruthInterconnect& ic : world.interconnects)
+    if (!ic.private_address)
+      router_clouds[world.interface(ic.client_interface).router.value]
+          .insert(static_cast<int>(ic.cloud));
+  std::size_t true_routers = 0;
+  for (const auto& [router, clouds] : router_clouds)
+    if (clouds.size() >= 2) ++true_routers;
+  std::unordered_set<std::uint32_t> detected_routers;
+  std::size_t detected_multi_cloud = 0;
+  for (const std::uint32_t cbi : result.vpi_cbis) {
+    const InterfaceId iface = world.find_interface(Ipv4(cbi));
+    if (!iface.valid()) continue;
+    const std::uint32_t router = world.interface(iface).router.value;
+    if (!detected_routers.insert(router).second) continue;
+    const auto it = router_clouds.find(router);
+    if (it != router_clouds.end() && it->second.size() >= 2)
+      ++detected_multi_cloud;
+  }
+  std::printf("detected %zu CBI addresses on %zu client routers; %zu of "
+              "those are truly multi-cloud-connected, out of %zu such "
+              "routers in ground truth — a lower bound, as §7.1 argues\n",
+              result.vpi_cbis.size(), detected_routers.size(),
+              detected_multi_cloud, true_routers);
+  if (detected_routers.size() > detected_multi_cloud) {
+    std::printf("(%zu detections sit on interior interfaces of multi-cloud "
+                "transit ASes — the Fig. 2 address-sharing ambiguity "
+                "replayed from two clouds at once; the AS-level claim "
+                "\"this network meets several clouds\" still holds, the "
+                "per-interface VPI label is the method's known failure "
+                "mode, §7.1)\n",
+                detected_routers.size() - detected_multi_cloud);
+  }
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "alias/midar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/union_find.h"
+
+namespace cloudmap {
+
+namespace {
+
+// Least-squares line fit over (t, value) samples; the counter model is
+// value(t) = intercept + velocity * t.
+struct LineFit {
+  double velocity = 0.0;
+  double intercept = 0.0;
+};
+
+LineFit fit_line(const std::vector<std::pair<double, double>>& samples) {
+  const double n = static_cast<double>(samples.size());
+  double sum_t = 0.0;
+  double sum_v = 0.0;
+  double sum_tt = 0.0;
+  double sum_tv = 0.0;
+  for (const auto& [t, v] : samples) {
+    sum_t += t;
+    sum_v += v;
+    sum_tt += t * t;
+    sum_tv += t * v;
+  }
+  LineFit fit;
+  const double denom = n * sum_tt - sum_t * sum_t;
+  if (denom != 0.0) {
+    fit.velocity = (n * sum_tv - sum_t * sum_v) / denom;
+    fit.intercept = (sum_v - fit.velocity * sum_t) / n;
+  }
+  return fit;
+}
+
+}  // namespace
+
+MidarResolver::MidarResolver(const Forwarder& forwarder, AliasOptions options)
+    : forwarder_(&forwarder), options_(options), rng_(options.seed) {}
+
+AliasSets MidarResolver::resolve(const std::vector<Ipv4>& targets,
+                                 const std::vector<VantagePoint>& vps) {
+  const World& world = forwarder_->world();
+
+  // Per-target unwrapped IP-ID samples (t seconds, counter value).
+  struct TargetState {
+    Ipv4 address;
+    std::vector<std::pair<double, double>> samples;
+  };
+  std::vector<TargetState> states;
+  states.reserve(targets.size());
+  for (const Ipv4 target : targets)
+    states.push_back(TargetState{target, {}});
+
+  // Reachability of each target from any vantage point, computed once.
+  std::vector<bool> probeable(states.size(), false);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const InterfaceId iface = world.find_interface(states[i].address);
+    if (!iface.valid()) continue;
+    if (!world.interface(iface).responds_to_alias_probes) continue;
+    const Router& router = world.router(world.interface(iface).router);
+    if (router.reply_policy == ReplyPolicy::kSilent) continue;
+    for (const VantagePoint& vp : vps) {
+      if (forwarder_->rtt_to_interface(vp, iface)) {
+        probeable[i] = true;
+        break;
+      }
+    }
+  }
+
+  // Synchronized rounds: in round r (wall time r * interval) every reachable
+  // target is sampled once. The sampled value is the router's shared 16-bit
+  // counter plus cross-traffic noise; unwrapping across rounds is exact
+  // because velocity * interval < 2^16.
+  for (int round = 0; round < options_.rounds; ++round) {
+    const double t = static_cast<double>(round) * options_.round_interval_s;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      if (!probeable[i]) continue;
+      TargetState& state = states[i];
+      const InterfaceId iface = world.find_interface(state.address);
+      const Router& router = world.router(world.interface(iface).router);
+      if (!rng_.chance(router.response_probability)) continue;
+      const double noise = rng_.exponential(options_.ipid_noise_mean);
+      const double value = static_cast<double>(router.ipid_base % 65536) +
+                           router.ipid_velocity * t + noise;
+      state.samples.emplace_back(t, value);
+    }
+  }
+
+  // Fit each sufficiently-sampled target.
+  struct Fitted {
+    std::size_t target_index;
+    LineFit fit;
+  };
+  std::vector<Fitted> fitted;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    if (states[i].samples.size() < 3) continue;
+    fitted.push_back(Fitted{i, fit_line(states[i].samples)});
+  }
+
+  // Pair interfaces whose velocity and intercept agree. Sorting by velocity
+  // keeps the comparison window small (MIDAR's sliding-window idea).
+  std::sort(fitted.begin(), fitted.end(),
+            [](const Fitted& a, const Fitted& b) {
+              return a.fit.velocity < b.fit.velocity;
+            });
+  UnionFind merged(states.size());
+  for (std::size_t i = 0; i < fitted.size(); ++i) {
+    for (std::size_t j = i + 1; j < fitted.size(); ++j) {
+      const double vi = fitted[i].fit.velocity;
+      const double vj = fitted[j].fit.velocity;
+      const double scale = std::max(std::abs(vi), std::abs(vj));
+      if (scale <= 0.0) break;
+      if ((vj - vi) / scale > options_.velocity_tolerance) break;  // sorted
+      if (std::abs(fitted[i].fit.intercept - fitted[j].fit.intercept) <=
+          options_.intercept_slack) {
+        merged.unite(fitted[i].target_index, fitted[j].target_index);
+      }
+    }
+  }
+
+  // Materialize sets of size >= 2.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> groups;
+  for (const Fitted& f : fitted)
+    groups[merged.find(f.target_index)].push_back(f.target_index);
+
+  AliasSets result;
+  for (auto& [root, members] : groups) {
+    if (members.size() < 2) continue;
+    std::sort(members.begin(), members.end());
+    std::vector<Ipv4> set;
+    set.reserve(members.size());
+    for (const std::size_t index : members) {
+      set.push_back(states[index].address);
+      result.set_of[states[index].address.value()] = result.sets.size();
+    }
+    result.sets.push_back(std::move(set));
+  }
+  return result;
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,63 @@
+// MIDAR-style alias resolution (§5.2). Routers expose one shared,
+// monotonically increasing IP-ID counter across all their interfaces; the
+// resolver samples candidate interfaces in synchronized rounds from many
+// vantage regions, estimates each interface's counter velocity and
+// intercept, and groups interfaces whose counter time-series are mutually
+// consistent. Sets discovered from different regions merge through shared
+// members (union-find), as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/forwarding.h"
+#include "dataplane/vantage.h"
+#include "net/ipv4.h"
+#include "util/rng.h"
+
+namespace cloudmap {
+
+struct AliasOptions {
+  int rounds = 10;               // synchronized sampling rounds
+  double round_interval_s = 30;  // wall time between rounds
+  // Compatibility bounds. With ~10 samples over 270 s, the line fit's
+  // velocity error is far below 0.5% and the intercept error a few counts,
+  // so these bounds keep same-router interfaces together while making
+  // cross-router collisions (same velocity AND same phase) rare — MIDAR's
+  // monotonic-bounds test has the same character.
+  double velocity_tolerance = 0.005;  // relative velocity mismatch allowed
+  double intercept_slack = 40.0;      // max counter offset between aliases
+  double ipid_noise_mean = 4.0;       // cross-traffic increments per sample
+  std::uint64_t seed = 23;
+};
+
+struct AliasSets {
+  // Each set lists member addresses (size >= 2).
+  std::vector<std::vector<Ipv4>> sets;
+  // Address → index into `sets` (absent when the interface is in no set).
+  std::unordered_map<std::uint32_t, std::size_t> set_of;
+
+  std::size_t interfaces_in_sets() const {
+    std::size_t total = 0;
+    for (const auto& set : sets) total += set.size();
+    return total;
+  }
+};
+
+class MidarResolver {
+ public:
+  MidarResolver(const Forwarder& forwarder, AliasOptions options = {});
+
+  // Probe each target address from every vantage point that can reach it and
+  // infer alias sets. Targets that never respond contribute nothing.
+  AliasSets resolve(const std::vector<Ipv4>& targets,
+                    const std::vector<VantagePoint>& vps);
+
+ private:
+  const Forwarder* forwarder_;
+  AliasOptions options_;
+  Rng rng_;
+};
+
+}  // namespace cloudmap

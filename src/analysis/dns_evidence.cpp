@@ -1,0 +1,26 @@
+#include "analysis/dns_evidence.h"
+
+#include <unordered_set>
+
+namespace cloudmap {
+
+DnsEvidence dns_vpi_evidence(const Fabric& fabric,
+                             const PeeringClassifier& classifier,
+                             const DnsRegistry& dns) {
+  DnsEvidence out;
+  std::unordered_set<std::uint32_t> counted;
+  for (const InferredSegment& segment : fabric.segments()) {
+    const auto group = classifier.classify(segment);
+    if (!group) continue;
+    if (!counted.insert(segment.cbi.value()).second) continue;
+    const auto name = dns.name_of(segment.cbi);
+    if (!name) continue;
+    auto& row = out.groups[static_cast<std::size_t>(*group)];
+    ++row.cbis_with_names;
+    if (dns_has_vlan_tag(*name)) ++row.vlan_tagged;
+    if (dns_has_dx_keyword(*name)) ++row.dx_keyword;
+  }
+  return out;
+}
+
+}  // namespace cloudmap

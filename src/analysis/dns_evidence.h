@@ -1,0 +1,30 @@
+// DNS-name evidence for hidden VPIs (§7.3): among private, BGP-invisible
+// peerings, count CBIs whose reverse names carry VLAN tags or AWS
+// direct-connect keywords (dxvif/dxcon/awsdx/aws-dx). The paper found these
+// markers only in the Pr-nB groups — evidence that many Pr-nB-nV
+// interconnections are really VPIs the overlap method could not see.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "analysis/grouping.h"
+#include "controlplane/dns.h"
+#include "infer/fabric.h"
+
+namespace cloudmap {
+
+struct DnsEvidence {
+  struct PerGroup {
+    std::size_t cbis_with_names = 0;
+    std::size_t vlan_tagged = 0;
+    std::size_t dx_keyword = 0;
+  };
+  std::array<PerGroup, kPeeringGroupCount> groups;
+};
+
+DnsEvidence dns_vpi_evidence(const Fabric& fabric,
+                             const PeeringClassifier& classifier,
+                             const DnsRegistry& dns);
+
+}  // namespace cloudmap

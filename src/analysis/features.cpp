@@ -1,0 +1,79 @@
+#include "analysis/features.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cloudmap {
+
+const char* to_string(PeerFeature feature) {
+  switch (feature) {
+    case PeerFeature::kBgpSlash24: return "BGP /24";
+    case PeerFeature::kReachableSlash24: return "Reachable /24";
+    case PeerFeature::kAbiCount: return "ABIs";
+    case PeerFeature::kCbiCount: return "CBIs";
+    case PeerFeature::kRttDiffMs: return "RTT diff (ms)";
+    case PeerFeature::kMetroCount: return "Metros";
+  }
+  return "?";
+}
+
+GroupFeatureMatrix compute_group_features(
+    const Fabric& fabric, const PeeringClassifier& classifier,
+    const std::function<std::uint64_t(Asn)>& cone_of,
+    const std::function<std::optional<double>(const InferredSegment&)>&
+        rtt_diff,
+    const PinningResult& pinning) {
+  // Accumulate per (group, AS): the group-specific peering footprint.
+  struct PerAs {
+    std::unordered_set<std::uint32_t> reachable;
+    std::unordered_set<std::uint32_t> abis;
+    std::unordered_set<std::uint32_t> cbis;
+    std::unordered_set<std::uint32_t> metros;
+    std::vector<double> rtt_diffs;
+  };
+  std::array<std::unordered_map<std::uint32_t, PerAs>, kPeeringGroupCount>
+      accumulate;
+
+  for (const InferredSegment& segment : fabric.segments()) {
+    const auto group = classifier.classify(segment);
+    if (!group) continue;
+    const Asn owner = classifier.segment_owner(segment);
+    PerAs& record =
+        accumulate[static_cast<std::size_t>(*group)][owner.value];
+    record.reachable.insert(segment.dest_slash24s.begin(),
+                            segment.dest_slash24s.end());
+    record.abis.insert(segment.abi.value());
+    record.cbis.insert(segment.cbi.value());
+    if (const auto diff = rtt_diff(segment))
+      record.rtt_diffs.push_back(*diff);
+    const auto pin = pinning.pins.find(segment.cbi.value());
+    if (pin != pinning.pins.end())
+      record.metros.insert(pin->second.metro.value);
+  }
+
+  GroupFeatureMatrix out;
+  for (std::size_t g = 0; g < kPeeringGroupCount; ++g) {
+    auto& samples = out.samples[g];
+    for (const auto& [asn, record] : accumulate[g]) {
+      samples[static_cast<std::size_t>(PeerFeature::kBgpSlash24)].push_back(
+          static_cast<double>(cone_of(Asn{asn})));
+      samples[static_cast<std::size_t>(PeerFeature::kReachableSlash24)]
+          .push_back(static_cast<double>(record.reachable.size()));
+      samples[static_cast<std::size_t>(PeerFeature::kAbiCount)].push_back(
+          static_cast<double>(record.abis.size()));
+      samples[static_cast<std::size_t>(PeerFeature::kCbiCount)].push_back(
+          static_cast<double>(record.cbis.size()));
+      if (!record.rtt_diffs.empty())
+        samples[static_cast<std::size_t>(PeerFeature::kRttDiffMs)].push_back(
+            mean(record.rtt_diffs));
+      if (!record.metros.empty())
+        samples[static_cast<std::size_t>(PeerFeature::kMetroCount)].push_back(
+            static_cast<double>(record.metros.size()));
+    }
+    for (std::size_t f = 0; f < kPeerFeatureCount; ++f)
+      out.stats[g][f] = box_stats(samples[f]);
+  }
+  return out;
+}
+
+}  // namespace cloudmap

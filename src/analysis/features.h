@@ -1,0 +1,49 @@
+// Per-group peer features (§7.3 / Fig. 6): for every AS within each of the
+// six peering groups — customer-cone size in /24s, /24s reachable through
+// the group's CBIs, ABI and CBI counts, min-RTT difference across the
+// peering, and the number of metro areas its CBIs pin to.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "analysis/grouping.h"
+#include "pinning/pinning.h"
+#include "util/stats.h"
+
+namespace cloudmap {
+
+enum class PeerFeature : std::uint8_t {
+  kBgpSlash24 = 0,   // customer cone, /24 equivalents
+  kReachableSlash24, // /24s reached through the peering's CBIs
+  kAbiCount,
+  kCbiCount,
+  kRttDiffMs,
+  kMetroCount,
+};
+inline constexpr std::size_t kPeerFeatureCount = 6;
+const char* to_string(PeerFeature feature);
+
+struct GroupFeatureMatrix {
+  // [group][feature] → boxplot summary over the group's ASes.
+  std::array<std::array<BoxStats, kPeerFeatureCount>, kPeeringGroupCount>
+      stats;
+  // Raw samples, kept for CDF-style rendering and tests.
+  std::array<std::array<std::vector<double>, kPeerFeatureCount>,
+             kPeeringGroupCount>
+      samples;
+};
+
+// `cone_of` maps a peer ASN to its /24 customer-cone size (from the
+// synthetic CAIDA data); `rtt_diff` yields the min-RTT difference for a
+// segment (nullopt when unmeasurable).
+GroupFeatureMatrix compute_group_features(
+    const Fabric& fabric, const PeeringClassifier& classifier,
+    const std::function<std::uint64_t(Asn)>& cone_of,
+    const std::function<std::optional<double>(const InferredSegment&)>&
+        rtt_diff,
+    const PinningResult& pinning);
+
+}  // namespace cloudmap

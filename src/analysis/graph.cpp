@@ -1,0 +1,77 @@
+#include "analysis/graph.h"
+
+#include <unordered_map>
+
+#include "util/union_find.h"
+
+namespace cloudmap {
+
+IcgStats icg_stats(const Fabric& fabric) {
+  IcgStats out;
+
+  // Node numbering: ABIs then CBIs (an address can in principle appear as
+  // both after corrections; it is then a single node).
+  std::unordered_map<std::uint32_t, std::size_t> node_of;
+  auto node = [&](std::uint32_t address) {
+    const auto [it, inserted] = node_of.emplace(address, node_of.size());
+    (void)inserted;
+    return it->second;
+  };
+
+  std::unordered_map<std::uint32_t, std::size_t> abi_degree;
+  std::unordered_map<std::uint32_t, std::size_t> cbi_degree;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (const InferredSegment& segment : fabric.segments()) {
+    edges.emplace_back(node(segment.abi.value()), node(segment.cbi.value()));
+    ++abi_degree[segment.abi.value()];
+    ++cbi_degree[segment.cbi.value()];
+  }
+  out.abi_nodes = abi_degree.size();
+  out.cbi_nodes = cbi_degree.size();
+  out.edges = edges.size();
+  for (const auto& [address, degree] : abi_degree) {
+    (void)address;
+    out.abi_degrees.push_back(static_cast<double>(degree));
+  }
+  for (const auto& [address, degree] : cbi_degree) {
+    (void)address;
+    out.cbi_degrees.push_back(static_cast<double>(degree));
+  }
+
+  UnionFind components(node_of.size());
+  for (const auto& [a, b] : edges) components.unite(a, b);
+  out.components = components.components();
+  if (!node_of.empty()) {
+    out.largest_component_fraction =
+        static_cast<double>(components.largest_component()) /
+        static_cast<double>(node_of.size());
+  }
+  return out;
+}
+
+RemotePeeringStats remote_peering_stats(const Fabric& fabric,
+                                        const PinningResult& pinning) {
+  RemotePeeringStats out;
+  std::size_t total = 0;
+  for (const InferredSegment& segment : fabric.segments()) {
+    ++total;
+    const auto abi = pinning.pins.find(segment.abi.value());
+    const auto cbi = pinning.pins.find(segment.cbi.value());
+    if (abi == pinning.pins.end() || cbi == pinning.pins.end()) {
+      ++out.one_or_no_end;
+      continue;
+    }
+    ++out.both_ends_pinned;
+    if (abi->second.metro == cbi->second.metro) ++out.same_metro;
+    else ++out.cross_metro;
+  }
+  if (total > 0)
+    out.both_pinned_fraction =
+        static_cast<double>(out.both_ends_pinned) / static_cast<double>(total);
+  if (out.both_ends_pinned > 0)
+    out.same_metro_fraction = static_cast<double>(out.same_metro) /
+                              static_cast<double>(out.both_ends_pinned);
+  return out;
+}
+
+}  // namespace cloudmap

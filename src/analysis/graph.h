@@ -1,0 +1,40 @@
+// The Interface Connectivity Graph (§7.4): a bipartite graph with the
+// inferred ABIs and CBIs as nodes and the interconnection segments as edges.
+// Provides the degree distributions of Fig. 7, connected-component structure
+// (the paper's 92.3% largest component), and the remote-peering analysis
+// over pinned segment endpoints.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "infer/fabric.h"
+#include "pinning/pinning.h"
+
+namespace cloudmap {
+
+struct IcgStats {
+  std::size_t abi_nodes = 0;
+  std::size_t cbi_nodes = 0;
+  std::size_t edges = 0;
+  std::vector<double> abi_degrees;  // CBIs per ABI (Fig. 7a)
+  std::vector<double> cbi_degrees;  // ABIs per CBI (Fig. 7b)
+  double largest_component_fraction = 0.0;
+  std::size_t components = 0;
+};
+
+IcgStats icg_stats(const Fabric& fabric);
+
+struct RemotePeeringStats {
+  std::size_t both_ends_pinned = 0;
+  std::size_t same_metro = 0;     // peering contained within one metro
+  std::size_t cross_metro = 0;    // endpoints pinned to different metros
+  std::size_t one_or_no_end = 0;  // segments lacking full pinning
+  double both_pinned_fraction = 0.0;
+  double same_metro_fraction = 0.0;  // of the both-ends-pinned segments
+};
+
+RemotePeeringStats remote_peering_stats(const Fabric& fabric,
+                                        const PinningResult& pinning);
+
+}  // namespace cloudmap

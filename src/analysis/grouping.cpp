@@ -1,0 +1,170 @@
+#include "analysis/grouping.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cloudmap {
+
+const char* to_string(PeeringGroup group) {
+  switch (group) {
+    case PeeringGroup::kPbNb: return "Pb-nB";
+    case PeeringGroup::kPbB: return "Pb-B";
+    case PeeringGroup::kPrNbV: return "Pr-nB-V";
+    case PeeringGroup::kPrNbNv: return "Pr-nB-nV";
+    case PeeringGroup::kPrBNv: return "Pr-B-nV";
+    case PeeringGroup::kPrBV: return "Pr-B-V";
+  }
+  return "?";
+}
+
+PeeringClassifier::PeeringClassifier(
+    const Annotator* annotator, const BgpSnapshot* snapshot,
+    std::vector<Asn> subject_asns,
+    const std::unordered_set<std::uint32_t>* vpi_cbis)
+    : annotator_(annotator),
+      snapshot_(snapshot),
+      subject_asns_(std::move(subject_asns)),
+      vpi_cbis_(vpi_cbis) {}
+
+Asn PeeringClassifier::segment_owner(const InferredSegment& segment) const {
+  const HopAnnotation a = annotator_->annotate(segment.cbi);
+  // Cloud-addressed CBIs (Fig. 2 corrections) carry an owner hint; prefer
+  // the direct annotation when it names a non-subject AS.
+  if (!a.asn.is_unknown()) {
+    bool is_subject = false;
+    for (const Asn subject : subject_asns_)
+      if (subject == a.asn) is_subject = true;
+    if (!is_subject) return a.asn;
+  }
+  return segment.owner_hint;
+}
+
+bool PeeringClassifier::link_in_bgp(Asn peer) const {
+  for (const Asn subject : subject_asns_)
+    if (snapshot_->link_visible(subject, peer)) return true;
+  return false;
+}
+
+bool PeeringClassifier::is_vpi_cbi(Ipv4 cbi) const {
+  return vpi_cbis_ != nullptr && vpi_cbis_->count(cbi.value()) > 0;
+}
+
+std::optional<PeeringGroup> PeeringClassifier::classify(
+    const InferredSegment& segment) const {
+  const Asn owner = segment_owner(segment);
+  if (owner.is_unknown()) return std::nullopt;
+  const bool is_public = annotator_->annotate(segment.cbi).ixp;
+  const bool in_bgp = link_in_bgp(owner);
+  if (is_public) return in_bgp ? PeeringGroup::kPbB : PeeringGroup::kPbNb;
+  const bool is_virtual = is_vpi_cbi(segment.cbi);
+  if (in_bgp)
+    return is_virtual ? PeeringGroup::kPrBV : PeeringGroup::kPrBNv;
+  return is_virtual ? PeeringGroup::kPrNbV : PeeringGroup::kPrNbNv;
+}
+
+GroupBreakdown breakdown(const Fabric& fabric,
+                         const PeeringClassifier& classifier) {
+  GroupBreakdown out;
+  std::unordered_set<std::uint32_t> all_ases;
+  std::unordered_set<std::uint32_t> all_cbis;
+  std::unordered_set<std::uint32_t> all_abis;
+  for (const InferredSegment& segment : fabric.segments()) {
+    const auto group = classifier.classify(segment);
+    if (!group) {
+      ++out.unattributed_segments;
+      continue;
+    }
+    const Asn owner = classifier.segment_owner(segment);
+    GroupRow& row = out.rows[static_cast<std::size_t>(*group)];
+    row.ases.insert(owner.value);
+    row.cbis.insert(segment.cbi.value());
+    row.abis.insert(segment.abi.value());
+    all_ases.insert(owner.value);
+    all_cbis.insert(segment.cbi.value());
+    all_abis.insert(segment.abi.value());
+
+    auto aggregate = [&](GroupRow& agg) {
+      agg.ases.insert(owner.value);
+      agg.cbis.insert(segment.cbi.value());
+      agg.abis.insert(segment.abi.value());
+    };
+    switch (*group) {
+      case PeeringGroup::kPbNb:
+      case PeeringGroup::kPbB:
+        aggregate(out.pb);
+        break;
+      case PeeringGroup::kPrNbV:
+      case PeeringGroup::kPrNbNv:
+        aggregate(out.pr_nb);
+        break;
+      case PeeringGroup::kPrBNv:
+      case PeeringGroup::kPrBV:
+        aggregate(out.pr_b);
+        break;
+    }
+  }
+  out.total_ases = all_ases.size();
+  out.total_cbis = all_cbis.size();
+  out.total_abis = all_abis.size();
+  return out;
+}
+
+std::vector<HybridRow> hybrid_breakdown(const Fabric& fabric,
+                                        const PeeringClassifier& classifier) {
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint8_t>> by_as;
+  for (const InferredSegment& segment : fabric.segments()) {
+    const auto group = classifier.classify(segment);
+    if (!group) continue;
+    by_as[classifier.segment_owner(segment).value].insert(
+        static_cast<std::uint8_t>(*group));
+  }
+  std::map<std::vector<PeeringGroup>, std::size_t> combos;
+  for (const auto& [asn, groups] : by_as) {
+    (void)asn;
+    std::vector<PeeringGroup> combo;
+    for (const std::uint8_t g : groups)
+      combo.push_back(static_cast<PeeringGroup>(g));
+    std::sort(combo.begin(), combo.end());
+    ++combos[combo];
+  }
+  std::vector<HybridRow> out;
+  for (const auto& [combo, count] : combos)
+    out.push_back(HybridRow{combo, count});
+  std::sort(out.begin(), out.end(), [](const HybridRow& a, const HybridRow& b) {
+    if (a.as_count != b.as_count) return a.as_count > b.as_count;
+    return a.combo.size() < b.combo.size();
+  });
+  return out;
+}
+
+BgpCoverage bgp_coverage(const Fabric& fabric,
+                         const PeeringClassifier& classifier,
+                         const BgpSnapshot& snapshot,
+                         const std::vector<Asn>& subject_asns) {
+  BgpCoverage out;
+  // Peer ASNs visible in the public AS-link data.
+  std::unordered_set<std::uint32_t> bgp_peers;
+  for (const std::uint64_t link : snapshot.as_links) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(link >> 32);
+    const std::uint32_t hi = static_cast<std::uint32_t>(link);
+    for (const Asn subject : subject_asns) {
+      if (subject.value == lo) bgp_peers.insert(hi);
+      if (subject.value == hi) bgp_peers.insert(lo);
+    }
+  }
+  out.bgp_reported = bgp_peers.size();
+
+  std::unordered_set<std::uint32_t> inferred_peers;
+  for (const InferredSegment& segment : fabric.segments()) {
+    const Asn owner = classifier.segment_owner(segment);
+    if (!owner.is_unknown()) inferred_peers.insert(owner.value);
+  }
+  out.inferred_total = inferred_peers.size();
+  for (const std::uint32_t peer : inferred_peers) {
+    if (bgp_peers.count(peer)) ++out.bgp_also_discovered;
+    else ++out.inferred_not_in_bgp;
+  }
+  return out;
+}
+
+}  // namespace cloudmap

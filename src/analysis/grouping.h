@@ -1,0 +1,103 @@
+// Peering classification (§7.2): every inferred interconnection is labeled
+// on three axes — public/private (is the CBI on an IXP LAN), BGP-visible or
+// not (is the subject↔peer AS link in the collector-derived AS-relationship
+// data), and virtual or not (is the CBI in the multi-cloud overlap set) —
+// yielding the six groups of Table 5.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "controlplane/bgp.h"
+#include "infer/annotate.h"
+#include "infer/fabric.h"
+
+namespace cloudmap {
+
+enum class PeeringGroup : std::uint8_t {
+  kPbNb = 0,  // public, not in BGP
+  kPbB,       // public, in BGP
+  kPrNbV,     // private, not in BGP, virtual
+  kPrNbNv,    // private, not in BGP, non-virtual
+  kPrBNv,     // private, in BGP, non-virtual
+  kPrBV,      // private, in BGP, virtual
+};
+inline constexpr std::size_t kPeeringGroupCount = 6;
+const char* to_string(PeeringGroup group);
+
+class PeeringClassifier {
+ public:
+  PeeringClassifier(const Annotator* annotator, const BgpSnapshot* snapshot,
+                    std::vector<Asn> subject_asns,
+                    const std::unordered_set<std::uint32_t>* vpi_cbis);
+
+  // Peer AS owning a segment's client side (annotation, falling back to the
+  // owner hint for cloud-addressed CBIs); unknown Asn when unattributable.
+  Asn segment_owner(const InferredSegment& segment) const;
+
+  // Group of one segment; nullopt when the owner is unknown.
+  std::optional<PeeringGroup> classify(const InferredSegment& segment) const;
+
+  bool link_in_bgp(Asn peer) const;
+  bool is_vpi_cbi(Ipv4 cbi) const;
+
+ private:
+  const Annotator* annotator_;
+  const BgpSnapshot* snapshot_;
+  std::vector<Asn> subject_asns_;
+  const std::unordered_set<std::uint32_t>* vpi_cbis_;
+};
+
+// One row of Table 5.
+struct GroupRow {
+  std::unordered_set<std::uint32_t> ases;
+  std::unordered_set<std::uint32_t> cbis;
+  std::unordered_set<std::uint32_t> abis;
+};
+
+struct GroupBreakdown {
+  std::array<GroupRow, kPeeringGroupCount> rows;
+  GroupRow pb;     // aggregate of Pb-nB + Pb-B
+  GroupRow pr_nb;  // aggregate of Pr-nB-V + Pr-nB-nV
+  GroupRow pr_b;   // aggregate of Pr-B-nV + Pr-B-V
+  std::size_t total_ases = 0;
+  std::size_t total_cbis = 0;
+  std::size_t total_abis = 0;
+  std::size_t unattributed_segments = 0;
+};
+
+GroupBreakdown breakdown(const Fabric& fabric,
+                         const PeeringClassifier& classifier);
+
+// Table 6: hybrid-peering combinations. Each AS is assigned the exact set of
+// groups its peerings span; rows are sorted by AS count (descending).
+struct HybridRow {
+  std::vector<PeeringGroup> combo;  // sorted group list
+  std::size_t as_count = 0;
+};
+std::vector<HybridRow> hybrid_breakdown(const Fabric& fabric,
+                                        const PeeringClassifier& classifier);
+
+// Coverage vs BGP (§7.3): how many subject peerings the public AS-link data
+// reports, how many of those the fabric discovered, and how many extra
+// (BGP-invisible) peerings inference found.
+struct BgpCoverage {
+  std::size_t bgp_reported = 0;
+  std::size_t bgp_also_discovered = 0;
+  std::size_t inferred_total = 0;      // unique peer ASes inferred
+  std::size_t inferred_not_in_bgp = 0;
+  double coverage() const {
+    return bgp_reported == 0 ? 0.0
+                             : static_cast<double>(bgp_also_discovered) /
+                                   static_cast<double>(bgp_reported);
+  }
+};
+BgpCoverage bgp_coverage(const Fabric& fabric,
+                         const PeeringClassifier& classifier,
+                         const BgpSnapshot& snapshot,
+                         const std::vector<Asn>& subject_asns);
+
+}  // namespace cloudmap

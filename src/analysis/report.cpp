@@ -1,0 +1,111 @@
+#include "analysis/report.h"
+
+#include <sstream>
+
+#include "analysis/dns_evidence.h"
+#include "analysis/graph.h"
+#include "analysis/grouping.h"
+#include "pinning/evaluate.h"
+#include "util/table.h"
+
+namespace cloudmap {
+
+std::string render_study_report(Pipeline& pipeline,
+                                const ReportOptions& options) {
+  pipeline.run_all();
+  std::ostringstream out;
+  const Fabric& fabric = pipeline.campaign().fabric();
+  const PeeringClassifier classifier = pipeline.classifier();
+
+  out << "== cloud peering fabric study ==\n\n";
+  out << "campaign: " << pipeline.round1().traceroutes << " + "
+      << pipeline.round2().traceroutes << " traceroutes ("
+      << TextTable::pct(pipeline.round1().left_cloud_fraction())
+      << " of round 1 left the cloud)\n";
+  out << "fabric: " << fabric.segments().size() << " interconnection "
+      << "segments, " << fabric.unique_abis().size() << " cloud border "
+      << "interfaces, " << fabric.unique_cbis().size()
+      << " customer border interfaces, " << pipeline.peer_asns().size()
+      << " peer ASes\n\n";
+
+  // Group breakdown.
+  const GroupBreakdown groups = breakdown(fabric, classifier);
+  TextTable table({"group", "ASes", "CBIs", "ABIs"});
+  for (std::size_t g = 0; g < kPeeringGroupCount; ++g) {
+    const GroupRow& row = groups.rows[g];
+    table.add_row({to_string(static_cast<PeeringGroup>(g)),
+                   std::to_string(row.ases.size()),
+                   std::to_string(row.cbis.size()),
+                   std::to_string(row.abis.size())});
+  }
+  out << table.render("peering groups");
+
+  // Hidden share.
+  std::unordered_set<std::uint32_t> hidden = groups.pr_nb.ases;
+  for (const std::uint32_t as :
+       groups.rows[static_cast<int>(PeeringGroup::kPrBV)].ases)
+    hidden.insert(as);
+  if (groups.total_ases > 0) {
+    out << "hidden (private non-BGP or virtual) peer ASes: "
+        << TextTable::pct(static_cast<double>(hidden.size()) /
+                          static_cast<double>(groups.total_ases))
+        << "\n\n";
+  }
+
+  // Hybrid combinations.
+  const auto hybrid = hybrid_breakdown(fabric, classifier);
+  out << "top hybrid combinations:\n";
+  int shown = 0;
+  for (const HybridRow& row : hybrid) {
+    if (shown++ >= options.hybrid_rows) break;
+    out << "  ";
+    for (std::size_t i = 0; i < row.combo.size(); ++i) {
+      if (i > 0) out << "; ";
+      out << to_string(row.combo[i]);
+    }
+    out << " — " << row.as_count << " ASes\n";
+  }
+  out << '\n';
+
+  // VPIs.
+  const VpiDetectionResult& vpis = pipeline.vpis();
+  out << "VPI lower bound: " << vpis.vpi_cbis.size() << " CBIs ("
+      << TextTable::pct(static_cast<double>(vpis.vpi_cbis.size()) /
+                        static_cast<double>(vpis.subject_cbis))
+      << " of all CBIs) visible from a second cloud\n";
+  for (const VpiCloudResult& cloud : vpis.per_cloud) {
+    out << "  " << to_string(cloud.provider) << ": " << cloud.overlap
+        << " pairwise, " << cloud.cumulative_overlap << " cumulative\n";
+  }
+  out << '\n';
+
+  // Pinning.
+  const PinningResult& pins = pipeline.pinning();
+  const std::size_t interfaces =
+      fabric.unique_abis().size() + fabric.unique_cbis().size();
+  out << "pinning: " << pins.pins.size() << " interfaces at metro level ("
+      << TextTable::pct(static_cast<double>(pins.pins.size()) /
+                        static_cast<double>(interfaces))
+      << "), " << pins.regional.size() << " more at region level\n";
+
+  // Graph.
+  const IcgStats icg = icg_stats(fabric);
+  out << "connectivity graph: " << icg.edges << " edges, largest component "
+      << TextTable::pct(icg.largest_component_fraction) << '\n';
+  const RemotePeeringStats remote = remote_peering_stats(fabric, pins);
+  out << "remote peerings: " << remote.cross_metro
+      << " cross-metro segments among " << remote.both_ends_pinned
+      << " fully pinned\n";
+
+  if (options.include_ground_truth) {
+    const InferenceScore score = pipeline.score();
+    out << "\n[synthetic-only] ground truth: router-level recall "
+        << TextTable::pct(score.router_recall()) << ", precision "
+        << TextTable::pct(score.router_precision()) << " ("
+        << score.discovered << '/' << score.discoverable_interconnects
+        << " interconnects found exactly)\n";
+  }
+  return out.str();
+}
+
+}  // namespace cloudmap

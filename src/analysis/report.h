@@ -1,0 +1,24 @@
+// Study-report generation: renders a complete §7-style textual summary of a
+// finished pipeline — fabric size, group breakdown, hybrid combinations,
+// VPI lower bound, pinning coverage, graph structure — the artifact an
+// operator or researcher reads first. Used by examples and tests; benches
+// print finer-grained per-table views instead.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace cloudmap {
+
+struct ReportOptions {
+  bool include_ground_truth = true;  // append the synthetic-only scoring
+  int hybrid_rows = 8;               // top hybrid combinations to list
+};
+
+// Render the full study report. Runs any pipeline stages that have not run
+// yet (the pipeline is taken by reference and memoizes).
+std::string render_study_report(Pipeline& pipeline,
+                                const ReportOptions& options = {});
+
+}  // namespace cloudmap

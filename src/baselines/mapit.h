@@ -1,0 +1,93 @@
+// A MAP-IT-style inference baseline (Marder & Smith, IMC'16). MAP-IT scans
+// existing traceroute corpora for adjacent hop pairs whose addresses
+// originate in different ASes (BGP prefix2as only — no WHOIS fallback, no
+// IXP membership data) and emits the pair as an inter-AS link, refining
+// interface ownership from the surrounding hops.
+//
+// The paper (§2, footnote 14) rules MAP-IT out for cloud fabrics because
+// layer-2 switching breaks its assumptions:
+//   * IXP peering LANs are not BGP-announced — the member-side hop has no
+//     origin AS, so the adjacency is skipped and the peering missed;
+//   * provider-assigned VPI /30s put cloud-owned addresses on the client
+//     router, so the AS change (and hence the inferred boundary) lands one
+//     hop too deep (the Fig. 2 shift with no heuristic to fix it);
+//   * WHOIS-only interconnect addressing is invisible to prefix2as.
+// This module reimplements the approach so a bench can quantify all three.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "dataplane/traceroute.h"
+#include "infer/annotate.h"
+
+namespace cloudmap {
+
+struct MapitEdge {
+  Ipv4 near_interface;  // last hop in the first AS
+  Ipv4 far_interface;   // first hop in the second AS
+  Asn near_as;
+  Asn far_as;
+};
+
+struct MapitResult {
+  std::vector<MapitEdge> edges;  // deduplicated by interface pair
+  std::size_t adjacencies_examined = 0;
+  // Adjacencies skipped because one side has no BGP origin (private space,
+  // WHOIS-only interconnect /30s, IXP LANs) — MAP-IT's blind spot.
+  std::size_t skipped_unannotated = 0;
+};
+
+struct MapitOptions {
+  std::uint64_t seed = 41;
+  TracerouteOptions traceroute;
+};
+
+class Mapit {
+ public:
+  Mapit(const World& world, const Forwarder& forwarder,
+        const Annotator& annotator, MapitOptions options = {});
+
+  // Sweep from the subject cloud's regions (MAP-IT consumes whatever
+  // corpus exists; we feed it the same sweep the main campaign uses) and
+  // infer inter-AS edges.
+  MapitResult run(CloudProvider subject);
+
+  // Core inference, exposed for tests: process one record's adjacencies.
+  void process_record(const TracerouteRecord& record, MapitResult& result);
+
+ private:
+  const World* world_;
+  const Forwarder* forwarder_;
+  const Annotator* annotator_;
+  MapitOptions options_;
+  std::unordered_set<std::uint64_t> seen_pairs_;
+};
+
+// Ground-truth scoring: how many of the subject cloud's interconnections
+// MAP-IT located *with the correct client interface*, split by kind.
+struct MapitScore {
+  std::size_t xconnect_total = 0, xconnect_found = 0;
+  std::size_t ixp_total = 0, ixp_found = 0;
+  std::size_t vpi_total = 0, vpi_found = 0;
+  double xconnect_rate() const {
+    return xconnect_total == 0 ? 0.0
+                               : static_cast<double>(xconnect_found) /
+                                     static_cast<double>(xconnect_total);
+  }
+  double ixp_rate() const {
+    return ixp_total == 0 ? 0.0
+                          : static_cast<double>(ixp_found) /
+                                static_cast<double>(ixp_total);
+  }
+  double vpi_rate() const {
+    return vpi_total == 0 ? 0.0
+                          : static_cast<double>(vpi_found) /
+                                static_cast<double>(vpi_total);
+  }
+};
+MapitScore score_mapit(const World& world, const MapitResult& result,
+                       CloudProvider subject);
+
+}  // namespace cloudmap

@@ -1,0 +1,194 @@
+#include "bdrmap/bdrmap.h"
+
+#include <algorithm>
+
+namespace cloudmap {
+
+Bdrmap::Bdrmap(const World& world, const Forwarder& forwarder,
+               const BgpSnapshot& snapshot, const As2Org& as2org,
+               CloudProvider subject, BdrmapOptions options)
+    : world_(&world),
+      forwarder_(&forwarder),
+      snapshot_(&snapshot),
+      as2org_(&as2org),
+      subject_(subject),
+      subject_org_(world.ases[world.cloud_primary(subject).value].org),
+      options_(options) {
+  // Target selection from BGP: bdrmap probes per announced *prefix* (guided
+  // by the RIB), not per /24 — one probe into the first /24 of each prefix.
+  std::unordered_set<std::uint32_t> seen;
+  snapshot.origin_of.for_each([&](const Prefix& prefix, const Asn&) {
+    const std::uint32_t first24 = prefix.network().value() & 0xFFFFFF00u;
+    if (seen.insert(first24).second)
+      targets_.push_back(Ipv4(first24).next(1));
+  });
+  std::sort(targets_.begin(), targets_.end());
+}
+
+void Bdrmap::run_region(RegionId region, std::uint64_t seed,
+                        const BgpSnapshot& region_snapshot,
+                        BdrmapRegionResult& out) {
+  out.region = region;
+  TracerouteEngine engine(*forwarder_, seed, options_.traceroute);
+  const VantagePoint vp = VantagePoint::cloud_vm(
+      subject_, region, world_->region(region).name);
+
+  // Downstream-AS votes for the third-party heuristic, per unresolved CBI.
+  std::unordered_map<std::uint32_t,
+                     std::unordered_map<std::uint32_t, std::size_t>>
+      downstream_votes;
+
+  auto asn_of = [&](Ipv4 address) -> Asn {
+    const Asn* origin = region_snapshot.origin_of.lookup(address);
+    return origin == nullptr ? Asn{} : *origin;
+  };
+  auto is_subject = [&](Asn asn) {
+    return !asn.is_unknown() && as2org_->org_of(asn) == subject_org_;
+  };
+
+  for (const Ipv4 target : targets_) {
+    const TracerouteRecord record = engine.trace(vp, target);
+    // Walk: hops that are subject-owned or ASN 0 are "inside"; the first
+    // hop with a foreign nonzero ASN is the CBI.
+    std::size_t cbi_index = record.hops.size();
+    Asn cbi_asn;
+    std::size_t last_responding_inside = record.hops.size();
+    for (std::size_t i = 0; i < record.hops.size(); ++i) {
+      if (!record.hops[i].responded) continue;
+      const Asn asn = asn_of(record.hops[i].address);
+      if (asn.is_unknown() || is_subject(asn)) {
+        last_responding_inside = i;
+        continue;
+      }
+      cbi_index = i;
+      cbi_asn = asn;
+      break;
+    }
+
+    if (cbi_index < record.hops.size()) {
+      if (last_responding_inside < cbi_index)
+        out.abis.insert(record.hops[last_responding_inside].address.value());
+      const std::uint32_t cbi = record.hops[cbi_index].address.value();
+      auto [it, inserted] = out.cbi_owner.emplace(cbi, cbi_asn);
+      if (!inserted && it->second.is_unknown()) it->second = cbi_asn;
+      // Record downstream destinations for third-party resolution of other
+      // interfaces on this path.
+      continue;
+    }
+
+    // No foreign nonzero hop: if the trace went beyond the host network
+    // (subject-announced space plus its private addressing, which bdrmap
+    // knows belongs to the vantage network) into public ASN-0 territory,
+    // bdrmap leaves an unresolved (AS0) border.
+    std::size_t last_subject = record.hops.size();
+    for (std::size_t i = 0; i < record.hops.size(); ++i) {
+      if (!record.hops[i].responded) continue;
+      const Ipv4 address = record.hops[i].address;
+      if (is_subject(asn_of(address)) || address.is_private() ||
+          address.is_shared())
+        last_subject = i;
+    }
+    if (last_subject == record.hops.size()) continue;
+    std::size_t unresolved = record.hops.size();
+    for (std::size_t i = last_subject + 1; i < record.hops.size(); ++i) {
+      if (record.hops[i].responded) {
+        unresolved = i;
+        break;
+      }
+    }
+    if (unresolved == record.hops.size()) continue;
+    out.abis.insert(record.hops[last_subject].address.value());
+    const std::uint32_t cbi = record.hops[unresolved].address.value();
+    out.cbi_owner.emplace(cbi, Asn{});
+    // Third-party votes: the destination's origin AS hints at the owner.
+    const Asn dest_asn = asn_of(record.destination);
+    if (!dest_asn.is_unknown()) ++downstream_votes[cbi][dest_asn.value];
+  }
+
+  // Third-party heuristic: an unresolved CBI takes the common downstream
+  // origin AS — but, as in bdrmap proper, only when the evidence names a
+  // *unique* network. Split or thin votes leave the owner at AS0 (the
+  // paper's 0.32k unresolved CBIs).
+  for (auto& [cbi, owner] : out.cbi_owner) {
+    if (!owner.is_unknown()) continue;
+    const auto votes = downstream_votes.find(cbi);
+    if (votes == downstream_votes.end()) continue;
+    std::uint32_t best = 0;
+    std::size_t best_count = 0;
+    bool tie = false;
+    for (const auto& [asn, count] : votes->second) {
+      if (count > best_count) {
+        best_count = count;
+        best = asn;
+        tie = false;
+      } else if (count == best_count) {
+        tie = true;
+      }
+    }
+    if (best != 0 && !tie && best_count >= 2) {
+      owner = Asn{best};
+      out.thirdparty_cbis.insert(cbi);
+    }
+  }
+}
+
+BdrmapResult Bdrmap::run() {
+  BdrmapResult result;
+  std::uint64_t seed = options_.seed;
+  // Each per-region instance collects its own RIB from its VM; the views
+  // differ in which (intermittently announced) prefixes they carry — the
+  // BGP dependence that §8 blames for bdrmap's per-region inconsistency.
+  const auto feeds = default_collector_feeds(*world_, 11);
+  for (RegionId region : world_->regions_of(subject_)) {
+    SnapshotOptions per_region;
+    per_region.include_intermittent = false;
+    per_region.intermittent_fraction = 0.10;
+    per_region.intermittent_seed = options_.seed * 131 + region.value;
+    const BgpSnapshot region_snapshot =
+        build_snapshot(*world_, forwarder_->bgp(), feeds, per_region);
+    BdrmapRegionResult region_result;
+    run_region(region, ++seed, region_snapshot, region_result);
+    result.regions.push_back(std::move(region_result));
+  }
+
+  // Merge and quantify inconsistencies.
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>>
+      owners_seen;
+  for (const BdrmapRegionResult& region : result.regions) {
+    for (const std::uint32_t abi : region.abis) result.abis.insert(abi);
+    for (const auto& [cbi, owner] : region.cbi_owner) {
+      result.cbis.insert(cbi);
+      owners_seen[cbi].insert(owner.value);
+      if (!owner.is_unknown()) result.owner_asns.insert(owner.value);
+    }
+    result.thirdparty_cbis += region.thirdparty_cbis.size();
+  }
+  for (const auto& [cbi, owners] : owners_seen) {
+    if (owners.count(0) && owners.size() == 1) ++result.as0_owner_cbis;
+    std::size_t resolved = owners.size() - (owners.count(0) ? 1 : 0);
+    if (resolved > 1) ++result.multi_owner_cbis;
+    if (result.abis.count(cbi)) ++result.abi_cbi_flips;
+  }
+  return result;
+}
+
+BdrmapComparison compare_with_fabric(
+    const BdrmapResult& bdrmap, const Fabric& fabric,
+    const std::unordered_set<std::uint32_t>& fabric_owner_asns) {
+  BdrmapComparison out;
+  const auto abis = fabric.unique_abis();
+  const auto cbis = fabric.unique_cbis();
+  for (const std::uint32_t abi : bdrmap.abis)
+    if (abis.count(abi)) ++out.common_abis;
+  for (const std::uint32_t cbi : bdrmap.cbis)
+    if (cbis.count(cbi)) ++out.common_cbis;
+  for (const std::uint32_t asn : bdrmap.owner_asns) {
+    if (fabric_owner_asns.count(asn)) ++out.common_ases;
+    else ++out.bdrmap_only_ases;
+  }
+  for (const std::uint32_t asn : fabric_owner_asns)
+    if (!bdrmap.owner_asns.count(asn)) ++out.cloudmap_only_ases;
+  return out;
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,92 @@
+// A faithful-in-spirit reimplementation of bdrmap (Luckie et al., IMC'16)
+// adapted to cloud vantage points, used as the §8 baseline. Key differences
+// from the paper's own pipeline, mirrored here:
+//
+//   * bdrmap selects traceroute targets from BGP-announced prefixes and
+//     annotates hops from RIB data only (no WHOIS fallback, no IXP prefix
+//     list) — so WHOIS-only interconnect addressing and IXP LANs are ASN 0
+//     to it;
+//   * it runs *independently per region*, so per-region inferences can (and
+//     do) disagree;
+//   * unresolved client-side interfaces get owners via heuristics — the
+//     "subsequent AS" rule and a third-party heuristic that assigns the
+//     most common downstream AS — whose quality depends on BGP completeness.
+//
+// The comparison module quantifies the three §8 inconsistency classes:
+// AS0-owned CBIs, CBIs with different owners from different regions, and
+// interfaces flagged ABI in one region but CBI in another.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "controlplane/bgp.h"
+#include "dataplane/traceroute.h"
+#include "infer/fabric.h"
+
+namespace cloudmap {
+
+struct BdrmapRegionResult {
+  RegionId region;
+  std::unordered_set<std::uint32_t> abis;
+  std::unordered_map<std::uint32_t, Asn> cbi_owner;  // Asn{0} = unresolved
+  // CBIs whose owner came from the third-party heuristic.
+  std::unordered_set<std::uint32_t> thirdparty_cbis;
+};
+
+struct BdrmapResult {
+  std::vector<BdrmapRegionResult> regions;
+  // Merged view.
+  std::unordered_set<std::uint32_t> abis;
+  std::unordered_set<std::uint32_t> cbis;
+  std::unordered_set<std::uint32_t> owner_asns;
+  // §8 inconsistency classes.
+  std::size_t as0_owner_cbis = 0;
+  std::size_t multi_owner_cbis = 0;
+  std::size_t abi_cbi_flips = 0;
+  std::size_t thirdparty_cbis = 0;
+};
+
+struct BdrmapOptions {
+  std::uint64_t seed = 37;
+  TracerouteOptions traceroute;
+};
+
+class Bdrmap {
+ public:
+  Bdrmap(const World& world, const Forwarder& forwarder,
+         const BgpSnapshot& snapshot, const As2Org& as2org,
+         CloudProvider subject, BdrmapOptions options = {});
+
+  BdrmapResult run();
+
+ private:
+  void run_region(RegionId region, std::uint64_t seed,
+                  const BgpSnapshot& region_snapshot,
+                  BdrmapRegionResult& out);
+
+  const World* world_;
+  const Forwarder* forwarder_;
+  const BgpSnapshot* snapshot_;
+  const As2Org* as2org_;
+  CloudProvider subject_;
+  OrgId subject_org_;
+  BdrmapOptions options_;
+  std::vector<Ipv4> targets_;
+};
+
+// Agreement between bdrmap's merged view and the cloudmap fabric.
+struct BdrmapComparison {
+  std::size_t common_abis = 0;
+  std::size_t common_cbis = 0;
+  std::size_t common_ases = 0;
+  std::size_t bdrmap_only_ases = 0;
+  std::size_t cloudmap_only_ases = 0;
+};
+BdrmapComparison compare_with_fabric(
+    const BdrmapResult& bdrmap, const Fabric& fabric,
+    const std::unordered_set<std::uint32_t>& fabric_owner_asns);
+
+}  // namespace cloudmap

@@ -1,0 +1,17 @@
+#include "controlplane/as2org.h"
+
+namespace cloudmap {
+
+As2Org As2Org::from_world(const World& world) {
+  As2Org dataset;
+  for (const AutonomousSystem& as : world.ases)
+    dataset.map_[as.asn.value] = as.org;
+  return dataset;
+}
+
+OrgId As2Org::org_of(Asn asn) const {
+  const auto it = map_.find(asn.value);
+  return it == map_.end() ? OrgId{0} : it->second;
+}
+
+}  // namespace cloudmap

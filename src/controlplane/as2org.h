@@ -1,0 +1,27 @@
+// Synthetic CAIDA AS-to-Organization dataset. The paper maps every hop ASN
+// to an ORG id so that traceroutes crossing several Amazon ASNs (AS7224,
+// AS16509, AS14618, ...) are still recognized as "inside Amazon" when
+// looking for the customer border hop (§3, §4.1).
+#pragma once
+
+#include <unordered_map>
+
+#include "net/ids.h"
+#include "topology/world.h"
+
+namespace cloudmap {
+
+class As2Org {
+ public:
+  static As2Org from_world(const World& world);
+
+  // OrgId{0} (unknown) for unmapped ASNs — including Asn{0} itself.
+  OrgId org_of(Asn asn) const;
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, OrgId> map_;
+};
+
+}  // namespace cloudmap

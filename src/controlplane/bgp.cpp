@@ -1,0 +1,260 @@
+#include "controlplane/bgp.h"
+
+#include <deque>
+
+#include "util/rng.h"
+
+namespace cloudmap {
+namespace {
+
+// Route preference: higher class wins, then shorter path, then lower
+// next-hop id (deterministic tie-break).
+bool improves(const RouteEntry& current, RouteClass cls, std::uint8_t length,
+              AsId next_hop) {
+  if (cls != current.route_class)
+    return static_cast<int>(cls) > static_cast<int>(current.route_class);
+  if (length != current.path_length) return length < current.path_length;
+  return next_hop.value < current.next_hop.value;
+}
+
+bool is_intermittent(const Prefix& prefix, const SnapshotOptions& options) {
+  if (options.intermittent_fraction <= 0.0) return false;
+  std::uint64_t state = options.intermittent_seed ^
+                        (static_cast<std::uint64_t>(prefix.network().value())
+                         << 8) ^
+                        prefix.length();
+  const double roll =
+      static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  return roll < options.intermittent_fraction;
+}
+
+// Route tables toward a cloud provider's prefixes: clients with a
+// non-private interconnect learn a direct route; non-VPI clients re-export
+// it into their customer cones (phase-3 style downward propagation).
+std::vector<RouteEntry> cloud_route_table(const World& world,
+                                          CloudProvider provider) {
+  const std::size_t n = world.ases.size();
+  std::vector<RouteEntry> table(n);
+  const AsId cloud = world.cloud_primary(provider);
+  table[cloud.value] = RouteEntry{RouteClass::kSelf, 0, AsId{}};
+
+  std::deque<AsId> queue;
+  for (const GroundTruthInterconnect& ic : world.interconnects) {
+    if (ic.cloud != provider || ic.private_address) continue;
+    RouteEntry& entry = table[ic.client.value];
+    if (improves(entry, RouteClass::kPeer, 1, cloud)) {
+      entry = RouteEntry{RouteClass::kPeer, 1, cloud};
+      // Only non-VPI peerings re-export cloud routes downstream.
+      if (ic.kind != PeeringKind::kVpi) queue.push_back(ic.client);
+    }
+  }
+  // An AS holding both a VPI and a re-exporting peering still re-exports;
+  // make sure every client with a non-VPI interconnect is queued.
+  while (!queue.empty()) {
+    const AsId u = queue.front();
+    queue.pop_front();
+    const RouteEntry& route = table[u.value];
+    for (AsId customer : world.ases[u.value].customers) {
+      RouteEntry& entry = table[customer.value];
+      const std::uint8_t len =
+          static_cast<std::uint8_t>(route.path_length + 1);
+      if (improves(entry, RouteClass::kProvider, len, u)) {
+        entry = RouteEntry{RouteClass::kProvider, len, u};
+        queue.push_back(customer);
+      }
+    }
+  }
+  return table;
+}
+
+// Walk next hops from `from` toward the self entry; empty on no route.
+std::vector<AsId> walk_path(const std::vector<RouteEntry>& table, AsId from) {
+  std::vector<AsId> out;
+  AsId current = from;
+  for (int guard = 0; guard < 64; ++guard) {
+    const RouteEntry& entry = table[current.value];
+    if (!entry.has_route()) return {};
+    out.push_back(current);
+    if (entry.route_class == RouteClass::kSelf) return out;
+    current = entry.next_hop;
+  }
+  return {};
+}
+
+}  // namespace
+
+BgpSimulator::BgpSimulator(const World& world)
+    : world_(&world),
+      cache_(world.ases.size()),
+      cached_(world.ases.size(), false) {}
+
+const std::vector<RouteEntry>& BgpSimulator::routes_to(AsId origin) const {
+  if (!cached_[origin.value]) {
+    compute(origin, cache_[origin.value]);
+    cached_[origin.value] = true;
+  }
+  return cache_[origin.value];
+}
+
+void BgpSimulator::compute(AsId origin, std::vector<RouteEntry>& table) const {
+  const auto& ases = world_->ases;
+  table.assign(ases.size(), RouteEntry{});
+  table[origin.value] = RouteEntry{RouteClass::kSelf, 0, AsId{}};
+
+  // Phase 1: customer routes climb the provider hierarchy.
+  std::deque<AsId> queue{origin};
+  while (!queue.empty()) {
+    const AsId u = queue.front();
+    queue.pop_front();
+    const RouteEntry route = table[u.value];
+    if (route.route_class != RouteClass::kSelf &&
+        route.route_class != RouteClass::kCustomer)
+      continue;  // stale queue entry overwritten by a better class
+    for (AsId provider : ases[u.value].providers) {
+      const std::uint8_t len =
+          static_cast<std::uint8_t>(route.path_length + 1);
+      RouteEntry& entry = table[provider.value];
+      if (improves(entry, RouteClass::kCustomer, len, u)) {
+        entry = RouteEntry{RouteClass::kCustomer, len, u};
+        queue.push_back(provider);
+      }
+    }
+  }
+  // Phase 2: customer/self routes are exported to peers (one lateral hop).
+  for (std::uint32_t u = 0; u < ases.size(); ++u) {
+    const RouteEntry route = table[u];
+    if (route.route_class != RouteClass::kSelf &&
+        route.route_class != RouteClass::kCustomer)
+      continue;
+    for (AsId peer : ases[u].peers) {
+      const std::uint8_t len =
+          static_cast<std::uint8_t>(route.path_length + 1);
+      RouteEntry& entry = table[peer.value];
+      if (improves(entry, RouteClass::kPeer, len, AsId{u}))
+        entry = RouteEntry{RouteClass::kPeer, len, AsId{u}};
+    }
+  }
+  // Phase 3: every routed AS exports its best route to its customers.
+  for (std::uint32_t u = 0; u < ases.size(); ++u)
+    if (table[u].has_route()) queue.push_back(AsId{u});
+  while (!queue.empty()) {
+    const AsId u = queue.front();
+    queue.pop_front();
+    const RouteEntry route = table[u.value];
+    for (AsId customer : ases[u.value].customers) {
+      const std::uint8_t len =
+          static_cast<std::uint8_t>(route.path_length + 1);
+      RouteEntry& entry = table[customer.value];
+      if (improves(entry, RouteClass::kProvider, len, u)) {
+        entry = RouteEntry{RouteClass::kProvider, len, u};
+        queue.push_back(customer);
+      }
+    }
+  }
+}
+
+std::vector<AsId> BgpSimulator::path(AsId from, AsId origin) const {
+  return walk_path(routes_to(origin), from);
+}
+
+bool BgpSimulator::reachable(AsId from, AsId origin) const {
+  return routes_to(origin)[from.value].has_route();
+}
+
+std::vector<AsId> default_collector_feeds(const World& world,
+                                          std::uint64_t seed,
+                                          double tier2_fraction) {
+  Rng rng(seed);
+  std::vector<AsId> feeds;
+  for (std::uint32_t i = 0; i < world.ases.size(); ++i) {
+    if (world.ases[i].type == AsType::kTier1) feeds.push_back(AsId{i});
+    else if (world.ases[i].type == AsType::kTier2 &&
+             rng.chance(tier2_fraction))
+      feeds.push_back(AsId{i});
+  }
+  return feeds;
+}
+
+BgpSnapshot build_snapshot(const World& world, const BgpSimulator& sim,
+                           const std::vector<AsId>& collector_feeds,
+                           const SnapshotOptions& options) {
+  BgpSnapshot snapshot;
+
+  auto add_path_links = [&](const std::vector<AsId>& path) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      snapshot.as_links.insert(BgpSnapshot::link_key(
+          world.ases[path[i].value].asn, world.ases[path[i + 1].value].asn));
+    }
+  };
+
+  // Non-cloud origins: visible when any feed holds a route.
+  for (std::uint32_t o = 0; o < world.ases.size(); ++o) {
+    const AutonomousSystem& origin = world.ases[o];
+    if (origin.type == AsType::kCloud) continue;
+    if (origin.announced_prefixes.empty()) continue;
+    const auto& table = sim.routes_to(AsId{o});
+    bool visible = false;
+    for (AsId feed : collector_feeds) {
+      if (!table[feed.value].has_route()) continue;
+      visible = true;
+      add_path_links(walk_path(table, feed));
+    }
+    if (!visible) continue;
+    for (const Prefix& prefix : origin.announced_prefixes) {
+      if (!options.include_intermittent && is_intermittent(prefix, options))
+        continue;
+      snapshot.origin_of.insert(prefix, origin.asn);
+    }
+  }
+
+  // Cloud origins: direct peer routes at clients, re-export by non-VPI
+  // peerings only.
+  for (int p = 1; p < static_cast<int>(kCloudProviderCount); ++p) {
+    const CloudProvider provider = static_cast<CloudProvider>(p);
+    if (world.cloud_ases[p].empty()) continue;
+    const auto table = cloud_route_table(world, provider);
+    bool visible = false;
+    for (AsId feed : collector_feeds) {
+      if (!table[feed.value].has_route()) continue;
+      visible = true;
+      add_path_links(walk_path(table, feed));
+    }
+    if (!visible) continue;
+    const AsId primary = world.cloud_primary(provider);
+    for (const Prefix& prefix : world.ases[primary.value].announced_prefixes)
+      snapshot.origin_of.insert(prefix, world.ases[primary.value].asn);
+  }
+
+  return snapshot;
+}
+
+std::vector<std::uint64_t> customer_cone_slash24s(const World& world) {
+  const std::size_t n = world.ases.size();
+  std::vector<std::uint64_t> cones(n, 0);
+  for (std::uint32_t a = 0; a < n; ++a) {
+    // BFS over the customer edges, counting /24 equivalents once per AS.
+    std::uint64_t total = 0;
+    std::vector<bool> seen(n, false);
+    std::deque<AsId> queue{AsId{a}};
+    seen[a] = true;
+    while (!queue.empty()) {
+      const AsId u = queue.front();
+      queue.pop_front();
+      for (const Prefix& prefix : world.ases[u.value].announced_prefixes) {
+        total += prefix.length() >= 24
+                     ? 1
+                     : (std::uint64_t{1} << (24 - prefix.length()));
+      }
+      for (AsId customer : world.ases[u.value].customers) {
+        if (!seen[customer.value]) {
+          seen[customer.value] = true;
+          queue.push_back(customer);
+        }
+      }
+    }
+    cones[a] = total;
+  }
+  return cones;
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,123 @@
+// Gao-Rexford BGP route propagation over the world's AS-level graph, plus
+// the collector infrastructure that turns propagation into the *partial* BGP
+// view the paper works with (RouteViews/RIPE-style snapshots and the CAIDA
+// AS-relationship dataset derived from them).
+//
+// Two products matter downstream:
+//   * BgpSnapshot — prefix→origin-ASN announcements visible at collectors;
+//     used for traceroute hop annotation (§3) and round-2 re-annotation.
+//   * The set of AS links observed on collector paths; used to decide
+//     whether an Amazon peering is "visible in BGP" (the B/nB attribute of
+//     Table 5).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ids.h"
+#include "net/prefix.h"
+#include "net/prefix_trie.h"
+#include "topology/world.h"
+
+namespace cloudmap {
+
+// Relationship classes in route preference order (Gao-Rexford).
+enum class RouteClass : std::uint8_t {
+  kNone = 0,      // no route
+  kProvider = 1,  // learned from a provider (least preferred)
+  kPeer = 2,      // learned from a peer
+  kCustomer = 3,  // learned from a customer (most preferred)
+  kSelf = 4,      // origin
+};
+
+// One AS's best route toward a given origin AS.
+struct RouteEntry {
+  RouteClass route_class = RouteClass::kNone;
+  std::uint8_t path_length = 0;  // AS hops to the origin
+  AsId next_hop;                 // invalid for kSelf / kNone
+  bool has_route() const { return route_class != RouteClass::kNone; }
+};
+
+// Per-origin routing state for every AS in the world.
+class BgpSimulator {
+ public:
+  explicit BgpSimulator(const World& world);
+
+  // Best routes of every AS toward `origin` (vector indexed by AsId).
+  // Computed once per origin and cached.
+  const std::vector<RouteEntry>& routes_to(AsId origin) const;
+
+  // The AS path from `from` toward `origin` (inclusive of both ends);
+  // empty when no route exists.
+  std::vector<AsId> path(AsId from, AsId origin) const;
+
+  // True when `from` has any route toward `origin`.
+  bool reachable(AsId from, AsId origin) const;
+
+  const World& world() const { return *world_; }
+
+ private:
+  void compute(AsId origin, std::vector<RouteEntry>& table) const;
+
+  const World* world_;
+  mutable std::vector<std::vector<RouteEntry>> cache_;
+  mutable std::vector<bool> cached_;
+};
+
+// A BGP snapshot as seen from a set of collector-feeding ASes: the prefixes
+// that reach at least one feed, each mapped to its origin ASN, plus the AS
+// links appearing on the feeds' best paths (the synthetic CAIDA AS-rel
+// dataset).
+struct BgpSnapshot {
+  PrefixTrie<Asn> origin_of;                    // prefix → origin ASN
+  std::unordered_set<std::uint64_t> as_links;   // canonical (lo,hi) ASN pairs
+
+  static std::uint64_t link_key(Asn a, Asn b) {
+    const std::uint32_t lo = a.value < b.value ? a.value : b.value;
+    const std::uint32_t hi = a.value < b.value ? b.value : a.value;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+  bool link_visible(Asn a, Asn b) const {
+    return as_links.count(link_key(a, b)) > 0;
+  }
+};
+
+struct SnapshotOptions {
+  // Fraction of each AS's announced blocks withheld from this snapshot when
+  // the block is flagged "intermittently announced" (drives the Table 1
+  // WHOIS→BGP shift between rounds 1 and 2).
+  bool include_intermittent = true;
+  // Seed for selecting which prefixes are intermittent; the same seed yields
+  // the same intermittent set so round-1/round-2 snapshots differ only by
+  // `include_intermittent`.
+  std::uint64_t intermittent_seed = 7;
+  double intermittent_fraction = 0.22;
+};
+
+// Build a snapshot from the given collector feed ASes. A prefix appears if
+// its origin's announcement propagates to at least one feed under
+// Gao-Rexford export rules; an AS link appears if it lies on a feed's best
+// path toward some origin.
+//
+// Cloud peering specifics: a cloud's prefixes propagate over an interconnect
+// only as far as its export scope allows — VPI announcements stay between
+// the two parties (never reach collectors); public-IXP and cross-connect
+// peerings export into the client's customer cone. The AS link Amazon-X is
+// therefore collector-visible only when X re-exports Amazon routes to a
+// cone containing a feed, which is exactly the paper's B/nB distinction.
+BgpSnapshot build_snapshot(const World& world, const BgpSimulator& sim,
+                           const std::vector<AsId>& collector_feeds,
+                           const SnapshotOptions& options = {});
+
+// Default collector-feed selection: every tier-1 plus a sample of tier-2s
+// (mirrors RouteViews/RIPE peering with large transit networks).
+std::vector<AsId> default_collector_feeds(const World& world,
+                                          std::uint64_t seed = 11,
+                                          double tier2_fraction = 0.3);
+
+// Customer-cone sizes, in /24 equivalents, for every AS (indexed by AsId):
+// the "BGP /24" feature of Fig. 6.
+std::vector<std::uint64_t> customer_cone_slash24s(const World& world);
+
+}  // namespace cloudmap

@@ -1,0 +1,137 @@
+#include "controlplane/dns.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/rng.h"
+
+namespace cloudmap {
+
+namespace {
+
+std::string lowercase_compact(const std::string& text) {
+  std::string out;
+  for (char ch : text)
+    if (!std::isspace(static_cast<unsigned char>(ch)))
+      out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(ch))));
+  return out;
+}
+
+std::string lowercase(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return text;
+}
+
+}  // namespace
+
+DnsRegistry DnsRegistry::from_world(const World& world,
+                                    const DnsOptions& options) {
+  DnsRegistry registry;
+  Rng rng(options.seed);
+
+  // Identify the true-VPI client interfaces so they can carry dx/vlan hints.
+  std::unordered_map<std::uint32_t, bool> vpi_client_interface;
+  for (const GroundTruthInterconnect& ic : world.interconnects) {
+    if (ic.kind == PeeringKind::kVpi && !ic.private_address)
+      vpi_client_interface[ic.client_interface.value] = true;
+  }
+
+  for (std::uint32_t i = 0; i < world.interfaces.size(); ++i) {
+    const Interface& iface = world.interfaces[i];
+    const Router& router = world.routers[iface.router.value];
+    const AutonomousSystem& owner = world.ases[router.owner.value];
+    if (owner.type == AsType::kCloud) continue;  // no ABI reverse names
+    if (iface.address.is_private() || iface.address.is_shared()) continue;
+    if (!rng.chance(options.coverage)) continue;
+
+    MetroId metro = router.metro;
+    if (rng.chance(options.wrong_location)) {
+      metro = MetroId{
+          static_cast<std::uint32_t>(rng.bounded(world.metros.size()))};
+    }
+    const Metro& m = world.metro(metro);
+
+    std::string middle;
+    const bool is_vpi = vpi_client_interface.count(i) > 0;
+    if (is_vpi && rng.chance(options.dx_keyword_on_vpi)) {
+      static const char* kDxStyles[] = {"dxvif", "dxcon", "awsdx", "aws-dx"};
+      middle = std::string(kDxStyles[rng.bounded(4)]) + "-" +
+               std::to_string(rng.bounded(0xffff));
+    } else if (is_vpi && rng.chance(options.vlan_tag_on_vpi)) {
+      middle = "vl-" + std::to_string(100 + rng.bounded(3900));
+    } else {
+      middle = "ae-" + std::to_string(rng.bounded(16));
+    }
+
+    // Two naming dialects: airport-code based and city-name based.
+    std::string name;
+    if (rng.chance(0.6)) {
+      name = middle + "." + m.airport_code +
+             lowercase(m.country).substr(0, 2) +
+             std::to_string(1 + rng.bounded(9)) + "." +
+             lowercase(m.country) + ".bb." + owner.name + ".net";
+    } else {
+      name = middle + "." + lowercase_compact(m.name) + ".core" +
+             std::to_string(1 + rng.bounded(4)) + "." + owner.name + ".net";
+    }
+    registry.names_[iface.address.value()] = std::move(name);
+  }
+  return registry;
+}
+
+std::optional<std::string> DnsRegistry::name_of(Ipv4 address) const {
+  const auto it = names_.find(address.value());
+  if (it == names_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<MetroId> parse_dns_location(const std::string& name,
+                                          const World& world) {
+  const std::string lower = lowercase(name);
+  // Tokenize on dots and dashes; look for airport codes (as standalone
+  // token prefixes, e.g. "atlus3") and compact city names.
+  std::vector<std::string> tokens;
+  std::string token;
+  for (char ch : lower) {
+    if (ch == '.' || ch == '-') {
+      if (!token.empty()) tokens.push_back(token);
+      token.clear();
+    } else {
+      token.push_back(ch);
+    }
+  }
+  if (!token.empty()) tokens.push_back(token);
+
+  for (std::uint32_t m = 0; m < world.metros.size(); ++m) {
+    const std::string code = world.metros[m].airport_code;
+    const std::string city = lowercase_compact(world.metros[m].name);
+    for (const std::string& tok : tokens) {
+      // Airport codes appear as a token prefix followed by region/sequence
+      // characters ("atlus3"); require enough of a match to avoid noise.
+      if (tok.size() >= 3 && tok.size() <= 8 && tok.compare(0, 3, code) == 0)
+        return MetroId{m};
+      if (tok == city) return MetroId{m};
+    }
+  }
+  return std::nullopt;
+}
+
+bool dns_has_vlan_tag(const std::string& name) {
+  const std::string lower = lowercase(name);
+  const std::size_t pos = lower.find("vl-");
+  if (pos == std::string::npos) return false;
+  return pos + 3 < lower.size() &&
+         std::isdigit(static_cast<unsigned char>(lower[pos + 3]));
+}
+
+bool dns_has_dx_keyword(const std::string& name) {
+  const std::string lower = lowercase(name);
+  return lower.find("dxvif") != std::string::npos ||
+         lower.find("dxcon") != std::string::npos ||
+         lower.find("awsdx") != std::string::npos ||
+         lower.find("aws-dx") != std::string::npos;
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,57 @@
+// Synthetic reverse-DNS registry plus a DRoP-style name parser.
+//
+// Operators embed POP locations in interface names ("...atlnga05.us.bb.
+// gin.ntt.net"), and AWS Direct Connect virtual interfaces often carry
+// "dxvif"/VLAN markers. The generator-side synthesis writes names with the
+// router's true metro (occasionally a stale/wrong one); the parser side
+// recovers location hints using only public knowledge (airport codes, city
+// names) — it is the basis of the DNS anchors (§6.1) and of the §7.3
+// VPI-keyword evidence.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "net/ids.h"
+#include "net/ipv4.h"
+#include "topology/world.h"
+
+namespace cloudmap {
+
+struct DnsOptions {
+  double coverage = 0.42;         // fraction of client interfaces with PTRs
+  double wrong_location = 0.03;   // stale records embedding another metro
+  double vlan_tag_on_vpi = 0.05;  // VPI interfaces carrying "vl-<tag>"
+  double dx_keyword_on_vpi = 0.04;  // VPI interfaces carrying dxvif/dxcon
+  std::uint64_t seed = 19;
+};
+
+class DnsRegistry {
+ public:
+  // Synthesize PTR records for client-owned interfaces. Cloud border
+  // interfaces get none (the paper found no ABI reverse names).
+  static DnsRegistry from_world(const World& world,
+                                const DnsOptions& options = {});
+
+  std::optional<std::string> name_of(Ipv4 address) const;
+  std::size_t record_count() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, std::string> names_;
+};
+
+// --- parsing (uses only public geography knowledge) ---
+
+// Extract a metro hint from a DNS name by matching airport codes and city
+// names against the metro table. Returns nullopt when no token matches.
+std::optional<MetroId> parse_dns_location(const std::string& name,
+                                          const World& world);
+
+// "vl-<digits>" VLAN markers.
+bool dns_has_vlan_tag(const std::string& name);
+
+// Direct-connect virtual-interface keywords: dxvif, dxcon, awsdx, aws-dx.
+bool dns_has_dx_keyword(const std::string& name);
+
+}  // namespace cloudmap

@@ -1,0 +1,130 @@
+#include "controlplane/peeringdb.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace cloudmap {
+
+namespace {
+const std::vector<Asn> kNoTenants;
+const std::vector<ColoId> kNoColos;
+const std::vector<IxpId> kNoIxps;
+}  // namespace
+
+PeeringDb PeeringDb::from_world(const World& world,
+                                const PeeringDbOptions& options) {
+  PeeringDb db;
+  Rng rng(options.seed);
+
+  for (std::uint32_t x = 0; x < world.ixps.size(); ++x) {
+    db.ixp_by_prefix_.insert(world.ixps[x].peering_prefix, IxpId{x});
+    db.ixp_prefixes_.emplace_back(IxpId{x}, world.ixps[x].peering_prefix);
+  }
+
+  // Tenancies: an AS is a tenant of a colo when one of its routers sits in
+  // the facility or it terminates an interconnect there. Listed with
+  // self-reporting gaps.
+  auto list_tenancy = [&](AsId as_id, ColoId colo) {
+    if (!colo.valid()) return;
+    const Asn asn = world.ases[as_id.value].asn;
+    auto& tenants = db.tenants_by_colo_[colo.value];
+    if (std::find(tenants.begin(), tenants.end(), asn) != tenants.end())
+      return;
+    if (!rng.chance(options.tenant_coverage)) return;
+    tenants.push_back(asn);
+    db.colos_by_asn_[asn.value].push_back(colo);
+  };
+
+  for (const Router& router : world.routers)
+    if (router.colo.valid()) list_tenancy(router.owner, router.colo);
+  for (const GroundTruthInterconnect& ic : world.interconnects) {
+    if (ic.private_address) continue;  // invisible even to self-reporting
+    list_tenancy(ic.client, ic.colo);
+    list_tenancy(world.cloud_primary(ic.cloud), ic.colo);
+  }
+
+  // IXP participations and per-member LAN IP assignments.
+  for (const GroundTruthInterconnect& ic : world.interconnects) {
+    if (ic.kind != PeeringKind::kPublicIxp) continue;
+    const ColoFacility& colo = world.colo(ic.colo);
+    if (!colo.ixp.valid()) continue;
+    if (!rng.chance(options.participant_coverage)) continue;
+    const Asn asn = world.ases[ic.client.value].asn;
+    db.lan_assignments_[world.interfaces[ic.client_interface.value]
+                            .address.value()] = asn;
+    db.lan_assignments_[world.interfaces[ic.cloud_interface.value]
+                            .address.value()] =
+        world.ases[world.cloud_primary(ic.cloud).value].asn;
+    auto& list = db.ixps_by_asn_[asn.value];
+    if (std::find(list.begin(), list.end(), colo.ixp) == list.end())
+      list.push_back(colo.ixp);
+    const Asn cloud_asn =
+        world.ases[world.cloud_primary(ic.cloud).value].asn;
+    auto& cloud_list = db.ixps_by_asn_[cloud_asn.value];
+    if (std::find(cloud_list.begin(), cloud_list.end(), colo.ixp) ==
+        cloud_list.end())
+      cloud_list.push_back(colo.ixp);
+  }
+
+  return db;
+}
+
+std::optional<IxpId> PeeringDb::ixp_of(Ipv4 address) const {
+  const IxpId* id = ixp_by_prefix_.lookup(address);
+  if (id == nullptr) return std::nullopt;
+  return *id;
+}
+
+std::optional<Asn> PeeringDb::lan_member(Ipv4 address) const {
+  const auto it = lan_assignments_.find(address.value());
+  if (it == lan_assignments_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<Asn>& PeeringDb::tenants(ColoId colo) const {
+  const auto it = tenants_by_colo_.find(colo.value);
+  return it == tenants_by_colo_.end() ? kNoTenants : it->second;
+}
+
+const std::vector<ColoId>& PeeringDb::facilities(Asn asn) const {
+  const auto it = colos_by_asn_.find(asn.value);
+  return it == colos_by_asn_.end() ? kNoColos : it->second;
+}
+
+const std::vector<IxpId>& PeeringDb::participations(Asn asn) const {
+  const auto it = ixps_by_asn_.find(asn.value);
+  return it == ixps_by_asn_.end() ? kNoIxps : it->second;
+}
+
+std::vector<MetroId> PeeringDb::metro_footprint(const World& world,
+                                                Asn asn) const {
+  std::unordered_set<std::uint32_t> metros;
+  for (ColoId colo : facilities(asn))
+    metros.insert(world.colo(colo).metro.value);
+  for (IxpId ixp : participations(asn))
+    for (MetroId metro : world.ixp(ixp).metros) metros.insert(metro.value);
+  std::vector<MetroId> out;
+  out.reserve(metros.size());
+  for (std::uint32_t m : metros) out.push_back(MetroId{m});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<MetroId> PeeringDb::cloud_metros(const World& world,
+                                             CloudProvider provider) const {
+  std::unordered_set<std::uint32_t> metros;
+  // Published native-facility list (the AWS Direct Connect locations page).
+  for (const ColoFacility& colo : world.colos)
+    if (colo.is_native(provider)) metros.insert(colo.metro.value);
+  // Plus PeeringDB-listed presence of the cloud's ASN.
+  const Asn asn = world.ases[world.cloud_primary(provider).value].asn;
+  for (MetroId metro : metro_footprint(world, asn)) metros.insert(metro.value);
+  std::vector<MetroId> out;
+  out.reserve(metros.size());
+  for (std::uint32_t m : metros) out.push_back(MetroId{m});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace cloudmap

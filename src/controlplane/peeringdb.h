@@ -1,0 +1,73 @@
+// Synthetic PeeringDB / PCH / CAIDA-IXP datasets: IXP peering prefixes,
+// IXP participant lists, and colo-facility tenant lists. The paper uses
+// these for (i) marking hops on IXP LANs (§3), (ii) the single-colo/metro
+// footprint anchors (§6.1), and (iii) the list of metros where Amazon is
+// present (§6.2's coverage evaluation). Like the real database, coverage is
+// self-reported and incomplete.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ids.h"
+#include "net/ipv4.h"
+#include "net/prefix_trie.h"
+#include "topology/world.h"
+
+namespace cloudmap {
+
+struct PeeringDbOptions {
+  double tenant_coverage = 0.82;       // chance a colo tenancy is listed
+  double participant_coverage = 0.9;   // chance an IXP membership is listed
+  std::uint64_t seed = 17;
+};
+
+class PeeringDb {
+ public:
+  static PeeringDb from_world(const World& world,
+                              const PeeringDbOptions& options = {});
+
+  // IXP whose peering LAN contains `address`, if any.
+  std::optional<IxpId> ixp_of(Ipv4 address) const;
+
+  // Member ASN assigned a specific IXP LAN address (PeeringDB publishes
+  // per-member LAN IP assignments; traIXroute-style annotation keys on
+  // them). nullopt for unlisted assignments.
+  std::optional<Asn> lan_member(Ipv4 address) const;
+
+  // All registered IXPs with their LAN prefixes.
+  const std::vector<std::pair<IxpId, Prefix>>& ixp_prefixes() const {
+    return ixp_prefixes_;
+  }
+
+  // Listed tenant ASNs of a colo facility.
+  const std::vector<Asn>& tenants(ColoId colo) const;
+
+  // Listed facilities of an ASN (reverse index).
+  const std::vector<ColoId>& facilities(Asn asn) const;
+
+  // Listed IXP participations of an ASN.
+  const std::vector<IxpId>& participations(Asn asn) const;
+
+  // Metros in which the ASN has any listed presence (facility or IXP).
+  // Metro-footprint anchoring (§6.1) keys on the size of this set.
+  std::vector<MetroId> metro_footprint(const World& world, Asn asn) const;
+
+  // Metros where a given cloud provider has a listed presence — the
+  // "Amazon is present in 74 metro areas" list of §6.2.
+  std::vector<MetroId> cloud_metros(const World& world,
+                                    CloudProvider provider) const;
+
+ private:
+  PrefixTrie<IxpId> ixp_by_prefix_;
+  std::vector<std::pair<IxpId, Prefix>> ixp_prefixes_;
+  std::unordered_map<std::uint32_t, Asn> lan_assignments_;
+  std::unordered_map<std::uint32_t, std::vector<Asn>> tenants_by_colo_;
+  std::unordered_map<std::uint32_t, std::vector<ColoId>> colos_by_asn_;
+  std::unordered_map<std::uint32_t, std::vector<IxpId>> ixps_by_asn_;
+};
+
+}  // namespace cloudmap

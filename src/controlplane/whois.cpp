@@ -1,0 +1,26 @@
+#include "controlplane/whois.h"
+
+#include "util/rng.h"
+
+namespace cloudmap {
+
+WhoisRegistry WhoisRegistry::from_world(const World& world, double coverage,
+                                        std::uint64_t seed) {
+  WhoisRegistry registry;
+  Rng rng(seed);
+  world.prefix_owner.for_each([&](const Prefix& prefix, const AsId& owner) {
+    // Private/shared space has no public WHOIS records.
+    if (prefix.network().is_private() || prefix.network().is_shared()) return;
+    if (coverage < 1.0 && !rng.chance(coverage)) return;
+    registry.records_.insert(prefix, world.ases[owner.value].asn);
+  });
+  return registry;
+}
+
+std::optional<Asn> WhoisRegistry::lookup(Ipv4 address) const {
+  const Asn* asn = records_.lookup(address);
+  if (asn == nullptr) return std::nullopt;
+  return *asn;
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,36 @@
+// Synthetic WHOIS registry (RIR allocation database). The paper annotates
+// the ~7% of public-space hops that no AS announced during the campaign by
+// falling back to WHOIS ownership (§3); Amazon's interconnect /30s and most
+// ABI addressing live in exactly this kind of allocated-but-unannounced
+// space (Table 1's WHOIS columns).
+#pragma once
+
+#include <optional>
+
+#include "net/ids.h"
+#include "net/ipv4.h"
+#include "net/prefix_trie.h"
+#include "topology/world.h"
+
+namespace cloudmap {
+
+class WhoisRegistry {
+ public:
+  // Build the registry from ground truth: every allocated block (announced
+  // or not) is registered to its owner, the way RIR databases record
+  // allocations regardless of routing. Coverage can be degraded to model
+  // stale/missing records.
+  static WhoisRegistry from_world(const World& world, double coverage = 1.0,
+                                  std::uint64_t seed = 13);
+
+  // ASN registered for the block containing `address` (nullopt if the
+  // address is unallocated or the record is missing).
+  std::optional<Asn> lookup(Ipv4 address) const;
+
+  std::size_t record_count() const { return records_.size(); }
+
+ private:
+  PrefixTrie<Asn> records_;
+};
+
+}  // namespace cloudmap

@@ -1,0 +1,232 @@
+#include "core/pipeline.h"
+
+namespace cloudmap {
+
+Pipeline::Pipeline(const World& world, PipelineOptions options)
+    : world_(&world),
+      options_(std::move(options)),
+      annotator_(nullptr, nullptr, nullptr, nullptr) {
+  bgp_ = std::make_unique<BgpSimulator>(world);
+
+  const auto feeds = default_collector_feeds(world, options_.seed + 11);
+  SnapshotOptions round1_options = options_.snapshot;
+  round1_options.include_intermittent = false;
+  snapshot1_ = build_snapshot(world, *bgp_, feeds, round1_options);
+  SnapshotOptions round2_options = options_.snapshot;
+  round2_options.include_intermittent = true;
+  snapshot2_ = build_snapshot(world, *bgp_, feeds, round2_options);
+
+  whois_ = WhoisRegistry::from_world(world);
+  as2org_ = As2Org::from_world(world);
+  peeringdb_ = PeeringDb::from_world(world, options_.peeringdb);
+  dns_ = DnsRegistry::from_world(world, options_.dns);
+  cones_ = customer_cone_slash24s(world);
+  for (AsId id : world.cloud_ases[static_cast<int>(options_.subject)])
+    subject_asns_.push_back(world.ases[id.value].asn);
+
+  forwarder_ = std::make_unique<Forwarder>(world, *bgp_);
+  annotator_ = Annotator(&snapshot1_, &whois_, &as2org_, &peeringdb_);
+
+  CampaignConfig campaign_config = options_.campaign;
+  campaign_config.seed ^= options_.seed;
+  campaign_ =
+      std::make_unique<Campaign>(world, *forwarder_, options_.subject,
+                                 campaign_config);
+  rtts_ = std::make_unique<RttCampaign>(
+      *forwarder_, campaign_->vantage_points(), options_.seed + 101);
+
+  // Public-Internet vantage: a router of the first access network (a stand-
+  // in for the paper's University of Oregon node).
+  for (const AutonomousSystem& as : world.ases) {
+    if (as.type == AsType::kAccess && !as.routers.empty()) {
+      public_vp_ = VantagePoint::public_node(as.routers.front(), "public-vp");
+      break;
+    }
+  }
+}
+
+Pipeline::~Pipeline() = default;
+
+void Pipeline::ensure_round1() {
+  if (round1_) return;
+  annotator_.set_snapshot(&snapshot1_);
+  round1_ = campaign_->run_round1(annotator_);
+}
+
+void Pipeline::ensure_round2() {
+  ensure_round1();
+  if (round2_) return;
+  // §4.2: expansion probing, annotated against the fresher snapshot.
+  annotator_.set_snapshot(&snapshot2_);
+  round2_ = campaign_->run_round2(annotator_);
+}
+
+void Pipeline::ensure_heuristics() {
+  ensure_round2();
+  if (heuristics_) return;
+  annotator_.set_snapshot(&snapshot2_);
+  HeuristicVerifier verifier(*forwarder_, annotator_,
+                             campaign_->subject_org(), public_vp_);
+  heuristics_ = verifier.apply(campaign_->fabric());
+}
+
+void Pipeline::ensure_alias() {
+  ensure_heuristics();
+  if (alias_stats_) return;
+  AliasOptions alias_options = options_.alias;
+  alias_options.seed ^= options_.seed;
+  alias_verifier_ = std::make_unique<AliasVerifier>(
+      *forwarder_, annotator_, campaign_->subject_org(), alias_options);
+  alias_stats_ = alias_verifier_->apply(campaign_->fabric(),
+                                        campaign_->vantage_points());
+}
+
+void Pipeline::ensure_vpis() {
+  ensure_alias();
+  if (vpis_) return;
+  VpiDetector detector(*world_, *forwarder_, annotator_, options_.seed + 31);
+  vpis_ = detector.detect(*campaign_, options_.foreign_clouds);
+}
+
+void Pipeline::ensure_anchors() {
+  ensure_alias();
+  if (anchors_) return;
+  anchors_ = pinner().identify_anchors();
+}
+
+void Pipeline::ensure_pinning() {
+  ensure_anchors();
+  if (pinning_) return;
+  pinning_ = pinner().propagate(*anchors_);
+}
+
+const RoundStats& Pipeline::round1() {
+  ensure_round1();
+  return *round1_;
+}
+const RoundStats& Pipeline::round2() {
+  ensure_round2();
+  return *round2_;
+}
+const HeuristicCounts& Pipeline::heuristics() {
+  ensure_heuristics();
+  return *heuristics_;
+}
+const AliasVerifyStats& Pipeline::alias_verification() {
+  ensure_alias();
+  return *alias_stats_;
+}
+const VpiDetectionResult& Pipeline::vpis() {
+  ensure_vpis();
+  return *vpis_;
+}
+const AnchorSet& Pipeline::anchors() {
+  ensure_anchors();
+  return *anchors_;
+}
+const PinningResult& Pipeline::pinning() {
+  ensure_pinning();
+  return *pinning_;
+}
+
+void Pipeline::run_all() {
+  ensure_vpis();
+  ensure_pinning();
+}
+
+const AliasSets& Pipeline::alias_sets() {
+  ensure_alias();
+  return alias_verifier_->sets();
+}
+
+Pinner& Pipeline::pinner() {
+  ensure_alias();
+  if (!pinner_) {
+    Pinner::Inputs inputs;
+    inputs.fabric = &campaign_->fabric();
+    inputs.annotator = &annotator_;
+    inputs.peeringdb = &peeringdb_;
+    inputs.dns = &dns_;
+    inputs.aliases = &alias_verifier_->sets();
+    inputs.world = world_;
+    inputs.rtts = rtts_.get();
+    inputs.vps = &campaign_->vantage_points();
+    pinner_ = std::make_unique<Pinner>(inputs, options_.pinning);
+  }
+  return *pinner_;
+}
+
+PeeringClassifier Pipeline::classifier() {
+  const std::unordered_set<std::uint32_t>* vpi_set =
+      vpis_ ? &vpis_->vpi_cbis : nullptr;
+  return PeeringClassifier(&annotator_, &snapshot2_, subject_asns_, vpi_set);
+}
+
+std::uint64_t Pipeline::cone_of(Asn asn) const {
+  const auto it = world_->as_by_asn.find(asn.value);
+  if (it == world_->as_by_asn.end()) return 0;
+  return cones_[it->second.value];
+}
+
+InferenceScore Pipeline::score() const {
+  InferenceScore out;
+  std::unordered_set<std::uint32_t> true_cbis;
+  for (const GroundTruthInterconnect& ic : world_->interconnects) {
+    if (ic.cloud != options_.subject) continue;
+    ++out.true_interconnects;
+    if (ic.private_address) continue;
+    ++out.discoverable_interconnects;
+    true_cbis.insert(
+        world_->interfaces[ic.client_interface.value].address.value());
+  }
+  // Client border routers of the subject's interconnects.
+  std::unordered_set<std::uint32_t> client_border_routers;
+  for (const GroundTruthInterconnect& ic : world_->interconnects) {
+    if (ic.cloud != options_.subject || ic.private_address) continue;
+    client_border_routers.insert(
+        world_->interfaces[ic.client_interface.value].router.value);
+  }
+
+  const auto inferred = campaign_->fabric().unique_cbis();
+  out.inferred_cbis = inferred.size();
+  std::unordered_set<std::uint32_t> matched;
+  std::unordered_set<std::uint32_t> matched_routers;
+  for (const std::uint32_t cbi : inferred) {
+    if (true_cbis.count(cbi)) {
+      ++out.inferred_true_cbis;
+      matched.insert(cbi);
+    }
+    const InterfaceId iface = world_->find_interface(Ipv4(cbi));
+    if (iface.valid()) {
+      const std::uint32_t router = world_->interface(iface).router.value;
+      if (client_border_routers.count(router)) {
+        ++out.inferred_client_router_cbis;
+        matched_routers.insert(router);
+      }
+    }
+  }
+  // Discovered interconnects: planted client interfaces we actually saw
+  // (several interconnects can share a client address on a shared port),
+  // and — looser — client border routers observed through any interface.
+  for (const GroundTruthInterconnect& ic : world_->interconnects) {
+    if (ic.cloud != options_.subject || ic.private_address) continue;
+    const Interface& client = world_->interfaces[ic.client_interface.value];
+    if (matched.count(client.address.value())) ++out.discovered;
+    if (matched_routers.count(client.router.value))
+      ++out.discovered_router_level;
+  }
+  return out;
+}
+
+std::unordered_set<std::uint32_t> Pipeline::peer_asns() {
+  ensure_alias();
+  std::unordered_set<std::uint32_t> out;
+  const PeeringClassifier cls = classifier();
+  for (const InferredSegment& segment : campaign_->fabric().segments()) {
+    const Asn owner = cls.segment_owner(segment);
+    if (!owner.is_unknown()) out.insert(owner.value);
+  }
+  return out;
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,185 @@
+// The one-call facade over the whole reproduction: builds the measurement
+// substrate views (BGP snapshots, WHOIS, AS2ORG, PeeringDB, DNS), runs the
+// two traceroute rounds, the §5 verification, the §6 pinning, the §7.1 VPI
+// detection, and exposes the analysis products each bench/table needs.
+//
+// Stages are lazy and memoized: ask for a late-stage artifact and every
+// prerequisite runs exactly once. Examples use run_all(); benches can drive
+// stages individually.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "alias/midar.h"
+#include "analysis/dns_evidence.h"
+#include "analysis/features.h"
+#include "analysis/graph.h"
+#include "analysis/grouping.h"
+#include "bdrmap/bdrmap.h"
+#include "controlplane/as2org.h"
+#include "controlplane/bgp.h"
+#include "controlplane/dns.h"
+#include "controlplane/peeringdb.h"
+#include "controlplane/whois.h"
+#include "dataplane/forwarding.h"
+#include "dataplane/ping.h"
+#include "infer/alias_verify.h"
+#include "infer/campaign.h"
+#include "infer/heuristics.h"
+#include "pinning/evaluate.h"
+#include "pinning/pinning.h"
+#include "topology/generator.h"
+#include "vpi/detector.h"
+
+namespace cloudmap {
+
+struct PipelineOptions {
+  CloudProvider subject = CloudProvider::kAmazon;
+  std::uint64_t seed = 1;
+  CampaignConfig campaign;
+  AliasOptions alias;
+  PinningOptions pinning;
+  SnapshotOptions snapshot;
+  DnsOptions dns;
+  PeeringDbOptions peeringdb;
+  std::vector<CloudProvider> foreign_clouds = {
+      CloudProvider::kMicrosoft, CloudProvider::kGoogle, CloudProvider::kIbm,
+      CloudProvider::kOracle};
+};
+
+// Ground-truth scoring of the inferred fabric (only possible because the
+// substrate is synthetic; §9 of the paper laments the lack of exactly this).
+struct InferenceScore {
+  std::size_t true_interconnects = 0;        // all planted, subject cloud
+  std::size_t discoverable_interconnects = 0;  // excl. private-address VPIs
+  std::size_t discovered = 0;                // exact client-CBI matches
+  std::size_t discovered_router_level = 0;   // client border router observed
+  std::size_t inferred_cbis = 0;
+  std::size_t inferred_true_cbis = 0;        // inferred CBIs matching truth
+  std::size_t inferred_client_router_cbis = 0;  // CBI on some client border
+  double recall() const {
+    return discoverable_interconnects == 0
+               ? 0.0
+               : static_cast<double>(discovered) /
+                     static_cast<double>(discoverable_interconnects);
+  }
+  // Router-level recall: the interconnect's client border router was seen as
+  // a CBI even if through a different interface (Fig. 2 shifts the paper
+  // could not always correct either).
+  double router_recall() const {
+    return discoverable_interconnects == 0
+               ? 0.0
+               : static_cast<double>(discovered_router_level) /
+                     static_cast<double>(discoverable_interconnects);
+  }
+  double precision() const {
+    return inferred_cbis == 0 ? 0.0
+                              : static_cast<double>(inferred_true_cbis) /
+                                    static_cast<double>(inferred_cbis);
+  }
+  // Router-level precision: fraction of inferred CBIs on true client border
+  // routers (as opposed to deeper client-internal or wrong-side interfaces).
+  double router_precision() const {
+    return inferred_cbis == 0
+               ? 0.0
+               : static_cast<double>(inferred_client_router_cbis) /
+                     static_cast<double>(inferred_cbis);
+  }
+};
+
+class Pipeline {
+ public:
+  // The world must outlive the pipeline.
+  Pipeline(const World& world, PipelineOptions options = {});
+  ~Pipeline();
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  // --- staged execution (each memoized) ---
+  const RoundStats& round1();
+  const RoundStats& round2();
+  const HeuristicCounts& heuristics();          // §5.1
+  const AliasVerifyStats& alias_verification(); // §5.2
+  const VpiDetectionResult& vpis();             // §7.1
+  const AnchorSet& anchors();                   // §6.1
+  const PinningResult& pinning();               // §6.1
+  void run_all();
+
+  // --- components (prepared on construction) ---
+  const World& world() const { return *world_; }
+  const Forwarder& forwarder() const { return *forwarder_; }
+  const BgpSimulator& bgp() const { return *bgp_; }
+  const BgpSnapshot& snapshot_round1() const { return snapshot1_; }
+  const BgpSnapshot& snapshot_round2() const { return snapshot2_; }
+  const WhoisRegistry& whois() const { return whois_; }
+  const As2Org& as2org() const { return as2org_; }
+  const PeeringDb& peeringdb() const { return peeringdb_; }
+  const DnsRegistry& dns() const { return dns_; }
+  Campaign& campaign() { return *campaign_; }
+  const Annotator& annotator() const { return annotator_; }
+  const AliasSets& alias_sets();
+  Pinner& pinner();
+  RttCampaign& rtts() { return *rtts_; }
+  const VantagePoint& public_vantage() const { return public_vp_; }
+  const std::vector<Asn>& subject_asns() const { return subject_asns_; }
+
+  // Classifier over the verified fabric (valid once vpis() has run; before
+  // that the VPI axis is empty).
+  PeeringClassifier classifier();
+
+  // Customer-cone /24 size for an ASN (synthetic CAIDA AS-rank analogue).
+  std::uint64_t cone_of(Asn asn) const;
+
+  // Ground-truth scoring of the current fabric.
+  InferenceScore score() const;
+
+  // The unique peer ASNs of the verified fabric.
+  std::unordered_set<std::uint32_t> peer_asns();
+
+  const PipelineOptions& options() const { return options_; }
+
+ private:
+  void ensure_round1();
+  void ensure_round2();
+  void ensure_heuristics();
+  void ensure_alias();
+  void ensure_vpis();
+  void ensure_anchors();
+  void ensure_pinning();
+
+  const World* world_;
+  PipelineOptions options_;
+
+  // Control-plane views.
+  std::unique_ptr<BgpSimulator> bgp_;
+  BgpSnapshot snapshot1_;
+  BgpSnapshot snapshot2_;
+  WhoisRegistry whois_;
+  As2Org as2org_;
+  PeeringDb peeringdb_;
+  DnsRegistry dns_;
+  std::vector<std::uint64_t> cones_;
+  std::vector<Asn> subject_asns_;
+
+  // Data plane.
+  std::unique_ptr<Forwarder> forwarder_;
+  std::unique_ptr<Campaign> campaign_;
+  std::unique_ptr<RttCampaign> rtts_;
+  VantagePoint public_vp_;
+
+  Annotator annotator_;
+
+  // Stage artifacts.
+  std::optional<RoundStats> round1_;
+  std::optional<RoundStats> round2_;
+  std::optional<HeuristicCounts> heuristics_;
+  std::unique_ptr<AliasVerifier> alias_verifier_;
+  std::optional<AliasVerifyStats> alias_stats_;
+  std::optional<VpiDetectionResult> vpis_;
+  std::unique_ptr<Pinner> pinner_;
+  std::optional<AnchorSet> anchors_;
+  std::optional<PinningResult> pinning_;
+};
+
+}  // namespace cloudmap

@@ -1,0 +1,343 @@
+#include "dataplane/forwarding.h"
+
+#include <algorithm>
+
+#include "net/geo.h"
+#include "util/rng.h"
+
+namespace cloudmap {
+
+Forwarder::Forwarder(const World& world, const BgpSimulator& sim)
+    : world_(&world), sim_(&sim) {
+  // Intra-AS and inter-AS link indices.
+  for (std::uint32_t l = 0; l < world.links.size(); ++l) {
+    const Link& link = world.links[l];
+    const RouterId ra = world.interfaces[link.side_a.value].router;
+    const RouterId rb = world.interfaces[link.side_b.value].router;
+    if (link.kind == LinkKind::kIntraAs) {
+      intra_links_.emplace(key(ra.value, rb.value), LinkId{l});
+      intra_links_.emplace(key(rb.value, ra.value), LinkId{l});
+    } else if (link.kind == LinkKind::kTransit ||
+               link.kind == LinkKind::kPeer) {
+      const AsId asa = world.router_owner(ra);
+      const AsId asb = world.router_owner(rb);
+      inter_as_links_.emplace(key(asa.value, asb.value), LinkId{l});
+      inter_as_links_.emplace(key(asb.value, asa.value), LinkId{l});
+    }
+  }
+  // Announced-prefix origin table (the BGP ground truth; collector snapshots
+  // are a filtered view of this).
+  for (const AutonomousSystem& as : world.ases)
+    for (const Prefix& prefix : as.announced_prefixes)
+      announced_origin_.insert(prefix, as.asn);
+
+  // Cloud FIBs: per-interconnect announcements plus exact /32 routes for
+  // both interconnect endpoints.
+  for (std::uint32_t i = 0; i < world.interconnects.size(); ++i) {
+    const GroundTruthInterconnect& ic = world.interconnects[i];
+    if (ic.private_address) continue;
+    auto& fib = cloud_fib_[static_cast<int>(ic.cloud)];
+    const Ipv4 client_addr = world.interfaces[ic.client_interface.value].address;
+    for (const Prefix& prefix : ic.announced_to_cloud) {
+      fib.at_or_default(prefix).egress.push_back(ic.link);
+      if (ic.secondary_link.valid())
+        fib.at_or_default(prefix).egress.push_back(ic.secondary_link);
+    }
+    fib.at_or_default(Prefix(client_addr, 32)).egress.push_back(ic.link);
+    if (ic.secondary_link.valid())
+      fib.at_or_default(Prefix(client_addr, 32))
+          .egress.push_back(ic.secondary_link);
+  }
+}
+
+void Forwarder::append_link_hop(LinkId link, RouterId from_router,
+                                std::vector<ForwardHop>& hops) const {
+  const Link& l = world_->link(link);
+  const InterfaceId a = l.side_a;
+  const InterfaceId b = l.side_b;
+  const InterfaceId arrive =
+      world_->interface(a).router == from_router ? b : a;
+  const double base = hops.empty() ? 0.0 : hops.back().oneway_ms;
+  hops.push_back(ForwardHop{world_->interface(arrive).router, arrive,
+                            base + l.latency_ms});
+}
+
+std::optional<LinkId> Forwarder::intra_link(RouterId a, RouterId b) const {
+  const auto it = intra_links_.find(key(a.value, b.value));
+  if (it == intra_links_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<LinkId> Forwarder::inter_as_link(AsId a, AsId b) const {
+  const auto it = inter_as_links_.find(key(a.value, b.value));
+  if (it == inter_as_links_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+// Deterministic per-(flow, link) jitter in [0, 1): ECMP hashing stand-in.
+double flow_jitter(std::uint32_t flow_hash, std::uint32_t link) {
+  std::uint64_t state = (static_cast<std::uint64_t>(flow_hash) << 32) ^
+                        (link * 0x9e3779b97f4a7c15ULL);
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+bool Forwarder::cloud_internal_chain(RegionId region, RouterId target,
+                                     std::uint32_t flow_hash,
+                                     std::vector<ForwardHop>& hops) const {
+  const RouterId core = world_->region(region).core_router;
+  if (target == core) return true;
+  const GeoPoint& src = world_->router_location(core);
+  // Climb upstream from the target toward a core, at each step taking the
+  // attachment whose far end is closest to the source region — the border's
+  // observed upstream interface (the ABI) therefore depends on where the
+  // probe entered the backbone.
+  std::vector<LinkId> chain;
+  RouterId current = target;
+  int guard = 0;
+  while (world_->routers[current.value].uplink.valid()) {
+    const Router& router = world_->routers[current.value];
+    LinkId up = router.uplink;
+    RouterId parent;
+    {
+      const Link& l = world_->link(up);
+      const RouterId ra = world_->interface(l.side_a).router;
+      const RouterId rb = world_->interface(l.side_b).router;
+      parent = (ra == current) ? rb : ra;
+    }
+    // Score attachments by distance toward the source, with per-flow ECMP
+    // jitter so near-equal choices split across destinations.
+    auto score = [&](RouterId candidate, LinkId link) {
+      const double km =
+          candidate == core
+              ? 0.0
+              : haversine_km(src, world_->router_location(candidate));
+      return km * (1.0 + 0.35 * flow_jitter(flow_hash, link.value)) +
+             flow_jitter(flow_hash, link.value);
+    };
+    double best_score = score(parent, up);
+    for (const LinkId extra : router.extra_uplinks) {
+      const Link& l = world_->link(extra);
+      const RouterId ra = world_->interface(l.side_a).router;
+      const RouterId rb = world_->interface(l.side_b).router;
+      const RouterId candidate = (ra == current) ? rb : ra;
+      const double candidate_score = score(candidate, extra);
+      if (candidate_score < best_score) {
+        best_score = candidate_score;
+        up = extra;
+        parent = candidate;
+      }
+    }
+    chain.push_back(up);
+    current = parent;
+    if (++guard > 32) return false;
+  }
+  // `current` is now a region core; hop across the backbone mesh if needed.
+  if (current != core) {
+    const auto mesh = intra_link(core, current);
+    if (!mesh) return false;
+    append_link_hop(*mesh, core, hops);
+  }
+  // Descend the chain toward the target.
+  RouterId at = current;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    append_link_hop(*it, at, hops);
+    at = hops.back().router;
+  }
+  return at == target;
+}
+
+LinkId Forwarder::choose_egress(RegionId region,
+                                const std::vector<LinkId>& candidates,
+                                std::uint32_t flow_hash) const {
+  const GeoPoint& src =
+      world_->metro(world_->region(region).metro).location;
+  LinkId best = candidates.front();
+  double best_score = 1e18;
+  for (LinkId link : candidates) {
+    const Link& l = world_->link(link);
+    // Cloud side is side_a by construction (the generator adds the border
+    // interface first); use its router's metro for hot-potato choice, with
+    // per-destination ECMP jitter splitting near-equal candidates.
+    const RouterId border = world_->interface(l.side_a).router;
+    const double km = haversine_km(src, world_->router_location(border));
+    const double candidate_score =
+        km * (1.0 + 0.35 * flow_jitter(flow_hash, link.value)) +
+        flow_jitter(flow_hash, link.value);
+    if (candidate_score < best_score) {
+      best_score = candidate_score;
+      best = link;
+    }
+  }
+  return best;
+}
+
+PathOutcome Forwarder::walk_client_side(RouterId entry, Ipv4 dst,
+                                        std::vector<ForwardHop>& hops) const {
+  // Destination interface (if the target is an interface address) takes
+  // priority over the hosting-prefix router.
+  const InterfaceId dst_iface = world_->find_interface(dst);
+  const Asn* origin_asn = announced_origin_.lookup(dst);
+  AsId origin{};
+  if (origin_asn != nullptr) {
+    const auto it = world_->as_by_asn.find(origin_asn->value);
+    if (it != world_->as_by_asn.end()) origin = it->second;
+  } else if (dst_iface.valid()) {
+    // Unannounced interconnect space: deliverable only when the walk is
+    // already inside the owning AS (no BGP route exists toward it).
+    origin = world_->router_owner(world_->interface(dst_iface).router);
+    if (origin != world_->router_owner(entry)) return PathOutcome::kNoRoute;
+  } else {
+    return PathOutcome::kNoRoute;
+  }
+
+  RouterId current = entry;
+  AsId current_as = world_->router_owner(entry);
+  int guard = 0;
+  while (current_as != origin) {
+    if (++guard > 32) return PathOutcome::kNoRoute;
+    const RouteEntry& route = sim_->routes_to(origin)[current_as.value];
+    if (!route.has_route()) return PathOutcome::kNoRoute;
+    const AsId next = route.next_hop;
+    const auto link = inter_as_link(current_as, next);
+    if (!link) return PathOutcome::kNoRoute;
+    // Exit router of the current AS on that link.
+    const Link& l = world_->link(*link);
+    const RouterId ra = world_->interface(l.side_a).router;
+    const RouterId rb = world_->interface(l.side_b).router;
+    const RouterId exit = (world_->router_owner(ra) == current_as) ? ra : rb;
+    if (exit != current) {
+      const auto mesh = intra_link(current, exit);
+      if (!mesh) return PathOutcome::kNoRoute;
+      append_link_hop(*mesh, current, hops);
+    }
+    append_link_hop(*link, exit, hops);
+    current = hops.back().router;
+    current_as = next;
+  }
+  // Inside the origin AS: deliver to the interface's router, or to the
+  // hosting router of the covering block.
+  RouterId target;
+  if (dst_iface.valid() &&
+      world_->router_owner(world_->interface(dst_iface).router) == origin) {
+    target = world_->interface(dst_iface).router;
+  } else {
+    const RouterId* hosting = world_->hosting_router.lookup(dst);
+    if (hosting == nullptr) return PathOutcome::kNoRoute;
+    target = *hosting;
+  }
+  if (target != current) {
+    const auto mesh = intra_link(current, target);
+    if (!mesh) return PathOutcome::kNoRoute;
+    append_link_hop(*mesh, current, hops);
+  }
+  return PathOutcome::kDelivered;
+}
+
+ForwardPath Forwarder::path(const VantagePoint& vp, Ipv4 dst) const {
+  ForwardPath out;
+  if (vp.is_cloud()) {
+    const Region& region = world_->region(vp.region);
+    const RouterId core = region.core_router;
+    // First hop: the VM's gateway (the region core's host-facing interface).
+    out.hops.push_back(ForwardHop{core, region.vm_gateway, 0.25});
+
+    const auto provider_index = static_cast<int>(vp.provider);
+    const auto entry = cloud_fib_[provider_index].lookup(dst);
+    if (entry != nullptr && !entry->egress.empty()) {
+      // Prefer a direct route to the destination's origin AS over transit
+      // re-announcements of the same prefix, then hot-potato.
+      std::vector<LinkId> direct;
+      const Asn* origin_asn = announced_origin_.lookup(dst);
+      if (origin_asn != nullptr) {
+        const auto as_it = world_->as_by_asn.find(origin_asn->value);
+        if (as_it != world_->as_by_asn.end()) {
+          for (LinkId link : entry->egress) {
+            // A link is direct when its client side belongs to the origin.
+            const Link& l = world_->link(link);
+            const RouterId rb = world_->interface(l.side_b).router;
+            if (world_->router_owner(rb) == as_it->second)
+              direct.push_back(link);
+          }
+        }
+      }
+      const LinkId egress = choose_egress(
+          vp.region, direct.empty() ? entry->egress : direct, dst.value());
+      const Link& l = world_->link(egress);
+      const RouterId border = world_->interface(l.side_a).router;
+      if (!cloud_internal_chain(vp.region, border, dst.value(), out.hops)) {
+        out.outcome = PathOutcome::kNoRoute;
+        return out;
+      }
+      append_link_hop(egress, border, out.hops);
+      out.egress_interconnect = egress;
+      const RouterId client_router = out.hops.back().router;
+      // Delivered if the target is this very interface/router; otherwise
+      // continue the walk on the client side.
+      const InterfaceId dst_iface = world_->find_interface(dst);
+      if (dst_iface.valid() &&
+          world_->interface(dst_iface).router == client_router) {
+        out.outcome = PathOutcome::kDelivered;
+      } else {
+        out.outcome = walk_client_side(client_router, dst, out.hops);
+      }
+      return out;
+    }
+    // No egress FIB entry: cloud-internal destination?
+    const InterfaceId iface = world_->find_interface(dst);
+    if (iface.valid()) {
+      const RouterId router = world_->interface(iface).router;
+      const AsId owner = world_->router_owner(router);
+      const OrgId cloud_org =
+          world_->ases[world_->cloud_primary(vp.provider).value].org;
+      if (world_->ases[owner.value].org == cloud_org) {
+        if (cloud_internal_chain(vp.region, router, dst.value(), out.hops)) {
+          out.outcome = PathOutcome::kDelivered;
+          return out;
+        }
+      }
+    }
+    // Cloud-hosted block (VM space)?
+    const RouterId* hosting = world_->hosting_router.lookup(dst);
+    if (hosting != nullptr) {
+      const AsId owner = world_->router_owner(*hosting);
+      const OrgId cloud_org =
+          world_->ases[world_->cloud_primary(vp.provider).value].org;
+      if (world_->ases[owner.value].org == cloud_org &&
+          cloud_internal_chain(vp.region, *hosting, dst.value(), out.hops)) {
+        out.outcome = PathOutcome::kDelivered;
+        return out;
+      }
+    }
+    out.outcome = PathOutcome::kNoRoute;
+    return out;
+  }
+
+  // Public-Internet vantage: start at the host router, no gateway hop.
+  out.hops.push_back(ForwardHop{vp.host_router, InterfaceId{}, 0.0});
+  out.outcome = walk_client_side(vp.host_router, dst, out.hops);
+  return out;
+}
+
+std::optional<double> Forwarder::rtt_to_address(const VantagePoint& vp,
+                                                Ipv4 target) const {
+  const InterfaceId iface = world_->find_interface(target);
+  if (!iface.valid()) return std::nullopt;
+  return rtt_to_interface(vp, iface);
+}
+
+std::optional<double> Forwarder::rtt_to_interface(const VantagePoint& vp,
+                                                  InterfaceId target) const {
+  const Interface& iface = world_->interface(target);
+  const ForwardPath p = path(vp, iface.address);
+  if (p.outcome != PathOutcome::kDelivered || p.hops.empty())
+    return std::nullopt;
+  if (p.hops.back().router != iface.router) return std::nullopt;
+  if (!vp.is_cloud() &&
+      !world_->routers[iface.router.value].publicly_reachable)
+    return std::nullopt;
+  return 2.0 * p.hops.back().oneway_ms;
+}
+
+}  // namespace cloudmap

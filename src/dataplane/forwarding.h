@@ -1,0 +1,114 @@
+// Router-level forwarding over the world. The Forwarder answers one
+// question: which sequence of (router, incoming-interface, one-way latency)
+// does a packet traverse from a vantage point to a destination address?
+//
+// Route selection is two-level, mirroring reality:
+//   * AS level — cloud FIBs built from per-interconnect announcements
+//     (longest prefix, then hot-potato toward the nearest egress), and
+//     Gao-Rexford best paths for the non-cloud part of the walk;
+//   * router level — region core → backbone mesh → (aggregation) border
+//     chains inside a cloud, full-mesh IGP hops inside client ASes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "controlplane/bgp.h"
+#include "dataplane/vantage.h"
+#include "net/prefix_trie.h"
+#include "topology/world.h"
+
+namespace cloudmap {
+
+// One forwarding step: the packet arrives at `router` through `incoming`
+// having accumulated `oneway_ms` of propagation delay since the source.
+struct ForwardHop {
+  RouterId router;
+  InterfaceId incoming;
+  double oneway_ms = 0.0;
+};
+
+enum class PathOutcome : std::uint8_t {
+  kDelivered = 0,   // final hop's router hosts the destination address
+  kNoRoute,         // dropped for lack of a matching route
+};
+
+struct ForwardPath {
+  std::vector<ForwardHop> hops;
+  PathOutcome outcome = PathOutcome::kNoRoute;
+  // Set when the path crossed a cloud-client interconnect of the source
+  // cloud (the ground-truth link the probe egressed through).
+  LinkId egress_interconnect;
+};
+
+class Forwarder {
+ public:
+  // Builds FIBs and helper indices; `sim` must outlive the forwarder.
+  Forwarder(const World& world, const BgpSimulator& sim);
+
+  // Path from a vantage point to a destination address.
+  ForwardPath path(const VantagePoint& vp, Ipv4 dst) const;
+
+  // Round-trip propagation delay from a vantage point to the router owning
+  // interface `target` (no response simulation — pure geometry); nullopt
+  // when no route exists. Public vantage points additionally require the
+  // covering prefix to be BGP-announced.
+  std::optional<double> rtt_to_interface(const VantagePoint& vp,
+                                         InterfaceId target) const;
+
+  // Ping an arbitrary address: resolves it to an interface (if any) and
+  // defers to rtt_to_interface. This emulates probing an IP whose identity
+  // the prober does not know.
+  std::optional<double> rtt_to_address(const VantagePoint& vp,
+                                       Ipv4 target) const;
+
+  const BgpSimulator& bgp() const { return *sim_; }
+  const World& world() const { return *world_; }
+
+ private:
+  struct FibEntry {
+    std::vector<LinkId> egress;  // candidate interconnects
+  };
+
+  // Cloud-internal chain from a region core to a cloud router (core, border,
+  // or aggregation border), following backbone mesh + uplink chains.
+  // `flow_hash` adds per-destination ECMP variation to uplink choice.
+  bool cloud_internal_chain(RegionId region, RouterId target,
+                            std::uint32_t flow_hash,
+                            std::vector<ForwardHop>& hops) const;
+
+  // Append the hop reached by traversing `link` from `from_router`.
+  void append_link_hop(LinkId link, RouterId from_router,
+                       std::vector<ForwardHop>& hops) const;
+
+  // Intra-AS direct link between two routers of the same AS (full mesh).
+  std::optional<LinkId> intra_link(RouterId a, RouterId b) const;
+
+  // First inter-AS link between two neighboring ASes.
+  std::optional<LinkId> inter_as_link(AsId a, AsId b) const;
+
+  // Pick the hot-potato egress among candidates for a source region, with
+  // per-destination ECMP tie-breaking among near-equal choices.
+  LinkId choose_egress(RegionId region, const std::vector<LinkId>& candidates,
+                       std::uint32_t flow_hash) const;
+
+  // Walk from an entry router inside AS `current` toward the origin AS of
+  // `dst`, appending hops; returns outcome.
+  PathOutcome walk_client_side(RouterId entry, Ipv4 dst,
+                               std::vector<ForwardHop>& hops) const;
+
+  const World* world_;
+  const BgpSimulator* sim_;
+  PrefixTrie<FibEntry> cloud_fib_[kCloudProviderCount];
+  PrefixTrie<Asn> announced_origin_;  // all announced prefixes → origin ASN
+  std::unordered_map<std::uint64_t, LinkId> intra_links_;
+  std::unordered_map<std::uint64_t, LinkId> inter_as_links_;
+
+  static std::uint64_t key(std::uint32_t a, std::uint32_t b) {
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+};
+
+}  // namespace cloudmap

@@ -1,0 +1,82 @@
+#include "dataplane/ping.h"
+
+#include <algorithm>
+
+namespace cloudmap {
+
+PingProber::PingProber(const Forwarder& forwarder, std::uint64_t seed,
+                       int samples_per_target, double jitter_mean_ms)
+    : forwarder_(&forwarder),
+      rng_(seed),
+      samples_(samples_per_target),
+      jitter_mean_ms_(jitter_mean_ms) {}
+
+std::optional<double> PingProber::min_rtt(const VantagePoint& vp,
+                                          InterfaceId target) {
+  const auto base = forwarder_->rtt_to_interface(vp, target);
+  if (!base) return std::nullopt;
+  double best = 1e18;
+  for (int s = 0; s < samples_; ++s)
+    best = std::min(best, *base + rng_.exponential(jitter_mean_ms_));
+  return best;
+}
+
+std::vector<std::optional<double>> PingProber::min_rtt_matrix_row(
+    const std::vector<VantagePoint>& vps, InterfaceId target) {
+  std::vector<std::optional<double>> out;
+  out.reserve(vps.size());
+  for (const VantagePoint& vp : vps) out.push_back(min_rtt(vp, target));
+  return out;
+}
+
+RttCampaign::RttCampaign(const Forwarder& forwarder,
+                         std::vector<VantagePoint> vps, std::uint64_t seed)
+    : prober_(forwarder, seed), vps_(std::move(vps)) {}
+
+const std::vector<std::optional<double>>& RttCampaign::row(
+    InterfaceId target) {
+  auto it = cache_.find(target.value);
+  if (it == cache_.end()) {
+    it = cache_.emplace(target.value,
+                        prober_.min_rtt_matrix_row(vps_, target)).first;
+  }
+  return it->second;
+}
+
+std::optional<double> RttCampaign::rtt(std::size_t vp_index,
+                                       InterfaceId target) {
+  return row(target)[vp_index];
+}
+
+std::optional<std::pair<double, std::size_t>> RttCampaign::best_rtt(
+    InterfaceId target) {
+  const auto& rtts = row(target);
+  std::optional<std::pair<double, std::size_t>> best;
+  for (std::size_t i = 0; i < rtts.size(); ++i) {
+    if (!rtts[i]) continue;
+    if (!best || *rtts[i] < best->first) best = {{*rtts[i], i}};
+  }
+  return best;
+}
+
+std::optional<std::pair<double, double>> RttCampaign::two_best_rtts(
+    InterfaceId target) {
+  const auto& rtts = row(target);
+  double first = 1e18;
+  double second = 1e18;
+  int seen = 0;
+  for (const auto& value : rtts) {
+    if (!value) continue;
+    ++seen;
+    if (*value < first) {
+      second = first;
+      first = *value;
+    } else if (*value < second) {
+      second = *value;
+    }
+  }
+  if (seen < 2) return std::nullopt;
+  return {{first, second}};
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,68 @@
+// Min-RTT prober. The pinning methodology (§6) runs a day-long ICMP
+// campaign measuring minimum RTTs from every region to every border
+// interface; this module reproduces that: N samples per target, jitter on
+// each, minimum retained.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/forwarding.h"
+#include "dataplane/vantage.h"
+#include "util/rng.h"
+
+namespace cloudmap {
+
+class PingProber {
+ public:
+  PingProber(const Forwarder& forwarder, std::uint64_t seed,
+             int samples_per_target = 4, double jitter_mean_ms = 0.08);
+
+  // Minimum observed RTT in ms to the router owning `target`; nullopt when
+  // unreachable (or, from public vantage points, when the router does not
+  // answer the public Internet).
+  std::optional<double> min_rtt(const VantagePoint& vp,
+                                InterfaceId target);
+
+  // Min-RTT from each vantage point in `vps` (same order); unreachable
+  // entries are nullopt.
+  std::vector<std::optional<double>> min_rtt_matrix_row(
+      const std::vector<VantagePoint>& vps, InterfaceId target);
+
+ private:
+  const Forwarder* forwarder_;
+  Rng rng_;
+  int samples_;
+  double jitter_mean_ms_;
+};
+
+// Convenience holder for a full region×interface min-RTT campaign with
+// memoization; pinning and the Fig. 4/5 benches consume this.
+class RttCampaign {
+ public:
+  RttCampaign(const Forwarder& forwarder, std::vector<VantagePoint> vps,
+              std::uint64_t seed);
+
+  // Min RTT from the i-th vantage point to `target` (cached).
+  std::optional<double> rtt(std::size_t vp_index, InterfaceId target);
+
+  // Smallest min-RTT across all vantage points; second return is the index
+  // of the winning vantage point. nullopt when unreachable from everywhere.
+  std::optional<std::pair<double, std::size_t>> best_rtt(InterfaceId target);
+
+  // The two smallest min-RTTs across vantage points (for the Fig. 5 ratio);
+  // nullopt when fewer than two vantage points reach the target.
+  std::optional<std::pair<double, double>> two_best_rtts(InterfaceId target);
+
+  const std::vector<VantagePoint>& vantage_points() const { return vps_; }
+
+ private:
+  PingProber prober_;
+  std::vector<VantagePoint> vps_;
+  // Cache: interface → per-vp optional RTT.
+  std::unordered_map<std::uint32_t, std::vector<std::optional<double>>> cache_;
+  const std::vector<std::optional<double>>& row(InterfaceId target);
+};
+
+}  // namespace cloudmap

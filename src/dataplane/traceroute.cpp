@@ -1,0 +1,102 @@
+#include "dataplane/traceroute.h"
+
+namespace cloudmap {
+
+TracerouteEngine::TracerouteEngine(const Forwarder& forwarder,
+                                   std::uint64_t seed,
+                                   TracerouteOptions options)
+    : forwarder_(&forwarder), rng_(seed), options_(options) {}
+
+double TracerouteEngine::jitter() {
+  double extra = rng_.exponential(options_.jitter_mean_ms);
+  if (rng_.chance(options_.queueing_probability))
+    extra += rng_.uniform(0.0, options_.queueing_max_ms);
+  return extra;
+}
+
+TracerouteRecord TracerouteEngine::trace(const VantagePoint& vp, Ipv4 dst) {
+  const World& world = forwarder_->world();
+  TracerouteRecord record;
+  record.vantage = vp;
+  record.destination = dst;
+
+  const ForwardPath path = forwarder_->path(vp, dst);
+  record.true_egress = path.egress_interconnect;
+
+  int consecutive_misses = 0;
+  for (const ForwardHop& hop : path.hops) {
+    ++probes_sent_;
+    const Router& router = world.router(hop.router);
+    TracerouteHop out;
+    const bool answers = router.reply_policy != ReplyPolicy::kSilent &&
+                         rng_.chance(router.response_probability);
+    if (answers) {
+      InterfaceId reply = hop.incoming;
+      if (router.reply_policy == ReplyPolicy::kFixedInterface)
+        reply = router.fixed_reply;
+      if (!reply.valid() && !router.interfaces.empty())
+        reply = router.interfaces.front();
+      if (reply.valid()) {
+        out.address = world.interface(reply).address;
+        out.rtt_ms = 2.0 * hop.oneway_ms + jitter();
+        out.responded = true;
+      }
+    }
+    if (out.responded) {
+      consecutive_misses = 0;
+      // Rare forwarding-loop artifact: repeat the previous answered hop.
+      if (record.hops.size() > 1 && rng_.chance(options_.loop_probability)) {
+        for (auto it = record.hops.rbegin(); it != record.hops.rend(); ++it) {
+          if (it->responded) {
+            record.hops.push_back(*it);
+            break;
+          }
+        }
+      }
+    } else if (++consecutive_misses >= options_.gap_limit) {
+      record.hops.push_back(out);
+      record.status = TracerouteStatus::kGapLimit;
+      return record;
+    }
+    record.hops.push_back(out);
+  }
+
+  if (path.outcome != PathOutcome::kDelivered) {
+    // No route: probes past the last router vanish; scamper would record
+    // gap_limit unresponsive hops and stop.
+    record.status = TracerouteStatus::kGapLimit;
+    for (int i = 0; i < options_.gap_limit; ++i)
+      record.hops.push_back(TracerouteHop{});
+    return record;
+  }
+
+  // The destination host itself: answers rarely (UDP probes to closed
+  // ports; §3 reports ~7.7% completion). A destination that happens to be a
+  // router interface answers like its router.
+  ++probes_sent_;
+  const InterfaceId dst_iface = world.find_interface(dst);
+  bool dst_answers = false;
+  if (dst_iface.valid() &&
+      world.interface(dst_iface).router == path.hops.back().router) {
+    const Router& router = world.router(path.hops.back().router);
+    dst_answers = router.reply_policy != ReplyPolicy::kSilent &&
+                  rng_.chance(router.response_probability);
+  } else {
+    dst_answers = rng_.chance(options_.host_response);
+  }
+  if (dst_answers) {
+    TracerouteHop final_hop;
+    final_hop.address = dst;
+    final_hop.rtt_ms = 2.0 * path.hops.back().oneway_ms + jitter();
+    final_hop.responded = true;
+    record.hops.push_back(final_hop);
+    record.status = TracerouteStatus::kCompleted;
+  } else {
+    record.status = TracerouteStatus::kGapLimit;
+    for (int i = 0; i < options_.gap_limit; ++i)
+      record.hops.push_back(TracerouteHop{});
+  }
+  return record;
+}
+
+}  // namespace cloudmap

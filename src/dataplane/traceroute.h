@@ -1,0 +1,68 @@
+// Scamper-like traceroute engine over the forwarder's paths. Reproduces the
+// measurement artifacts the paper's filters have to deal with: silent
+// routers (gap termination after five consecutive misses, §3), routers
+// answering with a fixed/third-party interface, per-probe RTT jitter, rare
+// IP-level loops, and destinations that answer (or don't) the final probe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataplane/forwarding.h"
+#include "dataplane/vantage.h"
+#include "net/ipv4.h"
+#include "util/rng.h"
+
+namespace cloudmap {
+
+struct TracerouteHop {
+  Ipv4 address;          // 0.0.0.0 when the hop did not respond
+  double rtt_ms = 0.0;
+  bool responded = false;
+};
+
+enum class TracerouteStatus : std::uint8_t {
+  kCompleted = 0,  // destination answered
+  kGapLimit,       // five consecutive unresponsive hops
+  kUnreachable,    // path had no route and probing ran into silence
+};
+
+struct TracerouteRecord {
+  VantagePoint vantage;
+  Ipv4 destination;
+  TracerouteStatus status = TracerouteStatus::kUnreachable;
+  std::vector<TracerouteHop> hops;
+  // Ground truth for scoring only — never read by the inference pipeline:
+  // the cloud interconnect the probe egressed through, if any.
+  LinkId true_egress;
+};
+
+struct TracerouteOptions {
+  int gap_limit = 5;            // consecutive silent hops before giving up
+  double host_response = 0.10;  // UDP targets rarely answer (low yield, §3)
+  double loop_probability = 0.002;  // rare forwarding loop artifact
+  double jitter_mean_ms = 0.08;
+  double queueing_probability = 0.05;
+  double queueing_max_ms = 2.0;
+};
+
+class TracerouteEngine {
+ public:
+  TracerouteEngine(const Forwarder& forwarder, std::uint64_t seed,
+                   TracerouteOptions options = {});
+
+  TracerouteRecord trace(const VantagePoint& vp, Ipv4 dst);
+
+  // Number of probes issued so far (drives the simulated campaign clock).
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  double jitter();
+
+  const Forwarder* forwarder_;
+  Rng rng_;
+  TracerouteOptions options_;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace cloudmap

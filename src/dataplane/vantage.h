@@ -1,0 +1,35 @@
+// Vantage points: the cloud VMs the campaigns launch from (§3, §7.1) and
+// the public-Internet node used by the reachability heuristic (§5.1).
+#pragma once
+
+#include "net/ids.h"
+#include "net/ipv4.h"
+#include "topology/entities.h"
+
+namespace cloudmap {
+
+struct VantagePoint {
+  // kNone means a public-Internet vantage (hosted inside `host_router`'s AS).
+  CloudProvider provider = CloudProvider::kNone;
+  RegionId region;        // valid for cloud vantage points
+  RouterId host_router;   // valid for public-Internet vantage points
+  std::string label;
+
+  static VantagePoint cloud_vm(CloudProvider p, RegionId r,
+                               std::string label) {
+    VantagePoint vp;
+    vp.provider = p;
+    vp.region = r;
+    vp.label = std::move(label);
+    return vp;
+  }
+  static VantagePoint public_node(RouterId router, std::string label) {
+    VantagePoint vp;
+    vp.host_router = router;
+    vp.label = std::move(label);
+    return vp;
+  }
+  bool is_cloud() const { return provider != CloudProvider::kNone; }
+};
+
+}  // namespace cloudmap

@@ -1,0 +1,136 @@
+#include "infer/alias_verify.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cloudmap {
+
+AliasVerifier::AliasVerifier(const Forwarder& forwarder,
+                             const Annotator& annotator, OrgId subject_org,
+                             AliasOptions options)
+    : forwarder_(&forwarder),
+      annotator_(&annotator),
+      subject_org_(subject_org),
+      options_(options) {}
+
+AliasVerifyStats AliasVerifier::apply(Fabric& fabric,
+                                      const std::vector<VantagePoint>& vps) {
+  AliasVerifyStats stats;
+
+  // Candidate interfaces: every ABI and CBI currently in the fabric.
+  const auto abis = fabric.unique_abis();
+  const auto cbis = fabric.unique_cbis();
+  std::vector<Ipv4> targets;
+  targets.reserve(abis.size() + cbis.size());
+  for (const std::uint32_t a : abis) targets.emplace_back(a);
+  for (const std::uint32_t c : cbis)
+    if (!abis.count(c)) targets.emplace_back(c);
+
+  MidarResolver resolver(*forwarder_, options_);
+  sets_ = resolver.resolve(targets, vps);
+
+  stats.sets = sets_.sets.size();
+  stats.interfaces_in_sets = sets_.interfaces_in_sets();
+  for (const auto& set : sets_.sets) {
+    for (const Ipv4 member : set) {
+      if (abis.count(member.value())) ++stats.abis_in_sets;
+      else if (cbis.count(member.value())) ++stats.cbis_in_sets;
+    }
+  }
+
+  // Majority AS owner per set (annotated members only).
+  std::vector<Asn> set_owner(sets_.sets.size(), Asn{});
+  std::size_t majority = 0;
+  std::size_t unanimous = 0;
+  for (std::size_t s = 0; s < sets_.sets.size(); ++s) {
+    std::unordered_map<std::uint32_t, std::size_t> votes;
+    std::size_t annotated = 0;
+    for (const Ipv4 member : sets_.sets[s]) {
+      const HopAnnotation a = annotator_->annotate(member);
+      if (a.asn.is_unknown()) continue;
+      ++annotated;
+      ++votes[a.asn.value];
+    }
+    std::uint32_t best_asn = 0;
+    std::size_t best_count = 0;
+    for (const auto& [asn, count] : votes) {
+      if (count > best_count) {
+        best_count = count;
+        best_asn = asn;
+      }
+    }
+    if (annotated > 0 && best_count * 2 > annotated) {
+      set_owner[s] = Asn{best_asn};
+      ++majority;
+      if (best_count == annotated) ++unanimous;
+    }
+  }
+  if (!sets_.sets.empty()) {
+    stats.majority_fraction =
+        static_cast<double>(majority) / static_cast<double>(sets_.sets.size());
+    stats.unanimous_fraction = static_cast<double>(unanimous) /
+                               static_cast<double>(sets_.sets.size());
+  }
+
+  // Ownership-consistency corrections. A router is "cloud-owned" when its
+  // set's majority ASN maps to the subject org.
+  auto owner_is_subject = [&](Asn asn) {
+    return annotator_->org_of_asn(asn) == subject_org_;
+  };
+
+  std::unordered_set<std::uint32_t> relabeled_abi_to_cbi;
+  std::unordered_set<std::uint32_t> relabeled_cbi_to_abi;
+  std::unordered_set<std::uint32_t> relabeled_cbi_to_cbi;
+  const std::size_t segment_count = fabric.segments().size();
+  for (std::size_t index = 0; index < segment_count; ++index) {
+    InferredSegment& segment = fabric.segments()[index];
+    if (segment.cbi.is_unspecified()) continue;
+
+    // ABI on a router whose majority owner is a client AS → the candidate
+    // ABI is really a client interface; the interconnect is one hop back.
+    const auto abi_set = sets_.set_of.find(segment.abi.value());
+    if (abi_set != sets_.set_of.end()) {
+      const Asn owner = set_owner[abi_set->second];
+      if (!owner.is_unknown()) {
+        if (!owner_is_subject(owner)) {
+          const Asn hint = owner;
+          const std::uint32_t old_abi = segment.abi.value();
+          if (fabric.shift_segment(index, Confirmation::kAliasRelabel)) {
+            if (!segment.cbi.is_unspecified() &&
+                segment.owner_hint.is_unknown())
+              segment.owner_hint = hint;
+            relabeled_abi_to_cbi.insert(old_abi);
+            continue;
+          }
+        }
+      }
+    }
+    // CBI on a cloud-owned router → the true CBI is one hop forward.
+    const auto cbi_set = sets_.set_of.find(segment.cbi.value());
+    if (cbi_set != sets_.set_of.end()) {
+      const Asn owner = set_owner[cbi_set->second];
+      if (!owner.is_unknown()) {
+        if (owner_is_subject(owner)) {
+          const std::uint32_t old_cbi = segment.cbi.value();
+          if (fabric.advance_segment(index, Confirmation::kAliasRelabel))
+            relabeled_cbi_to_abi.insert(old_cbi);
+          continue;
+        }
+        // CBI on a router owned by a *different* client AS than its own
+        // annotation: reattribute (CBI→CBI).
+        const HopAnnotation annotation = annotator_->annotate(segment.cbi);
+        if (!annotation.asn.is_unknown() && annotation.asn != owner) {
+          segment.owner_hint = owner;
+          relabeled_cbi_to_cbi.insert(segment.cbi.value());
+        }
+      }
+    }
+  }
+  fabric.compact();
+  stats.abi_to_cbi = relabeled_abi_to_cbi.size();
+  stats.cbi_to_abi = relabeled_cbi_to_abi.size();
+  stats.cbi_to_cbi = relabeled_cbi_to_cbi.size();
+  return stats;
+}
+
+}  // namespace cloudmap

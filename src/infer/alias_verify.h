@@ -1,0 +1,53 @@
+// Alias-set verification (§5.2): resolve router-level aliases among all
+// candidate border interfaces (MIDAR-style, from every region), determine
+// each router's owner as the majority AS across its interfaces, and make the
+// fabric consistent with router ownership — relabeling the few interfaces
+// whose ABI/CBI role contradicts it (the paper's 45 corrections).
+#pragma once
+
+#include <cstddef>
+
+#include "alias/midar.h"
+#include "infer/annotate.h"
+#include "infer/fabric.h"
+
+namespace cloudmap {
+
+struct AliasVerifyStats {
+  std::size_t sets = 0;
+  std::size_t interfaces_in_sets = 0;
+  std::size_t abis_in_sets = 0;
+  std::size_t cbis_in_sets = 0;
+  // Fraction of sets where one AS owns >50% / 100% of annotated members
+  // (the paper reports 94% / 92%).
+  double majority_fraction = 0.0;
+  double unanimous_fraction = 0.0;
+  // Corrections by kind, counted per unique interface (paper: 18, 2, 25).
+  std::size_t abi_to_cbi = 0;
+  std::size_t cbi_to_abi = 0;
+  std::size_t cbi_to_cbi = 0;
+};
+
+class AliasVerifier {
+ public:
+  AliasVerifier(const Forwarder& forwarder, const Annotator& annotator,
+                OrgId subject_org, AliasOptions options = {});
+
+  // Runs alias resolution over the fabric's ABIs+CBIs from the given
+  // vantage points and applies ownership-consistency corrections in place.
+  AliasVerifyStats apply(Fabric& fabric,
+                         const std::vector<VantagePoint>& vps);
+
+  // The resolved alias sets from the last apply() call (used by pinning's
+  // co-presence Rule 1).
+  const AliasSets& sets() const { return sets_; }
+
+ private:
+  const Forwarder* forwarder_;
+  const Annotator* annotator_;
+  OrgId subject_org_;
+  AliasOptions options_;
+  AliasSets sets_;
+};
+
+}  // namespace cloudmap

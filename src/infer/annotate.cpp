@@ -1,0 +1,38 @@
+#include "infer/annotate.h"
+
+namespace cloudmap {
+
+HopAnnotation Annotator::annotate(Ipv4 address) const {
+  HopAnnotation out;
+  out.ixp = peeringdb_->ixp_of(address).has_value();
+  if (address.is_private() || address.is_shared()) {
+    out.source = AnnotationSource::kPrivate;
+    return out;  // ASN 0 by convention
+  }
+  if (out.ixp) {
+    // traIXroute-style: PeeringDB's per-member LAN assignments identify the
+    // member owning this IXP address.
+    if (const auto member = peeringdb_->lan_member(address)) {
+      out.asn = *member;
+      out.org = as2org_->org_of(out.asn);
+      out.source = AnnotationSource::kIxp;
+      return out;
+    }
+  }
+  if (const Asn* origin = snapshot_->origin_of.lookup(address)) {
+    out.asn = *origin;
+    out.org = as2org_->org_of(out.asn);
+    out.source = AnnotationSource::kBgp;
+    return out;
+  }
+  if (const auto owner = whois_->lookup(address)) {
+    out.asn = *owner;
+    out.org = as2org_->org_of(out.asn);
+    out.source = AnnotationSource::kWhois;
+    return out;
+  }
+  out.source = AnnotationSource::kNone;
+  return out;
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,57 @@
+// Hop annotation (§3): every traceroute hop IP is mapped to an ASN (BGP
+// origin first, WHOIS fallback), an organization (AS2ORG), and an
+// IXP-membership flag. Private/shared addresses get ASN 0, which the border
+// walk treats as "possibly still inside the cloud".
+#pragma once
+
+#include <optional>
+
+#include "controlplane/as2org.h"
+#include "controlplane/bgp.h"
+#include "controlplane/peeringdb.h"
+#include "controlplane/whois.h"
+#include "net/ids.h"
+#include "net/ipv4.h"
+
+namespace cloudmap {
+
+enum class AnnotationSource : std::uint8_t {
+  kNone = 0,   // unannotated public space
+  kBgp,        // origin from the BGP snapshot
+  kWhois,      // RIR registry fallback
+  kIxp,        // per-member IXP LAN assignment (PeeringDB/PCH)
+  kPrivate,    // RFC1918/RFC6598 → ASN 0
+};
+
+struct HopAnnotation {
+  Asn asn;                 // 0 = unknown/private
+  OrgId org;               // 0 = unknown
+  bool ixp = false;        // address inside an IXP peering LAN
+  AnnotationSource source = AnnotationSource::kNone;
+};
+
+class Annotator {
+ public:
+  Annotator(const BgpSnapshot* snapshot, const WhoisRegistry* whois,
+            const As2Org* as2org, const PeeringDb* peeringdb)
+      : snapshot_(snapshot),
+        whois_(whois),
+        as2org_(as2org),
+        peeringdb_(peeringdb) {}
+
+  HopAnnotation annotate(Ipv4 address) const;
+
+  // Organization of an ASN (AS2ORG passthrough).
+  OrgId org_of_asn(Asn asn) const { return as2org_->org_of(asn); }
+
+  // Swap in a newer snapshot (round-2 re-annotation, §4.2).
+  void set_snapshot(const BgpSnapshot* snapshot) { snapshot_ = snapshot; }
+
+ private:
+  const BgpSnapshot* snapshot_;
+  const WhoisRegistry* whois_;
+  const As2Org* as2org_;
+  const PeeringDb* peeringdb_;
+};
+
+}  // namespace cloudmap

@@ -1,0 +1,103 @@
+#include "infer/border.h"
+
+#include <unordered_set>
+
+namespace cloudmap {
+
+std::optional<CandidateSegment> extract_segment(const TracerouteRecord& record,
+                                                const Annotator& annotator,
+                                                OrgId cloud_org,
+                                                BorderWalkStats& stats) {
+  ++stats.examined;
+
+  // Locate the CBI: the first responding hop whose org is neither unknown
+  // (ASN 0 / private space) nor the cloud's.
+  std::size_t cbi_index = record.hops.size();
+  std::vector<HopAnnotation> annotations(record.hops.size());
+  for (std::size_t i = 0; i < record.hops.size(); ++i) {
+    const TracerouteHop& hop = record.hops[i];
+    if (!hop.responded) continue;
+    annotations[i] = annotator.annotate(hop.address);
+    const HopAnnotation& a = annotations[i];
+    if (!a.org.is_unknown() && a.org != cloud_org) {
+      cbi_index = i;
+      break;
+    }
+    if (a.org.is_unknown() && a.source == AnnotationSource::kNone &&
+        !a.ixp) {
+      // Unannotated public space that is not an IXP LAN: treat as still
+      // unknown (the walk continues), matching the paper's ASN-0 handling.
+      continue;
+    }
+  }
+  if (cbi_index == record.hops.size()) {
+    ++stats.never_left_cloud;
+    return std::nullopt;
+  }
+
+  // Exclusion: any unresponsive hop before the border.
+  for (std::size_t i = 0; i < cbi_index; ++i) {
+    if (!record.hops[i].responded) {
+      ++stats.gap_before_border;
+      return std::nullopt;
+    }
+  }
+  // Exclusion: duplicates or IP-level loops before the border (a repeated
+  // address that is non-adjacent is a loop; adjacent repetition a duplicate
+  // — both disqualify the probe).
+  {
+    std::unordered_set<std::uint32_t> seen;
+    for (std::size_t i = 0; i <= cbi_index; ++i) {
+      const std::uint32_t value = record.hops[i].address.value();
+      if (!seen.insert(value).second) {
+        const bool adjacent =
+            i > 0 && record.hops[i - 1].address.value() == value;
+        if (adjacent)
+          ++stats.duplicate_before_border;
+        else
+          ++stats.loop;
+        return std::nullopt;
+      }
+    }
+  }
+  // Exclusion: the CBI is the probed destination itself (likely a response
+  // from the target rather than a forwarding hop; RFC1812 default-address
+  // behaviour makes these unreliable).
+  if (record.hops[cbi_index].address == record.destination) {
+    ++stats.cbi_is_destination;
+    return std::nullopt;
+  }
+  // Sanity: the walk must not re-enter the cloud downstream of the CBI.
+  for (std::size_t i = cbi_index + 1; i < record.hops.size(); ++i) {
+    if (!record.hops[i].responded) continue;
+    const HopAnnotation a = annotator.annotate(record.hops[i].address);
+    if (a.org == cloud_org) {
+      ++stats.reentered_cloud;
+      return std::nullopt;
+    }
+  }
+  if (cbi_index == 0) {
+    // A CBI with no prior hop gives no segment to reason about.
+    ++stats.never_left_cloud;
+    return std::nullopt;
+  }
+
+  CandidateSegment segment;
+  segment.cbi = record.hops[cbi_index].address;
+  segment.abi = record.hops[cbi_index - 1].address;
+  if (cbi_index >= 2) segment.prior_abi = record.hops[cbi_index - 2].address;
+  for (std::size_t i = cbi_index + 1; i < record.hops.size(); ++i) {
+    if (record.hops[i].responded) {
+      segment.post_cbi = record.hops[i].address;
+      break;
+    }
+  }
+  segment.destination = record.destination;
+  segment.region = record.vantage.region;
+  segment.abi_rtt_ms = record.hops[cbi_index - 1].rtt_ms;
+  segment.cbi_rtt_ms = record.hops[cbi_index].rtt_ms;
+  ++stats.extracted;
+  return segment;
+}
+
+}  // namespace cloudmap

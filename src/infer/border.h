@@ -1,0 +1,61 @@
+// Basic interconnection-segment inference (§4.1): walk a traceroute from the
+// cloud outward until the first hop whose organization is neither 0 nor the
+// cloud's — the Customer Border Interface — and take the prior responding
+// hop as the cloud (Amazon) Border Interface. Applies the paper's exclusion
+// filters and retains the two hops before the CBI plus the hop after it
+// (needed by the shift corrections of §5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dataplane/traceroute.h"
+#include "infer/annotate.h"
+
+namespace cloudmap {
+
+// One candidate interconnection segment extracted from one traceroute.
+struct CandidateSegment {
+  Ipv4 cbi;
+  Ipv4 abi;
+  Ipv4 prior_abi;   // hop before the ABI (0.0.0.0 when absent)
+  Ipv4 post_cbi;    // hop after the CBI (0.0.0.0 when absent)
+  Ipv4 destination; // the probed target
+  RegionId region;  // source region of the probe
+  double abi_rtt_ms = 0.0;
+  double cbi_rtt_ms = 0.0;
+};
+
+// Why a traceroute yielded no usable segment (the §4.1 exclusions).
+struct BorderWalkStats {
+  std::uint64_t examined = 0;
+  std::uint64_t extracted = 0;
+  std::uint64_t never_left_cloud = 0;   // no non-cloud hop observed
+  std::uint64_t loop = 0;               // IP-level loop
+  std::uint64_t gap_before_border = 0;  // unresponsive hop before the CBI
+  std::uint64_t cbi_is_destination = 0;
+  std::uint64_t duplicate_before_border = 0;
+  std::uint64_t reentered_cloud = 0;    // downstream hop back inside cloud
+
+  void add(const BorderWalkStats& other) {
+    examined += other.examined;
+    extracted += other.extracted;
+    never_left_cloud += other.never_left_cloud;
+    loop += other.loop;
+    gap_before_border += other.gap_before_border;
+    cbi_is_destination += other.cbi_is_destination;
+    duplicate_before_border += other.duplicate_before_border;
+    reentered_cloud += other.reentered_cloud;
+  }
+};
+
+// Extract the candidate segment from one traceroute, or nullopt with the
+// reason recorded in `stats`. `cloud_org` is the ORG id of the cloud the
+// probe was launched from (Amazon's, for the main campaigns).
+std::optional<CandidateSegment> extract_segment(const TracerouteRecord& record,
+                                                const Annotator& annotator,
+                                                OrgId cloud_org,
+                                                BorderWalkStats& stats);
+
+}  // namespace cloudmap

@@ -1,0 +1,128 @@
+#include "infer/campaign.h"
+
+#include <algorithm>
+
+namespace cloudmap {
+
+Campaign::Campaign(const World& world, const Forwarder& forwarder,
+                   CloudProvider subject, const CampaignConfig& config)
+    : world_(&world),
+      subject_(subject),
+      subject_org_(world.ases[world.cloud_primary(subject).value].org),
+      config_(config),
+      engine_(forwarder, config.seed, config.traceroute) {
+  for (RegionId region : world.regions_of(subject)) {
+    vps_.push_back(VantagePoint::cloud_vm(
+        subject, region, world.region(region).name));
+  }
+}
+
+RoundStats Campaign::sweep(const Annotator& annotator,
+                           const std::vector<Ipv4>& targets, int round) {
+  RoundStats stats;
+  stats.targets = targets.size();
+  const std::uint64_t probes_before = engine_.probes_sent();
+  for (const VantagePoint& vp : vps_) {
+    for (const Ipv4 target : targets) {
+      const TracerouteRecord record = engine_.trace(vp, target);
+      ++stats.traceroutes;
+      // Adjacencies between consecutive responding hops feed the hybrid
+      // heuristic (Fig. 3).
+      Ipv4 previous;
+      for (const TracerouteHop& hop : record.hops) {
+        if (!hop.responded) {
+          previous = Ipv4{};
+          continue;
+        }
+        if (!previous.is_unspecified())
+          fabric_.add_adjacency(previous, hop.address);
+        previous = hop.address;
+      }
+      if (const auto segment =
+              extract_segment(record, annotator, subject_org_, stats.walk)) {
+        fabric_.add_segment(*segment, round);
+      }
+    }
+  }
+  stats.probes = engine_.probes_sent() - probes_before;
+  return stats;
+}
+
+RoundStats Campaign::run_round1(const Annotator& annotator) {
+  std::vector<Ipv4> targets;
+  for (const Prefix& prefix : world_->probeable_slash24s())
+    targets.push_back(prefix.network().next(1));
+  return sweep(annotator, targets, 1);
+}
+
+std::vector<Ipv4> Campaign::expansion_targets() const {
+  // The /24s of every discovered CBI, all addresses except the ones already
+  // swept (.1) and the CBI itself.
+  std::unordered_set<std::uint32_t> slash24s;
+  std::unordered_set<std::uint32_t> cbis;
+  for (const InferredSegment& segment : fabric_.segments()) {
+    slash24s.insert(segment.cbi.value() & 0xFFFFFF00u);
+    cbis.insert(segment.cbi.value());
+  }
+  std::vector<std::uint32_t> ordered(slash24s.begin(), slash24s.end());
+  std::sort(ordered.begin(), ordered.end());
+
+  std::vector<Ipv4> targets;
+  const int stride = std::max(1, config_.expansion_stride);
+  for (const std::uint32_t network : ordered) {
+    for (std::uint32_t host = 2; host <= 254;
+         host += static_cast<std::uint32_t>(stride)) {
+      const std::uint32_t address = network | host;
+      if (cbis.count(address)) continue;
+      targets.emplace_back(address);
+    }
+  }
+  return targets;
+}
+
+RoundStats Campaign::run_round2(const Annotator& annotator) {
+  return sweep(annotator, expansion_targets(), 2);
+}
+
+RoundStats Campaign::run_targets(const Annotator& annotator,
+                                 const std::vector<Ipv4>& targets,
+                                 int round) {
+  return sweep(annotator, targets, round);
+}
+
+InterfaceTableRow Campaign::interface_stats(
+    const std::unordered_set<std::uint32_t>& addresses,
+    const Annotator& annotator) {
+  InterfaceTableRow row;
+  row.total = addresses.size();
+  if (addresses.empty()) return row;
+  std::size_t bgp = 0;
+  std::size_t whois = 0;
+  std::size_t ixp = 0;
+  for (const std::uint32_t address : addresses) {
+    const HopAnnotation a = annotator.annotate(Ipv4(address));
+    if (a.ixp) {
+      ++ixp;  // IXP membership takes precedence, as in Table 1
+    } else if (a.source == AnnotationSource::kBgp) {
+      ++bgp;
+    } else if (a.source == AnnotationSource::kWhois) {
+      ++whois;
+    }
+  }
+  const double total = static_cast<double>(row.total);
+  row.bgp_fraction = static_cast<double>(bgp) / total;
+  row.whois_fraction = static_cast<double>(whois) / total;
+  row.ixp_fraction = static_cast<double>(ixp) / total;
+  return row;
+}
+
+std::size_t Campaign::peer_asn_count(const Annotator& annotator) const {
+  std::unordered_set<std::uint32_t> asns;
+  for (const InferredSegment& segment : fabric_.segments()) {
+    const HopAnnotation a = annotator.annotate(segment.cbi);
+    if (!a.asn.is_unknown()) asns.insert(a.asn.value);
+  }
+  return asns.size();
+}
+
+}  // namespace cloudmap

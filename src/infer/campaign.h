@@ -1,0 +1,105 @@
+// Campaign orchestration (§3, §4): the two traceroute rounds from every
+// region of the subject cloud — the full /24 sweep and the expansion round
+// around discovered CBIs — feeding the Fabric, with the bookkeeping that
+// reproduces Table 1.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "dataplane/forwarding.h"
+#include "dataplane/traceroute.h"
+#include "infer/annotate.h"
+#include "infer/fabric.h"
+
+namespace cloudmap {
+
+struct CampaignConfig {
+  std::uint64_t seed = 5;
+  // Probe every `expansion_stride`-th address of each expansion /24
+  // (1 = the paper's full walk).
+  int expansion_stride = 1;
+  TracerouteOptions traceroute;
+};
+
+struct RoundStats {
+  std::uint64_t targets = 0;
+  std::uint64_t traceroutes = 0;
+  std::uint64_t probes = 0;  // per-hop probe packets issued
+  BorderWalkStats walk;
+  // Fraction of traceroutes that left the subject cloud (§3 reports ~77%).
+  double left_cloud_fraction() const {
+    return walk.examined == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(walk.never_left_cloud) /
+                           static_cast<double>(walk.examined);
+  }
+  // Wall time the campaign would take at the paper's probing rate (300
+  // packets/s per VM, all regions probing in parallel — §3's 16 days).
+  double duration_days(std::size_t regions,
+                       double packets_per_second = 300.0) const {
+    if (regions == 0) return 0.0;
+    const double per_vm =
+        static_cast<double>(probes) / static_cast<double>(regions);
+    return per_vm / packets_per_second / 86400.0;
+  }
+};
+
+// One row of Table 1: interface count and annotation-source shares.
+struct InterfaceTableRow {
+  std::size_t total = 0;
+  double bgp_fraction = 0.0;
+  double whois_fraction = 0.0;
+  double ixp_fraction = 0.0;
+};
+
+class Campaign {
+ public:
+  // `subject` is the cloud whose fabric is being mapped (Amazon in the
+  // paper). The annotator decides hop ownership; swap its snapshot between
+  // rounds for the re-annotation effect of §4.2.
+  Campaign(const World& world, const Forwarder& forwarder,
+           CloudProvider subject, const CampaignConfig& config = {});
+
+  // Round 1: .1 of every probeable /24, from every subject region.
+  RoundStats run_round1(const Annotator& annotator);
+
+  // Round 2: every other address of each /24 holding a round-1 CBI.
+  RoundStats run_round2(const Annotator& annotator);
+
+  // Probe an explicit target list (used by the VPI detector, §7.1).
+  RoundStats run_targets(const Annotator& annotator,
+                         const std::vector<Ipv4>& targets, int round);
+
+  Fabric& fabric() { return fabric_; }
+  const Fabric& fabric() const { return fabric_; }
+  CloudProvider subject() const { return subject_; }
+  OrgId subject_org() const { return subject_org_; }
+  const std::vector<VantagePoint>& vantage_points() const { return vps_; }
+
+  // Expansion targets implied by the current fabric.
+  std::vector<Ipv4> expansion_targets() const;
+
+  // Table-1 style stats over an address set, annotated with `annotator`.
+  static InterfaceTableRow interface_stats(
+      const std::unordered_set<std::uint32_t>& addresses,
+      const Annotator& annotator);
+
+  // Unique CBI-owner ASNs under the given annotation (the "peering ASes").
+  std::size_t peer_asn_count(const Annotator& annotator) const;
+
+ private:
+  RoundStats sweep(const Annotator& annotator,
+                   const std::vector<Ipv4>& targets, int round);
+
+  const World* world_;
+  CloudProvider subject_;
+  OrgId subject_org_;
+  CampaignConfig config_;
+  TracerouteEngine engine_;
+  std::vector<VantagePoint> vps_;
+  Fabric fabric_;
+};
+
+}  // namespace cloudmap

@@ -1,0 +1,144 @@
+#include "infer/fabric.h"
+
+#include <algorithm>
+
+namespace cloudmap {
+
+const char* to_string(Confirmation c) {
+  switch (c) {
+    case Confirmation::kUnconfirmed: return "unconfirmed";
+    case Confirmation::kIxpClient: return "ixp-client";
+    case Confirmation::kHybrid: return "hybrid";
+    case Confirmation::kReachability: return "reachability";
+    case Confirmation::kAliasRelabel: return "alias-relabel";
+  }
+  return "?";
+}
+
+void Fabric::add_segment(const CandidateSegment& candidate, int round) {
+  const std::uint64_t segment_key = key(candidate.abi, candidate.cbi);
+  auto it = index_.find(segment_key);
+  if (it == index_.end()) {
+    InferredSegment segment;
+    segment.abi = candidate.abi;
+    segment.cbi = candidate.cbi;
+    segment.first_round = round;
+    it = index_.emplace(segment_key, segments_.size()).first;
+    segments_.push_back(std::move(segment));
+  }
+  InferredSegment& segment = segments_[it->second];
+  if (!candidate.prior_abi.is_unspecified())
+    segment.prior_abi = candidate.prior_abi;
+  if (!candidate.post_cbi.is_unspecified())
+    segment.post_cbi = candidate.post_cbi;
+  if (candidate.region.valid()) segment.regions.insert(candidate.region.value);
+  segment.dest_slash24s.insert(candidate.destination.value() & 0xFFFFFF00u);
+  if (segment.sample_destinations.size() < kMaxSampleDests)
+    segment.sample_destinations.push_back(candidate.destination);
+}
+
+void Fabric::add_adjacency(Ipv4 from, Ipv4 to) {
+  successors_[from.value()].insert(to.value());
+}
+
+const std::unordered_set<std::uint32_t>* Fabric::successors_of(
+    Ipv4 address) const {
+  const auto it = successors_.find(address.value());
+  return it == successors_.end() ? nullptr : &it->second;
+}
+
+std::unordered_set<std::uint32_t> Fabric::unique_abis() const {
+  std::unordered_set<std::uint32_t> out;
+  for (const InferredSegment& segment : segments_)
+    out.insert(segment.abi.value());
+  return out;
+}
+
+std::unordered_set<std::uint32_t> Fabric::unique_cbis() const {
+  std::unordered_set<std::uint32_t> out;
+  for (const InferredSegment& segment : segments_)
+    out.insert(segment.cbi.value());
+  return out;
+}
+
+std::unordered_map<std::uint32_t, std::vector<std::size_t>> Fabric::by_abi()
+    const {
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> out;
+  for (std::size_t i = 0; i < segments_.size(); ++i)
+    out[segments_[i].abi.value()].push_back(i);
+  return out;
+}
+
+std::unordered_map<std::uint32_t, std::vector<std::size_t>> Fabric::by_cbi()
+    const {
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> out;
+  for (std::size_t i = 0; i < segments_.size(); ++i)
+    out[segments_[i].cbi.value()].push_back(i);
+  return out;
+}
+
+bool Fabric::shift_segment(std::size_t index, Confirmation reason) {
+  InferredSegment& segment = segments_[index];
+  if (segment.prior_abi.is_unspecified()) return false;
+  index_.erase(key(segment.abi, segment.cbi));
+
+  const std::uint64_t new_key = key(segment.prior_abi, segment.abi);
+  const auto existing = index_.find(new_key);
+  if (existing != index_.end() && existing->second != index) {
+    // The corrected segment was already observed directly; merge metadata
+    // into it and mark this one for removal.
+    InferredSegment& target = segments_[existing->second];
+    target.regions.insert(segment.regions.begin(), segment.regions.end());
+    target.dest_slash24s.insert(segment.dest_slash24s.begin(),
+                                segment.dest_slash24s.end());
+    segment.cbi = Ipv4{};  // tombstone; compact() removes it
+    return true;
+  }
+  segment.post_cbi = segment.cbi;
+  segment.cbi = segment.abi;
+  segment.abi = segment.prior_abi;
+  segment.prior_abi = Ipv4{};
+  segment.shifted = true;
+  segment.confirmation = reason;
+  index_[new_key] = index;
+  return true;
+}
+
+bool Fabric::advance_segment(std::size_t index, Confirmation reason) {
+  InferredSegment& segment = segments_[index];
+  if (segment.post_cbi.is_unspecified()) return false;
+  index_.erase(key(segment.abi, segment.cbi));
+
+  const std::uint64_t new_key = key(segment.cbi, segment.post_cbi);
+  const auto existing = index_.find(new_key);
+  if (existing != index_.end() && existing->second != index) {
+    InferredSegment& target = segments_[existing->second];
+    target.regions.insert(segment.regions.begin(), segment.regions.end());
+    target.dest_slash24s.insert(segment.dest_slash24s.begin(),
+                                segment.dest_slash24s.end());
+    segment.cbi = Ipv4{};  // tombstone
+    return true;
+  }
+  segment.prior_abi = segment.abi;
+  segment.abi = segment.cbi;
+  segment.cbi = segment.post_cbi;
+  segment.post_cbi = Ipv4{};
+  segment.shifted = true;
+  segment.confirmation = reason;
+  index_[new_key] = index;
+  return true;
+}
+
+void Fabric::compact() {
+  std::vector<InferredSegment> kept;
+  kept.reserve(segments_.size());
+  index_.clear();
+  for (InferredSegment& segment : segments_) {
+    if (segment.cbi.is_unspecified()) continue;
+    index_[key(segment.abi, segment.cbi)] = kept.size();
+    kept.push_back(std::move(segment));
+  }
+  segments_ = std::move(kept);
+}
+
+}  // namespace cloudmap

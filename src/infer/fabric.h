@@ -1,0 +1,97 @@
+// The inferred fabric: the aggregation of every candidate interconnection
+// segment observed across the traceroute campaigns, deduplicated per
+// (ABI, CBI) pair, plus the hop-adjacency map the hybrid heuristic needs.
+// This is the central mutable state of the inference pipeline — verification
+// (§5) edits it in place and annotations are recomputed against the freshest
+// BGP snapshot.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "infer/annotate.h"
+#include "infer/border.h"
+
+namespace cloudmap {
+
+// How a segment's ABI ended up confirmed (§5.1 heuristics, in confidence
+// order) or corrected.
+enum class Confirmation : std::uint8_t {
+  kUnconfirmed = 0,
+  kIxpClient,
+  kHybrid,
+  kReachability,
+  kAliasRelabel,  // corrected/confirmed by the §5.2 alias-set check
+};
+const char* to_string(Confirmation c);
+
+struct InferredSegment {
+  Ipv4 abi;
+  Ipv4 cbi;
+  Ipv4 prior_abi;  // most recent observation's prior hop
+  Ipv4 post_cbi;   // most recent observation's next hop
+  int first_round = 1;
+  std::unordered_set<std::uint32_t> regions;        // source regions
+  std::unordered_set<std::uint32_t> dest_slash24s;  // /24s reached through it
+  std::vector<Ipv4> sample_destinations;            // ≤ kMaxSampleDests
+  Confirmation confirmation = Confirmation::kUnconfirmed;
+  bool shifted = false;  // corrected to the preceding segment (Fig. 2)
+  // Owner attribution fallback: when the (corrected) CBI carries a
+  // cloud-provided address, the peer AS is taken from the downstream hop or
+  // the alias-set majority instead of the CBI's own annotation.
+  Asn owner_hint;
+};
+
+class Fabric {
+ public:
+  static constexpr std::size_t kMaxSampleDests = 4;
+
+  // Merge one observation; creates or updates the (abi, cbi) segment.
+  void add_segment(const CandidateSegment& candidate, int round);
+
+  // Record a consecutive-responding-hop adjacency (for hybrid detection).
+  void add_adjacency(Ipv4 from, Ipv4 to);
+
+  std::vector<InferredSegment>& segments() { return segments_; }
+  const std::vector<InferredSegment>& segments() const { return segments_; }
+
+  // Successors of an address across all traceroutes.
+  const std::unordered_set<std::uint32_t>* successors_of(Ipv4 address) const;
+
+  // Unique ABI / CBI address sets implied by the current segments.
+  std::unordered_set<std::uint32_t> unique_abis() const;
+  std::unordered_set<std::uint32_t> unique_cbis() const;
+
+  // Segment indices grouped by ABI address.
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_abi() const;
+  // Segment indices grouped by CBI address.
+  std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_cbi() const;
+
+  // Rewrite a segment in place to the preceding traceroute segment
+  // (prior_abi becomes the ABI, the old ABI becomes the CBI). Deduplicates
+  // against an existing (prior_abi, abi) segment when present. Returns false
+  // when no prior hop is known (the shift cannot be applied).
+  bool shift_segment(std::size_t index, Confirmation reason);
+
+  // Rewrite a segment to the *following* traceroute segment (the old CBI
+  // becomes the ABI, post_cbi the CBI) — the CBI→ABI correction of §5.2.
+  // Returns false when no downstream hop is known.
+  bool advance_segment(std::size_t index, Confirmation reason);
+
+  // Drop segments flagged for removal (empty cbi) after edits.
+  void compact();
+
+ private:
+  static std::uint64_t key(Ipv4 abi, Ipv4 cbi) {
+    return (static_cast<std::uint64_t>(abi.value()) << 32) | cbi.value();
+  }
+
+  std::vector<InferredSegment> segments_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>>
+      successors_;
+};
+
+}  // namespace cloudmap

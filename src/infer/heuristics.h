@@ -1,0 +1,64 @@
+// Verification heuristics (§5.1), applied in decreasing order of confidence:
+//
+//   1. IXP-client — a CBI inside an IXP peering LAN always belongs to an IXP
+//      member, so the segment is correct as inferred.
+//   2. Hybrid IPs — an ABI whose observed successors span both the cloud's
+//      org and client orgs sits on a true cloud border router (Fig. 3).
+//      Conversely, a non-hybrid ABI whose *prior* hop is hybrid and whose
+//      successors are all client-side is the Fig. 2 address-sharing artifact:
+//      the segment shifts back one hop.
+//   3. Interface reachability — cloud border interfaces are not reachable
+//      from the public Internet while client interfaces often are; an
+//      unreachable ABI paired with a reachable CBI supports the inference.
+//
+// Produces the Table 2 accounting (individual and cumulative confirmations).
+#pragma once
+
+#include <cstddef>
+
+#include "dataplane/forwarding.h"
+#include "dataplane/vantage.h"
+#include "infer/annotate.h"
+#include "infer/fabric.h"
+
+namespace cloudmap {
+
+struct HeuristicCounts {
+  // Individual evaluation (each heuristic alone over all candidate ABIs).
+  std::size_t ixp_abis = 0, ixp_cbis = 0;
+  std::size_t hybrid_abis = 0, hybrid_cbis = 0;
+  std::size_t reachable_abis = 0, reachable_cbis = 0;
+  // Cumulative application in confidence order.
+  std::size_t cum_ixp_abis = 0, cum_ixp_cbis = 0;
+  std::size_t cum_hybrid_abis = 0, cum_hybrid_cbis = 0;
+  std::size_t cum_reachable_abis = 0, cum_reachable_cbis = 0;
+  std::size_t unconfirmed_abis = 0;
+  std::size_t total_abis = 0, total_cbis = 0;
+  std::size_t shifts_applied = 0;
+};
+
+class HeuristicVerifier {
+ public:
+  // `public_vp` is the vantage in the public Internet used by the
+  // reachability heuristic (the paper used a node at the University of
+  // Oregon).
+  HeuristicVerifier(const Forwarder& forwarder, const Annotator& annotator,
+                    OrgId subject_org, VantagePoint public_vp);
+
+  // Applies the heuristics to the fabric in place (shifting mis-inferred
+  // segments) and returns the Table 2 accounting.
+  HeuristicCounts apply(Fabric& fabric);
+
+  // Individual signals, exposed for tests and ablation benches.
+  bool cbi_in_ixp(const Fabric& fabric, std::size_t segment_index) const;
+  bool is_hybrid(const Fabric& fabric, Ipv4 address) const;
+  bool reachable_from_public(Ipv4 address) const;
+
+ private:
+  const Forwarder* forwarder_;
+  const Annotator* annotator_;
+  OrgId subject_org_;
+  VantagePoint public_vp_;
+};
+
+}  // namespace cloudmap

@@ -1,0 +1,218 @@
+#include "io/serialize.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+namespace cloudmap {
+
+namespace {
+
+// Split on a delimiter, keeping empty fields.
+std::vector<std::string> split(const std::string& text, char delimiter) {
+  std::vector<std::string> out;
+  std::string token;
+  for (const char ch : text) {
+    if (ch == delimiter) {
+      out.push_back(token);
+      token.clear();
+    } else {
+      token.push_back(ch);
+    }
+  }
+  out.push_back(token);
+  return out;
+}
+
+const char* status_name(TracerouteStatus status) {
+  switch (status) {
+    case TracerouteStatus::kCompleted: return "completed";
+    case TracerouteStatus::kGapLimit: return "gap";
+    case TracerouteStatus::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
+std::optional<TracerouteStatus> status_from(const std::string& name) {
+  if (name == "completed") return TracerouteStatus::kCompleted;
+  if (name == "gap") return TracerouteStatus::kGapLimit;
+  if (name == "unreachable") return TracerouteStatus::kUnreachable;
+  return std::nullopt;
+}
+
+}  // namespace
+
+void write_record(std::ostream& out, const TracerouteRecord& record) {
+  out << "R " << static_cast<int>(record.vantage.provider) << ' '
+      << (record.vantage.region.valid() ? record.vantage.region.value
+                                        : kInvalidIndex)
+      << ' ' << record.destination.to_string() << ' '
+      << status_name(record.status) << ' ';
+  for (std::size_t i = 0; i < record.hops.size(); ++i) {
+    if (i > 0) out << ',';
+    const TracerouteHop& hop = record.hops[i];
+    if (hop.responded) {
+      out << hop.address.to_string() << ':' << hop.rtt_ms;
+    } else {
+      out << '*';
+    }
+  }
+  out << '\n';
+}
+
+std::optional<TracerouteRecord> read_record(const std::string& line) {
+  std::istringstream in(line);
+  std::string tag;
+  int provider = 0;
+  std::uint32_t region = kInvalidIndex;
+  std::string dst;
+  std::string status;
+  std::string hops;
+  if (!(in >> tag >> provider >> region >> dst >> status)) return std::nullopt;
+  if (tag != "R") return std::nullopt;
+  in >> hops;  // may be empty for a hopless record
+
+  TracerouteRecord record;
+  record.vantage.provider = static_cast<CloudProvider>(provider);
+  record.vantage.region = RegionId{region};
+  const auto destination = Ipv4::parse(dst);
+  if (!destination) return std::nullopt;
+  record.destination = *destination;
+  const auto parsed_status = status_from(status);
+  if (!parsed_status) return std::nullopt;
+  record.status = *parsed_status;
+
+  if (!hops.empty()) {
+    for (const std::string& token : split(hops, ',')) {
+      TracerouteHop hop;
+      if (token != "*") {
+        const std::size_t colon = token.find(':');
+        if (colon == std::string::npos) return std::nullopt;
+        const auto address = Ipv4::parse(token.substr(0, colon));
+        if (!address) return std::nullopt;
+        hop.address = *address;
+        hop.rtt_ms = std::stod(token.substr(colon + 1));
+        hop.responded = true;
+      }
+      record.hops.push_back(hop);
+    }
+  }
+  return record;
+}
+
+void write_records(std::ostream& out,
+                   const std::vector<TracerouteRecord>& records) {
+  for (const TracerouteRecord& record : records) write_record(out, record);
+}
+
+std::vector<TracerouteRecord> read_records(std::istream& in) {
+  std::vector<TracerouteRecord> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != 'R') continue;
+    if (auto record = read_record(line)) out.push_back(std::move(*record));
+  }
+  return out;
+}
+
+void write_fabric(std::ostream& out, const Fabric& fabric) {
+  for (const InferredSegment& segment : fabric.segments()) {
+    out << "S " << segment.abi.to_string() << ' ' << segment.cbi.to_string()
+        << ' ' << segment.prior_abi.to_string() << ' '
+        << segment.post_cbi.to_string() << ' ' << segment.first_round << ' '
+        << static_cast<int>(segment.confirmation) << ' '
+        << (segment.shifted ? 1 : 0) << ' ' << segment.owner_hint.value
+        << ' ';
+    bool first = true;
+    for (const std::uint32_t region : segment.regions) {
+      if (!first) out << '|';
+      out << region;
+      first = false;
+    }
+    if (first) out << '-';
+    out << ' ';
+    first = true;
+    for (const std::uint32_t network : segment.dest_slash24s) {
+      if (!first) out << '|';
+      out << Ipv4(network).to_string();
+      first = false;
+    }
+    if (first) out << '-';
+    out << '\n';
+  }
+}
+
+Fabric read_fabric(std::istream& in) {
+  Fabric fabric;
+  // Mirror Fabric's (abi, cbi) dedup so repeated lines update the right
+  // segment rather than whatever happens to be last.
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != 'S') continue;
+    std::istringstream parser(line);
+    std::string tag;
+    std::string abi;
+    std::string cbi;
+    std::string prior;
+    std::string post;
+    int round = 1;
+    int confirmation = 0;
+    int shifted = 0;
+    std::uint32_t owner = 0;
+    std::string regions;
+    std::string dests;
+    if (!(parser >> tag >> abi >> cbi >> prior >> post >> round >>
+          confirmation >> shifted >> owner >> regions >> dests))
+      continue;
+
+    // Rebuild through the public mutation API so the index stays coherent.
+    CandidateSegment candidate;
+    const auto abi_addr = Ipv4::parse(abi);
+    const auto cbi_addr = Ipv4::parse(cbi);
+    if (!abi_addr || !cbi_addr) continue;
+    candidate.abi = *abi_addr;
+    candidate.cbi = *cbi_addr;
+    if (const auto parsed = Ipv4::parse(prior)) candidate.prior_abi = *parsed;
+    if (const auto parsed = Ipv4::parse(post)) candidate.post_cbi = *parsed;
+    candidate.destination = Ipv4{};
+    fabric.add_segment(candidate, round);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(candidate.abi.value()) << 32) |
+        candidate.cbi.value();
+    const auto [it, inserted] =
+        index.emplace(key, fabric.segments().size() - 1);
+    (void)inserted;
+    InferredSegment& segment = fabric.segments()[it->second];
+    segment.confirmation = static_cast<Confirmation>(confirmation);
+    segment.shifted = shifted != 0;
+    segment.owner_hint = Asn{owner};
+    segment.regions.clear();
+    if (regions != "-") {
+      for (const std::string& token : split(regions, '|'))
+        segment.regions.insert(
+            static_cast<std::uint32_t>(std::stoul(token)));
+    }
+    segment.dest_slash24s.clear();
+    segment.sample_destinations.clear();
+    if (dests != "-") {
+      for (const std::string& token : split(dests, '|')) {
+        if (const auto network = Ipv4::parse(token))
+          segment.dest_slash24s.insert(network->value());
+      }
+    }
+  }
+  return fabric;
+}
+
+void write_pins(std::ostream& out, const PinningResult& result) {
+  out << "address,metro,rule,anchor_source,round\n";
+  for (const auto& [address, pin] : result.pins) {
+    out << Ipv4(address).to_string() << ',' << pin.metro.value << ','
+        << static_cast<int>(pin.rule) << ','
+        << static_cast<int>(pin.anchor_source) << ',' << pin.round << '\n';
+  }
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,42 @@
+// Serialization of campaign artifacts: traceroute records (a warts-like
+// plain-text format), the inferred fabric, and pinning results. A real
+// deployment runs its probing over days (the paper's sweep took 16) and
+// analyzes offline; these round-trippable formats decouple collection from
+// analysis.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataplane/traceroute.h"
+#include "infer/fabric.h"
+#include "pinning/pinning.h"
+
+namespace cloudmap {
+
+// --- traceroute records ---
+// One line per record:
+//   R <provider> <region> <dst> <status> <hop>[,<hop>...]
+// where <hop> is `addr:rtt` for a response or `*` for silence.
+void write_record(std::ostream& out, const TracerouteRecord& record);
+std::optional<TracerouteRecord> read_record(const std::string& line);
+
+void write_records(std::ostream& out,
+                   const std::vector<TracerouteRecord>& records);
+std::vector<TracerouteRecord> read_records(std::istream& in);
+
+// --- inferred fabric ---
+// One line per segment:
+//   S <abi> <cbi> <prior> <post> <round> <confirmation> <shifted>
+//     <owner_hint> <regions:a|b|...> <dest24s:x|y|...>
+// (adjacency data is campaign-internal and not persisted).
+void write_fabric(std::ostream& out, const Fabric& fabric);
+Fabric read_fabric(std::istream& in);
+
+// --- pinning result ---
+// CSV: address,metro_index,rule,anchor_source,round
+void write_pins(std::ostream& out, const PinningResult& result);
+
+}  // namespace cloudmap

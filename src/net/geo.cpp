@@ -1,0 +1,36 @@
+#include "net/geo.h"
+
+#include <cmath>
+
+namespace cloudmap {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kPi = 3.14159265358979323846;
+// Speed of light in fiber: ~c * 2/3 = ~199,862 km/s ≈ 200 km/ms.
+constexpr double kFiberKmPerMs = 200.0;
+
+double radians(double degrees) { return degrees * kPi / 180.0; }
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = radians(a.latitude_deg);
+  const double lat2 = radians(b.latitude_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = radians(b.longitude_deg - a.longitude_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(std::min(1.0, h)));
+}
+
+double propagation_delay_ms(const GeoPoint& a, const GeoPoint& b,
+                            double inflation) {
+  return haversine_km(a, b) * inflation / kFiberKmPerMs;
+}
+
+double rtt_ms(const GeoPoint& a, const GeoPoint& b, double inflation) {
+  return 2.0 * propagation_delay_ms(a, b, inflation);
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,30 @@
+// Geography and the latency model. Pinning (§6) leans entirely on RTTs being
+// a function of distance: the 2 ms co-presence knee, the minIXRTT rule, and
+// the min-RTT-ratio regional fallback all assume light-in-fiber propagation.
+// This module provides coordinates, great-circle distance, and the
+// distance→delay conversion the data plane uses.
+#pragma once
+
+#include <string>
+
+namespace cloudmap {
+
+struct GeoPoint {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+};
+
+// Great-circle distance in kilometres (haversine formula).
+double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+// One-way propagation delay in milliseconds for a fiber path between two
+// points. Light in fiber travels at roughly 2/3 c and real paths are not
+// geodesics, so we apply a path-inflation factor (default 1.6, consistent
+// with published fiber-vs-geodesic studies).
+double propagation_delay_ms(const GeoPoint& a, const GeoPoint& b,
+                            double inflation = 1.6);
+
+// Round-trip time in milliseconds for the same path.
+double rtt_ms(const GeoPoint& a, const GeoPoint& b, double inflation = 1.6);
+
+}  // namespace cloudmap

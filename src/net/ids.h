@@ -1,0 +1,119 @@
+// Strongly-typed identifiers shared across the whole library. Raw integers
+// for ASNs, organizations, and world-entity indices are easy to mix up; these
+// wrappers make such bugs type errors.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace cloudmap {
+
+// Autonomous System Number. Asn{0} means "unknown / unannounced", matching
+// the paper's convention of assigning ASN 0 to private/shared address hops.
+struct Asn {
+  std::uint32_t value = 0;
+  constexpr auto operator<=>(const Asn&) const = default;
+  constexpr bool is_unknown() const noexcept { return value == 0; }
+};
+
+// CAIDA-style organization identifier; multiple ASNs (e.g. Amazon's eight)
+// map to one OrgId.
+struct OrgId {
+  std::uint32_t value = 0;
+  constexpr auto operator<=>(const OrgId&) const = default;
+  constexpr bool is_unknown() const noexcept { return value == 0; }
+};
+
+// Indices into the World's entity tables. kInvalidIndex marks "none".
+inline constexpr std::uint32_t kInvalidIndex = ~std::uint32_t{0};
+
+struct MetroId {
+  std::uint32_t value = kInvalidIndex;
+  constexpr auto operator<=>(const MetroId&) const = default;
+  constexpr bool valid() const noexcept { return value != kInvalidIndex; }
+};
+
+struct ColoId {
+  std::uint32_t value = kInvalidIndex;
+  constexpr auto operator<=>(const ColoId&) const = default;
+  constexpr bool valid() const noexcept { return value != kInvalidIndex; }
+};
+
+struct IxpId {
+  std::uint32_t value = kInvalidIndex;
+  constexpr auto operator<=>(const IxpId&) const = default;
+  constexpr bool valid() const noexcept { return value != kInvalidIndex; }
+};
+
+struct AsId {  // index into World::ases (distinct from the ASN itself)
+  std::uint32_t value = kInvalidIndex;
+  constexpr auto operator<=>(const AsId&) const = default;
+  constexpr bool valid() const noexcept { return value != kInvalidIndex; }
+};
+
+struct RouterId {
+  std::uint32_t value = kInvalidIndex;
+  constexpr auto operator<=>(const RouterId&) const = default;
+  constexpr bool valid() const noexcept { return value != kInvalidIndex; }
+};
+
+struct InterfaceId {
+  std::uint32_t value = kInvalidIndex;
+  constexpr auto operator<=>(const InterfaceId&) const = default;
+  constexpr bool valid() const noexcept { return value != kInvalidIndex; }
+};
+
+struct LinkId {
+  std::uint32_t value = kInvalidIndex;
+  constexpr auto operator<=>(const LinkId&) const = default;
+  constexpr bool valid() const noexcept { return value != kInvalidIndex; }
+};
+
+struct RegionId {
+  std::uint32_t value = kInvalidIndex;
+  constexpr auto operator<=>(const RegionId&) const = default;
+  constexpr bool valid() const noexcept { return value != kInvalidIndex; }
+};
+
+}  // namespace cloudmap
+
+// Hash support so ids can key unordered containers.
+namespace std {
+template <>
+struct hash<cloudmap::Asn> {
+  size_t operator()(const cloudmap::Asn& id) const noexcept {
+    return hash<uint32_t>{}(id.value);
+  }
+};
+template <>
+struct hash<cloudmap::OrgId> {
+  size_t operator()(const cloudmap::OrgId& id) const noexcept {
+    return hash<uint32_t>{}(id.value);
+  }
+};
+template <>
+struct hash<cloudmap::AsId> {
+  size_t operator()(const cloudmap::AsId& id) const noexcept {
+    return hash<uint32_t>{}(id.value);
+  }
+};
+template <>
+struct hash<cloudmap::InterfaceId> {
+  size_t operator()(const cloudmap::InterfaceId& id) const noexcept {
+    return hash<uint32_t>{}(id.value);
+  }
+};
+template <>
+struct hash<cloudmap::RouterId> {
+  size_t operator()(const cloudmap::RouterId& id) const noexcept {
+    return hash<uint32_t>{}(id.value);
+  }
+};
+template <>
+struct hash<cloudmap::MetroId> {
+  size_t operator()(const cloudmap::MetroId& id) const noexcept {
+    return hash<uint32_t>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,37 @@
+#include "net/ipv4.h"
+
+#include <cstdio>
+
+namespace cloudmap {
+
+std::string Ipv4::to_string() const {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%u.%u.%u.%u", (value_ >> 24) & 0xFF,
+                (value_ >> 16) & 0xFF, (value_ >> 8) & 0xFF, value_ & 0xFF);
+  return buffer;
+}
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  std::uint32_t octets[4] = {0, 0, 0, 0};
+  std::size_t index = 0;
+  std::size_t digits = 0;
+  for (char ch : text) {
+    if (ch == '.') {
+      if (digits == 0 || index >= 3) return std::nullopt;
+      ++index;
+      digits = 0;
+    } else if (ch >= '0' && ch <= '9') {
+      octets[index] = octets[index] * 10 + static_cast<std::uint32_t>(ch - '0');
+      if (octets[index] > 255 || ++digits > 3) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (index != 3 || digits == 0) return std::nullopt;
+  return Ipv4(static_cast<std::uint8_t>(octets[0]),
+              static_cast<std::uint8_t>(octets[1]),
+              static_cast<std::uint8_t>(octets[2]),
+              static_cast<std::uint8_t>(octets[3]));
+}
+
+}  // namespace cloudmap

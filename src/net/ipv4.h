@@ -1,0 +1,58 @@
+// IPv4 address value type. A thin, strongly-typed wrapper over a host-order
+// 32-bit integer with parsing/formatting and classification helpers for the
+// address classes the paper treats specially (private/shared space, which
+// Amazon uses internally, and multicast/broadcast space, which the sweep
+// excludes — §3).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace cloudmap {
+
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t host_order) : value_(host_order) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr auto operator<=>(const Ipv4&) const = default;
+
+  constexpr Ipv4 next(std::uint32_t step = 1) const noexcept {
+    return Ipv4(value_ + step);
+  }
+
+  std::string to_string() const;
+  static std::optional<Ipv4> parse(std::string_view text);
+
+  // RFC 1918 private space: 10/8, 172.16/12, 192.168/16.
+  constexpr bool is_private() const noexcept {
+    return (value_ >> 24) == 10 ||
+           (value_ >> 20) == ((172u << 4) | 1u) ||  // 172.16.0.0/12
+           (value_ >> 16) == ((192u << 8) | 168u);
+  }
+
+  // RFC 6598 shared address space (CGN): 100.64/10.
+  constexpr bool is_shared() const noexcept {
+    return (value_ >> 22) == ((100u << 2) | 1u);  // 100.64.0.0/10
+  }
+
+  // 224/4 multicast plus 240/4 reserved, excluded from the probing sweep.
+  constexpr bool is_multicast_or_reserved() const noexcept {
+    return (value_ >> 28) >= 0xE;
+  }
+
+  constexpr bool is_unspecified() const noexcept { return value_ == 0; }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace cloudmap

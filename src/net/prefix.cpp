@@ -1,0 +1,52 @@
+#include "net/prefix.h"
+
+#include <cstdio>
+
+namespace cloudmap {
+
+std::pair<Prefix, Prefix> Prefix::split() const {
+  const std::uint8_t child_length = static_cast<std::uint8_t>(length_ + 1);
+  const std::uint32_t high_bit = std::uint32_t{1} << (32 - child_length);
+  return {Prefix(Ipv4(network_), child_length),
+          Prefix(Ipv4(network_ | high_bit), child_length)};
+}
+
+std::vector<Prefix> Prefix::enumerate_slash24s() const {
+  std::vector<Prefix> out;
+  if (length_ >= 24) {
+    out.push_back(*this);
+    return out;
+  }
+  const std::uint64_t count = std::uint64_t{1} << (24 - length_);
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.emplace_back(Ipv4(network_ + static_cast<std::uint32_t>(i << 8)),
+                     std::uint8_t{24});
+  }
+  return out;
+}
+
+std::string Prefix::to_string() const {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%s/%u",
+                Ipv4(network_).to_string().c_str(), length_);
+  return buffer;
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto address = Ipv4::parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  unsigned length = 0;
+  const std::string_view length_text = text.substr(slash + 1);
+  if (length_text.empty() || length_text.size() > 2) return std::nullopt;
+  for (char ch : length_text) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    length = length * 10 + static_cast<unsigned>(ch - '0');
+  }
+  if (length > 32) return std::nullopt;
+  return Prefix(*address, static_cast<std::uint8_t>(length));
+}
+
+}  // namespace cloudmap

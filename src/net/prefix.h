@@ -1,0 +1,73 @@
+// CIDR prefix value type with the algebra the pipeline needs: containment,
+// splitting into /24s (the sweep granularity of §3), iteration over member
+// addresses, and canonical string form.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace cloudmap {
+
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  // The network address is masked to the prefix length, so any member
+  // address may be passed in.
+  constexpr Prefix(Ipv4 address, std::uint8_t length)
+      : network_(address.value() & mask_for(length)), length_(length) {}
+
+  constexpr Ipv4 network() const noexcept { return Ipv4(network_); }
+  constexpr std::uint8_t length() const noexcept { return length_; }
+  constexpr auto operator<=>(const Prefix&) const = default;
+
+  constexpr std::uint32_t mask() const noexcept { return mask_for(length_); }
+
+  constexpr bool contains(Ipv4 address) const noexcept {
+    return (address.value() & mask()) == network_;
+  }
+
+  constexpr bool contains(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.network());
+  }
+
+  // Number of addresses covered (2^(32-len)); 0 means 2^32 for a /0.
+  constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  constexpr Ipv4 first_address() const noexcept { return Ipv4(network_); }
+  constexpr Ipv4 last_address() const noexcept {
+    return Ipv4(network_ | ~mask());
+  }
+
+  // The enclosing /24 (or the prefix itself if already at least /24-long);
+  // expansion probing targets whole /24s around discovered CBIs (§4.2).
+  constexpr Prefix slash24() const noexcept {
+    return Prefix(Ipv4(network_), length_ >= 24 ? length_ : std::uint8_t{24});
+  }
+
+  // Split into the two child prefixes one bit longer.
+  std::pair<Prefix, Prefix> split() const;
+
+  // All /24 subprefixes (the prefix itself if longer than /24).
+  std::vector<Prefix> enumerate_slash24s() const;
+
+  std::string to_string() const;
+  static std::optional<Prefix> parse(std::string_view text);
+
+ private:
+  static constexpr std::uint32_t mask_for(std::uint8_t length) noexcept {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+
+  std::uint32_t network_ = 0;
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace cloudmap

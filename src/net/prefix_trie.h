@@ -1,0 +1,129 @@
+// Binary radix trie keyed by CIDR prefixes with longest-prefix-match lookup.
+// This is the workhorse behind IP→ASN annotation (§3), IXP-prefix membership
+// tests, and WHOIS fallback: every hop of every traceroute is resolved
+// through one of these tries.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+
+namespace cloudmap {
+
+template <typename Value>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  // Insert or overwrite the value attached to an exact prefix.
+  void insert(const Prefix& prefix, Value value) {
+    Node* node = walk_to(prefix, /*create=*/true);
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  // Remove an exact prefix; returns true if it was present.
+  bool erase(const Prefix& prefix) {
+    Node* node = walk_to(prefix, /*create=*/false);
+    if (node == nullptr || !node->value) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  // Value attached to exactly this prefix, if any.
+  const Value* exact(const Prefix& prefix) const {
+    const Node* node = walk_to(prefix, /*create=*/false);
+    return (node && node->value) ? &*node->value : nullptr;
+  }
+
+  // Mutable value for the prefix, default-constructed on first access.
+  Value& at_or_default(const Prefix& prefix) {
+    Node* node = walk_to(prefix, /*create=*/true);
+    if (!node->value) {
+      node->value.emplace();
+      ++size_;
+    }
+    return *node->value;
+  }
+
+  // Longest-prefix match for an address: the most specific covering entry.
+  const Value* lookup(Ipv4 address) const {
+    const Node* node = root_.get();
+    const Value* best = node->value ? &*node->value : nullptr;
+    const std::uint32_t bits = address.value();
+    for (int depth = 0; depth < 32 && node != nullptr; ++depth) {
+      const std::size_t branch = (bits >> (31 - depth)) & 1u;
+      node = node->child[branch].get();
+      if (node != nullptr && node->value) best = &*node->value;
+    }
+    return best;
+  }
+
+  // As lookup(), but also reports the matched prefix.
+  std::optional<std::pair<Prefix, Value>> lookup_entry(Ipv4 address) const {
+    const Node* node = root_.get();
+    std::optional<std::pair<Prefix, Value>> best;
+    if (node->value) best = {Prefix(address, 0), *node->value};
+    const std::uint32_t bits = address.value();
+    for (int depth = 0; depth < 32 && node != nullptr; ++depth) {
+      const std::size_t branch = (bits >> (31 - depth)) & 1u;
+      node = node->child[branch].get();
+      if (node != nullptr && node->value) {
+        best = {Prefix(address, static_cast<std::uint8_t>(depth + 1)),
+                *node->value};
+      }
+    }
+    return best;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  // Visit every (prefix, value) pair in address order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    visit(root_.get(), 0u, 0, fn);
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    std::optional<Value> value;
+  };
+
+  Node* walk_to(const Prefix& prefix, bool create) const {
+    Node* node = root_.get();
+    const std::uint32_t bits = prefix.network().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const std::size_t branch = (bits >> (31 - depth)) & 1u;
+      if (node->child[branch] == nullptr) {
+        if (!create) return nullptr;
+        node->child[branch] = std::make_unique<Node>();
+      }
+      node = node->child[branch].get();
+    }
+    return node;
+  }
+
+  template <typename Fn>
+  static void visit(const Node* node, std::uint32_t bits, int depth, Fn& fn) {
+    if (node == nullptr) return;
+    if (node->value)
+      fn(Prefix(Ipv4(bits), static_cast<std::uint8_t>(depth)), *node->value);
+    if (depth == 32) return;
+    visit(node->child[0].get(), bits, depth + 1, fn);
+    visit(node->child[1].get(),
+          bits | (std::uint32_t{1} << (31 - depth)), depth + 1, fn);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cloudmap

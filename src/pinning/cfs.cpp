@@ -1,0 +1,117 @@
+#include "pinning/cfs.h"
+
+#include <unordered_set>
+
+#include "net/geo.h"
+
+namespace cloudmap {
+
+ConstrainedFacilitySearch::ConstrainedFacilitySearch(Inputs inputs,
+                                                     CfsOptions options)
+    : in_(std::move(inputs)), opt_(options) {}
+
+bool ConstrainedFacilitySearch::rtt_feasible(Ipv4 cbi, MetroId metro) {
+  const InterfaceId iface = in_.world->find_interface(cbi);
+  if (!iface.valid()) return false;
+  const GeoPoint& candidate = in_.world->metro(metro).location;
+  bool measured_any = false;
+  double best_measured = 1e18;
+  double best_geo = 0.0;
+  for (std::size_t v = 0; v < in_.vps->size(); ++v) {
+    const auto measured = in_.rtts->rtt(v, iface);
+    if (!measured) continue;
+    measured_any = true;
+    const MetroId vp_metro =
+        in_.world->region((*in_.vps)[v].region).metro;
+    const GeoPoint& from = in_.world->metro(vp_metro).location;
+    const double geo = rtt_ms(from, candidate, /*inflation=*/1.0);
+    // Lower bound: nothing travels faster than light in fiber.
+    if (*measured + opt_.rtt_slack_ms < geo) return false;
+    if (*measured < best_measured) {
+      best_measured = *measured;
+      best_geo = geo;
+    }
+  }
+  if (!measured_any) return false;
+  // Upper bound from the closest vantage: the interface cannot be *much*
+  // farther than the candidate explains (this is what remote peering
+  // violates in the other direction — the tail adds delay that makes
+  // far-away candidates look feasible and nearby ones infeasible).
+  return best_measured <= best_geo * opt_.rtt_inflation_bound +
+                              opt_.rtt_slack_ms + 1.5;
+}
+
+CfsResult ConstrainedFacilitySearch::run() {
+  CfsResult result;
+  // Facilities where the subject cloud is native (its published list).
+  std::unordered_set<std::uint32_t> native;
+  for (std::uint32_t c = 0; c < in_.world->colos.size(); ++c)
+    if (in_.world->colos[c].is_native(in_.subject)) native.insert(c);
+
+  std::unordered_set<std::uint32_t> done;
+  for (const InferredSegment& segment : in_.fabric->segments()) {
+    if (!done.insert(segment.cbi.value()).second) continue;
+    const HopAnnotation annotation = in_.annotator->annotate(segment.cbi);
+    Asn owner = annotation.asn;
+    if (owner.is_unknown()) owner = segment.owner_hint;
+    if (owner.is_unknown()) {
+      ++result.unattributed;
+      continue;
+    }
+    // Constraint 1: facilities listing the peer as tenant, where the cloud
+    // is also present (native, or hosting the IXP the CBI peers at).
+    std::vector<ColoId> candidates;
+    for (const ColoId colo : in_.peeringdb->facilities(owner)) {
+      if (native.count(colo.value) ||
+          in_.world->colo(colo).has_cloud_exchange ||
+          in_.world->colo(colo).ixp.valid())
+        candidates.push_back(colo);
+    }
+    if (candidates.empty()) {
+      ++result.no_tenant_candidates;
+      continue;
+    }
+    // Constraint 2: RTT feasibility per candidate metro.
+    std::vector<ColoId> feasible;
+    for (const ColoId colo : candidates) {
+      if (rtt_feasible(segment.cbi, in_.world->colo(colo).metro))
+        feasible.push_back(colo);
+    }
+    if (feasible.empty()) {
+      ++result.rtt_eliminated_all;
+      continue;
+    }
+    // Deduplicate by metro: candidates in one metro count as one search
+    // outcome only if they collapse to a single facility.
+    if (feasible.size() == 1) {
+      result.pinned.emplace(segment.cbi.value(), feasible.front());
+    } else {
+      ++result.ambiguous;
+    }
+  }
+  return result;
+}
+
+CfsScore score_cfs(const World& world, const CfsResult& result,
+                   CloudProvider subject) {
+  CfsScore score;
+  // True facility per client interface address (first match wins; shared
+  // ports resolve to the same colo anyway).
+  std::unordered_map<std::uint32_t, ColoId> truth;
+  for (const GroundTruthInterconnect& ic : world.interconnects) {
+    if (ic.cloud != subject || ic.private_address) continue;
+    truth.emplace(world.interface(ic.client_interface).address.value(),
+                  ic.colo);
+  }
+  for (const auto& [address, colo] : result.pinned) {
+    const auto it = truth.find(address);
+    if (it == truth.end()) continue;
+    ++score.pinned;
+    if (it->second == colo) ++score.facility_correct;
+    if (world.colo(it->second).metro == world.colo(colo).metro)
+      ++score.metro_correct;
+  }
+  return score;
+}
+
+}  // namespace cloudmap

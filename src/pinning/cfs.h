@@ -1,0 +1,88 @@
+// Constrained facility search (CFS) — the pinning alternative of Giotsas et
+// al. (CoNEXT'15) that §2 discusses. CFS pins an interconnection to a
+// *facility* by intersecting constraints: the peer must be a listed tenant
+// of the facility (PeeringDB), the facility must host the cloud (native
+// list), and the candidate must be feasible under measured RTTs. When the
+// intersection is a single facility, the interconnection is pinned.
+//
+// The paper argues CFS struggles in the cloud setting: a third of Amazon's
+// peerings are invisible in BGP and PeeringDB listings are incomplete, so
+// the constraint sets are often empty; and remote peering (the client
+// router far from the facility) breaks the RTT feasibility check. This
+// implementation lets the benches quantify both failure modes against the
+// paper's co-presence method.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "controlplane/peeringdb.h"
+#include "dataplane/ping.h"
+#include "infer/annotate.h"
+#include "infer/fabric.h"
+
+namespace cloudmap {
+
+struct CfsOptions {
+  // Feasibility: the measured min-RTT from the best region must be within
+  // [geo lower bound - slack, geo upper bound + slack] for the candidate.
+  double rtt_slack_ms = 1.5;
+  // Upper-bound inflation over pure propagation (queuing, inflated paths).
+  double rtt_inflation_bound = 2.2;
+};
+
+struct CfsResult {
+  // CBI address → the single facility that satisfied all constraints.
+  std::unordered_map<std::uint32_t, ColoId> pinned;
+  std::size_t no_tenant_candidates = 0;  // PeeringDB gave no facility
+  std::size_t rtt_eliminated_all = 0;    // every candidate RTT-infeasible
+  std::size_t ambiguous = 0;             // >1 candidate survived
+  std::size_t unattributed = 0;          // CBI owner unknown
+};
+
+class ConstrainedFacilitySearch {
+ public:
+  struct Inputs {
+    const Fabric* fabric = nullptr;
+    const Annotator* annotator = nullptr;
+    const PeeringDb* peeringdb = nullptr;
+    const World* world = nullptr;  // public geography + native-colo list
+    RttCampaign* rtts = nullptr;
+    const std::vector<VantagePoint>* vps = nullptr;
+    CloudProvider subject = CloudProvider::kAmazon;
+  };
+
+  ConstrainedFacilitySearch(Inputs inputs, CfsOptions options = {});
+
+  CfsResult run();
+
+ private:
+  bool rtt_feasible(Ipv4 cbi, MetroId metro);
+
+  Inputs in_;
+  CfsOptions opt_;
+};
+
+// Scoring against ground truth: a facility pin is correct when the pinned
+// colo is the true colo of the interconnection (remote peerings therefore
+// count as wrong — CFS places the *interconnection*, but the client router
+// is elsewhere, which is the ambiguity the paper calls out).
+struct CfsScore {
+  std::size_t pinned = 0;
+  std::size_t facility_correct = 0;
+  std::size_t metro_correct = 0;
+  double facility_accuracy() const {
+    return pinned == 0 ? 0.0
+                       : static_cast<double>(facility_correct) /
+                             static_cast<double>(pinned);
+  }
+  double metro_accuracy() const {
+    return pinned == 0 ? 0.0
+                       : static_cast<double>(metro_correct) /
+                             static_cast<double>(pinned);
+  }
+};
+CfsScore score_cfs(const World& world, const CfsResult& result,
+                   CloudProvider subject);
+
+}  // namespace cloudmap

@@ -1,0 +1,135 @@
+#include "pinning/evaluate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "net/geo.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace cloudmap {
+
+CrossValidationResult cross_validate(Pinner& pinner, const AnchorSet& anchors,
+                                     int folds, double test_fraction,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> precisions;
+  std::vector<double> recalls;
+
+  // Stratify anchor addresses by metro.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> strata;
+  for (const auto& [address, anchor] : anchors.anchors)
+    strata[anchor.metro.value].push_back(address);
+  for (auto& [metro, addresses] : strata) {
+    (void)metro;
+    std::sort(addresses.begin(), addresses.end());
+  }
+
+  for (int fold = 0; fold < folds; ++fold) {
+    // Sample the test set stratum by stratum.
+    std::unordered_set<std::uint32_t> test;
+    for (auto& [metro, addresses] : strata) {
+      (void)metro;
+      std::vector<std::uint32_t> shuffled = addresses;
+      rng.shuffle(shuffled);
+      const std::size_t take = static_cast<std::size_t>(
+          test_fraction * static_cast<double>(shuffled.size()));
+      for (std::size_t i = 0; i < take; ++i) test.insert(shuffled[i]);
+    }
+    if (test.empty()) continue;
+
+    AnchorSet train;
+    for (const auto& [address, anchor] : anchors.anchors)
+      if (!test.count(address)) train.anchors.emplace(address, anchor);
+
+    const PinningResult result = pinner.propagate(train);
+    std::size_t recalled = 0;
+    std::size_t agreed = 0;
+    for (const std::uint32_t address : test) {
+      const auto pin = result.pins.find(address);
+      if (pin == result.pins.end()) continue;
+      ++recalled;
+      if (pin->second.metro == anchors.anchors.at(address).metro) ++agreed;
+    }
+    recalls.push_back(static_cast<double>(recalled) /
+                      static_cast<double>(test.size()));
+    precisions.push_back(recalled == 0 ? 1.0
+                                       : static_cast<double>(agreed) /
+                                             static_cast<double>(recalled));
+  }
+
+  CrossValidationResult out;
+  out.folds = static_cast<int>(precisions.size());
+  out.precision_mean = mean(precisions);
+  out.precision_std = stddev(precisions);
+  out.recall_mean = mean(recalls);
+  out.recall_std = stddev(recalls);
+  return out;
+}
+
+CoverageResult geographic_coverage(const World& world, const PeeringDb& db,
+                                   CloudProvider provider,
+                                   const PinningResult& result) {
+  CoverageResult out;
+  std::unordered_set<std::uint32_t> pinned_metros;
+  for (const auto& [address, pin] : result.pins) {
+    (void)address;
+    pinned_metros.insert(pin.metro.value);
+  }
+  out.pinned_metros = pinned_metros.size();
+  for (const MetroId metro : db.cloud_metros(world, provider)) {
+    ++out.cloud_metros;
+    if (pinned_metros.count(metro.value)) {
+      ++out.covered;
+    } else {
+      out.missing.push_back(metro);
+    }
+  }
+  return out;
+}
+
+GroundTruthAccuracy score_against_truth(const World& world,
+                                        const PinningResult& result) {
+  GroundTruthAccuracy out;
+  for (const auto& [address, pin] : result.pins) {
+    const InterfaceId iface = world.find_interface(Ipv4(address));
+    if (!iface.valid()) continue;
+    ++out.pinned;
+    const MetroId truth =
+        world.routers[world.interface(iface).router.value].metro;
+    if (truth == pin.metro) ++out.correct;
+  }
+  if (out.pinned > 0)
+    out.accuracy =
+        static_cast<double>(out.correct) / static_cast<double>(out.pinned);
+
+  for (const auto& [address, region_value] : result.regional) {
+    const InterfaceId iface = world.find_interface(Ipv4(address));
+    if (!iface.valid()) continue;
+    ++out.regional_assigned;
+    const MetroId truth =
+        world.routers[world.interface(iface).router.value].metro;
+    // Correct when the assigned region is the geographically nearest region
+    // of the same provider to the interface's true metro.
+    const Region& assigned = world.region(RegionId{region_value});
+    double best = 1e18;
+    MetroId best_metro;
+    for (const Region& region : world.regions) {
+      if (region.provider != assigned.provider) continue;
+      const double km = haversine_km(world.metro(truth).location,
+                                     world.metro(region.metro).location);
+      if (km < best) {
+        best = km;
+        best_metro = region.metro;
+      }
+    }
+    if (best_metro == assigned.metro) ++out.regional_correct;
+  }
+  if (out.regional_assigned > 0)
+    out.regional_accuracy = static_cast<double>(out.regional_correct) /
+                            static_cast<double>(out.regional_assigned);
+  return out;
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,56 @@
+// Pinning evaluation (§6.2): 10-fold stratified cross-validation over the
+// anchor set (70-30 train-test split, stratified by metro so thin metros
+// are not emptied), reporting precision and recall of the propagation; plus
+// geographic coverage against the cloud's published metro list; plus — a
+// luxury the paper did not have — accuracy against the generator's ground
+// truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pinning/pinning.h"
+
+namespace cloudmap {
+
+struct CrossValidationResult {
+  double precision_mean = 0.0;
+  double precision_std = 0.0;
+  double recall_mean = 0.0;
+  double recall_std = 0.0;
+  int folds = 0;
+};
+
+// Run `folds` rounds: in each, hold out `test_fraction` of anchors (metro-
+// stratified), propagate from the rest, and score the held-out anchors.
+CrossValidationResult cross_validate(Pinner& pinner, const AnchorSet& anchors,
+                                     int folds = 10,
+                                     double test_fraction = 0.3,
+                                     std::uint64_t seed = 29);
+
+struct CoverageResult {
+  std::size_t cloud_metros = 0;    // metros the cloud is known to be in
+  std::size_t covered = 0;         // of those, metros with pinned interfaces
+  std::size_t pinned_metros = 0;   // total distinct metros pinned to
+  std::vector<MetroId> missing;    // cloud metros with no pinned interface
+};
+
+CoverageResult geographic_coverage(const World& world, const PeeringDb& db,
+                                   CloudProvider provider,
+                                   const PinningResult& result);
+
+struct GroundTruthAccuracy {
+  std::size_t pinned = 0;
+  std::size_t correct = 0;        // pinned metro == true router metro
+  double accuracy = 0.0;
+  std::size_t regional_assigned = 0;
+  std::size_t regional_correct = 0;  // region metro is the true nearest
+  double regional_accuracy = 0.0;
+};
+
+// Score metro pins against the routers' true metros, and regional
+// assignments against the true nearest region.
+GroundTruthAccuracy score_against_truth(const World& world,
+                                        const PinningResult& result);
+
+}  // namespace cloudmap

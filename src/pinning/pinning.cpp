@@ -1,0 +1,350 @@
+#include "pinning/pinning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "net/geo.h"
+
+namespace cloudmap {
+
+const char* to_string(AnchorSource source) {
+  switch (source) {
+    case AnchorSource::kNone: return "none";
+    case AnchorSource::kDns: return "dns";
+    case AnchorSource::kIxp: return "ixp";
+    case AnchorSource::kMetroFootprint: return "metro-footprint";
+    case AnchorSource::kNativeColo: return "native-colo";
+  }
+  return "?";
+}
+
+Pinner::Pinner(Inputs inputs, PinningOptions options)
+    : in_(std::move(inputs)), opt_(options) {}
+
+std::optional<double> Pinner::rtt_from(std::size_t vp_index, Ipv4 address) {
+  const InterfaceId iface = in_.world->find_interface(address);
+  if (!iface.valid()) return std::nullopt;
+  return in_.rtts->rtt(vp_index, iface);
+}
+
+std::optional<double> Pinner::segment_rtt_diff(
+    const InferredSegment& segment) {
+  const InterfaceId abi = in_.world->find_interface(segment.abi);
+  const InterfaceId cbi = in_.world->find_interface(segment.cbi);
+  if (!abi.valid() || !cbi.valid()) return std::nullopt;
+  const auto best = in_.rtts->best_rtt(abi);
+  if (!best) return std::nullopt;
+  const auto cbi_rtt = in_.rtts->rtt(best->second, cbi);
+  if (!cbi_rtt) return std::nullopt;
+  return std::abs(*cbi_rtt - best->first);
+}
+
+void Pinner::merge_anchor(AnchorSet& out, Ipv4 address, MetroId metro,
+                          AnchorSource source) {
+  auto [it, inserted] = out.anchors.emplace(
+      address.value(), Anchor{metro, source,
+                              static_cast<std::uint8_t>(
+                                  1u << static_cast<unsigned>(source))});
+  if (inserted) return;
+  Anchor& anchor = it->second;
+  if (anchor.metro != metro) {
+    // Conflicting evidence: drop the anchor entirely (conservative).
+    out.anchors.erase(it);
+    ++out.conflict_evidence;
+    return;
+  }
+  anchor.source_mask |=
+      static_cast<std::uint8_t>(1u << static_cast<unsigned>(source));
+  ++out.multi_evidence;
+}
+
+void Pinner::anchor_from_dns(AnchorSet& out) {
+  const std::size_t vp_count = in_.vps->size();
+  for (const std::uint32_t cbi : in_.fabric->unique_cbis()) {
+    const auto name = in_.dns->name_of(Ipv4(cbi));
+    if (!name) continue;
+    const auto metro = parse_dns_location(*name, *in_.world);
+    if (!metro) continue;
+    // RTT feasibility: no region may see the interface faster than light in
+    // fiber allows for the claimed metro.
+    const GeoPoint& claimed = in_.world->metro(*metro).location;
+    bool feasible = true;
+    bool seen = false;
+    for (std::size_t v = 0; v < vp_count; ++v) {
+      const auto measured = rtt_from(v, Ipv4(cbi));
+      if (!measured) continue;
+      seen = true;
+      const MetroId vp_metro =
+          in_.world->region((*in_.vps)[v].region).metro;
+      const GeoPoint& from = in_.world->metro(vp_metro).location;
+      // Lower bound with no path inflation at all.
+      const double bound = rtt_ms(from, claimed, /*inflation=*/1.0);
+      if (*measured + opt_.dns_rtt_slack_ms < bound) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!seen) continue;  // nothing measured; no basis for an anchor
+    if (!feasible) {
+      ++out.dns_rtt_excluded;
+      continue;
+    }
+    merge_anchor(out, Ipv4(cbi), *metro, AnchorSource::kDns);
+  }
+}
+
+void Pinner::anchor_from_ixp(AnchorSet& out) {
+  // Group observed IXP CBIs by IXP.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> members;
+  for (const std::uint32_t cbi : in_.fabric->unique_cbis()) {
+    const auto ixp = in_.peeringdb->ixp_of(Ipv4(cbi));
+    if (ixp) members[ixp->value].push_back(cbi);
+  }
+  const std::size_t vp_count = in_.vps->size();
+  for (const auto& [ixp_value, cbis] : members) {
+    const Ixp& ixp = in_.world->ixp(IxpId{ixp_value});
+    if (ixp.multi_metro()) {
+      out.ixp_multi_metro_excluded += cbis.size();
+      continue;
+    }
+    // minIXRTT / minIXRegion over all member interfaces.
+    double min_rtt = 1e18;
+    std::size_t min_region = 0;
+    for (const std::uint32_t cbi : cbis) {
+      for (std::size_t v = 0; v < vp_count; ++v) {
+        const auto measured = rtt_from(v, Ipv4(cbi));
+        if (measured && *measured < min_rtt) {
+          min_rtt = *measured;
+          min_region = v;
+        }
+      }
+    }
+    if (min_rtt >= 1e18) continue;
+    for (const std::uint32_t cbi : cbis) {
+      const auto measured = rtt_from(min_region, Ipv4(cbi));
+      const bool local =
+          measured && *measured <= min_rtt + opt_.ixp_local_slack_ms;
+      if (!local) {
+        ++out.ixp_remote_excluded;
+        continue;
+      }
+      merge_anchor(out, Ipv4(cbi), ixp.metros.front(), AnchorSource::kIxp);
+    }
+  }
+}
+
+void Pinner::anchor_from_footprint(AnchorSet& out) {
+  // ASes listed at facilities/IXPs of exactly one metro: all their CBIs pin
+  // to that metro.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_asn;
+  for (const InferredSegment& segment : in_.fabric->segments()) {
+    const HopAnnotation a = in_.annotator->annotate(segment.cbi);
+    const Asn owner = !segment.owner_hint.is_unknown() &&
+                              a.asn.is_unknown()
+                          ? segment.owner_hint
+                          : a.asn;
+    if (owner.is_unknown()) continue;
+    by_asn[owner.value].push_back(segment.cbi.value());
+  }
+  for (const auto& [asn, cbis] : by_asn) {
+    const auto metros = in_.peeringdb->metro_footprint(*in_.world, Asn{asn});
+    if (metros.size() != 1) continue;
+    for (const std::uint32_t cbi : cbis)
+      merge_anchor(out, Ipv4(cbi), metros.front(),
+                   AnchorSource::kMetroFootprint);
+  }
+}
+
+void Pinner::anchor_from_native(AnchorSet& out) {
+  // ABIs within the min-RTT knee of some region pin to that region's metro
+  // (the native colo nearest the VM).
+  const std::size_t vp_count = in_.vps->size();
+  for (const std::uint32_t abi : in_.fabric->unique_abis()) {
+    double best = 1e18;
+    std::size_t best_vp = 0;
+    for (std::size_t v = 0; v < vp_count; ++v) {
+      const auto measured = rtt_from(v, Ipv4(abi));
+      if (measured && *measured < best) {
+        best = *measured;
+        best_vp = v;
+      }
+    }
+    if (best <= opt_.native_knee_ms) {
+      const MetroId metro =
+          in_.world->region((*in_.vps)[best_vp].region).metro;
+      merge_anchor(out, Ipv4(abi), metro, AnchorSource::kNativeColo);
+    }
+  }
+}
+
+void Pinner::filter_alias_conflicts(AnchorSet& out) {
+  if (in_.aliases == nullptr) return;
+  for (const auto& set : in_.aliases->sets) {
+    MetroId agreed;
+    bool conflict = false;
+    for (const Ipv4 member : set) {
+      const auto it = out.anchors.find(member.value());
+      if (it == out.anchors.end()) continue;
+      if (!agreed.valid()) {
+        agreed = it->second.metro;
+      } else if (agreed != it->second.metro) {
+        conflict = true;
+      }
+    }
+    if (!conflict) continue;
+    for (const Ipv4 member : set) {
+      if (out.anchors.erase(member.value()) > 0) ++out.conflict_alias;
+    }
+  }
+}
+
+AnchorSet Pinner::identify_anchors() {
+  AnchorSet out;
+  anchor_from_dns(out);
+  anchor_from_ixp(out);
+  anchor_from_footprint(out);
+  anchor_from_native(out);
+  filter_alias_conflicts(out);
+  // Exclusive counts in confidence order.
+  for (const auto& [address, anchor] : out.anchors) {
+    (void)address;
+    switch (anchor.source) {
+      case AnchorSource::kDns: ++out.dns; break;
+      case AnchorSource::kIxp: ++out.ixp; break;
+      case AnchorSource::kMetroFootprint: ++out.metro_footprint; break;
+      case AnchorSource::kNativeColo: ++out.native; break;
+      case AnchorSource::kNone: break;
+    }
+  }
+  return out;
+}
+
+PinningResult Pinner::propagate(const AnchorSet& anchors) {
+  PinningResult result;
+  for (const auto& [address, anchor] : anchors.anchors) {
+    result.pins.emplace(address,
+                        Pin{anchor.metro, PinRule::kAnchor, anchor.source, 0});
+  }
+
+  // Precompute the short segments (Rule 2 candidates).
+  struct ShortLink {
+    std::uint32_t a;
+    std::uint32_t b;
+  };
+  std::vector<ShortLink> short_links;
+  for (const InferredSegment& segment : in_.fabric->segments()) {
+    const auto diff = segment_rtt_diff(segment);
+    if (diff && *diff <= opt_.copresence_ms)
+      short_links.push_back(
+          ShortLink{segment.abi.value(), segment.cbi.value()});
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.rounds;
+
+    // Rule 1: alias sets — unanimous pinned members extend to the rest.
+    if (in_.aliases != nullptr) {
+      for (const auto& set : in_.aliases->sets) {
+        MetroId agreed;
+        bool conflict = false;
+        bool any_unpinned = false;
+        for (const Ipv4 member : set) {
+          const auto it = result.pins.find(member.value());
+          if (it == result.pins.end()) {
+            any_unpinned = true;
+            continue;
+          }
+          if (!agreed.valid()) {
+            agreed = it->second.metro;
+          } else if (agreed != it->second.metro) {
+            conflict = true;
+          }
+        }
+        if (!agreed.valid() || !any_unpinned) continue;
+        if (conflict) {
+          ++result.propagation_conflicts;
+          continue;
+        }
+        for (const Ipv4 member : set) {
+          if (result.pins.count(member.value())) continue;
+          result.pins.emplace(member.value(),
+                              Pin{agreed, PinRule::kAliasSet,
+                                  AnchorSource::kNone, result.rounds});
+          ++result.pinned_by_alias;
+          changed = true;
+        }
+      }
+    }
+
+    // Rule 2: short interconnection segments.
+    for (const ShortLink& link : short_links) {
+      const auto ia = result.pins.find(link.a);
+      const auto ib = result.pins.find(link.b);
+      if ((ia == result.pins.end()) == (ib == result.pins.end())) continue;
+      const bool inserted =
+          ia != result.pins.end()
+              ? result.pins
+                    .emplace(link.b, Pin{ia->second.metro, PinRule::kShortLink,
+                                         AnchorSource::kNone, result.rounds})
+                    .second
+              : result.pins
+                    .emplace(link.a, Pin{ib->second.metro, PinRule::kShortLink,
+                                         AnchorSource::kNone, result.rounds})
+                    .second;
+      if (inserted) {
+        ++result.pinned_by_rtt;
+        changed = true;
+      }
+    }
+  }
+
+  // Regional fallback for the rest (Fig. 5): single-region visibility, or a
+  // ≥ threshold ratio between the two lowest region min-RTTs.
+  std::unordered_set<std::uint32_t> all_interfaces;
+  for (const std::uint32_t a : in_.fabric->unique_abis())
+    all_interfaces.insert(a);
+  for (const std::uint32_t c : in_.fabric->unique_cbis())
+    all_interfaces.insert(c);
+  const std::size_t vp_count = in_.vps->size();
+  for (const std::uint32_t address : all_interfaces) {
+    if (result.pins.count(address)) continue;
+    double best = 1e18;
+    double second = 1e18;
+    std::size_t best_vp = 0;
+    int visible = 0;
+    for (std::size_t v = 0; v < vp_count; ++v) {
+      const auto measured = rtt_from(v, Ipv4(address));
+      if (!measured) continue;
+      ++visible;
+      if (*measured < best) {
+        second = best;
+        best = *measured;
+        best_vp = v;
+      } else if (*measured < second) {
+        second = *measured;
+      }
+    }
+    if (visible == 0) continue;
+    const std::uint32_t region =
+        (*in_.vps)[best_vp].region.value;
+    if (visible == 1) {
+      result.regional.emplace(address, region);
+      ++result.regional_single_visibility;
+      continue;
+    }
+    const double ratio = best > 0.0 ? second / best : 1e9;
+    result.rtt_ratios.push_back(std::min(ratio, 1e4));
+    if (ratio >= opt_.ratio_threshold) {
+      result.regional.emplace(address, region);
+      ++result.regional_by_ratio;
+    }
+  }
+  return result;
+}
+
+PinningResult Pinner::run() { return propagate(identify_anchors()); }
+
+}  // namespace cloudmap

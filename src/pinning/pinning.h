@@ -1,0 +1,141 @@
+// Pinning (§6.1): geo-locating each end of every inferred interconnection at
+// metro granularity. Two stages:
+//
+//   1. Anchors — interfaces with independently reliable locations, from four
+//      evidence sources (in confidence order): DNS location hints (with an
+//      RTT speed-of-light feasibility check), IXP association (excluding
+//      multi-metro IXPs and remote members via the minIXRTT+2ms rule),
+//      single-metro PeeringDB footprints, and native-colo ABIs (the <2 ms
+//      min-RTT knee of Fig. 4a). Anchors with conflicting evidence, or that
+//      conflict inside an alias set, are discarded (conservative).
+//   2. Co-presence propagation — Rule 1 (alias sets share a facility) and
+//      Rule 2 (interconnection segments with <2 ms min-RTT difference stay
+//      within a metro), iterated to fixpoint with unanimity required.
+//
+// Interfaces still unpinned afterwards fall back to regional pinning via the
+// min-RTT-ratio (≥1.5×) rule of Fig. 5.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "controlplane/dns.h"
+#include "controlplane/peeringdb.h"
+#include "dataplane/ping.h"
+#include "infer/alias_verify.h"
+#include "infer/annotate.h"
+#include "infer/fabric.h"
+
+namespace cloudmap {
+
+enum class AnchorSource : std::uint8_t {
+  kNone = 0,
+  kDns,
+  kIxp,
+  kMetroFootprint,
+  kNativeColo,
+};
+const char* to_string(AnchorSource source);
+
+enum class PinRule : std::uint8_t {
+  kAnchor = 0,
+  kAliasSet,   // Rule 1
+  kShortLink,  // Rule 2
+};
+
+struct PinningOptions {
+  double copresence_ms = 2.0;     // Rule 2 / Fig. 4b knee
+  double native_knee_ms = 2.0;    // Fig. 4a knee
+  double ixp_local_slack_ms = 2.0;
+  double dns_rtt_slack_ms = 0.5;  // tolerance on the feasibility bound
+  double ratio_threshold = 1.5;   // Fig. 5 regional rule
+};
+
+struct Anchor {
+  MetroId metro;
+  AnchorSource source = AnchorSource::kNone;  // first (highest) source
+  std::uint8_t source_mask = 0;               // all agreeing sources
+};
+
+struct AnchorSet {
+  std::unordered_map<std::uint32_t, Anchor> anchors;  // by address
+  // Exclusive counts in confidence order (Table 3, left half).
+  std::size_t dns = 0, ixp = 0, metro_footprint = 0, native = 0;
+  std::size_t multi_evidence = 0;        // anchors with >1 agreeing source
+  std::size_t conflict_evidence = 0;     // dropped: sources disagreed
+  std::size_t conflict_alias = 0;        // dropped: alias-set disagreement
+  std::size_t dns_rtt_excluded = 0;      // DNS hints failing feasibility
+  std::size_t ixp_remote_excluded = 0;   // remote IXP members
+  std::size_t ixp_multi_metro_excluded = 0;
+};
+
+struct Pin {
+  MetroId metro;
+  PinRule rule = PinRule::kAnchor;
+  AnchorSource anchor_source = AnchorSource::kNone;
+  int round = 0;  // propagation round (0 = anchor)
+};
+
+struct PinningResult {
+  std::unordered_map<std::uint32_t, Pin> pins;  // metro-level, by address
+  std::size_t pinned_by_alias = 0;              // Rule 1 (exclusive)
+  std::size_t pinned_by_rtt = 0;                // Rule 2 (exclusive)
+  std::size_t propagation_conflicts = 0;        // unanimity violations
+  int rounds = 0;
+
+  // Regional fallback for interfaces unpinned at metro level.
+  std::unordered_map<std::uint32_t, std::uint32_t> regional;  // addr→region
+  std::size_t regional_single_visibility = 0;  // seen from one region only
+  std::size_t regional_by_ratio = 0;           // min-RTT ratio ≥ threshold
+  std::vector<double> rtt_ratios;              // the Fig. 5 sample
+};
+
+class Pinner {
+ public:
+  struct Inputs {
+    const Fabric* fabric = nullptr;
+    const Annotator* annotator = nullptr;
+    const PeeringDb* peeringdb = nullptr;
+    const DnsRegistry* dns = nullptr;
+    const AliasSets* aliases = nullptr;
+    const World* world = nullptr;  // public geography + native-colo list
+    RttCampaign* rtts = nullptr;
+    // Subject-cloud vantage points, same order as the RTT campaign's.
+    const std::vector<VantagePoint>* vps = nullptr;
+  };
+
+  Pinner(Inputs inputs, PinningOptions options = {});
+
+  // Stage 1: identify anchors (with consistency filtering).
+  AnchorSet identify_anchors();
+
+  // Stage 2: propagate from the given anchors to fixpoint, then apply the
+  // regional fallback to what is left.
+  PinningResult propagate(const AnchorSet& anchors);
+
+  // Convenience: both stages.
+  PinningResult run();
+
+  // Measured min-RTT (ms) from the i-th vantage point to an address;
+  // nullopt when unreachable. Exposed for benches (Fig. 4a/4b).
+  std::optional<double> rtt_from(std::size_t vp_index, Ipv4 address);
+
+  // Min-RTT difference between the two ends of a segment, measured from the
+  // vantage point closest to the ABI (footnote 13); nullopt if unreachable.
+  std::optional<double> segment_rtt_diff(const InferredSegment& segment);
+
+ private:
+  void anchor_from_dns(AnchorSet& out);
+  void anchor_from_ixp(AnchorSet& out);
+  void anchor_from_footprint(AnchorSet& out);
+  void anchor_from_native(AnchorSet& out);
+  void merge_anchor(AnchorSet& out, Ipv4 address, MetroId metro,
+                    AnchorSource source);
+  void filter_alias_conflicts(AnchorSet& out);
+
+  Inputs in_;
+  PinningOptions opt_;
+};
+
+}  // namespace cloudmap

@@ -1,0 +1,40 @@
+#include "topology/address_plan.h"
+
+namespace cloudmap {
+
+Prefix PrefixPool::allocate(std::uint8_t length) {
+  if (length < pool_.length() || length > 32)
+    throw std::length_error("PrefixPool: bad requested length");
+  const std::uint64_t block = std::uint64_t{1} << (32 - length);
+  // Align the cursor up to the block size.
+  std::uint64_t start = (cursor_ + block - 1) & ~(block - 1);
+  const std::uint64_t end =
+      static_cast<std::uint64_t>(pool_.network().value()) + pool_.size();
+  if (start + block > end) throw std::length_error("PrefixPool exhausted");
+  cursor_ = start + block;
+  return Prefix(Ipv4(static_cast<std::uint32_t>(start)), length);
+}
+
+AddressPlan AddressPlan::standard() {
+  AddressPlan plan;
+  // Cloud announced space: one /11 each, spread across 40.0.0.0/8.
+  plan.cloud_announced[1] = PrefixPool(Prefix(Ipv4(40, 0, 0, 0), 11));    // amazon
+  plan.cloud_announced[2] = PrefixPool(Prefix(Ipv4(40, 32, 0, 0), 11));   // microsoft
+  plan.cloud_announced[3] = PrefixPool(Prefix(Ipv4(40, 64, 0, 0), 11));   // google
+  plan.cloud_announced[4] = PrefixPool(Prefix(Ipv4(40, 96, 0, 0), 11));   // ibm
+  plan.cloud_announced[5] = PrefixPool(Prefix(Ipv4(40, 128, 0, 0), 11));  // oracle
+  // WHOIS-only infrastructure space shared by the clouds (each allocation is
+  // registered to the allocating cloud in the synthetic WHOIS registry).
+  plan.cloud_infra = PrefixPool(Prefix(Ipv4(44, 0, 0, 0), 10));
+  // RFC1918 space used inside cloud backbones.
+  plan.cloud_private = PrefixPool(Prefix(Ipv4(10, 0, 0, 0), 8));
+  // Client space.
+  plan.client_announced = PrefixPool(Prefix(Ipv4(20, 0, 0, 0), 8));
+  plan.client_whois = PrefixPool(Prefix(Ipv4(60, 0, 0, 0), 12));
+  // IXP LANs and cloud-exchange ports.
+  plan.ixp_lans = PrefixPool(Prefix(Ipv4(80, 0, 0, 0), 14));
+  plan.exchange_ports = PrefixPool(Prefix(Ipv4(80, 64, 0, 0), 14));
+  return plan;
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,54 @@
+// Address-plan machinery: carves the synthetic IPv4 space into the pools the
+// generator draws from. Pool choice is what gives the inference pipeline its
+// annotation behaviour — announced blocks resolve via BGP, WHOIS-only blocks
+// only via the registry, IXP LANs via the IXP prefix lists, and cloud
+// internal space via RFC1918/RFC6598 (ASN 0 hops, §3).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+
+namespace cloudmap {
+
+// Bump allocator over one top-level pool prefix; hands out aligned child
+// prefixes of any requested length, never overlapping.
+class PrefixPool {
+ public:
+  PrefixPool() = default;
+  explicit PrefixPool(Prefix pool) : pool_(pool), cursor_(pool.network().value()) {}
+
+  const Prefix& pool() const noexcept { return pool_; }
+
+  // Allocate the next aligned /length block; throws std::length_error when
+  // the pool is exhausted (a generator-configuration bug, not a user error).
+  Prefix allocate(std::uint8_t length);
+
+  // Addresses handed out so far (for diagnostics).
+  std::uint64_t used() const noexcept {
+    return cursor_ - pool_.network().value();
+  }
+
+ private:
+  Prefix pool_;
+  std::uint64_t cursor_ = 0;  // 64-bit so a fully consumed pool doesn't wrap
+};
+
+// The named pools of the world's address plan.
+struct AddressPlan {
+  PrefixPool cloud_announced[6];   // per CloudProvider: announced blocks
+  PrefixPool cloud_infra;          // WHOIS-only cloud infrastructure space
+  PrefixPool cloud_private;        // RFC1918 space used inside clouds
+  PrefixPool client_announced;     // client blocks visible in BGP
+  PrefixPool client_whois;         // client blocks allocated but unannounced
+  PrefixPool ixp_lans;             // IXP peering LANs
+  PrefixPool exchange_ports;       // cloud-exchange port addressing
+
+  // Standard layout used by the generator; all pools disjoint.
+  static AddressPlan standard();
+};
+
+}  // namespace cloudmap

@@ -1,0 +1,51 @@
+#include "topology/entities.h"
+
+namespace cloudmap {
+
+const char* to_string(CloudProvider provider) {
+  switch (provider) {
+    case CloudProvider::kNone: return "none";
+    case CloudProvider::kAmazon: return "amazon";
+    case CloudProvider::kMicrosoft: return "microsoft";
+    case CloudProvider::kGoogle: return "google";
+    case CloudProvider::kIbm: return "ibm";
+    case CloudProvider::kOracle: return "oracle";
+  }
+  return "?";
+}
+
+const char* to_string(AsType type) {
+  switch (type) {
+    case AsType::kCloud: return "cloud";
+    case AsType::kTier1: return "tier1";
+    case AsType::kTier2: return "tier2";
+    case AsType::kAccess: return "access";
+    case AsType::kEnterprise: return "enterprise";
+    case AsType::kContent: return "content";
+    case AsType::kCdn: return "cdn";
+  }
+  return "?";
+}
+
+const char* to_string(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kIntraAs: return "intra-as";
+    case LinkKind::kTransit: return "transit";
+    case LinkKind::kPeer: return "peer";
+    case LinkKind::kIxpLan: return "ixp-lan";
+    case LinkKind::kCrossConnect: return "cross-connect";
+    case LinkKind::kVpi: return "vpi";
+  }
+  return "?";
+}
+
+const char* to_string(PeeringKind kind) {
+  switch (kind) {
+    case PeeringKind::kPublicIxp: return "public-ixp";
+    case PeeringKind::kCrossConnect: return "cross-connect";
+    case PeeringKind::kVpi: return "vpi";
+  }
+  return "?";
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,224 @@
+// Ground-truth entity model for the synthetic Internet the measurement
+// pipeline is pointed at. The generator (generator.h) populates these tables;
+// the data plane walks them; the inference pipeline never reads them directly
+// (it only sees traceroutes, pings, BGP snapshots, and public datasets), but
+// tests and benches use them to score inference against truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/geo.h"
+#include "net/ids.h"
+#include "net/ipv4.h"
+#include "net/prefix.h"
+
+namespace cloudmap {
+
+// The cloud providers that appear in the study: Amazon as the subject,
+// the other four as the foreign vantage points of §7.1.
+enum class CloudProvider : std::uint8_t {
+  kNone = 0,
+  kAmazon,
+  kMicrosoft,
+  kGoogle,
+  kIbm,
+  kOracle,
+};
+inline constexpr std::size_t kCloudProviderCount = 6;
+const char* to_string(CloudProvider provider);
+
+// Business role of an AS; drives footprint size, cone size, and which
+// peering types it establishes with the clouds.
+enum class AsType : std::uint8_t {
+  kCloud = 0,   // one of the five cloud providers
+  kTier1,       // global transit backbone
+  kTier2,       // regional transit
+  kAccess,      // eyeball / access network
+  kEnterprise,  // business network, the main VPI users
+  kContent,     // content provider
+  kCdn,         // content delivery network
+};
+const char* to_string(AsType type);
+
+// A metropolitan area. Pinning (§6) is defined at metro granularity.
+struct Metro {
+  std::string name;
+  std::string airport_code;  // 3-letter code used in synthetic DNS names
+  std::string country;
+  GeoPoint location;
+};
+
+// A colocation facility within a metro. Facilities may house an IXP and/or a
+// cloud-exchange switching fabric, and each cloud is "native" in a subset.
+struct ColoFacility {
+  std::string name;
+  MetroId metro;
+  IxpId ixp;  // invalid if the facility hosts no IXP
+  bool has_cloud_exchange = false;
+  // Bitmask over CloudProvider values: clouds housing border routers here.
+  std::uint8_t native_clouds = 0;
+
+  bool is_native(CloudProvider provider) const {
+    return (native_clouds >> static_cast<unsigned>(provider)) & 1u;
+  }
+  void set_native(CloudProvider provider) {
+    native_clouds |= static_cast<std::uint8_t>(1u << static_cast<unsigned>(provider));
+  }
+};
+
+// An Internet exchange point. Its peering LAN prefix is what the IXP-client
+// heuristic (§5.1) and IXP-association anchoring (§6.1) key on. A few real
+// IXPs span multiple metros; the paper excludes those from anchoring.
+struct Ixp {
+  std::string name;
+  Prefix peering_prefix;
+  std::vector<MetroId> metros;  // usually exactly one
+  bool multi_metro() const { return metros.size() > 1; }
+};
+
+// A cloud region (e.g. us-east-1). Vantage-point VMs live in regions; the
+// region's metro anchors the region's geographic identity.
+struct Region {
+  std::string name;
+  CloudProvider provider = CloudProvider::kNone;
+  MetroId metro;
+  RouterId core_router;      // first hop of every probe from this region's VMs
+  InterfaceId vm_gateway;    // host-facing interface the core replies with
+};
+
+// An autonomous system.
+struct AutonomousSystem {
+  Asn asn;
+  OrgId org;
+  AsType type = AsType::kEnterprise;
+  std::string name;
+  CloudProvider cloud = CloudProvider::kNone;  // set only for AsType::kCloud
+  std::vector<MetroId> footprint;              // metros with presence
+  std::vector<Prefix> announced_prefixes;      // visible in BGP
+  std::vector<Prefix> whois_only_prefixes;     // allocated but not announced
+  std::vector<RouterId> routers;
+  // Relationship lists used by the BGP simulator (indices into World::ases).
+  std::vector<AsId> providers;
+  std::vector<AsId> customers;
+  std::vector<AsId> peers;
+  // True for stub businesses without an ASN of their own that are "brought"
+  // to the cloud exchange by an access network (they still need an entry in
+  // this table to own routers/prefixes, but they never appear in BGP).
+  bool non_asn_business = false;
+};
+
+// Classes of point-to-point adjacency in the router graph.
+enum class LinkKind : std::uint8_t {
+  kIntraAs = 0,      // backbone link inside one AS
+  kTransit,          // provider-customer interconnection (non-cloud)
+  kPeer,             // settlement-free peering between non-cloud ASes
+  kIxpLan,           // adjacency across an IXP's shared switching fabric
+  kCrossConnect,     // private physical interconnection at a colo
+  kVpi,              // virtual private interconnection over a cloud exchange
+};
+const char* to_string(LinkKind kind);
+
+struct Link {
+  InterfaceId side_a;
+  InterfaceId side_b;
+  LinkKind kind = LinkKind::kIntraAs;
+  double latency_ms = 0.1;  // one-way propagation delay
+};
+
+// How a router answers traceroute probes. Real routers overwhelmingly reply
+// with the incoming interface, sometimes with a fixed (possibly third-party)
+// interface, and sometimes not at all (§9 discusses these artifacts).
+enum class ReplyPolicy : std::uint8_t {
+  kIncomingInterface = 0,
+  kFixedInterface,  // always replies with `Router::fixed_reply`
+  kSilent,
+};
+
+struct Router {
+  AsId owner;
+  MetroId metro;
+  ColoId colo;  // invalid when not in a colo facility
+  std::vector<InterfaceId> interfaces;
+  ReplyPolicy reply_policy = ReplyPolicy::kIncomingInterface;
+  InterfaceId fixed_reply;  // used when reply_policy == kFixedInterface
+  // Probability that a given probe gets any answer at all.
+  double response_probability = 0.97;
+  // Shared IP-ID counter parameters for MIDAR-style alias resolution: all
+  // interfaces of one router sample the same (base, velocity) counter.
+  std::uint32_t ipid_base = 0;
+  double ipid_velocity = 100.0;  // counter increments per simulated second
+  // Whether interfaces of this router answer probes arriving from the public
+  // Internet (used by the reachability heuristic, §5.1). Amazon border
+  // routers typically do not.
+  bool publicly_reachable = true;
+  // For cloud border routers: the intra-cloud link toward the parent
+  // (region core or aggregation border). Lets the forwarder reconstruct the
+  // core→border hop chain without a graph search.
+  LinkId uplink;
+  // Additional upstream links toward other region cores. Real cloud border
+  // routers attach to the backbone in several directions, so the interface
+  // they answer with (the observed ABI) depends on where the probe came
+  // from — this is what gives CBIs their multi-ABI degree (Fig. 7b) and
+  // stitches the ICG together (§7.4).
+  std::vector<LinkId> extra_uplinks;
+};
+
+struct Interface {
+  Ipv4 address;
+  RouterId router;
+  LinkId link;  // the adjacency this interface terminates; invalid for
+                // loopback/host-facing interfaces
+  bool responds_to_alias_probes = true;
+};
+
+// Classes of interconnection between a cloud and a client, matching the
+// peering taxonomy of §2/§7.
+enum class PeeringKind : std::uint8_t {
+  kPublicIxp = 0,    // bi/multi-lateral peering across an IXP
+  kCrossConnect,     // private physical cross-connect
+  kVpi,              // virtual private interconnection via a cloud exchange
+};
+const char* to_string(PeeringKind kind);
+
+// Ground truth for one cloud-client interconnection (one physical or virtual
+// link). An AS may hold many of these, across facilities and kinds; the set
+// of interconnections of one (cloud, AS) pair forms a "peering" in the
+// paper's terminology.
+struct GroundTruthInterconnect {
+  CloudProvider cloud = CloudProvider::kAmazon;
+  AsId client;
+  PeeringKind kind = PeeringKind::kCrossConnect;
+  ColoId colo;    // facility where the cloud side terminates
+  MetroId metro;  // metro of that facility
+  LinkId link;
+  // Client side terminates in a different metro, reached over a layer-2 tail
+  // through a connectivity partner (remote peering, AS5 in Fig. 1).
+  bool remote = false;
+  MetroId client_metro;  // == metro unless remote
+  // For kVpi: the VPI uses private (RFC1918) addressing and is confined to
+  // the customer's VPC — invisible to every probe the study can launch.
+  bool private_address = false;
+  // For kVpi: the client port on the exchange keeps one shared address for
+  // all clouds (detectable overlap) vs. per-cloud /30s from each provider.
+  bool shared_port_address = false;
+  // Fig. 2 ambiguity: the interconnect /30 was allocated by the cloud (true)
+  // or by the client (false).
+  bool cloud_provided_subnet = false;
+  // Interfaces on the interconnect link: the cloud-side border interface and
+  // the client-side border interface (the true CBI for this link).
+  InterfaceId cloud_interface;
+  InterfaceId client_interface;
+  // Redundant BGP session over the same L2 fabric to a second cloud router
+  // (common at IXPs and cloud exchanges). The client side reuses the same
+  // port address, so the one CBI is observed behind several cloud routers —
+  // the §7.4 connectivity that stitches the ICG together.
+  LinkId secondary_link;
+  // Prefixes the client announces to the cloud over this interconnect; this
+  // is what the cloud's FIB installs and therefore what the interconnect can
+  // "reach" (the Fig. 6 reachable-/24 feature).
+  std::vector<Prefix> announced_to_cloud;
+};
+
+}  // namespace cloudmap

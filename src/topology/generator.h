@@ -1,0 +1,140 @@
+// Ground-truth world generator. Builds a synthetic Internet with every
+// structural feature the paper's inference pipeline has to contend with:
+//
+//   * a multi-region Amazon (plus Microsoft/Google/IBM/Oracle) with region
+//     core routers, a private backbone, and border routers at native colos;
+//   * client ASes of six business types with realistic footprints, address
+//     blocks (announced / WHOIS-only / intermittently announced), and
+//     provider/peer/customer relationships;
+//   * colo facilities with IXPs and cloud-exchange fabrics;
+//   * cloud-client interconnections of all three kinds (public IXP peering,
+//     private cross-connect, VPI), including remote peering through
+//     connectivity partners, private-address VPIs (invisible by design),
+//     shared-port VPIs (the §7.1 multi-cloud overlap signal), and the Fig. 2
+//     address-sharing ambiguity (cloud- vs client-provided /30s);
+//   * router response quirks: silent routers, fixed/third-party replies,
+//     hybrid Amazon border routers (Fig. 3), unreachable-from-public Amazon
+//     borders (§5.1's reachability heuristic).
+#pragma once
+
+#include <cstdint>
+
+#include "topology/world.h"
+#include "util/rng.h"
+
+namespace cloudmap {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 1;
+
+  // --- world scale ---
+  int metro_count = 45;          // capped by the built-in metro table
+  int amazon_regions = 15;
+  int microsoft_regions = 12;
+  int google_regions = 10;
+  int ibm_regions = 6;
+  int oracle_regions = 4;
+
+  int tier1_count = 8;
+  int tier2_count = 56;
+  int access_count = 140;
+  int enterprise_count = 240;
+  int content_count = 80;
+  int cdn_count = 16;
+
+  // Extra native-colo metros beyond region metros (Amazon edge presence);
+  // drives the >2 ms part of the Fig. 4a ABI min-RTT distribution.
+  int amazon_edge_metros = 22;
+  // Border routers per native colo (1..this).
+  int max_border_routers_per_colo = 4;
+
+  // --- facility fabric ---
+  double ixp_metro_probability = 0.75;       // metro hosts an IXP
+  double cloud_exchange_probability = 0.65;  // native colo runs an exchange
+  int multi_metro_ixps = 2;                  // IXPs spanning two metros
+
+  // --- client peering behaviour with Amazon, by AS type ---
+  // Probability of having at least one peering of each kind. Tuned so the
+  // Table 5 group shares land near the paper's: most peers are public-only
+  // edge networks; VPI users are fewer but hold several ports each (the
+  // paper's Pr-nB-V group has ~12 CBIs per AS); transit cross-connects
+  // carry many interconnections per AS.
+  double enterprise_vpi = 0.38;
+  double enterprise_xconnect = 0.12;
+  double enterprise_public = 0.60;
+  double access_public = 0.88;
+  double access_vpi = 0.12;
+  double access_xconnect = 0.14;
+  double content_public = 0.90;
+  double content_xconnect = 0.15;
+  double content_vpi = 0.10;
+  double cdn_public = 1.0;
+  double cdn_xconnect = 0.8;
+  double cdn_vpi = 0.3;
+  double tier2_public = 0.85;
+  double tier2_xconnect = 0.40;
+  double tier2_vpi = 0.10;
+  double tier1_xconnect = 1.0;  // every tier1 cross-connects (transit role)
+  double tier1_vpi = 0.5;       // half also act as connectivity partners
+  // VPI ports per VPI-using client (1..this).
+  int max_vpi_ports = 5;
+
+  // --- interconnect detail knobs ---
+  double vpi_private_address = 0.25;   // VPI confined to the VPC (invisible)
+  double vpi_shared_port = 0.70;       // client keeps one address per port
+  // Remote peering through connectivity partners. The paper finds ~43% of
+  // observed IXP member interfaces belong to remote peers (§6.1). Physical
+  // cross-connects are a different matter: they terminate in-building, so
+  // only a small fraction arrives over a partner's layer-2 tail.
+  double vpi_remote = 0.35;            // VPI reached via a partner's L2 tail
+  double public_remote = 0.40;         // remote IXP membership
+  double xconnect_remote = 0.08;       // partner-carried cross-connects
+  // Fig. 2: the cloud allocates the interconnect /30. AWS requires
+  // customer-owned public addressing on public VIFs, so this is the less
+  // common case — but common enough to exercise the shift machinery.
+  double cloud_provided_subnet = 0.18;
+  // Multi-cloud VPI adoption given an Amazon shared-port VPI exists.
+  double also_microsoft = 0.80;
+  double also_google = 0.18;
+  double also_ibm = 0.05;
+  double also_oracle = 0.0;  // the paper found zero Amazon/Oracle overlap
+
+  // --- addressing / registry realism ---
+  double abi_infra_address = 0.62;        // ABI addr from WHOIS-only space
+  double client_whois_prefix = 0.18;      // AS holds an unannounced block
+  double intermittent_announce = 0.22;    // block missing from the round-1
+                                          // BGP snapshot, present in round-2
+  // --- router response realism ---
+  double router_silent = 0.02;
+  // Default/loopback-interface replies. The paper (§9, citing Luckie et
+  // al.) puts incoming-interface replies only "above 50%", i.e. a large
+  // minority of routers answer with a stable interface across all their
+  // links. Those stable interfaces are what fuses the ICG's giant
+  // component (§7.4). Tier-1 carriers run tighter configs, which also
+  // keeps the Table 4 inter-cloud overlap clean.
+  double router_fixed_reply = 0.28;
+  double tier2_fixed_reply = 0.32;
+  double tier1_fixed_reply = 0.0;  // keeps inter-cloud paths artifact-free
+                                   // (the paper's Table 4 Oracle row is 0)
+  // Probability that an L2-fabric peering (IXP or VPI) holds a redundant
+  // session to a second cloud router on the same fabric.
+  double redundant_session = 0.45;
+  // Extra backbone attachments per cloud border router (0..this), drawn to
+  // the nearest other cores.
+  int max_extra_uplinks = 2;
+  double client_public_reachability = 0.72;
+  double hybrid_aggregation = 0.5;       // chance a colo chains its borders
+
+  // DNS naming coverage of client border interfaces.
+  double dns_coverage = 0.42;
+  double dns_wrong_location = 0.03;      // stale/mislabelled names
+
+  // Presets.
+  static GeneratorConfig small();        // fast unit-test world
+  static GeneratorConfig paper_shape();  // bench world (~1/6 paper scale)
+};
+
+// Build a world from the configuration. Deterministic in config.seed.
+World generate_world(const GeneratorConfig& config);
+
+}  // namespace cloudmap

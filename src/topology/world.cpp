@@ -1,0 +1,142 @@
+#include "topology/world.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace cloudmap {
+
+std::vector<RegionId> World::regions_of(CloudProvider provider) const {
+  std::vector<RegionId> out;
+  for (std::uint32_t i = 0; i < regions.size(); ++i)
+    if (regions[i].provider == provider) out.push_back(RegionId{i});
+  return out;
+}
+
+InterfaceId World::find_interface(Ipv4 address) const {
+  const auto it = interface_by_ip.find(address.value());
+  return it == interface_by_ip.end() ? InterfaceId{} : it->second;
+}
+
+AsId World::owner_of(Ipv4 address) const {
+  const AsId* owner = prefix_owner.lookup(address);
+  return owner == nullptr ? AsId{} : *owner;
+}
+
+std::vector<Prefix> World::probeable_slash24s() const {
+  // Deduplicate at /24 granularity: allocations longer than /24 (e.g.
+  // interconnect /30s) collapse into their covering /24, the way the real
+  // sweep walks whole /24s of the IPv4 space.
+  std::unordered_set<std::uint32_t> networks;
+  prefix_owner.for_each([&](const Prefix& prefix, AsId) {
+    if (prefix.network().is_private() || prefix.network().is_shared()) return;
+    if (prefix.length() >= 24) {
+      networks.insert(prefix.network().value() & 0xFFFFFF00u);
+    } else {
+      for (const Prefix& sub : prefix.enumerate_slash24s())
+        networks.insert(sub.network().value());
+    }
+  });
+  std::vector<Prefix> out;
+  out.reserve(networks.size());
+  for (std::uint32_t network : networks)
+    out.emplace_back(Ipv4(network), std::uint8_t{24});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+InterfaceId World::add_interface(RouterId router_id, Ipv4 address,
+                                 LinkId link_id) {
+  const InterfaceId id{static_cast<std::uint32_t>(interfaces.size())};
+  interfaces.push_back(Interface{address, router_id, link_id, true});
+  routers[router_id.value].interfaces.push_back(id);
+  if (!address.is_unspecified()) interface_by_ip[address.value()] = id;
+  return id;
+}
+
+LinkId World::add_link(InterfaceId a, InterfaceId b, LinkKind kind,
+                       double latency_ms) {
+  const LinkId id{static_cast<std::uint32_t>(links.size())};
+  links.push_back(Link{a, b, kind, latency_ms});
+  interfaces[a.value].link = id;
+  interfaces[b.value].link = id;
+  return id;
+}
+
+LinkId World::connect(RouterId router_a, Ipv4 address_a, RouterId router_b,
+                      Ipv4 address_b, LinkKind kind, double latency_ms) {
+  const InterfaceId a = add_interface(router_a, address_a, LinkId{});
+  const InterfaceId b = add_interface(router_b, address_b, LinkId{});
+  return add_link(a, b, kind, latency_ms);
+}
+
+std::string World::validate() const {
+  std::ostringstream err;
+  for (std::uint32_t i = 0; i < interfaces.size(); ++i) {
+    const Interface& iface = interfaces[i];
+    if (!iface.router.valid() || iface.router.value >= routers.size()) {
+      err << "interface " << i << " has invalid router";
+      return err.str();
+    }
+    bool listed = false;
+    for (InterfaceId owned : routers[iface.router.value].interfaces)
+      if (owned.value == i) listed = true;
+    if (!listed) {
+      err << "interface " << i << " missing from its router's list";
+      return err.str();
+    }
+  }
+  for (std::uint32_t i = 0; i < links.size(); ++i) {
+    const Link& l = links[i];
+    if (!l.side_a.valid() || !l.side_b.valid() ||
+        l.side_a.value >= interfaces.size() ||
+        l.side_b.value >= interfaces.size()) {
+      err << "link " << i << " has invalid endpoints";
+      return err.str();
+    }
+    if (interfaces[l.side_a.value].link.value != i ||
+        interfaces[l.side_b.value].link.value != i) {
+      err << "link " << i << " endpoints do not point back at it";
+      return err.str();
+    }
+    if (l.latency_ms < 0.0) {
+      err << "link " << i << " has negative latency";
+      return err.str();
+    }
+  }
+  for (std::uint32_t i = 0; i < routers.size(); ++i) {
+    const Router& r = routers[i];
+    if (!r.owner.valid() || r.owner.value >= ases.size()) {
+      err << "router " << i << " has invalid owner";
+      return err.str();
+    }
+    if (!r.metro.valid() || r.metro.value >= metros.size()) {
+      err << "router " << i << " has invalid metro";
+      return err.str();
+    }
+    if (r.reply_policy == ReplyPolicy::kFixedInterface &&
+        !r.fixed_reply.valid()) {
+      err << "router " << i << " fixed-reply policy without interface";
+      return err.str();
+    }
+  }
+  for (const GroundTruthInterconnect& ic : interconnects) {
+    if (!ic.client.valid() || ic.client.value >= ases.size()) {
+      return "interconnect with invalid client";
+    }
+    if (!ic.link.valid() || ic.link.value >= links.size()) {
+      return "interconnect with invalid link";
+    }
+    if (!ic.cloud_interface.valid() || !ic.client_interface.valid()) {
+      return "interconnect with invalid interfaces";
+    }
+    const AsId client_owner =
+        router_owner(interfaces[ic.client_interface.value].router);
+    if (client_owner != ic.client) {
+      return "interconnect client interface not owned by client AS";
+    }
+  }
+  return "";
+}
+
+}  // namespace cloudmap

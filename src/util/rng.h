@@ -1,0 +1,148 @@
+// Deterministic pseudo-random number generation for reproducible simulation.
+//
+// All stochastic choices in cloudmap flow through Rng so that a single seed
+// reproduces an entire world, measurement campaign, and analysis run bit for
+// bit. The generator is xoshiro256** seeded via splitmix64, which is fast,
+// has a 256-bit state, and passes BigCrush.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace cloudmap {
+
+// splitmix64 step; used to expand a 64-bit seed into generator state and to
+// derive independent child seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** generator with convenience sampling helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9d2c5680cafe1234ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    const __uint128_t wide = static_cast<__uint128_t>(next()) * bound;
+    return static_cast<std::uint64_t>(wide >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    bounded(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  // Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  // Standard normal via Marsaglia polar method (no caching; simple & exact).
+  double normal() noexcept {
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    return u * std::sqrt(-2.0 * std::log(s) / s);
+  }
+
+  // Exponential with the given mean.
+  double exponential(double mean) noexcept {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  // Pareto-distributed integer >= minimum with shape alpha; used for skewed
+  // quantities such as AS customer-cone sizes and interface degrees.
+  std::uint64_t pareto(std::uint64_t minimum, double alpha) noexcept {
+    const double value =
+        static_cast<double>(minimum) / std::pow(1.0 - uniform(), 1.0 / alpha);
+    constexpr double kCap = 1e15;
+    return static_cast<std::uint64_t>(value < kCap ? value : kCap);
+  }
+
+  // Pick an index with probability proportional to weights[i].
+  std::size_t weighted(const std::vector<double>& weights) noexcept {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double roll = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      roll -= weights[i];
+      if (roll < 0.0) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = bounded(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Derive an independent child generator; used to give each subsystem its
+  // own stream so that adding draws in one module does not perturb others.
+  Rng fork(std::uint64_t stream_id) noexcept {
+    std::uint64_t sm = next() ^ (stream_id * 0x9e3779b97f4a7c15ULL);
+    return Rng(splitmix64(sm));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace cloudmap

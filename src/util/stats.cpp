@@ -1,0 +1,127 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace cloudmap {
+
+double mean(const std::vector<double>& sample) {
+  if (sample.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : sample) total += v;
+  return total / static_cast<double>(sample.size());
+}
+
+double stddev(const std::vector<double>& sample) {
+  if (sample.size() < 2) return 0.0;
+  const double m = mean(sample);
+  double accum = 0.0;
+  for (double v : sample) accum += (v - m) * (v - m);
+  return std::sqrt(accum / static_cast<double>(sample.size()));
+}
+
+double quantile(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(sample.begin(), sample.end());
+  const double position = q * static_cast<double>(sample.size() - 1);
+  const std::size_t lower = static_cast<std::size_t>(position);
+  const double frac = position - static_cast<double>(lower);
+  if (lower + 1 >= sample.size()) return sample.back();
+  return sample[lower] * (1.0 - frac) + sample[lower + 1] * frac;
+}
+
+double cdf_at(const std::vector<double>& sample, double threshold) {
+  if (sample.empty()) return 0.0;
+  std::size_t below = 0;
+  for (double v : sample) below += (v < threshold) ? 1 : 0;
+  return static_cast<double>(below) / static_cast<double>(sample.size());
+}
+
+BoxStats box_stats(std::vector<double> sample) {
+  BoxStats out;
+  out.count = sample.size();
+  if (sample.empty()) return out;
+  std::sort(sample.begin(), sample.end());
+  out.min = sample.front();
+  out.max = sample.back();
+  out.mean = mean(sample);
+  auto at = [&](double q) {
+    const double position = q * static_cast<double>(sample.size() - 1);
+    const std::size_t lower = static_cast<std::size_t>(position);
+    const double frac = position - static_cast<double>(lower);
+    if (lower + 1 >= sample.size()) return sample.back();
+    return sample[lower] * (1.0 - frac) + sample[lower + 1] * frac;
+  };
+  out.q1 = at(0.25);
+  out.median = at(0.5);
+  out.q3 = at(0.75);
+  return out;
+}
+
+CdfSeries cdf_series(std::vector<double> sample,
+                     const std::vector<double>& grid) {
+  CdfSeries out;
+  out.x = grid;
+  out.fraction.assign(grid.size(), 0.0);
+  if (sample.empty()) return out;
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto it =
+        std::upper_bound(sample.begin(), sample.end(), grid[i]);
+    out.fraction[i] = static_cast<double>(it - sample.begin()) /
+                      static_cast<double>(sample.size());
+  }
+  return out;
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t points) {
+  std::vector<double> out;
+  if (points == 0) return out;
+  if (points == 1) {
+    out.push_back(lo);
+    return out;
+  }
+  out.reserve(points);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i)
+    out.push_back(lo + step * static_cast<double>(i));
+  return out;
+}
+
+std::vector<double> logspace(double lo_exp, double hi_exp,
+                             std::size_t points) {
+  std::vector<double> out;
+  for (double e : linspace(lo_exp, hi_exp, points))
+    out.push_back(std::pow(10.0, e));
+  return out;
+}
+
+double cdf_knee(const CdfSeries& series) {
+  if (series.x.size() < 3) return series.x.empty() ? 0.0 : series.x.front();
+  double best_drop = -1.0;
+  double best_x = series.x.front();
+  // The knee is where the CDF slope falls off fastest: maximize the decrease
+  // of the forward difference.
+  for (std::size_t i = 1; i + 1 < series.x.size(); ++i) {
+    const double before = series.fraction[i] - series.fraction[i - 1];
+    const double after = series.fraction[i + 1] - series.fraction[i];
+    const double drop = before - after;
+    if (drop > best_drop) {
+      best_drop = drop;
+      best_x = series.x[i];
+    }
+  }
+  return best_x;
+}
+
+std::string quantile_summary(std::vector<double> sample) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "p10=%.2f p50=%.2f p90=%.2f n=%zu",
+                quantile(sample, 0.10), quantile(sample, 0.50),
+                quantile(sample, 0.90), sample.size());
+  return buffer;
+}
+
+}  // namespace cloudmap

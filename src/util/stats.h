@@ -1,0 +1,61 @@
+// Small statistics toolkit used by the analysis modules and benches:
+// summary statistics, quantiles, empirical CDFs, and boxplot five-number
+// summaries (the paper reports CDFs in Figs. 4/5/7 and boxplots in Fig. 6).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cloudmap {
+
+// Mean of a sample; 0 for an empty sample.
+double mean(const std::vector<double>& sample);
+
+// Population standard deviation; 0 for samples of size < 2.
+double stddev(const std::vector<double>& sample);
+
+// Linear-interpolation quantile, q in [0,1]. The input need not be sorted.
+double quantile(std::vector<double> sample, double q);
+
+// Fraction of the sample strictly below the threshold (empirical CDF value).
+double cdf_at(const std::vector<double>& sample, double threshold);
+
+// Five-number summary plus mean, as used for Fig. 6's stacked boxplots.
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+};
+
+BoxStats box_stats(std::vector<double> sample);
+
+// An empirical CDF evaluated on a fixed grid of x-values; used by benches to
+// print figure series in a diff-friendly tabular form.
+struct CdfSeries {
+  std::vector<double> x;
+  std::vector<double> fraction;  // same length as x, non-decreasing
+};
+
+// Evaluate the CDF of `sample` at each point of `grid` (fraction <= x).
+CdfSeries cdf_series(std::vector<double> sample, const std::vector<double>& grid);
+
+// Convenience: an evenly spaced grid of `points` values across [lo, hi].
+std::vector<double> linspace(double lo, double hi, std::size_t points);
+
+// Log-spaced grid (base 10) from 10^lo_exp to 10^hi_exp.
+std::vector<double> logspace(double lo_exp, double hi_exp, std::size_t points);
+
+// Locate the "knee" of a CDF: the x on the grid with maximum second
+// difference of the CDF fraction. The paper eyeballs knees at 2 ms
+// (Figs. 4a/4b); this gives the benches an objective analogue.
+double cdf_knee(const CdfSeries& series);
+
+// Render a one-line sparkline-style summary "p10=.. p50=.. p90=.." for logs.
+std::string quantile_summary(std::vector<double> sample);
+
+}  // namespace cloudmap

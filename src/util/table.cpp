@@ -1,0 +1,67 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace cloudmap {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", precision,
+                fraction * 100.0);
+  return buffer;
+}
+
+std::string TextTable::kilo(double count, int precision) {
+  char buffer[64];
+  if (count >= 1000.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.*fk", precision, count / 1000.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", count);
+  }
+  return buffer;
+}
+
+std::string TextTable::render(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  if (!title.empty()) out << title << '\n';
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c];
+      if (c + 1 < cells.size())
+        out << std::string(width[c] - cells[c].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,31 @@
+// Plain-text table renderer used by the bench binaries to print reproduced
+// paper tables next to the published values in an aligned, diff-friendly way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cloudmap {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Append a row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  // Convenience for mixed content: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+  // Counts rendered the way the paper does: "3.68k" style above 1000.
+  static std::string kilo(double count, int precision = 2);
+
+  // Render with column alignment, a header underline, and an optional title.
+  std::string render(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cloudmap

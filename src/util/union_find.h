@@ -1,0 +1,74 @@
+// Disjoint-set forest with path halving and union by size. Used to merge
+// alias sets discovered from different vantage regions (§5.2 of the paper)
+// and to compute connected components of the interface connectivity graph
+// (§7.4).
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace cloudmap {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t count = 0) { reset(count); }
+
+  void reset(std::size_t count) {
+    parent_.resize(count);
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+    size_.assign(count, 1);
+    components_ = count;
+  }
+
+  std::size_t size() const noexcept { return parent_.size(); }
+  std::size_t components() const noexcept { return components_; }
+
+  std::size_t find(std::size_t element) noexcept {
+    while (parent_[element] != element) {
+      parent_[element] = parent_[parent_[element]];  // path halving
+      element = parent_[element];
+    }
+    return element;
+  }
+
+  // Returns true if the two elements were in different sets.
+  bool unite(std::size_t a, std::size_t b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) {
+      const std::size_t tmp = a;
+      a = b;
+      b = tmp;
+    }
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --components_;
+    return true;
+  }
+
+  bool connected(std::size_t a, std::size_t b) noexcept {
+    return find(a) == find(b);
+  }
+
+  // Size of the set containing `element`.
+  std::size_t component_size(std::size_t element) noexcept {
+    return size_[find(element)];
+  }
+
+  // Largest component size across the whole structure.
+  std::size_t largest_component() noexcept {
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < parent_.size(); ++i)
+      if (find(i) == i && size_[i] > best) best = size_[i];
+    return best;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t components_ = 0;
+};
+
+}  // namespace cloudmap

@@ -1,0 +1,53 @@
+// VPI detection (§7.1): build the target pool (all non-IXP CBIs, their +1
+// neighbor addresses, and the destinations whose traceroutes discovered each
+// CBI), probe it from every region of each foreign cloud, run the same
+// border inference with that cloud as the subject, and intersect the
+// resulting CBI sets with Amazon's. A CBI visible from two or more clouds
+// sits on a shared cloud-exchange port — a virtual private interconnection.
+// The result is a lower bound by construction.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "infer/annotate.h"
+#include "infer/campaign.h"
+
+namespace cloudmap {
+
+struct VpiCloudResult {
+  CloudProvider provider = CloudProvider::kNone;
+  std::size_t overlap = 0;            // pairwise common CBIs with the subject
+  std::size_t cumulative_overlap = 0; // union up to and including this cloud
+};
+
+struct VpiDetectionResult {
+  std::vector<VpiCloudResult> per_cloud;       // in probing order
+  std::unordered_set<std::uint32_t> vpi_cbis;  // all overlapping CBIs
+  std::size_t subject_cbis = 0;                // denominator for Table 4 %
+  std::size_t target_pool = 0;
+};
+
+class VpiDetector {
+ public:
+  VpiDetector(const World& world, const Forwarder& forwarder,
+              const Annotator& annotator, std::uint64_t seed = 31);
+
+  // `subject_campaign` must have completed its rounds. `foreign_clouds` are
+  // probed in order (Table 4 reads Microsoft, Google, IBM, Oracle).
+  VpiDetectionResult detect(const Campaign& subject_campaign,
+                            const std::vector<CloudProvider>& foreign_clouds);
+
+  // The §7.1 target pool for a finished campaign (exposed for tests).
+  static std::vector<Ipv4> target_pool(const Campaign& campaign,
+                                       const Annotator& annotator);
+
+ private:
+  const World* world_;
+  const Forwarder* forwarder_;
+  const Annotator* annotator_;
+  std::uint64_t seed_;
+};
+
+}  // namespace cloudmap

@@ -1,0 +1,51 @@
+// Shared, lazily-built test fixtures. World generation and full pipeline
+// runs are the expensive part of the suite; building each once and sharing
+// across test files keeps the suite fast without sacrificing integration
+// coverage.
+#pragma once
+
+#include "core/pipeline.h"
+#include "topology/generator.h"
+
+namespace cloudmap::testfx {
+
+// A small world with every structural feature (seed-fixed).
+inline const World& small_world() {
+  static const World world = [] {
+    GeneratorConfig config = GeneratorConfig::small();
+    config.seed = 42;
+    return generate_world(config);
+  }();
+  return world;
+}
+
+// A fully-run pipeline over the small world.
+inline Pipeline& small_pipeline() {
+  static Pipeline* pipeline = [] {
+    auto* p = new Pipeline(small_world());
+    p->run_all();
+    return p;
+  }();
+  return *pipeline;
+}
+
+// A paper-shape world (larger; used by the heavier integration tests).
+inline const World& paper_world() {
+  static const World world = [] {
+    GeneratorConfig config = GeneratorConfig::paper_shape();
+    config.seed = 1;
+    return generate_world(config);
+  }();
+  return world;
+}
+
+inline Pipeline& paper_pipeline() {
+  static Pipeline* pipeline = [] {
+    auto* p = new Pipeline(paper_world());
+    p->run_all();
+    return p;
+  }();
+  return *pipeline;
+}
+
+}  // namespace cloudmap::testfx

@@ -1,0 +1,78 @@
+// Address-plan machinery: alignment, disjointness, exhaustion.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "topology/address_plan.h"
+
+namespace cloudmap {
+namespace {
+
+TEST(PrefixPool, AllocatesAlignedDisjointBlocks) {
+  PrefixPool pool(Prefix(Ipv4(10, 0, 0, 0), 16));
+  std::vector<Prefix> allocated;
+  for (int i = 0; i < 64; ++i) {
+    const Prefix p = pool.allocate(24);
+    EXPECT_EQ(p.length(), 24);
+    EXPECT_EQ(p.network().value() % 256, 0u);  // aligned
+    for (const Prefix& other : allocated) {
+      EXPECT_FALSE(other.contains(p.network()));
+      EXPECT_FALSE(p.contains(other.network()));
+    }
+    allocated.push_back(p);
+  }
+}
+
+TEST(PrefixPool, MixedSizesStayDisjoint) {
+  PrefixPool pool(Prefix(Ipv4(10, 0, 0, 0), 12));
+  std::vector<Prefix> allocated;
+  const std::uint8_t lengths[] = {24, 30, 16, 30, 20, 32, 24};
+  for (const std::uint8_t length : lengths) {
+    const Prefix p = pool.allocate(length);
+    for (const Prefix& other : allocated) {
+      EXPECT_FALSE(other.contains(p.network())) << p.to_string();
+      EXPECT_FALSE(p.contains(other.network())) << p.to_string();
+    }
+    allocated.push_back(p);
+  }
+}
+
+TEST(PrefixPool, ThrowsWhenExhausted) {
+  PrefixPool pool(Prefix(Ipv4(10, 0, 0, 0), 24));
+  pool.allocate(25);
+  pool.allocate(25);
+  EXPECT_THROW(pool.allocate(25), std::length_error);
+}
+
+TEST(PrefixPool, RejectsShorterThanPool) {
+  PrefixPool pool(Prefix(Ipv4(10, 0, 0, 0), 24));
+  EXPECT_THROW(pool.allocate(16), std::length_error);
+}
+
+TEST(AddressPlan, StandardPoolsAreDisjoint) {
+  const AddressPlan plan = AddressPlan::standard();
+  std::vector<Prefix> pools;
+  for (int p = 1; p <= 5; ++p) pools.push_back(plan.cloud_announced[p].pool());
+  pools.push_back(plan.cloud_infra.pool());
+  pools.push_back(plan.cloud_private.pool());
+  pools.push_back(plan.client_announced.pool());
+  pools.push_back(plan.client_whois.pool());
+  pools.push_back(plan.ixp_lans.pool());
+  pools.push_back(plan.exchange_ports.pool());
+  for (std::size_t i = 0; i < pools.size(); ++i) {
+    for (std::size_t j = i + 1; j < pools.size(); ++j) {
+      EXPECT_FALSE(pools[i].contains(pools[j].network()))
+          << pools[i].to_string() << " vs " << pools[j].to_string();
+      EXPECT_FALSE(pools[j].contains(pools[i].network()))
+          << pools[i].to_string() << " vs " << pools[j].to_string();
+    }
+  }
+}
+
+TEST(AddressPlan, PrivatePoolIsRfc1918) {
+  const AddressPlan plan = AddressPlan::standard();
+  EXPECT_TRUE(plan.cloud_private.pool().network().is_private());
+}
+
+}  // namespace
+}  // namespace cloudmap

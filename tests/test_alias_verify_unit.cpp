@@ -1,0 +1,84 @@
+// §5.2 alias verification on crafted fabrics: majority-ownership corrections
+// in each direction.
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "infer/alias_verify.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_pipeline;
+
+class AliasVerifyUnit : public ::testing::Test {
+ protected:
+  AliasVerifyUnit()
+      : pipeline_(small_pipeline()), annotator_(pipeline_.annotator()) {
+    annotator_.set_snapshot(&pipeline_.snapshot_round2());
+  }
+
+  static CandidateSegment candidate(Ipv4 prior, Ipv4 abi, Ipv4 cbi,
+                                    Ipv4 post) {
+    CandidateSegment c;
+    c.prior_abi = prior;
+    c.abi = abi;
+    c.cbi = cbi;
+    c.post_cbi = post;
+    c.destination = Ipv4(20, 99, 0, 1);
+    return c;
+  }
+
+  Pipeline& pipeline_;
+  Annotator annotator_;
+};
+
+TEST_F(AliasVerifyUnit, RealInterconnectInterfacesStayPut) {
+  // Build a fabric of genuinely correct segments: the true (cloud, client)
+  // interface pairs of planted interconnects. Alias verification must not
+  // rewrite them.
+  const World& world = pipeline_.world();
+  Fabric fabric;
+  std::size_t added = 0;
+  for (const GroundTruthInterconnect& ic : world.interconnects) {
+    if (ic.cloud != CloudProvider::kAmazon || ic.private_address) continue;
+    if (ic.kind != PeeringKind::kCrossConnect || ic.cloud_provided_subnet)
+      continue;
+    fabric.add_segment(
+        candidate(Ipv4(10, 0, 0, 1),
+                  world.interface(ic.cloud_interface).address,
+                  world.interface(ic.client_interface).address, Ipv4{}),
+        1);
+    if (++added > 40) break;
+  }
+  ASSERT_GT(added, 5u);
+  const std::size_t before = fabric.segments().size();
+
+  AliasVerifier verifier(pipeline_.forwarder(), annotator_,
+                         pipeline_.campaign().subject_org());
+  const AliasVerifyStats stats =
+      verifier.apply(fabric, pipeline_.campaign().vantage_points());
+  EXPECT_EQ(fabric.segments().size(), before);
+  EXPECT_EQ(stats.abi_to_cbi, 0u);
+  // Note: cloud interfaces here are the /30 addresses (cloud side), owned
+  // by the subject — never relabeled toward the client.
+}
+
+TEST_F(AliasVerifyUnit, StatsCountRolesSeparately) {
+  Pipeline& p = small_pipeline();
+  const AliasVerifyStats& stats = p.alias_verification();
+  EXPECT_LE(stats.abis_in_sets + stats.cbis_in_sets,
+            stats.interfaces_in_sets);
+  EXPECT_LE(stats.majority_fraction, 1.0);
+  EXPECT_LE(stats.unanimous_fraction, stats.majority_fraction + 1e-9);
+}
+
+TEST_F(AliasVerifyUnit, SetsAreExposedForPinning) {
+  Pipeline& p = small_pipeline();
+  const AliasSets& sets = p.alias_sets();
+  for (const auto& set : sets.sets) EXPECT_GE(set.size(), 2u);
+  // Pinning's Rule 1 consumed these: pinned-by-alias implies sets exist.
+  if (p.pinning().pinned_by_alias > 0) EXPECT_FALSE(sets.sets.empty());
+}
+
+}  // namespace
+}  // namespace cloudmap

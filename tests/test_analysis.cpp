@@ -1,0 +1,209 @@
+// Analysis layer: six-group classification, hybrid combos, features, ICG,
+// BGP coverage, DNS evidence.
+#include <gtest/gtest.h>
+
+#include "analysis/dns_evidence.h"
+#include "analysis/features.h"
+#include "analysis/graph.h"
+#include "analysis/grouping.h"
+#include "fixtures.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_pipeline;
+
+TEST(Grouping, EverySegmentClassifiesOrIsUnattributed) {
+  Pipeline& pipeline = small_pipeline();
+  const PeeringClassifier classifier = pipeline.classifier();
+  const GroupBreakdown result =
+      breakdown(pipeline.campaign().fabric(), classifier);
+  std::size_t classified = 0;
+  for (const auto& row : result.rows) classified += row.cbis.size();
+  EXPECT_GT(result.total_cbis, 0u);
+  EXPECT_GT(classified, 0u);
+}
+
+TEST(Grouping, AggregatesAreUnions) {
+  Pipeline& pipeline = small_pipeline();
+  const PeeringClassifier classifier = pipeline.classifier();
+  const GroupBreakdown result =
+      breakdown(pipeline.campaign().fabric(), classifier);
+  const auto& pb_nb = result.rows[static_cast<int>(PeeringGroup::kPbNb)];
+  const auto& pb_b = result.rows[static_cast<int>(PeeringGroup::kPbB)];
+  EXPECT_EQ(result.pb.cbis.size() <= pb_nb.cbis.size() + pb_b.cbis.size(),
+            true);
+  for (const std::uint32_t as : pb_nb.ases)
+    EXPECT_TRUE(result.pb.ases.count(as));
+  for (const std::uint32_t as : pb_b.ases)
+    EXPECT_TRUE(result.pb.ases.count(as));
+}
+
+TEST(Grouping, PublicGroupsAreIxpCbis) {
+  Pipeline& pipeline = small_pipeline();
+  Annotator annotator = pipeline.annotator();
+  annotator.set_snapshot(&pipeline.snapshot_round2());
+  const PeeringClassifier classifier = pipeline.classifier();
+  for (const InferredSegment& segment :
+       pipeline.campaign().fabric().segments()) {
+    const auto group = classifier.classify(segment);
+    if (!group) continue;
+    const bool is_public = *group == PeeringGroup::kPbNb ||
+                           *group == PeeringGroup::kPbB;
+    EXPECT_EQ(is_public, annotator.annotate(segment.cbi).ixp);
+  }
+}
+
+TEST(Grouping, VirtualGroupsMatchVpiSet) {
+  Pipeline& pipeline = small_pipeline();
+  const PeeringClassifier classifier = pipeline.classifier();
+  const auto& vpi_cbis = pipeline.vpis().vpi_cbis;
+  for (const InferredSegment& segment :
+       pipeline.campaign().fabric().segments()) {
+    const auto group = classifier.classify(segment);
+    if (!group) continue;
+    const bool is_virtual = *group == PeeringGroup::kPrNbV ||
+                            *group == PeeringGroup::kPrBV;
+    if (is_virtual) EXPECT_TRUE(vpi_cbis.count(segment.cbi.value()));
+  }
+}
+
+TEST(Grouping, HiddenPeeringsExist) {
+  // The paper's headline: a third of peerings are virtual or BGP-invisible.
+  Pipeline& pipeline = small_pipeline();
+  const PeeringClassifier classifier = pipeline.classifier();
+  const GroupBreakdown result =
+      breakdown(pipeline.campaign().fabric(), classifier);
+  const std::size_t hidden =
+      result.rows[static_cast<int>(PeeringGroup::kPbNb)].ases.size() +
+      result.rows[static_cast<int>(PeeringGroup::kPrNbV)].ases.size() +
+      result.rows[static_cast<int>(PeeringGroup::kPrNbNv)].ases.size();
+  EXPECT_GT(hidden, 0u);
+}
+
+TEST(Grouping, HybridCombosCountEachAsOnce) {
+  Pipeline& pipeline = small_pipeline();
+  const PeeringClassifier classifier = pipeline.classifier();
+  const auto hybrid =
+      hybrid_breakdown(pipeline.campaign().fabric(), classifier);
+  EXPECT_GT(hybrid.size(), 1u);
+  std::size_t total_ases = 0;
+  for (const HybridRow& row : hybrid) {
+    EXPECT_FALSE(row.combo.empty());
+    total_ases += row.as_count;
+    // Sorted descending by count.
+  }
+  for (std::size_t i = 1; i < hybrid.size(); ++i)
+    EXPECT_GE(hybrid[i - 1].as_count, hybrid[i].as_count);
+  const GroupBreakdown result =
+      breakdown(pipeline.campaign().fabric(), classifier);
+  EXPECT_EQ(total_ases, result.total_ases);
+}
+
+TEST(Grouping, BgpCoverageFindsMostReportedPeers) {
+  Pipeline& pipeline = small_pipeline();
+  const PeeringClassifier classifier = pipeline.classifier();
+  const BgpCoverage coverage =
+      bgp_coverage(pipeline.campaign().fabric(), classifier,
+                   pipeline.snapshot_round2(), pipeline.subject_asns());
+  EXPECT_GT(coverage.bgp_reported, 0u);
+  // The paper discovers ~93% of BGP-reported Amazon peerings.
+  EXPECT_GT(coverage.coverage(), 0.5);
+  // And many peerings invisible to BGP.
+  EXPECT_GT(coverage.inferred_not_in_bgp, coverage.bgp_reported);
+}
+
+TEST(Features, MatrixHasSamplesForPopulatedGroups) {
+  Pipeline& pipeline = small_pipeline();
+  const PeeringClassifier classifier = pipeline.classifier();
+  const GroupFeatureMatrix matrix = compute_group_features(
+      pipeline.campaign().fabric(), classifier,
+      [&](Asn asn) { return pipeline.cone_of(asn); },
+      [&](const InferredSegment& segment) {
+        return pipeline.pinner().segment_rtt_diff(segment);
+      },
+      pipeline.pinning());
+  const GroupBreakdown result =
+      breakdown(pipeline.campaign().fabric(), classifier);
+  for (std::size_t g = 0; g < kPeeringGroupCount; ++g) {
+    if (result.rows[g].ases.empty()) continue;
+    EXPECT_EQ(matrix
+                  .samples[g][static_cast<int>(PeerFeature::kCbiCount)]
+                  .size(),
+              result.rows[g].ases.size());
+    // CBI counts are at least 1 per AS.
+    for (const double v :
+         matrix.samples[g][static_cast<int>(PeerFeature::kCbiCount)])
+      EXPECT_GE(v, 1.0);
+  }
+}
+
+TEST(Features, TransitGroupsHaveLargerCones) {
+  Pipeline& pipeline = small_pipeline();
+  const PeeringClassifier classifier = pipeline.classifier();
+  const GroupFeatureMatrix matrix = compute_group_features(
+      pipeline.campaign().fabric(), classifier,
+      [&](Asn asn) { return pipeline.cone_of(asn); },
+      [](const InferredSegment&) { return std::nullopt; },
+      pipeline.pinning());
+  const auto& pr_b_nv =
+      matrix.stats[static_cast<int>(PeeringGroup::kPrBNv)]
+                  [static_cast<int>(PeerFeature::kBgpSlash24)];
+  const auto& pb_nb = matrix.stats[static_cast<int>(PeeringGroup::kPbNb)]
+                                  [static_cast<int>(PeerFeature::kBgpSlash24)];
+  if (pr_b_nv.count > 0 && pb_nb.count > 0)
+    EXPECT_GT(pr_b_nv.median, pb_nb.median);
+}
+
+TEST(Icg, DegreesMatchSegments) {
+  Pipeline& pipeline = small_pipeline();
+  const IcgStats stats = icg_stats(pipeline.campaign().fabric());
+  EXPECT_EQ(stats.edges, pipeline.campaign().fabric().segments().size());
+  double abi_degree_sum = 0.0;
+  for (const double d : stats.abi_degrees) abi_degree_sum += d;
+  EXPECT_DOUBLE_EQ(abi_degree_sum, static_cast<double>(stats.edges));
+  // The paper's ICG has a giant component (92.3%); the small test world is
+  // sparser but must still show substantial stitching via remote peering.
+  EXPECT_GT(stats.largest_component_fraction, 0.25);
+  EXPECT_LE(stats.largest_component_fraction, 1.0);
+}
+
+TEST(Icg, AbiDegreesAreSkewed) {
+  Pipeline& pipeline = small_pipeline();
+  const IcgStats stats = icg_stats(pipeline.campaign().fabric());
+  double max_degree = 0.0;
+  for (const double d : stats.abi_degrees)
+    max_degree = std::max(max_degree, d);
+  // Some Amazon border interfaces front many CBIs (Fig. 7a's tail).
+  EXPECT_GT(max_degree, 5.0);
+}
+
+TEST(Icg, RemotePeeringStatsAddUp) {
+  Pipeline& pipeline = small_pipeline();
+  const RemotePeeringStats stats =
+      remote_peering_stats(pipeline.campaign().fabric(), pipeline.pinning());
+  EXPECT_EQ(stats.both_ends_pinned, stats.same_metro + stats.cross_metro);
+  EXPECT_GT(stats.both_ends_pinned, 0u);
+  // Most both-end-pinned peerings stay inside one metro (paper: 98%).
+  EXPECT_GT(stats.same_metro_fraction, 0.5);
+}
+
+TEST(DnsEvidence, DxKeywordsConcentrateInPrivateGroups) {
+  Pipeline& pipeline = small_pipeline();
+  const PeeringClassifier classifier = pipeline.classifier();
+  const DnsEvidence evidence = dns_vpi_evidence(
+      pipeline.campaign().fabric(), classifier, pipeline.dns());
+  std::size_t private_dx = 0;
+  std::size_t public_dx = 0;
+  for (std::size_t g = 0; g < kPeeringGroupCount; ++g) {
+    const bool is_public = g == static_cast<int>(PeeringGroup::kPbNb) ||
+                           g == static_cast<int>(PeeringGroup::kPbB);
+    if (is_public) public_dx += evidence.groups[g].dx_keyword;
+    else private_dx += evidence.groups[g].dx_keyword;
+  }
+  EXPECT_EQ(public_dx, 0u);  // dx markers only appear on VPI interfaces
+  (void)private_dx;          // can be zero in a small world; no assertion
+}
+
+}  // namespace
+}  // namespace cloudmap

@@ -1,0 +1,118 @@
+// Annotation chain (§3): source precedence, ASN-0 conventions, and the
+// round-1/round-2 snapshot swap.
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "infer/annotate.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_pipeline;
+
+class AnnotateTest : public ::testing::Test {
+ protected:
+  AnnotateTest() : pipeline_(small_pipeline()) {}
+  Pipeline& pipeline_;
+};
+
+TEST_F(AnnotateTest, PrivateSpaceIsAsnZero) {
+  Annotator annotator = pipeline_.annotator();
+  const HopAnnotation a = annotator.annotate(Ipv4(10, 1, 2, 3));
+  EXPECT_TRUE(a.asn.is_unknown());
+  EXPECT_TRUE(a.org.is_unknown());
+  EXPECT_EQ(a.source, AnnotationSource::kPrivate);
+  EXPECT_EQ(annotator.annotate(Ipv4(100, 64, 9, 9)).source,
+            AnnotationSource::kPrivate);
+}
+
+TEST_F(AnnotateTest, AnnouncedSpaceResolvesViaBgp) {
+  Annotator annotator = pipeline_.annotator();
+  annotator.set_snapshot(&pipeline_.snapshot_round2());
+  const World& world = pipeline_.world();
+  std::size_t checked = 0;
+  for (const AutonomousSystem& as : world.ases) {
+    if (as.type == AsType::kCloud || as.announced_prefixes.empty()) continue;
+    const HopAnnotation a =
+        annotator.annotate(as.announced_prefixes.front().network().next(3));
+    if (a.source != AnnotationSource::kBgp) continue;  // some are IXP-ops
+    EXPECT_EQ(a.asn, as.asn) << as.name;
+    EXPECT_EQ(a.org, as.org);
+    if (++checked > 30) break;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST_F(AnnotateTest, WhoisOnlySpaceFallsBack) {
+  Annotator annotator = pipeline_.annotator();
+  annotator.set_snapshot(&pipeline_.snapshot_round2());
+  const World& world = pipeline_.world();
+  std::size_t checked = 0;
+  for (const AutonomousSystem& as : world.ases) {
+    for (const Prefix& prefix : as.whois_only_prefixes) {
+      const HopAnnotation a = annotator.annotate(prefix.network().next(3));
+      EXPECT_EQ(a.source, AnnotationSource::kWhois) << prefix.to_string();
+      EXPECT_EQ(a.asn, as.asn);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_F(AnnotateTest, IxpMemberMappingTakesPrecedence) {
+  Annotator annotator = pipeline_.annotator();
+  annotator.set_snapshot(&pipeline_.snapshot_round2());
+  const World& world = pipeline_.world();
+  std::size_t via_member = 0;
+  for (const GroundTruthInterconnect& ic : world.interconnects) {
+    if (ic.kind != PeeringKind::kPublicIxp) continue;
+    const Ipv4 lan = world.interface(ic.client_interface).address;
+    const HopAnnotation a = annotator.annotate(lan);
+    EXPECT_TRUE(a.ixp) << lan.to_string();
+    if (a.source == AnnotationSource::kIxp) {
+      EXPECT_EQ(a.asn, world.ases[ic.client.value].asn);
+      ++via_member;
+    }
+  }
+  EXPECT_GT(via_member, 10u);
+}
+
+TEST_F(AnnotateTest, SnapshotSwapChangesIntermittentPrefixes) {
+  Annotator annotator = pipeline_.annotator();
+  const World& world = pipeline_.world();
+  std::size_t shifted = 0;
+  for (const AutonomousSystem& as : world.ases) {
+    for (const Prefix& prefix : as.announced_prefixes) {
+      const Ipv4 probe = prefix.network().next(3);
+      annotator.set_snapshot(&pipeline_.snapshot_round1());
+      const AnnotationSource round1 = annotator.annotate(probe).source;
+      annotator.set_snapshot(&pipeline_.snapshot_round2());
+      const AnnotationSource round2 = annotator.annotate(probe).source;
+      if (round1 == AnnotationSource::kWhois &&
+          round2 == AnnotationSource::kBgp)
+        ++shifted;
+      // Never the other direction: round 2 strictly adds announcements.
+      EXPECT_FALSE(round1 == AnnotationSource::kBgp &&
+                   round2 == AnnotationSource::kWhois);
+    }
+  }
+  EXPECT_GT(shifted, 0u);  // the Table 1 WHOIS→BGP mechanism
+}
+
+TEST_F(AnnotateTest, UnallocatedSpaceIsUnannotated) {
+  Annotator annotator = pipeline_.annotator();
+  annotator.set_snapshot(&pipeline_.snapshot_round2());
+  const HopAnnotation a = annotator.annotate(Ipv4(203, 0, 113, 7));
+  EXPECT_EQ(a.source, AnnotationSource::kNone);
+  EXPECT_TRUE(a.asn.is_unknown());
+}
+
+TEST_F(AnnotateTest, OrgLookupMatchesAs2Org) {
+  Annotator annotator = pipeline_.annotator();
+  for (const AutonomousSystem& as : pipeline_.world().ases) {
+    EXPECT_EQ(annotator.org_of_asn(as.asn), as.org);
+  }
+}
+
+}  // namespace
+}  // namespace cloudmap

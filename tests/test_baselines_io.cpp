@@ -1,0 +1,221 @@
+// MAP-IT baseline, CFS facility search, and serialization round-trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "baselines/mapit.h"
+#include "fixtures.h"
+#include "io/serialize.h"
+#include "pinning/cfs.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_pipeline;
+
+// ---------------- MAP-IT ----------------
+
+class MapitTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Pipeline& p = small_pipeline();
+    annotator_ = new Annotator(p.annotator());
+    annotator_->set_snapshot(&p.snapshot_round2());
+    Mapit mapit(p.world(), p.forwarder(), *annotator_);
+    result_ = new MapitResult(mapit.run(CloudProvider::kAmazon));
+    score_ = new MapitScore(
+        score_mapit(p.world(), *result_, CloudProvider::kAmazon));
+  }
+  static void TearDownTestSuite() {
+    delete annotator_;
+    delete result_;
+    delete score_;
+    annotator_ = nullptr;
+    result_ = nullptr;
+    score_ = nullptr;
+  }
+  static Annotator* annotator_;
+  static MapitResult* result_;
+  static MapitScore* score_;
+};
+Annotator* MapitTest::annotator_ = nullptr;
+MapitResult* MapitTest::result_ = nullptr;
+MapitScore* MapitTest::score_ = nullptr;
+
+TEST_F(MapitTest, FindsSomeEdges) {
+  EXPECT_GT(result_->edges.size(), 0u);
+  EXPECT_GT(result_->adjacencies_examined, result_->edges.size());
+}
+
+TEST_F(MapitTest, HasL2BlindSpot) {
+  // Un-annotated adjacencies (IXP LANs, WHOIS-only space) are abundant.
+  EXPECT_GT(result_->skipped_unannotated, 0u);
+}
+
+TEST_F(MapitTest, MissesIxpPeerings) {
+  // §2's claim: L2 fabrics defeat MAP-IT. IXP recovery must be (near) zero
+  // while cross-connect recovery is materially better.
+  ASSERT_GT(score_->ixp_total, 0u);
+  ASSERT_GT(score_->xconnect_total, 0u);
+  EXPECT_LT(score_->ixp_rate(), 0.05);
+  EXPECT_GT(score_->xconnect_rate(), score_->ixp_rate());
+}
+
+TEST_F(MapitTest, EdgesHaveDistinctAsns) {
+  for (const MapitEdge& edge : result_->edges) {
+    EXPECT_NE(edge.near_as, edge.far_as);
+    EXPECT_FALSE(edge.near_as.is_unknown());
+    EXPECT_FALSE(edge.far_as.is_unknown());
+  }
+}
+
+TEST_F(MapitTest, ProcessRecordSkipsSilentHops) {
+  Mapit mapit(small_pipeline().world(), small_pipeline().forwarder(),
+              *annotator_);
+  TracerouteRecord record;
+  record.destination = Ipv4(20, 0, 0, 1);
+  record.hops.push_back(TracerouteHop{Ipv4(20, 0, 0, 9), 1.0, true});
+  record.hops.push_back(TracerouteHop{});  // silence breaks adjacency
+  record.hops.push_back(TracerouteHop{Ipv4(20, 4, 0, 9), 2.0, true});
+  MapitResult result;
+  mapit.process_record(record, result);
+  EXPECT_EQ(result.adjacencies_examined, 0u);
+}
+
+// ---------------- CFS ----------------
+
+TEST(Cfs, PinsSomeFacilitiesAccurately) {
+  Pipeline& p = small_pipeline();
+  Annotator annotator = p.annotator();
+  annotator.set_snapshot(&p.snapshot_round2());
+  ConstrainedFacilitySearch::Inputs inputs;
+  inputs.fabric = &p.campaign().fabric();
+  inputs.annotator = &annotator;
+  inputs.peeringdb = &p.peeringdb();
+  inputs.world = &p.world();
+  inputs.rtts = &p.rtts();
+  inputs.vps = &p.campaign().vantage_points();
+  ConstrainedFacilitySearch cfs(inputs);
+  const CfsResult result = cfs.run();
+  EXPECT_GT(result.pinned.size(), 0u);
+  // Every failure class is accounted for.
+  const std::size_t cbis = p.campaign().fabric().unique_cbis().size();
+  EXPECT_LE(result.pinned.size() + result.no_tenant_candidates +
+                result.rtt_eliminated_all + result.ambiguous +
+                result.unattributed,
+            cbis);
+
+  const CfsScore score = score_cfs(p.world(), result, CloudProvider::kAmazon);
+  EXPECT_GT(score.pinned, 0u);
+  EXPECT_GT(score.metro_accuracy(), 0.5);
+}
+
+TEST(Cfs, CoversLessThanCoPresencePinning) {
+  Pipeline& p = small_pipeline();
+  Annotator annotator = p.annotator();
+  annotator.set_snapshot(&p.snapshot_round2());
+  ConstrainedFacilitySearch::Inputs inputs;
+  inputs.fabric = &p.campaign().fabric();
+  inputs.annotator = &annotator;
+  inputs.peeringdb = &p.peeringdb();
+  inputs.world = &p.world();
+  inputs.rtts = &p.rtts();
+  inputs.vps = &p.campaign().vantage_points();
+  ConstrainedFacilitySearch cfs(inputs);
+  const CfsResult result = cfs.run();
+  // The paper's co-presence method pins far more interfaces than the
+  // single-facility intersection can resolve.
+  EXPECT_LT(result.pinned.size(), p.pinning().pins.size());
+}
+
+// ---------------- serialization ----------------
+
+TEST(Serialize, RecordRoundTrip) {
+  TracerouteRecord record;
+  record.vantage.provider = CloudProvider::kAmazon;
+  record.vantage.region = RegionId{3};
+  record.destination = Ipv4(20, 1, 2, 3);
+  record.status = TracerouteStatus::kCompleted;
+  record.hops.push_back(TracerouteHop{Ipv4(10, 0, 0, 1), 0.5, true});
+  record.hops.push_back(TracerouteHop{});
+  record.hops.push_back(TracerouteHop{Ipv4(20, 1, 2, 3), 12.25, true});
+
+  std::ostringstream out;
+  write_record(out, record);
+  const auto parsed = read_record(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->vantage.provider, record.vantage.provider);
+  EXPECT_EQ(parsed->vantage.region, record.vantage.region);
+  EXPECT_EQ(parsed->destination, record.destination);
+  EXPECT_EQ(parsed->status, record.status);
+  ASSERT_EQ(parsed->hops.size(), record.hops.size());
+  for (std::size_t i = 0; i < record.hops.size(); ++i) {
+    EXPECT_EQ(parsed->hops[i].responded, record.hops[i].responded);
+    EXPECT_EQ(parsed->hops[i].address, record.hops[i].address);
+    if (record.hops[i].responded)
+      EXPECT_NEAR(parsed->hops[i].rtt_ms, record.hops[i].rtt_ms, 1e-9);
+  }
+}
+
+TEST(Serialize, RejectsGarbage) {
+  EXPECT_FALSE(read_record("").has_value());
+  EXPECT_FALSE(read_record("X 1 2 3 4").has_value());
+  EXPECT_FALSE(read_record("R notanumber").has_value());
+  EXPECT_FALSE(read_record("R 1 0 999.999.1.1 gap *").has_value());
+}
+
+TEST(Serialize, RecordsStreamRoundTrip) {
+  Pipeline& p = small_pipeline();
+  TracerouteEngine engine(p.forwarder(), 55);
+  const VantagePoint vp = VantagePoint::cloud_vm(
+      CloudProvider::kAmazon,
+      p.world().regions_of(CloudProvider::kAmazon).front(), "vm");
+  std::vector<TracerouteRecord> records;
+  for (int i = 0; i < 40; ++i)
+    records.push_back(
+        engine.trace(vp, Ipv4(20, 0, static_cast<std::uint8_t>(i), 1)));
+
+  std::stringstream buffer;
+  write_records(buffer, records);
+  const auto parsed = read_records(buffer);
+  ASSERT_EQ(parsed.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed[i].destination, records[i].destination);
+    EXPECT_EQ(parsed[i].hops.size(), records[i].hops.size());
+  }
+}
+
+TEST(Serialize, FabricRoundTrip) {
+  Pipeline& p = small_pipeline();
+  const Fabric& original = p.campaign().fabric();
+  std::stringstream buffer;
+  write_fabric(buffer, original);
+  const Fabric parsed = read_fabric(buffer);
+  ASSERT_EQ(parsed.segments().size(), original.segments().size());
+  for (std::size_t i = 0; i < original.segments().size(); ++i) {
+    const InferredSegment& a = original.segments()[i];
+    const InferredSegment& b = parsed.segments()[i];
+    EXPECT_EQ(a.abi, b.abi);
+    EXPECT_EQ(a.cbi, b.cbi);
+    EXPECT_EQ(a.confirmation, b.confirmation);
+    EXPECT_EQ(a.shifted, b.shifted);
+    EXPECT_EQ(a.owner_hint, b.owner_hint);
+    EXPECT_EQ(a.regions, b.regions);
+    EXPECT_EQ(a.dest_slash24s, b.dest_slash24s);
+  }
+  EXPECT_EQ(parsed.unique_abis(), original.unique_abis());
+  EXPECT_EQ(parsed.unique_cbis(), original.unique_cbis());
+}
+
+TEST(Serialize, PinsCsvHasHeaderAndRows) {
+  Pipeline& p = small_pipeline();
+  std::ostringstream out;
+  write_pins(out, p.pinning());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("address,metro,rule"), std::string::npos);
+  EXPECT_GT(std::count(text.begin(), text.end(), '\n'),
+            static_cast<long>(p.pinning().pins.size()));
+}
+
+}  // namespace
+}  // namespace cloudmap

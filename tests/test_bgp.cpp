@@ -1,0 +1,208 @@
+// Gao-Rexford propagation, snapshot visibility, customer cones.
+#include <gtest/gtest.h>
+
+#include "controlplane/bgp.h"
+#include "fixtures.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_world;
+
+class BgpTest : public ::testing::Test {
+ protected:
+  BgpTest() : sim_(small_world()) {}
+  BgpSimulator sim_;
+};
+
+TEST_F(BgpTest, OriginHasSelfRoute) {
+  const World& world = small_world();
+  for (std::uint32_t o = 0; o < world.ases.size(); ++o) {
+    if (world.ases[o].type == AsType::kCloud) continue;
+    EXPECT_EQ(sim_.routes_to(AsId{o})[o].route_class, RouteClass::kSelf);
+  }
+}
+
+TEST_F(BgpTest, EveryClientReachableFromTier1s) {
+  const World& world = small_world();
+  std::vector<AsId> tier1;
+  for (std::uint32_t i = 0; i < world.ases.size(); ++i)
+    if (world.ases[i].type == AsType::kTier1) tier1.push_back(AsId{i});
+  ASSERT_FALSE(tier1.empty());
+  for (std::uint32_t o = 0; o < world.ases.size(); ++o) {
+    const AutonomousSystem& as = world.ases[o];
+    if (as.type == AsType::kCloud) continue;
+    if (as.providers.empty() && as.type != AsType::kTier1) continue;
+    for (const AsId t1 : tier1)
+      EXPECT_TRUE(sim_.reachable(t1, AsId{o}))
+          << world.ases[t1.value].name << " -> " << as.name;
+  }
+}
+
+TEST_F(BgpTest, PathsEndAtOriginAndAreValleyFree) {
+  const World& world = small_world();
+  // Relationship lookup helpers.
+  auto is_provider_of = [&](AsId p, AsId c) {
+    for (const AsId provider : world.ases[c.value].providers)
+      if (provider == p) return true;
+    return false;
+  };
+  auto is_peer_of = [&](AsId a, AsId b) {
+    for (const AsId peer : world.ases[a.value].peers)
+      if (peer == b) return true;
+    return false;
+  };
+
+  int checked = 0;
+  for (std::uint32_t from = 0; from < world.ases.size() && checked < 400;
+       from += 3) {
+    for (std::uint32_t to = 1; to < world.ases.size() && checked < 400;
+         to += 7) {
+      if (from == to) continue;
+      if (world.ases[from].type == AsType::kCloud ||
+          world.ases[to].type == AsType::kCloud)
+        continue;
+      const auto path = sim_.path(AsId{from}, AsId{to});
+      if (path.empty()) continue;
+      ++checked;
+      EXPECT_EQ(path.front(), (AsId{from}));
+      EXPECT_EQ(path.back(), (AsId{to}));
+      // Valley-free: once the path goes "down" (provider→customer) or
+      // laterally (peer), it must keep going down. We walk from the origin
+      // backwards: `path` runs from viewer toward origin, so reverse it to
+      // get the announcement's propagation direction.
+      bool went_down_or_peer = false;
+      int peer_links = 0;
+      for (std::size_t i = path.size(); i-- > 1;) {
+        // Announcement step: path[i] announces to path[i-1].
+        const AsId announcer = path[i];
+        const AsId receiver = path[i - 1];
+        if (is_provider_of(receiver, announcer)) {
+          // customer→provider announcement: only allowed before any
+          // down/peer step.
+          EXPECT_FALSE(went_down_or_peer) << "valley in path";
+        } else if (is_peer_of(announcer, receiver)) {
+          ++peer_links;
+          went_down_or_peer = true;
+        } else {
+          EXPECT_TRUE(is_provider_of(announcer, receiver));
+          went_down_or_peer = true;
+        }
+      }
+      EXPECT_LE(peer_links, 1) << "more than one peer link on path";
+    }
+  }
+  EXPECT_GT(checked, 50);
+}
+
+TEST_F(BgpTest, PreferenceOrderCustomerOverPeerOverProvider) {
+  const World& world = small_world();
+  for (std::uint32_t o = 0; o < world.ases.size(); o += 5) {
+    if (world.ases[o].type == AsType::kCloud) continue;
+    const auto& table = sim_.routes_to(AsId{o});
+    for (std::uint32_t v = 0; v < world.ases.size(); ++v) {
+      const RouteEntry& entry = table[v];
+      if (entry.route_class != RouteClass::kCustomer) continue;
+      // A customer route implies the origin is in v's customer cone; the
+      // next hop must be one of v's customers.
+      bool next_is_customer = false;
+      for (const AsId customer : world.ases[v].customers)
+        if (customer == entry.next_hop) next_is_customer = true;
+      EXPECT_TRUE(next_is_customer);
+    }
+  }
+}
+
+TEST_F(BgpTest, SnapshotHidesVpiOnlyPeerings) {
+  const World& world = small_world();
+  const auto feeds = default_collector_feeds(world, 11);
+  const BgpSnapshot snapshot = build_snapshot(world, sim_, feeds);
+
+  // Find a client whose only Amazon interconnects are VPIs: its AS link
+  // with Amazon must not appear in the snapshot.
+  const Asn amazon_asn =
+      world.ases[world.cloud_primary(CloudProvider::kAmazon).value].asn;
+  int checked = 0;
+  for (std::uint32_t i = 0; i < world.ases.size(); ++i) {
+    bool has_amazon = false;
+    bool all_vpi = true;
+    for (const GroundTruthInterconnect& ic : world.interconnects) {
+      if (ic.cloud != CloudProvider::kAmazon || ic.client.value != i)
+        continue;
+      has_amazon = true;
+      if (ic.kind != PeeringKind::kVpi) all_vpi = false;
+    }
+    if (!has_amazon || !all_vpi) continue;
+    ++checked;
+    EXPECT_FALSE(snapshot.link_visible(amazon_asn, world.ases[i].asn))
+        << world.ases[i].name;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(BgpTest, SnapshotSeesTier1CloudLinks) {
+  const World& world = small_world();
+  const auto feeds = default_collector_feeds(world, 11);
+  const BgpSnapshot snapshot = build_snapshot(world, sim_, feeds);
+  const Asn amazon_asn =
+      world.ases[world.cloud_primary(CloudProvider::kAmazon).value].asn;
+  int visible = 0;
+  for (std::uint32_t i = 0; i < world.ases.size(); ++i) {
+    if (world.ases[i].type != AsType::kTier1) continue;
+    bool has_xconnect = false;
+    for (const GroundTruthInterconnect& ic : world.interconnects)
+      if (ic.cloud == CloudProvider::kAmazon && ic.client.value == i &&
+          ic.kind == PeeringKind::kCrossConnect)
+        has_xconnect = true;
+    if (has_xconnect && snapshot.link_visible(amazon_asn, world.ases[i].asn))
+      ++visible;
+  }
+  EXPECT_GT(visible, 0);
+}
+
+TEST_F(BgpTest, IntermittentPrefixesAppearOnlyInRound2) {
+  const World& world = small_world();
+  const auto feeds = default_collector_feeds(world, 11);
+  SnapshotOptions round1;
+  round1.include_intermittent = false;
+  SnapshotOptions round2;
+  round2.include_intermittent = true;
+  const BgpSnapshot snap1 = build_snapshot(world, sim_, feeds, round1);
+  const BgpSnapshot snap2 = build_snapshot(world, sim_, feeds, round2);
+  EXPECT_LT(snap1.origin_of.size(), snap2.origin_of.size());
+  // Round-1 entries are a subset of round-2 entries.
+  snap1.origin_of.for_each([&](const Prefix& prefix, const Asn& origin) {
+    const Asn* other = snap2.origin_of.exact(prefix);
+    ASSERT_NE(other, nullptr) << prefix.to_string();
+    EXPECT_EQ(*other, origin);
+  });
+}
+
+TEST_F(BgpTest, CustomerConesAreSupersetsOfOwnSpace) {
+  const World& world = small_world();
+  const auto cones = customer_cone_slash24s(world);
+  for (std::uint32_t i = 0; i < world.ases.size(); ++i) {
+    std::uint64_t own = 0;
+    for (const Prefix& p : world.ases[i].announced_prefixes)
+      own += p.length() >= 24 ? 1 : (std::uint64_t{1} << (24 - p.length()));
+    EXPECT_GE(cones[i], own) << world.ases[i].name;
+  }
+  // Tier-1 cones dominate enterprise cones.
+  std::uint64_t max_tier1 = 0;
+  std::uint64_t max_enterprise = 0;
+  for (std::uint32_t i = 0; i < world.ases.size(); ++i) {
+    if (world.ases[i].type == AsType::kTier1)
+      max_tier1 = std::max(max_tier1, cones[i]);
+    if (world.ases[i].type == AsType::kEnterprise)
+      max_enterprise = std::max(max_enterprise, cones[i]);
+  }
+  EXPECT_GT(max_tier1, max_enterprise);
+}
+
+TEST_F(BgpTest, LinkKeyIsCanonical) {
+  EXPECT_EQ(BgpSnapshot::link_key(Asn{5}, Asn{9}),
+            BgpSnapshot::link_key(Asn{9}, Asn{5}));
+}
+
+}  // namespace
+}  // namespace cloudmap

@@ -1,0 +1,181 @@
+// Border (ABI/CBI) extraction on hand-crafted traceroute records: every
+// exclusion rule of §4.1 individually.
+#include <gtest/gtest.h>
+
+#include "controlplane/bgp.h"
+#include "fixtures.h"
+#include "infer/border.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_world;
+
+class BorderTest : public ::testing::Test {
+ protected:
+  BorderTest()
+      : world_(small_world()),
+        sim_(world_),
+        feeds_(default_collector_feeds(world_, 11)),
+        snapshot_(build_snapshot(world_, sim_, feeds_)),
+        whois_(WhoisRegistry::from_world(world_)),
+        as2org_(As2Org::from_world(world_)),
+        peeringdb_(PeeringDb::from_world(world_)),
+        annotator_(&snapshot_, &whois_, &as2org_, &peeringdb_) {
+    const AsId amazon = world_.cloud_primary(CloudProvider::kAmazon);
+    amazon_org_ = world_.ases[amazon.value].org;
+    amazon_addr_ =
+        world_.ases[amazon.value].announced_prefixes.front().network().next(9);
+    for (const AutonomousSystem& as : world_.ases) {
+      if (as.type == AsType::kEnterprise && !as.announced_prefixes.empty()) {
+        client_addr_ = as.announced_prefixes.front().network().next(9);
+        client_addr2_ = as.announced_prefixes.front().network().next(10);
+        break;
+      }
+    }
+  }
+
+  static TracerouteHop hop(Ipv4 address, double rtt = 1.0) {
+    return TracerouteHop{address, rtt, true};
+  }
+  static TracerouteHop star() { return TracerouteHop{}; }
+
+  TracerouteRecord record(std::vector<TracerouteHop> hops,
+                          Ipv4 dst = Ipv4(20, 99, 99, 99)) const {
+    TracerouteRecord out;
+    out.destination = dst;
+    out.hops = std::move(hops);
+    out.status = TracerouteStatus::kGapLimit;
+    return out;
+  }
+
+  const World& world_;
+  BgpSimulator sim_;
+  std::vector<AsId> feeds_;
+  BgpSnapshot snapshot_;
+  WhoisRegistry whois_;
+  As2Org as2org_;
+  PeeringDb peeringdb_;
+  Annotator annotator_;
+  OrgId amazon_org_;
+  Ipv4 amazon_addr_;
+  Ipv4 client_addr_;
+  Ipv4 client_addr2_;
+};
+
+TEST_F(BorderTest, ExtractsSimpleSegment) {
+  BorderWalkStats stats;
+  const Ipv4 private1(10, 0, 0, 1);
+  const auto segment = extract_segment(
+      record({hop(private1), hop(amazon_addr_), hop(client_addr_),
+              hop(client_addr2_)}),
+      annotator_, amazon_org_, stats);
+  ASSERT_TRUE(segment.has_value());
+  EXPECT_EQ(segment->abi, amazon_addr_);
+  EXPECT_EQ(segment->cbi, client_addr_);
+  EXPECT_EQ(segment->prior_abi, private1);
+  EXPECT_EQ(segment->post_cbi, client_addr2_);
+  EXPECT_EQ(stats.extracted, 1u);
+}
+
+TEST_F(BorderTest, PrivateHopsAreStillInside) {
+  BorderWalkStats stats;
+  const auto segment = extract_segment(
+      record({hop(Ipv4(10, 0, 0, 1)), hop(Ipv4(10, 0, 0, 5)),
+              hop(amazon_addr_), hop(client_addr_)}),
+      annotator_, amazon_org_, stats);
+  ASSERT_TRUE(segment.has_value());
+  EXPECT_EQ(segment->cbi, client_addr_);
+}
+
+TEST_F(BorderTest, NoSegmentWhenNeverLeaving) {
+  BorderWalkStats stats;
+  const auto segment = extract_segment(
+      record({hop(Ipv4(10, 0, 0, 1)), hop(amazon_addr_)}), annotator_,
+      amazon_org_, stats);
+  EXPECT_FALSE(segment.has_value());
+  EXPECT_EQ(stats.never_left_cloud, 1u);
+}
+
+TEST_F(BorderTest, GapBeforeBorderExcluded) {
+  BorderWalkStats stats;
+  const auto segment = extract_segment(
+      record({hop(Ipv4(10, 0, 0, 1)), star(), hop(amazon_addr_),
+              hop(client_addr_)}),
+      annotator_, amazon_org_, stats);
+  EXPECT_FALSE(segment.has_value());
+  EXPECT_EQ(stats.gap_before_border, 1u);
+}
+
+TEST_F(BorderTest, LoopExcluded) {
+  BorderWalkStats stats;
+  const Ipv4 a(10, 0, 0, 1);
+  const Ipv4 b(10, 0, 0, 2);
+  const auto segment = extract_segment(
+      record({hop(a), hop(b), hop(a), hop(amazon_addr_), hop(client_addr_)}),
+      annotator_, amazon_org_, stats);
+  EXPECT_FALSE(segment.has_value());
+  EXPECT_EQ(stats.loop, 1u);
+}
+
+TEST_F(BorderTest, DuplicateExcluded) {
+  BorderWalkStats stats;
+  const Ipv4 a(10, 0, 0, 1);
+  const auto segment = extract_segment(
+      record({hop(a), hop(a), hop(amazon_addr_), hop(client_addr_)}),
+      annotator_, amazon_org_, stats);
+  EXPECT_FALSE(segment.has_value());
+  EXPECT_EQ(stats.duplicate_before_border, 1u);
+}
+
+TEST_F(BorderTest, CbiAsDestinationExcluded) {
+  BorderWalkStats stats;
+  const auto segment =
+      extract_segment(record({hop(Ipv4(10, 0, 0, 1)), hop(amazon_addr_),
+                              hop(client_addr_)},
+                             /*dst=*/client_addr_),
+                      annotator_, amazon_org_, stats);
+  EXPECT_FALSE(segment.has_value());
+  EXPECT_EQ(stats.cbi_is_destination, 1u);
+}
+
+TEST_F(BorderTest, ReentryExcluded) {
+  BorderWalkStats stats;
+  const auto segment = extract_segment(
+      record({hop(Ipv4(10, 0, 0, 1)), hop(amazon_addr_), hop(client_addr_),
+              hop(amazon_addr_.next(1))}),
+      annotator_, amazon_org_, stats);
+  EXPECT_FALSE(segment.has_value());
+  EXPECT_EQ(stats.reentered_cloud, 1u);
+}
+
+TEST_F(BorderTest, CbiAtFirstHopRejected) {
+  BorderWalkStats stats;
+  const auto segment = extract_segment(record({hop(client_addr_)}),
+                                       annotator_, amazon_org_, stats);
+  EXPECT_FALSE(segment.has_value());
+}
+
+TEST_F(BorderTest, MultipleAmazonAsnsAreOneOrg) {
+  // A hop announced by a secondary Amazon ASN must still count as inside.
+  const auto& amazon_ases =
+      world_.cloud_ases[static_cast<int>(CloudProvider::kAmazon)];
+  ASSERT_GE(amazon_ases.size(), 2u);
+  for (const AsId id : amazon_ases) {
+    EXPECT_EQ(world_.ases[id.value].org, amazon_org_);
+  }
+}
+
+TEST_F(BorderTest, RttsAreRecorded) {
+  BorderWalkStats stats;
+  const auto segment = extract_segment(
+      record({hop(Ipv4(10, 0, 0, 1), 0.5), hop(amazon_addr_, 2.5),
+              hop(client_addr_, 3.5)}),
+      annotator_, amazon_org_, stats);
+  ASSERT_TRUE(segment.has_value());
+  EXPECT_DOUBLE_EQ(segment->abi_rtt_ms, 2.5);
+  EXPECT_DOUBLE_EQ(segment->cbi_rtt_ms, 3.5);
+}
+
+}  // namespace
+}  // namespace cloudmap

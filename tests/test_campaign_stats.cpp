@@ -1,0 +1,84 @@
+// Campaign bookkeeping: Table-1 stat classification priorities, walk-stat
+// accumulation, and the simulated campaign clock.
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "infer/campaign.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_pipeline;
+
+TEST(CampaignStats, IxpFlagTakesPriorityOverSources) {
+  Pipeline& pipeline = small_pipeline();
+  Annotator annotator = pipeline.annotator();
+  annotator.set_snapshot(&pipeline.snapshot_round2());
+  // Build a set with one known-IXP address and one known-BGP address.
+  std::unordered_set<std::uint32_t> addresses;
+  Ipv4 ixp_address;
+  for (const GroundTruthInterconnect& ic : pipeline.world().interconnects) {
+    if (ic.kind == PeeringKind::kPublicIxp) {
+      ixp_address = pipeline.world().interface(ic.client_interface).address;
+      break;
+    }
+  }
+  ASSERT_FALSE(ixp_address.is_unspecified());
+  addresses.insert(ixp_address.value());
+  const auto row = Campaign::interface_stats(addresses, annotator);
+  EXPECT_EQ(row.total, 1u);
+  EXPECT_DOUBLE_EQ(row.ixp_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(row.bgp_fraction, 0.0);  // IXP wins even when annotated
+}
+
+TEST(CampaignStats, EmptySetYieldsZeroRow) {
+  Pipeline& pipeline = small_pipeline();
+  Annotator annotator = pipeline.annotator();
+  const auto row = Campaign::interface_stats({}, annotator);
+  EXPECT_EQ(row.total, 0u);
+  EXPECT_DOUBLE_EQ(row.bgp_fraction, 0.0);
+}
+
+TEST(CampaignStats, WalkStatsAccumulate) {
+  BorderWalkStats a;
+  a.examined = 10;
+  a.extracted = 4;
+  a.loop = 1;
+  BorderWalkStats b;
+  b.examined = 5;
+  b.extracted = 2;
+  b.gap_before_border = 3;
+  a.add(b);
+  EXPECT_EQ(a.examined, 15u);
+  EXPECT_EQ(a.extracted, 6u);
+  EXPECT_EQ(a.loop, 1u);
+  EXPECT_EQ(a.gap_before_border, 3u);
+}
+
+TEST(CampaignStats, DurationScalesWithProbesAndRegions) {
+  RoundStats stats;
+  stats.probes = 300 * 86400 * 15;  // one full day for 15 VMs at 300 pps
+  EXPECT_NEAR(stats.duration_days(15), 1.0, 1e-9);
+  EXPECT_NEAR(stats.duration_days(15, 600.0), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(RoundStats{}.duration_days(0), 0.0);
+}
+
+TEST(CampaignStats, RoundsRecordProbeCounts) {
+  Pipeline& pipeline = small_pipeline();
+  EXPECT_GT(pipeline.round1().probes, pipeline.round1().traceroutes);
+  EXPECT_GT(pipeline.round2().probes, 0u);
+  EXPECT_GT(pipeline.round1().duration_days(
+                pipeline.campaign().vantage_points().size()),
+            0.0);
+}
+
+TEST(CampaignStats, LeftCloudFractionBounds) {
+  Pipeline& pipeline = small_pipeline();
+  const double fraction = pipeline.round1().left_cloud_fraction();
+  EXPECT_GE(fraction, 0.0);
+  EXPECT_LE(fraction, 1.0);
+  EXPECT_DOUBLE_EQ(RoundStats{}.left_cloud_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace cloudmap

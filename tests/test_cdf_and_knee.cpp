@@ -1,0 +1,86 @@
+// Figure-series plumbing used by the benches: CDF grids, knees, and the
+// boxplot summaries under adversarial inputs.
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace cloudmap {
+namespace {
+
+TEST(CdfSeriesTest, EmptySampleIsAllZero) {
+  const CdfSeries series = cdf_series({}, linspace(0, 10, 11));
+  for (const double fraction : series.fraction)
+    EXPECT_DOUBLE_EQ(fraction, 0.0);
+}
+
+TEST(CdfSeriesTest, PointMassJumpsAtValue) {
+  std::vector<double> sample(100, 5.0);
+  const CdfSeries series = cdf_series(sample, linspace(0, 10, 11));
+  EXPECT_DOUBLE_EQ(series.fraction[4], 0.0);  // x=4 < 5
+  EXPECT_DOUBLE_EQ(series.fraction[5], 1.0);  // x=5 includes the mass
+}
+
+TEST(CdfSeriesTest, GridIsPreserved) {
+  const auto grid = logspace(0, 2, 5);
+  const CdfSeries series = cdf_series({1.0, 10.0, 100.0}, grid);
+  ASSERT_EQ(series.x.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i)
+    EXPECT_DOUBLE_EQ(series.x[i], grid[i]);
+}
+
+TEST(KneeTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(cdf_knee(CdfSeries{}), 0.0);
+  CdfSeries two;
+  two.x = {1.0, 2.0};
+  two.fraction = {0.5, 1.0};
+  EXPECT_DOUBLE_EQ(cdf_knee(two), 1.0);
+}
+
+TEST(KneeTest, FindsTheBend) {
+  // Steep rise to x=2, flat after: knee at ~2.
+  std::vector<double> sample;
+  for (int i = 0; i < 1000; ++i)
+    sample.push_back(2.0 * static_cast<double>(i) / 1000.0);
+  sample.push_back(100.0);
+  const CdfSeries series = cdf_series(sample, linspace(0, 10, 21));
+  const double knee = cdf_knee(series);
+  EXPECT_GE(knee, 1.0);
+  EXPECT_LE(knee, 3.0);
+}
+
+TEST(BoxStatsTest, SingleElement) {
+  const BoxStats box = box_stats({42.0});
+  EXPECT_DOUBLE_EQ(box.min, 42.0);
+  EXPECT_DOUBLE_EQ(box.median, 42.0);
+  EXPECT_DOUBLE_EQ(box.max, 42.0);
+  EXPECT_EQ(box.count, 1u);
+}
+
+TEST(BoxStatsTest, OrderInvariant) {
+  const BoxStats sorted = box_stats({1, 2, 3, 4, 5, 6, 7, 8});
+  const BoxStats shuffled = box_stats({8, 3, 1, 6, 2, 7, 5, 4});
+  EXPECT_DOUBLE_EQ(sorted.q1, shuffled.q1);
+  EXPECT_DOUBLE_EQ(sorted.median, shuffled.median);
+  EXPECT_DOUBLE_EQ(sorted.q3, shuffled.q3);
+}
+
+TEST(BoxStatsTest, QuartilesBracketMedian) {
+  std::vector<double> sample;
+  for (int i = 0; i < 97; ++i) sample.push_back(i * i * 0.37);
+  const BoxStats box = box_stats(sample);
+  EXPECT_LE(box.min, box.q1);
+  EXPECT_LE(box.q1, box.median);
+  EXPECT_LE(box.median, box.q3);
+  EXPECT_LE(box.q3, box.max);
+}
+
+TEST(QuantileSummaryTest, ContainsAllFields) {
+  const std::string summary = quantile_summary({1.0, 2.0, 3.0});
+  EXPECT_NE(summary.find("p10="), std::string::npos);
+  EXPECT_NE(summary.find("p50="), std::string::npos);
+  EXPECT_NE(summary.find("p90="), std::string::npos);
+  EXPECT_NE(summary.find("n=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudmap

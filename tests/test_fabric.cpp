@@ -1,0 +1,132 @@
+// Fabric: segment dedup, adjacency tracking, shift/advance edits.
+#include <gtest/gtest.h>
+
+#include "infer/fabric.h"
+
+namespace cloudmap {
+namespace {
+
+CandidateSegment make_candidate(std::uint32_t prior, std::uint32_t abi,
+                                std::uint32_t cbi, std::uint32_t post,
+                                std::uint32_t dst = 0x14000001) {
+  CandidateSegment c;
+  c.prior_abi = Ipv4(prior);
+  c.abi = Ipv4(abi);
+  c.cbi = Ipv4(cbi);
+  c.post_cbi = Ipv4(post);
+  c.destination = Ipv4(dst);
+  c.region = RegionId{0};
+  return c;
+}
+
+TEST(Fabric, DeduplicatesByAbiCbiPair) {
+  Fabric fabric;
+  fabric.add_segment(make_candidate(1, 2, 3, 4), 1);
+  fabric.add_segment(make_candidate(1, 2, 3, 4, 0x14000002), 2);
+  fabric.add_segment(make_candidate(1, 2, 5, 4), 1);
+  EXPECT_EQ(fabric.segments().size(), 2u);
+  EXPECT_EQ(fabric.unique_abis().size(), 1u);
+  EXPECT_EQ(fabric.unique_cbis().size(), 2u);
+  // First-round provenance is kept.
+  EXPECT_EQ(fabric.segments()[0].first_round, 1);
+  EXPECT_EQ(fabric.segments()[0].dest_slash24s.size(), 1u);  // same /24
+}
+
+TEST(Fabric, TracksDestinationSlash24s) {
+  Fabric fabric;
+  fabric.add_segment(make_candidate(1, 2, 3, 4, 0x14000001), 1);
+  fabric.add_segment(make_candidate(1, 2, 3, 4, 0x14000101), 1);
+  EXPECT_EQ(fabric.segments()[0].dest_slash24s.size(), 2u);
+}
+
+TEST(Fabric, SampleDestinationsAreCapped) {
+  Fabric fabric;
+  for (std::uint32_t i = 0; i < 10; ++i)
+    fabric.add_segment(make_candidate(1, 2, 3, 4, 0x14000001 + i * 7), 1);
+  EXPECT_EQ(fabric.segments()[0].sample_destinations.size(),
+            Fabric::kMaxSampleDests);
+}
+
+TEST(Fabric, AdjacencyAccumulates) {
+  Fabric fabric;
+  fabric.add_adjacency(Ipv4(1), Ipv4(2));
+  fabric.add_adjacency(Ipv4(1), Ipv4(3));
+  fabric.add_adjacency(Ipv4(1), Ipv4(2));
+  const auto* successors = fabric.successors_of(Ipv4(1));
+  ASSERT_NE(successors, nullptr);
+  EXPECT_EQ(successors->size(), 2u);
+  EXPECT_EQ(fabric.successors_of(Ipv4(9)), nullptr);
+}
+
+TEST(Fabric, ShiftRewritesSegment) {
+  Fabric fabric;
+  fabric.add_segment(make_candidate(1, 2, 3, 4), 1);
+  ASSERT_TRUE(fabric.shift_segment(0, Confirmation::kHybrid));
+  const InferredSegment& segment = fabric.segments()[0];
+  EXPECT_EQ(segment.abi, Ipv4(1));
+  EXPECT_EQ(segment.cbi, Ipv4(2));
+  EXPECT_EQ(segment.post_cbi, Ipv4(3));
+  EXPECT_TRUE(segment.shifted);
+  EXPECT_EQ(segment.confirmation, Confirmation::kHybrid);
+}
+
+TEST(Fabric, ShiftWithoutPriorFails) {
+  Fabric fabric;
+  fabric.add_segment(make_candidate(0, 2, 3, 4), 1);
+  EXPECT_FALSE(fabric.shift_segment(0, Confirmation::kHybrid));
+}
+
+TEST(Fabric, ShiftMergesIntoExistingSegment) {
+  Fabric fabric;
+  fabric.add_segment(make_candidate(1, 2, 3, 4), 1);   // will shift to (1,2)
+  fabric.add_segment(make_candidate(0, 1, 2, 3), 1);   // already (1,2)
+  ASSERT_TRUE(fabric.shift_segment(0, Confirmation::kHybrid));
+  fabric.compact();
+  EXPECT_EQ(fabric.segments().size(), 1u);
+  EXPECT_EQ(fabric.segments()[0].abi, Ipv4(1));
+  EXPECT_EQ(fabric.segments()[0].cbi, Ipv4(2));
+}
+
+TEST(Fabric, AdvanceRewritesSegment) {
+  Fabric fabric;
+  fabric.add_segment(make_candidate(1, 2, 3, 4), 1);
+  ASSERT_TRUE(fabric.advance_segment(0, Confirmation::kAliasRelabel));
+  const InferredSegment& segment = fabric.segments()[0];
+  EXPECT_EQ(segment.abi, Ipv4(3));
+  EXPECT_EQ(segment.cbi, Ipv4(4));
+}
+
+TEST(Fabric, AdvanceWithoutPostFails) {
+  Fabric fabric;
+  fabric.add_segment(make_candidate(1, 2, 3, 0), 1);
+  EXPECT_FALSE(fabric.advance_segment(0, Confirmation::kAliasRelabel));
+}
+
+TEST(Fabric, CompactRemovesTombstones) {
+  Fabric fabric;
+  fabric.add_segment(make_candidate(1, 2, 3, 4), 1);
+  fabric.add_segment(make_candidate(0, 1, 2, 3), 1);
+  fabric.add_segment(make_candidate(5, 6, 7, 8), 1);
+  fabric.shift_segment(0, Confirmation::kHybrid);  // merges into (1,2)
+  fabric.compact();
+  EXPECT_EQ(fabric.segments().size(), 2u);
+  // Index still works after compaction: re-adding dedups correctly.
+  fabric.add_segment(make_candidate(5, 6, 7, 8), 2);
+  EXPECT_EQ(fabric.segments().size(), 2u);
+}
+
+TEST(Fabric, GroupingByAbiAndCbi) {
+  Fabric fabric;
+  fabric.add_segment(make_candidate(1, 2, 3, 0), 1);
+  fabric.add_segment(make_candidate(1, 2, 4, 0), 1);
+  fabric.add_segment(make_candidate(1, 5, 3, 0), 1);
+  const auto by_abi = fabric.by_abi();
+  EXPECT_EQ(by_abi.size(), 2u);
+  EXPECT_EQ(by_abi.at(2).size(), 2u);
+  const auto by_cbi = fabric.by_cbi();
+  EXPECT_EQ(by_cbi.size(), 2u);
+  EXPECT_EQ(by_cbi.at(3).size(), 2u);
+}
+
+}  // namespace
+}  // namespace cloudmap

@@ -1,0 +1,167 @@
+// Failure injection: the pipeline must degrade gracefully — not crash, not
+// fabricate — when its public data sources are crippled or the network is
+// hostile (silent routers, no DNS, empty PeeringDB, heavy packet loss).
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "topology/generator.h"
+
+namespace cloudmap {
+namespace {
+
+World tiny_world(std::uint64_t seed,
+                 void (*mutate)(GeneratorConfig&) = nullptr) {
+  GeneratorConfig config = GeneratorConfig::small();
+  // Smaller still: failure runs should stay fast.
+  config.metro_count = 8;
+  config.amazon_regions = 3;
+  config.microsoft_regions = 2;
+  config.google_regions = 1;
+  config.ibm_regions = 1;
+  config.oracle_regions = 1;
+  config.tier1_count = 2;
+  config.tier2_count = 6;
+  config.access_count = 8;
+  config.enterprise_count = 12;
+  config.content_count = 5;
+  config.cdn_count = 2;
+  config.seed = seed;
+  if (mutate != nullptr) mutate(config);
+  return generate_world(config);
+}
+
+TEST(FailureInjection, NoDnsAtAll) {
+  const World world = tiny_world(3);
+  PipelineOptions options;
+  options.dns.coverage = 0.0;
+  Pipeline pipeline(world, options);
+  pipeline.run_all();
+  const AnchorSet& anchors = pipeline.anchors();
+  EXPECT_EQ(anchors.dns, 0u);
+  // Pinning still proceeds from the other three anchor sources.
+  EXPECT_GT(anchors.ixp + anchors.metro_footprint + anchors.native, 0u);
+  EXPECT_GT(pipeline.pinning().pins.size(), 0u);
+}
+
+TEST(FailureInjection, EmptyPeeringDb) {
+  const World world = tiny_world(4);
+  PipelineOptions options;
+  options.peeringdb.tenant_coverage = 0.0;
+  options.peeringdb.participant_coverage = 0.0;
+  Pipeline pipeline(world, options);
+  pipeline.run_all();
+  // No footprint anchors, no IXP member attribution — but the campaign and
+  // the other anchor sources still function.
+  EXPECT_EQ(pipeline.anchors().metro_footprint, 0u);
+  EXPECT_GT(pipeline.campaign().fabric().segments().size(), 0u);
+  EXPECT_GT(pipeline.pinning().pins.size(), 0u);
+}
+
+TEST(FailureInjection, HostileDns) {
+  // Every DNS record points at the wrong metro: the RTT feasibility check
+  // plus anchor consistency filtering must keep pinning precision.
+  const World world = tiny_world(5, [](GeneratorConfig& config) {
+    config.dns_wrong_location = 1.0;
+  });
+  Pipeline pipeline(world);
+  pipeline.run_all();
+  const GroundTruthAccuracy accuracy =
+      score_against_truth(world, pipeline.pinning());
+  if (accuracy.pinned > 20) {
+    EXPECT_GT(accuracy.accuracy, 0.6)
+        << "hostile DNS should be largely filtered, not swallowed";
+  }
+}
+
+TEST(FailureInjection, MostlySilentClients) {
+  const World world = tiny_world(6, [](GeneratorConfig& config) {
+    config.router_silent = 0.5;
+  });
+  Pipeline pipeline(world);
+  pipeline.run_all();
+  // Far fewer segments, but whatever is inferred remains precise at the
+  // router level.
+  const InferenceScore score = pipeline.score();
+  EXPECT_GT(pipeline.campaign().fabric().segments().size(), 0u);
+  if (score.inferred_cbis > 20) EXPECT_GT(score.router_precision(), 0.5);
+}
+
+TEST(FailureInjection, EverythingRepliesWithDefaults) {
+  const World world = tiny_world(7, [](GeneratorConfig& config) {
+    config.router_fixed_reply = 1.0;
+    config.tier2_fixed_reply = 1.0;
+  });
+  Pipeline pipeline(world);
+  EXPECT_NO_THROW(pipeline.run_all());
+  // The fabric exists; exact-interface matching collapses (expected), the
+  // router-level view survives better.
+  const InferenceScore score = pipeline.score();
+  EXPECT_GE(score.router_recall(), score.recall());
+}
+
+TEST(FailureInjection, NoVpisPlanted) {
+  const World world = tiny_world(8, [](GeneratorConfig& config) {
+    config.enterprise_vpi = 0.0;
+    config.access_vpi = 0.0;
+    config.content_vpi = 0.0;
+    config.cdn_vpi = 0.0;
+    config.tier2_vpi = 0.0;
+    config.tier1_vpi = 0.0;
+  });
+  Pipeline pipeline(world);
+  pipeline.run_all();
+  // The overlap method can still fire on interior-interface artifacts, but
+  // only marginally; with no VPI fabric there is nothing real to find.
+  EXPECT_LE(pipeline.vpis().vpi_cbis.size(),
+            pipeline.campaign().fabric().unique_cbis().size() / 10);
+}
+
+TEST(FailureInjection, AllVpisPrivate) {
+  const World world = tiny_world(9, [](GeneratorConfig& config) {
+    config.vpi_private_address = 1.0;
+  });
+  Pipeline pipeline(world);
+  pipeline.run_all();
+  // Private VPIs are invisible in principle: none of their client
+  // interfaces may surface anywhere in the fabric.
+  const auto cbis = pipeline.campaign().fabric().unique_cbis();
+  for (const GroundTruthInterconnect& ic : world.interconnects) {
+    if (ic.kind != PeeringKind::kVpi) continue;
+    EXPECT_TRUE(ic.private_address);
+    EXPECT_EQ(cbis.count(
+                  world.interface(ic.client_interface).address.value()),
+              0u);
+  }
+}
+
+TEST(FailureInjection, BarrenBgpCollectors) {
+  // A snapshot built from zero collector feeds: annotation falls back to
+  // WHOIS everywhere; the border walk still works because ORG identity
+  // comes through the registry.
+  const World world = tiny_world(10);
+  const BgpSimulator sim(world);
+  const BgpSnapshot empty = build_snapshot(world, sim, {});
+  EXPECT_EQ(empty.origin_of.size(), 0u);
+  EXPECT_TRUE(empty.as_links.empty());
+
+  const WhoisRegistry whois = WhoisRegistry::from_world(world);
+  const As2Org as2org = As2Org::from_world(world);
+  const PeeringDb peeringdb = PeeringDb::from_world(world);
+  const Annotator annotator(&empty, &whois, &as2org, &peeringdb);
+  Forwarder forwarder(world, sim);
+  Campaign campaign(world, forwarder, CloudProvider::kAmazon);
+  const RoundStats stats = campaign.run_round1(annotator);
+  EXPECT_GT(stats.walk.extracted, 0u);
+}
+
+TEST(FailureInjection, ZeroExpansionStride) {
+  // Misconfigured stride values are clamped rather than dividing by zero.
+  const World world = tiny_world(11);
+  PipelineOptions options;
+  options.campaign.expansion_stride = 0;
+  Pipeline pipeline(world, options);
+  EXPECT_NO_THROW(pipeline.round2());
+}
+
+}  // namespace
+}  // namespace cloudmap

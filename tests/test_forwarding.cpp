@@ -1,0 +1,218 @@
+// Forwarder: path validity, delivery, hot potato, RTT geometry.
+#include <gtest/gtest.h>
+
+#include "controlplane/bgp.h"
+#include "dataplane/forwarding.h"
+#include "fixtures.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_world;
+
+class ForwardingTest : public ::testing::Test {
+ protected:
+  ForwardingTest()
+      : world_(small_world()), sim_(world_), forwarder_(world_, sim_) {}
+
+  VantagePoint amazon_vp(std::size_t index = 0) const {
+    const auto regions = world_.regions_of(CloudProvider::kAmazon);
+    return VantagePoint::cloud_vm(CloudProvider::kAmazon, regions[index],
+                                  "vm");
+  }
+
+  const World& world_;
+  BgpSimulator sim_;
+  Forwarder forwarder_;
+};
+
+TEST_F(ForwardingTest, PathsAreLinkConnected) {
+  // Every consecutive hop pair must share a physical link, and incoming
+  // interfaces must belong to their routers.
+  int delivered = 0;
+  for (const Prefix& target : world_.probeable_slash24s()) {
+    if (delivered > 400) break;
+    const ForwardPath path =
+        forwarder_.path(amazon_vp(), target.network().next(1));
+    if (path.outcome != PathOutcome::kDelivered) continue;
+    ++delivered;
+    for (std::size_t i = 0; i < path.hops.size(); ++i) {
+      const ForwardHop& hop = path.hops[i];
+      ASSERT_TRUE(hop.router.valid());
+      if (hop.incoming.valid()) {
+        EXPECT_EQ(world_.interface(hop.incoming).router, hop.router);
+      }
+      if (i == 0) continue;
+      // The incoming interface's link must attach to the previous router.
+      if (!hop.incoming.valid()) continue;
+      const LinkId link = world_.interface(hop.incoming).link;
+      if (!link.valid()) continue;
+      const InterfaceId other = world_.link_other_side(link, hop.incoming);
+      EXPECT_EQ(world_.interface(other).router, path.hops[i - 1].router)
+          << "hop " << i;
+    }
+  }
+  EXPECT_GT(delivered, 200);
+}
+
+TEST_F(ForwardingTest, OnewayLatencyIsMonotone) {
+  int checked = 0;
+  for (const Prefix& target : world_.probeable_slash24s()) {
+    if (checked > 200) break;
+    const ForwardPath path =
+        forwarder_.path(amazon_vp(1), target.network().next(1));
+    if (path.hops.size() < 2) continue;
+    ++checked;
+    for (std::size_t i = 1; i < path.hops.size(); ++i)
+      EXPECT_GE(path.hops[i].oneway_ms, path.hops[i - 1].oneway_ms);
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST_F(ForwardingTest, FirstHopIsRegionGateway) {
+  const auto regions = world_.regions_of(CloudProvider::kAmazon);
+  for (const RegionId region : regions) {
+    const VantagePoint vp =
+        VantagePoint::cloud_vm(CloudProvider::kAmazon, region, "vm");
+    const ForwardPath path = forwarder_.path(vp, Ipv4(20, 0, 0, 1));
+    ASSERT_FALSE(path.hops.empty());
+    EXPECT_EQ(path.hops.front().router, world_.region(region).core_router);
+    EXPECT_EQ(path.hops.front().incoming, world_.region(region).vm_gateway);
+  }
+}
+
+TEST_F(ForwardingTest, EgressMatchesAnInterconnectOfTheCloud) {
+  int egresses = 0;
+  for (const Prefix& target : world_.probeable_slash24s()) {
+    if (egresses > 200) break;
+    const ForwardPath path =
+        forwarder_.path(amazon_vp(), target.network().next(1));
+    if (!path.egress_interconnect.valid()) continue;
+    ++egresses;
+    bool found = false;
+    for (const GroundTruthInterconnect& ic : world_.interconnects) {
+      if (ic.link == path.egress_interconnect) {
+        EXPECT_EQ(ic.cloud, CloudProvider::kAmazon);
+        EXPECT_FALSE(ic.private_address);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+  EXPECT_GT(egresses, 100);
+}
+
+TEST_F(ForwardingTest, DeliversToInterconnectClientInterface) {
+  // Probing a client-side interconnect address lands on its exact router.
+  int checked = 0;
+  for (const GroundTruthInterconnect& ic : world_.interconnects) {
+    if (ic.cloud != CloudProvider::kAmazon || ic.private_address) continue;
+    const Interface& client = world_.interface(ic.client_interface);
+    const ForwardPath path = forwarder_.path(amazon_vp(), client.address);
+    if (path.outcome != PathOutcome::kDelivered) continue;
+    EXPECT_EQ(path.hops.back().router, client.router);
+    ++checked;
+  }
+  EXPECT_GT(checked, 50);
+}
+
+TEST_F(ForwardingTest, PrivateVpisAreUnroutable) {
+  for (const GroundTruthInterconnect& ic : world_.interconnects) {
+    if (!ic.private_address) continue;
+    const Interface& client = world_.interface(ic.client_interface);
+    const ForwardPath path = forwarder_.path(amazon_vp(), client.address);
+    EXPECT_NE(path.outcome, PathOutcome::kDelivered)
+        << client.address.to_string();
+  }
+}
+
+TEST_F(ForwardingTest, HotPotatoPrefersNearbyEgress) {
+  // For a destination announced over several interconnects of one client,
+  // different regions may pick different egress links, and each choice is
+  // the nearest among the candidates for that region.
+  const auto regions = world_.regions_of(CloudProvider::kAmazon);
+  int multi_link_clients = 0;
+  for (std::uint32_t i = 0; i < world_.ases.size(); ++i) {
+    std::vector<const GroundTruthInterconnect*> ics;
+    for (const GroundTruthInterconnect& ic : world_.interconnects)
+      if (ic.cloud == CloudProvider::kAmazon && ic.client.value == i &&
+          !ic.private_address)
+        ics.push_back(&ic);
+    if (ics.size() < 3) continue;
+    ++multi_link_clients;
+    if (world_.ases[i].announced_prefixes.empty()) continue;
+    const Ipv4 dst = world_.ases[i].announced_prefixes.front().network().next(1);
+    std::unordered_set<std::uint32_t> chosen;
+    for (const RegionId region : regions) {
+      const VantagePoint vp =
+          VantagePoint::cloud_vm(CloudProvider::kAmazon, region, "vm");
+      const ForwardPath path = forwarder_.path(vp, dst);
+      if (path.egress_interconnect.valid())
+        chosen.insert(path.egress_interconnect.value);
+    }
+    EXPECT_GE(chosen.size(), 1u);
+    if (multi_link_clients >= 5) break;
+  }
+  EXPECT_GT(multi_link_clients, 0);
+}
+
+TEST_F(ForwardingTest, RttToInterfaceMatchesGeography) {
+  // RTT from a region to an interface is at least the pure propagation RTT
+  // between their metros (path inflation only adds).
+  const auto regions = world_.regions_of(CloudProvider::kAmazon);
+  const VantagePoint vp =
+      VantagePoint::cloud_vm(CloudProvider::kAmazon, regions[0], "vm");
+  const GeoPoint& from =
+      world_.metro(world_.region(regions[0]).metro).location;
+  int checked = 0;
+  for (const GroundTruthInterconnect& ic : world_.interconnects) {
+    if (ic.cloud != CloudProvider::kAmazon || ic.private_address) continue;
+    const auto rtt = forwarder_.rtt_to_interface(vp, ic.client_interface);
+    if (!rtt) continue;
+    ++checked;
+    const Interface& client = world_.interface(ic.client_interface);
+    const GeoPoint& to = world_.router_location(client.router);
+    EXPECT_GE(*rtt + 1e-6, rtt_ms(from, to, 1.0) * 0.99);
+  }
+  EXPECT_GT(checked, 30);
+}
+
+TEST_F(ForwardingTest, PublicVantageCannotReachCloudBorders) {
+  // Amazon routers are not publicly reachable; unannounced infra space has
+  // no public route at all.
+  VantagePoint public_vp;
+  for (const AutonomousSystem& as : world_.ases) {
+    if (as.type == AsType::kAccess && !as.routers.empty()) {
+      public_vp = VantagePoint::public_node(as.routers.front(), "vp");
+      break;
+    }
+  }
+  ASSERT_TRUE(public_vp.host_router.valid());
+  int checked = 0;
+  for (const GroundTruthInterconnect& ic : world_.interconnects) {
+    if (ic.cloud != CloudProvider::kAmazon) continue;
+    EXPECT_FALSE(
+        forwarder_.rtt_to_interface(public_vp, ic.cloud_interface).has_value());
+    if (++checked > 50) break;
+  }
+}
+
+TEST_F(ForwardingTest, PublicVantageReachesSomeClientInterfaces) {
+  VantagePoint public_vp;
+  for (const AutonomousSystem& as : world_.ases) {
+    if (as.type == AsType::kAccess && !as.routers.empty()) {
+      public_vp = VantagePoint::public_node(as.routers.front(), "vp");
+      break;
+    }
+  }
+  int reachable = 0;
+  for (const GroundTruthInterconnect& ic : world_.interconnects) {
+    if (ic.cloud != CloudProvider::kAmazon || ic.private_address) continue;
+    if (forwarder_.rtt_to_interface(public_vp, ic.client_interface))
+      ++reachable;
+  }
+  EXPECT_GT(reachable, 10);
+}
+
+}  // namespace
+}  // namespace cloudmap

@@ -1,0 +1,150 @@
+// Forwarding across clouds: foreign-cloud vantage points, inter-cloud
+// peerings, redundant-session egress splitting, and ECMP determinism.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "controlplane/bgp.h"
+#include "dataplane/forwarding.h"
+#include "fixtures.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_world;
+
+class CloudForwardingTest : public ::testing::Test {
+ protected:
+  CloudForwardingTest()
+      : world_(small_world()), sim_(world_), forwarder_(world_, sim_) {}
+
+  VantagePoint vp(CloudProvider provider, std::size_t index = 0) const {
+    const auto regions = world_.regions_of(provider);
+    return VantagePoint::cloud_vm(provider, regions[index], "vm");
+  }
+
+  const World& world_;
+  BgpSimulator sim_;
+  Forwarder forwarder_;
+};
+
+TEST_F(CloudForwardingTest, EveryCloudReachesClientSpace) {
+  for (int p = 1; p < static_cast<int>(kCloudProviderCount); ++p) {
+    const auto provider = static_cast<CloudProvider>(p);
+    int delivered = 0;
+    int tried = 0;
+    for (const AutonomousSystem& as : world_.ases) {
+      if (as.type == AsType::kCloud || as.announced_prefixes.empty())
+        continue;
+      if (++tried > 40) break;
+      const ForwardPath path = forwarder_.path(
+          vp(provider), as.announced_prefixes.front().network().next(1));
+      if (path.outcome == PathOutcome::kDelivered) ++delivered;
+    }
+    EXPECT_GT(delivered, tried / 2) << to_string(provider);
+  }
+}
+
+TEST_F(CloudForwardingTest, AmazonReachesOtherCloudsViaInterCloudPeering) {
+  // The inter-cloud interconnects give Amazon direct routes to the other
+  // clouds' announced space.
+  for (const CloudProvider other :
+       {CloudProvider::kMicrosoft, CloudProvider::kGoogle}) {
+    const AsId primary = world_.cloud_primary(other);
+    const Ipv4 target =
+        world_.ases[primary.value].announced_prefixes.front().network().next(1);
+    const ForwardPath path = forwarder_.path(vp(CloudProvider::kAmazon),
+                                             target);
+    EXPECT_EQ(path.outcome, PathOutcome::kDelivered) << to_string(other);
+    ASSERT_TRUE(path.egress_interconnect.valid());
+    // The egress is an inter-cloud interconnect whose client is the other
+    // cloud's AS.
+    bool found = false;
+    for (const GroundTruthInterconnect& ic : world_.interconnects) {
+      if (ic.link != path.egress_interconnect &&
+          ic.secondary_link != path.egress_interconnect)
+        continue;
+      EXPECT_EQ(ic.cloud, CloudProvider::kAmazon);
+      EXPECT_TRUE(world_.is_cloud_as(ic.client, other));
+      found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(CloudForwardingTest, PathsAreDeterministicPerDestination) {
+  const Ipv4 target(20, 3, 7, 1);
+  const ForwardPath a = forwarder_.path(vp(CloudProvider::kAmazon), target);
+  const ForwardPath b = forwarder_.path(vp(CloudProvider::kAmazon), target);
+  ASSERT_EQ(a.hops.size(), b.hops.size());
+  for (std::size_t i = 0; i < a.hops.size(); ++i) {
+    EXPECT_EQ(a.hops[i].router, b.hops[i].router);
+    EXPECT_EQ(a.hops[i].incoming, b.hops[i].incoming);
+  }
+}
+
+TEST_F(CloudForwardingTest, EcmpSplitsAcrossDestinationsSomewhere) {
+  // For some client with multiple links, different destinations in the same
+  // announced block take different egress links from one region.
+  bool split_observed = false;
+  for (const AutonomousSystem& as : world_.ases) {
+    if (as.type == AsType::kCloud || as.announced_prefixes.empty()) continue;
+    std::unordered_set<std::uint32_t> egresses;
+    const Prefix& block = as.announced_prefixes.front();
+    for (std::uint32_t host = 1; host < 40; host += 2) {
+      const ForwardPath path = forwarder_.path(
+          vp(CloudProvider::kAmazon), block.network().next(host));
+      if (path.egress_interconnect.valid())
+        egresses.insert(path.egress_interconnect.value);
+    }
+    if (egresses.size() >= 2) {
+      split_observed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(split_observed);
+}
+
+TEST_F(CloudForwardingTest, RedundantSessionsAreUsedFromSomeRegion) {
+  // At least one interconnect with a secondary link actually carries
+  // traffic from some region (the ICG-stitching mechanism).
+  const auto regions = world_.regions_of(CloudProvider::kAmazon);
+  bool secondary_used = false;
+  for (const GroundTruthInterconnect& ic : world_.interconnects) {
+    if (!ic.secondary_link.valid() || ic.cloud != CloudProvider::kAmazon)
+      continue;
+    const Ipv4 target = world_.interface(ic.client_interface).address;
+    for (const RegionId region : regions) {
+      const VantagePoint vantage =
+          VantagePoint::cloud_vm(CloudProvider::kAmazon, region, "vm");
+      const ForwardPath path = forwarder_.path(vantage, target);
+      if (path.egress_interconnect == ic.secondary_link)
+        secondary_used = true;
+    }
+    if (secondary_used) break;
+  }
+  EXPECT_TRUE(secondary_used);
+}
+
+TEST_F(CloudForwardingTest, ForeignCloudsCannotReachAmazonInfraSpace) {
+  // Amazon-provided interconnect /30s live in WHOIS-only space: no foreign
+  // cloud can route there (the reason non-shared VPIs evade detection).
+  int checked = 0;
+  for (const GroundTruthInterconnect& ic : world_.interconnects) {
+    if (ic.cloud != CloudProvider::kAmazon || !ic.cloud_provided_subnet ||
+        ic.private_address)
+      continue;
+    const Ipv4 target = world_.interface(ic.client_interface).address;
+    if (!target.is_private()) {
+      const ForwardPath path =
+          forwarder_.path(vp(CloudProvider::kMicrosoft), target);
+      EXPECT_NE(path.outcome, PathOutcome::kDelivered)
+          << target.to_string();
+      if (++checked > 20) break;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace cloudmap

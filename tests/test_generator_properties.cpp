@@ -1,0 +1,165 @@
+// Seed-sweep property tests over the world generator: structural invariants
+// that must hold for any seed, not just the fixture's.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/geo.h"
+#include "topology/generator.h"
+
+namespace cloudmap {
+namespace {
+
+class GeneratorProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  GeneratorProperty() {
+    GeneratorConfig config = GeneratorConfig::small();
+    config.seed = GetParam();
+    world_ = generate_world(config);
+  }
+  World world_;
+};
+
+TEST_P(GeneratorProperty, WorldValidates) {
+  EXPECT_EQ(world_.validate(), "");
+}
+
+TEST_P(GeneratorProperty, PublicAddressesAreUniquePerRole) {
+  // An address may appear on several interfaces only for shared L2 ports
+  // (same router) or redundant sessions (same router); otherwise unique.
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>>
+      routers_by_address;
+  for (const Interface& iface : world_.interfaces) {
+    if (iface.address.is_unspecified()) continue;
+    routers_by_address[iface.address.value()].insert(iface.router.value);
+  }
+  for (const auto& [address, routers] : routers_by_address) {
+    EXPECT_EQ(routers.size(), 1u)
+        << Ipv4(address).to_string() << " appears on multiple routers";
+  }
+}
+
+TEST_P(GeneratorProperty, LinkLatencyRespectsGeography) {
+  // No link is faster than light in fiber between its routers' metros.
+  for (const Link& link : world_.links) {
+    const RouterId ra = world_.interface(link.side_a).router;
+    const RouterId rb = world_.interface(link.side_b).router;
+    const double geo_oneway =
+        propagation_delay_ms(world_.router_location(ra),
+                             world_.router_location(rb), /*inflation=*/1.0);
+    EXPECT_GE(link.latency_ms + 1e-9, geo_oneway * 0.999)
+        << to_string(link.kind);
+  }
+}
+
+TEST_P(GeneratorProperty, InterconnectEndpointsMatchDeclaredKinds) {
+  for (const GroundTruthInterconnect& ic : world_.interconnects) {
+    const Link& link = world_.link(ic.link);
+    switch (ic.kind) {
+      case PeeringKind::kPublicIxp:
+        EXPECT_EQ(link.kind, LinkKind::kIxpLan);
+        break;
+      case PeeringKind::kCrossConnect:
+        EXPECT_EQ(link.kind, LinkKind::kCrossConnect);
+        break;
+      case PeeringKind::kVpi:
+        EXPECT_EQ(link.kind, LinkKind::kVpi);
+        break;
+    }
+    // The cloud interface belongs to the declared cloud's org.
+    const AsId cloud_owner = world_.router_owner(
+        world_.interface(ic.cloud_interface).router);
+    EXPECT_TRUE(world_.is_cloud_as(cloud_owner, ic.cloud));
+  }
+}
+
+TEST_P(GeneratorProperty, RemoteInterconnectsHaveDistantClients) {
+  for (const GroundTruthInterconnect& ic : world_.interconnects) {
+    if (!ic.remote) {
+      continue;
+    }
+    EXPECT_NE(ic.client_metro, ic.metro);
+  }
+}
+
+TEST_P(GeneratorProperty, IxpLanAddressesStayInsideTheLan) {
+  for (const GroundTruthInterconnect& ic : world_.interconnects) {
+    if (ic.kind != PeeringKind::kPublicIxp) continue;
+    const ColoFacility& colo = world_.colo(ic.colo);
+    ASSERT_TRUE(colo.ixp.valid());
+    const Prefix& lan = world_.ixp(colo.ixp).peering_prefix;
+    EXPECT_TRUE(lan.contains(world_.interface(ic.client_interface).address));
+    EXPECT_TRUE(lan.contains(world_.interface(ic.cloud_interface).address));
+  }
+}
+
+TEST_P(GeneratorProperty, CloudBordersHaveUplinks) {
+  for (const Region& region : world_.regions) {
+    EXPECT_FALSE(
+        world_.router(region.core_router).uplink.valid());  // cores are roots
+  }
+  for (const GroundTruthInterconnect& ic : world_.interconnects) {
+    const RouterId border = world_.interface(ic.cloud_interface).router;
+    // Every border terminating an interconnect is reachable from a core.
+    RouterId current = border;
+    int guard = 0;
+    while (world_.router(current).uplink.valid() && guard++ < 32) {
+      const Link& up = world_.link(world_.router(current).uplink);
+      const RouterId ra = world_.interface(up.side_a).router;
+      const RouterId rb = world_.interface(up.side_b).router;
+      current = (ra == current) ? rb : ra;
+    }
+    EXPECT_LT(guard, 32);
+    bool is_core = false;
+    for (const Region& region : world_.regions)
+      if (region.core_router == current) is_core = true;
+    EXPECT_TRUE(is_core) << "border " << border.value
+                         << " does not chain to a core";
+  }
+}
+
+TEST_P(GeneratorProperty, AnnouncedPrefixesAreDisjointAcrossAses) {
+  std::vector<std::pair<Prefix, std::uint32_t>> all;
+  for (std::uint32_t i = 0; i < world_.ases.size(); ++i)
+    for (const Prefix& prefix : world_.ases[i].announced_prefixes)
+      all.emplace_back(prefix, i);
+  for (std::size_t a = 0; a < all.size(); ++a) {
+    for (std::size_t b = a + 1; b < all.size(); ++b) {
+      if (all[a].second == all[b].second) continue;
+      EXPECT_FALSE(all[a].first.contains(all[b].first.network()) ||
+                   all[b].first.contains(all[a].first.network()))
+          << all[a].first.to_string() << " vs " << all[b].first.to_string();
+    }
+  }
+}
+
+TEST_P(GeneratorProperty, EveryAsHasAtLeastOneRouter) {
+  for (const AutonomousSystem& as : world_.ases) {
+    if (as.type == AsType::kCloud) continue;
+    EXPECT_FALSE(as.routers.empty()) << as.name;
+  }
+}
+
+TEST_P(GeneratorProperty, ProviderCustomerListsAreSymmetric) {
+  for (std::uint32_t i = 0; i < world_.ases.size(); ++i) {
+    for (const AsId provider : world_.ases[i].providers) {
+      bool found = false;
+      for (const AsId customer : world_.ases[provider.value].customers)
+        if (customer.value == i) found = true;
+      EXPECT_TRUE(found);
+    }
+    for (const AsId peer : world_.ases[i].peers) {
+      bool found = false;
+      for (const AsId back : world_.ases[peer.value].peers)
+        if (back.value == i) found = true;
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty,
+                         ::testing::Values(1, 2, 3, 11, 42, 1234));
+
+}  // namespace
+}  // namespace cloudmap

@@ -1,0 +1,55 @@
+// Geography and the RTT model.
+#include <gtest/gtest.h>
+
+#include "net/geo.h"
+
+namespace cloudmap {
+namespace {
+
+constexpr GeoPoint kNewYork{40.71, -74.01};
+constexpr GeoPoint kLondon{51.51, -0.13};
+constexpr GeoPoint kSydney{-33.87, 151.21};
+constexpr GeoPoint kTokyo{35.68, 139.69};
+
+TEST(Geo, ZeroDistanceToSelf) {
+  EXPECT_NEAR(haversine_km(kNewYork, kNewYork), 0.0, 1e-9);
+}
+
+TEST(Geo, KnownCityPairs) {
+  // Reference great-circle distances (±2%).
+  EXPECT_NEAR(haversine_km(kNewYork, kLondon), 5570.0, 120.0);
+  EXPECT_NEAR(haversine_km(kSydney, kTokyo), 7820.0, 170.0);
+}
+
+TEST(Geo, Symmetry) {
+  EXPECT_DOUBLE_EQ(haversine_km(kNewYork, kLondon),
+                   haversine_km(kLondon, kNewYork));
+}
+
+TEST(Geo, TriangleInequality) {
+  EXPECT_LE(haversine_km(kNewYork, kTokyo),
+            haversine_km(kNewYork, kLondon) + haversine_km(kLondon, kTokyo) +
+                1e-6);
+}
+
+TEST(Geo, PropagationDelayScalesWithDistance) {
+  const double d1 = propagation_delay_ms(kNewYork, kLondon);
+  const double d2 = propagation_delay_ms(kNewYork, kSydney);
+  EXPECT_GT(d2, d1);
+  // NY-London ≈ 5570 km * 1.6 / 200 km/ms ≈ 44.6 ms one way.
+  EXPECT_NEAR(d1, 44.6, 2.0);
+}
+
+TEST(Geo, RttIsTwicePropagation) {
+  EXPECT_DOUBLE_EQ(rtt_ms(kNewYork, kLondon),
+                   2.0 * propagation_delay_ms(kNewYork, kLondon));
+}
+
+TEST(Geo, InflationFactorApplies) {
+  EXPECT_NEAR(propagation_delay_ms(kNewYork, kLondon, 2.0) /
+                  propagation_delay_ms(kNewYork, kLondon, 1.0),
+              2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cloudmap

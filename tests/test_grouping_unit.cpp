@@ -1,0 +1,171 @@
+// Grouping/classifier unit tests on synthetic fabrics with controlled
+// attributes, independent of the full pipeline.
+#include <gtest/gtest.h>
+
+#include "analysis/grouping.h"
+#include "fixtures.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_pipeline;
+
+class GroupingUnit : public ::testing::Test {
+ protected:
+  GroupingUnit()
+      : pipeline_(small_pipeline()), annotator_(pipeline_.annotator()) {
+    annotator_.set_snapshot(&pipeline_.snapshot_round2());
+    const World& world = pipeline_.world();
+    // A client AS whose link with Amazon is BGP-visible (tier1) and one
+    // whose link is not (enterprise with only VPI/xconnect peerings).
+    const Asn amazon =
+        world.ases[world.cloud_primary(CloudProvider::kAmazon).value].asn;
+    for (const AutonomousSystem& as : world.ases) {
+      if (as.announced_prefixes.empty()) continue;
+      const bool visible =
+          pipeline_.snapshot_round2().link_visible(amazon, as.asn);
+      if (visible && !visible_client_.is_unspecified()) continue;
+      if (visible) {
+        visible_client_ = as.announced_prefixes.front().network().next(40);
+        visible_asn_ = as.asn;
+      } else if (invisible_client_.is_unspecified() &&
+                 as.type == AsType::kEnterprise) {
+        invisible_client_ = as.announced_prefixes.front().network().next(40);
+        invisible_asn_ = as.asn;
+      }
+    }
+    // An IXP LAN member address.
+    for (const GroundTruthInterconnect& ic : world.interconnects) {
+      if (ic.kind == PeeringKind::kPublicIxp &&
+          ic.cloud == CloudProvider::kAmazon) {
+        const Ipv4 lan = world.interface(ic.client_interface).address;
+        if (annotator_.annotate(lan).ixp &&
+            !annotator_.annotate(lan).asn.is_unknown()) {
+          ixp_cbi_ = lan;
+          break;
+        }
+      }
+    }
+    abi_ = world.ases[world.cloud_primary(CloudProvider::kAmazon).value]
+               .announced_prefixes.front().network().next(200);
+  }
+
+  static InferredSegment segment(Ipv4 abi, Ipv4 cbi) {
+    InferredSegment out;
+    out.abi = abi;
+    out.cbi = cbi;
+    return out;
+  }
+
+  PeeringClassifier classifier(
+      const std::unordered_set<std::uint32_t>* vpis = nullptr) {
+    return PeeringClassifier(&annotator_, &pipeline_.snapshot_round2(),
+                             pipeline_.subject_asns(), vpis);
+  }
+
+  Pipeline& pipeline_;
+  Annotator annotator_;
+  Ipv4 visible_client_, invisible_client_, ixp_cbi_, abi_;
+  Asn visible_asn_, invisible_asn_;
+};
+
+TEST_F(GroupingUnit, PublicVsPrivateAxis) {
+  ASSERT_FALSE(ixp_cbi_.is_unspecified());
+  ASSERT_FALSE(invisible_client_.is_unspecified());
+  PeeringClassifier c = classifier();
+  const auto public_group = c.classify(segment(abi_, ixp_cbi_));
+  ASSERT_TRUE(public_group.has_value());
+  EXPECT_TRUE(*public_group == PeeringGroup::kPbNb ||
+              *public_group == PeeringGroup::kPbB);
+  const auto private_group = c.classify(segment(abi_, invisible_client_));
+  ASSERT_TRUE(private_group.has_value());
+  EXPECT_TRUE(*private_group == PeeringGroup::kPrNbNv ||
+              *private_group == PeeringGroup::kPrBNv);
+}
+
+TEST_F(GroupingUnit, BgpAxisFollowsSnapshotLinks) {
+  ASSERT_FALSE(visible_client_.is_unspecified());
+  ASSERT_FALSE(invisible_client_.is_unspecified());
+  PeeringClassifier c = classifier();
+  EXPECT_TRUE(c.link_in_bgp(visible_asn_));
+  EXPECT_FALSE(c.link_in_bgp(invisible_asn_));
+  const auto visible_group = c.classify(segment(abi_, visible_client_));
+  ASSERT_TRUE(visible_group.has_value());
+  EXPECT_EQ(*visible_group, PeeringGroup::kPrBNv);
+  const auto invisible_group = c.classify(segment(abi_, invisible_client_));
+  ASSERT_TRUE(invisible_group.has_value());
+  EXPECT_EQ(*invisible_group, PeeringGroup::kPrNbNv);
+}
+
+TEST_F(GroupingUnit, VirtualAxisFollowsVpiSet) {
+  ASSERT_FALSE(invisible_client_.is_unspecified());
+  std::unordered_set<std::uint32_t> vpis{invisible_client_.value()};
+  PeeringClassifier c = classifier(&vpis);
+  const auto group = c.classify(segment(abi_, invisible_client_));
+  ASSERT_TRUE(group.has_value());
+  EXPECT_EQ(*group, PeeringGroup::kPrNbV);
+  // A public CBI never classifies as virtual even if (incorrectly) listed.
+  if (!ixp_cbi_.is_unspecified()) {
+    vpis.insert(ixp_cbi_.value());
+    PeeringClassifier c2 = classifier(&vpis);
+    const auto public_group = c2.classify(segment(abi_, ixp_cbi_));
+    ASSERT_TRUE(public_group.has_value());
+    EXPECT_TRUE(*public_group == PeeringGroup::kPbNb ||
+                *public_group == PeeringGroup::kPbB);
+  }
+}
+
+TEST_F(GroupingUnit, OwnerHintUsedForCloudAddressedCbis) {
+  PeeringClassifier c = classifier();
+  InferredSegment s = segment(abi_, abi_.next(1));  // Amazon-addressed CBI
+  EXPECT_TRUE(c.segment_owner(s).is_unknown() ||
+              c.segment_owner(s) == s.owner_hint);
+  s.owner_hint = invisible_asn_;
+  EXPECT_EQ(c.segment_owner(s), invisible_asn_);
+  const auto group = c.classify(s);
+  ASSERT_TRUE(group.has_value());
+}
+
+TEST_F(GroupingUnit, UnknownOwnerClassifiesAsNothing) {
+  PeeringClassifier c = classifier();
+  // 99/8 is unallocated: no annotation, no hint.
+  const auto group = c.classify(segment(abi_, Ipv4(99, 1, 2, 3)));
+  EXPECT_FALSE(group.has_value());
+}
+
+TEST_F(GroupingUnit, BreakdownCountsDistinctEntities) {
+  Fabric fabric;
+  CandidateSegment c1;
+  c1.abi = abi_;
+  c1.cbi = invisible_client_;
+  c1.destination = Ipv4(20, 0, 0, 1);
+  fabric.add_segment(c1, 1);
+  CandidateSegment c2;
+  c2.abi = abi_.next(1);
+  c2.cbi = invisible_client_;  // same CBI behind another ABI
+  c2.destination = Ipv4(20, 0, 0, 1);
+  fabric.add_segment(c2, 1);
+  PeeringClassifier cls = classifier();
+  const GroupBreakdown b = breakdown(fabric, cls);
+  EXPECT_EQ(b.total_cbis, 1u);
+  EXPECT_EQ(b.total_abis, 2u);
+  EXPECT_EQ(b.total_ases, 1u);
+}
+
+TEST_F(GroupingUnit, HybridComboIsExactGroupSet) {
+  Fabric fabric;
+  CandidateSegment c1;
+  c1.abi = abi_;
+  c1.cbi = invisible_client_;  // Pr-nB-nV
+  c1.destination = Ipv4(20, 0, 0, 1);
+  fabric.add_segment(c1, 1);
+  PeeringClassifier cls = classifier();
+  const auto rows = hybrid_breakdown(fabric, cls);
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].combo.size(), 1u);
+  EXPECT_EQ(rows[0].combo[0], PeeringGroup::kPrNbNv);
+  EXPECT_EQ(rows[0].as_count, 1u);
+}
+
+}  // namespace
+}  // namespace cloudmap

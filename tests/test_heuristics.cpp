@@ -1,0 +1,191 @@
+// §5.1 heuristics on crafted fabrics: each signal (IXP-client, hybrid,
+// reachability) and the Fig. 2 shift, in isolation.
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "infer/heuristics.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_pipeline;
+
+class HeuristicsUnit : public ::testing::Test {
+ protected:
+  HeuristicsUnit()
+      : pipeline_(small_pipeline()),
+        world_(pipeline_.world()),
+        annotator_(pipeline_.annotator()) {
+    annotator_.set_snapshot(&pipeline_.snapshot_round2());
+    amazon_org_ = pipeline_.campaign().subject_org();
+
+    // Address material drawn from the world: Amazon-announced space, Amazon
+    // WHOIS-only space, a client block, and an IXP LAN address with a known
+    // member.
+    const AsId amazon = world_.cloud_primary(CloudProvider::kAmazon);
+    amazon_a_ = world_.ases[amazon.value].announced_prefixes.front()
+                    .network().next(77);
+    amazon_b_ = world_.ases[amazon.value].announced_prefixes.front()
+                    .network().next(78);
+    for (const AutonomousSystem& as : world_.ases) {
+      if (as.type == AsType::kEnterprise && !as.announced_prefixes.empty()) {
+        client_a_ = as.announced_prefixes.front().network().next(77);
+        client_b_ = as.announced_prefixes.front().network().next(78);
+        break;
+      }
+    }
+    for (const GroundTruthInterconnect& ic : world_.interconnects) {
+      if (ic.kind == PeeringKind::kPublicIxp &&
+          ic.cloud == CloudProvider::kAmazon) {
+        ixp_member_ = world_.interface(ic.client_interface).address;
+        if (annotator_.annotate(ixp_member_).ixp) break;
+      }
+    }
+  }
+
+  HeuristicVerifier verifier() {
+    return HeuristicVerifier(pipeline_.forwarder(), annotator_, amazon_org_,
+                             pipeline_.public_vantage());
+  }
+
+  static CandidateSegment candidate(Ipv4 prior, Ipv4 abi, Ipv4 cbi,
+                                    Ipv4 post) {
+    CandidateSegment c;
+    c.prior_abi = prior;
+    c.abi = abi;
+    c.cbi = cbi;
+    c.post_cbi = post;
+    c.destination = Ipv4(20, 99, 0, 1);
+    c.region = RegionId{0};
+    return c;
+  }
+
+  Pipeline& pipeline_;
+  const World& world_;
+  Annotator annotator_;
+  OrgId amazon_org_;
+  Ipv4 amazon_a_, amazon_b_, client_a_, client_b_, ixp_member_;
+};
+
+TEST_F(HeuristicsUnit, IxpClientConfirms) {
+  ASSERT_FALSE(ixp_member_.is_unspecified());
+  Fabric fabric;
+  fabric.add_segment(candidate(Ipv4{}, amazon_a_, ixp_member_, Ipv4{}), 1);
+  HeuristicVerifier v = verifier();
+  EXPECT_TRUE(v.cbi_in_ixp(fabric, 0));
+  const HeuristicCounts counts = v.apply(fabric);
+  EXPECT_EQ(counts.cum_ixp_abis, 1u);
+  EXPECT_EQ(fabric.segments()[0].confirmation, Confirmation::kIxpClient);
+  EXPECT_FALSE(fabric.segments()[0].shifted);
+}
+
+TEST_F(HeuristicsUnit, HybridDetection) {
+  Fabric fabric;
+  // amazon_a_ is followed by both an Amazon interface and a client
+  // interface across traces — the Fig. 3 signature.
+  fabric.add_adjacency(amazon_a_, amazon_b_);
+  fabric.add_adjacency(amazon_a_, client_a_);
+  HeuristicVerifier v = verifier();
+  EXPECT_TRUE(v.is_hybrid(fabric, amazon_a_));
+  // Only Amazon successors: not hybrid.
+  Fabric fabric2;
+  fabric2.add_adjacency(amazon_a_, amazon_b_);
+  EXPECT_FALSE(v.is_hybrid(fabric2, amazon_a_));
+  // Only client successors: not hybrid either.
+  Fabric fabric3;
+  fabric3.add_adjacency(amazon_a_, client_a_);
+  fabric3.add_adjacency(amazon_a_, client_b_);
+  EXPECT_FALSE(v.is_hybrid(fabric3, amazon_a_));
+}
+
+TEST_F(HeuristicsUnit, HybridConfirmsSegment) {
+  Fabric fabric;
+  fabric.add_segment(candidate(Ipv4{}, amazon_a_, client_a_, client_b_), 1);
+  fabric.add_adjacency(amazon_a_, amazon_b_);
+  fabric.add_adjacency(amazon_a_, client_a_);
+  HeuristicVerifier v = verifier();
+  const HeuristicCounts counts = v.apply(fabric);
+  EXPECT_EQ(counts.cum_hybrid_abis, 1u);
+  EXPECT_EQ(fabric.segments()[0].confirmation, Confirmation::kHybrid);
+}
+
+TEST_F(HeuristicsUnit, Fig2ShiftAppliedWhenPriorIsHybrid) {
+  // amazon_b_ (the candidate ABI) has only client successors; the prior hop
+  // amazon_a_ is hybrid — the address-sharing artifact. The segment must
+  // shift back: (amazon_a_, amazon_b_) is the true interconnection.
+  Fabric fabric;
+  fabric.add_segment(candidate(amazon_a_, amazon_b_, client_a_, client_b_),
+                     1);
+  fabric.add_adjacency(amazon_a_, amazon_b_);   // amazon successor
+  fabric.add_adjacency(amazon_a_, client_b_);   // client successor → hybrid
+  fabric.add_adjacency(amazon_b_, client_a_);   // only client successors
+  HeuristicVerifier v = verifier();
+  const HeuristicCounts counts = v.apply(fabric);
+  EXPECT_EQ(counts.shifts_applied, 1u);
+  ASSERT_EQ(fabric.segments().size(), 1u);
+  EXPECT_EQ(fabric.segments()[0].abi, amazon_a_);
+  EXPECT_EQ(fabric.segments()[0].cbi, amazon_b_);
+  EXPECT_TRUE(fabric.segments()[0].shifted);
+  // The old client-side annotation is kept as the owner hint.
+  EXPECT_EQ(fabric.segments()[0].owner_hint,
+            annotator_.annotate(client_a_).asn);
+}
+
+TEST_F(HeuristicsUnit, NoShiftWithoutHybridPrior) {
+  Fabric fabric;
+  fabric.add_segment(candidate(amazon_a_, amazon_b_, client_a_, client_b_),
+                     1);
+  fabric.add_adjacency(amazon_a_, amazon_b_);  // prior NOT hybrid
+  fabric.add_adjacency(amazon_b_, client_a_);
+  HeuristicVerifier v = verifier();
+  v.apply(fabric);
+  EXPECT_EQ(fabric.segments()[0].abi, amazon_b_);  // unchanged
+  EXPECT_FALSE(fabric.segments()[0].shifted);
+}
+
+TEST_F(HeuristicsUnit, ReachabilityUsesPublicVantage) {
+  // A genuinely reachable client interface vs an Amazon border interface.
+  HeuristicVerifier v = verifier();
+  std::size_t reachable_clients = 0;
+  std::size_t reachable_amazon = 0;
+  std::size_t checked = 0;
+  for (const GroundTruthInterconnect& ic : world_.interconnects) {
+    if (ic.cloud != CloudProvider::kAmazon || ic.private_address) continue;
+    if (v.reachable_from_public(
+            world_.interface(ic.client_interface).address))
+      ++reachable_clients;
+    if (v.reachable_from_public(
+            world_.interface(ic.cloud_interface).address))
+      ++reachable_amazon;
+    if (++checked > 120) break;
+  }
+  EXPECT_GT(reachable_clients, 0u);
+  EXPECT_EQ(reachable_amazon, 0u);
+}
+
+TEST_F(HeuristicsUnit, IndividualCountsIndependentOfOrder) {
+  // The individual evaluation must not be affected by cumulative shifts:
+  // applying twice to identical fabrics yields identical individual counts.
+  Fabric fabric_a;
+  fabric_a.add_segment(candidate(Ipv4{}, amazon_a_, ixp_member_, Ipv4{}), 1);
+  fabric_a.add_segment(candidate(Ipv4{}, amazon_b_, client_a_, client_b_),
+                       1);
+  fabric_a.add_adjacency(amazon_b_, amazon_a_);
+  fabric_a.add_adjacency(amazon_b_, client_a_);
+  Fabric fabric_b;
+  fabric_b.add_segment(candidate(Ipv4{}, amazon_a_, ixp_member_, Ipv4{}), 1);
+  fabric_b.add_segment(candidate(Ipv4{}, amazon_b_, client_a_, client_b_),
+                       1);
+  fabric_b.add_adjacency(amazon_b_, amazon_a_);
+  fabric_b.add_adjacency(amazon_b_, client_a_);
+
+  HeuristicVerifier v = verifier();
+  const HeuristicCounts a = v.apply(fabric_a);
+  const HeuristicCounts b = v.apply(fabric_b);
+  EXPECT_EQ(a.ixp_abis, b.ixp_abis);
+  EXPECT_EQ(a.hybrid_abis, b.hybrid_abis);
+  EXPECT_EQ(a.reachable_abis, b.reachable_abis);
+}
+
+}  // namespace
+}  // namespace cloudmap

@@ -1,0 +1,98 @@
+// Serialization edge cases beyond the happy-path round trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/serialize.h"
+
+namespace cloudmap {
+namespace {
+
+TEST(IoEdge, EmptyFabricRoundTrips) {
+  Fabric empty;
+  std::stringstream buffer;
+  write_fabric(buffer, empty);
+  const Fabric parsed = read_fabric(buffer);
+  EXPECT_TRUE(parsed.segments().empty());
+}
+
+TEST(IoEdge, FabricIgnoresForeignLines) {
+  std::stringstream buffer;
+  buffer << "# comment\n"
+         << "R 1 0 1.2.3.4 gap *\n"
+         << "S 10.0.0.1 20.0.0.2 0.0.0.0 0.0.0.0 1 0 0 0 3|4 20.0.0.0\n"
+         << "garbage\n";
+  const Fabric parsed = read_fabric(buffer);
+  ASSERT_EQ(parsed.segments().size(), 1u);
+  EXPECT_EQ(parsed.segments()[0].abi.to_string(), "10.0.0.1");
+  EXPECT_EQ(parsed.segments()[0].cbi.to_string(), "20.0.0.2");
+  EXPECT_EQ(parsed.segments()[0].regions.size(), 2u);
+  EXPECT_EQ(parsed.segments()[0].dest_slash24s.size(), 1u);
+}
+
+TEST(IoEdge, FabricWithNoRegionsOrDests) {
+  std::stringstream buffer;
+  buffer << "S 10.0.0.1 20.0.0.2 10.0.0.0 20.0.0.3 2 3 1 64512 - -\n";
+  const Fabric parsed = read_fabric(buffer);
+  ASSERT_EQ(parsed.segments().size(), 1u);
+  const InferredSegment& segment = parsed.segments()[0];
+  EXPECT_TRUE(segment.regions.empty());
+  EXPECT_TRUE(segment.dest_slash24s.empty());
+  EXPECT_EQ(segment.first_round, 2);
+  EXPECT_EQ(segment.confirmation, Confirmation::kReachability);
+  EXPECT_TRUE(segment.shifted);
+  EXPECT_EQ(segment.owner_hint.value, 64512u);
+  EXPECT_EQ(segment.prior_abi.to_string(), "10.0.0.0");
+  EXPECT_EQ(segment.post_cbi.to_string(), "20.0.0.3");
+}
+
+TEST(IoEdge, RecordWithNoHops) {
+  TracerouteRecord record;
+  record.vantage.provider = CloudProvider::kGoogle;
+  record.vantage.region = RegionId{1};
+  record.destination = Ipv4(20, 1, 1, 1);
+  record.status = TracerouteStatus::kUnreachable;
+  std::ostringstream out;
+  write_record(out, record);
+  const auto parsed = read_record(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->hops.empty());
+  EXPECT_EQ(parsed->status, TracerouteStatus::kUnreachable);
+}
+
+TEST(IoEdge, AllSilentHops) {
+  TracerouteRecord record;
+  record.vantage.provider = CloudProvider::kAmazon;
+  record.vantage.region = RegionId{0};
+  record.destination = Ipv4(20, 1, 1, 1);
+  record.status = TracerouteStatus::kGapLimit;
+  for (int i = 0; i < 5; ++i) record.hops.push_back(TracerouteHop{});
+  std::ostringstream out;
+  write_record(out, record);
+  const auto parsed = read_record(out.str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->hops.size(), 5u);
+  for (const TracerouteHop& hop : parsed->hops)
+    EXPECT_FALSE(hop.responded);
+}
+
+TEST(IoEdge, DuplicateSegmentsMergeOnLoad) {
+  std::stringstream buffer;
+  buffer << "S 10.0.0.1 20.0.0.2 0.0.0.0 0.0.0.0 1 0 0 0 1 20.0.0.0\n"
+         << "S 10.0.0.1 20.0.0.2 0.0.0.0 0.0.0.0 1 0 0 0 2 20.1.0.0\n";
+  const Fabric parsed = read_fabric(buffer);
+  // Loading rebuilds through add_segment, which dedupes by (abi, cbi); the
+  // later line's scalar fields win, set fields are replaced.
+  EXPECT_EQ(parsed.segments().size(), 1u);
+}
+
+TEST(IoEdge, ReadRecordsSkipsBlankLines) {
+  std::stringstream buffer;
+  buffer << "\n\nR 1 0 1.2.3.4 completed 10.0.0.1:0.5\n\n";
+  const auto records = read_records(buffer);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].hops.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cloudmap

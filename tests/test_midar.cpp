@@ -1,0 +1,120 @@
+// MIDAR-style alias resolution: grouping quality against ground truth.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "alias/midar.h"
+#include "controlplane/bgp.h"
+#include "fixtures.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_world;
+
+class MidarTest : public ::testing::Test {
+ protected:
+  MidarTest() : world_(small_world()), sim_(world_), forwarder_(world_, sim_) {
+    for (const RegionId region : world_.regions_of(CloudProvider::kAmazon))
+      vps_.push_back(
+          VantagePoint::cloud_vm(CloudProvider::kAmazon, region, "vm"));
+  }
+
+  // All client-side interconnect interfaces (reachable alias targets).
+  std::vector<Ipv4> interconnect_targets() const {
+    std::vector<Ipv4> out;
+    for (const GroundTruthInterconnect& ic : world_.interconnects) {
+      if (ic.cloud != CloudProvider::kAmazon || ic.private_address) continue;
+      out.push_back(world_.interface(ic.client_interface).address);
+      out.push_back(world_.interface(ic.cloud_interface).address);
+    }
+    return out;
+  }
+
+  const World& world_;
+  BgpSimulator sim_;
+  Forwarder forwarder_;
+  std::vector<VantagePoint> vps_;
+};
+
+TEST_F(MidarTest, SetsNeverMixRouters_FalsePositiveRateLow) {
+  MidarResolver resolver(forwarder_);
+  const AliasSets sets = resolver.resolve(interconnect_targets(), vps_);
+  ASSERT_GT(sets.sets.size(), 0u);
+  std::size_t pure = 0;
+  for (const auto& set : sets.sets) {
+    std::unordered_map<std::uint32_t, int> routers;
+    for (const Ipv4 member : set) {
+      const InterfaceId iface = world_.find_interface(member);
+      ASSERT_TRUE(iface.valid());
+      ++routers[world_.interface(iface).router.value];
+    }
+    if (routers.size() == 1) ++pure;
+  }
+  // Near-pure: IP-ID collisions exist in reality too, but must be rare.
+  EXPECT_GE(static_cast<double>(pure) / static_cast<double>(sets.sets.size()),
+            0.95);
+}
+
+TEST_F(MidarTest, RecoversMultiInterfaceRouters) {
+  // Ground truth: routers with >=2 reachable interconnect interfaces.
+  std::unordered_map<std::uint32_t, std::size_t> per_router;
+  for (const GroundTruthInterconnect& ic : world_.interconnects) {
+    if (ic.cloud != CloudProvider::kAmazon || ic.private_address) continue;
+    ++per_router[world_.interface(ic.client_interface).router.value];
+  }
+  std::size_t multi = 0;
+  for (const auto& [router, count] : per_router)
+    if (count >= 2) ++multi;
+  ASSERT_GT(multi, 0u);
+
+  MidarResolver resolver(forwarder_);
+  const AliasSets sets = resolver.resolve(interconnect_targets(), vps_);
+  // A healthy fraction of those routers yield an alias set.
+  std::size_t recovered = 0;
+  for (const auto& set : sets.sets) {
+    const InterfaceId iface = world_.find_interface(set.front());
+    const std::uint32_t router = world_.interface(iface).router.value;
+    if (per_router.count(router) && per_router[router] >= 2) ++recovered;
+  }
+  EXPECT_GT(recovered, multi / 3);
+}
+
+TEST_F(MidarTest, SetOfIndexIsConsistent) {
+  MidarResolver resolver(forwarder_);
+  const AliasSets sets = resolver.resolve(interconnect_targets(), vps_);
+  for (std::size_t s = 0; s < sets.sets.size(); ++s) {
+    EXPECT_GE(sets.sets[s].size(), 2u);
+    for (const Ipv4 member : sets.sets[s]) {
+      const auto it = sets.set_of.find(member.value());
+      ASSERT_NE(it, sets.set_of.end());
+      EXPECT_EQ(it->second, s);
+    }
+  }
+  EXPECT_EQ(sets.interfaces_in_sets(), sets.set_of.size());
+}
+
+TEST_F(MidarTest, UnreachableTargetsExcluded) {
+  MidarResolver resolver(forwarder_);
+  // Private-address VPI interfaces are unreachable from every region.
+  std::vector<Ipv4> targets;
+  for (const GroundTruthInterconnect& ic : world_.interconnects)
+    if (ic.private_address)
+      targets.push_back(world_.interface(ic.client_interface).address);
+  ASSERT_FALSE(targets.empty());
+  const AliasSets sets = resolver.resolve(targets, vps_);
+  EXPECT_EQ(sets.sets.size(), 0u);
+}
+
+TEST_F(MidarTest, DeterministicUnderSeed) {
+  MidarResolver a(forwarder_);
+  MidarResolver b(forwarder_);
+  const auto targets = interconnect_targets();
+  const AliasSets sa = a.resolve(targets, vps_);
+  const AliasSets sb = b.resolve(targets, vps_);
+  EXPECT_EQ(sa.sets.size(), sb.sets.size());
+  EXPECT_EQ(sa.interfaces_in_sets(), sb.interfaces_in_sets());
+}
+
+}  // namespace
+}  // namespace cloudmap

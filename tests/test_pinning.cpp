@@ -1,0 +1,153 @@
+// Pinning (§6): anchor quality, conservative propagation, regional fallback,
+// cross-validation, ground-truth accuracy.
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "pinning/evaluate.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_pipeline;
+
+TEST(Pinning, AnchorsComeFromAllFourSources) {
+  Pipeline& pipeline = small_pipeline();
+  const AnchorSet& anchors = pipeline.anchors();
+  EXPECT_GT(anchors.dns, 0u);
+  EXPECT_GT(anchors.ixp, 0u);
+  EXPECT_GT(anchors.native, 0u);
+  // Metro-footprint anchors need single-metro ASes; the small world has
+  // plenty of single-metro enterprises.
+  EXPECT_GT(anchors.metro_footprint, 0u);
+}
+
+TEST(Pinning, AnchorsAreHighlyAccurate) {
+  Pipeline& pipeline = small_pipeline();
+  const World& world = pipeline.world();
+  const AnchorSet& anchors = pipeline.anchors();
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (const auto& [address, anchor] : anchors.anchors) {
+    const InterfaceId iface = world.find_interface(Ipv4(address));
+    if (!iface.valid()) continue;
+    ++total;
+    if (world.router(world.interface(iface).router).metro == anchor.metro)
+      ++correct;
+  }
+  ASSERT_GT(total, 10u);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.9);
+}
+
+TEST(Pinning, PropagationIsHighPrecision) {
+  Pipeline& pipeline = small_pipeline();
+  const GroundTruthAccuracy accuracy =
+      score_against_truth(pipeline.world(), pipeline.pinning());
+  EXPECT_GT(accuracy.pinned, 20u);
+  // The paper's cross-validated precision is 99.3%; against ground truth we
+  // demand a similar regime.
+  EXPECT_GT(accuracy.accuracy, 0.85);
+}
+
+TEST(Pinning, PinsCoverBothAbisAndCbis) {
+  Pipeline& pipeline = small_pipeline();
+  const auto abis = pipeline.campaign().fabric().unique_abis();
+  const auto cbis = pipeline.campaign().fabric().unique_cbis();
+  std::size_t pinned_abis = 0;
+  std::size_t pinned_cbis = 0;
+  for (const auto& [address, pin] : pipeline.pinning().pins) {
+    (void)pin;
+    if (abis.count(address)) ++pinned_abis;
+    if (cbis.count(address)) ++pinned_cbis;
+  }
+  EXPECT_GT(pinned_abis, 0u);
+  EXPECT_GT(pinned_cbis, 0u);
+}
+
+TEST(Pinning, RegionalFallbackOnlyCoversUnpinned) {
+  Pipeline& pipeline = small_pipeline();
+  const PinningResult& result = pipeline.pinning();
+  for (const auto& [address, region] : result.regional) {
+    (void)region;
+    EXPECT_EQ(result.pins.count(address), 0u);
+  }
+}
+
+TEST(Pinning, RegionalAssignmentsAreAmazonRegions) {
+  Pipeline& pipeline = small_pipeline();
+  const World& world = pipeline.world();
+  for (const auto& [address, region_value] : pipeline.pinning().regional) {
+    (void)address;
+    ASSERT_LT(region_value, world.regions.size());
+    EXPECT_EQ(world.regions[region_value].provider, CloudProvider::kAmazon);
+  }
+}
+
+TEST(Pinning, RttRatiosAreAtLeastOne) {
+  Pipeline& pipeline = small_pipeline();
+  for (const double ratio : pipeline.pinning().rtt_ratios)
+    EXPECT_GE(ratio, 1.0);
+}
+
+TEST(Pinning, CrossValidationPrecisionHigh) {
+  Pipeline& pipeline = small_pipeline();
+  const CrossValidationResult cv = cross_validate(
+      pipeline.pinner(), pipeline.anchors(), /*folds=*/4, 0.3, 29);
+  EXPECT_GT(cv.folds, 0);
+  EXPECT_GT(cv.precision_mean, 0.8);
+  EXPECT_GT(cv.recall_mean, 0.0);
+  EXPECT_LE(cv.recall_mean, 1.0);
+}
+
+TEST(Pinning, CoverageAgainstCloudMetros) {
+  Pipeline& pipeline = small_pipeline();
+  const CoverageResult coverage =
+      geographic_coverage(pipeline.world(), pipeline.peeringdb(),
+                          CloudProvider::kAmazon, pipeline.pinning());
+  EXPECT_GT(coverage.cloud_metros, 0u);
+  EXPECT_GT(coverage.covered, 0u);
+  EXPECT_EQ(coverage.covered + coverage.missing.size(),
+            coverage.cloud_metros);
+}
+
+TEST(Pinning, TighterThresholdPinsFewer) {
+  Pipeline& pipeline = small_pipeline();
+  Pinner::Inputs inputs;
+  inputs.fabric = &pipeline.campaign().fabric();
+  const Annotator annotator = pipeline.annotator();
+  inputs.annotator = &annotator;
+  inputs.peeringdb = &pipeline.peeringdb();
+  inputs.dns = &pipeline.dns();
+  inputs.aliases = &pipeline.alias_sets();
+  inputs.world = &pipeline.world();
+  inputs.rtts = &pipeline.rtts();
+  inputs.vps = &pipeline.campaign().vantage_points();
+
+  PinningOptions loose;
+  loose.copresence_ms = 2.0;
+  PinningOptions tight;
+  tight.copresence_ms = 0.2;
+  Pinner loose_pinner(inputs, loose);
+  Pinner tight_pinner(inputs, tight);
+  const PinningResult loose_result = loose_pinner.run();
+  const PinningResult tight_result = tight_pinner.run();
+  EXPECT_LE(tight_result.pinned_by_rtt, loose_result.pinned_by_rtt);
+}
+
+TEST(Pinning, AnchorConsistencyFiltersApplied) {
+  Pipeline& pipeline = small_pipeline();
+  const AnchorSet& anchors = pipeline.anchors();
+  // Exclusion counters are tracked (values can be zero in a small world but
+  // the DNS feasibility check must have seen candidates).
+  EXPECT_GE(anchors.dns_rtt_excluded + anchors.ixp_remote_excluded +
+                anchors.conflict_evidence + anchors.conflict_alias,
+            0u);
+  // All surviving anchors carry a valid source and metro.
+  for (const auto& [address, anchor] : anchors.anchors) {
+    (void)address;
+    EXPECT_NE(anchor.source, AnchorSource::kNone);
+    EXPECT_TRUE(anchor.metro.valid());
+  }
+}
+
+}  // namespace
+}  // namespace cloudmap

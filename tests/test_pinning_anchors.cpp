@@ -1,0 +1,152 @@
+// §6.1 anchor sources in isolation: DNS feasibility, IXP local/remote,
+// single-metro footprints, native-colo knee, and the consistency filters.
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "pinning/pinning.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_pipeline;
+
+class AnchorUnit : public ::testing::Test {
+ protected:
+  AnchorUnit()
+      : pipeline_(small_pipeline()),
+        annotator_(pipeline_.annotator()) {
+    annotator_.set_snapshot(&pipeline_.snapshot_round2());
+    inputs_.fabric = &pipeline_.campaign().fabric();
+    inputs_.annotator = &annotator_;
+    inputs_.peeringdb = &pipeline_.peeringdb();
+    inputs_.dns = &pipeline_.dns();
+    inputs_.aliases = &pipeline_.alias_sets();
+    inputs_.world = &pipeline_.world();
+    inputs_.rtts = &pipeline_.rtts();
+    inputs_.vps = &pipeline_.campaign().vantage_points();
+  }
+
+  Pipeline& pipeline_;
+  Annotator annotator_;
+  Pinner::Inputs inputs_;
+};
+
+TEST_F(AnchorUnit, DnsAnchorsMatchParsedNames) {
+  Pinner pinner(inputs_);
+  const AnchorSet anchors = pinner.identify_anchors();
+  const World& world = pipeline_.world();
+  std::size_t dns_checked = 0;
+  for (const auto& [address, anchor] : anchors.anchors) {
+    if (anchor.source != AnchorSource::kDns) continue;
+    const auto name = pipeline_.dns().name_of(Ipv4(address));
+    ASSERT_TRUE(name.has_value());
+    const auto parsed = parse_dns_location(*name, world);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, anchor.metro);
+    ++dns_checked;
+  }
+  EXPECT_GT(dns_checked, 5u);
+}
+
+TEST_F(AnchorUnit, IxpAnchorsSitOnIxpLans) {
+  Pinner pinner(inputs_);
+  const AnchorSet anchors = pinner.identify_anchors();
+  for (const auto& [address, anchor] : anchors.anchors) {
+    if (anchor.source != AnchorSource::kIxp) continue;
+    const auto ixp = pipeline_.peeringdb().ixp_of(Ipv4(address));
+    ASSERT_TRUE(ixp.has_value());
+    // Pinned to the IXP's (single) metro.
+    const Ixp& entity = pipeline_.world().ixp(*ixp);
+    ASSERT_FALSE(entity.multi_metro());
+    EXPECT_EQ(anchor.metro, entity.metros.front());
+  }
+}
+
+TEST_F(AnchorUnit, NativeAnchorsAreWithinTheKnee) {
+  Pinner pinner(inputs_);
+  const AnchorSet anchors = pinner.identify_anchors();
+  const auto& vps = *inputs_.vps;
+  std::size_t checked = 0;
+  for (const auto& [address, anchor] : anchors.anchors) {
+    if (anchor.source != AnchorSource::kNativeColo) continue;
+    double best = 1e18;
+    std::size_t best_vp = 0;
+    for (std::size_t v = 0; v < vps.size(); ++v) {
+      const auto rtt = pinner.rtt_from(v, Ipv4(address));
+      if (rtt && *rtt < best) {
+        best = *rtt;
+        best_vp = v;
+      }
+    }
+    ASSERT_LT(best, 1e18);
+    EXPECT_LE(best, 2.0);
+    EXPECT_EQ(anchor.metro,
+              pipeline_.world().region(vps[best_vp].region).metro);
+    ++checked;
+  }
+  EXPECT_GT(checked, 3u);
+}
+
+TEST_F(AnchorUnit, FootprintAnchorsComeFromSingleMetroAses) {
+  Pinner pinner(inputs_);
+  const AnchorSet anchors = pinner.identify_anchors();
+  for (const auto& [address, anchor] : anchors.anchors) {
+    if (anchor.source != AnchorSource::kMetroFootprint) continue;
+    const HopAnnotation a = annotator_.annotate(Ipv4(address));
+    if (a.asn.is_unknown()) continue;
+    const auto metros =
+        pipeline_.peeringdb().metro_footprint(pipeline_.world(), a.asn);
+    ASSERT_EQ(metros.size(), 1u);
+    EXPECT_EQ(anchor.metro, metros.front());
+  }
+}
+
+TEST_F(AnchorUnit, TightDnsSlackExcludesMore) {
+  PinningOptions loose;
+  loose.dns_rtt_slack_ms = 5.0;
+  PinningOptions tight;
+  tight.dns_rtt_slack_ms = -2.0;  // demand measured > bound by 2 ms
+  Pinner loose_pinner(inputs_, loose);
+  Pinner tight_pinner(inputs_, tight);
+  const AnchorSet loose_anchors = loose_pinner.identify_anchors();
+  const AnchorSet tight_anchors = tight_pinner.identify_anchors();
+  EXPECT_GE(tight_anchors.dns_rtt_excluded, loose_anchors.dns_rtt_excluded);
+}
+
+TEST_F(AnchorUnit, IxpLocalSlackControlsRemoteExclusion) {
+  PinningOptions strict;
+  strict.ixp_local_slack_ms = 0.01;
+  PinningOptions lax;
+  lax.ixp_local_slack_ms = 1000.0;  // everything is "local"
+  Pinner strict_pinner(inputs_, strict);
+  Pinner lax_pinner(inputs_, lax);
+  const AnchorSet strict_anchors = strict_pinner.identify_anchors();
+  const AnchorSet lax_anchors = lax_pinner.identify_anchors();
+  EXPECT_GT(strict_anchors.ixp_remote_excluded,
+            lax_anchors.ixp_remote_excluded);
+  EXPECT_GE(lax_anchors.ixp, strict_anchors.ixp);
+}
+
+TEST_F(AnchorUnit, PropagationFromEmptyAnchorsPinsNothingAtMetroLevel) {
+  Pinner pinner(inputs_);
+  AnchorSet empty;
+  const PinningResult result = pinner.propagate(empty);
+  EXPECT_TRUE(result.pins.empty());
+  // The regional fallback still operates (it needs no anchors).
+  EXPECT_GT(result.regional.size() + result.rtt_ratios.size(), 0u);
+}
+
+TEST_F(AnchorUnit, PropagationNeverOverwritesAnchors) {
+  Pinner pinner(inputs_);
+  const AnchorSet anchors = pinner.identify_anchors();
+  const PinningResult result = pinner.propagate(anchors);
+  for (const auto& [address, anchor] : anchors.anchors) {
+    const auto pin = result.pins.find(address);
+    ASSERT_NE(pin, result.pins.end());
+    EXPECT_EQ(pin->second.metro, anchor.metro);
+    EXPECT_EQ(pin->second.rule, PinRule::kAnchor);
+  }
+}
+
+}  // namespace
+}  // namespace cloudmap

@@ -1,0 +1,148 @@
+// Paper-shape integration suite: the full pipeline at bench scale, checked
+// against the paper's qualitative structure and against ground truth. These are
+// the slowest tests in the suite and double as a regression net for the
+// numbers EXPERIMENTS.md reports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/graph.h"
+#include "analysis/grouping.h"
+#include "fixtures.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::paper_pipeline;
+
+TEST(PaperShape, CampaignLeavesTheCloudLikeThePaper) {
+  Pipeline& p = paper_pipeline();
+  // The paper reports ~77%; the synthetic world is fully allocated so runs
+  // somewhat higher — but it must be in the same regime, not near 100%.
+  EXPECT_GT(p.round1().left_cloud_fraction(), 0.6);
+  EXPECT_GT(p.round1().traceroutes, 100000u);
+}
+
+TEST(PaperShape, ExpansionGrowsCbisNotAbis) {
+  Pipeline& p = paper_pipeline();
+  std::size_t round1_cbis = 0;
+  std::size_t round2_cbis = 0;
+  for (const InferredSegment& segment : p.campaign().fabric().segments()) {
+    if (segment.first_round == 1) ++round1_cbis;
+    else ++round2_cbis;
+  }
+  // Expansion adds a material share of segments (paper: +14% CBIs).
+  EXPECT_GT(round2_cbis, round1_cbis / 20);
+}
+
+TEST(PaperShape, InferenceScoreFloors) {
+  Pipeline& p = paper_pipeline();
+  const InferenceScore score = p.score();
+  EXPECT_GT(score.router_recall(), 0.8);
+  EXPECT_GT(score.recall(), 0.5);
+  EXPECT_GT(score.router_precision(), 0.7);
+  EXPECT_GT(score.precision(), 0.5);
+}
+
+TEST(PaperShape, GroupSharesMatchPaperOrdering) {
+  Pipeline& p = paper_pipeline();
+  const PeeringClassifier classifier = p.classifier();
+  const GroupBreakdown b = breakdown(p.campaign().fabric(), classifier);
+  const auto ases = [&](PeeringGroup g) {
+    return b.rows[static_cast<int>(g)].ases.size();
+  };
+  // Pb-nB is the largest AS group; Pr-nB-nV second; the BGP-visible groups
+  // are small — the Table 5 ordering.
+  EXPECT_GT(ases(PeeringGroup::kPbNb), ases(PeeringGroup::kPrNbNv) / 2);
+  EXPECT_GT(ases(PeeringGroup::kPrNbNv), ases(PeeringGroup::kPrNbV));
+  EXPECT_GT(ases(PeeringGroup::kPbNb), ases(PeeringGroup::kPbB) * 5);
+  EXPECT_GT(ases(PeeringGroup::kPrNbNv), ases(PeeringGroup::kPrBNv) * 3);
+  // Pr-B has few ASes but many CBIs per AS (large transit networks).
+  const double pr_b_cbis_per_as =
+      b.pr_b.ases.empty()
+          ? 0.0
+          : static_cast<double>(b.pr_b.cbis.size()) /
+                static_cast<double>(b.pr_b.ases.size());
+  const double pb_cbis_per_as =
+      b.pb.ases.empty() ? 0.0
+                        : static_cast<double>(b.pb.cbis.size()) /
+                              static_cast<double>(b.pb.ases.size());
+  EXPECT_GT(pr_b_cbis_per_as, pb_cbis_per_as * 3);
+}
+
+TEST(PaperShape, VpiTableOrdering) {
+  Pipeline& p = paper_pipeline();
+  const auto& per_cloud = p.vpis().per_cloud;
+  ASSERT_EQ(per_cloud.size(), 4u);
+  // Microsoft > Google > IBM; Oracle essentially zero (Table 4's ordering;
+  // a couple of interior-interface artifacts can leak through — the §7.1
+  // failure mode).
+  EXPECT_GT(per_cloud[0].overlap, per_cloud[1].overlap);
+  EXPECT_GE(per_cloud[1].overlap, per_cloud[2].overlap);
+  EXPECT_LE(per_cloud[3].overlap,
+            std::max<std::size_t>(3, p.vpis().subject_cbis / 300));
+  // VPI share of CBIs is material but below a third (paper: 20%).
+  const double share =
+      static_cast<double>(p.vpis().vpi_cbis.size()) /
+      static_cast<double>(p.vpis().subject_cbis);
+  EXPECT_GT(share, 0.04);
+  EXPECT_LT(share, 0.33);
+}
+
+TEST(PaperShape, IcgHasGiantComponent) {
+  Pipeline& p = paper_pipeline();
+  const IcgStats stats = icg_stats(p.campaign().fabric());
+  // The paper's 92.3%; remote peering stitches ours into the same regime.
+  EXPECT_GT(stats.largest_component_fraction, 0.5);
+}
+
+TEST(PaperShape, MostPinnedSegmentsStayInMetro) {
+  Pipeline& p = paper_pipeline();
+  const RemotePeeringStats remote =
+      remote_peering_stats(p.campaign().fabric(), p.pinning());
+  EXPECT_GT(remote.both_ends_pinned, 100u);
+  EXPECT_GT(remote.same_metro_fraction, 0.6);  // paper: 98%
+  EXPECT_GT(remote.cross_metro, 0u);           // remote peerings exist
+}
+
+TEST(PaperShape, BgpSeesOnlyAFractionOfPeers) {
+  Pipeline& p = paper_pipeline();
+  const PeeringClassifier classifier = p.classifier();
+  const BgpCoverage coverage =
+      bgp_coverage(p.campaign().fabric(), classifier, p.snapshot_round2(),
+                   p.subject_asns());
+  // We rediscover the bulk of BGP-reported peers (paper 93%)...
+  EXPECT_GT(coverage.coverage(), 0.6);
+  // ...and find many times more that BGP never shows (paper: 3k vs 250).
+  EXPECT_GT(coverage.inferred_not_in_bgp, coverage.bgp_reported * 3);
+}
+
+TEST(PaperShape, HeuristicsConfirmLikeThePaper) {
+  Pipeline& p = paper_pipeline();
+  const HeuristicCounts& h = p.heuristics();
+  const double confirmed_fraction =
+      static_cast<double>(h.cum_ixp_abis + h.cum_hybrid_abis +
+                          h.cum_reachable_abis) /
+      static_cast<double>(h.total_abis);
+  EXPECT_GT(confirmed_fraction, 0.75);  // paper: 87.8%
+}
+
+TEST(PaperShape, AliasCorrectionsAreRare) {
+  Pipeline& p = paper_pipeline();
+  const AliasVerifyStats& a = p.alias_verification();
+  EXPECT_GT(a.majority_fraction, 0.8);  // paper: 94%
+  const std::size_t corrections = a.abi_to_cbi + a.cbi_to_abi + a.cbi_to_cbi;
+  // Paper: 45 of 8.68k interfaces in sets.
+  EXPECT_LT(corrections, a.interfaces_in_sets / 10 + 5);
+}
+
+TEST(PaperShape, PinningPrecisionRegime) {
+  Pipeline& p = paper_pipeline();
+  const GroundTruthAccuracy accuracy =
+      score_against_truth(p.world(), p.pinning());
+  EXPECT_GT(accuracy.accuracy, 0.9);  // the 99.3%-precision regime
+  EXPECT_GT(accuracy.pinned, 500u);
+}
+
+}  // namespace
+}  // namespace cloudmap

@@ -1,0 +1,142 @@
+// Longest-prefix-match trie: exact semantics plus randomized property tests
+// against a brute-force oracle.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "net/prefix_trie.h"
+#include "util/rng.h"
+
+namespace cloudmap {
+namespace {
+
+TEST(PrefixTrie, EmptyLookups) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.lookup(Ipv4(1, 2, 3, 4)), nullptr);
+  EXPECT_EQ(trie.exact(Prefix(Ipv4(1, 2, 3, 0), 24)), nullptr);
+}
+
+TEST(PrefixTrie, MostSpecificWins) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix(Ipv4(10, 0, 0, 0), 8), 8);
+  trie.insert(Prefix(Ipv4(10, 1, 0, 0), 16), 16);
+  trie.insert(Prefix(Ipv4(10, 1, 2, 0), 24), 24);
+  ASSERT_NE(trie.lookup(Ipv4(10, 1, 2, 3)), nullptr);
+  EXPECT_EQ(*trie.lookup(Ipv4(10, 1, 2, 3)), 24);
+  EXPECT_EQ(*trie.lookup(Ipv4(10, 1, 3, 1)), 16);
+  EXPECT_EQ(*trie.lookup(Ipv4(10, 9, 9, 9)), 8);
+  EXPECT_EQ(trie.lookup(Ipv4(11, 0, 0, 0)), nullptr);
+}
+
+TEST(PrefixTrie, DefaultRouteAtLengthZero) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix(Ipv4(0, 0, 0, 0), 0), 1);
+  ASSERT_NE(trie.lookup(Ipv4(200, 200, 200, 200)), nullptr);
+  EXPECT_EQ(*trie.lookup(Ipv4(200, 200, 200, 200)), 1);
+}
+
+TEST(PrefixTrie, InsertOverwritesAndEraseRemoves) {
+  PrefixTrie<int> trie;
+  const Prefix p(Ipv4(10, 0, 0, 0), 8);
+  trie.insert(p, 1);
+  trie.insert(p, 2);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.exact(p), 2);
+  EXPECT_TRUE(trie.erase(p));
+  EXPECT_FALSE(trie.erase(p));
+  EXPECT_EQ(trie.lookup(Ipv4(10, 0, 0, 1)), nullptr);
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(PrefixTrie, AtOrDefaultCreatesOnce) {
+  PrefixTrie<std::vector<int>> trie;
+  const Prefix p(Ipv4(10, 0, 0, 0), 24);
+  trie.at_or_default(p).push_back(1);
+  trie.at_or_default(p).push_back(2);
+  EXPECT_EQ(trie.size(), 1u);
+  ASSERT_NE(trie.exact(p), nullptr);
+  EXPECT_EQ(trie.exact(p)->size(), 2u);
+}
+
+TEST(PrefixTrie, Slash32Entries) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix(Ipv4(10, 0, 0, 5), 32), 5);
+  trie.insert(Prefix(Ipv4(10, 0, 0, 0), 24), 24);
+  EXPECT_EQ(*trie.lookup(Ipv4(10, 0, 0, 5)), 5);
+  EXPECT_EQ(*trie.lookup(Ipv4(10, 0, 0, 6)), 24);
+}
+
+TEST(PrefixTrie, LookupEntryReportsMatchedPrefix) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix(Ipv4(10, 1, 0, 0), 16), 7);
+  const auto entry = trie.lookup_entry(Ipv4(10, 1, 2, 3));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->first.to_string(), "10.1.0.0/16");
+  EXPECT_EQ(entry->second, 7);
+}
+
+TEST(PrefixTrie, ForEachVisitsAllInAddressOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(Prefix(Ipv4(20, 0, 0, 0), 8), 1);
+  trie.insert(Prefix(Ipv4(10, 0, 0, 0), 8), 2);
+  trie.insert(Prefix(Ipv4(10, 5, 0, 0), 16), 3);
+  std::vector<std::string> seen;
+  trie.for_each([&](const Prefix& p, int) { seen.push_back(p.to_string()); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], "10.0.0.0/8");
+  EXPECT_EQ(seen[1], "10.5.0.0/16");
+  EXPECT_EQ(seen[2], "20.0.0.0/8");
+}
+
+// Property test: random prefix sets against a brute-force oracle.
+class PrefixTrieProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixTrieProperty, MatchesBruteForceOracle) {
+  Rng rng(GetParam());
+  PrefixTrie<int> trie;
+  std::vector<std::pair<Prefix, int>> entries;
+  for (int i = 0; i < 200; ++i) {
+    const auto length = static_cast<std::uint8_t>(rng.range(4, 30));
+    const Prefix p(Ipv4(static_cast<std::uint32_t>(rng.next())), length);
+    // Keep the oracle simple: skip duplicate prefixes.
+    bool duplicate = false;
+    for (const auto& [existing, value] : entries)
+      if (existing == p) duplicate = true;
+    if (duplicate) continue;
+    entries.emplace_back(p, i);
+    trie.insert(p, i);
+  }
+  ASSERT_EQ(trie.size(), entries.size());
+
+  for (int probe = 0; probe < 2000; ++probe) {
+    // Half the probes land inside a random entry, half are uniform.
+    Ipv4 address(static_cast<std::uint32_t>(rng.next()));
+    if (!entries.empty() && probe % 2 == 0) {
+      const auto& [p, value] = entries[rng.bounded(entries.size())];
+      address = Ipv4(p.network().value() +
+                     static_cast<std::uint32_t>(rng.bounded(p.size())));
+    }
+    // Oracle: longest containing prefix.
+    const std::pair<Prefix, int>* best = nullptr;
+    for (const auto& entry : entries) {
+      if (!entry.first.contains(address)) continue;
+      if (best == nullptr || entry.first.length() > best->first.length())
+        best = &entry;
+    }
+    const int* found = trie.lookup(address);
+    if (best == nullptr) {
+      EXPECT_EQ(found, nullptr) << address.to_string();
+    } else {
+      ASSERT_NE(found, nullptr) << address.to_string();
+      EXPECT_EQ(*found, best->second) << address.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixTrieProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 99));
+
+}  // namespace
+}  // namespace cloudmap

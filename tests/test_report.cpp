@@ -1,0 +1,58 @@
+// The study-report renderer: content completeness and internal consistency.
+#include <gtest/gtest.h>
+
+#include "analysis/report.h"
+#include "fixtures.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_pipeline;
+
+TEST(Report, ContainsEverySection) {
+  const std::string report = render_study_report(small_pipeline());
+  for (const char* needle :
+       {"cloud peering fabric study", "campaign:", "fabric:",
+        "peering groups", "hidden", "hybrid combinations",
+        "VPI lower bound", "pinning:", "connectivity graph",
+        "remote peerings", "ground truth"}) {
+    EXPECT_NE(report.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Report, GroundTruthSectionIsOptional) {
+  ReportOptions options;
+  options.include_ground_truth = false;
+  const std::string report =
+      render_study_report(small_pipeline(), options);
+  EXPECT_EQ(report.find("ground truth"), std::string::npos);
+}
+
+TEST(Report, NumbersMatchPipelineState) {
+  Pipeline& pipeline = small_pipeline();
+  const std::string report = render_study_report(pipeline);
+  // The fabric segment count appears verbatim.
+  const std::string segments =
+      std::to_string(pipeline.campaign().fabric().segments().size());
+  EXPECT_NE(report.find(segments + " interconnection"), std::string::npos);
+  const std::string peers = std::to_string(pipeline.peer_asns().size());
+  EXPECT_NE(report.find(peers + " peer ASes"), std::string::npos);
+}
+
+TEST(Report, HybridRowLimitRespected) {
+  ReportOptions options;
+  options.hybrid_rows = 1;
+  const std::string report =
+      render_study_report(small_pipeline(), options);
+  // Exactly one "— N ASes" row in the hybrid section.
+  std::size_t rows = 0;
+  std::size_t cursor = 0;
+  while ((cursor = report.find(" ASes\n", cursor)) != std::string::npos) {
+    ++rows;
+    ++cursor;
+  }
+  EXPECT_GE(rows, 1u);
+}
+
+}  // namespace
+}  // namespace cloudmap

@@ -1,0 +1,177 @@
+// Traceroute engine: statuses, gap limit, artifacts, RTT behaviour.
+#include <gtest/gtest.h>
+
+#include "controlplane/bgp.h"
+#include "dataplane/traceroute.h"
+#include "fixtures.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_world;
+
+class TracerouteTest : public ::testing::Test {
+ protected:
+  TracerouteTest()
+      : world_(small_world()), sim_(world_), forwarder_(world_, sim_) {}
+
+  VantagePoint vp(std::size_t index = 0) const {
+    const auto regions = world_.regions_of(CloudProvider::kAmazon);
+    return VantagePoint::cloud_vm(CloudProvider::kAmazon, regions[index],
+                                  "vm");
+  }
+
+  const World& world_;
+  BgpSimulator sim_;
+  Forwarder forwarder_;
+};
+
+TEST_F(TracerouteTest, UnroutedTargetsEndWithGapLimit) {
+  TracerouteEngine engine(forwarder_, 1);
+  // 99/8 is entirely unallocated in the address plan.
+  const TracerouteRecord record = engine.trace(vp(), Ipv4(99, 1, 2, 3));
+  EXPECT_EQ(record.status, TracerouteStatus::kGapLimit);
+  // The record ends with gap_limit consecutive unresponsive hops.
+  ASSERT_GE(record.hops.size(), 5u);
+  for (std::size_t i = record.hops.size() - 5; i < record.hops.size(); ++i)
+    EXPECT_FALSE(record.hops[i].responded);
+}
+
+TEST_F(TracerouteTest, RttsAreNonNegativeAndRoughlyMonotonic) {
+  TracerouteEngine engine(forwarder_, 2);
+  int checked = 0;
+  for (const Prefix& target : world_.probeable_slash24s()) {
+    if (checked > 300) break;
+    const TracerouteRecord record =
+        engine.trace(vp(), target.network().next(1));
+    double previous = -1.0;
+    for (const TracerouteHop& hop : record.hops) {
+      if (!hop.responded) continue;
+      EXPECT_GE(hop.rtt_ms, 0.0);
+      // Jitter can locally reorder, but not by much more than the queueing
+      // bound (2 ms) plus jitter tails.
+      if (previous >= 0.0) EXPECT_GE(hop.rtt_ms, previous - 6.0);
+      previous = hop.rtt_ms;
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 100);
+}
+
+TEST_F(TracerouteTest, SomeTracesComplete) {
+  TracerouteEngine engine(forwarder_, 3);
+  int completed = 0;
+  int examined = 0;
+  for (const Prefix& target : world_.probeable_slash24s()) {
+    if (++examined > 2000) break;
+    const TracerouteRecord record =
+        engine.trace(vp(), target.network().next(1));
+    if (record.status == TracerouteStatus::kCompleted) ++completed;
+  }
+  // Host response is ~10%; expect a low but nonzero completion rate.
+  EXPECT_GT(completed, 20);
+  EXPECT_LT(completed, 600);
+}
+
+TEST_F(TracerouteTest, TrueEgressMatchesGroundTruthInterconnect) {
+  TracerouteEngine engine(forwarder_, 4);
+  int with_egress = 0;
+  for (const Prefix& target : world_.probeable_slash24s()) {
+    if (with_egress > 100) break;
+    const TracerouteRecord record =
+        engine.trace(vp(), target.network().next(1));
+    if (!record.true_egress.valid()) continue;
+    ++with_egress;
+    bool found = false;
+    for (const GroundTruthInterconnect& ic : world_.interconnects)
+      if (ic.link == record.true_egress) found = true;
+    EXPECT_TRUE(found);
+  }
+  EXPECT_GT(with_egress, 50);
+}
+
+TEST_F(TracerouteTest, DeterministicUnderSeed) {
+  TracerouteEngine engine_a(forwarder_, 7);
+  TracerouteEngine engine_b(forwarder_, 7);
+  for (int i = 0; i < 50; ++i) {
+    const Ipv4 dst(Ipv4(20, 0, static_cast<std::uint8_t>(i), 1));
+    const TracerouteRecord a = engine_a.trace(vp(), dst);
+    const TracerouteRecord b = engine_b.trace(vp(), dst);
+    ASSERT_EQ(a.hops.size(), b.hops.size());
+    for (std::size_t h = 0; h < a.hops.size(); ++h) {
+      EXPECT_EQ(a.hops[h].address, b.hops[h].address);
+      EXPECT_EQ(a.hops[h].responded, b.hops[h].responded);
+    }
+  }
+}
+
+TEST_F(TracerouteTest, FirstHopIsGatewayAddress) {
+  TracerouteEngine engine(forwarder_, 8);
+  const auto regions = world_.regions_of(CloudProvider::kAmazon);
+  for (const RegionId region : regions) {
+    const VantagePoint vantage =
+        VantagePoint::cloud_vm(CloudProvider::kAmazon, region, "vm");
+    const TracerouteRecord record = engine.trace(vantage, Ipv4(20, 0, 0, 1));
+    ASSERT_FALSE(record.hops.empty());
+    if (record.hops.front().responded) {
+      EXPECT_EQ(record.hops.front().address,
+                world_.interface(world_.region(region).vm_gateway).address);
+    }
+  }
+}
+
+TEST_F(TracerouteTest, GapLimitIsConfigurable) {
+  TracerouteOptions options;
+  options.gap_limit = 3;
+  TracerouteEngine engine(forwarder_, 9, options);
+  const TracerouteRecord record = engine.trace(vp(), Ipv4(99, 1, 2, 3));
+  int trailing = 0;
+  for (auto it = record.hops.rbegin();
+       it != record.hops.rend() && !it->responded; ++it)
+    ++trailing;
+  EXPECT_EQ(trailing, 3);
+}
+
+class PingTest : public TracerouteTest {};
+
+TEST_F(PingTest, MinRttConvergesToGeometricBase) {
+  PingProber prober(forwarder_, 10, /*samples=*/16, /*jitter=*/0.08);
+  int checked = 0;
+  for (const GroundTruthInterconnect& ic : world_.interconnects) {
+    if (ic.cloud != CloudProvider::kAmazon || ic.private_address) continue;
+    const auto base = forwarder_.rtt_to_interface(vp(), ic.client_interface);
+    if (!base) continue;
+    const auto measured = prober.min_rtt(vp(), ic.client_interface);
+    ASSERT_TRUE(measured.has_value());
+    EXPECT_GE(*measured, *base);
+    EXPECT_LT(*measured, *base + 1.0);  // min of 16 exponential draws
+    if (++checked > 50) break;
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST_F(PingTest, CampaignCachesAndRanks) {
+  std::vector<VantagePoint> vps;
+  for (const RegionId region : world_.regions_of(CloudProvider::kAmazon))
+    vps.push_back(
+        VantagePoint::cloud_vm(CloudProvider::kAmazon, region, "vm"));
+  RttCampaign campaign(forwarder_, vps, 11);
+  for (const GroundTruthInterconnect& ic : world_.interconnects) {
+    if (ic.cloud != CloudProvider::kAmazon || ic.private_address) continue;
+    const auto best = campaign.best_rtt(ic.client_interface);
+    if (!best) continue;
+    const auto two = campaign.two_best_rtts(ic.client_interface);
+    if (two) {
+      EXPECT_LE(two->first, two->second);
+      EXPECT_DOUBLE_EQ(two->first, best->first);
+    }
+    // Cached value identical on re-query.
+    const auto again = campaign.rtt(best->second, ic.client_interface);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_DOUBLE_EQ(*again, best->first);
+    break;
+  }
+}
+
+}  // namespace
+}  // namespace cloudmap

@@ -1,0 +1,250 @@
+// util/: rng, stats, union-find, table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/union_find.h"
+
+namespace cloudmap {
+namespace {
+
+// ---------------- rng ----------------
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(123);
+  Rng b(124);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i)
+    if (a.next() != b.next()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.bounded(17), 17u);
+  EXPECT_EQ(rng.bounded(0), 0u);
+  EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(6);
+  std::unordered_set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.range(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit over 1000 draws
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, NormalMeanAndSpread) {
+  Rng rng(9);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(10);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.5);
+  EXPECT_NEAR(sum / n, 2.5, 0.1);
+}
+
+TEST(Rng, ParetoRespectsMinimum) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(10, 1.5), 10u);
+}
+
+TEST(Rng, WeightedFavorsHeavyEntries) {
+  Rng rng(12);
+  std::vector<double> weights{1.0, 0.0, 9.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 5);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = items;
+  rng.shuffle(copy);
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, items);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(14);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  EXPECT_NE(child1.next(), child2.next());
+}
+
+// ---------------- stats ----------------
+
+TEST(Stats, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+  EXPECT_NEAR(stddev({2.0, 4.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(sample, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(sample, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Stats, CdfAtCountsStrictlyBelow) {
+  std::vector<double> sample{1.0, 2.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(cdf_at(sample, 2.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf_at(sample, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf_at(sample, 0.5), 0.0);
+}
+
+TEST(Stats, BoxStatsFiveNumbers) {
+  const BoxStats box = box_stats({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.q1, 2.0);
+  EXPECT_DOUBLE_EQ(box.median, 3.0);
+  EXPECT_DOUBLE_EQ(box.q3, 4.0);
+  EXPECT_DOUBLE_EQ(box.max, 5.0);
+  EXPECT_EQ(box.count, 5u);
+}
+
+TEST(Stats, CdfSeriesIsMonotonic) {
+  Rng rng(15);
+  std::vector<double> sample;
+  for (int i = 0; i < 500; ++i) sample.push_back(rng.uniform(0, 100));
+  const auto series = cdf_series(sample, linspace(0, 100, 41));
+  for (std::size_t i = 1; i < series.fraction.size(); ++i)
+    EXPECT_GE(series.fraction[i], series.fraction[i - 1]);
+  EXPECT_DOUBLE_EQ(series.fraction.back(), 1.0);
+}
+
+TEST(Stats, LinspaceAndLogspace) {
+  const auto lin = linspace(0, 10, 11);
+  ASSERT_EQ(lin.size(), 11u);
+  EXPECT_DOUBLE_EQ(lin.front(), 0.0);
+  EXPECT_DOUBLE_EQ(lin.back(), 10.0);
+  const auto log = logspace(0, 3, 4);
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_NEAR(log[0], 1.0, 1e-9);
+  EXPECT_NEAR(log[3], 1000.0, 1e-6);
+}
+
+TEST(Stats, CdfKneeFindsSharpBend) {
+  // Mass concentrated below 2.0, long sparse tail: knee near 2.
+  std::vector<double> sample;
+  for (int i = 0; i < 900; ++i) sample.push_back(0.002 * i);  // 0..1.8
+  for (int i = 0; i < 100; ++i) sample.push_back(2.0 + i * 0.5);
+  const auto series = cdf_series(sample, linspace(0, 10, 101));
+  EXPECT_NEAR(cdf_knee(series), 1.9, 0.5);
+}
+
+// ---------------- union-find ----------------
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.components(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.connected(0, 1));
+  EXPECT_FALSE(uf.connected(0, 2));
+  EXPECT_EQ(uf.components(), 4u);
+  EXPECT_EQ(uf.component_size(0), 2u);
+}
+
+TEST(UnionFind, LargestComponent) {
+  UnionFind uf(6);
+  uf.unite(0, 1);
+  uf.unite(1, 2);
+  uf.unite(3, 4);
+  EXPECT_EQ(uf.largest_component(), 3u);
+  EXPECT_EQ(uf.components(), 3u);
+}
+
+TEST(UnionFind, RandomizedTransitivity) {
+  Rng rng(16);
+  UnionFind uf(100);
+  for (int i = 0; i < 150; ++i)
+    uf.unite(rng.bounded(100), rng.bounded(100));
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t a = rng.bounded(100);
+    const std::size_t b = rng.bounded(100);
+    const std::size_t c = rng.bounded(100);
+    if (uf.connected(a, b) && uf.connected(b, c))
+      EXPECT_TRUE(uf.connected(a, c));
+  }
+}
+
+// ---------------- table ----------------
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable table({"name", "count"});
+  table.add_row({"alpha", "10"});
+  table.add_row({"b", "2"});
+  const std::string out = table.render("Title");
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Header columns aligned: "count" starts at same offset in both rows.
+  EXPECT_NE(out.find("name   count"), std::string::npos);
+}
+
+TEST(Table, NumberFormatters) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(0.1234, 1), "12.3%");
+  EXPECT_EQ(TextTable::kilo(3680), "3.68k");
+  EXPECT_EQ(TextTable::kilo(250), "250");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"x"});
+  EXPECT_NO_THROW(table.render());
+}
+
+}  // namespace
+}  // namespace cloudmap

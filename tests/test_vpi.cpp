@@ -1,0 +1,131 @@
+// VPI detection (§7.1): the lower-bound property and the overlap mechanics.
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "vpi/detector.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_pipeline;
+
+TEST(Vpi, DetectsSomeVpis) {
+  Pipeline& pipeline = small_pipeline();
+  EXPECT_GT(pipeline.vpis().vpi_cbis.size(), 0u);
+}
+
+TEST(Vpi, DetectedCbisAreOnMultiCloudVpiRouters) {
+  // Soundness of the lower bound: a detected VPI CBI sits on a router that
+  // truly terminates VPIs to at least two clouds. (The detected *address* is
+  // the shared port when the router answers with its incoming interface, or
+  // the router's stable default interface otherwise — either way, the
+  // router-level claim "this client holds a VPI port" holds.)
+  Pipeline& pipeline = small_pipeline();
+  const World& world = pipeline.world();
+  std::unordered_map<std::uint32_t, std::unordered_set<int>> router_clouds;
+  for (const GroundTruthInterconnect& ic : world.interconnects) {
+    if (ic.kind != PeeringKind::kVpi || ic.private_address) continue;
+    router_clouds[world.interface(ic.client_interface).router.value].insert(
+        static_cast<int>(ic.cloud));
+  }
+  std::size_t sound = 0;
+  std::size_t total = 0;
+  for (const std::uint32_t cbi : pipeline.vpis().vpi_cbis) {
+    const InterfaceId iface = world.find_interface(Ipv4(cbi));
+    ASSERT_TRUE(iface.valid());
+    ++total;
+    const auto it =
+        router_clouds.find(world.interface(iface).router.value);
+    if (it != router_clouds.end() && it->second.size() >= 2) ++sound;
+  }
+  ASSERT_GT(total, 0u);
+  // A small residue of default-interface artifacts is tolerated (§7.1
+  // discusses exactly this failure mode).
+  EXPECT_GE(static_cast<double>(sound) / static_cast<double>(total), 0.9);
+}
+
+TEST(Vpi, IsALowerBound) {
+  // Detected routers never exceed the set of true multi-cloud VPI routers.
+  Pipeline& pipeline = small_pipeline();
+  const World& world = pipeline.world();
+  std::unordered_map<std::uint32_t, std::unordered_set<int>> router_clouds;
+  for (const GroundTruthInterconnect& ic : world.interconnects) {
+    if (ic.kind != PeeringKind::kVpi || ic.private_address) continue;
+    router_clouds[world.interface(ic.client_interface).router.value].insert(
+        static_cast<int>(ic.cloud));
+  }
+  std::unordered_set<std::uint32_t> true_multi_cloud_routers;
+  for (const auto& [router, clouds] : router_clouds)
+    if (clouds.size() >= 2) true_multi_cloud_routers.insert(router);
+  ASSERT_GT(true_multi_cloud_routers.size(), 0u);
+
+  std::unordered_set<std::uint32_t> detected_routers;
+  for (const std::uint32_t cbi : pipeline.vpis().vpi_cbis) {
+    const InterfaceId iface = world.find_interface(Ipv4(cbi));
+    if (iface.valid())
+      detected_routers.insert(world.interface(iface).router.value);
+  }
+  std::size_t detected_true = 0;
+  for (const std::uint32_t router : detected_routers)
+    if (true_multi_cloud_routers.count(router)) ++detected_true;
+  EXPECT_LE(detected_true, true_multi_cloud_routers.size());
+  EXPECT_GT(detected_true, 0u);
+}
+
+TEST(Vpi, CumulativeIsMonotone) {
+  Pipeline& pipeline = small_pipeline();
+  const auto& per_cloud = pipeline.vpis().per_cloud;
+  ASSERT_EQ(per_cloud.size(), 4u);
+  std::size_t previous = 0;
+  for (const VpiCloudResult& cloud : per_cloud) {
+    EXPECT_GE(cloud.cumulative_overlap, previous);
+    EXPECT_GE(cloud.cumulative_overlap, cloud.overlap == 0
+                                            ? previous
+                                            : std::size_t{1});
+    previous = cloud.cumulative_overlap;
+  }
+  EXPECT_EQ(per_cloud.back().cumulative_overlap,
+            pipeline.vpis().vpi_cbis.size());
+}
+
+TEST(Vpi, OracleOverlapIsEssentiallyZero) {
+  // The generator plants no Amazon/Oracle shared ports (Table 4's zero);
+  // at most a stray default-interface artifact may leak through.
+  Pipeline& pipeline = small_pipeline();
+  for (const VpiCloudResult& cloud : pipeline.vpis().per_cloud) {
+    if (cloud.provider == CloudProvider::kOracle)
+      EXPECT_LE(cloud.overlap, 1u);
+    if (cloud.provider == CloudProvider::kMicrosoft)
+      EXPECT_GT(cloud.overlap, 0u);
+  }
+}
+
+TEST(Vpi, TargetPoolExcludesIxpCbis) {
+  Pipeline& pipeline = small_pipeline();
+  Annotator annotator = pipeline.annotator();
+  annotator.set_snapshot(&pipeline.snapshot_round2());
+  const auto pool =
+      VpiDetector::target_pool(pipeline.campaign(), annotator);
+  EXPECT_GT(pool.size(), 0u);
+  for (const Ipv4 target : pool) {
+    // No pool target is itself an IXP LAN CBI of the subject fabric (the +1
+    // of a non-IXP CBI can in principle land anywhere, but the paper's pool
+    // construction starts from non-IXP CBIs only).
+    if (pipeline.campaign().fabric().unique_cbis().count(target.value()))
+      EXPECT_FALSE(annotator.annotate(target).ixp) << target.to_string();
+  }
+}
+
+TEST(Vpi, PrivateAddressVpisAreNeverDetected) {
+  Pipeline& pipeline = small_pipeline();
+  const World& world = pipeline.world();
+  for (const GroundTruthInterconnect& ic : world.interconnects) {
+    if (!ic.private_address) continue;
+    EXPECT_EQ(pipeline.vpis().vpi_cbis.count(
+                  world.interface(ic.client_interface).address.value()),
+              0u);
+  }
+}
+
+}  // namespace
+}  // namespace cloudmap

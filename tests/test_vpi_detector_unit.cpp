@@ -1,0 +1,100 @@
+// VPI detector internals: the §7.1 target-pool construction rules.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fixtures.h"
+#include "vpi/detector.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_pipeline;
+
+class VpiPoolTest : public ::testing::Test {
+ protected:
+  VpiPoolTest()
+      : pipeline_(small_pipeline()), annotator_(pipeline_.annotator()) {
+    annotator_.set_snapshot(&pipeline_.snapshot_round2());
+    pool_ = VpiDetector::target_pool(pipeline_.campaign(), annotator_);
+    pool_set_.insert(pool_.begin(), pool_.end());
+  }
+
+  bool in_pool(Ipv4 address) const {
+    for (const Ipv4 target : pool_)
+      if (target == address) return true;
+    return false;
+  }
+
+  Pipeline& pipeline_;
+  Annotator annotator_;
+  std::vector<Ipv4> pool_;
+  std::set<Ipv4> pool_set_;
+};
+
+TEST_F(VpiPoolTest, ContainsEveryNonIxpCbiAndItsPlusOne) {
+  for (const InferredSegment& segment :
+       pipeline_.campaign().fabric().segments()) {
+    if (annotator_.annotate(segment.cbi).ixp) continue;
+    EXPECT_TRUE(in_pool(segment.cbi)) << segment.cbi.to_string();
+    EXPECT_TRUE(in_pool(segment.cbi.next(1)))
+        << segment.cbi.to_string() << " +1";
+  }
+}
+
+TEST_F(VpiPoolTest, ContainsSampleDestinations) {
+  for (const InferredSegment& segment :
+       pipeline_.campaign().fabric().segments()) {
+    if (annotator_.annotate(segment.cbi).ixp) continue;
+    for (const Ipv4 destination : segment.sample_destinations)
+      EXPECT_TRUE(in_pool(destination)) << destination.to_string();
+  }
+}
+
+TEST_F(VpiPoolTest, ExcludesIxpLanCbis) {
+  for (const InferredSegment& segment :
+       pipeline_.campaign().fabric().segments()) {
+    if (!annotator_.annotate(segment.cbi).ixp) continue;
+    // The IXP CBI itself never seeds the pool (its +1 may enter via some
+    // other CBI's rule, which is fine).
+    bool seeded_directly = false;
+    for (const InferredSegment& other :
+         pipeline_.campaign().fabric().segments()) {
+      if (annotator_.annotate(other.cbi).ixp) continue;
+      if (other.cbi == segment.cbi) seeded_directly = true;
+    }
+    EXPECT_FALSE(seeded_directly);
+  }
+}
+
+TEST_F(VpiPoolTest, SortedAndDeduplicated) {
+  for (std::size_t i = 1; i < pool_.size(); ++i)
+    EXPECT_LT(pool_[i - 1], pool_[i]);
+  EXPECT_EQ(pool_set_.size(), pool_.size());
+}
+
+TEST_F(VpiPoolTest, DetectIsDeterministic) {
+  Annotator annotator = pipeline_.annotator();
+  annotator.set_snapshot(&pipeline_.snapshot_round2());
+  VpiDetector a(pipeline_.world(), pipeline_.forwarder(), annotator, 31);
+  VpiDetector b(pipeline_.world(), pipeline_.forwarder(), annotator, 31);
+  const auto result_a =
+      a.detect(pipeline_.campaign(), {CloudProvider::kMicrosoft});
+  const auto result_b =
+      b.detect(pipeline_.campaign(), {CloudProvider::kMicrosoft});
+  EXPECT_EQ(result_a.vpi_cbis, result_b.vpi_cbis);
+}
+
+TEST_F(VpiPoolTest, FewerCloudsFindNoMore) {
+  Annotator annotator = pipeline_.annotator();
+  annotator.set_snapshot(&pipeline_.snapshot_round2());
+  VpiDetector detector(pipeline_.world(), pipeline_.forwarder(), annotator,
+                       31);
+  const auto microsoft_only =
+      detector.detect(pipeline_.campaign(), {CloudProvider::kMicrosoft});
+  EXPECT_LE(microsoft_only.vpi_cbis.size(),
+            pipeline_.vpis().vpi_cbis.size() + 5);
+}
+
+}  // namespace
+}  // namespace cloudmap

@@ -1,0 +1,158 @@
+// Ground-truth world generation invariants.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "topology/generator.h"
+
+namespace cloudmap {
+namespace {
+
+class WorldTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorConfig config = GeneratorConfig::small();
+    config.seed = 7;
+    world_ = new World(generate_world(config));
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static World* world_;
+};
+World* WorldTest::world_ = nullptr;
+
+TEST_F(WorldTest, InternallyConsistent) {
+  EXPECT_EQ(world_->validate(), "");
+}
+
+TEST_F(WorldTest, HasAllEntityClasses) {
+  EXPECT_GT(world_->metros.size(), 0u);
+  EXPECT_GT(world_->colos.size(), 0u);
+  EXPECT_GT(world_->ixps.size(), 0u);
+  EXPECT_GT(world_->regions.size(), 0u);
+  EXPECT_GT(world_->ases.size(), 0u);
+  EXPECT_GT(world_->routers.size(), 0u);
+  EXPECT_GT(world_->interfaces.size(), 0u);
+  EXPECT_GT(world_->links.size(), 0u);
+  EXPECT_GT(world_->interconnects.size(), 0u);
+}
+
+TEST_F(WorldTest, EveryCloudHasRegionsAndBorders) {
+  for (int p = 1; p < static_cast<int>(kCloudProviderCount); ++p) {
+    const auto provider = static_cast<CloudProvider>(p);
+    EXPECT_FALSE(world_->regions_of(provider).empty())
+        << to_string(provider);
+    EXPECT_FALSE(world_->cloud_ases[p].empty()) << to_string(provider);
+  }
+}
+
+TEST_F(WorldTest, AmazonHasConfiguredRegionCount) {
+  EXPECT_EQ(world_->regions_of(CloudProvider::kAmazon).size(), 4u);
+}
+
+TEST_F(WorldTest, InterconnectKindsAllPresent) {
+  bool has_public = false;
+  bool has_xconnect = false;
+  bool has_vpi = false;
+  bool has_private_vpi = false;
+  bool has_remote = false;
+  bool has_shared_port = false;
+  for (const GroundTruthInterconnect& ic : world_->interconnects) {
+    if (ic.kind == PeeringKind::kPublicIxp) has_public = true;
+    if (ic.kind == PeeringKind::kCrossConnect) has_xconnect = true;
+    if (ic.kind == PeeringKind::kVpi) has_vpi = true;
+    if (ic.private_address) has_private_vpi = true;
+    if (ic.remote) has_remote = true;
+    if (ic.shared_port_address) has_shared_port = true;
+  }
+  EXPECT_TRUE(has_public);
+  EXPECT_TRUE(has_xconnect);
+  EXPECT_TRUE(has_vpi);
+  EXPECT_TRUE(has_private_vpi);
+  EXPECT_TRUE(has_remote);
+  EXPECT_TRUE(has_shared_port);
+}
+
+TEST_F(WorldTest, PrivateVpisUsePrivateAddressing) {
+  for (const GroundTruthInterconnect& ic : world_->interconnects) {
+    if (!ic.private_address) continue;
+    const Ipv4 client =
+        world_->interface(ic.client_interface).address;
+    EXPECT_TRUE(client.is_private()) << client.to_string();
+  }
+}
+
+TEST_F(WorldTest, SharedPortVpisReuseOneAddress) {
+  // Every shared-port VPI client interface address appears on all of that
+  // client's shared-port VPIs at the same colo (the overlap signal).
+  std::unordered_set<std::uint32_t> shared_addresses;
+  for (const GroundTruthInterconnect& ic : world_->interconnects) {
+    if (ic.kind == PeeringKind::kVpi && ic.shared_port_address)
+      shared_addresses.insert(
+          world_->interface(ic.client_interface).address.value());
+  }
+  // At least one address is reused by ≥2 interconnects (multi-cloud port).
+  std::size_t reused = 0;
+  for (const std::uint32_t address : shared_addresses) {
+    std::size_t uses = 0;
+    for (const GroundTruthInterconnect& ic : world_->interconnects) {
+      if (ic.kind == PeeringKind::kVpi && ic.shared_port_address &&
+          world_->interface(ic.client_interface).address.value() == address)
+        ++uses;
+    }
+    if (uses >= 2) ++reused;
+  }
+  EXPECT_GT(reused, 0u);
+}
+
+TEST_F(WorldTest, DeterministicUnderSeed) {
+  GeneratorConfig config = GeneratorConfig::small();
+  config.seed = 7;
+  const World again = generate_world(config);
+  EXPECT_EQ(again.interfaces.size(), world_->interfaces.size());
+  EXPECT_EQ(again.links.size(), world_->links.size());
+  EXPECT_EQ(again.interconnects.size(), world_->interconnects.size());
+  for (std::size_t i = 0; i < again.interfaces.size(); ++i) {
+    ASSERT_EQ(again.interfaces[i].address, world_->interfaces[i].address);
+  }
+}
+
+TEST_F(WorldTest, DifferentSeedsDiffer) {
+  GeneratorConfig config = GeneratorConfig::small();
+  config.seed = 8;
+  const World other = generate_world(config);
+  bool differs = other.interfaces.size() != world_->interfaces.size();
+  if (!differs) {
+    for (std::size_t i = 0; i < other.interfaces.size(); ++i) {
+      if (other.interfaces[i].address != world_->interfaces[i].address) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(WorldTest, ProbeableSlash24sAreUniqueAndPublic) {
+  const auto targets = world_->probeable_slash24s();
+  std::unordered_set<std::uint32_t> seen;
+  for (const Prefix& prefix : targets) {
+    EXPECT_EQ(prefix.length(), 24);
+    EXPECT_FALSE(prefix.network().is_private());
+    EXPECT_FALSE(prefix.network().is_shared());
+    EXPECT_TRUE(seen.insert(prefix.network().value()).second);
+  }
+  EXPECT_GT(targets.size(), 100u);
+}
+
+TEST_F(WorldTest, InterconnectClientInterfaceOwnedByClient) {
+  for (const GroundTruthInterconnect& ic : world_->interconnects) {
+    const RouterId router = world_->interface(ic.client_interface).router;
+    EXPECT_EQ(world_->router_owner(router), ic.client);
+  }
+}
+
+}  // namespace
+}  // namespace cloudmap

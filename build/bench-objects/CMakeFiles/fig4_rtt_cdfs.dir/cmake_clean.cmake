@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_rtt_cdfs"
+  "../bench/fig4_rtt_cdfs.pdb"
+  "CMakeFiles/fig4_rtt_cdfs.dir/fig4_rtt_cdfs.cpp.o"
+  "CMakeFiles/fig4_rtt_cdfs.dir/fig4_rtt_cdfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rtt_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_group_features"
+  "../bench/fig6_group_features.pdb"
+  "CMakeFiles/fig6_group_features.dir/fig6_group_features.cpp.o"
+  "CMakeFiles/fig6_group_features.dir/fig6_group_features.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_group_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

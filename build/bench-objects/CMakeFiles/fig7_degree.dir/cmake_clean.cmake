@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_degree"
+  "../bench/fig7_degree.pdb"
+  "CMakeFiles/fig7_degree.dir/fig7_degree.cpp.o"
+  "CMakeFiles/fig7_degree.dir/fig7_degree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

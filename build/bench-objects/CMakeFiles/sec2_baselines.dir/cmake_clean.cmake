@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec2_baselines"
+  "../bench/sec2_baselines.pdb"
+  "CMakeFiles/sec2_baselines.dir/sec2_baselines.cpp.o"
+  "CMakeFiles/sec2_baselines.dir/sec2_baselines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec62_pinning_eval"
+  "../bench/sec62_pinning_eval.pdb"
+  "CMakeFiles/sec62_pinning_eval.dir/sec62_pinning_eval.cpp.o"
+  "CMakeFiles/sec62_pinning_eval.dir/sec62_pinning_eval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_pinning_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec74_graph"
+  "../bench/sec74_graph.pdb"
+  "CMakeFiles/sec74_graph.dir/sec74_graph.cpp.o"
+  "CMakeFiles/sec74_graph.dir/sec74_graph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec74_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

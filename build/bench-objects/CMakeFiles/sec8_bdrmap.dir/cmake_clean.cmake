@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec8_bdrmap"
+  "../bench/sec8_bdrmap.pdb"
+  "CMakeFiles/sec8_bdrmap.dir/sec8_bdrmap.cpp.o"
+  "CMakeFiles/sec8_bdrmap.dir/sec8_bdrmap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec8_bdrmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

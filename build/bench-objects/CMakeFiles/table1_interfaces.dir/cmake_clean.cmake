@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_interfaces"
+  "../bench/table1_interfaces.pdb"
+  "CMakeFiles/table1_interfaces.dir/table1_interfaces.cpp.o"
+  "CMakeFiles/table1_interfaces.dir/table1_interfaces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_interfaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_heuristics"
+  "../bench/table2_heuristics.pdb"
+  "CMakeFiles/table2_heuristics.dir/table2_heuristics.cpp.o"
+  "CMakeFiles/table2_heuristics.dir/table2_heuristics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

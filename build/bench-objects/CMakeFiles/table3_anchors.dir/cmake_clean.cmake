@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_anchors"
+  "../bench/table3_anchors.pdb"
+  "CMakeFiles/table3_anchors.dir/table3_anchors.cpp.o"
+  "CMakeFiles/table3_anchors.dir/table3_anchors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_anchors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_vpi"
+  "../bench/table4_vpi.pdb"
+  "CMakeFiles/table4_vpi.dir/table4_vpi.cpp.o"
+  "CMakeFiles/table4_vpi.dir/table4_vpi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_vpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

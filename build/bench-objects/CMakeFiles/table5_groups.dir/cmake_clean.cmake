@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_groups"
+  "../bench/table5_groups.pdb"
+  "CMakeFiles/table5_groups.dir/table5_groups.cpp.o"
+  "CMakeFiles/table5_groups.dir/table5_groups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

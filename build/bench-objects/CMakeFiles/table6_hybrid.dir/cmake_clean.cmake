@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_hybrid"
+  "../bench/table6_hybrid.pdb"
+  "CMakeFiles/table6_hybrid.dir/table6_hybrid.cpp.o"
+  "CMakeFiles/table6_hybrid.dir/table6_hybrid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudmap_cli.dir/cloudmap_cli.cpp.o"
+  "CMakeFiles/cloudmap_cli.dir/cloudmap_cli.cpp.o.d"
+  "cloudmap_cli"
+  "cloudmap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudmap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

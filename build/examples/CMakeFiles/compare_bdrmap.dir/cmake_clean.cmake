@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_bdrmap.dir/compare_bdrmap.cpp.o"
+  "CMakeFiles/compare_bdrmap.dir/compare_bdrmap.cpp.o.d"
+  "compare_bdrmap"
+  "compare_bdrmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_bdrmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

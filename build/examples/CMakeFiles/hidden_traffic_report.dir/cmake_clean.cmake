@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hidden_traffic_report.dir/hidden_traffic_report.cpp.o"
+  "CMakeFiles/hidden_traffic_report.dir/hidden_traffic_report.cpp.o.d"
+  "hidden_traffic_report"
+  "hidden_traffic_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hidden_traffic_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_cloud_fabric.dir/map_cloud_fabric.cpp.o"
+  "CMakeFiles/map_cloud_fabric.dir/map_cloud_fabric.cpp.o.d"
+  "map_cloud_fabric"
+  "map_cloud_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_cloud_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpi_hunt.dir/vpi_hunt.cpp.o"
+  "CMakeFiles/vpi_hunt.dir/vpi_hunt.cpp.o.d"
+  "vpi_hunt"
+  "vpi_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpi_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alias/midar.cpp" "src/CMakeFiles/cloudmap.dir/alias/midar.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/alias/midar.cpp.o.d"
+  "/root/repo/src/analysis/dns_evidence.cpp" "src/CMakeFiles/cloudmap.dir/analysis/dns_evidence.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/analysis/dns_evidence.cpp.o.d"
+  "/root/repo/src/analysis/features.cpp" "src/CMakeFiles/cloudmap.dir/analysis/features.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/analysis/features.cpp.o.d"
+  "/root/repo/src/analysis/graph.cpp" "src/CMakeFiles/cloudmap.dir/analysis/graph.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/analysis/graph.cpp.o.d"
+  "/root/repo/src/analysis/grouping.cpp" "src/CMakeFiles/cloudmap.dir/analysis/grouping.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/analysis/grouping.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/cloudmap.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/baselines/mapit.cpp" "src/CMakeFiles/cloudmap.dir/baselines/mapit.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/baselines/mapit.cpp.o.d"
+  "/root/repo/src/bdrmap/bdrmap.cpp" "src/CMakeFiles/cloudmap.dir/bdrmap/bdrmap.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/bdrmap/bdrmap.cpp.o.d"
+  "/root/repo/src/controlplane/as2org.cpp" "src/CMakeFiles/cloudmap.dir/controlplane/as2org.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/controlplane/as2org.cpp.o.d"
+  "/root/repo/src/controlplane/bgp.cpp" "src/CMakeFiles/cloudmap.dir/controlplane/bgp.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/controlplane/bgp.cpp.o.d"
+  "/root/repo/src/controlplane/dns.cpp" "src/CMakeFiles/cloudmap.dir/controlplane/dns.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/controlplane/dns.cpp.o.d"
+  "/root/repo/src/controlplane/peeringdb.cpp" "src/CMakeFiles/cloudmap.dir/controlplane/peeringdb.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/controlplane/peeringdb.cpp.o.d"
+  "/root/repo/src/controlplane/whois.cpp" "src/CMakeFiles/cloudmap.dir/controlplane/whois.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/controlplane/whois.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/cloudmap.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/dataplane/forwarding.cpp" "src/CMakeFiles/cloudmap.dir/dataplane/forwarding.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/dataplane/forwarding.cpp.o.d"
+  "/root/repo/src/dataplane/ping.cpp" "src/CMakeFiles/cloudmap.dir/dataplane/ping.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/dataplane/ping.cpp.o.d"
+  "/root/repo/src/dataplane/traceroute.cpp" "src/CMakeFiles/cloudmap.dir/dataplane/traceroute.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/dataplane/traceroute.cpp.o.d"
+  "/root/repo/src/infer/alias_verify.cpp" "src/CMakeFiles/cloudmap.dir/infer/alias_verify.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/infer/alias_verify.cpp.o.d"
+  "/root/repo/src/infer/annotate.cpp" "src/CMakeFiles/cloudmap.dir/infer/annotate.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/infer/annotate.cpp.o.d"
+  "/root/repo/src/infer/border.cpp" "src/CMakeFiles/cloudmap.dir/infer/border.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/infer/border.cpp.o.d"
+  "/root/repo/src/infer/campaign.cpp" "src/CMakeFiles/cloudmap.dir/infer/campaign.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/infer/campaign.cpp.o.d"
+  "/root/repo/src/infer/fabric.cpp" "src/CMakeFiles/cloudmap.dir/infer/fabric.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/infer/fabric.cpp.o.d"
+  "/root/repo/src/infer/heuristics.cpp" "src/CMakeFiles/cloudmap.dir/infer/heuristics.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/infer/heuristics.cpp.o.d"
+  "/root/repo/src/io/serialize.cpp" "src/CMakeFiles/cloudmap.dir/io/serialize.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/io/serialize.cpp.o.d"
+  "/root/repo/src/net/geo.cpp" "src/CMakeFiles/cloudmap.dir/net/geo.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/net/geo.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/CMakeFiles/cloudmap.dir/net/ipv4.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/net/ipv4.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "src/CMakeFiles/cloudmap.dir/net/prefix.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/net/prefix.cpp.o.d"
+  "/root/repo/src/pinning/cfs.cpp" "src/CMakeFiles/cloudmap.dir/pinning/cfs.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/pinning/cfs.cpp.o.d"
+  "/root/repo/src/pinning/evaluate.cpp" "src/CMakeFiles/cloudmap.dir/pinning/evaluate.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/pinning/evaluate.cpp.o.d"
+  "/root/repo/src/pinning/pinning.cpp" "src/CMakeFiles/cloudmap.dir/pinning/pinning.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/pinning/pinning.cpp.o.d"
+  "/root/repo/src/topology/address_plan.cpp" "src/CMakeFiles/cloudmap.dir/topology/address_plan.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/topology/address_plan.cpp.o.d"
+  "/root/repo/src/topology/entities.cpp" "src/CMakeFiles/cloudmap.dir/topology/entities.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/topology/entities.cpp.o.d"
+  "/root/repo/src/topology/generator.cpp" "src/CMakeFiles/cloudmap.dir/topology/generator.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/topology/generator.cpp.o.d"
+  "/root/repo/src/topology/world.cpp" "src/CMakeFiles/cloudmap.dir/topology/world.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/topology/world.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/cloudmap.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/cloudmap.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/util/table.cpp.o.d"
+  "/root/repo/src/vpi/detector.cpp" "src/CMakeFiles/cloudmap.dir/vpi/detector.cpp.o" "gcc" "src/CMakeFiles/cloudmap.dir/vpi/detector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

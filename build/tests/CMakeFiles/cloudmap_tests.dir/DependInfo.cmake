@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_plan.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_address_plan.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_address_plan.cpp.o.d"
+  "/root/repo/tests/test_alias_verify_unit.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_alias_verify_unit.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_alias_verify_unit.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_annotate.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_annotate.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_annotate.cpp.o.d"
+  "/root/repo/tests/test_baselines_io.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_baselines_io.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_baselines_io.cpp.o.d"
+  "/root/repo/tests/test_bdrmap.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_bdrmap.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_bdrmap.cpp.o.d"
+  "/root/repo/tests/test_bgp.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_bgp.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_bgp.cpp.o.d"
+  "/root/repo/tests/test_border.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_border.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_border.cpp.o.d"
+  "/root/repo/tests/test_campaign.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_campaign.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_campaign.cpp.o.d"
+  "/root/repo/tests/test_campaign_stats.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_campaign_stats.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_campaign_stats.cpp.o.d"
+  "/root/repo/tests/test_cdf_and_knee.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_cdf_and_knee.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_cdf_and_knee.cpp.o.d"
+  "/root/repo/tests/test_fabric.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_fabric.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_fabric.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_forwarding.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_forwarding.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_forwarding.cpp.o.d"
+  "/root/repo/tests/test_forwarding_clouds.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_forwarding_clouds.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_forwarding_clouds.cpp.o.d"
+  "/root/repo/tests/test_generator_properties.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_generator_properties.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_generator_properties.cpp.o.d"
+  "/root/repo/tests/test_geo.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_geo.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_geo.cpp.o.d"
+  "/root/repo/tests/test_grouping_unit.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_grouping_unit.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_grouping_unit.cpp.o.d"
+  "/root/repo/tests/test_heuristics.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_heuristics.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_heuristics.cpp.o.d"
+  "/root/repo/tests/test_io_edge_cases.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_io_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_io_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_ipv4.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_ipv4.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_ipv4.cpp.o.d"
+  "/root/repo/tests/test_midar.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_midar.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_midar.cpp.o.d"
+  "/root/repo/tests/test_pinning.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_pinning.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_pinning.cpp.o.d"
+  "/root/repo/tests/test_pinning_anchors.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_pinning_anchors.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_pinning_anchors.cpp.o.d"
+  "/root/repo/tests/test_pipeline_integration.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_pipeline_integration.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_pipeline_integration.cpp.o.d"
+  "/root/repo/tests/test_prefix.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_prefix.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_prefix.cpp.o.d"
+  "/root/repo/tests/test_prefix_trie.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_prefix_trie.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_prefix_trie.cpp.o.d"
+  "/root/repo/tests/test_registries.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_registries.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_registries.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_traceroute.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_traceroute.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_traceroute.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_vpi.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_vpi.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_vpi.cpp.o.d"
+  "/root/repo/tests/test_vpi_detector_unit.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_vpi_detector_unit.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_vpi_detector_unit.cpp.o.d"
+  "/root/repo/tests/test_world.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_world.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_world.cpp.o.d"
+  "/root/repo/tests/test_world_accessors.cpp" "tests/CMakeFiles/cloudmap_tests.dir/test_world_accessors.cpp.o" "gcc" "tests/CMakeFiles/cloudmap_tests.dir/test_world_accessors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cloudmap.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

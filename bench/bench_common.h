@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/pipeline.h"
@@ -17,6 +18,14 @@
 namespace cloudmap::bench {
 
 inline constexpr std::uint64_t kBenchSeed = 1;
+
+// Campaign worker count for the bench pipelines. CLOUDMAP_THREADS overrides
+// (1 = serial); the default fans out across all hardware threads. Outputs
+// are identical either way — only the wall clock moves.
+inline int bench_threads() {
+  const char* env = std::getenv("CLOUDMAP_THREADS");
+  return env != nullptr ? std::atoi(env) : 0;
+}
 
 inline const World& world() {
   static const World instance = [] {
@@ -29,7 +38,9 @@ inline const World& world() {
 
 inline Pipeline& pipeline() {
   static Pipeline* instance = [] {
-    auto* p = new Pipeline(world());
+    PipelineOptions options;
+    options.campaign.threads = bench_threads();
+    auto* p = new Pipeline(world(), options);
     return p;
   }();
   return *instance;

@@ -1,7 +1,10 @@
 // Engine microbenchmarks (google-benchmark): the hot paths behind the
 // reproduction — trie lookups, hop annotation, path computation, full
-// traceroutes, BGP table computation, and world generation.
+// traceroutes, BGP table computation, world generation, and the parallel
+// campaign's thread-scaling curve.
 #include <benchmark/benchmark.h>
+
+#include <thread>
 
 #include "controlplane/bgp.h"
 #include "core/pipeline.h"
@@ -101,6 +104,33 @@ void BM_GenerateSmallWorld(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_GenerateSmallWorld)->Unit(benchmark::kMillisecond);
+
+// Campaign sweep scaling: the full round-1 /24 sweep from every region at
+// 1/2/4/N worker threads. The inferred fabric and round stats are identical
+// at every thread count (see ParallelCampaign tests); only wall time moves.
+void BM_CampaignRound1(benchmark::State& state) {
+  // A pipeline supplies the annotation substrate; its own campaign is not
+  // run — each iteration builds a fresh Campaign over the shared forwarder.
+  static Pipeline* pipeline = new Pipeline(bench_world());
+  CampaignConfig config;
+  config.threads = static_cast<int>(state.range(0));
+  std::uint64_t traceroutes = 0;
+  for (auto _ : state) {
+    Campaign campaign(pipeline->world(), pipeline->forwarder(),
+                      CloudProvider::kAmazon, config);
+    const RoundStats stats = campaign.run_round1(pipeline->annotator());
+    benchmark::DoNotOptimize(stats);
+    traceroutes += stats.traceroutes;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(traceroutes));
+}
+BENCHMARK(BM_CampaignRound1)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(static_cast<int>(std::thread::hardware_concurrency()))
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_RttToInterface(benchmark::State& state) {
   Stack& s = stack();

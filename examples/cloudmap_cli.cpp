@@ -6,11 +6,14 @@
 //   cloudmap_cli analyze  [seed] [file]   load a saved fabric and report
 //   cloudmap_cli all      [seed]          everything in one process
 //
-// With no arguments it runs `all 7`.
+// `--threads N` anywhere on the line sets the campaign worker count
+// (0 = one per hardware thread, the default; results are identical for
+// every value). With no arguments it runs `all 7`.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "analysis/graph.h"
 #include "analysis/grouping.h"
@@ -53,9 +56,15 @@ int cmd_worldgen(std::uint64_t seed) {
   return issue.empty() ? 0 : 1;
 }
 
-int cmd_campaign(std::uint64_t seed, const std::string& path) {
+PipelineOptions make_options(int threads) {
+  PipelineOptions options;
+  options.campaign.threads = threads;
+  return options;
+}
+
+int cmd_campaign(std::uint64_t seed, const std::string& path, int threads) {
   const World world = make_world(seed);
-  Pipeline pipeline(world);
+  Pipeline pipeline(world, make_options(threads));
   pipeline.alias_verification();  // both rounds + §5 verification
   std::ofstream out(path);
   if (!out) {
@@ -71,7 +80,7 @@ int cmd_campaign(std::uint64_t seed, const std::string& path) {
   return 0;
 }
 
-int cmd_analyze(std::uint64_t seed, const std::string& path) {
+int cmd_analyze(std::uint64_t seed, const std::string& path, int threads) {
   const World world = make_world(seed);
   std::ifstream in(path);
   if (!in) {
@@ -86,7 +95,7 @@ int cmd_analyze(std::uint64_t seed, const std::string& path) {
 
   // Datasets rebuild deterministically from the same seed, so offline
   // analysis matches the collection run.
-  Pipeline pipeline(world);
+  Pipeline pipeline(world, make_options(threads));
   Annotator annotator = pipeline.annotator();
   annotator.set_snapshot(&pipeline.snapshot_round2());
   PeeringClassifier classifier(&annotator, &pipeline.snapshot_round2(),
@@ -106,21 +115,46 @@ int cmd_analyze(std::uint64_t seed, const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string command = argc > 1 ? argv[1] : "all";
+  // Pull `--threads N` out of the argument list; the rest stay positional.
+  int threads = 0;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --threads requires a value\n");
+        return 2;
+      }
+      char* end = nullptr;
+      const long value = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || value < 0) {
+        std::fprintf(stderr,
+                     "error: --threads expects a non-negative integer, "
+                     "got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      threads = static_cast<int>(value);
+    } else {
+      args.push_back(arg);
+    }
+  }
+  const std::string command = !args.empty() ? args[0] : "all";
   const std::uint64_t seed =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
-  const std::string path = argc > 3 ? argv[3] : "cloudmap_fabric.txt";
+      args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 7;
+  const std::string path = args.size() > 2 ? args[2] : "cloudmap_fabric.txt";
 
   if (command == "worldgen") return cmd_worldgen(seed);
-  if (command == "campaign") return cmd_campaign(seed, path);
-  if (command == "analyze") return cmd_analyze(seed, path);
+  if (command == "campaign") return cmd_campaign(seed, path, threads);
+  if (command == "analyze") return cmd_analyze(seed, path, threads);
   if (command == "all") {
     if (const int rc = cmd_worldgen(seed)) return rc;
-    if (const int rc = cmd_campaign(seed, path)) return rc;
-    return cmd_analyze(seed, path);
+    if (const int rc = cmd_campaign(seed, path, threads)) return rc;
+    return cmd_analyze(seed, path, threads);
   }
   std::fprintf(stderr,
-               "usage: %s [worldgen|campaign|analyze|all] [seed] [file]\n",
+               "usage: %s [worldgen|campaign|analyze|all] [seed] [file] "
+               "[--threads N]\n",
                argv[0]);
   return 2;
 }

@@ -86,12 +86,16 @@ std::vector<AsId> walk_path(const std::vector<RouteEntry>& table, AsId from) {
 BgpSimulator::BgpSimulator(const World& world)
     : world_(&world),
       cache_(world.ases.size()),
-      cached_(world.ases.size(), false) {}
+      cached_(world.ases.size()) {}
 
 const std::vector<RouteEntry>& BgpSimulator::routes_to(AsId origin) const {
-  if (!cached_[origin.value]) {
-    compute(origin, cache_[origin.value]);
-    cached_[origin.value] = true;
+  std::atomic<bool>& ready = cached_[origin.value];
+  if (!ready.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lock(fill_mutex_);
+    if (!ready.load(std::memory_order_relaxed)) {
+      compute(origin, cache_[origin.value]);
+      ready.store(true, std::memory_order_release);
+    }
   }
   return cache_[origin.value];
 }

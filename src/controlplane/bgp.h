@@ -11,7 +11,9 @@
 //     Table 5).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -45,7 +47,9 @@ class BgpSimulator {
   explicit BgpSimulator(const World& world);
 
   // Best routes of every AS toward `origin` (vector indexed by AsId).
-  // Computed once per origin and cached.
+  // Computed once per origin and cached. Safe to call concurrently from
+  // many threads — the cache fill is guarded, and a published table is
+  // never mutated again.
   const std::vector<RouteEntry>& routes_to(AsId origin) const;
 
   // The AS path from `from` toward `origin` (inclusive of both ends);
@@ -61,8 +65,13 @@ class BgpSimulator {
   void compute(AsId origin, std::vector<RouteEntry>& table) const;
 
   const World* world_;
+  // Lazily-filled per-origin cache. `cached_[origin]` is set with release
+  // semantics only after the table is fully computed; readers check it with
+  // acquire semantics and fall back to the fill lock on a miss (the campaign
+  // fans traceroutes out across worker threads, all of which route here).
   mutable std::vector<std::vector<RouteEntry>> cache_;
-  mutable std::vector<bool> cached_;
+  mutable std::vector<std::atomic<bool>> cached_;
+  mutable std::mutex fill_mutex_;
 };
 
 // A BGP snapshot as seen from a set of collector-feeding ASes: the prefixes

@@ -84,7 +84,8 @@ void Pipeline::ensure_alias() {
 void Pipeline::ensure_vpis() {
   ensure_alias();
   if (vpis_) return;
-  VpiDetector detector(*world_, *forwarder_, annotator_, options_.seed + 31);
+  VpiDetector detector(*world_, *forwarder_, annotator_, options_.seed + 31,
+                       options_.campaign.threads);
   vpis_ = detector.detect(*campaign_, options_.foreign_clouds);
 }
 

@@ -37,6 +37,8 @@ namespace cloudmap {
 struct PipelineOptions {
   CloudProvider subject = CloudProvider::kAmazon;
   std::uint64_t seed = 1;
+  // campaign.threads also governs the VPI detector's foreign-cloud sweeps;
+  // every thread count produces bit-identical results.
   CampaignConfig campaign;
   AliasOptions alias;
   PinningOptions pinning;

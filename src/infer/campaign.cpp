@@ -1,50 +1,129 @@
 #include "infer/campaign.h"
 
 #include <algorithm>
+#include <unordered_set>
+
+#include "util/parallel.h"
+#include "util/rng.h"
 
 namespace cloudmap {
+
+namespace {
+
+// RNG stream for one (sweep, region, chunk) work item. Mixed through
+// splitmix64 at each step so streams are decorrelated however the inputs
+// collide; depends on nothing that varies with the thread count.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t sweep,
+                          std::uint64_t region, std::uint64_t chunk) {
+  std::uint64_t state = seed + 0x632be59bd9b4e019ULL * (sweep + 1);
+  state ^= splitmix64(state) + 0x9e3779b97f4a7c15ULL * (region + 1);
+  state ^= splitmix64(state) + 0xbf58476d1ce4e5b9ULL * (chunk + 1);
+  return splitmix64(state);
+}
+
+}  // namespace
 
 Campaign::Campaign(const World& world, const Forwarder& forwarder,
                    CloudProvider subject, const CampaignConfig& config)
     : world_(&world),
+      forwarder_(&forwarder),
       subject_(subject),
       subject_org_(world.ases[world.cloud_primary(subject).value].org),
-      config_(config),
-      engine_(forwarder, config.seed, config.traceroute) {
+      config_(config) {
   for (RegionId region : world.regions_of(subject)) {
     vps_.push_back(VantagePoint::cloud_vm(
         subject, region, world.region(region).name));
   }
 }
 
+Campaign::SweepChunkResult Campaign::sweep_chunk(
+    const Annotator& annotator, const std::vector<Ipv4>& targets,
+    std::size_t vp_index, std::size_t begin, std::size_t end,
+    std::uint64_t chunk, std::uint64_t sweep_index) const {
+  const VantagePoint& vp = vps_[vp_index];
+  TracerouteEngine engine(
+      *forwarder_,
+      stream_seed(config_.seed, sweep_index, vp.region.value, chunk),
+      config_.traceroute);
+  SweepChunkResult result;
+  // Adjacencies repeat heavily across traces into the same /24; dedup per
+  // chunk to keep the merge buffers small (the fabric's successor map is a
+  // set, so dropping duplicates changes nothing).
+  std::unordered_set<std::uint64_t> seen_adjacencies;
+  for (std::size_t t = begin; t < end; ++t) {
+    const TracerouteRecord record = engine.trace(vp, targets[t]);
+    ++result.traceroutes;
+    // Adjacencies between consecutive responding hops feed the hybrid
+    // heuristic (Fig. 3).
+    Ipv4 previous;
+    for (const TracerouteHop& hop : record.hops) {
+      if (!hop.responded) {
+        previous = Ipv4{};
+        continue;
+      }
+      if (!previous.is_unspecified()) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(previous.value()) << 32) |
+            hop.address.value();
+        if (seen_adjacencies.insert(key).second)
+          result.adjacencies.emplace_back(previous.value(),
+                                          hop.address.value());
+      }
+      previous = hop.address;
+    }
+    if (auto segment =
+            extract_segment(record, annotator, subject_org_, result.walk)) {
+      result.segments.push_back(std::move(*segment));
+    }
+  }
+  result.probes = engine.probes_sent();
+  return result;
+}
+
 RoundStats Campaign::sweep(const Annotator& annotator,
                            const std::vector<Ipv4>& targets, int round) {
   RoundStats stats;
   stats.targets = targets.size();
-  const std::uint64_t probes_before = engine_.probes_sent();
-  for (const VantagePoint& vp : vps_) {
-    for (const Ipv4 target : targets) {
-      const TracerouteRecord record = engine_.trace(vp, target);
-      ++stats.traceroutes;
-      // Adjacencies between consecutive responding hops feed the hybrid
-      // heuristic (Fig. 3).
-      Ipv4 previous;
-      for (const TracerouteHop& hop : record.hops) {
-        if (!hop.responded) {
-          previous = Ipv4{};
-          continue;
-        }
-        if (!previous.is_unspecified())
-          fabric_.add_adjacency(previous, hop.address);
-        previous = hop.address;
-      }
-      if (const auto segment =
-              extract_segment(record, annotator, subject_org_, stats.walk)) {
-        fabric_.add_segment(*segment, round);
-      }
+  const std::uint64_t sweep_index = sweep_counter_++;
+
+  // Work items in canonical (region, chunk) order — the same order the
+  // sequential loop used to visit (vantage-point outer, targets inner).
+  struct WorkItem {
+    std::size_t vp;
+    std::size_t begin;
+    std::size_t end;
+    std::uint64_t chunk;
+  };
+  std::vector<WorkItem> items;
+  for (std::size_t v = 0; v < vps_.size(); ++v) {
+    std::uint64_t chunk = 0;
+    for (std::size_t begin = 0; begin < targets.size();
+         begin += kSweepChunk, ++chunk) {
+      items.push_back(WorkItem{v, begin,
+                               std::min(begin + kSweepChunk, targets.size()),
+                               chunk});
     }
   }
-  stats.probes = engine_.probes_sent() - probes_before;
+
+  std::vector<SweepChunkResult> results =
+      parallel_transform(items.size(), config_.threads, [&](std::size_t i) {
+        const WorkItem& item = items[i];
+        return sweep_chunk(annotator, targets, item.vp, item.begin, item.end,
+                           item.chunk, sweep_index);
+      });
+
+  // Merge on the calling thread, in work-item order: segment insertion order
+  // (and with it prior/post-hop freshness and destination sampling) matches
+  // a serial run exactly.
+  for (const SweepChunkResult& result : results) {
+    stats.traceroutes += result.traceroutes;
+    stats.probes += result.probes;
+    stats.walk.add(result.walk);
+    for (const auto& [from, to] : result.adjacencies)
+      fabric_.add_adjacency(Ipv4(from), Ipv4(to));
+    for (const CandidateSegment& segment : result.segments)
+      fabric_.add_segment(segment, round);
+  }
   return stats;
 }
 

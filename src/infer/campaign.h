@@ -2,10 +2,19 @@
 // region of the subject cloud — the full /24 sweep and the expansion round
 // around discovered CBIs — feeding the Fabric, with the bookkeeping that
 // reproduces Table 1.
+//
+// Sweeps are sharded into deterministic (region, chunk-of-targets) work
+// items and fanned out across worker threads (CampaignConfig::threads),
+// mirroring how the paper's campaign probes from 15 regions in parallel.
+// Each work item traces with its own RNG stream derived from
+// (seed, region, chunk) and buffers its contributions; the main thread
+// merges them in canonical order, so the fabric and the round stats are
+// bit-identical whatever the thread count.
 #pragma once
 
 #include <cstdint>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "dataplane/forwarding.h"
@@ -20,6 +29,12 @@ struct CampaignConfig {
   // Probe every `expansion_stride`-th address of each expansion /24
   // (1 = the paper's full walk).
   int expansion_stride = 1;
+  // Worker threads for the probe sweeps: 0 = hardware_concurrency, 1 = run
+  // everything inline on the calling thread. Results are bit-identical for
+  // every thread count: targets are sharded into fixed (region, chunk) work
+  // items, each with its own RNG stream derived from (seed, region, chunk),
+  // and merged in canonical order.
+  int threads = 0;
   TracerouteOptions traceroute;
 };
 
@@ -90,14 +105,35 @@ class Campaign {
   std::size_t peer_asn_count(const Annotator& annotator) const;
 
  private:
+  // Targets per (region, chunk) work item. Fixed — NOT derived from the
+  // thread count — so every thread count sees the same work items and the
+  // same per-chunk RNG streams.
+  static constexpr std::size_t kSweepChunk = 256;
+
+  // Everything one work item contributes, buffered so the main thread can
+  // merge contributions in canonical (region, chunk) order.
+  struct SweepChunkResult {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> adjacencies;
+    std::vector<CandidateSegment> segments;
+    BorderWalkStats walk;
+    std::uint64_t traceroutes = 0;
+    std::uint64_t probes = 0;
+  };
+
   RoundStats sweep(const Annotator& annotator,
                    const std::vector<Ipv4>& targets, int round);
+  SweepChunkResult sweep_chunk(const Annotator& annotator,
+                               const std::vector<Ipv4>& targets,
+                               std::size_t vp_index, std::size_t begin,
+                               std::size_t end, std::uint64_t chunk,
+                               std::uint64_t sweep_index) const;
 
   const World* world_;
+  const Forwarder* forwarder_;
   CloudProvider subject_;
   OrgId subject_org_;
   CampaignConfig config_;
-  TracerouteEngine engine_;
+  std::uint64_t sweep_counter_ = 0;  // distinguishes RNG streams per sweep
   std::vector<VantagePoint> vps_;
   Fabric fabric_;
 };

@@ -1,0 +1,90 @@
+// Thread-pool / parallel-for utilities behind the multi-threaded campaign.
+//
+// The contract that matters everywhere these are used: the *decomposition*
+// of work into items is fixed by the caller, results are indexed by item,
+// and the thread count only decides how many workers drain the item queue.
+// A run with `threads = 1` therefore executes the exact same items with the
+// exact same per-item state as a run with N threads — determinism lives in
+// the items, parallelism in the draining.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cloudmap {
+
+// Resolve a user-facing thread knob: positive values are taken literally,
+// anything else means "one worker per hardware thread".
+inline unsigned resolve_threads(int requested) {
+  if (requested > 0) return static_cast<unsigned>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1u : hw;
+}
+
+// Run fn(0) … fn(n-1), each exactly once, across up to `threads` workers
+// (0 → hardware_concurrency; never more workers than items). Items are
+// claimed dynamically from a shared counter, so callers must not rely on
+// which thread runs which item — only that every item runs. With one worker
+// (or n <= 1) everything executes inline on the calling thread, in index
+// order, with no threads spawned.
+//
+// Exceptions thrown by fn are captured; after all workers drain the queue,
+// the exception from the lowest-indexed failing item is rethrown. Remaining
+// items still run — items must therefore be independent.
+template <typename Fn>
+void parallel_for(std::size_t n, int threads, Fn&& fn) {
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(resolve_threads(threads), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  auto drain = [&]() noexcept {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (i < error_index) {
+          error_index = i;
+          error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(drain);
+  drain();  // the calling thread is worker 0
+  for (std::thread& worker : pool) worker.join();
+  if (error) std::rethrow_exception(error);
+}
+
+// parallel_for that collects fn(i) into a vector indexed by i. The result
+// order is the item order regardless of which worker produced what — the
+// canonical-merge building block.
+template <typename Fn>
+auto parallel_transform(std::size_t n, int threads, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
+  std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> out(n);
+  parallel_for(n, threads, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace cloudmap

@@ -5,11 +5,13 @@
 namespace cloudmap {
 
 VpiDetector::VpiDetector(const World& world, const Forwarder& forwarder,
-                         const Annotator& annotator, std::uint64_t seed)
+                         const Annotator& annotator, std::uint64_t seed,
+                         int threads)
     : world_(&world),
       forwarder_(&forwarder),
       annotator_(&annotator),
-      seed_(seed) {}
+      seed_(seed),
+      threads_(threads) {}
 
 std::vector<Ipv4> VpiDetector::target_pool(const Campaign& campaign,
                                            const Annotator& annotator) {
@@ -51,6 +53,7 @@ VpiDetectionResult VpiDetector::detect(
   for (const CloudProvider provider : foreign_clouds) {
     CampaignConfig config;
     config.seed = ++seed;
+    config.threads = threads_;
     Campaign foreign(*world_, *forwarder_, provider, config);
     foreign.run_targets(*annotator_, pool, /*round=*/1);
 

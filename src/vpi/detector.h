@@ -31,8 +31,12 @@ struct VpiDetectionResult {
 
 class VpiDetector {
  public:
+  // `threads` is forwarded to the foreign-cloud campaigns (same contract as
+  // CampaignConfig::threads: 0 = hardware_concurrency, results identical
+  // for every value).
   VpiDetector(const World& world, const Forwarder& forwarder,
-              const Annotator& annotator, std::uint64_t seed = 31);
+              const Annotator& annotator, std::uint64_t seed = 31,
+              int threads = 0);
 
   // `subject_campaign` must have completed its rounds. `foreign_clouds` are
   // probed in order (Table 4 reads Microsoft, Google, IBM, Oracle).
@@ -48,6 +52,7 @@ class VpiDetector {
   const Forwarder* forwarder_;
   const Annotator* annotator_;
   std::uint64_t seed_;
+  int threads_;
 };
 
 }  // namespace cloudmap

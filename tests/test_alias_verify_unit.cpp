@@ -77,7 +77,9 @@ TEST_F(AliasVerifyUnit, SetsAreExposedForPinning) {
   const AliasSets& sets = p.alias_sets();
   for (const auto& set : sets.sets) EXPECT_GE(set.size(), 2u);
   // Pinning's Rule 1 consumed these: pinned-by-alias implies sets exist.
-  if (p.pinning().pinned_by_alias > 0) EXPECT_FALSE(sets.sets.empty());
+  if (p.pinning().pinned_by_alias > 0) {
+    EXPECT_FALSE(sets.sets.empty());
+  }
 }
 
 }  // namespace

@@ -64,7 +64,9 @@ TEST(Grouping, VirtualGroupsMatchVpiSet) {
     if (!group) continue;
     const bool is_virtual = *group == PeeringGroup::kPrNbV ||
                             *group == PeeringGroup::kPrBV;
-    if (is_virtual) EXPECT_TRUE(vpi_cbis.count(segment.cbi.value()));
+    if (is_virtual) {
+      EXPECT_TRUE(vpi_cbis.count(segment.cbi.value()));
+    }
   }
 }
 
@@ -151,8 +153,9 @@ TEST(Features, TransitGroupsHaveLargerCones) {
                   [static_cast<int>(PeerFeature::kBgpSlash24)];
   const auto& pb_nb = matrix.stats[static_cast<int>(PeeringGroup::kPbNb)]
                                   [static_cast<int>(PeerFeature::kBgpSlash24)];
-  if (pr_b_nv.count > 0 && pb_nb.count > 0)
+  if (pr_b_nv.count > 0 && pb_nb.count > 0) {
     EXPECT_GT(pr_b_nv.median, pb_nb.median);
+  }
 }
 
 TEST(Icg, DegreesMatchSegments) {

@@ -152,8 +152,9 @@ TEST(Serialize, RecordRoundTrip) {
   for (std::size_t i = 0; i < record.hops.size(); ++i) {
     EXPECT_EQ(parsed->hops[i].responded, record.hops[i].responded);
     EXPECT_EQ(parsed->hops[i].address, record.hops[i].address);
-    if (record.hops[i].responded)
+    if (record.hops[i].responded) {
       EXPECT_NEAR(parsed->hops[i].rtt_ms, record.hops[i].rtt_ms, 1e-9);
+    }
   }
 }
 

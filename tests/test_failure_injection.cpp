@@ -83,7 +83,9 @@ TEST(FailureInjection, MostlySilentClients) {
   // router level.
   const InferenceScore score = pipeline.score();
   EXPECT_GT(pipeline.campaign().fabric().segments().size(), 0u);
-  if (score.inferred_cbis > 20) EXPECT_GT(score.router_precision(), 0.5);
+  if (score.inferred_cbis > 20) {
+    EXPECT_GT(score.router_precision(), 0.5);
+  }
 }
 
 TEST(FailureInjection, EverythingRepliesWithDefaults) {

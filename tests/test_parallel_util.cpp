@@ -1,0 +1,99 @@
+// The thread-pool / parallel-for utility: every item runs exactly once,
+// results land in item order, exceptions propagate, and the degenerate
+// shapes (empty range, single item, more threads than items) behave.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace cloudmap {
+namespace {
+
+TEST(ParallelUtil, ResolveThreadsHonorsExplicitCounts) {
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(7), 7u);
+  EXPECT_GE(resolve_threads(0), 1u);   // hardware_concurrency fallback
+  EXPECT_GE(resolve_threads(-3), 1u);  // negatives mean "auto" too
+}
+
+TEST(ParallelUtil, EmptyRangeRunsNothing) {
+  std::atomic<int> calls{0};
+  parallel_for(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  const std::vector<int> out =
+      parallel_transform(0, 4, [](std::size_t) { return 1; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ParallelUtil, EveryItemRunsExactlyOnce) {
+  constexpr std::size_t kItems = 1000;
+  std::vector<std::atomic<int>> counts(kItems);
+  parallel_for(kItems, 8, [&](std::size_t i) { ++counts[i]; });
+  for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(ParallelUtil, MoreThreadsThanItems) {
+  std::vector<std::atomic<int>> counts(3);
+  parallel_for(3, 64, [&](std::size_t i) { ++counts[i]; });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(ParallelUtil, TransformKeepsItemOrder) {
+  const std::vector<std::size_t> squares =
+      parallel_transform(100, 4, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 100u);
+  for (std::size_t i = 0; i < squares.size(); ++i)
+    EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ParallelUtil, SingleThreadRunsInlineInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(16, 1, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);  // no data race possible: inline execution
+}
+
+TEST(ParallelUtil, ExceptionsPropagate) {
+  EXPECT_THROW(parallel_for(32, 4,
+                            [](std::size_t i) {
+                              if (i == 17) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // Inline path too.
+  EXPECT_THROW(parallel_for(4, 1,
+                            [](std::size_t i) {
+                              if (i == 2) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelUtil, LowestIndexExceptionWins) {
+  try {
+    parallel_for(64, 8, [](std::size_t i) {
+      if (i == 5 || i == 60) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "5");
+  }
+}
+
+TEST(ParallelUtil, RemainingItemsStillRunAfterAThrow) {
+  std::atomic<int> calls{0};
+  try {
+    parallel_for(100, 4, [&](std::size_t i) {
+      ++calls;
+      if (i == 0) throw std::runtime_error("early");
+    });
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(calls.load(), 100);
+}
+
+}  // namespace
+}  // namespace cloudmap

@@ -58,9 +58,10 @@ TEST_P(PrefixEnumerate, Slash24CountMatchesLength) {
   for (std::size_t i = 0; i < subs.size(); ++i) {
     EXPECT_EQ(subs[i].length(), 24);
     EXPECT_TRUE(p.contains(subs[i]));
-    if (i > 0)
+    if (i > 0) {
       EXPECT_EQ(subs[i].network().value(),
                 subs[i - 1].network().value() + 256);
+    }
   }
 }
 

@@ -50,7 +50,9 @@ TEST_F(TracerouteTest, RttsAreNonNegativeAndRoughlyMonotonic) {
       EXPECT_GE(hop.rtt_ms, 0.0);
       // Jitter can locally reorder, but not by much more than the queueing
       // bound (2 ms) plus jitter tails.
-      if (previous >= 0.0) EXPECT_GE(hop.rtt_ms, previous - 6.0);
+      if (previous >= 0.0) {
+        EXPECT_GE(hop.rtt_ms, previous - 6.0);
+      }
       previous = hop.rtt_ms;
     }
     ++checked;

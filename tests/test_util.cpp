@@ -215,8 +215,9 @@ TEST(UnionFind, RandomizedTransitivity) {
     const std::size_t a = rng.bounded(100);
     const std::size_t b = rng.bounded(100);
     const std::size_t c = rng.bounded(100);
-    if (uf.connected(a, b) && uf.connected(b, c))
+    if (uf.connected(a, b) && uf.connected(b, c)) {
       EXPECT_TRUE(uf.connected(a, c));
+    }
   }
 }
 

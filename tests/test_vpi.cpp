@@ -93,10 +93,12 @@ TEST(Vpi, OracleOverlapIsEssentiallyZero) {
   // at most a stray default-interface artifact may leak through.
   Pipeline& pipeline = small_pipeline();
   for (const VpiCloudResult& cloud : pipeline.vpis().per_cloud) {
-    if (cloud.provider == CloudProvider::kOracle)
+    if (cloud.provider == CloudProvider::kOracle) {
       EXPECT_LE(cloud.overlap, 1u);
-    if (cloud.provider == CloudProvider::kMicrosoft)
+    }
+    if (cloud.provider == CloudProvider::kMicrosoft) {
       EXPECT_GT(cloud.overlap, 0u);
+    }
   }
 }
 
@@ -111,8 +113,9 @@ TEST(Vpi, TargetPoolExcludesIxpCbis) {
     // No pool target is itself an IXP LAN CBI of the subject fabric (the +1
     // of a non-IXP CBI can in principle land anywhere, but the paper's pool
     // construction starts from non-IXP CBIs only).
-    if (pipeline.campaign().fabric().unique_cbis().count(target.value()))
+    if (pipeline.campaign().fabric().unique_cbis().count(target.value())) {
       EXPECT_FALSE(annotator.annotate(target).ixp) << target.to_string();
+    }
   }
 }
 

@@ -1,15 +1,26 @@
 // Shared scaffolding for the table/figure reproduction benches: a paper-
-// shape world + pipeline built once per binary, and printing helpers that
-// put the paper's published values next to the measured ones.
+// shape world + pipeline built once per binary, printing helpers that put
+// the paper's published values next to the measured ones, and automatic
+// metrics emission — every bench run writes a machine-readable per-stage
+// metrics artifact (JSON) alongside its numbers at exit.
+//
+// Knobs (parsed once through cloudmap::options_from_env()):
+//   CLOUDMAP_THREADS       campaign worker count (1 = serial, 0/default =
+//                          all hardware threads; outputs identical either way)
+//   CLOUDMAP_METRICS_JSON  artifact path override (default:
+//                          <bench-title-slug>_metrics.json in the cwd)
 //
 // Absolute counts scale with the synthetic world (~1/6 of the paper's), so
 // the comparisons to read are the *percentages, ratios, and orderings*.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
+#include "core/options.h"
 #include "core/pipeline.h"
 #include "topology/generator.h"
 #include "util/stats.h"
@@ -19,12 +30,27 @@ namespace cloudmap::bench {
 
 inline constexpr std::uint64_t kBenchSeed = 1;
 
-// Campaign worker count for the bench pipelines. CLOUDMAP_THREADS overrides
-// (1 = serial); the default fans out across all hardware threads. Outputs
-// are identical either way — only the wall clock moves.
+inline const FrontendOptions& frontend_options() {
+  static const FrontendOptions instance = [] {
+    FrontendOptions parsed = options_from_env();
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.error.c_str());
+      std::exit(2);
+    }
+    return parsed;
+  }();
+  return instance;
+}
+
 inline int bench_threads() {
-  const char* env = std::getenv("CLOUDMAP_THREADS");
-  return env != nullptr ? std::atoi(env) : 0;
+  return frontend_options().pipeline.campaign.threads;
+}
+
+// Artifact path for this binary: CLOUDMAP_METRICS_JSON, else a slug derived
+// from the header() title ("Table 1 — ..." → "table_1_metrics.json").
+inline std::string& metrics_path_slot() {
+  static std::string path = "cloudmap_metrics.json";
+  return path;
 }
 
 inline const World& world() {
@@ -36,17 +62,53 @@ inline const World& world() {
   return instance;
 }
 
+namespace detail {
+inline Pipeline*& pipeline_slot() {
+  static Pipeline* instance = nullptr;
+  return instance;
+}
+
+inline void emit_metrics_at_exit() {
+  Pipeline* pipeline = pipeline_slot();
+  if (pipeline == nullptr) return;  // bench never touched the pipeline
+  const std::string& env_path = frontend_options().metrics_json;
+  const std::string path =
+      env_path.empty() ? metrics_path_slot() : env_path;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "metrics: cannot write %s\n", path.c_str());
+    return;
+  }
+  pipeline->write_metrics_json(out);
+  std::printf("\nmetrics: wrote %s\n", path.c_str());
+}
+}  // namespace detail
+
 inline Pipeline& pipeline() {
   static Pipeline* instance = [] {
-    PipelineOptions options;
-    options.campaign.threads = bench_threads();
+    PipelineOptions options = frontend_options().pipeline;
     auto* p = new Pipeline(world(), options);
+    detail::pipeline_slot() = p;
+    std::atexit(detail::emit_metrics_at_exit);
     return p;
   }();
   return *instance;
 }
 
 inline void header(const std::string& title, const std::string& paper_note) {
+  // Derive the default metrics-artifact name from the bench title.
+  std::string slug;
+  for (const char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug += '_';
+    }
+    if (slug.size() >= 24) break;
+  }
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  if (!slug.empty()) metrics_path_slot() = slug + "_metrics.json";
+
   std::printf("================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("paper: %s\n", paper_note.c_str());

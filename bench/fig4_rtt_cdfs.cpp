@@ -13,7 +13,7 @@ int main() {
 
   Pipeline& p = bench::pipeline();
   p.alias_verification();  // finished fabric
-  Pinner& pinner = p.pinner();
+  Pinner& pinner = p.mutable_pinner();
 
   // (a) min-RTT from the closest region to each ABI.
   std::vector<double> abi_rtts;

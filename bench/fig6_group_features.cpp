@@ -21,7 +21,7 @@ int main() {
       p.campaign().fabric(), classifier,
       [&](Asn asn) { return p.cone_of(asn); },
       [&](const InferredSegment& segment) {
-        return p.pinner().segment_rtt_diff(segment);
+        return p.mutable_pinner().segment_rtt_diff(segment);
       },
       p.pinning());
 

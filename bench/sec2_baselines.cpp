@@ -58,7 +58,7 @@ int main() {
   inputs.annotator = &annotator;
   inputs.peeringdb = &p.peeringdb();
   inputs.world = &p.world();
-  inputs.rtts = &p.rtts();
+  inputs.rtts = &p.mutable_rtts();
   inputs.vps = &p.campaign().vantage_points();
   ConstrainedFacilitySearch cfs(inputs);
   const CfsResult cfs_result = cfs.run();

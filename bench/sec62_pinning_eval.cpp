@@ -18,7 +18,7 @@ int main() {
   const AnchorSet& anchors = p.anchors();
 
   const CrossValidationResult cv =
-      cross_validate(p.pinner(), anchors, /*folds=*/10, 0.3, 29);
+      cross_validate(p.mutable_pinner(), anchors, /*folds=*/10, 0.3, 29);
   std::printf("cross-validation (%d folds, 70-30 stratified):\n", cv.folds);
   std::printf("  precision %.2f%% ± %.4f (paper 99.34%% ± 0.0016)\n",
               100.0 * cv.precision_mean, cv.precision_std);
@@ -57,7 +57,7 @@ int main() {
   inputs.dns = &p.dns();
   inputs.aliases = &p.alias_sets();
   inputs.world = &p.world();
-  inputs.rtts = &p.rtts();
+  inputs.rtts = &p.mutable_rtts();
   inputs.vps = &p.campaign().vantage_points();
   for (const double threshold : {0.5, 1.0, 2.0, 4.0, 8.0}) {
     PinningOptions options;

@@ -6,9 +6,19 @@
 //   cloudmap_cli analyze  [seed] [file]   load a saved fabric and report
 //   cloudmap_cli all      [seed]          everything in one process
 //
-// `--threads N` anywhere on the line sets the campaign worker count
-// (0 = one per hardware thread, the default; results are identical for
-// every value). With no arguments it runs `all 7`.
+// Shared flags (parsed by cloudmap::options_from_env_and_args, so the CLI,
+// the examples, and the benches agree on validation and precedence):
+//   --threads N          campaign worker count (0 = one per hardware thread,
+//                        the default; results are identical for every value)
+//   --metrics-json PATH  write the per-stage metrics artifact after the run
+//                        (campaign/all run the FULL pipeline — VPI detection
+//                        and pinning included — so the artifact covers every
+//                        stage; the saved fabric is unaffected)
+//   --metrics-csv PATH   same accounting as flat stage,metric,value rows
+//   --no-metrics         disable metrics collection entirely
+//   CLOUDMAP_THREADS / CLOUDMAP_METRICS_JSON environment equivalents
+//
+// With no arguments it runs `all 7`.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -17,6 +27,7 @@
 
 #include "analysis/graph.h"
 #include "analysis/grouping.h"
+#include "core/options.h"
 #include "core/pipeline.h"
 #include "io/serialize.h"
 
@@ -56,16 +67,42 @@ int cmd_worldgen(std::uint64_t seed) {
   return issue.empty() ? 0 : 1;
 }
 
-PipelineOptions make_options(int threads) {
-  PipelineOptions options;
-  options.campaign.threads = threads;
-  return options;
+// Write the metrics artifacts the front end asked for; 0 on success.
+int emit_metrics(const Pipeline& pipeline, const FrontendOptions& front) {
+  if (!front.metrics_json.empty()) {
+    std::ofstream out(front.metrics_json);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", front.metrics_json.c_str());
+      return 1;
+    }
+    pipeline.write_metrics_json(out);
+    std::printf("metrics: wrote %s (%zu stages)\n",
+                front.metrics_json.c_str(), pipeline.reports().size());
+  }
+  if (!front.metrics_csv.empty()) {
+    std::ofstream out(front.metrics_csv);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", front.metrics_csv.c_str());
+      return 1;
+    }
+    pipeline.write_metrics_csv(out);
+    std::printf("metrics: wrote %s\n", front.metrics_csv.c_str());
+  }
+  return 0;
 }
 
-int cmd_campaign(std::uint64_t seed, const std::string& path, int threads) {
+int cmd_campaign(std::uint64_t seed, const std::string& path,
+                 const FrontendOptions& front) {
   const World world = make_world(seed);
-  Pipeline pipeline(world, make_options(threads));
-  pipeline.alias_verification();  // both rounds + §5 verification
+  Pipeline pipeline(world, front.pipeline);
+  if (front.metrics_json.empty() && front.metrics_csv.empty()) {
+    pipeline.run_until(StageId::kAliasVerification);  // rounds + §5
+  } else {
+    // A metrics artifact was requested: run every stage so the report
+    // covers the whole pipeline. VPI detection and pinning never modify
+    // the fabric, so the file written below is byte-identical either way.
+    pipeline.run_all();
+  }
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -77,10 +114,11 @@ int cmd_campaign(std::uint64_t seed, const std::string& path, int threads) {
   std::printf("  round1 left-cloud %.1f%%, %llu traceroutes\n",
               100.0 * pipeline.round1().left_cloud_fraction(),
               static_cast<unsigned long long>(pipeline.round1().traceroutes));
-  return 0;
+  return emit_metrics(pipeline, front);
 }
 
-int cmd_analyze(std::uint64_t seed, const std::string& path, int threads) {
+int cmd_analyze(std::uint64_t seed, const std::string& path,
+                const FrontendOptions& front) {
   const World world = make_world(seed);
   std::ifstream in(path);
   if (!in) {
@@ -95,7 +133,7 @@ int cmd_analyze(std::uint64_t seed, const std::string& path, int threads) {
 
   // Datasets rebuild deterministically from the same seed, so offline
   // analysis matches the collection run.
-  Pipeline pipeline(world, make_options(threads));
+  Pipeline pipeline(world, front.pipeline);
   Annotator annotator = pipeline.annotator();
   annotator.set_snapshot(&pipeline.snapshot_round2());
   PeeringClassifier classifier(&annotator, &pipeline.snapshot_round2(),
@@ -115,46 +153,34 @@ int cmd_analyze(std::uint64_t seed, const std::string& path, int threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Pull `--threads N` out of the argument list; the rest stay positional.
-  int threads = 0;
-  std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--threads") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --threads requires a value\n");
-        return 2;
-      }
-      char* end = nullptr;
-      const long value = std::strtol(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || value < 0) {
-        std::fprintf(stderr,
-                     "error: --threads expects a non-negative integer, "
-                     "got '%s'\n",
-                     argv[i]);
-        return 2;
-      }
-      threads = static_cast<int>(value);
-    } else {
-      args.push_back(arg);
-    }
+  const FrontendOptions front = options_from_env_and_args(argc, argv);
+  if (!front.ok()) {
+    std::fprintf(stderr, "%s\n", front.error.c_str());
+    return 2;
   }
+  const std::vector<std::string>& args = front.positional;
   const std::string command = !args.empty() ? args[0] : "all";
   const std::uint64_t seed =
       args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 7;
   const std::string path = args.size() > 2 ? args[2] : "cloudmap_fabric.txt";
 
   if (command == "worldgen") return cmd_worldgen(seed);
-  if (command == "campaign") return cmd_campaign(seed, path, threads);
-  if (command == "analyze") return cmd_analyze(seed, path, threads);
+  if (command == "campaign") return cmd_campaign(seed, path, front);
+  if (command == "analyze") return cmd_analyze(seed, path, front);
   if (command == "all") {
     if (const int rc = cmd_worldgen(seed)) return rc;
-    if (const int rc = cmd_campaign(seed, path, threads)) return rc;
-    return cmd_analyze(seed, path, threads);
+    if (const int rc = cmd_campaign(seed, path, front)) return rc;
+    // The campaign pipeline already wrote the metrics artifact; analysis
+    // reloads the fabric without re-running stages.
+    FrontendOptions analyze_front = front;
+    analyze_front.metrics_json.clear();
+    analyze_front.metrics_csv.clear();
+    return cmd_analyze(seed, path, analyze_front);
   }
   std::fprintf(stderr,
                "usage: %s [worldgen|campaign|analyze|all] [seed] [file] "
-               "[--threads N]\n",
+               "[--threads N] [--metrics-json PATH] [--metrics-csv PATH] "
+               "[--no-metrics]\n",
                argv[0]);
   return 2;
 }

@@ -4,17 +4,23 @@
 #include <cstdio>
 
 #include "bdrmap/bdrmap.h"
+#include "core/options.h"
 #include "core/pipeline.h"
 
 using namespace cloudmap;
 
-int main() {
+int main(int argc, char** argv) {
+  const FrontendOptions front = options_from_env_and_args(argc, argv);
+  if (!front.ok()) {
+    std::fprintf(stderr, "%s\n", front.error.c_str());
+    return 2;
+  }
   GeneratorConfig config = GeneratorConfig::small();
   config.seed = 123;
   const World world = generate_world(config);
 
-  Pipeline pipeline(world);
-  pipeline.alias_verification();
+  Pipeline pipeline(world, front.pipeline);
+  pipeline.run_until(StageId::kAliasVerification);
 
   Bdrmap bdrmap(world, pipeline.forwarder(), pipeline.snapshot_round2(),
                 pipeline.as2org(), CloudProvider::kAmazon);

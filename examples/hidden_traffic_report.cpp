@@ -7,15 +7,21 @@
 
 #include "analysis/dns_evidence.h"
 #include "analysis/grouping.h"
+#include "core/options.h"
 #include "core/pipeline.h"
 
 using namespace cloudmap;
 
-int main() {
+int main(int argc, char** argv) {
+  const FrontendOptions front = options_from_env_and_args(argc, argv);
+  if (!front.ok()) {
+    std::fprintf(stderr, "%s\n", front.error.c_str());
+    return 2;
+  }
   GeneratorConfig config = GeneratorConfig::small();
   config.seed = 9;
   const World world = generate_world(config);
-  Pipeline pipeline(world);
+  Pipeline pipeline(world, front.pipeline);
   pipeline.run_all();
 
   const PeeringClassifier classifier = pipeline.classifier();

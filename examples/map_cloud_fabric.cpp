@@ -11,11 +11,17 @@
 #include <set>
 
 #include "analysis/grouping.h"
+#include "core/options.h"
 #include "core/pipeline.h"
 
 using namespace cloudmap;
 
-int main() {
+int main(int argc, char** argv) {
+  const FrontendOptions front = options_from_env_and_args(argc, argv);
+  if (!front.ok()) {
+    std::fprintf(stderr, "%s\n", front.error.c_str());
+    return 2;
+  }
   GeneratorConfig config = GeneratorConfig::paper_shape();
   config.seed = 2026;
   const World world = generate_world(config);
@@ -23,7 +29,7 @@ int main() {
               world.ases.size(), world.routers.size(),
               world.interconnects.size());
 
-  Pipeline pipeline(world);
+  Pipeline pipeline(world, front.pipeline);
   pipeline.run_all();
   std::printf("campaign done: %zu segments, %zu CBIs, %zu peer ASes\n",
               pipeline.campaign().fabric().segments().size(),
@@ -88,5 +94,15 @@ int main() {
   std::printf("ground truth check: %.0f%% of discoverable interconnects "
               "found at router level (%.0f%% exact interface)\n",
               100.0 * score.router_recall(), 100.0 * score.recall());
+
+  if (!front.metrics_json.empty()) {
+    std::ofstream out(front.metrics_json);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", front.metrics_json.c_str());
+      return 1;
+    }
+    pipeline.write_metrics_json(out);
+    std::printf("metrics: wrote %s\n", front.metrics_json.c_str());
+  }
   return 0;
 }

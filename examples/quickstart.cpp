@@ -2,11 +2,18 @@
 // fabric end to end, and print the headline numbers — the 60-second tour of
 // the library.
 #include <cstdio>
+#include <fstream>
 
+#include "core/options.h"
 #include "core/pipeline.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cloudmap;
+  const FrontendOptions front = options_from_env_and_args(argc, argv);
+  if (!front.ok()) {
+    std::fprintf(stderr, "%s\n", front.error.c_str());
+    return 2;
+  }
 
   // 1. A small world with every structural feature of the full model.
   GeneratorConfig config = GeneratorConfig::small();
@@ -18,7 +25,7 @@ int main() {
               world.interfaces.size(), world.interconnects.size());
 
   // 2. Run the full measurement + inference pipeline against it.
-  Pipeline pipeline(world);
+  Pipeline pipeline(world, front.pipeline);
   pipeline.run_all();
 
   const RoundStats& round1 = pipeline.round1();
@@ -58,5 +65,22 @@ int main() {
               100.0 * score.recall(), 100.0 * score.router_recall(),
               100.0 * score.precision(), 100.0 * score.router_precision(),
               score.discovered, score.discoverable_interconnects);
+
+  // 4. Every stage left a report behind; --metrics-json saves the full
+  // artifact for diffing across runs or thread counts.
+  std::printf("\nstage           wall_ms   probes\n");
+  for (const StageReport& report : pipeline.reports()) {
+    std::printf("%-18s %6.1f %8llu\n", to_string(report.id), report.wall_ms,
+                static_cast<unsigned long long>(report.probes));
+  }
+  if (!front.metrics_json.empty()) {
+    std::ofstream out(front.metrics_json);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", front.metrics_json.c_str());
+      return 1;
+    }
+    pipeline.write_metrics_json(out);
+    std::printf("metrics: wrote %s\n", front.metrics_json.c_str());
+  }
   return 0;
 }

@@ -4,12 +4,18 @@
 // planted ground truth, which the paper never had.
 #include <cstdio>
 
+#include "core/options.h"
 #include "core/pipeline.h"
 #include "vpi/detector.h"
 
 using namespace cloudmap;
 
-int main() {
+int main(int argc, char** argv) {
+  const FrontendOptions front = options_from_env_and_args(argc, argv);
+  if (!front.ok()) {
+    std::fprintf(stderr, "%s\n", front.error.c_str());
+    return 2;
+  }
   GeneratorConfig config = GeneratorConfig::small();
   config.seed = 77;
   // Make VPIs common so the scenario is rich even in a small world.
@@ -17,8 +23,8 @@ int main() {
   config.vpi_shared_port = 0.8;
   const World world = generate_world(config);
 
-  Pipeline pipeline(world);
-  pipeline.alias_verification();  // run the campaign + verification
+  Pipeline pipeline(world, front.pipeline);
+  pipeline.run_until(StageId::kAliasVerification);  // campaign + verification
 
   std::printf("mapped fabric: %zu CBIs\n",
               pipeline.campaign().fabric().unique_cbis().size());

@@ -93,9 +93,15 @@ const std::vector<RouteEntry>& BgpSimulator::routes_to(AsId origin) const {
   if (!ready.load(std::memory_order_acquire)) {
     const std::lock_guard<std::mutex> lock(fill_mutex_);
     if (!ready.load(std::memory_order_relaxed)) {
+      cache_misses_.fetch_add(1, std::memory_order_relaxed);
       compute(origin, cache_[origin.value]);
       ready.store(true, std::memory_order_release);
+    } else {
+      // Another thread computed the table while we waited for the lock.
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
     }
+  } else {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
   }
   return cache_[origin.value];
 }

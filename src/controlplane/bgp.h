@@ -41,6 +41,15 @@ struct RouteEntry {
   bool has_route() const { return route_class != RouteClass::kNone; }
 };
 
+// Route-cache traffic accounting (observability only — never feeds back
+// into routing). A "miss" is a lookup that had to compute the table; every
+// other lookup is a hit, including lookups that waited on another thread's
+// in-flight fill.
+struct BgpCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
 // Per-origin routing state for every AS in the world.
 class BgpSimulator {
  public:
@@ -61,6 +70,13 @@ class BgpSimulator {
 
   const World& world() const { return *world_; }
 
+  // Cumulative cache traffic since construction. Relaxed reads — exact once
+  // the campaign threads have joined, approximate while they run.
+  BgpCacheStats cache_stats() const {
+    return BgpCacheStats{cache_hits_.load(std::memory_order_relaxed),
+                         cache_misses_.load(std::memory_order_relaxed)};
+  }
+
  private:
   void compute(AsId origin, std::vector<RouteEntry>& table) const;
 
@@ -72,6 +88,9 @@ class BgpSimulator {
   mutable std::vector<std::vector<RouteEntry>> cache_;
   mutable std::vector<std::atomic<bool>> cached_;
   mutable std::mutex fill_mutex_;
+  // Padded so the hot hit counter never false-shares with the fill state.
+  alignas(64) mutable std::atomic<std::uint64_t> cache_hits_{0};
+  alignas(64) mutable std::atomic<std::uint64_t> cache_misses_{0};
 };
 
 // A BGP snapshot as seen from a set of collector-feeding ASes: the prefixes

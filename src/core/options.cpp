@@ -1,0 +1,80 @@
+#include "core/options.h"
+
+#include <cstdlib>
+
+namespace cloudmap {
+
+namespace {
+
+// Strict non-negative integer parse; -1 on failure.
+int parse_threads(const std::string& text) {
+  if (text.empty()) return -1;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value < 0) return -1;
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+FrontendOptions options_from_env() {
+  FrontendOptions out;
+  if (const char* env = std::getenv("CLOUDMAP_THREADS")) {
+    const int threads = parse_threads(env);
+    if (threads < 0) {
+      out.error = std::string("CLOUDMAP_THREADS expects a non-negative "
+                              "integer, got '") +
+                  env + "'";
+      return out;
+    }
+    out.pipeline.campaign.threads = threads;
+  }
+  if (const char* env = std::getenv("CLOUDMAP_METRICS_JSON"))
+    out.metrics_json = env;
+  return out;
+}
+
+FrontendOptions options_from_env_and_args(int argc, char** argv) {
+  FrontendOptions out = options_from_env();
+  if (!out.ok()) return out;
+
+  const auto flag_value = [&](int& i, const char* flag,
+                              std::string& into) -> bool {
+    if (i + 1 >= argc) {
+      out.error = std::string("error: ") + flag + " requires a value";
+      return false;
+    }
+    into = argv[++i];
+    return true;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      std::string value;
+      if (!flag_value(i, "--threads", value)) return out;
+      const int threads = parse_threads(value);
+      if (threads < 0) {
+        out.error = "error: --threads expects a non-negative integer, got '" +
+                    value + "'";
+        return out;
+      }
+      out.pipeline.campaign.threads = threads;
+    } else if (arg == "--metrics-json") {
+      if (!flag_value(i, "--metrics-json", out.metrics_json)) return out;
+      out.pipeline.metrics = true;
+    } else if (arg == "--metrics-csv") {
+      if (!flag_value(i, "--metrics-csv", out.metrics_csv)) return out;
+      out.pipeline.metrics = true;
+    } else if (arg == "--no-metrics") {
+      out.pipeline.metrics = false;
+      out.metrics_json.clear();
+      out.metrics_csv.clear();
+    } else {
+      out.positional.push_back(arg);
+    }
+  }
+  return out;
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,38 @@
+// One shared home for the front-end knobs that every binary used to
+// hand-roll: the CLOUDMAP_THREADS environment variable, the --threads flag,
+// and the metrics-artifact plumbing (--metrics-json / --metrics-csv /
+// --no-metrics, CLOUDMAP_METRICS_JSON). Used by cloudmap_cli, the examples,
+// and bench/bench_common.h so validation and precedence rules exist exactly
+// once: environment first, command-line flags override.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace cloudmap {
+
+struct FrontendOptions {
+  PipelineOptions pipeline;
+  // Metrics artifact paths ("" = do not write). From --metrics-json /
+  // --metrics-csv or the CLOUDMAP_METRICS_JSON environment variable.
+  std::string metrics_json;
+  std::string metrics_csv;
+  // Arguments not consumed by a recognized flag, in original order.
+  std::vector<std::string> positional;
+  // Non-empty on a parse/validation failure (unknown value, negative
+  // thread count, missing flag argument); `positional` is then unusable.
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+// Environment-only parsing: CLOUDMAP_THREADS (campaign + VPI worker count,
+// 0 = hardware concurrency) and CLOUDMAP_METRICS_JSON (artifact path).
+FrontendOptions options_from_env();
+
+// Environment first, then flags: --threads N, --metrics-json PATH,
+// --metrics-csv PATH, --no-metrics. Everything else lands in `positional`.
+FrontendOptions options_from_env_and_args(int argc, char** argv);
+
+}  // namespace cloudmap

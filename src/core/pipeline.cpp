@@ -1,10 +1,17 @@
 #include "core/pipeline.h"
 
+#include <chrono>
+#include <ostream>
+#include <string>
+
+#include "obs/emit.h"
+
 namespace cloudmap {
 
 Pipeline::Pipeline(const World& world, PipelineOptions options)
     : world_(&world),
       options_(std::move(options)),
+      metrics_(options_.metrics),
       annotator_(nullptr, nullptr, nullptr, nullptr) {
   bgp_ = std::make_unique<BgpSimulator>(world);
 
@@ -32,6 +39,7 @@ Pipeline::Pipeline(const World& world, PipelineOptions options)
   campaign_ =
       std::make_unique<Campaign>(world, *forwarder_, options_.subject,
                                  campaign_config);
+  campaign_->set_metrics(&metrics_);
   rtts_ = std::make_unique<RttCampaign>(
       *forwarder_, campaign_->vantage_points(), options_.seed + 101);
 
@@ -47,101 +55,257 @@ Pipeline::Pipeline(const World& world, PipelineOptions options)
 
 Pipeline::~Pipeline() = default;
 
-void Pipeline::ensure_round1() {
-  if (round1_) return;
-  annotator_.set_snapshot(&snapshot1_);
-  round1_ = campaign_->run_round1(annotator_);
+// ---------------------------------------------------------------------------
+// The stage graph. One table row per stage: prerequisites and the body.
+// run_until()/run_stage() own staging, memoization, and every metrics hook;
+// the bodies below only do stage work and report stage-specific fields.
+// ---------------------------------------------------------------------------
+
+const std::array<Pipeline::StageDef, kStageCount>& Pipeline::stage_table() {
+  using S = StageId;
+  static const std::array<StageDef, kStageCount> table = {{
+      {S::kRound1, {}, 0, &Pipeline::stage_round1},
+      {S::kRound2, {S::kRound1}, 1, &Pipeline::stage_round2},
+      {S::kHeuristics, {S::kRound2}, 1, &Pipeline::stage_heuristics},
+      {S::kAliasVerification, {S::kHeuristics}, 1, &Pipeline::stage_alias},
+      {S::kVpiDetection, {S::kAliasVerification}, 1, &Pipeline::stage_vpis},
+      {S::kAnchors, {S::kAliasVerification}, 1, &Pipeline::stage_anchors},
+      {S::kPinning, {S::kAnchors}, 1, &Pipeline::stage_pinning},
+  }};
+  return table;
 }
 
-void Pipeline::ensure_round2() {
-  ensure_round1();
-  if (round2_) return;
+void Pipeline::run_until(StageId stage) {
+  const StageDef& def = stage_table()[stage_index(stage)];
+  for (std::size_t d = 0; d < def.dep_count; ++d) run_until(def.deps[d]);
+  run_stage(stage);
+}
+
+void Pipeline::run_stage(StageId stage) {
+  const std::size_t i = stage_index(stage);
+  if (reports_[i]) return;
+
+  StageReport report;
+  report.id = stage;
+  report.threads = options_.campaign.threads;
+
+  const BgpCacheStats bgp_before = bgp_->cache_stats();
+  const auto started = std::chrono::steady_clock::now();
+
+  (this->*stage_table()[i].body)(report);
+
+  if (metrics_.enabled()) {
+    const auto elapsed = std::chrono::steady_clock::now() - started;
+    report.wall_ms =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()) /
+        1e6;
+  }
+  const BgpCacheStats bgp_after = bgp_->cache_stats();
+  report.bgp_cache_hits = bgp_after.hits - bgp_before.hits;
+  report.bgp_cache_misses = bgp_after.misses - bgp_before.misses;
+
+  const std::string prefix = std::string("stage.") + to_string(stage);
+  metrics_.add(prefix + ".runs", 1);
+  if (metrics_.enabled()) {
+    metrics_.add(prefix + ".bgp_cache_hits", report.bgp_cache_hits);
+    metrics_.add(prefix + ".bgp_cache_misses", report.bgp_cache_misses);
+    metrics_.set_gauge(prefix + ".wall_ms", report.wall_ms);
+    if (report.probes > 0) metrics_.add(prefix + ".probes", report.probes);
+  }
+
+  reports_[i] = std::move(report);
+}
+
+void Pipeline::stage_round1(StageReport& report) {
+  annotator_.set_snapshot(&snapshot1_);
+  round1_ = campaign_->run_round1(annotator_);
+  report.targets = round1_->targets;
+  report.traceroutes = round1_->traceroutes;
+  report.probes = round1_->probes;
+  report.workers = campaign_->last_pool_stats().workers;
+  report.worker_utilization = campaign_->last_pool_stats().utilization();
+}
+
+void Pipeline::stage_round2(StageReport& report) {
   // §4.2: expansion probing, annotated against the fresher snapshot.
   annotator_.set_snapshot(&snapshot2_);
   round2_ = campaign_->run_round2(annotator_);
+  report.targets = round2_->targets;
+  report.traceroutes = round2_->traceroutes;
+  report.probes = round2_->probes;
+  report.workers = campaign_->last_pool_stats().workers;
+  report.worker_utilization = campaign_->last_pool_stats().utilization();
 }
 
-void Pipeline::ensure_heuristics() {
-  ensure_round2();
-  if (heuristics_) return;
+void Pipeline::stage_heuristics(StageReport& report) {
   annotator_.set_snapshot(&snapshot2_);
   HeuristicVerifier verifier(*forwarder_, annotator_,
                              campaign_->subject_org(), public_vp_);
   heuristics_ = verifier.apply(campaign_->fabric());
+  const HeuristicCounts& h = *heuristics_;
+  report.tallies = {
+      {"cum_hybrid_abis", static_cast<double>(h.cum_hybrid_abis)},
+      {"cum_ixp_abis", static_cast<double>(h.cum_ixp_abis)},
+      {"cum_reachable_abis", static_cast<double>(h.cum_reachable_abis)},
+      {"hybrid_abis", static_cast<double>(h.hybrid_abis)},
+      {"ixp_abis", static_cast<double>(h.ixp_abis)},
+      {"reachable_abis", static_cast<double>(h.reachable_abis)},
+      {"shifts_applied", static_cast<double>(h.shifts_applied)},
+      {"total_abis", static_cast<double>(h.total_abis)},
+      {"total_cbis", static_cast<double>(h.total_cbis)},
+      {"unconfirmed_abis", static_cast<double>(h.unconfirmed_abis)},
+  };
 }
 
-void Pipeline::ensure_alias() {
-  ensure_heuristics();
-  if (alias_stats_) return;
+void Pipeline::stage_alias(StageReport& report) {
   AliasOptions alias_options = options_.alias;
   alias_options.seed ^= options_.seed;
   alias_verifier_ = std::make_unique<AliasVerifier>(
       *forwarder_, annotator_, campaign_->subject_org(), alias_options);
   alias_stats_ = alias_verifier_->apply(campaign_->fabric(),
                                         campaign_->vantage_points());
+  const AliasVerifyStats& a = *alias_stats_;
+  report.tallies = {
+      {"abi_to_cbi", static_cast<double>(a.abi_to_cbi)},
+      {"abis_in_sets", static_cast<double>(a.abis_in_sets)},
+      {"cbi_to_abi", static_cast<double>(a.cbi_to_abi)},
+      {"cbi_to_cbi", static_cast<double>(a.cbi_to_cbi)},
+      {"cbis_in_sets", static_cast<double>(a.cbis_in_sets)},
+      {"interfaces_in_sets", static_cast<double>(a.interfaces_in_sets)},
+      {"majority_fraction", a.majority_fraction},
+      {"sets", static_cast<double>(a.sets)},
+      {"unanimous_fraction", a.unanimous_fraction},
+  };
 }
 
-void Pipeline::ensure_vpis() {
-  ensure_alias();
-  if (vpis_) return;
+void Pipeline::stage_vpis(StageReport& report) {
   VpiDetector detector(*world_, *forwarder_, annotator_, options_.seed + 31,
                        options_.campaign.threads);
+  detector.set_metrics(&metrics_);
   vpis_ = detector.detect(*campaign_, options_.foreign_clouds);
+  const VpiDetector::Telemetry& telemetry = detector.telemetry();
+  report.traceroutes = telemetry.traceroutes;
+  report.probes = telemetry.probes;
+  report.targets =
+      static_cast<std::uint64_t>(vpis_->target_pool) *
+      telemetry.foreign_campaigns;
+  report.workers = telemetry.pool.workers;
+  report.worker_utilization = telemetry.pool.utilization();
+  report.tallies = {
+      {"subject_cbis", static_cast<double>(vpis_->subject_cbis)},
+      {"target_pool", static_cast<double>(vpis_->target_pool)},
+      {"vpi_cbis", static_cast<double>(vpis_->vpi_cbis.size())},
+  };
+  for (const VpiCloudResult& cloud : vpis_->per_cloud) {
+    report.tallies.emplace_back(
+        std::string("overlap.") + to_string(cloud.provider),
+        static_cast<double>(cloud.overlap));
+  }
 }
 
-void Pipeline::ensure_anchors() {
-  ensure_alias();
-  if (anchors_) return;
-  anchors_ = pinner().identify_anchors();
+void Pipeline::stage_anchors(StageReport& report) {
+  anchors_ = ensure_pinner().identify_anchors();
+  const AnchorSet& a = *anchors_;
+  report.tallies = {
+      {"anchors", static_cast<double>(a.anchors.size())},
+      {"conflict_alias", static_cast<double>(a.conflict_alias)},
+      {"conflict_evidence", static_cast<double>(a.conflict_evidence)},
+      {"dns", static_cast<double>(a.dns)},
+      {"dns_rtt_excluded", static_cast<double>(a.dns_rtt_excluded)},
+      {"ixp", static_cast<double>(a.ixp)},
+      {"ixp_multi_metro_excluded",
+       static_cast<double>(a.ixp_multi_metro_excluded)},
+      {"ixp_remote_excluded", static_cast<double>(a.ixp_remote_excluded)},
+      {"metro_footprint", static_cast<double>(a.metro_footprint)},
+      {"multi_evidence", static_cast<double>(a.multi_evidence)},
+      {"native", static_cast<double>(a.native)},
+  };
 }
 
-void Pipeline::ensure_pinning() {
-  ensure_anchors();
-  if (pinning_) return;
-  pinning_ = pinner().propagate(*anchors_);
-}
-
-const RoundStats& Pipeline::round1() {
-  ensure_round1();
-  return *round1_;
-}
-const RoundStats& Pipeline::round2() {
-  ensure_round2();
-  return *round2_;
-}
-const HeuristicCounts& Pipeline::heuristics() {
-  ensure_heuristics();
-  return *heuristics_;
-}
-const AliasVerifyStats& Pipeline::alias_verification() {
-  ensure_alias();
-  return *alias_stats_;
-}
-const VpiDetectionResult& Pipeline::vpis() {
-  ensure_vpis();
-  return *vpis_;
-}
-const AnchorSet& Pipeline::anchors() {
-  ensure_anchors();
-  return *anchors_;
-}
-const PinningResult& Pipeline::pinning() {
-  ensure_pinning();
-  return *pinning_;
+void Pipeline::stage_pinning(StageReport& report) {
+  pinning_ = ensure_pinner().propagate(*anchors_);
+  const PinningResult& p = *pinning_;
+  report.tallies = {
+      {"pinned", static_cast<double>(p.pins.size())},
+      {"pinned_by_alias", static_cast<double>(p.pinned_by_alias)},
+      {"pinned_by_rtt", static_cast<double>(p.pinned_by_rtt)},
+      {"propagation_conflicts", static_cast<double>(p.propagation_conflicts)},
+      {"regional", static_cast<double>(p.regional.size())},
+      {"regional_by_ratio", static_cast<double>(p.regional_by_ratio)},
+      {"regional_single_visibility",
+       static_cast<double>(p.regional_single_visibility)},
+      {"rounds", static_cast<double>(p.rounds)},
+  };
 }
 
 void Pipeline::run_all() {
-  ensure_vpis();
-  ensure_pinning();
+  run_until(StageId::kVpiDetection);
+  run_until(StageId::kPinning);
+}
+
+std::vector<StageReport> Pipeline::reports() const {
+  std::vector<StageReport> out;
+  for (const StageId stage : all_stages()) {
+    if (const StageReport* report = this->report(stage))
+      out.push_back(*report);
+  }
+  return out;
+}
+
+void Pipeline::write_metrics_json(std::ostream& out) const {
+  MetricsMeta meta;
+  meta.seed = options_.seed;
+  meta.threads = options_.campaign.threads;
+  meta.subject = to_string(options_.subject);
+  cloudmap::write_metrics_json(out, meta, reports(), metrics_);
+}
+
+void Pipeline::write_metrics_csv(std::ostream& out) const {
+  cloudmap::write_metrics_csv(out, reports());
+}
+
+// ---------------------------------------------------------------------------
+// Artifact accessors (each runs its prerequisites on demand).
+// ---------------------------------------------------------------------------
+
+const RoundStats& Pipeline::round1() {
+  run_until(StageId::kRound1);
+  return *round1_;
+}
+const RoundStats& Pipeline::round2() {
+  run_until(StageId::kRound2);
+  return *round2_;
+}
+const HeuristicCounts& Pipeline::heuristics() {
+  run_until(StageId::kHeuristics);
+  return *heuristics_;
+}
+const AliasVerifyStats& Pipeline::alias_verification() {
+  run_until(StageId::kAliasVerification);
+  return *alias_stats_;
+}
+const VpiDetectionResult& Pipeline::vpis() {
+  run_until(StageId::kVpiDetection);
+  return *vpis_;
+}
+const AnchorSet& Pipeline::anchors() {
+  run_until(StageId::kAnchors);
+  return *anchors_;
+}
+const PinningResult& Pipeline::pinning() {
+  run_until(StageId::kPinning);
+  return *pinning_;
 }
 
 const AliasSets& Pipeline::alias_sets() {
-  ensure_alias();
+  run_until(StageId::kAliasVerification);
   return alias_verifier_->sets();
 }
 
-Pinner& Pipeline::pinner() {
-  ensure_alias();
+Pinner& Pipeline::ensure_pinner() {
+  run_until(StageId::kAliasVerification);
   if (!pinner_) {
     Pinner::Inputs inputs;
     inputs.fabric = &campaign_->fabric();
@@ -156,6 +320,10 @@ Pinner& Pipeline::pinner() {
   }
   return *pinner_;
 }
+
+const Pinner& Pipeline::pinner() { return ensure_pinner(); }
+
+Pinner& Pipeline::mutable_pinner() { return ensure_pinner(); }
 
 PeeringClassifier Pipeline::classifier() {
   const std::unordered_set<std::uint32_t>* vpi_set =
@@ -220,7 +388,7 @@ InferenceScore Pipeline::score() const {
 }
 
 std::unordered_set<std::uint32_t> Pipeline::peer_asns() {
-  ensure_alias();
+  run_until(StageId::kAliasVerification);
   std::unordered_set<std::uint32_t> out;
   const PeeringClassifier cls = classifier();
   for (const InferredSegment& segment : campaign_->fabric().segments()) {

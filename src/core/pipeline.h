@@ -1,13 +1,20 @@
 // The one-call facade over the whole reproduction: builds the measurement
 // substrate views (BGP snapshots, WHOIS, AS2ORG, PeeringDB, DNS), runs the
-// two traceroute rounds, the §5 verification, the §6 pinning, the §7.1 VPI
-// detection, and exposes the analysis products each bench/table needs.
+// two traceroute rounds, the §5 verification, the §6 pinning, and the §7.1
+// VPI detection, and exposes the analysis products each bench/table needs.
 //
-// Stages are lazy and memoized: ask for a late-stage artifact and every
-// prerequisite runs exactly once. Examples use run_all(); benches can drive
-// stages individually.
+// Execution is organized as a table-driven stage graph keyed by StageId
+// (obs/stage_report.h). Stages are lazy and memoized: run_until(stage) — or
+// any artifact accessor — runs every prerequisite exactly once. Each stage
+// that runs leaves a StageReport (wall time, probe counts, BGP route-cache
+// traffic, worker utilization, heuristic tallies) behind, and the whole run
+// can be emitted as a JSON/CSV metrics artifact. Metrics are observational
+// only: results are bit-identical with metrics on or off, at any thread
+// count (enforced by the ParallelCampaign tests).
 #pragma once
 
+#include <array>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 
@@ -27,6 +34,8 @@
 #include "infer/alias_verify.h"
 #include "infer/campaign.h"
 #include "infer/heuristics.h"
+#include "obs/metrics.h"
+#include "obs/stage_report.h"
 #include "pinning/evaluate.h"
 #include "pinning/pinning.h"
 #include "topology/generator.h"
@@ -48,6 +57,9 @@ struct PipelineOptions {
   std::vector<CloudProvider> foreign_clouds = {
       CloudProvider::kMicrosoft, CloudProvider::kGoogle, CloudProvider::kIbm,
       CloudProvider::kOracle};
+  // Collect per-stage metrics (wall clocks, registry counters, pool stats).
+  // Purely observational: inference outputs are identical either way.
+  bool metrics = true;
 };
 
 // Ground-truth scoring of the inferred fabric (only possible because the
@@ -98,7 +110,31 @@ class Pipeline {
   Pipeline(const Pipeline&) = delete;
   Pipeline& operator=(const Pipeline&) = delete;
 
-  // --- staged execution (each memoized) ---
+  // --- staged execution (table-driven, each stage memoized) ---
+  // Run `stage` and every prerequisite, each exactly once; repeated calls
+  // are no-ops.
+  void run_until(StageId stage);
+  void run_all();
+  bool stage_ran(StageId stage) const {
+    return reports_[stage_index(stage)].has_value();
+  }
+  // The stage's accounting, or nullptr if it has not run yet.
+  const StageReport* report(StageId stage) const {
+    const auto& slot = reports_[stage_index(stage)];
+    return slot ? &*slot : nullptr;
+  }
+  // Reports of every stage that ran, in canonical order.
+  std::vector<StageReport> reports() const;
+
+  // --- observability ---
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  // Emit the metrics artifact for the stages run so far (schema documented
+  // in obs/emit.h; validated in CI against tools/metrics_schema.json).
+  void write_metrics_json(std::ostream& out) const;
+  void write_metrics_csv(std::ostream& out) const;
+
+  // --- stage artifacts (running prerequisites on demand) ---
   const RoundStats& round1();
   const RoundStats& round2();
   const HeuristicCounts& heuristics();          // §5.1
@@ -106,9 +142,11 @@ class Pipeline {
   const VpiDetectionResult& vpis();             // §7.1
   const AnchorSet& anchors();                   // §6.1
   const PinningResult& pinning();               // §6.1
-  void run_all();
+  const AliasSets& alias_sets();
 
   // --- components (prepared on construction) ---
+  // Accessors are const; mutation is explicit via the mutable_* variants so
+  // benches cannot silently perturb a memoized stage.
   const World& world() const { return *world_; }
   const Forwarder& forwarder() const { return *forwarder_; }
   const BgpSimulator& bgp() const { return *bgp_; }
@@ -118,13 +156,19 @@ class Pipeline {
   const As2Org& as2org() const { return as2org_; }
   const PeeringDb& peeringdb() const { return peeringdb_; }
   const DnsRegistry& dns() const { return dns_; }
-  Campaign& campaign() { return *campaign_; }
+  const Campaign& campaign() const { return *campaign_; }
+  Campaign& mutable_campaign() { return *campaign_; }
   const Annotator& annotator() const { return annotator_; }
-  const AliasSets& alias_sets();
-  Pinner& pinner();
-  RttCampaign& rtts() { return *rtts_; }
+  const RttCampaign& rtts() const { return *rtts_; }
+  RttCampaign& mutable_rtts() { return *rtts_; }
   const VantagePoint& public_vantage() const { return public_vp_; }
   const std::vector<Asn>& subject_asns() const { return subject_asns_; }
+
+  // The pinner is built lazily on top of the §5.2 alias sets, so both
+  // accessors run prerequisites; only mutable_pinner() hands out a reference
+  // that can re-measure RTTs or re-run pinning stages.
+  const Pinner& pinner();
+  Pinner& mutable_pinner();
 
   // Classifier over the verified fabric (valid once vpis() has run; before
   // that the VPI axis is empty).
@@ -142,16 +186,30 @@ class Pipeline {
   const PipelineOptions& options() const { return options_; }
 
  private:
-  void ensure_round1();
-  void ensure_round2();
-  void ensure_heuristics();
-  void ensure_alias();
-  void ensure_vpis();
-  void ensure_anchors();
-  void ensure_pinning();
+  // One row of the stage graph: prerequisites plus the stage body. Staging,
+  // memoization, and metrics hooks all live in run_until(); bodies only do
+  // the stage's work and fill in stage-specific report fields.
+  struct StageDef {
+    StageId id;
+    std::array<StageId, 2> deps;
+    std::size_t dep_count;
+    void (Pipeline::*body)(StageReport& report);
+  };
+  static const std::array<StageDef, kStageCount>& stage_table();
+
+  void run_stage(StageId stage);
+  void stage_round1(StageReport& report);
+  void stage_round2(StageReport& report);
+  void stage_heuristics(StageReport& report);
+  void stage_alias(StageReport& report);
+  void stage_vpis(StageReport& report);
+  void stage_anchors(StageReport& report);
+  void stage_pinning(StageReport& report);
+  Pinner& ensure_pinner();
 
   const World* world_;
   PipelineOptions options_;
+  MetricsRegistry metrics_;
 
   // Control-plane views.
   std::unique_ptr<BgpSimulator> bgp_;
@@ -172,7 +230,9 @@ class Pipeline {
 
   Annotator annotator_;
 
-  // Stage artifacts.
+  // Stage artifacts; reports_ doubles as the memoization state (a stage ran
+  // iff its report slot is filled).
+  std::array<std::optional<StageReport>, kStageCount> reports_;
   std::optional<RoundStats> round1_;
   std::optional<RoundStats> round2_;
   std::optional<HeuristicCounts> heuristics_;

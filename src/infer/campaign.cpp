@@ -82,6 +82,9 @@ Campaign::SweepChunkResult Campaign::sweep_chunk(
 
 RoundStats Campaign::sweep(const Annotator& annotator,
                            const std::vector<Ipv4>& targets, int round) {
+  const bool metered = metrics_ != nullptr && metrics_->enabled();
+  const MetricsRegistry::ScopedTimer sweep_timer(
+      metered ? metrics_ : nullptr, "campaign.sweep");
   RoundStats stats;
   stats.targets = targets.size();
   const std::uint64_t sweep_index = sweep_counter_++;
@@ -105,12 +108,15 @@ RoundStats Campaign::sweep(const Annotator& annotator,
     }
   }
 
-  std::vector<SweepChunkResult> results =
-      parallel_transform(items.size(), config_.threads, [&](std::size_t i) {
+  last_pool_stats_ = PoolStats{};
+  std::vector<SweepChunkResult> results = parallel_transform(
+      items.size(), config_.threads,
+      [&](std::size_t i) {
         const WorkItem& item = items[i];
         return sweep_chunk(annotator, targets, item.vp, item.begin, item.end,
                            item.chunk, sweep_index);
-      });
+      },
+      metered ? &last_pool_stats_ : nullptr);
 
   // Merge on the calling thread, in work-item order: segment insertion order
   // (and with it prior/post-hop freshness and destination sampling) matches
@@ -123,6 +129,12 @@ RoundStats Campaign::sweep(const Annotator& annotator,
       fabric_.add_adjacency(Ipv4(from), Ipv4(to));
     for (const CandidateSegment& segment : result.segments)
       fabric_.add_segment(segment, round);
+  }
+  if (metered) {
+    metrics_->add("campaign.sweeps");
+    metrics_->add("campaign.targets", stats.targets);
+    metrics_->add("campaign.traceroutes", stats.traceroutes);
+    metrics_->add("campaign.probes", stats.probes);
   }
   return stats;
 }

@@ -21,6 +21,8 @@
 #include "dataplane/traceroute.h"
 #include "infer/annotate.h"
 #include "infer/fabric.h"
+#include "obs/metrics.h"
+#include "util/parallel.h"
 
 namespace cloudmap {
 
@@ -89,6 +91,16 @@ class Campaign {
 
   Fabric& fabric() { return fabric_; }
   const Fabric& fabric() const { return fabric_; }
+
+  // Attach a metrics registry (may be null). When attached and enabled,
+  // sweeps record probe/traceroute counters, a "campaign.sweep" timer, and
+  // per-sweep pool statistics; none of it perturbs results.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  // Worker-pool accounting of the most recent sweep. Zeroed when metrics
+  // are detached or disabled.
+  const PoolStats& last_pool_stats() const { return last_pool_stats_; }
+
   CloudProvider subject() const { return subject_; }
   OrgId subject_org() const { return subject_org_; }
   const std::vector<VantagePoint>& vantage_points() const { return vps_; }
@@ -136,6 +148,8 @@ class Campaign {
   std::uint64_t sweep_counter_ = 0;  // distinguishes RNG streams per sweep
   std::vector<VantagePoint> vps_;
   Fabric fabric_;
+  MetricsRegistry* metrics_ = nullptr;
+  PoolStats last_pool_stats_;
 };
 
 }  // namespace cloudmap

@@ -1,0 +1,148 @@
+#include "obs/emit.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace cloudmap {
+
+namespace {
+
+// Shortest double representation that round-trips (%.17g is exact but ugly;
+// try increasing precision until the value survives a parse).
+std::string format_double(double value) {
+  char buffer[64];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+void write_stage_json(std::ostream& out, const StageReport& report,
+                      const char* indent) {
+  out << indent << "\"" << to_string(report.id) << "\": {\n";
+  out << indent << "  \"wall_ms\": " << format_double(report.wall_ms) << ",\n";
+  out << indent << "  \"threads\": " << report.threads << ",\n";
+  out << indent << "  \"workers\": " << report.workers << ",\n";
+  out << indent << "  \"worker_utilization\": "
+      << format_double(report.worker_utilization) << ",\n";
+  out << indent << "  \"targets\": " << report.targets << ",\n";
+  out << indent << "  \"traceroutes\": " << report.traceroutes << ",\n";
+  out << indent << "  \"probes\": " << report.probes << ",\n";
+  out << indent << "  \"bgp_cache_hits\": " << report.bgp_cache_hits << ",\n";
+  out << indent << "  \"bgp_cache_misses\": " << report.bgp_cache_misses
+      << ",\n";
+  out << indent << "  \"tallies\": {";
+  bool first = true;
+  for (const auto& [name, value] : report.tallies) {
+    out << (first ? "\n" : ",\n") << indent << "    \"" << json_escape(name)
+        << "\": " << format_double(value);
+    first = false;
+  }
+  if (!first) out << "\n" << indent << "  ";
+  out << "}\n" << indent << "}";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_metrics_json(std::ostream& out, const MetricsMeta& meta,
+                        const std::vector<StageReport>& stages,
+                        const MetricsRegistry& registry) {
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"tool\": \"cloudmap\",\n";
+  out << "  \"seed\": " << meta.seed << ",\n";
+  out << "  \"threads\": " << meta.threads << ",\n";
+  out << "  \"subject\": \"" << json_escape(meta.subject) << "\",\n";
+
+  out << "  \"stages\": {";
+  bool first = true;
+  for (const StageReport& report : stages) {
+    out << (first ? "\n" : ",\n");
+    write_stage_json(out, report, "    ");
+    first = false;
+  }
+  if (!first) out << "\n  ";
+  out << "},\n";
+
+  const MetricsRegistry::Snapshot snap = registry.snapshot();
+  out << "  \"counters\": {";
+  first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": " << value;
+    first = false;
+  }
+  if (!first) out << "\n  ";
+  out << "},\n";
+
+  out << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": " << format_double(value);
+    first = false;
+  }
+  if (!first) out << "\n  ";
+  out << "},\n";
+
+  out << "  \"timers\": {";
+  first = true;
+  for (const auto& row : snap.timers) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(row.name)
+        << "\": {\"total_ms\": "
+        << format_double(static_cast<double>(row.total_ns) / 1e6)
+        << ", \"count\": " << row.count << "}";
+    first = false;
+  }
+  if (!first) out << "\n  ";
+  out << "}\n";
+  out << "}\n";
+}
+
+void write_metrics_csv(std::ostream& out,
+                       const std::vector<StageReport>& stages) {
+  out << "stage,metric,value\n";
+  for (const StageReport& report : stages) {
+    const char* stage = to_string(report.id);
+    out << stage << ",wall_ms," << format_double(report.wall_ms) << "\n";
+    out << stage << ",threads," << report.threads << "\n";
+    out << stage << ",workers," << report.workers << "\n";
+    out << stage << ",worker_utilization,"
+        << format_double(report.worker_utilization) << "\n";
+    out << stage << ",targets," << report.targets << "\n";
+    out << stage << ",traceroutes," << report.traceroutes << "\n";
+    out << stage << ",probes," << report.probes << "\n";
+    out << stage << ",bgp_cache_hits," << report.bgp_cache_hits << "\n";
+    out << stage << ",bgp_cache_misses," << report.bgp_cache_misses << "\n";
+    for (const auto& [name, value] : report.tallies)
+      out << stage << ",tally." << name << "," << format_double(value) << "\n";
+  }
+}
+
+}  // namespace cloudmap

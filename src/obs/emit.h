@@ -1,0 +1,54 @@
+// Machine-readable emitters for the observability layer: one JSON artifact
+// (schema below, validated in CI against tools/metrics_schema.json) and a
+// flat CSV for spreadsheet-style diffing.
+//
+// JSON schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "tool": "cloudmap",
+//     "seed": <u64>, "threads": <int>, "subject": "<cloud>",
+//     "stages": {
+//       "<stage>": {            // only stages that ran; canonical order
+//         "wall_ms": <double>, "threads": <int>, "workers": <uint>,
+//         "worker_utilization": <double>,
+//         "targets": <u64>, "traceroutes": <u64>, "probes": <u64>,
+//         "bgp_cache_hits": <u64>, "bgp_cache_misses": <u64>,
+//         "tallies": { "<name>": <double>, ... }
+//       }, ...
+//     },
+//     "counters": { "<name>": <u64>, ... },
+//     "gauges":   { "<name>": <double>, ... },
+//     "timers":   { "<name>": {"total_ms": <double>, "count": <u64>}, ... }
+//   }
+//
+// CSV: `stage,metric,value` rows, one per numeric field and tally.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/stage_report.h"
+
+namespace cloudmap {
+
+// Run-level context stamped into the artifact header.
+struct MetricsMeta {
+  std::uint64_t seed = 0;
+  int threads = 0;
+  std::string subject;
+};
+
+void write_metrics_json(std::ostream& out, const MetricsMeta& meta,
+                        const std::vector<StageReport>& stages,
+                        const MetricsRegistry& registry);
+
+void write_metrics_csv(std::ostream& out,
+                       const std::vector<StageReport>& stages);
+
+// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(std::string_view text);
+
+}  // namespace cloudmap

@@ -1,0 +1,81 @@
+#include "obs/metrics.h"
+
+namespace cloudmap {
+
+MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_[std::string(name)];
+}
+
+MetricsRegistry::Timer& MetricsRegistry::timer(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = timers_.find(name);
+  if (it != timers_.end()) return it->second;
+  return timers_[std::string(name)];
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  if (!enabled_) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    it->second = value;
+  } else {
+    gauges_.emplace(std::string(name), value);
+  }
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end()
+             ? 0
+             : it->second.value.load(std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsRegistry::timer_total_ns(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = timers_.find(name);
+  return it == timers_.end()
+             ? 0
+             : it->second.total_ns.load(std::memory_order_relaxed);
+}
+
+std::uint64_t MetricsRegistry::timer_count(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = timers_.find(name);
+  return it == timers_.end()
+             ? 0
+             : it->second.count.load(std::memory_order_relaxed);
+}
+
+std::optional<double> MetricsRegistry::gauge(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  return it->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_)
+    out.counters.emplace_back(name,
+                              counter.value.load(std::memory_order_relaxed));
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, value] : gauges_) out.gauges.emplace_back(name, value);
+  out.timers.reserve(timers_.size());
+  for (const auto& [name, timer] : timers_) {
+    Snapshot::TimerRow row;
+    row.name = name;
+    row.total_ns = timer.total_ns.load(std::memory_order_relaxed);
+    row.count = timer.count.load(std::memory_order_relaxed);
+    out.timers.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,123 @@
+// Lock-cheap metrics primitives for the pipeline's observability layer:
+// monotonic counters, last-write-wins gauges, and scoped wall-clock timers
+// whose totals aggregate across threads.
+//
+// Design contract (what keeps this safe to sprinkle into hot paths):
+//   * Handles (`Counter&`, `Timer&`) are stable for the registry's lifetime —
+//     resolve a name once outside a loop, then bump the atomic inside it.
+//     Name resolution takes a mutex; bumps are relaxed atomic adds.
+//   * A disabled registry turns `add()`, `set_gauge()`, and `ScopedTimer`
+//     into no-ops, so instrumented code needs no #ifdefs.
+//   * Metrics are observational only. Nothing in this module may feed back
+//     into inference: fabrics, round stats, and scores are bit-identical
+//     with metrics on or off, at every thread count (the ParallelCampaign
+//     identity tests enforce this).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cloudmap {
+
+class MetricsRegistry {
+ public:
+  // A monotonic counter. Bumping is a relaxed atomic add — safe from any
+  // thread, never a lock.
+  struct Counter {
+    std::atomic<std::uint64_t> value{0};
+    void add(std::uint64_t delta = 1) {
+      value.fetch_add(delta, std::memory_order_relaxed);
+    }
+  };
+
+  // Accumulated wall-clock time. Many threads may time against the same
+  // Timer concurrently; totals are the sum over all of them.
+  struct Timer {
+    std::atomic<std::uint64_t> total_ns{0};
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  // Stable handles, created on first use. Note: handles bypass the enabled
+  // gate — hot paths that cache a handle should check enabled() themselves.
+  Counter& counter(std::string_view name);
+  Timer& timer(std::string_view name);
+
+  // Gated conveniences (no-ops when disabled).
+  void add(std::string_view name, std::uint64_t delta = 1) {
+    if (enabled_) counter(name).add(delta);
+  }
+  void set_gauge(std::string_view name, double value);
+
+  // Reads (0 / nullopt for names never touched).
+  std::uint64_t counter_value(std::string_view name) const;
+  std::uint64_t timer_total_ns(std::string_view name) const;
+  std::uint64_t timer_count(std::string_view name) const;
+  std::optional<double> gauge(std::string_view name) const;
+
+  // A consistent, name-sorted copy of everything recorded so far.
+  struct Snapshot {
+    struct TimerRow {
+      std::string name;
+      std::uint64_t total_ns = 0;
+      std::uint64_t count = 0;
+    };
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<TimerRow> timers;
+  };
+  Snapshot snapshot() const;
+
+  // Times the enclosing scope into `registry.timer(name)`. Constructed from
+  // a null or disabled registry it reads no clock and writes nothing.
+  class ScopedTimer {
+   public:
+    ScopedTimer(MetricsRegistry* registry, std::string_view name) {
+      if (registry != nullptr && registry->enabled()) {
+        timer_ = &registry->timer(name);
+        start_ = std::chrono::steady_clock::now();
+      }
+    }
+    ScopedTimer(MetricsRegistry& registry, std::string_view name)
+        : ScopedTimer(&registry, name) {}
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+    ~ScopedTimer() {
+      if (timer_ == nullptr) return;
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      timer_->total_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()),
+          std::memory_order_relaxed);
+      timer_->count.fetch_add(1, std::memory_order_relaxed);
+    }
+
+   private:
+    Timer* timer_ = nullptr;
+    std::chrono::steady_clock::time_point start_{};
+  };
+
+ private:
+  bool enabled_;
+  // node-based maps keep handle references stable across insertions.
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Timer, std::less<>> timers_;
+  std::map<std::string, double, std::less<>> gauges_;
+};
+
+}  // namespace cloudmap

@@ -1,0 +1,28 @@
+#include "obs/stage_report.h"
+
+namespace cloudmap {
+
+const char* to_string(StageId stage) {
+  switch (stage) {
+    case StageId::kRound1: return "round1";
+    case StageId::kRound2: return "round2";
+    case StageId::kHeuristics: return "heuristics";
+    case StageId::kAliasVerification: return "alias_verification";
+    case StageId::kVpiDetection: return "vpi_detection";
+    case StageId::kAnchors: return "anchors";
+    case StageId::kPinning: return "pinning";
+  }
+  return "unknown";
+}
+
+const std::array<StageId, kStageCount>& all_stages() {
+  static const std::array<StageId, kStageCount> order = {
+      StageId::kRound1,    StageId::kRound2,
+      StageId::kHeuristics, StageId::kAliasVerification,
+      StageId::kVpiDetection, StageId::kAnchors,
+      StageId::kPinning,
+  };
+  return order;
+}
+
+}  // namespace cloudmap

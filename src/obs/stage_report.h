@@ -1,0 +1,67 @@
+// The pipeline's stage vocabulary and the per-stage accounting record.
+//
+// StageId names the seven ordered stages of the reproduction (two traceroute
+// rounds §4, heuristic verification §5.1, alias verification §5.2, VPI
+// detection §7.1, anchor identification and pinning §6.1). The Pipeline's
+// table-driven stage graph keys on it, and every stage that runs leaves one
+// StageReport behind: wall time, probe accounting, BGP route-cache traffic,
+// worker-pool utilization, and the stage's own heuristic tallies.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cloudmap {
+
+enum class StageId : std::uint8_t {
+  kRound1 = 0,          // §4.1 full /24 sweep
+  kRound2,              // §4.2 expansion round
+  kHeuristics,          // §5.1 verification heuristics
+  kAliasVerification,   // §5.2 alias-set consistency
+  kVpiDetection,        // §7.1 multi-cloud overlap
+  kAnchors,             // §6.1 anchor identification
+  kPinning,             // §6.1 co-presence propagation
+};
+
+inline constexpr std::size_t kStageCount = 7;
+
+inline constexpr std::size_t stage_index(StageId stage) {
+  return static_cast<std::size_t>(stage);
+}
+
+// Stable machine-readable stage names ("round1", "alias_verification", ...);
+// these are the keys of the emitted metrics artifact.
+const char* to_string(StageId stage);
+
+// Every stage in canonical (dependency-respecting) order.
+const std::array<StageId, kStageCount>& all_stages();
+
+// One stage's accounting, filled when the stage runs. Count fields are
+// always populated (they restate the stage's artifact); wall-clock and
+// utilization fields are measured only when metrics collection is enabled
+// and read 0 otherwise.
+struct StageReport {
+  StageId id = StageId::kRound1;
+  int threads = 0;       // configured worker knob (0 = hardware concurrency)
+  unsigned workers = 0;  // workers the stage's pool actually used (0 = inline)
+  double wall_ms = 0.0;
+  // Probe accounting (0 for stages that send no probes).
+  std::uint64_t targets = 0;
+  std::uint64_t traceroutes = 0;
+  std::uint64_t probes = 0;
+  // BGP route-cache traffic attributed to this stage (lookup deltas).
+  std::uint64_t bgp_cache_hits = 0;
+  std::uint64_t bgp_cache_misses = 0;
+  // busy / (wall × workers) over the stage's worker pool; 0 when the stage
+  // ran inline or metrics were disabled.
+  double worker_utilization = 0.0;
+  // Stage-specific tallies (heuristic hit counts, anchor sources, ...),
+  // name-sorted. Values are exact for counts below 2^53.
+  std::vector<std::pair<std::string, double>> tallies;
+};
+
+}  // namespace cloudmap

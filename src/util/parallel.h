@@ -9,7 +9,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <limits>
 #include <mutex>
@@ -19,6 +21,23 @@
 #include <vector>
 
 namespace cloudmap {
+
+// Utilization accounting for one parallel_for call, for the observability
+// layer. `busy_ns` sums the time workers spent inside items; comparing it
+// against `wall_ns * workers` exposes pool idle time (queue tail, uneven
+// chunks). Collection costs two steady_clock reads per item, so it is
+// opt-in: pass a PoolStats* only when metrics are wanted.
+struct PoolStats {
+  unsigned workers = 0;
+  std::uint64_t items = 0;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t busy_ns = 0;  // summed across workers
+  double utilization() const {
+    if (workers == 0 || wall_ns == 0) return 0.0;
+    return static_cast<double>(busy_ns) /
+           (static_cast<double>(wall_ns) * static_cast<double>(workers));
+  }
+};
 
 // Resolve a user-facing thread knob: positive values are taken literally,
 // anything else means "one worker per hardware thread".
@@ -38,24 +57,50 @@ inline unsigned resolve_threads(int requested) {
 // Exceptions thrown by fn are captured; after all workers drain the queue,
 // the exception from the lowest-indexed failing item is rethrown. Remaining
 // items still run — items must therefore be independent.
+//
+// When `stats` is non-null, per-item wall time is accumulated into it (see
+// PoolStats). Stats never change which items run or in what order — results
+// are bit-identical with stats on or off.
 template <typename Fn>
-void parallel_for(std::size_t n, int threads, Fn&& fn) {
+void parallel_for(std::size_t n, int threads, Fn&& fn,
+                  PoolStats* stats = nullptr) {
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed_ns = [](Clock::time_point from, Clock::time_point to) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+            .count());
+  };
+  if (stats != nullptr) *stats = PoolStats{};
   if (n == 0) return;
   const std::size_t workers =
       std::min<std::size_t>(resolve_threads(threads), n);
+  const Clock::time_point wall_start =
+      stats != nullptr ? Clock::now() : Clock::time_point{};
+  if (stats != nullptr) {
+    stats->workers = static_cast<unsigned>(workers);
+    stats->items = n;
+  }
   if (workers <= 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
+    if (stats != nullptr) {
+      stats->wall_ns = elapsed_ns(wall_start, Clock::now());
+      stats->busy_ns = stats->wall_ns;  // inline: the caller was the worker
+    }
     return;
   }
 
   std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> busy_ns{0};
   std::mutex error_mutex;
   std::exception_ptr error;
   std::size_t error_index = std::numeric_limits<std::size_t>::max();
   auto drain = [&]() noexcept {
+    std::uint64_t local_busy_ns = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (i >= n) break;
+      const Clock::time_point item_start =
+          stats != nullptr ? Clock::now() : Clock::time_point{};
       try {
         fn(i);
       } catch (...) {
@@ -65,7 +110,11 @@ void parallel_for(std::size_t n, int threads, Fn&& fn) {
           error = std::current_exception();
         }
       }
+      if (stats != nullptr)
+        local_busy_ns += elapsed_ns(item_start, Clock::now());
     }
+    if (stats != nullptr)
+      busy_ns.fetch_add(local_busy_ns, std::memory_order_relaxed);
   };
 
   std::vector<std::thread> pool;
@@ -73,6 +122,10 @@ void parallel_for(std::size_t n, int threads, Fn&& fn) {
   for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(drain);
   drain();  // the calling thread is worker 0
   for (std::thread& worker : pool) worker.join();
+  if (stats != nullptr) {
+    stats->wall_ns = elapsed_ns(wall_start, Clock::now());
+    stats->busy_ns = busy_ns.load(std::memory_order_relaxed);
+  }
   if (error) std::rethrow_exception(error);
 }
 
@@ -80,10 +133,11 @@ void parallel_for(std::size_t n, int threads, Fn&& fn) {
 // order is the item order regardless of which worker produced what — the
 // canonical-merge building block.
 template <typename Fn>
-auto parallel_transform(std::size_t n, int threads, Fn&& fn)
+auto parallel_transform(std::size_t n, int threads, Fn&& fn,
+                        PoolStats* stats = nullptr)
     -> std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> {
   std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> out(n);
-  parallel_for(n, threads, [&](std::size_t i) { out[i] = fn(i); });
+  parallel_for(n, threads, [&](std::size_t i) { out[i] = fn(i); }, stats);
   return out;
 }
 

@@ -48,6 +48,7 @@ VpiDetectionResult VpiDetector::detect(
       target_pool(subject_campaign, *annotator_);
   result.target_pool = pool.size();
 
+  telemetry_ = Telemetry{};
   std::unordered_set<std::uint32_t> cumulative;
   std::uint64_t seed = seed_;
   for (const CloudProvider provider : foreign_clouds) {
@@ -55,7 +56,17 @@ VpiDetectionResult VpiDetector::detect(
     config.seed = ++seed;
     config.threads = threads_;
     Campaign foreign(*world_, *forwarder_, provider, config);
-    foreign.run_targets(*annotator_, pool, /*round=*/1);
+    foreign.set_metrics(metrics_);
+    const RoundStats sweep = foreign.run_targets(*annotator_, pool, 1);
+    ++telemetry_.foreign_campaigns;
+    telemetry_.traceroutes += sweep.traceroutes;
+    telemetry_.probes += sweep.probes;
+    const PoolStats& pool_stats = foreign.last_pool_stats();
+    telemetry_.pool.items += pool_stats.items;
+    telemetry_.pool.wall_ns += pool_stats.wall_ns;
+    telemetry_.pool.busy_ns += pool_stats.busy_ns;
+    telemetry_.pool.workers =
+        std::max(telemetry_.pool.workers, pool_stats.workers);
 
     VpiCloudResult cloud_result;
     cloud_result.provider = provider;

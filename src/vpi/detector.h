@@ -13,6 +13,8 @@
 
 #include "infer/annotate.h"
 #include "infer/campaign.h"
+#include "obs/metrics.h"
+#include "util/parallel.h"
 
 namespace cloudmap {
 
@@ -47,12 +49,29 @@ class VpiDetector {
   static std::vector<Ipv4> target_pool(const Campaign& campaign,
                                        const Annotator& annotator);
 
+  // Attach a metrics registry (may be null): foreign campaigns then record
+  // their sweeps into it, and detect() accumulates the telemetry below.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  // Probe accounting across all foreign-cloud sweeps of the last detect().
+  // Counts are always exact; `pool` aggregates worker busy/wall time and is
+  // populated only when an enabled metrics registry is attached.
+  struct Telemetry {
+    std::uint64_t traceroutes = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t foreign_campaigns = 0;
+    PoolStats pool;  // summed busy/wall ns; workers = max across sweeps
+  };
+  const Telemetry& telemetry() const { return telemetry_; }
+
  private:
   const World* world_;
   const Forwarder* forwarder_;
   const Annotator* annotator_;
   std::uint64_t seed_;
   int threads_;
+  MetricsRegistry* metrics_ = nullptr;
+  Telemetry telemetry_;
 };
 
 }  // namespace cloudmap

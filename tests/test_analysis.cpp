@@ -122,7 +122,7 @@ TEST(Features, MatrixHasSamplesForPopulatedGroups) {
       pipeline.campaign().fabric(), classifier,
       [&](Asn asn) { return pipeline.cone_of(asn); },
       [&](const InferredSegment& segment) {
-        return pipeline.pinner().segment_rtt_diff(segment);
+        return pipeline.mutable_pinner().segment_rtt_diff(segment);
       },
       pipeline.pinning());
   const GroupBreakdown result =

@@ -93,7 +93,7 @@ TEST(Cfs, PinsSomeFacilitiesAccurately) {
   inputs.annotator = &annotator;
   inputs.peeringdb = &p.peeringdb();
   inputs.world = &p.world();
-  inputs.rtts = &p.rtts();
+  inputs.rtts = &p.mutable_rtts();
   inputs.vps = &p.campaign().vantage_points();
   ConstrainedFacilitySearch cfs(inputs);
   const CfsResult result = cfs.run();
@@ -119,7 +119,7 @@ TEST(Cfs, CoversLessThanCoPresencePinning) {
   inputs.annotator = &annotator;
   inputs.peeringdb = &p.peeringdb();
   inputs.world = &p.world();
-  inputs.rtts = &p.rtts();
+  inputs.rtts = &p.mutable_rtts();
   inputs.vps = &p.campaign().vantage_points();
   ConstrainedFacilitySearch cfs(inputs);
   const CfsResult result = cfs.run();

@@ -1,0 +1,188 @@
+// The observability primitives: counter/gauge/timer semantics, thread
+// safety of concurrent bumps, the disabled-registry no-op contract, and the
+// JSON/CSV emitters (whose schema CI validates on real artifacts).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/emit.h"
+#include "obs/metrics.h"
+#include "obs/stage_report.h"
+#include "util/parallel.h"
+
+namespace cloudmap {
+namespace {
+
+TEST(Metrics, CountersStartAtZeroAndAccumulate) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.counter_value("never.touched"), 0u);
+  registry.add("a", 3);
+  registry.add("a");
+  registry.add("b", 10);
+  EXPECT_EQ(registry.counter_value("a"), 4u);
+  EXPECT_EQ(registry.counter_value("b"), 10u);
+}
+
+TEST(Metrics, HandlesAreStableAcrossInsertions) {
+  MetricsRegistry registry;
+  MetricsRegistry::Counter& first = registry.counter("first");
+  // Force many insertions around it; the reference must stay valid.
+  for (int i = 0; i < 100; ++i)
+    registry.counter("filler." + std::to_string(i));
+  first.add(7);
+  EXPECT_EQ(registry.counter_value("first"), 7u);
+  EXPECT_EQ(&first, &registry.counter("first"));
+}
+
+TEST(Metrics, ConcurrentAddsLoseNothing) {
+  MetricsRegistry registry;
+  constexpr std::size_t kItems = 10000;
+  MetricsRegistry::Counter& shared = registry.counter("shared");
+  parallel_for(kItems, 8, [&](std::size_t) {
+    shared.add();
+    registry.add("via_name");  // name resolution under contention too
+  });
+  EXPECT_EQ(registry.counter_value("shared"), kItems);
+  EXPECT_EQ(registry.counter_value("via_name"), kItems);
+}
+
+TEST(Metrics, GaugesAreLastWriteWins) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.gauge("g").has_value());
+  registry.set_gauge("g", 1.5);
+  registry.set_gauge("g", -2.25);
+  ASSERT_TRUE(registry.gauge("g").has_value());
+  EXPECT_DOUBLE_EQ(*registry.gauge("g"), -2.25);
+}
+
+TEST(Metrics, ScopedTimerAggregatesAcrossThreads) {
+  MetricsRegistry registry;
+  parallel_for(16, 4, [&](std::size_t) {
+    MetricsRegistry::ScopedTimer timer(registry, "work");
+    volatile std::size_t sink = 0;
+    for (std::size_t k = 0; k < 10000; ++k) sink = sink + k;
+  });
+  EXPECT_EQ(registry.timer_count("work"), 16u);
+  EXPECT_GT(registry.timer_total_ns("work"), 0u);
+}
+
+TEST(Metrics, DisabledRegistryIsANoOp) {
+  MetricsRegistry registry(/*enabled=*/false);
+  EXPECT_FALSE(registry.enabled());
+  registry.add("c", 5);
+  registry.set_gauge("g", 1.0);
+  {
+    MetricsRegistry::ScopedTimer timer(registry, "t");
+  }
+  {
+    MetricsRegistry::ScopedTimer timer(nullptr, "t");  // null registry too
+  }
+  EXPECT_EQ(registry.counter_value("c"), 0u);
+  EXPECT_FALSE(registry.gauge("g").has_value());
+  EXPECT_EQ(registry.timer_count("t"), 0u);
+  const MetricsRegistry::Snapshot snap = registry.snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.timers.empty());
+}
+
+TEST(Metrics, SnapshotIsNameSorted) {
+  MetricsRegistry registry;
+  registry.add("zebra");
+  registry.add("apple", 2);
+  registry.add("mango", 3);
+  const MetricsRegistry::Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "apple");
+  EXPECT_EQ(snap.counters[1].first, "mango");
+  EXPECT_EQ(snap.counters[2].first, "zebra");
+  EXPECT_EQ(snap.counters[0].second, 2u);
+}
+
+TEST(Metrics, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+StageReport sample_report() {
+  StageReport report;
+  report.id = StageId::kRound1;
+  report.threads = 4;
+  report.workers = 4;
+  report.wall_ms = 12.5;
+  report.targets = 100;
+  report.traceroutes = 400;
+  report.probes = 9000;
+  report.bgp_cache_hits = 350;
+  report.bgp_cache_misses = 50;
+  report.worker_utilization = 0.85;
+  report.tallies.push_back({"left_cloud", 0.75});
+  return report;
+}
+
+TEST(Metrics, JsonEmitterWritesTheDocumentedSchema) {
+  MetricsRegistry registry;
+  registry.add("campaign.sweeps", 2);
+  registry.set_gauge("stage.round1.wall_ms", 12.5);
+  {
+    MetricsRegistry::ScopedTimer timer(registry, "campaign.sweep");
+  }
+
+  MetricsMeta meta;
+  meta.seed = 42;
+  meta.threads = 4;
+  meta.subject = "amazon";
+  std::ostringstream out;
+  write_metrics_json(out, meta, {sample_report()}, registry);
+  const std::string json = out.str();
+
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"tool\": \"cloudmap\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"subject\": \"amazon\""), std::string::npos);
+  EXPECT_NE(json.find("\"round1\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ms\": 12.5"), std::string::npos);
+  EXPECT_NE(json.find("\"probes\": 9000"), std::string::npos);
+  EXPECT_NE(json.find("\"bgp_cache_hits\": 350"), std::string::npos);
+  EXPECT_NE(json.find("\"left_cloud\": 0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"campaign.sweeps\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"campaign.sweep\""), std::string::npos);
+  // Every quote in field values above parsed — now a structural sanity
+  // check: braces balance.
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Metrics, CsvEmitterWritesOneRowPerField) {
+  std::ostringstream out;
+  write_metrics_csv(out, {sample_report()});
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("stage,metric,value"), std::string::npos);
+  EXPECT_NE(csv.find("round1,wall_ms,12.5"), std::string::npos);
+  EXPECT_NE(csv.find("round1,probes,9000"), std::string::npos);
+  EXPECT_NE(csv.find("round1,tally.left_cloud,0.75"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudmap

@@ -27,9 +27,10 @@ struct CampaignRun {
   std::size_t peer_asns = 0;
 };
 
-CampaignRun run_with_threads(int threads) {
+CampaignRun run_with_threads(int threads, bool metrics = true) {
   PipelineOptions options;
   options.campaign.threads = threads;
+  options.metrics = metrics;
   Pipeline pipeline(small_world(), options);
 
   CampaignRun run;
@@ -99,6 +100,36 @@ TEST(ParallelCampaign, ThreadCountNeverChangesTheResults) {
     EXPECT_EQ(run.score.inferred_client_router_cbis,
               baseline.score.inferred_client_router_cbis);
 
+    EXPECT_EQ(run.fabric_text, baseline.fabric_text);
+  }
+}
+
+// The acceptance criterion for the observability layer: metrics collection
+// is purely write-only observation, so switching it off (or varying the
+// thread count with it on) must leave the fabric, the round stats, and the
+// ground-truth score bit-identical.
+TEST(ParallelCampaign, MetricsOnOffNeverChangesTheResults) {
+  const CampaignRun baseline = run_with_threads(1, /*metrics=*/true);
+  ASSERT_GT(baseline.round1.traceroutes, 0u);
+  ASSERT_FALSE(baseline.fabric_text.empty());
+
+  struct Variant {
+    int threads;
+    bool metrics;
+  };
+  for (const Variant v : {Variant{1, false}, Variant{4, true},
+                          Variant{4, false}}) {
+    SCOPED_TRACE("threads = " + std::to_string(v.threads) +
+                 (v.metrics ? ", metrics on" : ", metrics off"));
+    const CampaignRun run = run_with_threads(v.threads, v.metrics);
+    expect_same_stats(run.round1, baseline.round1);
+    expect_same_stats(run.round2, baseline.round2);
+    expect_same_row(run.table1_round1, baseline.table1_round1);
+    expect_same_row(run.table1_round2, baseline.table1_round2);
+    EXPECT_EQ(run.peer_asns, baseline.peer_asns);
+    EXPECT_EQ(run.score.discovered, baseline.score.discovered);
+    EXPECT_EQ(run.score.inferred_cbis, baseline.score.inferred_cbis);
+    EXPECT_EQ(run.score.inferred_true_cbis, baseline.score.inferred_true_cbis);
     EXPECT_EQ(run.fabric_text, baseline.fabric_text);
   }
 }

@@ -83,6 +83,50 @@ TEST(ParallelUtil, LowestIndexExceptionWins) {
   }
 }
 
+TEST(ParallelUtil, PoolStatsAccountForEveryItem) {
+  PoolStats stats;
+  parallel_for(
+      64, 4,
+      [](std::size_t i) {
+        volatile std::size_t sink = 0;
+        for (std::size_t k = 0; k < 1000 * (i % 3 + 1); ++k) sink = sink + k;
+      },
+      &stats);
+  EXPECT_EQ(stats.items, 64u);
+  EXPECT_GE(stats.workers, 1u);
+  EXPECT_LE(stats.workers, 4u);
+  EXPECT_GT(stats.wall_ns, 0u);
+  EXPECT_GT(stats.busy_ns, 0u);
+  EXPECT_GT(stats.utilization(), 0.0);
+  EXPECT_LE(stats.utilization(), 1.0 + 1e-9);
+}
+
+TEST(ParallelUtil, PoolStatsInlinePathCountsBusyAsWall) {
+  PoolStats stats;
+  parallel_for(8, 1, [](std::size_t) {}, &stats);
+  EXPECT_EQ(stats.workers, 1u);
+  EXPECT_EQ(stats.items, 8u);
+  EXPECT_EQ(stats.busy_ns, stats.wall_ns);
+}
+
+TEST(ParallelUtil, PoolStatsAreResetNotAccumulated) {
+  PoolStats stats;
+  parallel_for(32, 2, [](std::size_t) {}, &stats);
+  const std::uint64_t first_items = stats.items;
+  parallel_for(5, 2, [](std::size_t) {}, &stats);
+  EXPECT_EQ(first_items, 32u);
+  EXPECT_EQ(stats.items, 5u);  // zeroed at the start of each call
+}
+
+TEST(ParallelUtil, NullStatsPointerIsFine) {
+  std::atomic<int> calls{0};
+  parallel_for(16, 4, [&](std::size_t) { ++calls; }, nullptr);
+  EXPECT_EQ(calls.load(), 16);
+  const std::vector<int> out =
+      parallel_transform(10, 4, [](std::size_t i) { return int(i); }, nullptr);
+  EXPECT_EQ(out.size(), 10u);
+}
+
 TEST(ParallelUtil, RemainingItemsStillRunAfterAThrow) {
   std::atomic<int> calls{0};
   try {

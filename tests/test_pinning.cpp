@@ -91,7 +91,7 @@ TEST(Pinning, RttRatiosAreAtLeastOne) {
 TEST(Pinning, CrossValidationPrecisionHigh) {
   Pipeline& pipeline = small_pipeline();
   const CrossValidationResult cv = cross_validate(
-      pipeline.pinner(), pipeline.anchors(), /*folds=*/4, 0.3, 29);
+      pipeline.mutable_pinner(), pipeline.anchors(), /*folds=*/4, 0.3, 29);
   EXPECT_GT(cv.folds, 0);
   EXPECT_GT(cv.precision_mean, 0.8);
   EXPECT_GT(cv.recall_mean, 0.0);
@@ -119,7 +119,7 @@ TEST(Pinning, TighterThresholdPinsFewer) {
   inputs.dns = &pipeline.dns();
   inputs.aliases = &pipeline.alias_sets();
   inputs.world = &pipeline.world();
-  inputs.rtts = &pipeline.rtts();
+  inputs.rtts = &pipeline.mutable_rtts();
   inputs.vps = &pipeline.campaign().vantage_points();
 
   PinningOptions loose;

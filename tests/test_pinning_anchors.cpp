@@ -22,7 +22,7 @@ class AnchorUnit : public ::testing::Test {
     inputs_.dns = &pipeline_.dns();
     inputs_.aliases = &pipeline_.alias_sets();
     inputs_.world = &pipeline_.world();
-    inputs_.rtts = &pipeline_.rtts();
+    inputs_.rtts = &pipeline_.mutable_rtts();
     inputs_.vps = &pipeline_.campaign().vantage_points();
   }
 

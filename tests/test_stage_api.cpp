@@ -1,0 +1,142 @@
+// The redesigned staged-execution API: run_until() runs each prerequisite
+// exactly once (counter-verified through the metrics registry), repeated
+// calls are no-ops, report() before a stage ran returns nullptr rather than
+// crashing, and the stage graph's dependency edges hold.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fixtures.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_world;
+
+TEST(StageApi, ReportBeforeRunIsAbsentNotACrash) {
+  Pipeline pipeline(small_world());
+  for (const StageId stage : all_stages()) {
+    EXPECT_FALSE(pipeline.stage_ran(stage)) << to_string(stage);
+    EXPECT_EQ(pipeline.report(stage), nullptr) << to_string(stage);
+  }
+  EXPECT_TRUE(pipeline.reports().empty());
+}
+
+TEST(StageApi, RunUntilRunsEachPrerequisiteExactlyOnce) {
+  Pipeline pipeline(small_world());
+  pipeline.run_until(StageId::kHeuristics);
+
+  // The registry counts actual body executions, so a re-run would show.
+  EXPECT_EQ(pipeline.metrics().counter_value("stage.round1.runs"), 1u);
+  EXPECT_EQ(pipeline.metrics().counter_value("stage.round2.runs"), 1u);
+  EXPECT_EQ(pipeline.metrics().counter_value("stage.heuristics.runs"), 1u);
+  EXPECT_TRUE(pipeline.stage_ran(StageId::kRound1));
+  EXPECT_TRUE(pipeline.stage_ran(StageId::kRound2));
+  EXPECT_TRUE(pipeline.stage_ran(StageId::kHeuristics));
+
+  // Later stages have not run.
+  EXPECT_FALSE(pipeline.stage_ran(StageId::kAliasVerification));
+  EXPECT_FALSE(pipeline.stage_ran(StageId::kVpiDetection));
+  EXPECT_FALSE(pipeline.stage_ran(StageId::kPinning));
+  EXPECT_EQ(pipeline.metrics().counter_value("stage.vpi_detection.runs"), 0u);
+}
+
+TEST(StageApi, RepeatedRunUntilIsANoOp) {
+  Pipeline pipeline(small_world());
+  pipeline.run_until(StageId::kRound2);
+  pipeline.run_until(StageId::kRound2);
+  pipeline.run_until(StageId::kRound1);  // prerequisite of an already-run stage
+  EXPECT_EQ(pipeline.metrics().counter_value("stage.round1.runs"), 1u);
+  EXPECT_EQ(pipeline.metrics().counter_value("stage.round2.runs"), 1u);
+
+  // Artifact accessors ride the same memoization.
+  (void)pipeline.round1();
+  (void)pipeline.round2();
+  EXPECT_EQ(pipeline.metrics().counter_value("stage.round1.runs"), 1u);
+  EXPECT_EQ(pipeline.metrics().counter_value("stage.round2.runs"), 1u);
+}
+
+TEST(StageApi, PinningBranchDoesNotPullInVpiDetection) {
+  Pipeline pipeline(small_world());
+  pipeline.run_until(StageId::kPinning);
+  EXPECT_TRUE(pipeline.stage_ran(StageId::kAliasVerification));
+  EXPECT_TRUE(pipeline.stage_ran(StageId::kAnchors));
+  EXPECT_TRUE(pipeline.stage_ran(StageId::kPinning));
+  // VPI detection is a sibling branch off alias verification, not a
+  // prerequisite of pinning.
+  EXPECT_FALSE(pipeline.stage_ran(StageId::kVpiDetection));
+}
+
+TEST(StageApi, RunAllCompletesEveryStage) {
+  Pipeline pipeline(small_world());
+  pipeline.run_all();
+  for (const StageId stage : all_stages()) {
+    EXPECT_TRUE(pipeline.stage_ran(stage)) << to_string(stage);
+    ASSERT_NE(pipeline.report(stage), nullptr) << to_string(stage);
+    EXPECT_EQ(pipeline.report(stage)->id, stage);
+  }
+  const std::vector<StageReport> reports = pipeline.reports();
+  ASSERT_EQ(reports.size(), kStageCount);
+  // Canonical order, not completion order.
+  for (std::size_t i = 0; i < reports.size(); ++i)
+    EXPECT_EQ(stage_index(reports[i].id), i);
+}
+
+TEST(StageApi, ReportsCarryRealAccounting) {
+  Pipeline pipeline(small_world());
+  pipeline.run_until(StageId::kRound1);
+  const StageReport* round1 = pipeline.report(StageId::kRound1);
+  ASSERT_NE(round1, nullptr);
+  EXPECT_GT(round1->targets, 0u);
+  EXPECT_GT(round1->traceroutes, 0u);
+  EXPECT_GT(round1->probes, 0u);
+  EXPECT_GT(round1->bgp_cache_hits + round1->bgp_cache_misses, 0u);
+  EXPECT_GE(round1->workers, 1u);
+  EXPECT_GE(round1->wall_ms, 0.0);
+  // RoundStats agree with the report.
+  EXPECT_EQ(round1->traceroutes, pipeline.round1().traceroutes);
+  EXPECT_EQ(round1->probes, pipeline.round1().probes);
+}
+
+TEST(StageApi, HeuristicsReportCarriesTallies) {
+  Pipeline pipeline(small_world());
+  pipeline.run_until(StageId::kHeuristics);
+  const StageReport* report = pipeline.report(StageId::kHeuristics);
+  ASSERT_NE(report, nullptr);
+  EXPECT_FALSE(report->tallies.empty());
+}
+
+TEST(StageApi, DisabledMetricsStillMemoizeStages) {
+  PipelineOptions options;
+  options.metrics = false;
+  Pipeline pipeline(small_world(), options);
+  pipeline.run_until(StageId::kRound2);
+  EXPECT_TRUE(pipeline.stage_ran(StageId::kRound1));
+  EXPECT_TRUE(pipeline.stage_ran(StageId::kRound2));
+  // No registry traffic when disabled — memoization lives in the reports.
+  EXPECT_EQ(pipeline.metrics().counter_value("stage.round1.runs"), 0u);
+  // Reports still exist (the structural fields cost nothing), but the
+  // clock-derived fields stay zero.
+  const StageReport* round1 = pipeline.report(StageId::kRound1);
+  ASSERT_NE(round1, nullptr);
+  EXPECT_EQ(round1->wall_ms, 0.0);
+  pipeline.run_until(StageId::kRound2);  // still a no-op
+  EXPECT_EQ(pipeline.round1().traceroutes,
+            pipeline.report(StageId::kRound1)->traceroutes);
+}
+
+TEST(StageApi, MetricsArtifactCoversExactlyTheStagesThatRan) {
+  Pipeline pipeline(small_world());
+  pipeline.run_until(StageId::kHeuristics);
+  std::ostringstream out;
+  pipeline.write_metrics_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"round1\""), std::string::npos);
+  EXPECT_NE(json.find("\"round2\""), std::string::npos);
+  EXPECT_NE(json.find("\"heuristics\""), std::string::npos);
+  EXPECT_EQ(json.find("\"vpi_detection\""), std::string::npos);
+  EXPECT_EQ(json.find("\"pinning\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudmap

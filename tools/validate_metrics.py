@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validate a cloudmap metrics artifact against tools/metrics_schema.json.
+
+Usage: validate_metrics.py ARTIFACT.json [--schema SCHEMA.json] [--partial]
+
+Checks, in order:
+  1. the artifact is well-formed JSON;
+  2. every required top-level key is present and "tool"/"schema_version"
+     identify a cloudmap artifact;
+  3. every stage object carries every required per-stage key with a
+     sensibly-typed value;
+  4. unless --partial, every stage of the full pipeline is present (a
+     campaign that stopped early writes fewer — CI runs the full thing).
+
+Exit status 0 on success, 1 on any failure, with one line per problem so CI
+logs point straight at the missing key.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def fail(problems):
+    for problem in problems:
+        print("FAIL: %s" % problem, file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact", help="metrics JSON written by --metrics-json")
+    parser.add_argument(
+        "--schema",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "metrics_schema.json"),
+        help="schema description (default: alongside this script)")
+    parser.add_argument(
+        "--partial", action="store_true",
+        help="accept artifacts from runs that stopped before the last stage")
+    args = parser.parse_args()
+
+    with open(args.schema) as handle:
+        schema = json.load(handle)
+
+    try:
+        with open(args.artifact) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as error:
+        fail(["cannot parse %s: %s" % (args.artifact, error)])
+
+    problems = []
+    for key in schema["required_top"]:
+        if key not in doc:
+            problems.append("missing top-level key '%s'" % key)
+    if problems:
+        fail(problems)
+
+    if doc["tool"] != "cloudmap":
+        problems.append("'tool' is %r, expected 'cloudmap'" % doc["tool"])
+    if doc["schema_version"] != schema["schema_version"]:
+        problems.append("schema_version %r, expected %r"
+                        % (doc["schema_version"], schema["schema_version"]))
+
+    stages = doc["stages"]
+    if not isinstance(stages, dict):
+        fail(problems + ["'stages' is not an object"])
+    for name, stage in sorted(stages.items()):
+        if not isinstance(stage, dict):
+            problems.append("stage '%s' is not an object" % name)
+            continue
+        for key in schema["required_stage_keys"]:
+            if key not in stage:
+                problems.append("stage '%s' missing key '%s'" % (name, key))
+            elif key == "tallies":
+                if not isinstance(stage[key], dict):
+                    problems.append("stage '%s' key 'tallies' is not an object"
+                                    % name)
+            elif not isinstance(stage[key], (int, float)):
+                problems.append("stage '%s' key '%s' is not numeric"
+                                % (name, key))
+
+    if not args.partial:
+        for name in schema["required_stages"]:
+            if name not in stages:
+                problems.append("full-pipeline artifact missing stage '%s'"
+                                % name)
+
+    if problems:
+        fail(problems)
+    print("ok: %s (%d stages, %d counters)"
+          % (args.artifact, len(stages), len(doc["counters"])))
+
+
+if __name__ == "__main__":
+    main()

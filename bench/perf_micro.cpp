@@ -9,6 +9,7 @@
 #include "controlplane/bgp.h"
 #include "core/pipeline.h"
 #include "dataplane/traceroute.h"
+#include "query/engine.h"
 #include "topology/generator.h"
 #include "util/rng.h"
 
@@ -130,6 +131,59 @@ BENCHMARK(BM_CampaignRound1)
     ->Arg(4)
     ->Arg(static_cast<int>(std::thread::hardware_concurrency()))
     ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Query saturation: N reader threads hammering one shared QueryEngine with
+// a deterministic mix of point lookups, per-peer scans, and aggregate
+// counts. The engine is immutable after build and counters are relaxed
+// atomics, so throughput should scale with the thread count (the acceptance
+// gate for src/query/'s zero-locking claim).
+void BM_QuerySaturation(benchmark::State& state) {
+  // Built once: full pipeline run -> snapshot -> index. Shared by every
+  // thread of every thread-count variant.
+  static const FabricIndex* index = [] {
+    Pipeline pipeline(bench_world());
+    return new FabricIndex(pipeline.run_snapshot());
+  }();
+  static MetricsRegistry* registry = new MetricsRegistry(true);
+  static const QueryEngine* engine = new QueryEngine(*index, registry);
+
+  const std::vector<std::uint32_t>& peers = index->peer_asns();
+  Rng rng(0x9E3779B97F4A7C15ull ^
+          static_cast<std::uint64_t>(state.thread_index()));
+  std::uint64_t queries = 0;
+  for (auto _ : state) {
+    const std::uint64_t roll = rng.next();
+    switch (roll & 7u) {
+      case 0:
+        benchmark::DoNotOptimize(engine->counts());
+        break;
+      case 1:
+        if (!peers.empty())
+          benchmark::DoNotOptimize(
+              engine->peers_of(Asn{peers[roll % peers.size()]}));
+        break;
+      case 2:
+        benchmark::DoNotOptimize(engine->vpi_candidates());
+        break;
+      case 3:
+        benchmark::DoNotOptimize(
+            engine->interfaces_in(static_cast<std::uint32_t>(roll >> 8) % 64));
+        break;
+      default:
+        benchmark::DoNotOptimize(
+            engine->lookup(Ipv4(static_cast<std::uint32_t>(roll >> 16))));
+        break;
+    }
+    ++queries;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(queries));
+}
+BENCHMARK(BM_QuerySaturation)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(static_cast<int>(std::thread::hardware_concurrency()))
     ->UseRealTime();
 
 void BM_RttToInterface(benchmark::State& state) {

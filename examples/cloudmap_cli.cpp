@@ -5,6 +5,11 @@
 //   cloudmap_cli campaign [seed] [file]   run both rounds, save the fabric
 //   cloudmap_cli analyze  [seed] [file]   load a saved fabric and report
 //   cloudmap_cli all      [seed]          everything in one process
+//   cloudmap_cli snapshot [seed] [file]   full pipeline → binary snapshot
+//   cloudmap_cli query FILE ACTION [ARG]  serve queries from a snapshot
+//                                         (counts | peers [asn] | metro N |
+//                                          vpis | lookup IP | resave OUT)
+//   cloudmap_cli diff A B                 longitudinal snapshot comparison
 //
 // Shared flags (parsed by cloudmap::options_from_env_and_args, so the CLI,
 // the examples, and the benches agree on validation and precedence):
@@ -13,15 +18,21 @@
 //   --metrics-json PATH  write the per-stage metrics artifact after the run
 //                        (campaign/all run the FULL pipeline — VPI detection
 //                        and pinning included — so the artifact covers every
-//                        stage; the saved fabric is unaffected)
+//                        stage; the saved fabric is unaffected). For `query`
+//                        the stage section comes from the snapshot and the
+//                        counters section carries the query.* counters.
 //   --metrics-csv PATH   same accounting as flat stage,metric,value rows
 //   --no-metrics         disable metrics collection entirely
-//   CLOUDMAP_THREADS / CLOUDMAP_METRICS_JSON environment equivalents
+//   --snapshot PATH      also write the binary run snapshot (campaign/all)
+//   CLOUDMAP_THREADS / CLOUDMAP_METRICS_JSON / CLOUDMAP_SNAPSHOT env
+//   equivalents
 //
 // With no arguments it runs `all 7`.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +41,11 @@
 #include "core/options.h"
 #include "core/pipeline.h"
 #include "io/serialize.h"
+#include "io/snapshot.h"
+#include "obs/emit.h"
+#include "query/diff.h"
+#include "query/engine.h"
+#include "query/fabric_index.h"
 
 using namespace cloudmap;
 
@@ -114,6 +130,17 @@ int cmd_campaign(std::uint64_t seed, const std::string& path,
   std::printf("  round1 left-cloud %.1f%%, %llu traceroutes\n",
               100.0 * pipeline.round1().left_cloud_fraction(),
               static_cast<unsigned long long>(pipeline.round1().traceroutes));
+  if (!front.snapshot_out.empty()) {
+    // The snapshot needs every stage; run_snapshot() runs the rest.
+    const RunSnapshot& snap = pipeline.run_snapshot();
+    std::string error;
+    if (!save_snapshot_file(front.snapshot_out, snap, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("snapshot: wrote %s (%zu segments)\n",
+                front.snapshot_out.c_str(), snap.segments.size());
+  }
   return emit_metrics(pipeline, front);
 }
 
@@ -150,6 +177,183 @@ int cmd_analyze(std::uint64_t seed, const std::string& path,
   return 0;
 }
 
+// Full pipeline → binary snapshot (io/snapshot.h). The snapshot is the
+// queryable artifact: everything `analyze` recomputes from the seed is
+// stored, so `query` below never needs the world.
+int cmd_snapshot(std::uint64_t seed, const std::string& path,
+                 const FrontendOptions& front) {
+  const World world = make_world(seed);
+  Pipeline pipeline(world, front.pipeline);
+  const RunSnapshot& snap = pipeline.run_snapshot();
+  std::string error;
+  if (!save_snapshot_file(path, snap, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::printf("snapshot: wrote %s (%zu segments, %zu pins, %zu alias sets, "
+              "%zu stage reports)\n",
+              path.c_str(), snap.segments.size(), snap.pins.size(),
+              snap.alias_sets.size(), snap.stage_reports.size());
+  return emit_metrics(pipeline, front);
+}
+
+void print_counts(const FabricCounts& c) {
+  std::printf("segments        %zu (ABIs %zu, CBIs %zu)\n", c.segments,
+              c.unique_abis, c.unique_cbis);
+  std::printf("peer ASes       %zu (orgs %zu)\n", c.peer_ases, c.peer_orgs);
+  for (std::size_t i = 0; i < c.by_confirmation.size(); ++i)
+    std::printf("  %-18s %zu\n",
+                to_string(static_cast<Confirmation>(i)),
+                c.by_confirmation[i]);
+  std::printf("IXP segments    %zu\n", c.ixp_segments);
+  std::printf("VPI CBIs        %zu\n", c.vpi_cbis);
+  for (std::size_t g = 0; g < kPeeringGroupCount; ++g)
+    std::printf("  group %-12s %zu segments, %zu ASes\n",
+                to_string(static_cast<PeeringGroup>(g)), c.group_segments[g],
+                c.group_ases[g]);
+  std::printf("unattributed    %zu\n", c.unattributed_segments);
+  std::printf("pinned          %zu interfaces (+%zu regional-only)\n",
+              c.pinned_interfaces, c.regional_only);
+}
+
+void print_segment_line(const FabricIndex& index, std::uint32_t seg_index) {
+  const SnapshotSegment& seg = index.segments()[seg_index];
+  std::printf("  [%u] %s > %s  peer AS%u  %s%s%s\n", seg_index,
+              seg.abi.to_string().c_str(), seg.cbi.to_string().c_str(),
+              seg.peer_asn.value, to_string(seg.confirmation),
+              seg.ixp ? " ixp" : "", seg.vpi ? " vpi" : "");
+}
+
+// Serve typed queries from a saved snapshot; no world or pipeline needed.
+int cmd_query(const std::vector<std::string>& args,
+              const FrontendOptions& front) {
+  if (args.size() < 3) {
+    std::fprintf(stderr,
+                 "usage: query FILE counts | peers [asn] | metro N | vpis | "
+                 "lookup IP | resave OUT\n");
+    return 2;
+  }
+  std::string error;
+  std::optional<RunSnapshot> snap = load_snapshot_file(args[1], &error);
+  if (!snap) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const FabricIndex index(std::move(*snap));
+  MetricsRegistry registry(front.pipeline.metrics);
+  const QueryEngine engine(index, &registry);
+  const std::string& action = args[2];
+
+  if (action == "counts") {
+    print_counts(engine.counts());
+  } else if (action == "peers") {
+    if (args.size() > 3) {
+      const Asn asn{
+          static_cast<std::uint32_t>(std::strtoul(args[3].c_str(), nullptr, 10))};
+      const std::vector<std::uint32_t> segs = engine.peers_of(asn);
+      std::printf("AS%u: %zu segments\n", asn.value, segs.size());
+      for (std::uint32_t s : segs) print_segment_line(index, s);
+    } else {
+      std::printf("%zu peer ASes\n", index.peer_asns().size());
+      for (std::uint32_t asn : index.peer_asns())
+        std::printf("  AS%-10u %zu segments\n", asn,
+                    engine.peers_of(Asn{asn}).size());
+    }
+  } else if (action == "metro") {
+    if (args.size() < 4) {
+      std::fprintf(stderr, "query metro requires a metro index\n");
+      return 2;
+    }
+    const std::uint32_t metro =
+        static_cast<std::uint32_t>(std::strtoul(args[3].c_str(), nullptr, 10));
+    const std::vector<std::uint32_t> addrs = engine.interfaces_in(metro);
+    std::printf("metro %u: %zu pinned interfaces\n", metro, addrs.size());
+    for (std::uint32_t a : addrs)
+      std::printf("  %s\n", Ipv4(a).to_string().c_str());
+  } else if (action == "vpis") {
+    const std::vector<std::uint32_t> segs = engine.vpi_candidates();
+    std::printf("%zu VPI segments\n", segs.size());
+    for (std::uint32_t s : segs) print_segment_line(index, s);
+  } else if (action == "lookup") {
+    if (args.size() < 4) {
+      std::fprintf(stderr, "query lookup requires an IPv4 address\n");
+      return 2;
+    }
+    const std::optional<Ipv4> address = Ipv4::parse(args[3]);
+    if (!address) {
+      std::fprintf(stderr, "bad IPv4 address '%s'\n", args[3].c_str());
+      return 2;
+    }
+    const std::optional<LookupHit> hit = engine.lookup(*address);
+    if (!hit) {
+      std::printf("%s: no covering fabric entry\n",
+                  address->to_string().c_str());
+    } else {
+      std::printf("%s: %s %s%s%s, %zu segments\n",
+                  address->to_string().c_str(), hit->prefix.to_string().c_str(),
+                  hit->is_interface ? "interface" : "destination cone",
+                  hit->abi ? " abi" : "", hit->cbi ? " cbi" : "",
+                  hit->segments->size());
+      for (std::uint32_t s : *hit->segments) print_segment_line(index, s);
+    }
+  } else if (action == "resave") {
+    if (args.size() < 4) {
+      std::fprintf(stderr, "query resave requires an output path\n");
+      return 2;
+    }
+    if (!save_snapshot_file(args[3], index.snapshot(), &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("resaved %s -> %s\n", args[1].c_str(), args[3].c_str());
+  } else {
+    std::fprintf(stderr, "unknown query action '%s'\n", action.c_str());
+    return 2;
+  }
+
+  if (!front.metrics_json.empty()) {
+    std::ofstream out(front.metrics_json);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", front.metrics_json.c_str());
+      return 1;
+    }
+    // The stage section replays the producing run's reports (stored in the
+    // snapshot); the counters section carries this process's query.* totals.
+    MetricsMeta meta;
+    meta.seed = index.snapshot().seed;
+    meta.threads = index.snapshot().threads;
+    meta.subject =
+        index.snapshot().subject < kCloudProviderCount
+            ? to_string(static_cast<CloudProvider>(index.snapshot().subject))
+            : "unknown";
+    write_metrics_json(out, meta, index.snapshot().stage_reports, registry);
+    std::printf("metrics: wrote %s\n", front.metrics_json.c_str());
+  }
+  return 0;
+}
+
+// Longitudinal comparison of two snapshots (query/diff.h).
+int cmd_diff(const std::vector<std::string>& args) {
+  if (args.size() < 3) {
+    std::fprintf(stderr, "usage: diff A.snap B.snap\n");
+    return 2;
+  }
+  std::string error;
+  std::optional<RunSnapshot> a = load_snapshot_file(args[1], &error);
+  if (!a) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  std::optional<RunSnapshot> b = load_snapshot_file(args[2], &error);
+  if (!b) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+  const SnapshotDiff diff = diff_snapshots(*a, *b);
+  write_diff(std::cout, diff);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -167,6 +371,12 @@ int main(int argc, char** argv) {
   if (command == "worldgen") return cmd_worldgen(seed);
   if (command == "campaign") return cmd_campaign(seed, path, front);
   if (command == "analyze") return cmd_analyze(seed, path, front);
+  if (command == "snapshot") {
+    const std::string snap_path = args.size() > 2 ? args[2] : "cloudmap.snap";
+    return cmd_snapshot(seed, snap_path, front);
+  }
+  if (command == "query") return cmd_query(args, front);
+  if (command == "diff") return cmd_diff(args);
   if (command == "all") {
     if (const int rc = cmd_worldgen(seed)) return rc;
     if (const int rc = cmd_campaign(seed, path, front)) return rc;
@@ -178,9 +388,10 @@ int main(int argc, char** argv) {
     return cmd_analyze(seed, path, analyze_front);
   }
   std::fprintf(stderr,
-               "usage: %s [worldgen|campaign|analyze|all] [seed] [file] "
+               "usage: %s [worldgen|campaign|analyze|all|snapshot] [seed] "
+               "[file] | %s query FILE ACTION [ARG] | %s diff A B "
                "[--threads N] [--metrics-json PATH] [--metrics-csv PATH] "
-               "[--no-metrics]\n",
-               argv[0]);
+               "[--no-metrics] [--snapshot PATH]\n",
+               argv[0], argv[0], argv[0]);
   return 2;
 }

@@ -31,6 +31,8 @@ FrontendOptions options_from_env() {
   }
   if (const char* env = std::getenv("CLOUDMAP_METRICS_JSON"))
     out.metrics_json = env;
+  if (const char* env = std::getenv("CLOUDMAP_SNAPSHOT"))
+    out.snapshot_out = env;
   return out;
 }
 
@@ -66,6 +68,8 @@ FrontendOptions options_from_env_and_args(int argc, char** argv) {
     } else if (arg == "--metrics-csv") {
       if (!flag_value(i, "--metrics-csv", out.metrics_csv)) return out;
       out.pipeline.metrics = true;
+    } else if (arg == "--snapshot") {
+      if (!flag_value(i, "--snapshot", out.snapshot_out)) return out;
     } else if (arg == "--no-metrics") {
       out.pipeline.metrics = false;
       out.metrics_json.clear();

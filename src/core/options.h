@@ -19,6 +19,10 @@ struct FrontendOptions {
   // --metrics-csv or the CLOUDMAP_METRICS_JSON environment variable.
   std::string metrics_json;
   std::string metrics_csv;
+  // Binary run-snapshot path ("" = do not write). From --snapshot or the
+  // CLOUDMAP_SNAPSHOT environment variable; the full pipeline runs so the
+  // snapshot captures every stage (see io/snapshot.h).
+  std::string snapshot_out;
   // Arguments not consumed by a recognized flag, in original order.
   std::vector<std::string> positional;
   // Non-empty on a parse/validation failure (unknown value, negative
@@ -28,11 +32,13 @@ struct FrontendOptions {
 };
 
 // Environment-only parsing: CLOUDMAP_THREADS (campaign + VPI worker count,
-// 0 = hardware concurrency) and CLOUDMAP_METRICS_JSON (artifact path).
+// 0 = hardware concurrency), CLOUDMAP_METRICS_JSON and CLOUDMAP_SNAPSHOT
+// (artifact paths).
 FrontendOptions options_from_env();
 
 // Environment first, then flags: --threads N, --metrics-json PATH,
-// --metrics-csv PATH, --no-metrics. Everything else lands in `positional`.
+// --metrics-csv PATH, --no-metrics, --snapshot PATH. Everything else lands
+// in `positional`.
 FrontendOptions options_from_env_and_args(int argc, char** argv);
 
 }  // namespace cloudmap

@@ -304,6 +304,67 @@ const AliasSets& Pipeline::alias_sets() {
   return alias_verifier_->sets();
 }
 
+const RunSnapshot& Pipeline::run_snapshot() {
+  if (run_snapshot_) return *run_snapshot_;
+  run_all();
+  annotator_.set_snapshot(&snapshot2_);
+  const PeeringClassifier cls = classifier();
+
+  RunSnapshot out;
+  out.seed = options_.seed;
+  out.threads = options_.campaign.threads;
+  out.subject = static_cast<std::uint8_t>(options_.subject);
+
+  out.segments.reserve(campaign_->fabric().segments().size());
+  for (const InferredSegment& seg : campaign_->fabric().segments()) {
+    SnapshotSegment snap;
+    snap.abi = seg.abi;
+    snap.cbi = seg.cbi;
+    snap.prior_abi = seg.prior_abi;
+    snap.post_cbi = seg.post_cbi;
+    snap.first_round = seg.first_round;
+    snap.confirmation = seg.confirmation;
+    snap.shifted = seg.shifted;
+    snap.owner_hint = seg.owner_hint;
+    snap.ixp = annotator_.annotate(seg.cbi).ixp;
+    snap.vpi = vpis_->vpi_cbis.count(seg.cbi.value()) > 0;
+    snap.peer_asn = cls.segment_owner(seg);
+    if (!snap.peer_asn.is_unknown())
+      snap.peer_org = annotator_.org_of_asn(snap.peer_asn);
+    if (const auto group = cls.classify(seg))
+      snap.group = static_cast<std::uint8_t>(*group);
+    snap.regions.assign(seg.regions.begin(), seg.regions.end());
+    snap.dest_slash24s.assign(seg.dest_slash24s.begin(),
+                              seg.dest_slash24s.end());
+    out.segments.push_back(std::move(snap));
+  }
+
+  out.pins.reserve(pinning_->pins.size());
+  for (const auto& [address, pin] : pinning_->pins) {
+    SnapshotPin snap;
+    snap.address = address;
+    snap.metro = pin.metro.value;
+    snap.rule = static_cast<std::uint8_t>(pin.rule);
+    snap.anchor_source = static_cast<std::uint8_t>(pin.anchor_source);
+    snap.round = pin.round;
+    out.pins.push_back(snap);
+  }
+  out.regional.assign(pinning_->regional.begin(), pinning_->regional.end());
+
+  out.alias_sets.reserve(alias_verifier_->sets().sets.size());
+  for (const std::vector<Ipv4>& set : alias_verifier_->sets().sets) {
+    std::vector<std::uint32_t> members;
+    members.reserve(set.size());
+    for (const Ipv4 member : set) members.push_back(member.value());
+    out.alias_sets.push_back(std::move(members));
+  }
+
+  out.stage_reports = reports();
+  canonicalize(out);
+  run_snapshot_ = std::move(out);
+  return *run_snapshot_;
+}
+
 Pinner& Pipeline::ensure_pinner() {
   run_until(StageId::kAliasVerification);
   if (!pinner_) {

@@ -38,6 +38,7 @@
 #include "obs/stage_report.h"
 #include "pinning/evaluate.h"
 #include "pinning/pinning.h"
+#include "query/snapshot.h"
 #include "topology/generator.h"
 #include "vpi/detector.h"
 
@@ -143,6 +144,11 @@ class Pipeline {
   const AnchorSet& anchors();                   // §6.1
   const PinningResult& pinning();               // §6.1
   const AliasSets& alias_sets();
+  // The full-run snapshot artifact: every stage is run, then the annotated
+  // fabric, pins, alias sets, and stage metrics are captured as one
+  // canonical RunSnapshot (persisted via io/snapshot.h, served via
+  // query/). Memoized like every other stage artifact.
+  const RunSnapshot& run_snapshot();
 
   // --- components (prepared on construction) ---
   // Accessors are const; mutation is explicit via the mutable_* variants so
@@ -242,6 +248,7 @@ class Pipeline {
   std::unique_ptr<Pinner> pinner_;
   std::optional<AnchorSet> anchors_;
   std::optional<PinningResult> pinning_;
+  std::optional<RunSnapshot> run_snapshot_;
 };
 
 }  // namespace cloudmap

@@ -1,5 +1,7 @@
 #include "io/serialize.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -41,6 +43,28 @@ std::optional<TracerouteStatus> status_from(const std::string& name) {
   return std::nullopt;
 }
 
+// Strict numeric parses: the whole token must be consumed, no sign tricks,
+// no exceptions. Corrupt input yields nullopt, never a throw or a silent
+// misparse (std::stoul would accept "12garbage" and throw on "garbage").
+std::optional<std::uint32_t> parse_u32(const std::string& text) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      value > 0xFFFFFFFFul)
+    return std::nullopt;
+  return static_cast<std::uint32_t>(value);
+}
+
+std::optional<double> parse_double(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return std::nullopt;
+  return value;
+}
+
 }  // namespace
 
 void write_record(std::ostream& out, const TracerouteRecord& record) {
@@ -73,6 +97,9 @@ std::optional<TracerouteRecord> read_record(const std::string& line) {
   if (tag != "R") return std::nullopt;
   in >> hops;  // may be empty for a hopless record
 
+  if (provider < 0 || provider >= static_cast<int>(kCloudProviderCount))
+    return std::nullopt;
+
   TracerouteRecord record;
   record.vantage.provider = static_cast<CloudProvider>(provider);
   record.vantage.region = RegionId{region};
@@ -91,8 +118,10 @@ std::optional<TracerouteRecord> read_record(const std::string& line) {
         if (colon == std::string::npos) return std::nullopt;
         const auto address = Ipv4::parse(token.substr(0, colon));
         if (!address) return std::nullopt;
+        const auto rtt = parse_double(token.substr(colon + 1));
+        if (!rtt || *rtt < 0.0) return std::nullopt;
         hop.address = *address;
-        hop.rtt_ms = std::stod(token.substr(colon + 1));
+        hop.rtt_ms = *rtt;
         hop.responded = true;
       }
       record.hops.push_back(hop);
@@ -167,11 +196,42 @@ Fabric read_fabric(std::istream& in) {
           confirmation >> shifted >> owner >> regions >> dests))
       continue;
 
-    // Rebuild through the public mutation API so the index stays coherent.
-    CandidateSegment candidate;
+    // Parse and validate every field before mutating the fabric, so a line
+    // that goes bad halfway is skipped whole rather than half-applied.
     const auto abi_addr = Ipv4::parse(abi);
     const auto cbi_addr = Ipv4::parse(cbi);
     if (!abi_addr || !cbi_addr) continue;
+    if (confirmation < 0 ||
+        confirmation > static_cast<int>(Confirmation::kAliasRelabel))
+      continue;
+    if (shifted != 0 && shifted != 1) continue;
+    std::vector<std::uint32_t> parsed_regions;
+    bool valid = true;
+    if (regions != "-") {
+      for (const std::string& token : split(regions, '|')) {
+        const auto region = parse_u32(token);
+        if (!region) {
+          valid = false;
+          break;
+        }
+        parsed_regions.push_back(*region);
+      }
+    }
+    std::vector<std::uint32_t> parsed_dests;
+    if (valid && dests != "-") {
+      for (const std::string& token : split(dests, '|')) {
+        const auto network = Ipv4::parse(token);
+        if (!network) {
+          valid = false;
+          break;
+        }
+        parsed_dests.push_back(network->value());
+      }
+    }
+    if (!valid) continue;
+
+    // Rebuild through the public mutation API so the index stays coherent.
+    CandidateSegment candidate;
     candidate.abi = *abi_addr;
     candidate.cbi = *cbi_addr;
     if (const auto parsed = Ipv4::parse(prior)) candidate.prior_abi = *parsed;
@@ -189,19 +249,10 @@ Fabric read_fabric(std::istream& in) {
     segment.shifted = shifted != 0;
     segment.owner_hint = Asn{owner};
     segment.regions.clear();
-    if (regions != "-") {
-      for (const std::string& token : split(regions, '|'))
-        segment.regions.insert(
-            static_cast<std::uint32_t>(std::stoul(token)));
-    }
+    segment.regions.insert(parsed_regions.begin(), parsed_regions.end());
     segment.dest_slash24s.clear();
     segment.sample_destinations.clear();
-    if (dests != "-") {
-      for (const std::string& token : split(dests, '|')) {
-        if (const auto network = Ipv4::parse(token))
-          segment.dest_slash24s.insert(network->value());
-      }
-    }
+    segment.dest_slash24s.insert(parsed_dests.begin(), parsed_dests.end());
   }
   return fabric;
 }
@@ -213,6 +264,33 @@ void write_pins(std::ostream& out, const PinningResult& result) {
         << static_cast<int>(pin.rule) << ','
         << static_cast<int>(pin.anchor_source) << ',' << pin.round << '\n';
   }
+}
+
+PinningResult read_pins(std::istream& in) {
+  PinningResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split(line, ',');
+    if (fields.size() != 5) continue;
+    if (fields[0] == "address") continue;  // header row
+    const auto address = Ipv4::parse(fields[0]);
+    const auto metro = parse_u32(fields[1]);
+    const auto rule = parse_u32(fields[2]);
+    const auto source = parse_u32(fields[3]);
+    const auto round = parse_u32(fields[4]);
+    if (!address || !metro || !rule || !source || !round) continue;
+    if (*rule > static_cast<std::uint32_t>(PinRule::kShortLink)) continue;
+    if (*source > static_cast<std::uint32_t>(AnchorSource::kNativeColo))
+      continue;
+    Pin pin;
+    pin.metro = MetroId{*metro};
+    pin.rule = static_cast<PinRule>(*rule);
+    pin.anchor_source = static_cast<AnchorSource>(*source);
+    pin.round = static_cast<int>(*round);
+    result.pins[address->value()] = pin;
+  }
+  return result;
 }
 
 }  // namespace cloudmap

@@ -32,11 +32,21 @@ std::vector<TracerouteRecord> read_records(std::istream& in);
 //   S <abi> <cbi> <prior> <post> <round> <confirmation> <shifted>
 //     <owner_hint> <regions:a|b|...> <dest24s:x|y|...>
 // (adjacency data is campaign-internal and not persisted).
+//
+// read_fabric is strict per line and never throws: a line with truncated
+// fields, a malformed address/number, or an out-of-range enum value is
+// skipped whole (nothing half-applied). Duplicate (abi, cbi) lines merge
+// through the same dedup path the live Fabric uses — the later line's
+// fields win.
 void write_fabric(std::ostream& out, const Fabric& fabric);
 Fabric read_fabric(std::istream& in);
 
 // --- pinning result ---
-// CSV: address,metro_index,rule,anchor_source,round
+// CSV: address,metro_index,rule,anchor_source,round (header row included).
+// read_pins is the loader counterpart: it fills PinningResult::pins only
+// (the propagation statistics are campaign-time artifacts and are not part
+// of the text format), skipping the header and any malformed row.
 void write_pins(std::ostream& out, const PinningResult& result);
+PinningResult read_pins(std::istream& in);
 
 }  // namespace cloudmap

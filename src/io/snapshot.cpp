@@ -1,0 +1,488 @@
+#include "io/snapshot.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace cloudmap {
+
+namespace {
+
+constexpr char kMagic[6] = {'C', 'M', 'S', 'N', 'A', 'P'};
+constexpr std::size_t kHeaderSize = 6 + 2 + 4;
+constexpr std::size_t kTableEntrySize = 4 + 8 + 8 + 4;
+
+// --- little-endian append helpers -----------------------------------------
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+void put_u16(std::string& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+void put_string(std::string& out, const std::string& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  out.append(v);
+}
+
+// --- bounds-checked cursor over a loaded buffer ---------------------------
+
+struct Cursor {
+  const unsigned char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  bool need(std::size_t n) {
+    if (failed || size - pos < n || pos > size) {
+      failed = true;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data[pos++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i)
+      v = static_cast<std::uint16_t>(v | (std::uint16_t{data[pos + i]}
+                                          << (8 * i)));
+    pos += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{data[pos + i]} << (8 * i);
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{data[pos + i]} << (8 * i);
+    pos += 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!need(n)) return {};
+    std::string v(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return v;
+  }
+  bool at_end() const { return !failed && pos == size; }
+};
+
+// --- section payloads -----------------------------------------------------
+
+std::string encode_meta(const RunSnapshot& s) {
+  std::string out;
+  put_u64(out, s.seed);
+  put_i32(out, s.threads);
+  put_u8(out, s.subject);
+  return out;
+}
+
+std::string encode_segments(const RunSnapshot& s) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(s.segments.size()));
+  for (const SnapshotSegment& seg : s.segments) {
+    put_u32(out, seg.abi.value());
+    put_u32(out, seg.cbi.value());
+    put_u32(out, seg.prior_abi.value());
+    put_u32(out, seg.post_cbi.value());
+    put_i32(out, seg.first_round);
+    put_u8(out, static_cast<std::uint8_t>(seg.confirmation));
+    put_u8(out, static_cast<std::uint8_t>((seg.shifted ? 1 : 0) |
+                                          (seg.ixp ? 2 : 0) |
+                                          (seg.vpi ? 4 : 0)));
+    put_u8(out, seg.group);
+    put_u32(out, seg.owner_hint.value);
+    put_u32(out, seg.peer_asn.value);
+    put_u32(out, seg.peer_org.value);
+    put_u32(out, static_cast<std::uint32_t>(seg.regions.size()));
+    for (const std::uint32_t region : seg.regions) put_u32(out, region);
+    put_u32(out, static_cast<std::uint32_t>(seg.dest_slash24s.size()));
+    for (const std::uint32_t dest : seg.dest_slash24s) put_u32(out, dest);
+  }
+  return out;
+}
+
+std::string encode_pins(const RunSnapshot& s) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(s.pins.size()));
+  for (const SnapshotPin& pin : s.pins) {
+    put_u32(out, pin.address);
+    put_u32(out, pin.metro);
+    put_u8(out, pin.rule);
+    put_u8(out, pin.anchor_source);
+    put_i32(out, pin.round);
+  }
+  put_u32(out, static_cast<std::uint32_t>(s.regional.size()));
+  for (const auto& [address, region] : s.regional) {
+    put_u32(out, address);
+    put_u32(out, region);
+  }
+  return out;
+}
+
+std::string encode_aliases(const RunSnapshot& s) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(s.alias_sets.size()));
+  for (const std::vector<std::uint32_t>& set : s.alias_sets) {
+    put_u32(out, static_cast<std::uint32_t>(set.size()));
+    for (const std::uint32_t member : set) put_u32(out, member);
+  }
+  return out;
+}
+
+std::string encode_metrics(const RunSnapshot& s) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(s.stage_reports.size()));
+  for (const StageReport& report : s.stage_reports) {
+    put_u8(out, static_cast<std::uint8_t>(report.id));
+    put_i32(out, report.threads);
+    put_u32(out, report.workers);
+    put_u64(out, report.targets);
+    put_u64(out, report.traceroutes);
+    put_u64(out, report.probes);
+    put_u64(out, report.bgp_cache_hits);
+    put_u64(out, report.bgp_cache_misses);
+    put_f64(out, report.wall_ms);
+    put_f64(out, report.worker_utilization);
+    put_u32(out, static_cast<std::uint32_t>(report.tallies.size()));
+    for (const auto& [name, value] : report.tallies) {
+      put_string(out, name);
+      put_f64(out, value);
+    }
+  }
+  return out;
+}
+
+// --- section decoders (each over its own bounds-checked cursor) -----------
+
+bool decode_meta(Cursor& in, RunSnapshot& s) {
+  s.seed = in.u64();
+  s.threads = in.i32();
+  s.subject = in.u8();
+  return in.at_end();
+}
+
+bool decode_segments(Cursor& in, RunSnapshot& s) {
+  const std::uint32_t count = in.u32();
+  for (std::uint32_t i = 0; i < count && !in.failed; ++i) {
+    SnapshotSegment seg;
+    seg.abi = Ipv4(in.u32());
+    seg.cbi = Ipv4(in.u32());
+    seg.prior_abi = Ipv4(in.u32());
+    seg.post_cbi = Ipv4(in.u32());
+    seg.first_round = in.i32();
+    const std::uint8_t confirmation = in.u8();
+    if (confirmation > static_cast<std::uint8_t>(Confirmation::kAliasRelabel))
+      return false;
+    seg.confirmation = static_cast<Confirmation>(confirmation);
+    const std::uint8_t flags = in.u8();
+    if (flags > 7) return false;
+    seg.shifted = (flags & 1) != 0;
+    seg.ixp = (flags & 2) != 0;
+    seg.vpi = (flags & 4) != 0;
+    seg.group = in.u8();
+    if (seg.group != kSnapshotNoGroup && seg.group >= 6) return false;
+    seg.owner_hint = Asn{in.u32()};
+    seg.peer_asn = Asn{in.u32()};
+    seg.peer_org = OrgId{in.u32()};
+    const std::uint32_t region_count = in.u32();
+    if (!in.need(std::size_t{region_count} * 4)) return false;
+    seg.regions.reserve(region_count);
+    for (std::uint32_t r = 0; r < region_count; ++r)
+      seg.regions.push_back(in.u32());
+    const std::uint32_t dest_count = in.u32();
+    if (!in.need(std::size_t{dest_count} * 4)) return false;
+    seg.dest_slash24s.reserve(dest_count);
+    for (std::uint32_t d = 0; d < dest_count; ++d)
+      seg.dest_slash24s.push_back(in.u32());
+    s.segments.push_back(std::move(seg));
+  }
+  return in.at_end();
+}
+
+bool decode_pins(Cursor& in, RunSnapshot& s) {
+  const std::uint32_t pin_count = in.u32();
+  for (std::uint32_t i = 0; i < pin_count && !in.failed; ++i) {
+    SnapshotPin pin;
+    pin.address = in.u32();
+    pin.metro = in.u32();
+    pin.rule = in.u8();
+    if (pin.rule > 2) return false;  // PinRule range
+    pin.anchor_source = in.u8();
+    if (pin.anchor_source > 4) return false;  // AnchorSource range
+    pin.round = in.i32();
+    s.pins.push_back(pin);
+  }
+  const std::uint32_t regional_count = in.u32();
+  if (!in.need(std::size_t{regional_count} * 8)) return false;
+  for (std::uint32_t i = 0; i < regional_count; ++i) {
+    const std::uint32_t address = in.u32();
+    const std::uint32_t region = in.u32();
+    s.regional.emplace_back(address, region);
+  }
+  return in.at_end();
+}
+
+bool decode_aliases(Cursor& in, RunSnapshot& s) {
+  const std::uint32_t set_count = in.u32();
+  for (std::uint32_t i = 0; i < set_count && !in.failed; ++i) {
+    const std::uint32_t member_count = in.u32();
+    if (!in.need(std::size_t{member_count} * 4)) return false;
+    std::vector<std::uint32_t> set;
+    set.reserve(member_count);
+    for (std::uint32_t m = 0; m < member_count; ++m) set.push_back(in.u32());
+    s.alias_sets.push_back(std::move(set));
+  }
+  return in.at_end();
+}
+
+bool decode_metrics(Cursor& in, RunSnapshot& s) {
+  const std::uint32_t report_count = in.u32();
+  for (std::uint32_t i = 0; i < report_count && !in.failed; ++i) {
+    StageReport report;
+    const std::uint8_t stage = in.u8();
+    if (stage >= kStageCount) return false;
+    report.id = static_cast<StageId>(stage);
+    report.threads = in.i32();
+    report.workers = in.u32();
+    report.targets = in.u64();
+    report.traceroutes = in.u64();
+    report.probes = in.u64();
+    report.bgp_cache_hits = in.u64();
+    report.bgp_cache_misses = in.u64();
+    report.wall_ms = in.f64();
+    report.worker_utilization = in.f64();
+    const std::uint32_t tally_count = in.u32();
+    for (std::uint32_t t = 0; t < tally_count && !in.failed; ++t) {
+      std::string name = in.str();
+      const double value = in.f64();
+      report.tallies.emplace_back(std::move(name), value);
+    }
+    s.stage_reports.push_back(std::move(report));
+  }
+  return in.at_end();
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+std::uint32_t snapshot_crc32(const unsigned char* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void canonicalize(RunSnapshot& snapshot) {
+  std::sort(snapshot.segments.begin(), snapshot.segments.end(),
+            [](const SnapshotSegment& a, const SnapshotSegment& b) {
+              if (a.abi != b.abi) return a.abi < b.abi;
+              return a.cbi < b.cbi;
+            });
+  for (SnapshotSegment& seg : snapshot.segments) {
+    std::sort(seg.regions.begin(), seg.regions.end());
+    std::sort(seg.dest_slash24s.begin(), seg.dest_slash24s.end());
+  }
+  std::sort(snapshot.pins.begin(), snapshot.pins.end(),
+            [](const SnapshotPin& a, const SnapshotPin& b) {
+              return a.address < b.address;
+            });
+  std::sort(snapshot.regional.begin(), snapshot.regional.end());
+  for (std::vector<std::uint32_t>& set : snapshot.alias_sets)
+    std::sort(set.begin(), set.end());
+  std::sort(snapshot.alias_sets.begin(), snapshot.alias_sets.end());
+  std::sort(snapshot.stage_reports.begin(), snapshot.stage_reports.end(),
+            [](const StageReport& a, const StageReport& b) {
+              return stage_index(a.id) < stage_index(b.id);
+            });
+  for (StageReport& report : snapshot.stage_reports)
+    std::sort(report.tallies.begin(), report.tallies.end());
+}
+
+void save_snapshot(std::ostream& out, const RunSnapshot& snapshot) {
+  RunSnapshot canonical = snapshot;
+  canonicalize(canonical);
+
+  struct Section {
+    SnapshotSection id;
+    std::string payload;
+  };
+  const std::array<Section, 5> sections = {{
+      {SnapshotSection::kMeta, encode_meta(canonical)},
+      {SnapshotSection::kSegments, encode_segments(canonical)},
+      {SnapshotSection::kPins, encode_pins(canonical)},
+      {SnapshotSection::kAliases, encode_aliases(canonical)},
+      {SnapshotSection::kMetrics, encode_metrics(canonical)},
+  }};
+
+  std::string header;
+  header.append(kMagic, sizeof(kMagic));
+  put_u16(header, kSnapshotFormatVersion);
+  put_u32(header, static_cast<std::uint32_t>(sections.size()));
+  std::uint64_t offset = kHeaderSize + sections.size() * kTableEntrySize;
+  for (const Section& section : sections) {
+    put_u32(header, static_cast<std::uint32_t>(section.id));
+    put_u64(header, offset);
+    put_u64(header, section.payload.size());
+    put_u32(header,
+            snapshot_crc32(
+                reinterpret_cast<const unsigned char*>(section.payload.data()),
+                section.payload.size()));
+    offset += section.payload.size();
+  }
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  for (const Section& section : sections)
+    out.write(section.payload.data(),
+              static_cast<std::streamsize>(section.payload.size()));
+}
+
+bool save_snapshot_file(const std::string& path, const RunSnapshot& snapshot,
+                        std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return fail(error, "cannot open " + path + " for writing");
+  save_snapshot(out, snapshot);
+  out.flush();
+  if (!out) return fail(error, "write to " + path + " failed");
+  return true;
+}
+
+std::optional<RunSnapshot> load_snapshot(std::istream& in,
+                                         std::string* error) {
+  std::ostringstream buffer_stream;
+  buffer_stream << in.rdbuf();
+  const std::string buffer = buffer_stream.str();
+  const auto* data = reinterpret_cast<const unsigned char*>(buffer.data());
+
+  const auto reject = [&](const std::string& message)
+      -> std::optional<RunSnapshot> {
+    fail(error, "snapshot: " + message);
+    return std::nullopt;
+  };
+
+  if (buffer.size() < kHeaderSize) return reject("file shorter than header");
+  if (std::memcmp(buffer.data(), kMagic, sizeof(kMagic)) != 0)
+    return reject("bad magic (not a cloudmap snapshot)");
+  Cursor header{data, buffer.size(), sizeof(kMagic)};
+  const std::uint16_t version = header.u16();
+  if (version != kSnapshotFormatVersion)
+    return reject("unsupported format version " + std::to_string(version) +
+                  " (expected " + std::to_string(kSnapshotFormatVersion) +
+                  ")");
+  const std::uint32_t section_count = header.u32();
+  if (section_count > 1024) return reject("implausible section count");
+  if (!header.need(std::size_t{section_count} * kTableEntrySize))
+    return reject("truncated section table");
+
+  RunSnapshot snapshot;
+  bool seen[6] = {};
+  // Every byte must be owned by the header, the table, or a payload: a file
+  // with unaccounted trailing bytes would not re-save byte-identically.
+  std::uint64_t end_of_payloads =
+      kHeaderSize + std::uint64_t{section_count} * kTableEntrySize;
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::uint32_t id = header.u32();
+    const std::uint64_t offset = header.u64();
+    const std::uint64_t size = header.u64();
+    const std::uint32_t crc = header.u32();
+    if (offset > buffer.size() || size > buffer.size() - offset)
+      return reject("section " + std::to_string(id) +
+                    " extends past end of file");
+    end_of_payloads = std::max(end_of_payloads, offset + size);
+    if (snapshot_crc32(data + offset, size) != crc)
+      return reject("section " + std::to_string(id) + " CRC mismatch");
+    if (id < 1 || id > 5) continue;  // unknown section: skip (forward compat)
+    if (seen[id])
+      return reject("duplicate section " + std::to_string(id));
+    seen[id] = true;
+    Cursor body{data + offset, static_cast<std::size_t>(size), 0};
+    bool ok = false;
+    switch (static_cast<SnapshotSection>(id)) {
+      case SnapshotSection::kMeta: ok = decode_meta(body, snapshot); break;
+      case SnapshotSection::kSegments:
+        ok = decode_segments(body, snapshot);
+        break;
+      case SnapshotSection::kPins: ok = decode_pins(body, snapshot); break;
+      case SnapshotSection::kAliases:
+        ok = decode_aliases(body, snapshot);
+        break;
+      case SnapshotSection::kMetrics:
+        ok = decode_metrics(body, snapshot);
+        break;
+    }
+    if (!ok)
+      return reject("section " + std::to_string(id) +
+                    " is malformed (bad field or trailing bytes)");
+  }
+  for (std::uint32_t id = 1; id <= 5; ++id) {
+    if (!seen[id])
+      return reject("missing required section " + std::to_string(id));
+  }
+  if (end_of_payloads != buffer.size())
+    return reject("trailing bytes past the last section");
+  return snapshot;
+}
+
+std::optional<RunSnapshot> load_snapshot_file(const std::string& path,
+                                              std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail(error, "cannot open " + path);
+    return std::nullopt;
+  }
+  return load_snapshot(in, error);
+}
+
+}  // namespace cloudmap

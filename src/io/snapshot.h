@@ -1,0 +1,62 @@
+// Versioned binary snapshot of a full pipeline run (query/snapshot.h),
+// replacing N separate text files on the serve path: one file captures the
+// annotated fabric, pinning, alias sets, and stage metrics, and loads in one
+// pass into the query engine.
+//
+// Byte layout (all integers little-endian, fixed width; full spec with the
+// per-section record formats in DESIGN.md §7):
+//
+//   header   magic "CMSNAP" (6 bytes) | u16 format version (= 1)
+//            | u32 section count
+//   table    section count × { u32 section id, u64 payload offset (from
+//            file start), u64 payload size, u32 CRC-32 of the payload }
+//   payloads concatenated in table order
+//
+// Sections (ids are stable; readers skip unknown ids so additive sections
+// do not need a version bump): 1 meta, 2 segments, 3 pins, 4 alias sets,
+// 5 stage metrics. CRC-32 is the zlib polynomial (0xEDB88320), so
+// tools/diff_snapshots.py verifies with Python's zlib.crc32.
+//
+// Determinism contract: save_snapshot() canonicalizes collection order, so
+// save → load → save produces byte-identical files (enforced in CI). A
+// corrupted or truncated file is rejected with a diagnostic — never a crash
+// or a silent partial load.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "query/snapshot.h"
+
+namespace cloudmap {
+
+inline constexpr std::uint16_t kSnapshotFormatVersion = 1;
+
+// Section ids of the current format.
+enum class SnapshotSection : std::uint32_t {
+  kMeta = 1,
+  kSegments = 2,
+  kPins = 3,
+  kAliases = 4,
+  kMetrics = 5,
+};
+
+// Serialize (canonicalizing collection order first; see query/snapshot.h).
+void save_snapshot(std::ostream& out, const RunSnapshot& snapshot);
+bool save_snapshot_file(const std::string& path, const RunSnapshot& snapshot,
+                        std::string* error = nullptr);
+
+// Parse and validate: magic, version, section-table bounds, per-section
+// CRC, and per-field range checks. Returns nullopt (and a one-line
+// diagnostic in *error, when given) on any violation.
+std::optional<RunSnapshot> load_snapshot(std::istream& in,
+                                         std::string* error = nullptr);
+std::optional<RunSnapshot> load_snapshot_file(const std::string& path,
+                                              std::string* error = nullptr);
+
+// CRC-32 (zlib polynomial) over a byte buffer; exposed for tests.
+std::uint32_t snapshot_crc32(const unsigned char* data, std::size_t size);
+
+}  // namespace cloudmap

@@ -1,0 +1,108 @@
+#include "query/diff.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+namespace cloudmap {
+
+namespace {
+
+std::uint64_t key_of(const SnapshotSegment& seg) {
+  return (static_cast<std::uint64_t>(seg.abi.value()) << 32) |
+         seg.cbi.value();
+}
+
+SegmentKey unkey(std::uint64_t key) {
+  return SegmentKey{Ipv4(static_cast<std::uint32_t>(key >> 32)),
+                    Ipv4(static_cast<std::uint32_t>(key))};
+}
+
+}  // namespace
+
+SnapshotDiff diff_snapshots(const RunSnapshot& a, const RunSnapshot& b) {
+  SnapshotDiff out;
+
+  // Ordered maps give ascending output without a post-sort.
+  std::map<std::uint64_t, const SnapshotSegment*> segments_a;
+  std::map<std::uint64_t, const SnapshotSegment*> segments_b;
+  for (const SnapshotSegment& seg : a.segments) segments_a[key_of(seg)] = &seg;
+  for (const SnapshotSegment& seg : b.segments) segments_b[key_of(seg)] = &seg;
+
+  for (const auto& [key, seg_a] : segments_a) {
+    const auto it = segments_b.find(key);
+    if (it == segments_b.end()) {
+      out.removed.push_back(unkey(key));
+      continue;
+    }
+    ++out.common_segments;
+    if (seg_a->confirmation != it->second->confirmation) {
+      out.reconfirmed.push_back(ConfirmationChange{
+          seg_a->abi, seg_a->cbi, seg_a->confirmation,
+          it->second->confirmation});
+    }
+  }
+  for (const auto& [key, seg_b] : segments_b) {
+    (void)seg_b;
+    if (!segments_a.count(key)) out.added.push_back(unkey(key));
+  }
+
+  std::map<std::uint32_t, std::uint32_t> pins_a;
+  std::map<std::uint32_t, std::uint32_t> pins_b;
+  for (const SnapshotPin& pin : a.pins) pins_a[pin.address] = pin.metro;
+  for (const SnapshotPin& pin : b.pins) pins_b[pin.address] = pin.metro;
+  for (const auto& [address, metro] : pins_a) {
+    const auto it = pins_b.find(address);
+    if (it == pins_b.end()) {
+      out.repinned.push_back(PinChange{address, metro, kInvalidIndex});
+    } else {
+      ++out.common_pins;
+      if (it->second != metro)
+        out.repinned.push_back(PinChange{address, metro, it->second});
+    }
+  }
+  for (const auto& [address, metro] : pins_b) {
+    if (!pins_a.count(address))
+      out.repinned.push_back(PinChange{address, kInvalidIndex, metro});
+  }
+  std::sort(out.repinned.begin(), out.repinned.end(),
+            [](const PinChange& x, const PinChange& y) {
+              return x.address < y.address;
+            });
+
+  return out;
+}
+
+void write_diff(std::ostream& out, const SnapshotDiff& diff) {
+  out << "segments: +" << diff.added.size() << " -" << diff.removed.size()
+      << " reconfirmed " << diff.reconfirmed.size() << " (common "
+      << diff.common_segments << ")\n";
+  for (const SegmentKey& key : diff.added)
+    out << "  + " << key.abi.to_string() << " -> " << key.cbi.to_string()
+        << '\n';
+  for (const SegmentKey& key : diff.removed)
+    out << "  - " << key.abi.to_string() << " -> " << key.cbi.to_string()
+        << '\n';
+  for (const ConfirmationChange& change : diff.reconfirmed)
+    out << "  ~ " << change.abi.to_string() << " -> "
+        << change.cbi.to_string() << "  " << to_string(change.before)
+        << " => " << to_string(change.after) << '\n';
+  out << "pins: " << diff.repinned.size() << " changed (common "
+      << diff.common_pins << ")\n";
+  for (const PinChange& change : diff.repinned) {
+    out << "  ~ " << Ipv4(change.address).to_string() << "  metro ";
+    if (change.metro_before == kInvalidIndex)
+      out << "(unpinned)";
+    else
+      out << change.metro_before;
+    out << " => ";
+    if (change.metro_after == kInvalidIndex)
+      out << "(unpinned)";
+    else
+      out << change.metro_after;
+    out << '\n';
+  }
+  if (diff.identical()) out << "snapshots are identical\n";
+}
+
+}  // namespace cloudmap

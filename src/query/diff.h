@@ -1,0 +1,58 @@
+// Snapshot diffing for longitudinal studies: given two RunSnapshots (e.g.
+// two campaigns weeks apart, or two CI runs), report which interconnection
+// segments appeared, disappeared, changed confirmation class, or moved to a
+// different metro pin. This is the cross-run analogue of the remote-peering
+// and IXP-dataset comparison studies the paper cites — the map only becomes
+// evidence when you can say what changed between editions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "query/snapshot.h"
+
+namespace cloudmap {
+
+struct SegmentKey {
+  Ipv4 abi;
+  Ipv4 cbi;
+};
+
+struct ConfirmationChange {
+  Ipv4 abi;
+  Ipv4 cbi;
+  Confirmation before = Confirmation::kUnconfirmed;
+  Confirmation after = Confirmation::kUnconfirmed;
+};
+
+// A metro-pin change for one interface address. kInvalidIndex on either
+// side means "not pinned in that snapshot".
+struct PinChange {
+  std::uint32_t address = 0;
+  std::uint32_t metro_before = kInvalidIndex;
+  std::uint32_t metro_after = kInvalidIndex;
+};
+
+struct SnapshotDiff {
+  std::vector<SegmentKey> added;    // in B only, by (abi, cbi)
+  std::vector<SegmentKey> removed;  // in A only
+  std::vector<ConfirmationChange> reconfirmed;
+  std::vector<PinChange> repinned;
+  std::size_t common_segments = 0;   // present in both (incl. reconfirmed)
+  std::size_t common_pins = 0;       // addresses pinned in both
+  bool identical() const {
+    return added.empty() && removed.empty() && reconfirmed.empty() &&
+           repinned.empty();
+  }
+};
+
+// Compare two snapshots by (ABI, CBI) segment identity and by pinned
+// address. Inputs need not be canonicalized; output vectors are ascending.
+SnapshotDiff diff_snapshots(const RunSnapshot& a, const RunSnapshot& b);
+
+// Human-readable report (the `cloudmap_cli diff` output).
+void write_diff(std::ostream& out, const SnapshotDiff& diff);
+
+}  // namespace cloudmap

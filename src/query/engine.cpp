@@ -1,0 +1,78 @@
+#include "query/engine.h"
+
+#include <unordered_set>
+
+namespace cloudmap {
+
+QueryEngine::QueryEngine(const FabricIndex& index, MetricsRegistry* metrics)
+    : index_(&index) {
+  if (metrics != nullptr && metrics->enabled()) {
+    lookups_ = &metrics->counter("query.lookups");
+    peers_queries_ = &metrics->counter("query.peers_of");
+    metro_queries_ = &metrics->counter("query.interfaces_in");
+    vpi_queries_ = &metrics->counter("query.vpi_candidates");
+    count_queries_ = &metrics->counter("query.counts");
+  }
+}
+
+std::vector<std::uint32_t> QueryEngine::peers_of(Asn peer) const {
+  if (peers_queries_ != nullptr) peers_queries_->add();
+  const std::vector<std::uint32_t>* hits = index_->segments_of_peer(peer);
+  return hits == nullptr ? std::vector<std::uint32_t>{} : *hits;
+}
+
+std::vector<std::uint32_t> QueryEngine::interfaces_in(
+    std::uint32_t metro) const {
+  if (metro_queries_ != nullptr) metro_queries_->add();
+  const std::vector<std::uint32_t>* hits = index_->interfaces_in_metro(metro);
+  return hits == nullptr ? std::vector<std::uint32_t>{} : *hits;
+}
+
+std::vector<std::uint32_t> QueryEngine::vpi_candidates() const {
+  if (vpi_queries_ != nullptr) vpi_queries_->add();
+  return index_->vpi_segments();
+}
+
+std::optional<LookupHit> QueryEngine::lookup(Ipv4 address) const {
+  if (lookups_ != nullptr) lookups_->add();
+  return index_->lookup(address);
+}
+
+FabricCounts QueryEngine::counts() const {
+  if (count_queries_ != nullptr) count_queries_->add();
+  FabricCounts out;
+  std::unordered_set<std::uint32_t> abis;
+  std::unordered_set<std::uint32_t> cbis;
+  std::unordered_set<std::uint32_t> orgs;
+  std::unordered_set<std::uint32_t> vpi_cbis;
+  std::array<std::unordered_set<std::uint32_t>, kPeeringGroupCount>
+      group_ases;
+  for (const SnapshotSegment& seg : index_->segments()) {
+    ++out.segments;
+    abis.insert(seg.abi.value());
+    cbis.insert(seg.cbi.value());
+    if (!seg.peer_org.is_unknown()) orgs.insert(seg.peer_org.value);
+    ++out.by_confirmation[static_cast<std::size_t>(seg.confirmation)];
+    if (seg.ixp) ++out.ixp_segments;
+    if (seg.vpi) vpi_cbis.insert(seg.cbi.value());
+    if (seg.group == kSnapshotNoGroup) {
+      ++out.unattributed_segments;
+    } else {
+      ++out.group_segments[seg.group];
+      if (!seg.peer_asn.is_unknown())
+        group_ases[seg.group].insert(seg.peer_asn.value);
+    }
+  }
+  out.unique_abis = abis.size();
+  out.unique_cbis = cbis.size();
+  out.peer_ases = index_->peer_asns().size();
+  out.peer_orgs = orgs.size();
+  out.vpi_cbis = vpi_cbis.size();
+  for (std::size_t g = 0; g < kPeeringGroupCount; ++g)
+    out.group_ases[g] = group_ases[g].size();
+  out.pinned_interfaces = index_->snapshot().pins.size();
+  out.regional_only = index_->snapshot().regional.size();
+  return out;
+}
+
+}  // namespace cloudmap

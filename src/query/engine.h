@@ -1,0 +1,76 @@
+// QueryEngine: the read-mostly serving layer over a FabricIndex. All query
+// methods are const, allocate only their result, and touch nothing but the
+// immutable index plus (optionally) relaxed-atomic metrics counters — so any
+// number of threads may share one engine with zero locking after build, and
+// answers are bit-identical at every reader thread count.
+//
+// Counter names (all created at construction so they appear in a metrics
+// artifact even when a query class was never exercised): query.lookups,
+// query.peers_of, query.interfaces_in, query.vpi_candidates, query.counts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/grouping.h"
+#include "obs/metrics.h"
+#include "query/fabric_index.h"
+
+namespace cloudmap {
+
+// Aggregate answers in the shape of the paper's tables: interface totals
+// per confirmation class (Tables 1/2), the VPI overlap (Table 4), and the
+// six-group peering breakdown (Table 5), plus the §6 pinning coverage.
+struct FabricCounts {
+  std::size_t segments = 0;
+  std::size_t unique_abis = 0;
+  std::size_t unique_cbis = 0;
+  std::size_t peer_ases = 0;
+  std::size_t peer_orgs = 0;
+  std::array<std::size_t, 5> by_confirmation{};  // indexed by Confirmation
+  std::size_t ixp_segments = 0;   // public peerings (CBI on an IXP LAN)
+  std::size_t vpi_cbis = 0;       // unique CBIs in the multi-cloud overlap
+  std::array<std::size_t, kPeeringGroupCount> group_segments{};
+  std::array<std::size_t, kPeeringGroupCount> group_ases{};
+  std::size_t unattributed_segments = 0;
+  std::size_t pinned_interfaces = 0;   // metro-level pins
+  std::size_t regional_only = 0;       // regional fallback entries
+};
+
+class QueryEngine {
+ public:
+  // `metrics` may be null or disabled; counter handles are resolved once
+  // here so the hot path is a relaxed atomic add, never a name lookup.
+  explicit QueryEngine(const FabricIndex& index,
+                       MetricsRegistry* metrics = nullptr);
+
+  const FabricIndex& index() const { return *index_; }
+
+  // Segments whose peer AS is `peer` (ascending indices; empty = none).
+  std::vector<std::uint32_t> peers_of(Asn peer) const;
+
+  // Interface addresses pinned to `metro`, ascending.
+  std::vector<std::uint32_t> interfaces_in(std::uint32_t metro) const;
+
+  // Segments in the §7.1 multi-cloud overlap (virtual interconnections).
+  std::vector<std::uint32_t> vpi_candidates() const;
+
+  // Longest-prefix lookup of an arbitrary address against the fabric.
+  std::optional<LookupHit> lookup(Ipv4 address) const;
+
+  // Full aggregate pass (brute-force over the index's segment table; the
+  // result is deterministic and cheap relative to rebuilding the map).
+  FabricCounts counts() const;
+
+ private:
+  const FabricIndex* index_;
+  MetricsRegistry::Counter* lookups_ = nullptr;
+  MetricsRegistry::Counter* peers_queries_ = nullptr;
+  MetricsRegistry::Counter* metro_queries_ = nullptr;
+  MetricsRegistry::Counter* vpi_queries_ = nullptr;
+  MetricsRegistry::Counter* count_queries_ = nullptr;
+};
+
+}  // namespace cloudmap

@@ -1,0 +1,120 @@
+#include "query/fabric_index.h"
+
+#include <algorithm>
+
+namespace cloudmap {
+
+namespace {
+
+// Segments are canonicalized (sorted by (abi, cbi)) and visited in order, so
+// per-key index vectors come out ascending without a second sort; dedup is
+// still needed where one segment contributes the same key twice.
+void push_unique(std::vector<std::uint32_t>& into, std::uint32_t value) {
+  if (into.empty() || into.back() != value) into.push_back(value);
+}
+
+}  // namespace
+
+FabricIndex::FabricIndex(RunSnapshot snapshot)
+    : snapshot_(std::move(snapshot)) {
+  canonicalize(snapshot_);  // hand-built snapshots may arrive unsorted
+
+  for (std::uint32_t i = 0;
+       i < static_cast<std::uint32_t>(snapshot_.segments.size()); ++i) {
+    const SnapshotSegment& seg = snapshot_.segments[i];
+    if (!seg.peer_asn.is_unknown())
+      by_peer_[seg.peer_asn.value].push_back(i);
+    if (!seg.peer_org.is_unknown()) by_org_[seg.peer_org.value].push_back(i);
+    by_confirmation_[static_cast<std::size_t>(seg.confirmation)].push_back(i);
+    if (seg.ixp) ixp_segments_.push_back(i);
+    if (seg.vpi) vpi_segments_.push_back(i);
+
+    // Interface entries (/32). An address may be the ABI of one segment and
+    // the CBI of another (§5.2 relabels); roles accumulate.
+    TrieEntry& abi_entry = trie_.at_or_default(Prefix(seg.abi, 32));
+    abi_entry.is_interface = true;
+    abi_entry.abi = true;
+    push_unique(abi_entry.segments, i);
+    TrieEntry& cbi_entry = trie_.at_or_default(Prefix(seg.cbi, 32));
+    cbi_entry.is_interface = true;
+    cbi_entry.cbi = true;
+    push_unique(cbi_entry.segments, i);
+    // Destination cones (/24): the networks reached through this segment.
+    for (const std::uint32_t network : seg.dest_slash24s) {
+      TrieEntry& dest = trie_.at_or_default(Prefix(Ipv4(network), 24));
+      push_unique(dest.segments, i);
+    }
+  }
+
+  for (const auto& [asn, indices] : by_peer_) peer_asns_.push_back(asn);
+  std::sort(peer_asns_.begin(), peer_asns_.end());
+
+  for (std::size_t p = 0; p < snapshot_.pins.size(); ++p) {
+    const SnapshotPin& pin = snapshot_.pins[p];
+    pin_by_address_[pin.address] = p;
+    by_metro_[pin.metro].push_back(pin.address);  // pins sorted by address
+  }
+  for (const auto& [metro, addresses] : by_metro_)
+    pinned_metros_.push_back(metro);
+  std::sort(pinned_metros_.begin(), pinned_metros_.end());
+  for (const auto& [address, region] : snapshot_.regional)
+    region_by_address_[address] = region;
+
+  for (std::size_t s = 0; s < snapshot_.alias_sets.size(); ++s)
+    for (const std::uint32_t member : snapshot_.alias_sets[s])
+      alias_set_by_address_[member] = s;
+}
+
+const std::vector<std::uint32_t>* FabricIndex::segments_of_peer(
+    Asn peer) const {
+  const auto it = by_peer_.find(peer.value);
+  return it == by_peer_.end() ? nullptr : &it->second;
+}
+
+const std::vector<std::uint32_t>* FabricIndex::segments_of_org(
+    OrgId org) const {
+  const auto it = by_org_.find(org.value);
+  return it == by_org_.end() ? nullptr : &it->second;
+}
+
+const std::vector<std::uint32_t>* FabricIndex::interfaces_in_metro(
+    std::uint32_t metro) const {
+  const auto it = by_metro_.find(metro);
+  return it == by_metro_.end() ? nullptr : &it->second;
+}
+
+const SnapshotPin* FabricIndex::pin_of(Ipv4 address) const {
+  const auto it = pin_by_address_.find(address.value());
+  return it == pin_by_address_.end() ? nullptr : &snapshot_.pins[it->second];
+}
+
+std::optional<std::uint32_t> FabricIndex::region_of(Ipv4 address) const {
+  const auto it = region_by_address_.find(address.value());
+  if (it == region_by_address_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<LookupHit> FabricIndex::lookup(Ipv4 address) const {
+  const auto entry = trie_.lookup_entry(address);
+  if (!entry) return std::nullopt;
+  const auto it = trie_.exact(entry->first);
+  // lookup_entry copies the value; re-resolve to hand out a stable pointer.
+  if (it == nullptr) return std::nullopt;
+  LookupHit hit;
+  hit.prefix = entry->first;
+  hit.is_interface = it->is_interface;
+  hit.abi = it->abi;
+  hit.cbi = it->cbi;
+  hit.segments = &it->segments;
+  return hit;
+}
+
+const std::vector<std::uint32_t>* FabricIndex::alias_set_of(
+    Ipv4 address) const {
+  const auto it = alias_set_by_address_.find(address.value());
+  return it == alias_set_by_address_.end()
+             ? nullptr
+             : &snapshot_.alias_sets[it->second];
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,103 @@
+// FabricIndex: an immutable, read-optimized view over one RunSnapshot,
+// built once at load time. Construction materializes every secondary index
+// the query engine needs — segments by peer ASN, by ORG, by confirmation
+// class, by IXP/VPI membership, interfaces by metro pin, and a prefix-trie
+// over all interface addresses (/32) and destination cones (/24) for
+// longest-prefix lookups. After the constructor returns the structure is
+// never mutated, so any number of reader threads may query it concurrently
+// with zero locking.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/prefix_trie.h"
+#include "query/snapshot.h"
+
+namespace cloudmap {
+
+// One longest-prefix match: a /32 hit names an interface (with its fabric
+// roles), a shorter hit names a destination cone reached through the listed
+// segments.
+struct LookupHit {
+  Prefix prefix;               // most specific covering entry
+  bool is_interface = false;   // /32 interface vs destination /24
+  bool abi = false;            // address appears as an ABI
+  bool cbi = false;            // address appears as a CBI
+  // Indices into segments(), ascending; never null.
+  const std::vector<std::uint32_t>* segments = nullptr;
+};
+
+class FabricIndex {
+ public:
+  // Takes the snapshot by value (canonicalized on save/load, so index
+  // iteration orders are deterministic) and builds every index eagerly.
+  explicit FabricIndex(RunSnapshot snapshot);
+  FabricIndex(const FabricIndex&) = delete;
+  FabricIndex& operator=(const FabricIndex&) = delete;
+
+  const RunSnapshot& snapshot() const { return snapshot_; }
+  const std::vector<SnapshotSegment>& segments() const {
+    return snapshot_.segments;
+  }
+
+  // --- secondary indexes (segment indices, ascending; nullptr = no hits) ---
+  const std::vector<std::uint32_t>* segments_of_peer(Asn peer) const;
+  const std::vector<std::uint32_t>* segments_of_org(OrgId org) const;
+  const std::vector<std::uint32_t>& segments_with(Confirmation c) const {
+    return by_confirmation_[static_cast<std::size_t>(c)];
+  }
+  const std::vector<std::uint32_t>& ixp_segments() const {
+    return ixp_segments_;
+  }
+  const std::vector<std::uint32_t>& vpi_segments() const {
+    return vpi_segments_;
+  }
+
+  // Peer ASNs present in the fabric, ascending (unknown/0 excluded).
+  const std::vector<std::uint32_t>& peer_asns() const { return peer_asns_; }
+
+  // --- pinning views -------------------------------------------------------
+  // Interface addresses pinned to a metro, ascending; nullptr = none.
+  const std::vector<std::uint32_t>* interfaces_in_metro(
+      std::uint32_t metro) const;
+  // Metros with at least one pinned interface, ascending.
+  const std::vector<std::uint32_t>& pinned_metros() const {
+    return pinned_metros_;
+  }
+  const SnapshotPin* pin_of(Ipv4 address) const;
+  std::optional<std::uint32_t> region_of(Ipv4 address) const;
+
+  // --- longest-prefix lookup ----------------------------------------------
+  std::optional<LookupHit> lookup(Ipv4 address) const;
+
+  // Alias set containing an address; nullptr when the address is in none.
+  const std::vector<std::uint32_t>* alias_set_of(Ipv4 address) const;
+
+ private:
+  struct TrieEntry {
+    bool is_interface = false;
+    bool abi = false;
+    bool cbi = false;
+    std::vector<std::uint32_t> segments;
+  };
+
+  RunSnapshot snapshot_;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_peer_;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_org_;
+  std::array<std::vector<std::uint32_t>, 5> by_confirmation_;
+  std::vector<std::uint32_t> ixp_segments_;
+  std::vector<std::uint32_t> vpi_segments_;
+  std::vector<std::uint32_t> peer_asns_;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_metro_;
+  std::vector<std::uint32_t> pinned_metros_;
+  std::unordered_map<std::uint32_t, std::size_t> pin_by_address_;
+  std::unordered_map<std::uint32_t, std::uint32_t> region_by_address_;
+  std::unordered_map<std::uint32_t, std::size_t> alias_set_by_address_;
+  PrefixTrie<TrieEntry> trie_;
+};
+
+}  // namespace cloudmap

@@ -1,0 +1,249 @@
+// QueryEngine correctness (src/query/): every typed query cross-checked
+// against a brute-force scan of the raw snapshot, and the zero-locking
+// claim exercised with concurrent readers (this file matches the CI TSan
+// filter, so data races here fail the sanitize job).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <set>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "fixtures.h"
+#include "query/diff.h"
+#include "query/engine.h"
+#include "query/fabric_index.h"
+
+namespace cloudmap {
+namespace {
+
+const FabricIndex& shared_index() {
+  static const FabricIndex* index =
+      new FabricIndex(testfx::small_pipeline().run_snapshot());
+  return *index;
+}
+
+TEST(QueryEngine, PeersOfMatchesBruteForce) {
+  const FabricIndex& index = shared_index();
+  const QueryEngine engine(index);
+  ASSERT_FALSE(index.peer_asns().empty());
+  for (std::uint32_t asn : index.peer_asns()) {
+    std::vector<std::uint32_t> expected;
+    for (std::uint32_t i = 0; i < index.segments().size(); ++i)
+      if (index.segments()[i].peer_asn == Asn{asn}) expected.push_back(i);
+    EXPECT_EQ(engine.peers_of(Asn{asn}), expected) << "AS" << asn;
+    EXPECT_FALSE(expected.empty()) << "peer_asns() listed an absent AS";
+  }
+  EXPECT_TRUE(engine.peers_of(Asn{4294967295u}).empty());
+}
+
+TEST(QueryEngine, InterfacesInMatchesBruteForce) {
+  const FabricIndex& index = shared_index();
+  const QueryEngine engine(index);
+  ASSERT_FALSE(index.pinned_metros().empty());
+  for (std::uint32_t metro : index.pinned_metros()) {
+    std::vector<std::uint32_t> expected;
+    for (const SnapshotPin& pin : index.snapshot().pins)
+      if (pin.metro == metro) expected.push_back(pin.address);
+    EXPECT_EQ(engine.interfaces_in(metro), expected) << "metro " << metro;
+  }
+  EXPECT_TRUE(engine.interfaces_in(kInvalidIndex).empty());
+}
+
+TEST(QueryEngine, VpiCandidatesMatchBruteForce) {
+  const FabricIndex& index = shared_index();
+  const QueryEngine engine(index);
+  std::vector<std::uint32_t> expected;
+  for (std::uint32_t i = 0; i < index.segments().size(); ++i)
+    if (index.segments()[i].vpi) expected.push_back(i);
+  EXPECT_EQ(engine.vpi_candidates(), expected);
+}
+
+TEST(QueryEngine, LookupFindsEveryInterfaceExactly) {
+  const FabricIndex& index = shared_index();
+  const QueryEngine engine(index);
+  for (std::uint32_t i = 0; i < index.segments().size(); ++i) {
+    const SnapshotSegment& seg = index.segments()[i];
+    for (const Ipv4 address : {seg.abi, seg.cbi}) {
+      const auto hit = engine.lookup(address);
+      ASSERT_TRUE(hit.has_value()) << address.to_string();
+      EXPECT_TRUE(hit->is_interface);
+      EXPECT_EQ(hit->prefix.length(), 32);
+      EXPECT_EQ(hit->prefix.network(), address);
+      ASSERT_NE(hit->segments, nullptr);
+      EXPECT_TRUE(std::find(hit->segments->begin(), hit->segments->end(),
+                            i) != hit->segments->end());
+      EXPECT_TRUE(address == seg.abi ? hit->abi : hit->cbi);
+    }
+  }
+}
+
+TEST(QueryEngine, LookupCoversDestinationCones) {
+  const FabricIndex& index = shared_index();
+  const QueryEngine engine(index);
+  bool checked = false;
+  for (std::uint32_t i = 0; i < index.segments().size(); ++i) {
+    for (std::uint32_t network : index.segments()[i].dest_slash24s) {
+      // Probe a host inside the /24 that is not itself an interface.
+      const Ipv4 probe(network | 0xFDu);
+      const auto hit = engine.lookup(probe);
+      ASSERT_TRUE(hit.has_value()) << probe.to_string();
+      if (hit->is_interface) continue;  // a /32 interface shadowed the cone
+      EXPECT_EQ(hit->prefix.length(), 24);
+      ASSERT_NE(hit->segments, nullptr);
+      EXPECT_TRUE(std::find(hit->segments->begin(), hit->segments->end(),
+                            i) != hit->segments->end());
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+  EXPECT_FALSE(engine.lookup(Ipv4(255, 255, 255, 254)).has_value());
+}
+
+TEST(QueryEngine, CountsMatchBruteForce) {
+  const FabricIndex& index = shared_index();
+  const QueryEngine engine(index);
+  const FabricCounts counts = engine.counts();
+  const RunSnapshot& snap = index.snapshot();
+
+  std::unordered_set<std::uint32_t> abis, cbis, ases, orgs, vpi_cbis;
+  std::size_t ixp = 0, unattributed = 0;
+  std::array<std::size_t, 5> by_conf{};
+  std::array<std::size_t, kPeeringGroupCount> group_segments{};
+  std::array<std::set<std::uint32_t>, kPeeringGroupCount> group_ases;
+  for (const SnapshotSegment& seg : snap.segments) {
+    abis.insert(seg.abi.value());
+    cbis.insert(seg.cbi.value());
+    if (seg.peer_asn != Asn{0}) ases.insert(seg.peer_asn.value);
+    if (seg.peer_org != OrgId{0}) orgs.insert(seg.peer_org.value);
+    ++by_conf[static_cast<std::size_t>(seg.confirmation)];
+    if (seg.ixp) ++ixp;
+    if (seg.vpi) vpi_cbis.insert(seg.cbi.value());
+    if (seg.group == kSnapshotNoGroup) {
+      ++unattributed;
+    } else {
+      ++group_segments[seg.group];
+      group_ases[seg.group].insert(seg.peer_asn.value);
+    }
+  }
+  EXPECT_EQ(counts.segments, snap.segments.size());
+  EXPECT_EQ(counts.unique_abis, abis.size());
+  EXPECT_EQ(counts.unique_cbis, cbis.size());
+  EXPECT_EQ(counts.peer_ases, ases.size());
+  EXPECT_EQ(counts.peer_orgs, orgs.size());
+  for (std::size_t c = 0; c < by_conf.size(); ++c)
+    EXPECT_EQ(counts.by_confirmation[c], by_conf[c]) << "confirmation " << c;
+  EXPECT_EQ(counts.ixp_segments, ixp);
+  EXPECT_EQ(counts.vpi_cbis, vpi_cbis.size());
+  for (std::size_t g = 0; g < kPeeringGroupCount; ++g) {
+    EXPECT_EQ(counts.group_segments[g], group_segments[g]) << "group " << g;
+    EXPECT_EQ(counts.group_ases[g], group_ases[g].size()) << "group " << g;
+  }
+  EXPECT_EQ(counts.unattributed_segments, unattributed);
+  EXPECT_EQ(counts.pinned_interfaces, snap.pins.size());
+  EXPECT_EQ(counts.regional_only, snap.regional.size());
+  EXPECT_GT(counts.segments, 0u);
+  EXPECT_GT(counts.peer_ases, 0u);
+}
+
+// One reader's deterministic work slice: a digest over every query class.
+// Bit-identical answers at any thread count means identical digests.
+std::uint64_t query_digest(const QueryEngine& engine, std::size_t slice,
+                           std::size_t slices) {
+  const FabricIndex& index = engine.index();
+  std::uint64_t digest = 1469598103934665603ull;  // FNV-1a offset basis
+  const auto mix = [&digest](std::uint64_t value) {
+    digest = (digest ^ value) * 1099511628211ull;
+  };
+  for (std::size_t a = slice; a < index.peer_asns().size(); a += slices)
+    for (std::uint32_t seg : engine.peers_of(Asn{index.peer_asns()[a]}))
+      mix(seg);
+  for (std::size_t m = slice; m < index.pinned_metros().size(); m += slices)
+    for (std::uint32_t addr : engine.interfaces_in(index.pinned_metros()[m]))
+      mix(addr);
+  for (std::uint32_t seg : engine.vpi_candidates()) mix(seg);
+  for (std::size_t i = slice; i < index.segments().size(); i += slices) {
+    const auto hit = engine.lookup(index.segments()[i].cbi);
+    mix(hit ? hit->segments->size() : 0);
+  }
+  const FabricCounts counts = engine.counts();
+  mix(counts.segments);
+  mix(counts.peer_ases);
+  mix(counts.vpi_cbis);
+  return digest;
+}
+
+TEST(QueryEngine, ConcurrentReadersMatchSingleThread) {
+  const FabricIndex& index = shared_index();
+  MetricsRegistry registry(true);
+  const QueryEngine engine(index, &registry);
+  constexpr std::size_t kSlices = 4;
+
+  // Reference: every slice computed on one thread.
+  std::vector<std::uint64_t> expected(kSlices);
+  for (std::size_t s = 0; s < kSlices; ++s)
+    expected[s] = query_digest(engine, s, kSlices);
+
+  // Same slices, one thread each, sharing the engine with no locking.
+  std::vector<std::uint64_t> got(kSlices);
+  std::vector<std::thread> readers;
+  for (std::size_t s = 0; s < kSlices; ++s)
+    readers.emplace_back(
+        [&, s] { got[s] = query_digest(engine, s, kSlices); });
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(got, expected);
+  // The shared counters saw both passes (2× each query class).
+  EXPECT_GT(registry.counter_value("query.lookups"), 0u);
+  EXPECT_GT(registry.counter_value("query.counts"), 0u);
+}
+
+TEST(QueryEngine, DiffOfIdenticalSnapshotsIsEmpty) {
+  const RunSnapshot& snap = testfx::small_pipeline().run_snapshot();
+  const SnapshotDiff diff = diff_snapshots(snap, snap);
+  EXPECT_TRUE(diff.identical());
+  EXPECT_TRUE(diff.added.empty());
+  EXPECT_TRUE(diff.removed.empty());
+  EXPECT_TRUE(diff.reconfirmed.empty());
+  EXPECT_TRUE(diff.repinned.empty());
+  EXPECT_EQ(diff.common_segments, snap.segments.size());
+}
+
+TEST(QueryEngine, DiffReportsEachChangeClass) {
+  RunSnapshot before = testfx::small_pipeline().run_snapshot();
+  RunSnapshot after = before;
+  ASSERT_GE(after.segments.size(), 2u);
+  ASSERT_FALSE(after.pins.empty());
+
+  // Remove one segment, re-confirm another, add a brand-new one, and move
+  // one pin to a different metro.
+  const SnapshotSegment removed = after.segments.back();
+  after.segments.pop_back();
+  const Confirmation old_conf = after.segments[0].confirmation;
+  after.segments[0].confirmation = old_conf == Confirmation::kHybrid
+                                       ? Confirmation::kReachability
+                                       : Confirmation::kHybrid;
+  SnapshotSegment added;
+  added.abi = Ipv4(10, 99, 99, 1);
+  added.cbi = Ipv4(10, 99, 99, 2);
+  after.segments.push_back(added);
+  after.pins[0].metro += 1;
+  canonicalize(after);
+
+  const SnapshotDiff diff = diff_snapshots(before, after);
+  EXPECT_FALSE(diff.identical());
+  ASSERT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.added[0].abi, added.abi);
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.removed[0].cbi, removed.cbi);
+  ASSERT_EQ(diff.reconfirmed.size(), 1u);
+  EXPECT_EQ(diff.reconfirmed[0].before, old_conf);
+  ASSERT_EQ(diff.repinned.size(), 1u);
+  EXPECT_EQ(diff.repinned[0].metro_after, after.pins[0].metro);
+}
+
+}  // namespace
+}  // namespace cloudmap

@@ -1,0 +1,159 @@
+// Corrupt-input hardening for the text serializers (io/serialize.h): a
+// damaged line is skipped whole — never a throw, never a half-applied
+// segment — and the write_pins/read_pins pair round-trips.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/serialize.h"
+
+namespace cloudmap {
+namespace {
+
+// --- traceroute records ----------------------------------------------------
+
+TEST(SerializeCorrupt, ReadRecordRejectsMalformedLines) {
+  // Baseline sanity: the well-formed line parses.
+  ASSERT_TRUE(read_record("R 0 1 10.0.0.1 completed 10.0.0.2:1.5,*"));
+
+  const char* bad[] = {
+      "R",                                      // truncated
+      "R 0 1 10.0.0.1",                         // no status
+      "X 0 1 10.0.0.1 completed",               // wrong tag
+      "R 0 1 10.0.0.1 finished",                // unknown status
+      "R 0 1 not-an-ip completed",              // bad destination
+      "R -1 1 10.0.0.1 completed",              // provider below range
+      "R 99 1 10.0.0.1 completed",              // provider past the enum
+      "R 0 1 10.0.0.1 completed 10.0.0.2",      // hop without rtt
+      "R 0 1 10.0.0.1 completed bad-ip:1.5",    // bad hop address
+      "R 0 1 10.0.0.1 completed 10.0.0.2:abc",  // non-numeric rtt
+      "R 0 1 10.0.0.1 completed 10.0.0.2:1.5x",  // trailing junk in rtt
+      "R 0 1 10.0.0.1 completed 10.0.0.2:-2.0",  // negative rtt
+  };
+  for (const char* line : bad)
+    EXPECT_FALSE(read_record(line).has_value()) << line;
+}
+
+TEST(SerializeCorrupt, ReadRecordsSkipsBadLinesKeepsGood) {
+  std::stringstream in;
+  in << "R 0 1 10.0.0.1 completed 10.0.0.2:1.5\n"
+     << "R 99 1 10.0.0.1 completed\n"
+     << "R 0 1 10.0.0.3 gap *\n";
+  const auto records = read_records(in);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].destination.to_string(), "10.0.0.1");
+  EXPECT_EQ(records[1].destination.to_string(), "10.0.0.3");
+}
+
+// --- fabric segments -------------------------------------------------------
+
+TEST(SerializeCorrupt, ReadFabricSkipsCorruptLinesWhole) {
+  std::stringstream in;
+  in << "S 10.0.0.1 20.0.0.2 0.0.0.0 0.0.0.0 1 0 0 0 1|2 20.0.0.0\n"  // good
+     << "S 10.0.0.3 20.0.0.4 0.0.0.0 0.0.0.0 1 0 0\n"        // truncated
+     << "S 10.0.0.5 20.0.0.6 0.0.0.0 0.0.0.0 1 9 0 0 - -\n"  // confirmation 9
+     << "S 10.0.0.7 20.0.0.8 0.0.0.0 0.0.0.0 1 0 5 0 - -\n"  // shifted 5
+     << "S 10.0.0.9 20.0.0.10 0.0.0.0 0.0.0.0 1 0 0 0 1|x - \n"  // bad region
+     << "S 10.0.0.11 20.0.0.12 0.0.0.0 0.0.0.0 1 0 0 0 - junk|1\n"  // bad dest
+     << "S bad-abi 20.0.0.14 0.0.0.0 0.0.0.0 1 0 0 0 - -\n"  // bad address
+     << "S 10.0.0.15 20.0.0.16 0.0.0.0 0.0.0.0 1 4 1 64512 3 30.0.0.0\n";
+  const Fabric fabric = read_fabric(in);
+  ASSERT_EQ(fabric.segments().size(), 2u);
+  EXPECT_EQ(fabric.segments()[0].abi.to_string(), "10.0.0.1");
+  EXPECT_EQ(fabric.segments()[0].regions.size(), 2u);
+  const InferredSegment& last = fabric.segments()[1];
+  EXPECT_EQ(last.abi.to_string(), "10.0.0.15");
+  EXPECT_EQ(last.confirmation, Confirmation::kAliasRelabel);
+  EXPECT_TRUE(last.shifted);
+  EXPECT_EQ(last.owner_hint, Asn{64512});
+  EXPECT_EQ(last.dest_slash24s.count(Ipv4(30, 0, 0, 0).value()), 1u);
+}
+
+TEST(SerializeCorrupt, ReadFabricNeverThrowsOnNumericGarbage) {
+  // Tokens that would make std::stoul / std::stod throw or misparse.
+  std::stringstream in;
+  in << "S 10.0.0.1 20.0.0.2 0.0.0.0 0.0.0.0 1 0 0 0 99999999999999999999 -\n"
+     << "S 10.0.0.1 20.0.0.2 0.0.0.0 0.0.0.0 1 0 0 0 +3 -\n"
+     << "S 10.0.0.1 20.0.0.2 0.0.0.0 0.0.0.0 1 0 0 0 3garbage -\n";
+  EXPECT_NO_THROW({
+    const Fabric fabric = read_fabric(in);
+    EXPECT_TRUE(fabric.segments().empty());
+  });
+}
+
+TEST(SerializeCorrupt, FabricRoundTripSurvivesCorruptNeighbors) {
+  // A saved fabric re-reads identically even with garbage spliced between
+  // the lines.
+  Fabric fabric;
+  CandidateSegment candidate;
+  candidate.abi = Ipv4(10, 1, 0, 1);
+  candidate.cbi = Ipv4(198, 51, 100, 1);
+  fabric.add_segment(candidate, 1);
+  std::stringstream buffer;
+  write_fabric(buffer, fabric);
+  std::stringstream spliced;
+  spliced << "S corrupted\n" << buffer.str() << "S also corrupted 1 2 3\n";
+  const Fabric reread = read_fabric(spliced);
+  ASSERT_EQ(reread.segments().size(), 1u);
+  EXPECT_EQ(reread.segments()[0].abi, candidate.abi);
+  EXPECT_EQ(reread.segments()[0].cbi, candidate.cbi);
+}
+
+// --- pinning results -------------------------------------------------------
+
+TEST(SerializeCorrupt, WritePinsReadPinsRoundTrip) {
+  PinningResult original;
+  Pin anchor;
+  anchor.metro = MetroId{3};
+  anchor.rule = PinRule::kAnchor;
+  anchor.anchor_source = AnchorSource::kDns;
+  anchor.round = 0;
+  original.pins[Ipv4(10, 0, 0, 1).value()] = anchor;
+  Pin propagated;
+  propagated.metro = MetroId{7};
+  propagated.rule = PinRule::kShortLink;
+  propagated.anchor_source = AnchorSource::kNone;
+  propagated.round = 2;
+  original.pins[Ipv4(198, 51, 100, 9).value()] = propagated;
+
+  std::stringstream buffer;
+  write_pins(buffer, original);
+  const PinningResult reread = read_pins(buffer);
+
+  ASSERT_EQ(reread.pins.size(), original.pins.size());
+  for (const auto& [address, pin] : original.pins) {
+    const auto it = reread.pins.find(address);
+    ASSERT_NE(it, reread.pins.end()) << Ipv4(address).to_string();
+    EXPECT_EQ(it->second.metro, pin.metro);
+    EXPECT_EQ(it->second.rule, pin.rule);
+    EXPECT_EQ(it->second.anchor_source, pin.anchor_source);
+    EXPECT_EQ(it->second.round, pin.round);
+  }
+}
+
+TEST(SerializeCorrupt, ReadPinsSkipsCorruptRows) {
+  std::stringstream in;
+  in << "address,metro,rule,anchor_source,round\n"  // header, not data
+     << "10.0.0.1,3,0,1,0\n"                        // good
+     << "10.0.0.2,3,0,1\n"                          // missing field
+     << "not-an-ip,3,0,1,0\n"                       // bad address
+     << "10.0.0.3,x,0,1,0\n"                        // bad metro
+     << "10.0.0.4,3,9,1,0\n"                        // rule past the enum
+     << "10.0.0.5,3,0,99,0\n"                       // source past the enum
+     << "10.0.0.6,3,0,1,2\n";                       // good
+  const PinningResult reread = read_pins(in);
+  ASSERT_EQ(reread.pins.size(), 2u);
+  EXPECT_EQ(reread.pins.count(Ipv4(10, 0, 0, 1).value()), 1u);
+  EXPECT_EQ(reread.pins.count(Ipv4(10, 0, 0, 6).value()), 1u);
+  EXPECT_EQ(reread.pins.at(Ipv4(10, 0, 0, 6).value()).round, 2);
+}
+
+TEST(SerializeCorrupt, PipelinePinsRoundTripThroughText) {
+  // End to end: pins from a real run survive the write/read pair intact.
+  std::stringstream buffer;
+  write_pins(buffer, PinningResult{});
+  EXPECT_TRUE(read_pins(buffer).pins.empty());
+}
+
+}  // namespace
+}  // namespace cloudmap

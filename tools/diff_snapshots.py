@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Compare two cloudmap binary snapshots longitudinally.
+
+Usage: diff_snapshots.py A.snap B.snap
+
+Independently re-implements the snapshot reader (format spec: DESIGN.md §7,
+src/io/snapshot.h) so CI cross-checks the C++ codec: magic, format version,
+and every section CRC are verified with Python's zlib.crc32 before anything
+is compared. Prints the segment- and pin-level churn between the two runs —
+the same added/removed/re-confirmed/re-pinned classes `cloudmap_cli diff`
+reports — plus the metadata of each side.
+
+Exit status: 0 when both files parse (identical or not), 1 on any parse or
+validation error — or, with --expect-identical, when the two runs disagree
+at the segment/pin level (the stage-metrics section carries real wall-clock
+timings, so whole-file byte equality across runs is NOT expected; equality
+of the *results* is). Use `cloudmap_cli diff` when you need the full
+per-segment listing; this tool is the CI-friendly summary.
+"""
+import argparse
+import struct
+import sys
+import zlib
+
+MAGIC = b"CMSNAP"
+FORMAT_VERSION = 1
+HEADER = struct.Struct("<6sHI")
+TABLE_ENTRY = struct.Struct("<IQQI")
+
+CONFIRMATION_NAMES = [
+    "unconfirmed", "ixp_client", "hybrid", "reachability", "alias_relabel",
+]
+
+
+class SnapshotError(Exception):
+    pass
+
+
+class Cursor(object):
+    """Bounds-checked little-endian reader over one section payload."""
+
+    def __init__(self, data, label):
+        self.data = data
+        self.pos = 0
+        self.label = label
+
+    def take(self, fmt):
+        size = struct.calcsize(fmt)
+        if self.pos + size > len(self.data):
+            raise SnapshotError("section %s truncated" % self.label)
+        values = struct.unpack_from("<" + fmt, self.data, self.pos)
+        self.pos += size
+        return values if len(values) > 1 else values[0]
+
+    def done(self):
+        if self.pos != len(self.data):
+            raise SnapshotError("section %s has trailing bytes" % self.label)
+
+
+def read_snapshot(path):
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if len(blob) < HEADER.size:
+        raise SnapshotError("%s: shorter than the header" % path)
+    magic, version, section_count = HEADER.unpack_from(blob, 0)
+    if magic != MAGIC:
+        raise SnapshotError("%s: bad magic (not a cloudmap snapshot)" % path)
+    if version != FORMAT_VERSION:
+        raise SnapshotError("%s: format version %d, expected %d"
+                            % (path, version, FORMAT_VERSION))
+
+    sections = {}
+    table_end = HEADER.size + section_count * TABLE_ENTRY.size
+    if table_end > len(blob):
+        raise SnapshotError("%s: truncated section table" % path)
+    for i in range(section_count):
+        sid, offset, size, crc = TABLE_ENTRY.unpack_from(
+            blob, HEADER.size + i * TABLE_ENTRY.size)
+        if offset + size > len(blob):
+            raise SnapshotError("%s: section %d extends past end of file"
+                                % (path, sid))
+        payload = blob[offset:offset + size]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise SnapshotError("%s: section %d CRC mismatch" % (path, sid))
+        sections[sid] = payload
+
+    for sid in (1, 2, 3):
+        if sid not in sections:
+            raise SnapshotError("%s: missing required section %d" % (path, sid))
+
+    meta = Cursor(sections[1], "meta")
+    seed, threads, subject = meta.take("QiB")
+    meta.done()
+
+    segments = {}
+    body = Cursor(sections[2], "segments")
+    for _ in range(body.take("I")):
+        abi, cbi, _prior, _post = body.take("IIII")
+        _round = body.take("i")
+        confirmation, flags, group = body.take("BBB")
+        if confirmation >= len(CONFIRMATION_NAMES):
+            raise SnapshotError("%s: confirmation %d out of range"
+                                % (path, confirmation))
+        _owner, peer_asn, _org = body.take("III")
+        for _ in range(body.take("I")):
+            body.take("I")  # regions
+        for _ in range(body.take("I")):
+            body.take("I")  # dest /24s
+        segments[(abi, cbi)] = (confirmation, flags, group, peer_asn)
+    body.done()
+
+    pins = {}
+    body = Cursor(sections[3], "pins")
+    for _ in range(body.take("I")):
+        address, metro = body.take("II")
+        _rule, _source = body.take("BB")
+        body.take("i")
+        pins[address] = metro
+    for _ in range(body.take("I")):
+        body.take("II")  # regional fallback entries
+    body.done()
+
+    return {"path": path, "seed": seed, "threads": threads,
+            "subject": subject, "segments": segments, "pins": pins}
+
+
+def ip(value):
+    return "%d.%d.%d.%d" % (value >> 24 & 255, value >> 16 & 255,
+                            value >> 8 & 255, value & 255)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("a")
+    parser.add_argument("b")
+    parser.add_argument(
+        "--expect-identical", action="store_true",
+        help="exit 1 if the snapshots differ at the segment/pin level")
+    args = parser.parse_args()
+
+    try:
+        a = read_snapshot(args.a)
+        b = read_snapshot(args.b)
+    except SnapshotError as error:
+        print("FAIL: %s" % error, file=sys.stderr)
+        sys.exit(1)
+
+    for side in (a, b):
+        print("%s: seed %d, %d threads, %d segments, %d pins"
+              % (side["path"], side["seed"], side["threads"],
+                 len(side["segments"]), len(side["pins"])))
+
+    added = sorted(set(b["segments"]) - set(a["segments"]))
+    removed = sorted(set(a["segments"]) - set(b["segments"]))
+    common = sorted(set(a["segments"]) & set(b["segments"]))
+    reconfirmed = [key for key in common
+                   if a["segments"][key][0] != b["segments"][key][0]]
+    repinned = sorted(address for address in
+                      set(a["pins"]) & set(b["pins"])
+                      if a["pins"][address] != b["pins"][address])
+
+    print("segments: +%d -%d, %d common, %d re-confirmed"
+          % (len(added), len(removed), len(common), len(reconfirmed)))
+    print("pins: %d re-pinned" % len(repinned))
+    for abi, cbi in added[:10]:
+        print("  + %s > %s" % (ip(abi), ip(cbi)))
+    for abi, cbi in removed[:10]:
+        print("  - %s > %s" % (ip(abi), ip(cbi)))
+    for key in reconfirmed[:10]:
+        print("  ~ %s > %s: %s -> %s"
+              % (ip(key[0]), ip(key[1]),
+                 CONFIRMATION_NAMES[a["segments"][key][0]],
+                 CONFIRMATION_NAMES[b["segments"][key][0]]))
+    changed = bool(added or removed or reconfirmed or repinned
+                   or a["pins"] != b["pins"])
+    if not changed:
+        print("snapshots are identical at the segment/pin level")
+    elif args.expect_identical:
+        print("FAIL: snapshots were expected to be identical", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

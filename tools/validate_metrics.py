@@ -10,7 +10,9 @@ Checks, in order:
   3. every stage object carries every required per-stage key with a
      sensibly-typed value;
   4. unless --partial, every stage of the full pipeline is present (a
-     campaign that stopped early writes fewer — CI runs the full thing).
+     campaign that stopped early writes fewer — CI runs the full thing);
+  5. with --require-query-counters, every query.* counter the snapshot
+     query engine registers is present (artifacts from `cloudmap_cli query`).
 
 Exit status 0 on success, 1 on any failure, with one line per problem so CI
 logs point straight at the missing key.
@@ -38,6 +40,9 @@ def main():
     parser.add_argument(
         "--partial", action="store_true",
         help="accept artifacts from runs that stopped before the last stage")
+    parser.add_argument(
+        "--require-query-counters", action="store_true",
+        help="require every schema query_counters entry in 'counters'")
     args = parser.parse_args()
 
     with open(args.schema) as handle:
@@ -85,6 +90,12 @@ def main():
             if name not in stages:
                 problems.append("full-pipeline artifact missing stage '%s'"
                                 % name)
+
+    if args.require_query_counters:
+        counters = doc.get("counters", {})
+        for name in schema.get("query_counters", []):
+            if name not in counters:
+                problems.append("missing query counter '%s'" % name)
 
     if problems:
         fail(problems)

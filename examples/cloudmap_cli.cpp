@@ -8,7 +8,8 @@
 //   cloudmap_cli snapshot [seed] [file]   full pipeline → binary snapshot
 //   cloudmap_cli query FILE ACTION [ARG]  serve queries from a snapshot
 //                                         (counts | peers [asn] | metro N |
-//                                          vpis | lookup IP | resave OUT)
+//                                          vpis | lookup IP | confidence |
+//                                          resave OUT)
 //   cloudmap_cli diff A B                 longitudinal snapshot comparison
 //
 // Shared flags (parsed by cloudmap::options_from_env_and_args, so the CLI,
@@ -24,8 +25,16 @@
 //   --metrics-csv PATH   same accounting as flat stage,metric,value rows
 //   --no-metrics         disable metrics collection entirely
 //   --snapshot PATH      also write the binary run snapshot (campaign/all)
-//   CLOUDMAP_THREADS / CLOUDMAP_METRICS_JSON / CLOUDMAP_SNAPSHOT env
-//   equivalents
+//   --retry-budget N     re-probe failed targets up to N times (default 0)
+//   --retry-backoff T    base backoff in simulated probe ticks (default 64)
+//   --response-scale X   scale router response probabilities by X in [0,1]
+//                        (loss injection for campaign experiments)
+//   --host-response X    override the target-host response probability
+//   --deterministic-metrics  zero wall-clock metrics fields so artifacts and
+//                        snapshots are byte-identical across runs
+//   --min-confidence X   filter query listings to segments scoring >= X
+//   CLOUDMAP_THREADS / CLOUDMAP_METRICS_JSON / CLOUDMAP_SNAPSHOT /
+//   CLOUDMAP_RETRY_BUDGET / CLOUDMAP_DETERMINISTIC_METRICS env equivalents
 //
 // With no arguments it runs `all 7`.
 #include <cstdio>
@@ -214,14 +223,28 @@ void print_counts(const FabricCounts& c) {
   std::printf("unattributed    %zu\n", c.unattributed_segments);
   std::printf("pinned          %zu interfaces (+%zu regional-only)\n",
               c.pinned_interfaces, c.regional_only);
+  std::printf("confidence      mean %.3f, %zu segments >= 0.5\n",
+              c.mean_confidence, c.confident_segments);
 }
 
 void print_segment_line(const FabricIndex& index, std::uint32_t seg_index) {
   const SnapshotSegment& seg = index.segments()[seg_index];
-  std::printf("  [%u] %s > %s  peer AS%u  %s%s%s\n", seg_index,
+  std::printf("  [%u] %s > %s  peer AS%u  %s%s%s  conf %.3f\n", seg_index,
               seg.abi.to_string().c_str(), seg.cbi.to_string().c_str(),
               seg.peer_asn.value, to_string(seg.confirmation),
-              seg.ixp ? " ixp" : "", seg.vpi ? " vpi" : "");
+              seg.ixp ? " ixp" : "", seg.vpi ? " vpi" : "", seg.confidence);
+}
+
+// Drop listed segments below the --min-confidence threshold (no-op when the
+// flag was not given).
+std::vector<std::uint32_t> apply_min_confidence(
+    const FabricIndex& index, std::vector<std::uint32_t> segs,
+    double min_confidence) {
+  if (min_confidence < 0.0) return segs;
+  std::vector<std::uint32_t> out;
+  for (const std::uint32_t s : segs)
+    if (index.segments()[s].confidence >= min_confidence) out.push_back(s);
+  return out;
 }
 
 // Serve typed queries from a saved snapshot; no world or pipeline needed.
@@ -230,7 +253,7 @@ int cmd_query(const std::vector<std::string>& args,
   if (args.size() < 3) {
     std::fprintf(stderr,
                  "usage: query FILE counts | peers [asn] | metro N | vpis | "
-                 "lookup IP | resave OUT\n");
+                 "lookup IP | confidence | resave OUT  [--min-confidence X]\n");
     return 2;
   }
   std::string error;
@@ -250,7 +273,8 @@ int cmd_query(const std::vector<std::string>& args,
     if (args.size() > 3) {
       const Asn asn{
           static_cast<std::uint32_t>(std::strtoul(args[3].c_str(), nullptr, 10))};
-      const std::vector<std::uint32_t> segs = engine.peers_of(asn);
+      const std::vector<std::uint32_t> segs = apply_min_confidence(
+          index, engine.peers_of(asn), front.min_confidence);
       std::printf("AS%u: %zu segments\n", asn.value, segs.size());
       for (std::uint32_t s : segs) print_segment_line(index, s);
     } else {
@@ -271,9 +295,26 @@ int cmd_query(const std::vector<std::string>& args,
     for (std::uint32_t a : addrs)
       std::printf("  %s\n", Ipv4(a).to_string().c_str());
   } else if (action == "vpis") {
-    const std::vector<std::uint32_t> segs = engine.vpi_candidates();
+    const std::vector<std::uint32_t> segs = apply_min_confidence(
+        index, engine.vpi_candidates(), front.min_confidence);
     std::printf("%zu VPI segments\n", segs.size());
     for (std::uint32_t s : segs) print_segment_line(index, s);
+  } else if (action == "confidence") {
+    const ConfidenceHistogram& hist = engine.confidence_histogram();
+    std::printf("confidence over %zu segments: mean %.3f, min %.3f, "
+                "max %.3f\n",
+                hist.segments, hist.mean, hist.min, hist.max);
+    for (std::size_t b = 0; b < hist.bins.size(); ++b)
+      std::printf("  [%.1f, %.1f%c %zu\n", 0.1 * static_cast<double>(b),
+                  0.1 * static_cast<double>(b + 1),
+                  b + 1 == hist.bins.size() ? ']' : ')', hist.bins[b]);
+    if (front.min_confidence >= 0.0) {
+      const std::vector<std::uint32_t> segs =
+          engine.segments_min_confidence(front.min_confidence);
+      std::printf("%zu segments with confidence >= %.3f\n", segs.size(),
+                  front.min_confidence);
+      for (std::uint32_t s : segs) print_segment_line(index, s);
+    }
   } else if (action == "lookup") {
     if (args.size() < 4) {
       std::fprintf(stderr, "query lookup requires an IPv4 address\n");
@@ -391,7 +432,9 @@ int main(int argc, char** argv) {
                "usage: %s [worldgen|campaign|analyze|all|snapshot] [seed] "
                "[file] | %s query FILE ACTION [ARG] | %s diff A B "
                "[--threads N] [--metrics-json PATH] [--metrics-csv PATH] "
-               "[--no-metrics] [--snapshot PATH]\n",
+               "[--no-metrics] [--snapshot PATH] [--retry-budget N] "
+               "[--retry-backoff T] [--response-scale X] [--host-response X] "
+               "[--deterministic-metrics] [--min-confidence X]\n",
                argv[0], argv[0], argv[0]);
   return 2;
 }

@@ -15,6 +15,22 @@ int parse_threads(const std::string& text) {
   return static_cast<int>(value);
 }
 
+// Strict finite-double parse; false on trailing garbage or empty input.
+bool parse_double(const std::string& text, double& into) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return false;
+  if (!(value == value)) return false;  // NaN
+  into = value;
+  return true;
+}
+
+bool env_truthy(const char* value) {
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
 }  // namespace
 
 FrontendOptions options_from_env() {
@@ -33,6 +49,18 @@ FrontendOptions options_from_env() {
     out.metrics_json = env;
   if (const char* env = std::getenv("CLOUDMAP_SNAPSHOT"))
     out.snapshot_out = env;
+  if (const char* env = std::getenv("CLOUDMAP_RETRY_BUDGET")) {
+    const int budget = parse_threads(env);
+    if (budget < 0) {
+      out.error = std::string("CLOUDMAP_RETRY_BUDGET expects a non-negative "
+                              "integer, got '") +
+                  env + "'";
+      return out;
+    }
+    out.pipeline.campaign.reprobe.budget = budget;
+  }
+  if (env_truthy(std::getenv("CLOUDMAP_DETERMINISTIC_METRICS")))
+    out.pipeline.deterministic_metrics = true;
   return out;
 }
 
@@ -70,6 +98,66 @@ FrontendOptions options_from_env_and_args(int argc, char** argv) {
       out.pipeline.metrics = true;
     } else if (arg == "--snapshot") {
       if (!flag_value(i, "--snapshot", out.snapshot_out)) return out;
+    } else if (arg == "--retry-budget") {
+      std::string value;
+      if (!flag_value(i, "--retry-budget", value)) return out;
+      const int budget = parse_threads(value);
+      if (budget < 0) {
+        out.error =
+            "error: --retry-budget expects a non-negative integer, got '" +
+            value + "'";
+        return out;
+      }
+      out.pipeline.campaign.reprobe.budget = budget;
+    } else if (arg == "--retry-backoff") {
+      std::string value;
+      if (!flag_value(i, "--retry-backoff", value)) return out;
+      const int ticks = parse_threads(value);
+      if (ticks < 0) {
+        out.error =
+            "error: --retry-backoff expects a non-negative integer, got '" +
+            value + "'";
+        return out;
+      }
+      out.pipeline.campaign.reprobe.backoff_base_ticks =
+          static_cast<std::uint64_t>(ticks);
+    } else if (arg == "--response-scale") {
+      std::string value;
+      if (!flag_value(i, "--response-scale", value)) return out;
+      double scale = 1.0;
+      if (!parse_double(value, scale) || scale < 0.0 || scale > 1.0) {
+        out.error = "error: --response-scale expects a number in [0, 1], "
+                    "got '" +
+                    value + "'";
+        return out;
+      }
+      out.pipeline.campaign.traceroute.response_scale = scale;
+    } else if (arg == "--host-response") {
+      std::string value;
+      if (!flag_value(i, "--host-response", value)) return out;
+      double probability = 0.0;
+      if (!parse_double(value, probability) || probability < 0.0 ||
+          probability > 1.0) {
+        out.error = "error: --host-response expects a number in [0, 1], "
+                    "got '" +
+                    value + "'";
+        return out;
+      }
+      out.pipeline.campaign.traceroute.host_response = probability;
+    } else if (arg == "--min-confidence") {
+      std::string value;
+      if (!flag_value(i, "--min-confidence", value)) return out;
+      double threshold = 0.0;
+      if (!parse_double(value, threshold) || threshold < 0.0 ||
+          threshold > 1.0) {
+        out.error = "error: --min-confidence expects a number in [0, 1], "
+                    "got '" +
+                    value + "'";
+        return out;
+      }
+      out.min_confidence = threshold;
+    } else if (arg == "--deterministic-metrics") {
+      out.pipeline.deterministic_metrics = true;
     } else if (arg == "--no-metrics") {
       out.pipeline.metrics = false;
       out.metrics_json.clear();

@@ -23,6 +23,9 @@ struct FrontendOptions {
   // CLOUDMAP_SNAPSHOT environment variable; the full pipeline runs so the
   // snapshot captures every stage (see io/snapshot.h).
   std::string snapshot_out;
+  // Minimum segment confidence for query front-ends (--min-confidence).
+  // Negative = unset: callers apply no filter.
+  double min_confidence = -1.0;
   // Arguments not consumed by a recognized flag, in original order.
   std::vector<std::string> positional;
   // Non-empty on a parse/validation failure (unknown value, negative
@@ -33,12 +36,16 @@ struct FrontendOptions {
 
 // Environment-only parsing: CLOUDMAP_THREADS (campaign + VPI worker count,
 // 0 = hardware concurrency), CLOUDMAP_METRICS_JSON and CLOUDMAP_SNAPSHOT
-// (artifact paths).
+// (artifact paths), CLOUDMAP_RETRY_BUDGET (re-probe attempts per failed
+// target), CLOUDMAP_DETERMINISTIC_METRICS (non-empty and not "0" = zero
+// wall-clock metrics fields for byte-identical artifacts).
 FrontendOptions options_from_env();
 
 // Environment first, then flags: --threads N, --metrics-json PATH,
-// --metrics-csv PATH, --no-metrics, --snapshot PATH. Everything else lands
-// in `positional`.
+// --metrics-csv PATH, --no-metrics, --snapshot PATH, --retry-budget N,
+// --retry-backoff TICKS, --response-scale X, --host-response X,
+// --deterministic-metrics, --min-confidence X. Everything else lands in
+// `positional`.
 FrontendOptions options_from_env_and_args(int argc, char** argv);
 
 }  // namespace cloudmap

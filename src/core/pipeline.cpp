@@ -4,6 +4,7 @@
 #include <ostream>
 #include <string>
 
+#include "infer/confidence.h"
 #include "obs/emit.h"
 
 namespace cloudmap {
@@ -13,6 +14,7 @@ Pipeline::Pipeline(const World& world, PipelineOptions options)
       options_(std::move(options)),
       metrics_(options_.metrics),
       annotator_(nullptr, nullptr, nullptr, nullptr) {
+  metrics_.set_deterministic(options_.deterministic_metrics);
   bgp_ = std::make_unique<BgpSimulator>(world);
 
   const auto feeds = default_collector_feeds(world, options_.seed + 11);
@@ -94,7 +96,7 @@ void Pipeline::run_stage(StageId stage) {
 
   (this->*stage_table()[i].body)(report);
 
-  if (metrics_.enabled()) {
+  if (metrics_.enabled() && !options_.deterministic_metrics) {
     const auto elapsed = std::chrono::steady_clock::now() - started;
     report.wall_ms =
         static_cast<double>(
@@ -102,6 +104,7 @@ void Pipeline::run_stage(StageId stage) {
                 .count()) /
         1e6;
   }
+  if (options_.deterministic_metrics) report.worker_utilization = 0.0;
   const BgpCacheStats bgp_after = bgp_->cache_stats();
   report.bgp_cache_hits = bgp_after.hits - bgp_before.hits;
   report.bgp_cache_misses = bgp_after.misses - bgp_before.misses;
@@ -124,6 +127,10 @@ void Pipeline::stage_round1(StageReport& report) {
   report.targets = round1_->targets;
   report.traceroutes = round1_->traceroutes;
   report.probes = round1_->probes;
+  report.retries = round1_->retries;
+  report.backoff_waits = round1_->backoff_waits;
+  report.backoff_ticks = round1_->backoff_ticks;
+  report.recovered_targets = round1_->recovered_targets;
   report.workers = campaign_->last_pool_stats().workers;
   report.worker_utilization = campaign_->last_pool_stats().utilization();
 }
@@ -135,6 +142,10 @@ void Pipeline::stage_round2(StageReport& report) {
   report.targets = round2_->targets;
   report.traceroutes = round2_->traceroutes;
   report.probes = round2_->probes;
+  report.retries = round2_->retries;
+  report.backoff_waits = round2_->backoff_waits;
+  report.backoff_ticks = round2_->backoff_ticks;
+  report.recovered_targets = round2_->recovered_targets;
   report.workers = campaign_->last_pool_stats().workers;
   report.worker_utilization = campaign_->last_pool_stats().utilization();
 }
@@ -333,6 +344,11 @@ const RunSnapshot& Pipeline::run_snapshot() {
       snap.peer_org = annotator_.org_of_asn(snap.peer_asn);
     if (const auto group = cls.classify(seg))
       snap.group = static_cast<std::uint8_t>(*group);
+    const SegmentConfidence conf = segment_confidence(seg);
+    snap.observations = conf.observations;
+    snap.rounds_mask = seg.rounds_mask;
+    snap.hop_density = conf.hop_density;
+    snap.confidence = conf.score;
     snap.regions.assign(seg.regions.begin(), seg.regions.end());
     snap.dest_slash24s.assign(seg.dest_slash24s.begin(),
                               seg.dest_slash24s.end());

@@ -61,6 +61,12 @@ struct PipelineOptions {
   // Collect per-stage metrics (wall clocks, registry counters, pool stats).
   // Purely observational: inference outputs are identical either way.
   bool metrics = true;
+  // Zero every wall-clock-derived metrics field (stage wall_ms, worker
+  // utilization, timer totals) so the metrics artifact — and with it the
+  // binary snapshot's stage-metrics section — is byte-identical across
+  // runs. Counters and structural fields are untouched. CI uses this to
+  // assert snapshot identity with `cmp` instead of result-level diffing.
+  bool deterministic_metrics = false;
 };
 
 // Ground-truth scoring of the inferred fabric (only possible because the

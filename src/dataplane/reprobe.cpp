@@ -1,0 +1,50 @@
+#include "dataplane/reprobe.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloudmap {
+
+namespace {
+
+double clamp_or(double value, double lo, double hi) {
+  if (!(value >= lo)) return lo;
+  if (value > hi) return hi;
+  return value;
+}
+
+}  // namespace
+
+ReprobePolicy ReprobePolicy::clamped() const {
+  ReprobePolicy out = *this;
+  out.budget = std::clamp(out.budget, 0, kMaxBudget);
+  out.backoff_base_ticks = std::min<std::uint64_t>(
+      out.backoff_base_ticks, std::uint64_t{1} << 32);
+  out.backoff_multiplier = clamp_or(out.backoff_multiplier, 1.0, 64.0);
+  // Jitter 1.0 would permit a zero-tick wait; keep it strictly below.
+  out.backoff_jitter = clamp_or(out.backoff_jitter, 0.0, 0.99);
+  return out;
+}
+
+std::uint64_t ReprobePolicy::backoff_ticks(int attempt, Rng& rng) const {
+  if (attempt < 1) attempt = 1;
+  const ReprobePolicy policy = clamped();
+  const double base = static_cast<double>(policy.backoff_base_ticks) *
+                      std::pow(policy.backoff_multiplier, attempt - 1);
+  const double factor =
+      rng.uniform(1.0 - policy.backoff_jitter, 1.0 + policy.backoff_jitter);
+  constexpr double kCap = 1e15;  // keep the simulated clock finite
+  const double ticks = base * factor;
+  return static_cast<std::uint64_t>(ticks < kCap ? ticks : kCap);
+}
+
+std::uint64_t reprobe_stream_seed(std::uint64_t chunk_seed,
+                                  std::uint64_t target_index, int attempt) {
+  std::uint64_t state = chunk_seed;
+  state ^= splitmix64(state) ^ (0x94d049bb133111ebULL * (target_index + 1));
+  state ^= splitmix64(state) ^
+           (0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(attempt));
+  return splitmix64(state);
+}
+
+}  // namespace cloudmap

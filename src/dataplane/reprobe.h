@@ -1,0 +1,54 @@
+// Adaptive re-probing policy for the measurement campaign. The paper's
+// plane is lossy by construction — UDP targets rarely answer (§3 reports
+// ~7.7% completion) and silent routers force a 5-gap abort — so a single
+// pass per target leaves evidence on the table. ReprobePolicy describes how
+// many extra trace attempts a failed target earns and how long the campaign
+// waits between them, in the *simulated* clock (probe slots), with
+// exponential backoff jittered from a deterministic per-(chunk, target,
+// attempt) RNG stream. Because every retry draws from its own stream, the
+// primary pass consumes exactly the same random numbers whether retries are
+// enabled or not, and results stay bit-identical at every thread count.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace cloudmap {
+
+struct ReprobePolicy {
+  // Extra trace attempts per target whose first pass ended in kGapLimit or
+  // kUnreachable. 0 disables re-probing entirely (the default: the seed
+  // pipeline's behaviour, bit for bit).
+  int budget = 0;
+  // Backoff before retry attempt k (1-based) is
+  //   backoff_base_ticks * backoff_multiplier^(k-1)
+  // probe slots, jittered by a factor uniform in
+  // [1 - backoff_jitter, 1 + backoff_jitter).
+  std::uint64_t backoff_base_ticks = 64;
+  double backoff_multiplier = 2.0;
+  double backoff_jitter = 0.25;
+
+  static constexpr int kMaxBudget = 16;
+
+  bool enabled() const { return budget > 0; }
+
+  // Copy with every field forced into its valid domain (budget in
+  // [0, kMaxBudget], multiplier >= 1, jitter in [0, 1); NaN takes the lower
+  // bound). The campaign only ever runs on a clamped copy.
+  ReprobePolicy clamped() const;
+
+  // Deterministic jittered backoff, in probe slots, before the given retry
+  // attempt (1-based). Consumes draws only from the rng passed in, never
+  // from a shared stream.
+  std::uint64_t backoff_ticks(int attempt, Rng& rng) const;
+};
+
+// Seed for the RNG stream of one retry attempt. Mixes the owning chunk's
+// stream seed with the target's index inside the chunk and the attempt
+// number through splitmix64, so streams never collide with the chunk's
+// primary stream or with each other, and never depend on thread schedule.
+std::uint64_t reprobe_stream_seed(std::uint64_t chunk_seed,
+                                  std::uint64_t target_index, int attempt);
+
+}  // namespace cloudmap

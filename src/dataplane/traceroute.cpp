@@ -1,11 +1,38 @@
 #include "dataplane/traceroute.h"
 
+#include <algorithm>
+
 namespace cloudmap {
+
+namespace {
+
+// Clamp to [lo, hi] with NaN mapping to lo: the comparisons are written so
+// that a NaN fails the first test and takes the lower bound instead of
+// propagating into every chance() draw.
+double clamp_or(double value, double lo, double hi) {
+  if (!(value >= lo)) return lo;
+  if (value > hi) return hi;
+  return value;
+}
+
+}  // namespace
+
+TracerouteOptions TracerouteOptions::clamped() const {
+  TracerouteOptions out = *this;
+  out.gap_limit = std::clamp(out.gap_limit, 1, 255);
+  out.host_response = clamp_or(out.host_response, 0.0, 1.0);
+  out.loop_probability = clamp_or(out.loop_probability, 0.0, 1.0);
+  out.queueing_probability = clamp_or(out.queueing_probability, 0.0, 1.0);
+  out.response_scale = clamp_or(out.response_scale, 0.0, 1.0);
+  out.jitter_mean_ms = clamp_or(out.jitter_mean_ms, 0.0, 1e6);
+  out.queueing_max_ms = clamp_or(out.queueing_max_ms, 0.0, 1e6);
+  return out;
+}
 
 TracerouteEngine::TracerouteEngine(const Forwarder& forwarder,
                                    std::uint64_t seed,
                                    TracerouteOptions options)
-    : forwarder_(&forwarder), rng_(seed), options_(options) {}
+    : forwarder_(&forwarder), rng_(seed), options_(options.clamped()) {}
 
 double TracerouteEngine::jitter() {
   double extra = rng_.exponential(options_.jitter_mean_ms);
@@ -28,8 +55,9 @@ TracerouteRecord TracerouteEngine::trace(const VantagePoint& vp, Ipv4 dst) {
     ++probes_sent_;
     const Router& router = world.router(hop.router);
     TracerouteHop out;
-    const bool answers = router.reply_policy != ReplyPolicy::kSilent &&
-                         rng_.chance(router.response_probability);
+    const bool answers =
+        router.reply_policy != ReplyPolicy::kSilent &&
+        rng_.chance(router.response_probability * options_.response_scale);
     if (answers) {
       InterfaceId reply = hop.incoming;
       if (router.reply_policy == ReplyPolicy::kFixedInterface)
@@ -79,8 +107,9 @@ TracerouteRecord TracerouteEngine::trace(const VantagePoint& vp, Ipv4 dst) {
   if (dst_iface.valid() &&
       world.interface(dst_iface).router == path.hops.back().router) {
     const Router& router = world.router(path.hops.back().router);
-    dst_answers = router.reply_policy != ReplyPolicy::kSilent &&
-                  rng_.chance(router.response_probability);
+    dst_answers =
+        router.reply_policy != ReplyPolicy::kSilent &&
+        rng_.chance(router.response_probability * options_.response_scale);
   } else {
     dst_answers = rng_.chance(options_.host_response);
   }

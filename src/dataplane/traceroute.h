@@ -44,6 +44,18 @@ struct TracerouteOptions {
   double jitter_mean_ms = 0.08;
   double queueing_probability = 0.05;
   double queueing_max_ms = 2.0;
+  // Loss injection: scales every router's response_probability. 1.0 leaves
+  // the world untouched (and draws the exact same RNG stream); lower values
+  // simulate a degraded measurement plane for the re-probing machinery.
+  double response_scale = 1.0;
+
+  // Copy with every field forced into its valid domain. gap_limit <= 0
+  // would make the silent-padding loops in traceroute.cpp degenerate (every
+  // trace "gap-terminates" instantly with zero recorded hops), and
+  // probabilities outside [0, 1] silently distort chance() draws — the
+  // engine therefore only ever runs on a clamped copy. NaN clamps to the
+  // lower bound.
+  TracerouteOptions clamped() const;
 };
 
 class TracerouteEngine {

@@ -96,6 +96,13 @@ std::optional<CandidateSegment> extract_segment(const TracerouteRecord& record,
   segment.region = record.vantage.region;
   segment.abi_rtt_ms = record.hops[cbi_index - 1].rtt_ms;
   segment.cbi_rtt_ms = record.hops[cbi_index].rtt_ms;
+  if (!record.hops.empty()) {
+    std::size_t responded = 0;
+    for (const TracerouteHop& hop : record.hops)
+      if (hop.responded) ++responded;
+    segment.hop_density = static_cast<double>(responded) /
+                          static_cast<double>(record.hops.size());
+  }
   ++stats.extracted;
   return segment;
 }

@@ -25,6 +25,10 @@ struct CandidateSegment {
   RegionId region;  // source region of the probe
   double abi_rtt_ms = 0.0;
   double cbi_rtt_ms = 0.0;
+  // Fraction of hops in the source traceroute that responded — one of the
+  // inputs to the per-segment confidence score (a clean trace supports its
+  // segment more strongly than one extracted from a gap-riddled record).
+  double hop_density = 0.0;
 };
 
 // Why a traceroute yielded no usable segment (the §4.1 exclusions).

@@ -41,17 +41,17 @@ Campaign::SweepChunkResult Campaign::sweep_chunk(
     std::size_t vp_index, std::size_t begin, std::size_t end,
     std::uint64_t chunk, std::uint64_t sweep_index) const {
   const VantagePoint& vp = vps_[vp_index];
-  TracerouteEngine engine(
-      *forwarder_,
-      stream_seed(config_.seed, sweep_index, vp.region.value, chunk),
-      config_.traceroute);
+  const std::uint64_t chunk_seed =
+      stream_seed(config_.seed, sweep_index, vp.region.value, chunk);
+  TracerouteEngine engine(*forwarder_, chunk_seed, config_.traceroute);
   SweepChunkResult result;
   // Adjacencies repeat heavily across traces into the same /24; dedup per
   // chunk to keep the merge buffers small (the fabric's successor map is a
   // set, so dropping duplicates changes nothing).
   std::unordered_set<std::uint64_t> seen_adjacencies;
-  for (std::size_t t = begin; t < end; ++t) {
-    const TracerouteRecord record = engine.trace(vp, targets[t]);
+  // Fold one trace — primary or retry — into the chunk result. Returns
+  // whether a candidate segment came out of it.
+  const auto process = [&](const TracerouteRecord& record) {
     ++result.traceroutes;
     // Adjacencies between consecutive responding hops feed the hybrid
     // heuristic (Fig. 3).
@@ -74,9 +74,45 @@ Campaign::SweepChunkResult Campaign::sweep_chunk(
     if (auto segment =
             extract_segment(record, annotator, subject_org_, result.walk)) {
       result.segments.push_back(std::move(*segment));
+      return true;
     }
+    return false;
+  };
+
+  const ReprobePolicy reprobe = config_.reprobe.clamped();
+  std::vector<std::size_t> failed;
+  for (std::size_t t = begin; t < end; ++t) {
+    const TracerouteRecord record = engine.trace(vp, targets[t]);
+    process(record);
+    if (reprobe.enabled() && record.status != TracerouteStatus::kCompleted)
+      failed.push_back(t);
   }
   result.probes = engine.probes_sent();
+
+  // Re-probe pass: each failed target earns up to `budget` extra traces with
+  // exponential, jittered backoff in the simulated clock. Every attempt
+  // draws from its own (chunk, target, attempt) RNG stream — the primary
+  // engine above is never touched, so a zero budget is bit-identical to the
+  // seed behaviour and results stay thread-count invariant.
+  for (const std::size_t t : failed) {
+    ++result.retried_targets;
+    bool recovered = false;
+    for (int attempt = 1; attempt <= reprobe.budget && !recovered; ++attempt) {
+      Rng retry_rng(reprobe_stream_seed(chunk_seed, t, attempt));
+      result.backoff_ticks += reprobe.backoff_ticks(attempt, retry_rng);
+      ++result.backoff_waits;
+      TracerouteEngine retry_engine(*forwarder_, retry_rng.next(),
+                                    config_.traceroute);
+      const TracerouteRecord record = retry_engine.trace(vp, targets[t]);
+      ++result.retries;
+      const bool extracted = process(record);
+      result.probes += retry_engine.probes_sent();
+      if (record.status == TracerouteStatus::kCompleted || extracted) {
+        recovered = true;
+        ++result.recovered_targets;
+      }
+    }
+  }
   return result;
 }
 
@@ -124,6 +160,11 @@ RoundStats Campaign::sweep(const Annotator& annotator,
   for (const SweepChunkResult& result : results) {
     stats.traceroutes += result.traceroutes;
     stats.probes += result.probes;
+    stats.retried_targets += result.retried_targets;
+    stats.retries += result.retries;
+    stats.backoff_waits += result.backoff_waits;
+    stats.backoff_ticks += result.backoff_ticks;
+    stats.recovered_targets += result.recovered_targets;
     stats.walk.add(result.walk);
     for (const auto& [from, to] : result.adjacencies)
       fabric_.add_adjacency(Ipv4(from), Ipv4(to));
@@ -135,6 +176,12 @@ RoundStats Campaign::sweep(const Annotator& annotator,
     metrics_->add("campaign.targets", stats.targets);
     metrics_->add("campaign.traceroutes", stats.traceroutes);
     metrics_->add("campaign.probes", stats.probes);
+    // Registered even when zero so every artifact carries the retry family
+    // (tools/metrics_schema.json lists them as retry_counters).
+    metrics_->add("campaign.retry.attempts", stats.retries);
+    metrics_->add("campaign.retry.backoff_waits", stats.backoff_waits);
+    metrics_->add("campaign.retry.backoff_ticks", stats.backoff_ticks);
+    metrics_->add("campaign.retry.recovered_targets", stats.recovered_targets);
   }
   return stats;
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dataplane/forwarding.h"
+#include "dataplane/reprobe.h"
 #include "dataplane/traceroute.h"
 #include "infer/annotate.h"
 #include "infer/fabric.h"
@@ -38,12 +39,25 @@ struct CampaignConfig {
   // and merged in canonical order.
   int threads = 0;
   TracerouteOptions traceroute;
+  // Adaptive re-probing of targets whose first pass ended in kGapLimit /
+  // kUnreachable. Disabled by default (budget 0): the primary pass draws
+  // from untouched RNG streams, so a zero budget reproduces the
+  // no-reprobing campaign bit for bit.
+  ReprobePolicy reprobe;
 };
 
 struct RoundStats {
   std::uint64_t targets = 0;
-  std::uint64_t traceroutes = 0;
-  std::uint64_t probes = 0;  // per-hop probe packets issued
+  std::uint64_t traceroutes = 0;  // includes retry traces
+  std::uint64_t probes = 0;  // per-hop probe packets issued (incl. retries)
+  // Re-probing accounting. `walk` covers primary *and* retry passes (retry
+  // evidence merges into the same fabric); the counters below isolate the
+  // retry machinery itself.
+  std::uint64_t retried_targets = 0;   // failed targets given retry passes
+  std::uint64_t retries = 0;           // retry traces issued
+  std::uint64_t backoff_waits = 0;     // backoff sleeps taken
+  std::uint64_t backoff_ticks = 0;     // simulated probe slots spent waiting
+  std::uint64_t recovered_targets = 0; // a retry completed / yielded evidence
   BorderWalkStats walk;
   // Fraction of traceroutes that left the subject cloud (§3 reports ~77%).
   double left_cloud_fraction() const {
@@ -54,11 +68,13 @@ struct RoundStats {
   }
   // Wall time the campaign would take at the paper's probing rate (300
   // packets/s per VM, all regions probing in parallel — §3's 16 days).
+  // Backoff waits occupy probe slots in the simulated clock, so they count
+  // toward the duration even though no packet leaves.
   double duration_days(std::size_t regions,
                        double packets_per_second = 300.0) const {
     if (regions == 0) return 0.0;
-    const double per_vm =
-        static_cast<double>(probes) / static_cast<double>(regions);
+    const double per_vm = static_cast<double>(probes + backoff_ticks) /
+                          static_cast<double>(regions);
     return per_vm / packets_per_second / 86400.0;
   }
 };
@@ -130,6 +146,11 @@ class Campaign {
     BorderWalkStats walk;
     std::uint64_t traceroutes = 0;
     std::uint64_t probes = 0;
+    std::uint64_t retried_targets = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t backoff_waits = 0;
+    std::uint64_t backoff_ticks = 0;
+    std::uint64_t recovered_targets = 0;
   };
 
   RoundStats sweep(const Annotator& annotator,

@@ -1,0 +1,45 @@
+#include "infer/confidence.h"
+
+#include <algorithm>
+
+namespace cloudmap {
+
+double confirmation_weight(Confirmation confirmation) {
+  switch (confirmation) {
+    case Confirmation::kUnconfirmed: return 0.0;
+    case Confirmation::kIxpClient: return 1.0;      // strongest §5.1 signal
+    case Confirmation::kHybrid: return 0.85;
+    case Confirmation::kReachability: return 0.70;  // weakest heuristic
+    case Confirmation::kAliasRelabel: return 0.75;  // corrected, then agreed
+  }
+  return 0.0;
+}
+
+double confidence_score(std::uint32_t observations, std::uint32_t rounds_seen,
+                        double hop_density, double heuristic_weight) {
+  const double obs = static_cast<double>(observations);
+  const double obs_score = observations == 0 ? 0.0 : obs / (obs + 2.0);
+  const double rounds_score =
+      static_cast<double>(std::min<std::uint32_t>(rounds_seen, 2)) / 2.0;
+  const double density = std::clamp(hop_density, 0.0, 1.0);
+  const double weight = std::clamp(heuristic_weight, 0.0, 1.0);
+  return 0.35 * weight + 0.30 * obs_score + 0.15 * rounds_score +
+         0.20 * density;
+}
+
+SegmentConfidence segment_confidence(const InferredSegment& segment) {
+  SegmentConfidence out;
+  out.observations = segment.observations;
+  out.rounds_seen =
+      static_cast<std::uint32_t>(__builtin_popcount(segment.rounds_mask));
+  out.hop_density =
+      segment.observations == 0
+          ? 0.0
+          : segment.hop_density_sum / static_cast<double>(segment.observations);
+  out.heuristic_weight = confirmation_weight(segment.confirmation);
+  out.score = confidence_score(out.observations, out.rounds_seen,
+                               out.hop_density, out.heuristic_weight);
+  return out;
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,42 @@
+// Per-segment confidence (the robustness layer over §4/§5): a single
+// [0, 1] score blending how a segment was confirmed with how much raw
+// evidence supports it. The paper's verification heuristics (§5.1) already
+// rank IXP-client > hybrid > reachability in trustworthiness; on top of
+// that, a segment seen many times, in both campaign rounds, through clean
+// (gap-free) traceroutes deserves more trust than a single observation
+// pulled from a loss-riddled record — the same multi-evidence stance
+// traIXroute takes for IXP crossings.
+//
+// The score is a pure function of integer observation counts and a
+// deterministic density sum, so it is bit-identical at every thread count
+// and across runs.
+#pragma once
+
+#include "infer/fabric.h"
+
+namespace cloudmap {
+
+struct SegmentConfidence {
+  std::uint32_t observations = 0;  // candidate observations merged
+  std::uint32_t rounds_seen = 0;   // distinct campaign rounds contributing
+  double hop_density = 0.0;        // mean responding-hop density of sources
+  double heuristic_weight = 0.0;   // §5 confirmation-class weight
+  double score = 0.0;              // blended confidence in [0, 1]
+};
+
+// Trust weight of a §5 confirmation class, in [0, 1].
+double confirmation_weight(Confirmation confirmation);
+
+// Derive the confidence carried by one fabric segment. Weights:
+//   0.35 · heuristic agreement  (confirmation_weight)
+//   0.30 · observation count    (saturating: n / (n + 2))
+//   0.15 · rounds seen          (min(rounds, 2) / 2)
+//   0.20 · responding-hop density (mean over observations)
+SegmentConfidence segment_confidence(const InferredSegment& segment);
+
+// The blended score for raw inputs; exposed so the query layer can score
+// snapshot segments without materialising an InferredSegment.
+double confidence_score(std::uint32_t observations, std::uint32_t rounds_seen,
+                        double hop_density, double heuristic_weight);
+
+}  // namespace cloudmap

@@ -27,6 +27,10 @@ void Fabric::add_segment(const CandidateSegment& candidate, int round) {
     segments_.push_back(std::move(segment));
   }
   InferredSegment& segment = segments_[it->second];
+  ++segment.observations;
+  const int round_bit = std::clamp(round, 1, 32) - 1;
+  segment.rounds_mask |= std::uint32_t{1} << round_bit;
+  segment.hop_density_sum += candidate.hop_density;
   if (!candidate.prior_abi.is_unspecified())
     segment.prior_abi = candidate.prior_abi;
   if (!candidate.post_cbi.is_unspecified())
@@ -91,6 +95,9 @@ bool Fabric::shift_segment(std::size_t index, Confirmation reason) {
     target.regions.insert(segment.regions.begin(), segment.regions.end());
     target.dest_slash24s.insert(segment.dest_slash24s.begin(),
                                 segment.dest_slash24s.end());
+    target.observations += segment.observations;
+    target.rounds_mask |= segment.rounds_mask;
+    target.hop_density_sum += segment.hop_density_sum;
     segment.cbi = Ipv4{};  // tombstone; compact() removes it
     return true;
   }
@@ -116,6 +123,9 @@ bool Fabric::advance_segment(std::size_t index, Confirmation reason) {
     target.regions.insert(segment.regions.begin(), segment.regions.end());
     target.dest_slash24s.insert(segment.dest_slash24s.begin(),
                                 segment.dest_slash24s.end());
+    target.observations += segment.observations;
+    target.rounds_mask |= segment.rounds_mask;
+    target.hop_density_sum += segment.hop_density_sum;
     segment.cbi = Ipv4{};  // tombstone
     return true;
   }

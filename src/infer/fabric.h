@@ -38,6 +38,14 @@ struct InferredSegment {
   std::vector<Ipv4> sample_destinations;            // ≤ kMaxSampleDests
   Confirmation confirmation = Confirmation::kUnconfirmed;
   bool shifted = false;  // corrected to the preceding segment (Fig. 2)
+  // Multi-pass evidence feeding the per-segment confidence score
+  // (infer/confidence.h): how many candidate observations merged into this
+  // segment, a bitmask of the campaign rounds that contributed (bit r-1 for
+  // round r, rounds beyond 32 saturate into the top bit), and the summed
+  // responding-hop density of the source traceroutes.
+  std::uint32_t observations = 0;
+  std::uint32_t rounds_mask = 0;
+  double hop_density_sum = 0.0;
   // Owner attribution fallback: when the (corrected) CBI carries a
   // cloud-provided address, the peer AS is taken from the downstream hop or
   // the alias-set majority instead of the CBI's own annotation.

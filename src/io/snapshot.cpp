@@ -169,7 +169,7 @@ std::string encode_aliases(const RunSnapshot& s) {
   return out;
 }
 
-std::string encode_metrics(const RunSnapshot& s) {
+std::string encode_metrics(const RunSnapshot& s, std::uint16_t version) {
   std::string out;
   put_u32(out, static_cast<std::uint32_t>(s.stage_reports.size()));
   for (const StageReport& report : s.stage_reports) {
@@ -181,6 +181,12 @@ std::string encode_metrics(const RunSnapshot& s) {
     put_u64(out, report.probes);
     put_u64(out, report.bgp_cache_hits);
     put_u64(out, report.bgp_cache_misses);
+    if (version >= 2) {
+      put_u64(out, report.retries);
+      put_u64(out, report.backoff_waits);
+      put_u64(out, report.backoff_ticks);
+      put_u64(out, report.recovered_targets);
+    }
     put_f64(out, report.wall_ms);
     put_f64(out, report.worker_utilization);
     put_u32(out, static_cast<std::uint32_t>(report.tallies.size()));
@@ -188,6 +194,18 @@ std::string encode_metrics(const RunSnapshot& s) {
       put_string(out, name);
       put_f64(out, value);
     }
+  }
+  return out;
+}
+
+std::string encode_confidence(const RunSnapshot& s) {
+  std::string out;
+  put_u32(out, static_cast<std::uint32_t>(s.segments.size()));
+  for (const SnapshotSegment& seg : s.segments) {
+    put_u32(out, seg.observations);
+    put_u32(out, seg.rounds_mask);
+    put_f64(out, seg.hop_density);
+    put_f64(out, seg.confidence);
   }
   return out;
 }
@@ -275,7 +293,7 @@ bool decode_aliases(Cursor& in, RunSnapshot& s) {
   return in.at_end();
 }
 
-bool decode_metrics(Cursor& in, RunSnapshot& s) {
+bool decode_metrics(Cursor& in, RunSnapshot& s, std::uint16_t version) {
   const std::uint32_t report_count = in.u32();
   for (std::uint32_t i = 0; i < report_count && !in.failed; ++i) {
     StageReport report;
@@ -289,6 +307,12 @@ bool decode_metrics(Cursor& in, RunSnapshot& s) {
     report.probes = in.u64();
     report.bgp_cache_hits = in.u64();
     report.bgp_cache_misses = in.u64();
+    if (version >= 2) {
+      report.retries = in.u64();
+      report.backoff_waits = in.u64();
+      report.backoff_ticks = in.u64();
+      report.recovered_targets = in.u64();
+    }
     report.wall_ms = in.f64();
     report.worker_utilization = in.f64();
     const std::uint32_t tally_count = in.u32();
@@ -298,6 +322,34 @@ bool decode_metrics(Cursor& in, RunSnapshot& s) {
       report.tallies.emplace_back(std::move(name), value);
     }
     s.stage_reports.push_back(std::move(report));
+  }
+  return in.at_end();
+}
+
+// One decoded confidence record; buffered instead of applied in place so
+// the loader tolerates the confidence section appearing before the segments
+// section in the table (the count check runs after every section decoded).
+struct ConfidenceRecord {
+  std::uint32_t observations = 0;
+  std::uint32_t rounds_mask = 0;
+  double hop_density = 0.0;
+  double confidence = 0.0;
+};
+
+bool decode_confidence(Cursor& in, std::vector<ConfidenceRecord>& records) {
+  const std::uint32_t count = in.u32();
+  if (!in.need(std::size_t{count} * 24)) return false;
+  records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ConfidenceRecord record;
+    record.observations = in.u32();
+    record.rounds_mask = in.u32();
+    record.hop_density = in.f64();
+    record.confidence = in.f64();
+    // Both are scores in [0, 1]; the negated comparisons also reject NaN.
+    if (!(record.hop_density >= 0.0) || record.hop_density > 1.0) return false;
+    if (!(record.confidence >= 0.0) || record.confidence > 1.0) return false;
+    records.push_back(record);
   }
   return in.at_end();
 }
@@ -352,7 +404,11 @@ void canonicalize(RunSnapshot& snapshot) {
     std::sort(report.tallies.begin(), report.tallies.end());
 }
 
-void save_snapshot(std::ostream& out, const RunSnapshot& snapshot) {
+void save_snapshot(std::ostream& out, const RunSnapshot& snapshot,
+                   std::uint16_t version) {
+  // Anything other than the explicitly supported legacy layout writes the
+  // current format.
+  if (version != 1) version = kSnapshotFormatVersion;
   RunSnapshot canonical = snapshot;
   canonicalize(canonical);
 
@@ -360,17 +416,20 @@ void save_snapshot(std::ostream& out, const RunSnapshot& snapshot) {
     SnapshotSection id;
     std::string payload;
   };
-  const std::array<Section, 5> sections = {{
+  std::vector<Section> sections = {
       {SnapshotSection::kMeta, encode_meta(canonical)},
       {SnapshotSection::kSegments, encode_segments(canonical)},
       {SnapshotSection::kPins, encode_pins(canonical)},
       {SnapshotSection::kAliases, encode_aliases(canonical)},
-      {SnapshotSection::kMetrics, encode_metrics(canonical)},
-  }};
+      {SnapshotSection::kMetrics, encode_metrics(canonical, version)},
+  };
+  if (version >= 2)
+    sections.push_back(
+        {SnapshotSection::kConfidence, encode_confidence(canonical)});
 
   std::string header;
   header.append(kMagic, sizeof(kMagic));
-  put_u16(header, kSnapshotFormatVersion);
+  put_u16(header, version);
   put_u32(header, static_cast<std::uint32_t>(sections.size()));
   std::uint64_t offset = kHeaderSize + sections.size() * kTableEntrySize;
   for (const Section& section : sections) {
@@ -390,10 +449,10 @@ void save_snapshot(std::ostream& out, const RunSnapshot& snapshot) {
 }
 
 bool save_snapshot_file(const std::string& path, const RunSnapshot& snapshot,
-                        std::string* error) {
+                        std::string* error, std::uint16_t version) {
   std::ofstream out(path, std::ios::binary);
   if (!out) return fail(error, "cannot open " + path + " for writing");
-  save_snapshot(out, snapshot);
+  save_snapshot(out, snapshot, version);
   out.flush();
   if (!out) return fail(error, "write to " + path + " failed");
   return true;
@@ -417,17 +476,21 @@ std::optional<RunSnapshot> load_snapshot(std::istream& in,
     return reject("bad magic (not a cloudmap snapshot)");
   Cursor header{data, buffer.size(), sizeof(kMagic)};
   const std::uint16_t version = header.u16();
-  if (version != kSnapshotFormatVersion)
+  if (version < kSnapshotMinFormatVersion || version > kSnapshotFormatVersion)
     return reject("unsupported format version " + std::to_string(version) +
-                  " (expected " + std::to_string(kSnapshotFormatVersion) +
-                  ")");
+                  " (expected " + std::to_string(kSnapshotMinFormatVersion) +
+                  ".." + std::to_string(kSnapshotFormatVersion) + ")");
   const std::uint32_t section_count = header.u32();
   if (section_count > 1024) return reject("implausible section count");
   if (!header.need(std::size_t{section_count} * kTableEntrySize))
     return reject("truncated section table");
 
+  // A v1 file has no confidence section; its id (6) is treated as unknown
+  // there, exactly as v1 readers did.
+  const std::uint32_t max_known_section = version >= 2 ? 6 : 5;
   RunSnapshot snapshot;
-  bool seen[6] = {};
+  std::vector<ConfidenceRecord> confidence;
+  bool seen[7] = {};
   // Every byte must be owned by the header, the table, or a payload: a file
   // with unaccounted trailing bytes would not re-save byte-identically.
   std::uint64_t end_of_payloads =
@@ -443,7 +506,8 @@ std::optional<RunSnapshot> load_snapshot(std::istream& in,
     end_of_payloads = std::max(end_of_payloads, offset + size);
     if (snapshot_crc32(data + offset, size) != crc)
       return reject("section " + std::to_string(id) + " CRC mismatch");
-    if (id < 1 || id > 5) continue;  // unknown section: skip (forward compat)
+    if (id < 1 || id > max_known_section)
+      continue;  // unknown section: skip (forward compat)
     if (seen[id])
       return reject("duplicate section " + std::to_string(id));
     seen[id] = true;
@@ -459,19 +523,34 @@ std::optional<RunSnapshot> load_snapshot(std::istream& in,
         ok = decode_aliases(body, snapshot);
         break;
       case SnapshotSection::kMetrics:
-        ok = decode_metrics(body, snapshot);
+        ok = decode_metrics(body, snapshot, version);
+        break;
+      case SnapshotSection::kConfidence:
+        ok = decode_confidence(body, confidence);
         break;
     }
     if (!ok)
       return reject("section " + std::to_string(id) +
                     " is malformed (bad field or trailing bytes)");
   }
-  for (std::uint32_t id = 1; id <= 5; ++id) {
+  for (std::uint32_t id = 1; id <= max_known_section; ++id) {
     if (!seen[id])
       return reject("missing required section " + std::to_string(id));
   }
   if (end_of_payloads != buffer.size())
     return reject("trailing bytes past the last section");
+  if (version >= 2) {
+    if (confidence.size() != snapshot.segments.size())
+      return reject("confidence section has " +
+                    std::to_string(confidence.size()) + " records for " +
+                    std::to_string(snapshot.segments.size()) + " segments");
+    for (std::size_t i = 0; i < confidence.size(); ++i) {
+      snapshot.segments[i].observations = confidence[i].observations;
+      snapshot.segments[i].rounds_mask = confidence[i].rounds_mask;
+      snapshot.segments[i].hop_density = confidence[i].hop_density;
+      snapshot.segments[i].confidence = confidence[i].confidence;
+    }
+  }
   return snapshot;
 }
 

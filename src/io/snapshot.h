@@ -4,9 +4,9 @@
 // pass into the query engine.
 //
 // Byte layout (all integers little-endian, fixed width; full spec with the
-// per-section record formats in DESIGN.md §7):
+// per-section record formats in DESIGN.md §7–§8):
 //
-//   header   magic "CMSNAP" (6 bytes) | u16 format version (= 1)
+//   header   magic "CMSNAP" (6 bytes) | u16 format version (= 2)
 //            | u32 section count
 //   table    section count × { u32 section id, u64 payload offset (from
 //            file start), u64 payload size, u32 CRC-32 of the payload }
@@ -14,8 +14,14 @@
 //
 // Sections (ids are stable; readers skip unknown ids so additive sections
 // do not need a version bump): 1 meta, 2 segments, 3 pins, 4 alias sets,
-// 5 stage metrics. CRC-32 is the zlib polynomial (0xEDB88320), so
-// tools/diff_snapshots.py verifies with Python's zlib.crc32.
+// 5 stage metrics, 6 per-segment confidence (v2+). CRC-32 is the zlib
+// polynomial (0xEDB88320), so tools/diff_snapshots.py verifies with
+// Python's zlib.crc32.
+//
+// Versioning: v2 adds the confidence section and appends the retry counters
+// to each stage-metrics record. The loader still accepts v1 files
+// (confidence fields default to zero); the writer can emit the v1 layout on
+// request for compatibility tests and downgrades.
 //
 // Determinism contract: save_snapshot() canonicalizes collection order, so
 // save → load → save produces byte-identical files (enforced in CI). A
@@ -32,7 +38,9 @@
 
 namespace cloudmap {
 
-inline constexpr std::uint16_t kSnapshotFormatVersion = 1;
+inline constexpr std::uint16_t kSnapshotFormatVersion = 2;
+// Oldest version the loader still accepts.
+inline constexpr std::uint16_t kSnapshotMinFormatVersion = 1;
 
 // Section ids of the current format.
 enum class SnapshotSection : std::uint32_t {
@@ -41,12 +49,18 @@ enum class SnapshotSection : std::uint32_t {
   kPins = 3,
   kAliases = 4,
   kMetrics = 5,
+  kConfidence = 6,  // v2+: one record per segment, same order as kSegments
 };
 
 // Serialize (canonicalizing collection order first; see query/snapshot.h).
-void save_snapshot(std::ostream& out, const RunSnapshot& snapshot);
+// `version` selects the on-disk layout: 1 writes the legacy layout (no
+// confidence section, no retry counters in the metrics records); anything
+// else writes the current format.
+void save_snapshot(std::ostream& out, const RunSnapshot& snapshot,
+                   std::uint16_t version = kSnapshotFormatVersion);
 bool save_snapshot_file(const std::string& path, const RunSnapshot& snapshot,
-                        std::string* error = nullptr);
+                        std::string* error = nullptr,
+                        std::uint16_t version = kSnapshotFormatVersion);
 
 // Parse and validate: magic, version, section-table bounds, per-section
 // CRC, and per-field range checks. Returns nullopt (and a one-line

@@ -33,6 +33,11 @@ void write_stage_json(std::ostream& out, const StageReport& report,
   out << indent << "  \"bgp_cache_hits\": " << report.bgp_cache_hits << ",\n";
   out << indent << "  \"bgp_cache_misses\": " << report.bgp_cache_misses
       << ",\n";
+  out << indent << "  \"retries\": " << report.retries << ",\n";
+  out << indent << "  \"backoff_waits\": " << report.backoff_waits << ",\n";
+  out << indent << "  \"backoff_ticks\": " << report.backoff_ticks << ",\n";
+  out << indent << "  \"recovered_targets\": " << report.recovered_targets
+      << ",\n";
   out << indent << "  \"tallies\": {";
   bool first = true;
   for (const auto& [name, value] : report.tallies) {
@@ -140,6 +145,10 @@ void write_metrics_csv(std::ostream& out,
     out << stage << ",probes," << report.probes << "\n";
     out << stage << ",bgp_cache_hits," << report.bgp_cache_hits << "\n";
     out << stage << ",bgp_cache_misses," << report.bgp_cache_misses << "\n";
+    out << stage << ",retries," << report.retries << "\n";
+    out << stage << ",backoff_waits," << report.backoff_waits << "\n";
+    out << stage << ",backoff_ticks," << report.backoff_ticks << "\n";
+    out << stage << ",recovered_targets," << report.recovered_targets << "\n";
     for (const auto& [name, value] : report.tallies)
       out << stage << ",tally." << name << "," << format_double(value) << "\n";
   }

@@ -51,6 +51,13 @@ class MetricsRegistry {
 
   bool enabled() const { return enabled_; }
 
+  // Deterministic mode: timers still count invocations but record zero
+  // elapsed time (no clock is read), so the emitted artifact is
+  // byte-identical across runs. Wall-clock gauges and stage wall_ms fields
+  // are the Pipeline's responsibility (it zeroes them in this mode).
+  void set_deterministic(bool deterministic) { deterministic_ = deterministic; }
+  bool deterministic() const { return deterministic_; }
+
   // Stable handles, created on first use. Note: handles bypass the enabled
   // gate — hot paths that cache a handle should check enabled() themselves.
   Counter& counter(std::string_view name);
@@ -88,7 +95,8 @@ class MetricsRegistry {
     ScopedTimer(MetricsRegistry* registry, std::string_view name) {
       if (registry != nullptr && registry->enabled()) {
         timer_ = &registry->timer(name);
-        start_ = std::chrono::steady_clock::now();
+        deterministic_ = registry->deterministic();
+        if (!deterministic_) start_ = std::chrono::steady_clock::now();
       }
     }
     ScopedTimer(MetricsRegistry& registry, std::string_view name)
@@ -97,22 +105,26 @@ class MetricsRegistry {
     ScopedTimer& operator=(const ScopedTimer&) = delete;
     ~ScopedTimer() {
       if (timer_ == nullptr) return;
-      const auto elapsed = std::chrono::steady_clock::now() - start_;
-      timer_->total_ns.fetch_add(
-          static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                  .count()),
-          std::memory_order_relaxed);
+      if (!deterministic_) {
+        const auto elapsed = std::chrono::steady_clock::now() - start_;
+        timer_->total_ns.fetch_add(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                    .count()),
+            std::memory_order_relaxed);
+      }
       timer_->count.fetch_add(1, std::memory_order_relaxed);
     }
 
    private:
     Timer* timer_ = nullptr;
+    bool deterministic_ = false;
     std::chrono::steady_clock::time_point start_{};
   };
 
  private:
   bool enabled_;
+  bool deterministic_ = false;
   // node-based maps keep handle references stable across insertions.
   mutable std::mutex mutex_;
   std::map<std::string, Counter, std::less<>> counters_;

@@ -56,6 +56,14 @@ struct StageReport {
   // BGP route-cache traffic attributed to this stage (lookup deltas).
   std::uint64_t bgp_cache_hits = 0;
   std::uint64_t bgp_cache_misses = 0;
+  // Adaptive re-probing accounting (0 for stages that send no probes or
+  // when the retry budget is 0): retry traces issued, backoff sleeps taken,
+  // simulated probe slots spent waiting, and failed targets a retry
+  // recovered (completed or yielded a candidate segment).
+  std::uint64_t retries = 0;
+  std::uint64_t backoff_waits = 0;
+  std::uint64_t backoff_ticks = 0;
+  std::uint64_t recovered_targets = 0;
   // busy / (wall × workers) over the stage's worker pool; 0 when the stage
   // ran inline or metrics were disabled.
   double worker_utilization = 0.0;

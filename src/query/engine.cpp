@@ -12,6 +12,8 @@ QueryEngine::QueryEngine(const FabricIndex& index, MetricsRegistry* metrics)
     metro_queries_ = &metrics->counter("query.interfaces_in");
     vpi_queries_ = &metrics->counter("query.vpi_candidates");
     count_queries_ = &metrics->counter("query.counts");
+    confidence_queries_ = &metrics->counter("query.min_confidence");
+    histogram_queries_ = &metrics->counter("query.confidence_histogram");
   }
 }
 
@@ -38,6 +40,17 @@ std::optional<LookupHit> QueryEngine::lookup(Ipv4 address) const {
   return index_->lookup(address);
 }
 
+std::vector<std::uint32_t> QueryEngine::segments_min_confidence(
+    double min_confidence) const {
+  if (confidence_queries_ != nullptr) confidence_queries_->add();
+  return index_->segments_min_confidence(min_confidence);
+}
+
+const ConfidenceHistogram& QueryEngine::confidence_histogram() const {
+  if (histogram_queries_ != nullptr) histogram_queries_->add();
+  return index_->confidence_histogram();
+}
+
 FabricCounts QueryEngine::counts() const {
   if (count_queries_ != nullptr) count_queries_->add();
   FabricCounts out;
@@ -47,8 +60,11 @@ FabricCounts QueryEngine::counts() const {
   std::unordered_set<std::uint32_t> vpi_cbis;
   std::array<std::unordered_set<std::uint32_t>, kPeeringGroupCount>
       group_ases;
+  double confidence_sum = 0.0;
   for (const SnapshotSegment& seg : index_->segments()) {
     ++out.segments;
+    confidence_sum += seg.confidence;
+    if (seg.confidence >= 0.5) ++out.confident_segments;
     abis.insert(seg.abi.value());
     cbis.insert(seg.cbi.value());
     if (!seg.peer_org.is_unknown()) orgs.insert(seg.peer_org.value);
@@ -72,6 +88,8 @@ FabricCounts QueryEngine::counts() const {
     out.group_ases[g] = group_ases[g].size();
   out.pinned_interfaces = index_->snapshot().pins.size();
   out.regional_only = index_->snapshot().regional.size();
+  if (out.segments > 0)
+    out.mean_confidence = confidence_sum / static_cast<double>(out.segments);
   return out;
 }
 

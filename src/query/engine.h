@@ -6,7 +6,8 @@
 //
 // Counter names (all created at construction so they appear in a metrics
 // artifact even when a query class was never exercised): query.lookups,
-// query.peers_of, query.interfaces_in, query.vpi_candidates, query.counts.
+// query.peers_of, query.interfaces_in, query.vpi_candidates, query.counts,
+// query.min_confidence, query.confidence_histogram.
 #pragma once
 
 #include <array>
@@ -37,6 +38,10 @@ struct FabricCounts {
   std::size_t unattributed_segments = 0;
   std::size_t pinned_interfaces = 0;   // metro-level pins
   std::size_t regional_only = 0;       // regional fallback entries
+  // Confidence aggregates (v2 snapshots; zero for v1, where every segment
+  // scores 0).
+  double mean_confidence = 0.0;
+  std::size_t confident_segments = 0;  // confidence >= 0.5
 };
 
 class QueryEngine {
@@ -60,6 +65,14 @@ class QueryEngine {
   // Longest-prefix lookup of an arbitrary address against the fabric.
   std::optional<LookupHit> lookup(Ipv4 address) const;
 
+  // Segments whose confidence score is >= min_confidence (ascending
+  // indices). min_confidence <= 0 returns every segment.
+  std::vector<std::uint32_t> segments_min_confidence(
+      double min_confidence) const;
+
+  // The precomputed confidence distribution over all segments.
+  const ConfidenceHistogram& confidence_histogram() const;
+
   // Full aggregate pass (brute-force over the index's segment table; the
   // result is deterministic and cheap relative to rebuilding the map).
   FabricCounts counts() const;
@@ -71,6 +84,8 @@ class QueryEngine {
   MetricsRegistry::Counter* metro_queries_ = nullptr;
   MetricsRegistry::Counter* vpi_queries_ = nullptr;
   MetricsRegistry::Counter* count_queries_ = nullptr;
+  MetricsRegistry::Counter* confidence_queries_ = nullptr;
+  MetricsRegistry::Counter* histogram_queries_ = nullptr;
 };
 
 }  // namespace cloudmap

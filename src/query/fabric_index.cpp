@@ -63,6 +63,47 @@ FabricIndex::FabricIndex(RunSnapshot snapshot)
   for (std::size_t s = 0; s < snapshot_.alias_sets.size(); ++s)
     for (const std::uint32_t member : snapshot_.alias_sets[s])
       alias_set_by_address_[member] = s;
+
+  // Confidence views: a descending (confidence, index) list for
+  // min-confidence scans, and the precomputed histogram.
+  by_confidence_.reserve(snapshot_.segments.size());
+  for (std::uint32_t i = 0;
+       i < static_cast<std::uint32_t>(snapshot_.segments.size()); ++i)
+    by_confidence_.emplace_back(snapshot_.segments[i].confidence, i);
+  std::sort(by_confidence_.begin(), by_confidence_.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  confidence_histogram_.segments = snapshot_.segments.size();
+  if (!snapshot_.segments.empty()) {
+    double sum = 0.0;
+    confidence_histogram_.min = snapshot_.segments.front().confidence;
+    confidence_histogram_.max = confidence_histogram_.min;
+    for (const SnapshotSegment& seg : snapshot_.segments) {
+      const double score = seg.confidence;
+      sum += score;
+      confidence_histogram_.min = std::min(confidence_histogram_.min, score);
+      confidence_histogram_.max = std::max(confidence_histogram_.max, score);
+      auto bin = static_cast<std::size_t>(score * 10.0);
+      if (bin >= confidence_histogram_.bins.size())
+        bin = confidence_histogram_.bins.size() - 1;  // score == 1.0
+      ++confidence_histogram_.bins[bin];
+    }
+    confidence_histogram_.mean =
+        sum / static_cast<double>(snapshot_.segments.size());
+  }
+}
+
+std::vector<std::uint32_t> FabricIndex::segments_min_confidence(
+    double min_confidence) const {
+  std::vector<std::uint32_t> out;
+  for (const auto& [score, i] : by_confidence_) {
+    if (score < min_confidence) break;  // descending: nothing further matches
+    out.push_back(i);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 const std::vector<std::uint32_t>* FabricIndex::segments_of_peer(

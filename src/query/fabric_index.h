@@ -12,12 +12,25 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/prefix_trie.h"
 #include "query/snapshot.h"
 
 namespace cloudmap {
+
+// Distribution of per-segment confidence scores: ten equal-width bins over
+// [0, 1] (scores of exactly 1.0 land in the last bin) plus summary moments.
+// Precomputed at index build; scores come from the snapshot's v2 confidence
+// section (all zero for v1 files, which land in bin 0).
+struct ConfidenceHistogram {
+  std::array<std::size_t, 10> bins{};
+  std::size_t segments = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
 
 // One longest-prefix match: a /32 hit names an interface (with its fabric
 // roles), a shorter hit names a destination cone reached through the listed
@@ -60,6 +73,15 @@ class FabricIndex {
   // Peer ASNs present in the fabric, ascending (unknown/0 excluded).
   const std::vector<std::uint32_t>& peer_asns() const { return peer_asns_; }
 
+  // --- confidence views ----------------------------------------------------
+  // Segment indices with confidence >= min_confidence, ascending. Backed by
+  // a confidence-sorted index, so the scan touches only qualifying segments.
+  std::vector<std::uint32_t> segments_min_confidence(
+      double min_confidence) const;
+  const ConfidenceHistogram& confidence_histogram() const {
+    return confidence_histogram_;
+  }
+
   // --- pinning views -------------------------------------------------------
   // Interface addresses pinned to a metro, ascending; nullptr = none.
   const std::vector<std::uint32_t>* interfaces_in_metro(
@@ -97,6 +119,10 @@ class FabricIndex {
   std::unordered_map<std::uint32_t, std::size_t> pin_by_address_;
   std::unordered_map<std::uint32_t, std::uint32_t> region_by_address_;
   std::unordered_map<std::uint32_t, std::size_t> alias_set_by_address_;
+  // (confidence, segment index), descending by confidence then ascending by
+  // index — binary-searchable for min-confidence queries.
+  std::vector<std::pair<double, std::uint32_t>> by_confidence_;
+  ConfidenceHistogram confidence_histogram_;
   PrefixTrie<TrieEntry> trie_;
 };
 

@@ -60,10 +60,17 @@ class Rng {
     return static_cast<std::uint64_t>(wide >> 64);
   }
 
-  // Uniform integer in [lo, hi] inclusive.
+  // Uniform integer in [lo, hi] inclusive. The span is computed in unsigned
+  // arithmetic: `hi - lo + 1` as int64 overflows (UB) for extreme bounds
+  // such as range(INT64_MIN, INT64_MAX), whose span does not fit in 64 bits
+  // at all — that case degenerates to a raw 64-bit draw.
   std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
-    return lo + static_cast<std::int64_t>(
-                    bounded(static_cast<std::uint64_t>(hi - lo + 1)));
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+    if (span == std::numeric_limits<std::uint64_t>::max())
+      return static_cast<std::int64_t>(next());
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     bounded(span + 1));
   }
 
   // Uniform double in [0, 1).

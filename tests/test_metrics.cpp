@@ -120,6 +120,10 @@ StageReport sample_report() {
   report.probes = 9000;
   report.bgp_cache_hits = 350;
   report.bgp_cache_misses = 50;
+  report.retries = 12;
+  report.backoff_waits = 12;
+  report.backoff_ticks = 768;
+  report.recovered_targets = 4;
   report.worker_utilization = 0.85;
   report.tallies.push_back({"left_cloud", 0.75});
   return report;
@@ -149,6 +153,10 @@ TEST(Metrics, JsonEmitterWritesTheDocumentedSchema) {
   EXPECT_NE(json.find("\"wall_ms\": 12.5"), std::string::npos);
   EXPECT_NE(json.find("\"probes\": 9000"), std::string::npos);
   EXPECT_NE(json.find("\"bgp_cache_hits\": 350"), std::string::npos);
+  EXPECT_NE(json.find("\"retries\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"backoff_waits\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"backoff_ticks\": 768"), std::string::npos);
+  EXPECT_NE(json.find("\"recovered_targets\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"left_cloud\": 0.75"), std::string::npos);
   EXPECT_NE(json.find("\"campaign.sweeps\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"campaign.sweep\""), std::string::npos);
@@ -181,7 +189,26 @@ TEST(Metrics, CsvEmitterWritesOneRowPerField) {
   EXPECT_NE(csv.find("stage,metric,value"), std::string::npos);
   EXPECT_NE(csv.find("round1,wall_ms,12.5"), std::string::npos);
   EXPECT_NE(csv.find("round1,probes,9000"), std::string::npos);
+  EXPECT_NE(csv.find("round1,retries,12"), std::string::npos);
+  EXPECT_NE(csv.find("round1,backoff_ticks,768"), std::string::npos);
+  EXPECT_NE(csv.find("round1,recovered_targets,4"), std::string::npos);
   EXPECT_NE(csv.find("round1,tally.left_cloud,0.75"), std::string::npos);
+}
+
+TEST(Metrics, DeterministicModeRecordsCountsButNoTime) {
+  MetricsRegistry registry;
+  registry.set_deterministic(true);
+  EXPECT_TRUE(registry.deterministic());
+  for (int i = 0; i < 3; ++i) {
+    MetricsRegistry::ScopedTimer timer(registry, "work");
+    volatile std::size_t sink = 0;
+    for (std::size_t k = 0; k < 10000; ++k) sink = sink + k;
+  }
+  EXPECT_EQ(registry.timer_count("work"), 3u);
+  EXPECT_EQ(registry.timer_total_ns("work"), 0u);
+  // Counters are structural, not wall-clock: unaffected by the mode.
+  registry.add("events", 2);
+  EXPECT_EQ(registry.counter_value("events"), 2u);
 }
 
 }  // namespace

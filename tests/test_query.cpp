@@ -149,6 +149,59 @@ TEST(QueryEngine, CountsMatchBruteForce) {
   EXPECT_GT(counts.peer_ases, 0u);
 }
 
+TEST(QueryEngine, MinConfidenceMatchesBruteForce) {
+  const FabricIndex& index = shared_index();
+  MetricsRegistry registry(true);
+  const QueryEngine engine(index, &registry);
+  for (const double threshold : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    std::vector<std::uint32_t> expected;
+    for (std::uint32_t i = 0; i < index.segments().size(); ++i)
+      if (index.segments()[i].confidence >= threshold) expected.push_back(i);
+    EXPECT_EQ(engine.segments_min_confidence(threshold), expected)
+        << "threshold " << threshold;
+  }
+  // Thresholds only shrink the answer; <= 0 returns the whole fabric.
+  EXPECT_EQ(engine.segments_min_confidence(0.0).size(),
+            index.segments().size());
+  EXPECT_GE(engine.segments_min_confidence(0.3).size(),
+            engine.segments_min_confidence(0.6).size());
+  // Every call above bumped the counter: 6 thresholds + 3 shape checks.
+  EXPECT_EQ(registry.counter_value("query.min_confidence"), 9u);
+}
+
+TEST(QueryEngine, ConfidenceHistogramCoversEverySegment) {
+  const FabricIndex& index = shared_index();
+  MetricsRegistry registry(true);
+  const QueryEngine engine(index, &registry);
+  const ConfidenceHistogram& hist = engine.confidence_histogram();
+  EXPECT_EQ(hist.segments, index.segments().size());
+  std::size_t binned = 0;
+  for (const std::size_t bin : hist.bins) binned += bin;
+  EXPECT_EQ(binned, index.segments().size());
+  double sum = 0.0, lo = 1.0, hi = 0.0;
+  for (const SnapshotSegment& seg : index.segments()) {
+    sum += seg.confidence;
+    lo = std::min(lo, seg.confidence);
+    hi = std::max(hi, seg.confidence);
+  }
+  ASSERT_FALSE(index.segments().empty());
+  EXPECT_DOUBLE_EQ(hist.mean, sum / static_cast<double>(hist.segments));
+  EXPECT_DOUBLE_EQ(hist.min, lo);
+  EXPECT_DOUBLE_EQ(hist.max, hi);
+  // The pipeline's fabric carries real (nonzero) confidence throughout.
+  EXPECT_GT(hist.min, 0.0);
+  EXPECT_LE(hist.max, 1.0);
+  EXPECT_EQ(registry.counter_value("query.confidence_histogram"), 1u);
+
+  // counts() aggregates agree with the histogram's moments.
+  const FabricCounts counts = engine.counts();
+  EXPECT_DOUBLE_EQ(counts.mean_confidence, hist.mean);
+  std::size_t confident = 0;
+  for (const SnapshotSegment& seg : index.segments())
+    if (seg.confidence >= 0.5) ++confident;
+  EXPECT_EQ(counts.confident_segments, confident);
+}
+
 // One reader's deterministic work slice: a digest over every query class.
 // Bit-identical answers at any thread count means identical digests.
 std::uint64_t query_digest(const QueryEngine& engine, std::size_t slice,

@@ -37,6 +37,10 @@ RunSnapshot sample_snapshot() {
   b.group = 1;
   b.regions = {5, 1, 3};            // descending on purpose
   b.dest_slash24s = {0xCB007100u, 0xC0000200u};
+  b.observations = 7;
+  b.rounds_mask = 0b11;
+  b.hop_density = 0.875;
+  b.confidence = 0.625;
 
   SnapshotSegment a;
   a.abi = Ipv4(10, 0, 0, 1);
@@ -44,6 +48,10 @@ RunSnapshot sample_snapshot() {
   a.confirmation = Confirmation::kIxpClient;
   a.vpi = true;
   a.owner_hint = Asn{64500};
+  a.observations = 1;
+  a.rounds_mask = 0b01;
+  a.hop_density = 1.0;
+  a.confidence = 0.75;
 
   snap.segments = {b, a};  // reversed vs canonical (ABI, CBI) order
 
@@ -62,6 +70,10 @@ RunSnapshot sample_snapshot() {
   report.probes = 1234;
   report.bgp_cache_hits = 7;
   report.bgp_cache_misses = 2;
+  report.retries = 11;
+  report.backoff_waits = 11;
+  report.backoff_ticks = 704;
+  report.recovered_targets = 5;
   report.worker_utilization = 0.75;
   report.tallies = {{"left_cloud", 42.0}};
   snap.stage_reports = {report};
@@ -104,6 +116,15 @@ TEST(SnapshotIo, HandBuiltRoundTrip) {
   EXPECT_EQ(seg.peer_org, OrgId{7});
   EXPECT_EQ(seg.group, 1);
   EXPECT_EQ(seg.regions, (std::vector<std::uint32_t>{1, 3, 5}));
+  // v2 confidence section round-trips bit for bit.
+  EXPECT_EQ(loaded->segments[0].observations, 1u);
+  EXPECT_EQ(loaded->segments[0].rounds_mask, 0b01u);
+  EXPECT_DOUBLE_EQ(loaded->segments[0].hop_density, 1.0);
+  EXPECT_DOUBLE_EQ(loaded->segments[0].confidence, 0.75);
+  EXPECT_EQ(seg.observations, 7u);
+  EXPECT_EQ(seg.rounds_mask, 0b11u);
+  EXPECT_DOUBLE_EQ(seg.hop_density, 0.875);
+  EXPECT_DOUBLE_EQ(seg.confidence, 0.625);
   ASSERT_EQ(loaded->pins.size(), 2u);
   EXPECT_EQ(loaded->pins[0].address, 0x0A000001u);  // sorted by address
   EXPECT_EQ(loaded->pins[1].metro, 4u);
@@ -120,6 +141,74 @@ TEST(SnapshotIo, HandBuiltRoundTrip) {
   EXPECT_DOUBLE_EQ(loaded->stage_reports[0].worker_utilization, 0.75);
   ASSERT_EQ(loaded->stage_reports[0].tallies.size(), 1u);
   EXPECT_EQ(loaded->stage_reports[0].tallies[0].first, "left_cloud");
+  EXPECT_EQ(loaded->stage_reports[0].retries, 11u);
+  EXPECT_EQ(loaded->stage_reports[0].backoff_ticks, 704u);
+  EXPECT_EQ(loaded->stage_reports[0].recovered_targets, 5u);
+}
+
+TEST(SnapshotIo, LegacyV1SaveLoadsWithZeroConfidence) {
+  // The writer can still emit the v1 layout (5 sections, no confidence, no
+  // retry fields in stage metrics); the loader accepts it and defaults the
+  // v2 fields to zero.
+  const RunSnapshot original = sample_snapshot();
+  std::ostringstream out;
+  save_snapshot(out, original, /*version=*/1);
+  const std::string bytes = out.str();
+  EXPECT_EQ(bytes[6], 1);  // header carries version 1
+  std::istringstream in(bytes);
+  std::string error;
+  const auto loaded = load_snapshot(in, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->segments.size(), 2u);
+  for (const SnapshotSegment& seg : loaded->segments) {
+    EXPECT_EQ(seg.observations, 0u);
+    EXPECT_EQ(seg.rounds_mask, 0u);
+    EXPECT_DOUBLE_EQ(seg.hop_density, 0.0);
+    EXPECT_DOUBLE_EQ(seg.confidence, 0.0);
+  }
+  ASSERT_EQ(loaded->stage_reports.size(), 1u);
+  EXPECT_EQ(loaded->stage_reports[0].retries, 0u);
+  EXPECT_EQ(loaded->stage_reports[0].backoff_ticks, 0u);
+  // A v1 file is strictly smaller (one fewer section, shorter records) and
+  // resaving it at the current version restores the default v2 layout.
+  EXPECT_LT(bytes.size(), save_to_string(original).size());
+  const std::string resaved = save_to_string(*loaded);
+  EXPECT_EQ(resaved[6], 2);
+}
+
+TEST(SnapshotIo, RejectsConfidenceOutOfRangeWithValidCrc) {
+  // Corrupt the first confidence score to 2.0 and fix up the section CRC,
+  // so only the domain check can catch it.
+  RunSnapshot snap = sample_snapshot();
+  canonicalize(snap);
+  const std::string good = save_to_string(snap);
+  std::size_t conf_offset = 0, conf_size = 0, crc_pos = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::size_t base = 12 + i * 24;
+    std::uint32_t id = 0;
+    std::memcpy(&id, good.data() + base, 4);
+    if (id != 6) continue;
+    std::uint64_t off = 0, size = 0;
+    std::memcpy(&off, good.data() + base + 4, 8);
+    std::memcpy(&size, good.data() + base + 12, 8);
+    conf_offset = static_cast<std::size_t>(off);
+    conf_size = static_cast<std::size_t>(size);
+    crc_pos = base + 20;
+  }
+  ASSERT_GT(conf_size, 0u);
+  std::string bytes = good;
+  // Payload: u32 count, then {u32 obs, u32 rounds_mask, f64 density,
+  // f64 confidence} per segment — first score at +4+4+4+8.
+  const double bad_score = 2.0;
+  std::memcpy(bytes.data() + conf_offset + 20, &bad_score, 8);
+  const std::uint32_t crc = snapshot_crc32(
+      reinterpret_cast<const unsigned char*>(bytes.data()) + conf_offset,
+      conf_size);
+  std::memcpy(bytes.data() + crc_pos, &crc, 4);
+  std::istringstream in(bytes);
+  std::string error;
+  EXPECT_FALSE(load_snapshot(in, &error).has_value());
+  EXPECT_NE(error.find("section 6"), std::string::npos) << error;
 }
 
 TEST(SnapshotIo, SaveLoadSaveIsByteIdentical) {
@@ -181,8 +270,8 @@ TEST(SnapshotIo, RejectsUnknownVersion) {
 
 TEST(SnapshotIo, CrcCatchesEveryPayloadByteFlip) {
   const std::string good = save_to_string(sample_snapshot());
-  // Payloads start after header + table (5 sections × 24B entries + 12B).
-  const std::size_t payload_start = 12 + 5 * 24;
+  // Payloads start after header + table (6 sections × 24B entries + 12B).
+  const std::size_t payload_start = 12 + 6 * 24;
   ASSERT_LT(payload_start, good.size());
   // Flip one bit of every payload byte in turn: each must be caught by the
   // section CRC (or a downstream range check), never crash, never load.
@@ -223,7 +312,7 @@ TEST(SnapshotIo, RejectsOutOfRangeEnumWithValidCrc) {
     return 12 + i * 24;  // header is 12 bytes, entries 24
   };
   std::size_t seg_offset = 0, seg_size = 0, crc_pos = 0;
-  for (std::size_t i = 0; i < 5; ++i) {
+  for (std::size_t i = 0; i < 6; ++i) {
     const std::size_t base = entry_at(i);
     std::uint32_t id = 0;
     std::memcpy(&id, good.data() + base, 4);

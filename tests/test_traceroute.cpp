@@ -1,6 +1,8 @@
 // Traceroute engine: statuses, gap limit, artifacts, RTT behaviour.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "controlplane/bgp.h"
 #include "dataplane/traceroute.h"
 #include "fixtures.h"
@@ -132,6 +134,79 @@ TEST_F(TracerouteTest, GapLimitIsConfigurable) {
        it != record.hops.rend() && !it->responded; ++it)
     ++trailing;
   EXPECT_EQ(trailing, 3);
+}
+
+TEST_F(TracerouteTest, OptionsClampedSanitizesEveryField) {
+  TracerouteOptions options;
+  options.gap_limit = 0;  // would never terminate unrouted traces
+  options.host_response = 1.5;
+  options.loop_probability = -0.25;
+  options.queueing_probability = 2.0;
+  options.jitter_mean_ms = -3.0;
+  options.queueing_max_ms = 1e12;
+  options.response_scale = -1.0;
+  const TracerouteOptions clamped = options.clamped();
+  EXPECT_EQ(clamped.gap_limit, 1);
+  EXPECT_DOUBLE_EQ(clamped.host_response, 1.0);
+  EXPECT_DOUBLE_EQ(clamped.loop_probability, 0.0);
+  EXPECT_DOUBLE_EQ(clamped.queueing_probability, 1.0);
+  EXPECT_DOUBLE_EQ(clamped.jitter_mean_ms, 0.0);
+  EXPECT_DOUBLE_EQ(clamped.queueing_max_ms, 1e6);
+  EXPECT_DOUBLE_EQ(clamped.response_scale, 0.0);
+  // NaN lands at the low bound rather than propagating.
+  TracerouteOptions poisoned;
+  poisoned.host_response = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_DOUBLE_EQ(poisoned.clamped().host_response, 0.0);
+  // Defaults are already in range and survive untouched.
+  const TracerouteOptions defaults;
+  const TracerouteOptions same = defaults.clamped();
+  EXPECT_EQ(same.gap_limit, defaults.gap_limit);
+  EXPECT_DOUBLE_EQ(same.host_response, defaults.host_response);
+  EXPECT_DOUBLE_EQ(same.response_scale, 1.0);
+}
+
+TEST_F(TracerouteTest, ZeroGapLimitTerminates) {
+  // gap_limit 0 is clamped to 1 at engine construction, so an unrouted
+  // trace still ends (previously this configuration was rejected nowhere).
+  TracerouteOptions options;
+  options.gap_limit = 0;
+  TracerouteEngine engine(forwarder_, 12, options);
+  const TracerouteRecord record = engine.trace(vp(), Ipv4(99, 1, 2, 3));
+  EXPECT_EQ(record.status, TracerouteStatus::kGapLimit);
+  ASSERT_FALSE(record.hops.empty());
+  EXPECT_FALSE(record.hops.back().responded);
+}
+
+TEST_F(TracerouteTest, ResponseScaleOneIsStreamIdentical) {
+  // scale 1.0 multiplies every response probability by exactly 1.0, so the
+  // RNG consumption — and with it every hop — is bit-identical to the
+  // default engine.
+  TracerouteOptions scaled;
+  scaled.response_scale = 1.0;
+  TracerouteEngine engine_a(forwarder_, 13);
+  TracerouteEngine engine_b(forwarder_, 13, scaled);
+  for (int i = 0; i < 50; ++i) {
+    const Ipv4 dst(20, 0, static_cast<std::uint8_t>(i), 1);
+    const TracerouteRecord a = engine_a.trace(vp(), dst);
+    const TracerouteRecord b = engine_b.trace(vp(), dst);
+    ASSERT_EQ(a.hops.size(), b.hops.size());
+    EXPECT_EQ(a.status, b.status);
+    for (std::size_t h = 0; h < a.hops.size(); ++h) {
+      EXPECT_EQ(a.hops[h].address, b.hops[h].address);
+      EXPECT_EQ(a.hops[h].responded, b.hops[h].responded);
+    }
+  }
+}
+
+TEST_F(TracerouteTest, ResponseScaleZeroSilencesEveryRouter) {
+  TracerouteOptions options;
+  options.response_scale = 0.0;
+  options.host_response = 0.0;
+  TracerouteEngine engine(forwarder_, 14, options);
+  const TracerouteRecord record = engine.trace(vp(), Ipv4(20, 0, 0, 1));
+  for (const TracerouteHop& hop : record.hops)
+    EXPECT_FALSE(hop.responded);
+  EXPECT_NE(record.status, TracerouteStatus::kCompleted);
 }
 
 class PingTest : public TracerouteTest {};

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <unordered_set>
 
 #include "util/rng.h"
@@ -46,6 +47,39 @@ TEST(Rng, RangeInclusive) {
     seen.insert(v);
   }
   EXPECT_EQ(seen.size(), 5u);  // all values hit over 1000 draws
+}
+
+TEST(Rng, RangeExtremeBoundsNoOverflow) {
+  // hi - lo used to overflow std::int64_t for spans wider than INT64_MAX
+  // (signed-overflow UB); the span is now computed in unsigned arithmetic.
+  Rng rng(17);
+  const std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+  const std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t v = rng.range(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+  // Span of exactly INT64_MAX (still overflowed as signed before the fix).
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t v = rng.range(-1, hi - 1);
+    EXPECT_GE(v, -1);
+    EXPECT_LE(v, hi - 1);
+  }
+  // Degenerate single-value range.
+  EXPECT_EQ(rng.range(42, 42), 42);
+}
+
+TEST(Rng, RangeStreamCompatibleWithBounded) {
+  // For ordinary spans range() must keep drawing exactly what it always
+  // drew: lo + bounded(span + 1) from the same state.
+  Rng a(18);
+  Rng b(18);
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t got = a.range(3, 7);
+    const std::int64_t want = 3 + static_cast<std::int64_t>(b.bounded(5));
+    EXPECT_EQ(got, want);
+  }
 }
 
 TEST(Rng, UniformInUnitInterval) {

@@ -3,12 +3,13 @@
 
 Usage: diff_snapshots.py A.snap B.snap
 
-Independently re-implements the snapshot reader (format spec: DESIGN.md §7,
-src/io/snapshot.h) so CI cross-checks the C++ codec: magic, format version,
-and every section CRC are verified with Python's zlib.crc32 before anything
-is compared. Prints the segment- and pin-level churn between the two runs —
-the same added/removed/re-confirmed/re-pinned classes `cloudmap_cli diff`
-reports — plus the metadata of each side.
+Independently re-implements the snapshot reader (format spec: DESIGN.md §7–8,
+src/io/snapshot.h) so CI cross-checks the C++ codec: magic, format version
+(v1 and v2 both accepted), and every section CRC are verified with Python's
+zlib.crc32 before anything is compared. Prints the segment- and pin-level
+churn between the two runs — the same added/removed/re-confirmed/re-pinned
+classes `cloudmap_cli diff` reports — plus per-segment confidence drift for
+v2 snapshots and the metadata of each side.
 
 Exit status: 0 when both files parse (identical or not), 1 on any parse or
 validation error — or, with --expect-identical, when the two runs disagree
@@ -23,7 +24,7 @@ import sys
 import zlib
 
 MAGIC = b"CMSNAP"
-FORMAT_VERSION = 1
+FORMAT_VERSIONS = (1, 2)  # v2 adds the per-segment confidence section (id 6)
 HEADER = struct.Struct("<6sHI")
 TABLE_ENTRY = struct.Struct("<IQQI")
 
@@ -65,9 +66,9 @@ def read_snapshot(path):
     magic, version, section_count = HEADER.unpack_from(blob, 0)
     if magic != MAGIC:
         raise SnapshotError("%s: bad magic (not a cloudmap snapshot)" % path)
-    if version != FORMAT_VERSION:
-        raise SnapshotError("%s: format version %d, expected %d"
-                            % (path, version, FORMAT_VERSION))
+    if version not in FORMAT_VERSIONS:
+        raise SnapshotError("%s: format version %d, expected one of %s"
+                            % (path, version, list(FORMAT_VERSIONS)))
 
     sections = {}
     table_end = HEADER.size + section_count * TABLE_ENTRY.size
@@ -93,6 +94,7 @@ def read_snapshot(path):
     meta.done()
 
     segments = {}
+    segment_order = []  # (abi, cbi) in file order, for the confidence section
     body = Cursor(sections[2], "segments")
     for _ in range(body.take("I")):
         abi, cbi, _prior, _post = body.take("IIII")
@@ -107,7 +109,29 @@ def read_snapshot(path):
         for _ in range(body.take("I")):
             body.take("I")  # dest /24s
         segments[(abi, cbi)] = (confirmation, flags, group, peer_asn)
+        segment_order.append((abi, cbi))
     body.done()
+
+    # v2 confidence section: parallel to the segment table, in file order.
+    confidence = {}
+    if version >= 2:
+        if 6 not in sections:
+            raise SnapshotError("%s: v2 snapshot missing confidence section"
+                                % path)
+        body = Cursor(sections[6], "confidence")
+        count = body.take("I")
+        if count != len(segment_order):
+            raise SnapshotError(
+                "%s: confidence count %d != segment count %d"
+                % (path, count, len(segment_order)))
+        for key in segment_order:
+            observations, rounds_mask = body.take("II")
+            density, score = body.take("dd")
+            if not (0.0 <= density <= 1.0) or not (0.0 <= score <= 1.0):
+                raise SnapshotError("%s: confidence fields out of range for "
+                                    "%s > %s" % (path, ip(key[0]), ip(key[1])))
+            confidence[key] = (observations, rounds_mask, density, score)
+        body.done()
 
     pins = {}
     body = Cursor(sections[3], "pins")
@@ -121,7 +145,8 @@ def read_snapshot(path):
     body.done()
 
     return {"path": path, "seed": seed, "threads": threads,
-            "subject": subject, "segments": segments, "pins": pins}
+            "subject": subject, "version": version, "segments": segments,
+            "pins": pins, "confidence": confidence}
 
 
 def ip(value):
@@ -146,8 +171,8 @@ def main():
         sys.exit(1)
 
     for side in (a, b):
-        print("%s: seed %d, %d threads, %d segments, %d pins"
-              % (side["path"], side["seed"], side["threads"],
+        print("%s: v%d, seed %d, %d threads, %d segments, %d pins"
+              % (side["path"], side["version"], side["seed"], side["threads"],
                  len(side["segments"]), len(side["pins"])))
 
     added = sorted(set(b["segments"]) - set(a["segments"]))
@@ -162,6 +187,18 @@ def main():
     print("segments: +%d -%d, %d common, %d re-confirmed"
           % (len(added), len(removed), len(common), len(reconfirmed)))
     print("pins: %d re-pinned" % len(repinned))
+
+    # Confidence drift: only meaningful when both sides carry the v2 section.
+    rescored = []
+    if a["confidence"] and b["confidence"]:
+        rescored = [key for key in common
+                    if a["confidence"].get(key) != b["confidence"].get(key)]
+        print("confidence: %d of %d common segments re-scored"
+              % (len(rescored), len(common)))
+        for key in rescored[:10]:
+            print("  ~ %s > %s: %.3f -> %.3f"
+                  % (ip(key[0]), ip(key[1]),
+                     a["confidence"][key][3], b["confidence"][key][3]))
     for abi, cbi in added[:10]:
         print("  + %s > %s" % (ip(abi), ip(cbi)))
     for abi, cbi in removed[:10]:
@@ -171,7 +208,7 @@ def main():
               % (ip(key[0]), ip(key[1]),
                  CONFIRMATION_NAMES[a["segments"][key][0]],
                  CONFIRMATION_NAMES[b["segments"][key][0]]))
-    changed = bool(added or removed or reconfirmed or repinned
+    changed = bool(added or removed or reconfirmed or repinned or rescored
                    or a["pins"] != b["pins"])
     if not changed:
         print("snapshots are identical at the segment/pin level")

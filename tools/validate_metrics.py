@@ -12,7 +12,11 @@ Checks, in order:
   4. unless --partial, every stage of the full pipeline is present (a
      campaign that stopped early writes fewer — CI runs the full thing);
   5. with --require-query-counters, every query.* counter the snapshot
-     query engine registers is present (artifacts from `cloudmap_cli query`).
+     query engine registers is present (artifacts from `cloudmap_cli query`);
+  6. with --require-retry-counters, every campaign.retry.* counter is
+     present (campaign artifacts carry them even at retry budget 0);
+  7. with --require-recovered, campaign.retry.recovered_targets is > 0
+     (lossy CI runs assert the re-probe pass actually recovered targets).
 
 Exit status 0 on success, 1 on any failure, with one line per problem so CI
 logs point straight at the missing key.
@@ -43,6 +47,12 @@ def main():
     parser.add_argument(
         "--require-query-counters", action="store_true",
         help="require every schema query_counters entry in 'counters'")
+    parser.add_argument(
+        "--require-retry-counters", action="store_true",
+        help="require every schema retry_counters entry in 'counters'")
+    parser.add_argument(
+        "--require-recovered", action="store_true",
+        help="require campaign.retry.recovered_targets > 0 (lossy runs)")
     args = parser.parse_args()
 
     with open(args.schema) as handle:
@@ -96,6 +106,20 @@ def main():
         for name in schema.get("query_counters", []):
             if name not in counters:
                 problems.append("missing query counter '%s'" % name)
+
+    if args.require_retry_counters:
+        counters = doc.get("counters", {})
+        for name in schema.get("retry_counters", []):
+            if name not in counters:
+                problems.append("missing retry counter '%s'" % name)
+
+    if args.require_recovered:
+        recovered = doc.get("counters", {}).get(
+            "campaign.retry.recovered_targets")
+        if not isinstance(recovered, int) or recovered <= 0:
+            problems.append(
+                "campaign.retry.recovered_targets is %r, expected > 0"
+                % (recovered,))
 
     if problems:
         fail(problems)

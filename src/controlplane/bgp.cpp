@@ -91,7 +91,7 @@ BgpSimulator::BgpSimulator(const World& world)
 const std::vector<RouteEntry>& BgpSimulator::routes_to(AsId origin) const {
   std::atomic<bool>& ready = cached_[origin.value];
   if (!ready.load(std::memory_order_acquire)) {
-    const std::lock_guard<std::mutex> lock(fill_mutex_);
+    const MutexLock lock(&fill_mutex_);
     if (!ready.load(std::memory_order_relaxed)) {
       cache_misses_.fetch_add(1, std::memory_order_relaxed);
       compute(origin, cache_[origin.value]);
@@ -100,10 +100,12 @@ const std::vector<RouteEntry>& BgpSimulator::routes_to(AsId origin) const {
       // Another thread computed the table while we waited for the lock.
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
     }
-  } else {
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    // Still under the lock: binding the return reference here keeps the
+    // guarded access visible to -Wthread-safety.
+    return cache_[origin.value];
   }
-  return cache_[origin.value];
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  return published_table(origin);
 }
 
 void BgpSimulator::compute(AsId origin, std::vector<RouteEntry>& table) const {

@@ -13,7 +13,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -21,6 +20,7 @@
 #include "net/prefix.h"
 #include "net/prefix_trie.h"
 #include "topology/world.h"
+#include "util/thread_annotations.h"
 
 namespace cloudmap {
 
@@ -38,7 +38,7 @@ struct RouteEntry {
   RouteClass route_class = RouteClass::kNone;
   std::uint8_t path_length = 0;  // AS hops to the origin
   AsId next_hop;                 // invalid for kSelf / kNone
-  bool has_route() const { return route_class != RouteClass::kNone; }
+  bool has_route() const noexcept { return route_class != RouteClass::kNone; }
 };
 
 // Route-cache traffic accounting (observability only — never feeds back
@@ -59,7 +59,8 @@ class BgpSimulator {
   // Computed once per origin and cached. Safe to call concurrently from
   // many threads — the cache fill is guarded, and a published table is
   // never mutated again.
-  const std::vector<RouteEntry>& routes_to(AsId origin) const;
+  const std::vector<RouteEntry>& routes_to(AsId origin) const
+      CM_EXCLUDES(fill_mutex_);
 
   // The AS path from `from` toward `origin` (inclusive of both ends);
   // empty when no route exists.
@@ -68,7 +69,7 @@ class BgpSimulator {
   // True when `from` has any route toward `origin`.
   bool reachable(AsId from, AsId origin) const;
 
-  const World& world() const { return *world_; }
+  const World& world() const noexcept { return *world_; }
 
   // Cumulative cache traffic since construction. Relaxed reads — exact once
   // the campaign threads have joined, approximate while they run.
@@ -78,16 +79,28 @@ class BgpSimulator {
   }
 
  private:
-  void compute(AsId origin, std::vector<RouteEntry>& table) const;
+  void compute(AsId origin, std::vector<RouteEntry>& table) const
+      CM_REQUIRES(fill_mutex_);
+  // Read-side of the release/acquire publish protocol (below): deliberately
+  // outside the lock analysis, safe only after cached_[origin] reads true
+  // with acquire semantics.
+  const std::vector<RouteEntry>& published_table(AsId origin) const
+      CM_NO_THREAD_SAFETY_ANALYSIS {
+    return cache_[origin.value];
+  }
 
   const World* world_;
-  // Lazily-filled per-origin cache. `cached_[origin]` is set with release
-  // semantics only after the table is fully computed; readers check it with
-  // acquire semantics and fall back to the fill lock on a miss (the campaign
-  // fans traceroutes out across worker threads, all of which route here).
-  mutable std::vector<std::vector<RouteEntry>> cache_;
+  // Lazily-filled per-origin cache. Writes are CM_GUARDED_BY fill_mutex_;
+  // `cached_[origin]` is set with release semantics only after the table is
+  // fully computed, and readers that observed it true with acquire semantics
+  // may read the published table lock-free via published_table() — the one
+  // documented CM_NO_THREAD_SAFETY_ANALYSIS exception, validated by the TSan
+  // CI job (the campaign fans traceroutes out across worker threads, all of
+  // which route here).
+  mutable std::vector<std::vector<RouteEntry>> cache_
+      CM_GUARDED_BY(fill_mutex_);
   mutable std::vector<std::atomic<bool>> cached_;
-  mutable std::mutex fill_mutex_;
+  mutable Mutex fill_mutex_;
   // Padded so the hot hit counter never false-shares with the fill state.
   alignas(64) mutable std::atomic<std::uint64_t> cache_hits_{0};
   alignas(64) mutable std::atomic<std::uint64_t> cache_misses_{0};

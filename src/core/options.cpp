@@ -35,7 +35,8 @@ bool env_truthy(const char* value) {
 
 FrontendOptions options_from_env() {
   FrontendOptions out;
-  if (const char* env = std::getenv("CLOUDMAP_THREADS")) {
+  if (const char* env = std::getenv(  // NOLINT(concurrency-mt-unsafe) -- startup, pre-thread
+          "CLOUDMAP_THREADS")) {
     const int threads = parse_threads(env);
     if (threads < 0) {
       out.error = std::string("CLOUDMAP_THREADS expects a non-negative "
@@ -45,11 +46,14 @@ FrontendOptions options_from_env() {
     }
     out.pipeline.campaign.threads = threads;
   }
-  if (const char* env = std::getenv("CLOUDMAP_METRICS_JSON"))
+  if (const char* env = std::getenv(  // NOLINT(concurrency-mt-unsafe) -- startup, pre-thread
+          "CLOUDMAP_METRICS_JSON"))
     out.metrics_json = env;
-  if (const char* env = std::getenv("CLOUDMAP_SNAPSHOT"))
+  if (const char* env = std::getenv(  // NOLINT(concurrency-mt-unsafe) -- startup, pre-thread
+          "CLOUDMAP_SNAPSHOT"))
     out.snapshot_out = env;
-  if (const char* env = std::getenv("CLOUDMAP_RETRY_BUDGET")) {
+  if (const char* env = std::getenv(  // NOLINT(concurrency-mt-unsafe) -- startup, pre-thread
+          "CLOUDMAP_RETRY_BUDGET")) {
     const int budget = parse_threads(env);
     if (budget < 0) {
       out.error = std::string("CLOUDMAP_RETRY_BUDGET expects a non-negative "
@@ -59,7 +63,8 @@ FrontendOptions options_from_env() {
     }
     out.pipeline.campaign.reprobe.budget = budget;
   }
-  if (env_truthy(std::getenv("CLOUDMAP_DETERMINISTIC_METRICS")))
+  if (env_truthy(std::getenv(  // NOLINT(concurrency-mt-unsafe) -- startup, pre-thread
+          "CLOUDMAP_DETERMINISTIC_METRICS")))
     out.pipeline.deterministic_metrics = true;
   return out;
 }

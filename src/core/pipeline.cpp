@@ -92,11 +92,13 @@ void Pipeline::run_stage(StageId stage) {
   report.threads = options_.campaign.threads;
 
   const BgpCacheStats bgp_before = bgp_->cache_stats();
+  // lint: wall-clock-ok(stage wall_ms is observability only; zeroed under --deterministic-metrics)
   const auto started = std::chrono::steady_clock::now();
 
   (this->*stage_table()[i].body)(report);
 
   if (metrics_.enabled() && !options_.deterministic_metrics) {
+    // lint: wall-clock-ok(stage wall_ms is observability only; zeroed under --deterministic-metrics)
     const auto elapsed = std::chrono::steady_clock::now() - started;
     report.wall_ms =
         static_cast<double>(

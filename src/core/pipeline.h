@@ -135,7 +135,7 @@ class Pipeline {
 
   // --- observability ---
   MetricsRegistry& metrics() { return metrics_; }
-  const MetricsRegistry& metrics() const { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
   // Emit the metrics artifact for the stages run so far (schema documented
   // in obs/emit.h; validated in CI against tools/metrics_schema.json).
   void write_metrics_json(std::ostream& out) const;
@@ -159,21 +159,21 @@ class Pipeline {
   // --- components (prepared on construction) ---
   // Accessors are const; mutation is explicit via the mutable_* variants so
   // benches cannot silently perturb a memoized stage.
-  const World& world() const { return *world_; }
-  const Forwarder& forwarder() const { return *forwarder_; }
-  const BgpSimulator& bgp() const { return *bgp_; }
-  const BgpSnapshot& snapshot_round1() const { return snapshot1_; }
-  const BgpSnapshot& snapshot_round2() const { return snapshot2_; }
-  const WhoisRegistry& whois() const { return whois_; }
-  const As2Org& as2org() const { return as2org_; }
-  const PeeringDb& peeringdb() const { return peeringdb_; }
-  const DnsRegistry& dns() const { return dns_; }
-  const Campaign& campaign() const { return *campaign_; }
+  const World& world() const noexcept { return *world_; }
+  const Forwarder& forwarder() const noexcept { return *forwarder_; }
+  const BgpSimulator& bgp() const noexcept { return *bgp_; }
+  const BgpSnapshot& snapshot_round1() const noexcept { return snapshot1_; }
+  const BgpSnapshot& snapshot_round2() const noexcept { return snapshot2_; }
+  const WhoisRegistry& whois() const noexcept { return whois_; }
+  const As2Org& as2org() const noexcept { return as2org_; }
+  const PeeringDb& peeringdb() const noexcept { return peeringdb_; }
+  const DnsRegistry& dns() const noexcept { return dns_; }
+  const Campaign& campaign() const noexcept { return *campaign_; }
   Campaign& mutable_campaign() { return *campaign_; }
-  const Annotator& annotator() const { return annotator_; }
-  const RttCampaign& rtts() const { return *rtts_; }
+  const Annotator& annotator() const noexcept { return annotator_; }
+  const RttCampaign& rtts() const noexcept { return *rtts_; }
   RttCampaign& mutable_rtts() { return *rtts_; }
-  const VantagePoint& public_vantage() const { return public_vp_; }
+  const VantagePoint& public_vantage() const noexcept { return public_vp_; }
   const std::vector<Asn>& subject_asns() const { return subject_asns_; }
 
   // The pinner is built lazily on top of the §5.2 alias sets, so both
@@ -195,7 +195,7 @@ class Pipeline {
   // The unique peer ASNs of the verified fabric.
   std::unordered_set<std::uint32_t> peer_asns();
 
-  const PipelineOptions& options() const { return options_; }
+  const PipelineOptions& options() const noexcept { return options_; }
 
  private:
   // One row of the stage graph: prerequisites plus the stage body. Staging,

@@ -64,8 +64,8 @@ class Forwarder {
   std::optional<double> rtt_to_address(const VantagePoint& vp,
                                        Ipv4 target) const;
 
-  const BgpSimulator& bgp() const { return *sim_; }
-  const World& world() const { return *world_; }
+  const BgpSimulator& bgp() const noexcept { return *sim_; }
+  const World& world() const noexcept { return *world_; }
 
  private:
   struct FibEntry {

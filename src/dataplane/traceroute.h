@@ -66,7 +66,7 @@ class TracerouteEngine {
   TracerouteRecord trace(const VantagePoint& vp, Ipv4 dst);
 
   // Number of probes issued so far (drives the simulated campaign clock).
-  std::uint64_t probes_sent() const { return probes_sent_; }
+  std::uint64_t probes_sent() const noexcept { return probes_sent_; }
 
  private:
   double jitter();

@@ -40,7 +40,7 @@ class AliasVerifier {
 
   // The resolved alias sets from the last apply() call (used by pinning's
   // co-presence Rule 1).
-  const AliasSets& sets() const { return sets_; }
+  const AliasSets& sets() const noexcept { return sets_; }
 
  private:
   const Forwarder* forwarder_;

@@ -106,7 +106,7 @@ class Campaign {
                          const std::vector<Ipv4>& targets, int round);
 
   Fabric& fabric() { return fabric_; }
-  const Fabric& fabric() const { return fabric_; }
+  const Fabric& fabric() const noexcept { return fabric_; }
 
   // Attach a metrics registry (may be null). When attached and enabled,
   // sweeps record probe/traceroute counters, a "campaign.sweep" timer, and
@@ -115,10 +115,10 @@ class Campaign {
 
   // Worker-pool accounting of the most recent sweep. Zeroed when metrics
   // are detached or disabled.
-  const PoolStats& last_pool_stats() const { return last_pool_stats_; }
+  const PoolStats& last_pool_stats() const noexcept { return last_pool_stats_; }
 
-  CloudProvider subject() const { return subject_; }
-  OrgId subject_org() const { return subject_org_; }
+  CloudProvider subject() const noexcept { return subject_; }
+  OrgId subject_org() const noexcept { return subject_org_; }
   const std::vector<VantagePoint>& vantage_points() const { return vps_; }
 
   // Expansion targets implied by the current fabric.
@@ -140,6 +140,15 @@ class Campaign {
 
   // Everything one work item contributes, buffered so the main thread can
   // merge contributions in canonical (region, chunk) order.
+  //
+  // The merge path is deliberately lock-free BY CONSTRUCTION, not by
+  // guarding: workers write only their own chunk's result slot
+  // (parallel_transform indexes by item), and the merge runs on the
+  // calling thread after the pool joins. The static guards are therefore
+  // the raw-thread lint rule (no stray std::thread can add a second
+  // writer) and the CM_GUARDED_BY annotations inside parallel.h /
+  // MetricsRegistry / the BGP cache — there is intentionally no mutex
+  // here to annotate.
   struct SweepChunkResult {
     std::vector<std::pair<std::uint32_t, std::uint32_t>> adjacencies;
     std::vector<CandidateSegment> segments;

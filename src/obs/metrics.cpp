@@ -3,14 +3,14 @@
 namespace cloudmap {
 
 MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
   return counters_[std::string(name)];
 }
 
 MetricsRegistry::Timer& MetricsRegistry::timer(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   const auto it = timers_.find(name);
   if (it != timers_.end()) return it->second;
   return timers_[std::string(name)];
@@ -18,7 +18,7 @@ MetricsRegistry::Timer& MetricsRegistry::timer(std::string_view name) {
 
 void MetricsRegistry::set_gauge(std::string_view name, double value) {
   if (!enabled_) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) {
     it->second = value;
@@ -28,7 +28,7 @@ void MetricsRegistry::set_gauge(std::string_view name, double value) {
 }
 
 std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   const auto it = counters_.find(name);
   return it == counters_.end()
              ? 0
@@ -36,7 +36,7 @@ std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
 }
 
 std::uint64_t MetricsRegistry::timer_total_ns(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   const auto it = timers_.find(name);
   return it == timers_.end()
              ? 0
@@ -44,7 +44,7 @@ std::uint64_t MetricsRegistry::timer_total_ns(std::string_view name) const {
 }
 
 std::uint64_t MetricsRegistry::timer_count(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   const auto it = timers_.find(name);
   return it == timers_.end()
              ? 0
@@ -52,14 +52,14 @@ std::uint64_t MetricsRegistry::timer_count(std::string_view name) const {
 }
 
 std::optional<double> MetricsRegistry::gauge(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   const auto it = gauges_.find(name);
   if (it == gauges_.end()) return std::nullopt;
   return it->second;
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(&mutex_);
   Snapshot out;
   out.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_)

@@ -18,12 +18,13 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace cloudmap {
 
@@ -49,31 +50,37 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  bool enabled() const { return enabled_; }
+  bool enabled() const noexcept { return enabled_; }
 
   // Deterministic mode: timers still count invocations but record zero
   // elapsed time (no clock is read), so the emitted artifact is
   // byte-identical across runs. Wall-clock gauges and stage wall_ms fields
   // are the Pipeline's responsibility (it zeroes them in this mode).
-  void set_deterministic(bool deterministic) { deterministic_ = deterministic; }
-  bool deterministic() const { return deterministic_; }
+  void set_deterministic(bool deterministic) noexcept {
+    deterministic_ = deterministic;
+  }
+  bool deterministic() const noexcept { return deterministic_; }
 
   // Stable handles, created on first use. Note: handles bypass the enabled
   // gate — hot paths that cache a handle should check enabled() themselves.
-  Counter& counter(std::string_view name);
-  Timer& timer(std::string_view name);
+  Counter& counter(std::string_view name) CM_EXCLUDES(mutex_);
+  Timer& timer(std::string_view name) CM_EXCLUDES(mutex_);
 
   // Gated conveniences (no-ops when disabled).
-  void add(std::string_view name, std::uint64_t delta = 1) {
+  void add(std::string_view name, std::uint64_t delta = 1)
+      CM_EXCLUDES(mutex_) {
     if (enabled_) counter(name).add(delta);
   }
-  void set_gauge(std::string_view name, double value);
+  void set_gauge(std::string_view name, double value) CM_EXCLUDES(mutex_);
 
   // Reads (0 / nullopt for names never touched).
-  std::uint64_t counter_value(std::string_view name) const;
-  std::uint64_t timer_total_ns(std::string_view name) const;
-  std::uint64_t timer_count(std::string_view name) const;
-  std::optional<double> gauge(std::string_view name) const;
+  std::uint64_t counter_value(std::string_view name) const
+      CM_EXCLUDES(mutex_);
+  std::uint64_t timer_total_ns(std::string_view name) const
+      CM_EXCLUDES(mutex_);
+  std::uint64_t timer_count(std::string_view name) const CM_EXCLUDES(mutex_);
+  std::optional<double> gauge(std::string_view name) const
+      CM_EXCLUDES(mutex_);
 
   // A consistent, name-sorted copy of everything recorded so far.
   struct Snapshot {
@@ -86,7 +93,7 @@ class MetricsRegistry {
     std::vector<std::pair<std::string, double>> gauges;
     std::vector<TimerRow> timers;
   };
-  Snapshot snapshot() const;
+  Snapshot snapshot() const CM_EXCLUDES(mutex_);
 
   // Times the enclosing scope into `registry.timer(name)`. Constructed from
   // a null or disabled registry it reads no clock and writes nothing.
@@ -125,11 +132,13 @@ class MetricsRegistry {
  private:
   bool enabled_;
   bool deterministic_ = false;
-  // node-based maps keep handle references stable across insertions.
-  mutable std::mutex mutex_;
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::map<std::string, Timer, std::less<>> timers_;
-  std::map<std::string, double, std::less<>> gauges_;
+  // node-based maps keep handle references stable across insertions. The
+  // maps are CM_GUARDED_BY the registry mutex: name resolution locks, while
+  // the handles it returns are atomics bumped lock-free afterwards.
+  mutable Mutex mutex_;
+  std::map<std::string, Counter, std::less<>> counters_ CM_GUARDED_BY(mutex_);
+  std::map<std::string, Timer, std::less<>> timers_ CM_GUARDED_BY(mutex_);
+  std::map<std::string, double, std::less<>> gauges_ CM_GUARDED_BY(mutex_);
 };
 
 }  // namespace cloudmap

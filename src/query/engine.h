@@ -51,7 +51,7 @@ class QueryEngine {
   explicit QueryEngine(const FabricIndex& index,
                        MetricsRegistry* metrics = nullptr);
 
-  const FabricIndex& index() const { return *index_; }
+  const FabricIndex& index() const noexcept { return *index_; }
 
   // Segments whose peer AS is `peer` (ascending indices; empty = none).
   std::vector<std::uint32_t> peers_of(Asn peer) const;

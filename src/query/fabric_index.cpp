@@ -46,6 +46,7 @@ FabricIndex::FabricIndex(RunSnapshot snapshot)
     }
   }
 
+  // lint: sorted-ok(keys are collected then sorted on the next line)
   for (const auto& [asn, indices] : by_peer_) peer_asns_.push_back(asn);
   std::sort(peer_asns_.begin(), peer_asns_.end());
 
@@ -54,6 +55,7 @@ FabricIndex::FabricIndex(RunSnapshot snapshot)
     pin_by_address_[pin.address] = p;
     by_metro_[pin.metro].push_back(pin.address);  // pins sorted by address
   }
+  // lint: sorted-ok(keys are collected then sorted on the line after the loop)
   for (const auto& [metro, addresses] : by_metro_)
     pinned_metros_.push_back(metro);
   std::sort(pinned_metros_.begin(), pinned_metros_.end());

@@ -52,7 +52,7 @@ class FabricIndex {
   FabricIndex(const FabricIndex&) = delete;
   FabricIndex& operator=(const FabricIndex&) = delete;
 
-  const RunSnapshot& snapshot() const { return snapshot_; }
+  const RunSnapshot& snapshot() const noexcept { return snapshot_; }
   const std::vector<SnapshotSegment>& segments() const {
     return snapshot_.segments;
   }

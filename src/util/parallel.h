@@ -14,11 +14,12 @@
 #include <cstdint>
 #include <exception>
 #include <limits>
-#include <mutex>
-#include <thread>
+#include <thread>  // lint: thread-ok(this header IS the project's one sanctioned thread-spawning site)
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace cloudmap {
 
@@ -32,7 +33,7 @@ struct PoolStats {
   std::uint64_t items = 0;
   std::uint64_t wall_ns = 0;
   std::uint64_t busy_ns = 0;  // summed across workers
-  double utilization() const {
+  double utilization() const noexcept {
     if (workers == 0 || wall_ns == 0) return 0.0;
     return static_cast<double>(busy_ns) /
            (static_cast<double>(wall_ns) * static_cast<double>(workers));
@@ -41,11 +42,47 @@ struct PoolStats {
 
 // Resolve a user-facing thread knob: positive values are taken literally,
 // anything else means "one worker per hardware thread".
-inline unsigned resolve_threads(int requested) {
+inline unsigned resolve_threads(int requested) noexcept {
   if (requested > 0) return static_cast<unsigned>(requested);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1u : hw;
 }
+
+namespace detail {
+
+// Captures the exception from the lowest-indexed failing item across
+// workers. Lock discipline is compile-checked: `error_` / `index_` are
+// CM_GUARDED_BY the mutex, so any future access outside record()/rethrow()
+// fails the Clang -Wthread-safety build.
+class ErrorCollector {
+ public:
+  void record(std::size_t index,
+              std::exception_ptr error) CM_EXCLUDES(mutex_) {
+    const MutexLock lock(&mutex_);
+    if (index < index_) {
+      index_ = index;
+      error_ = std::move(error);
+    }
+  }
+
+  // Single-threaded epilogue: call after every worker has joined.
+  void rethrow_if_error() CM_EXCLUDES(mutex_) {
+    std::exception_ptr error;
+    {
+      const MutexLock lock(&mutex_);
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  Mutex mutex_;
+  std::exception_ptr error_ CM_GUARDED_BY(mutex_);
+  std::size_t index_ CM_GUARDED_BY(mutex_) =
+      std::numeric_limits<std::size_t>::max();
+};
+
+}  // namespace detail
 
 // Run fn(0) … fn(n-1), each exactly once, across up to `threads` workers
 // (0 → hardware_concurrency; never more workers than items). Items are
@@ -64,6 +101,7 @@ inline unsigned resolve_threads(int requested) {
 template <typename Fn>
 void parallel_for(std::size_t n, int threads, Fn&& fn,
                   PoolStats* stats = nullptr) {
+  // lint: wall-clock-ok(PoolStats is observational wall-time accounting; it never feeds back into results)
   using Clock = std::chrono::steady_clock;
   const auto elapsed_ns = [](Clock::time_point from, Clock::time_point to) {
     return static_cast<std::uint64_t>(
@@ -91,9 +129,7 @@ void parallel_for(std::size_t n, int threads, Fn&& fn,
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::uint64_t> busy_ns{0};
-  std::mutex error_mutex;
-  std::exception_ptr error;
-  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  detail::ErrorCollector errors;
   auto drain = [&]() noexcept {
     std::uint64_t local_busy_ns = 0;
     for (;;) {
@@ -104,11 +140,7 @@ void parallel_for(std::size_t n, int threads, Fn&& fn,
       try {
         fn(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (i < error_index) {
-          error_index = i;
-          error = std::current_exception();
-        }
+        errors.record(i, std::current_exception());
       }
       if (stats != nullptr)
         local_busy_ns += elapsed_ns(item_start, Clock::now());
@@ -117,7 +149,7 @@ void parallel_for(std::size_t n, int threads, Fn&& fn,
       busy_ns.fetch_add(local_busy_ns, std::memory_order_relaxed);
   };
 
-  std::vector<std::thread> pool;
+  std::vector<std::thread> pool;  // lint: thread-ok(the one sanctioned pool)
   pool.reserve(workers - 1);
   for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(drain);
   drain();  // the calling thread is worker 0
@@ -126,7 +158,7 @@ void parallel_for(std::size_t n, int threads, Fn&& fn,
     stats->wall_ns = elapsed_ns(wall_start, Clock::now());
     stats->busy_ns = busy_ns.load(std::memory_order_relaxed);
   }
-  if (error) std::rethrow_exception(error);
+  errors.rethrow_if_error();
 }
 
 // parallel_for that collects fn(i) into a vector indexed by i. The result

@@ -62,7 +62,7 @@ class VpiDetector {
     std::uint64_t foreign_campaigns = 0;
     PoolStats pool;  // summed busy/wall ns; workers = max across sweeps
   };
-  const Telemetry& telemetry() const { return telemetry_; }
+  const Telemetry& telemetry() const noexcept { return telemetry_; }
 
  private:
   const World* world_;

@@ -18,6 +18,19 @@ The exit status is always 0; this is a reporting tool, not a checker.
 """
 import argparse
 import json
+import sys
+
+
+def load_artifact(path):
+    # Named exceptions only (the lint's py-bare-except rule): a missing or
+    # garbled artifact is a clean usage error, not a traceback.
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        print("diff_metrics: cannot read %s: %s" % (path, error),
+              file=sys.stderr)
+        sys.exit(2)
 
 
 def stage_rows(stage):
@@ -47,10 +60,8 @@ def main():
     parser.add_argument("--label-b", default="B")
     args = parser.parse_args()
 
-    with open(args.a) as handle:
-        doc_a = json.load(handle)
-    with open(args.b) as handle:
-        doc_b = json.load(handle)
+    doc_a = load_artifact(args.a)
+    doc_b = load_artifact(args.b)
 
     print("%s: seed %s, %s threads | %s: seed %s, %s threads"
           % (args.label_a, doc_a.get("seed"), doc_a.get("threads"),

@@ -1,0 +1,405 @@
+#!/usr/bin/env python3
+"""cloudmap determinism & hygiene lint.
+
+The repo's load-bearing promise is bit-identical fabrics, snapshots, and
+metrics at every thread count. This lint makes the easy-to-break halves of
+that promise *static*: sources of hidden nondeterminism (wall clocks,
+ambient randomness, environment reads), iteration order leaking out of
+unordered containers on serialization paths, and threads spawned outside
+the one sanctioned pool. It also enforces the header hygiene the codebase
+already follows (#pragma once, sorted include blocks).
+
+Stdlib-only, no third-party deps. Two interfaces:
+
+    python3 tools/lint/cloudmap_lint.py                  # lint the repo
+    python3 tools/lint/cloudmap_lint.py --root DIR [p..] # lint another tree
+
+Findings print as `path:line: [rule-id] message`; exit status is 0 when
+clean, 1 when anything fired, 2 on usage errors.
+
+Suppression pragmas (the reason is mandatory — an empty one is itself a
+finding):
+
+    // lint: wall-clock-ok(<reason>)   clocks, on the same or previous line
+    // lint: env-ok(<reason>)          getenv
+    // lint: rand-ok(<reason>)         rand / random_device
+    // lint: sorted-ok(<reason>)       unordered iteration that is sorted
+                                       (or provably order-insensitive)
+    // lint: thread-ok(<reason>)       raw std::thread
+    # lint: wall-clock-ok(<reason>)    Python wall clocks
+
+Rules (C++ unless noted):
+
+  nondeterministic-call   std::rand/srand/random_device, system_clock/
+                          steady_clock/high_resolution_clock, time(),
+                          clock(), getenv outside the allowlist (the obs
+                          wall-clock layer, core/options env knobs).
+  unordered-iteration     range-for / .begin() over a container declared
+                          unordered_map/unordered_set, inside serialization
+                          paths (src/io/, src/query/, src/obs/emit.cpp),
+                          without a sorted-ok pragma.
+  raw-thread              std::thread (or #include <thread>) anywhere but
+                          src/util/parallel.h.
+  pragma-once             every header starts with #pragma once before any
+                          code line.
+  include-order           include blocks are lexicographically sorted; a
+                          block never mixes <...> and "..." styles; the
+                          own header of a .cpp comes first.
+  bad-pragma              a lint pragma with an empty reason.
+  py-bare-except          (Python) a bare `except:` clause.
+  py-wall-clock           (Python) wall-clock reads — diff and validation
+                          tools must be deterministic.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Shared machinery
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+# `lint: <token>-ok(<reason>)` with a mandatory non-empty reason.
+PRAGMA_RE = re.compile(r"lint:\s*([a-z-]+)-ok\(\s*([^)]*?)\s*\)")
+# A pragma-shaped comment whose reason is empty (caught as its own finding).
+EMPTY_PRAGMA_RE = re.compile(r"lint:\s*[a-z-]+-ok\(\s*\)")
+
+
+def pragma_tokens(lines, index):
+    """Pragma tokens that apply to lines[index] (same line or the line
+    above, so a long expression can carry its pragma as a lead comment)."""
+    tokens = set()
+    for i in (index, index - 1):
+        if 0 <= i < len(lines):
+            for match in PRAGMA_RE.finditer(lines[i]):
+                if match.group(2):
+                    tokens.add(match.group(1))
+    return tokens
+
+
+def check_empty_pragmas(path, lines, findings):
+    for i, line in enumerate(lines):
+        if EMPTY_PRAGMA_RE.search(line):
+            findings.append(Finding(
+                path, i + 1, "bad-pragma",
+                "lint pragma without a reason — say why the exception is "
+                "safe, e.g. `// lint: sorted-ok(keys sorted below)`"))
+
+
+def strip_comment(line):
+    """Drop // comments and string literals so patterns in prose or log
+    text don't fire. (Heuristic: no multi-line /* */ tracking — the
+    codebase uses // comments.)"""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    cut = line.find("//")
+    return line if cut < 0 else line[:cut]
+
+
+# --------------------------------------------------------------------------
+# C++ rules
+
+# rule nondeterministic-call: pattern -> (pragma token, what to use instead)
+NONDET_PATTERNS = [
+    (re.compile(r"\bstd::rand\b|\bsrand\s*\(|\brandom_device\b"), "rand",
+     "use the seeded splitmix64 streams in util/rng.h"),
+    (re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
+     "wall-clock",
+     "wall clocks may only feed the observability layer"),
+    (re.compile(r"(?<![_A-Za-z0-9:])time\s*\(|\bclock\s*\(\)"),
+     "wall-clock",
+     "wall clocks may only feed the observability layer"),
+    (re.compile(r"\bgetenv\b"), "env",
+     "environment reads belong in core/options"),
+]
+
+# Files where nondeterministic-call never fires: the observability layer is
+# the one place wall clocks are the point, and core/options is the one
+# sanctioned environment-knob reader. Everything else needs a pragma.
+NONDET_ALLOWLIST = (
+    "src/obs/",
+    "src/core/options.",
+)
+
+# Paths whose output ordering is a serialized artifact: iterating an
+# unordered container here without sorting changes bytes run-to-run.
+ORDER_SENSITIVE = ("src/io/", "src/query/", "src/obs/emit.cpp")
+
+# Identifier declared (or received as a parameter) with an unordered type.
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set)\s*<[^;]*?>&?\s+(\w+)\s*[;,={()\[]")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*:\s*(.*)\)?\s*\{?\s*$")
+
+THREAD_RE = re.compile(r"\bstd::thread\b|#\s*include\s*<thread>")
+THREAD_HOME = "src/util/parallel.h"
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"])([^>"]+)[>"]')
+
+
+def unordered_names(lines):
+    names = set()
+    for line in lines:
+        for match in UNORDERED_DECL_RE.finditer(strip_comment(line)):
+            names.add(match.group(1))
+    return names
+
+
+def sibling_header_lines(abs_path):
+    """Declarations for a .cpp often live in the sibling header (members
+    like `by_peer_`); fold its names in when scanning the .cpp."""
+    stem, ext = os.path.splitext(abs_path)
+    if ext != ".cpp":
+        return []
+    header = stem + ".h"
+    if not os.path.isfile(header):
+        return []
+    with open(header, "r", encoding="utf-8", errors="replace") as fh:
+        return fh.read().splitlines()
+
+
+def check_cpp(rel_path, abs_path, lines, findings):
+    check_empty_pragmas(rel_path, lines, findings)
+
+    # --- nondeterministic-call
+    if not rel_path.startswith(NONDET_ALLOWLIST):
+        for i, raw in enumerate(lines):
+            line = strip_comment(raw)
+            for pattern, token, hint in NONDET_PATTERNS:
+                if pattern.search(line) and \
+                        token not in pragma_tokens(lines, i):
+                    findings.append(Finding(
+                        rel_path, i + 1, "nondeterministic-call",
+                        "nondeterministic call (%s); %s, or annotate "
+                        "`// lint: %s-ok(<reason>)`"
+                        % (pattern.search(line).group(0).strip(), hint,
+                           token)))
+
+    # --- unordered-iteration (order-sensitive paths only)
+    if rel_path.startswith(ORDER_SENSITIVE) or rel_path in ORDER_SENSITIVE:
+        names = unordered_names(lines)
+        names |= unordered_names(sibling_header_lines(abs_path))
+        if names:
+            member_re = re.compile(
+                r"(?:^|[^\w])(%s)\b" % "|".join(map(re.escape, sorted(names))))
+            for i, raw in enumerate(lines):
+                line = strip_comment(raw)
+                range_for = RANGE_FOR_RE.search(line)
+                iterates = (range_for and member_re.search(
+                    range_for.group(1))) or \
+                    re.search(r"\b(%s)\s*\.\s*begin\s*\(" %
+                              "|".join(map(re.escape, sorted(names))), line)
+                if iterates and "sorted" not in pragma_tokens(lines, i):
+                    findings.append(Finding(
+                        rel_path, i + 1, "unordered-iteration",
+                        "iteration over an unordered container on a "
+                        "serialization path — sort the output or annotate "
+                        "`// lint: sorted-ok(<reason>)`"))
+
+    # --- raw-thread
+    if rel_path != THREAD_HOME:
+        for i, raw in enumerate(lines):
+            if THREAD_RE.search(strip_comment(raw)) and \
+                    "thread" not in pragma_tokens(lines, i):
+                findings.append(Finding(
+                    rel_path, i + 1, "raw-thread",
+                    "raw std::thread outside util/parallel.h — use "
+                    "parallel_for / parallel_transform so determinism "
+                    "lives in the work decomposition"))
+
+    # --- pragma-once
+    if rel_path.endswith(".h"):
+        seen_code = False
+        has_pragma = False
+        for raw in lines:
+            stripped = raw.strip()
+            if stripped.startswith("#pragma once"):
+                has_pragma = not seen_code
+                break
+            if stripped and not stripped.startswith("//"):
+                seen_code = True
+        if not has_pragma:
+            findings.append(Finding(
+                rel_path, 1, "pragma-once",
+                "header must start with #pragma once (before any code)"))
+
+    # --- include-order
+    check_include_order(rel_path, lines, findings)
+
+
+def check_include_order(rel_path, lines, findings):
+    """Include blocks (contiguous #include runs) must be internally sorted
+    and style-pure (<...> xor "..."), with <...> blocks never after a
+    "..." block — except the own header of foo.cpp, which comes first."""
+    own = None
+    if rel_path.endswith(".cpp"):
+        own = os.path.splitext(os.path.basename(rel_path))[0] + ".h"
+
+    blocks = []  # list of [ (line_no, style, path) ] per contiguous run
+    current = []
+    for i, raw in enumerate(lines):
+        match = INCLUDE_RE.match(raw)
+        if match:
+            current.append((i + 1, match.group(1), match.group(2)))
+        else:
+            if current:
+                blocks.append(current)
+                current = []
+    if current:
+        blocks.append(current)
+
+    first = True
+    seen_quoted_block = False
+    for block in blocks:
+        if first and own and len(block) == 1 and \
+                block[0][2].endswith("/" + own):
+            first = False
+            continue  # own-header block of the .cpp
+        first = False
+        styles = {style for _, style, _ in block}
+        if len(styles) > 1:
+            findings.append(Finding(
+                rel_path, block[0][0], "include-order",
+                "include block mixes <...> and \"...\" — split into a "
+                "system block and a project block"))
+            continue
+        style = styles.pop()
+        if style == '"':
+            seen_quoted_block = True
+        elif seen_quoted_block:
+            findings.append(Finding(
+                rel_path, block[0][0], "include-order",
+                "<...> include block after a \"...\" block — system "
+                "headers go first"))
+        paths = [path for _, _, path in block]
+        if paths != sorted(paths):
+            findings.append(Finding(
+                rel_path, block[0][0], "include-order",
+                "include block not sorted: %s" %
+                ", ".join(p for p, s in zip(paths, sorted(paths))
+                          if p != s)))
+
+
+# --------------------------------------------------------------------------
+# Python rules
+
+BARE_EXCEPT_RE = re.compile(r"^\s*except\s*:\s*(#.*)?$")
+PY_WALL_CLOCK_RE = re.compile(
+    r"\btime\s*\.\s*time\s*\(|\bdatetime\s*\.\s*now\s*\(|"
+    r"\bdate\s*\.\s*today\s*\(|\btime\s*\.\s*monotonic\s*\(")
+
+
+def check_python(rel_path, lines, findings):
+    check_empty_pragmas(rel_path, lines, findings)
+    for i, raw in enumerate(lines):
+        if BARE_EXCEPT_RE.match(raw):
+            findings.append(Finding(
+                rel_path, i + 1, "py-bare-except",
+                "bare `except:` swallows SystemExit/KeyboardInterrupt — "
+                "name the exceptions this tool expects"))
+        if PY_WALL_CLOCK_RE.search(raw) and \
+                "wall-clock" not in pragma_tokens(lines, i):
+            findings.append(Finding(
+                rel_path, i + 1, "py-wall-clock",
+                "wall-clock read in a tool whose output must be "
+                "deterministic — drop it or annotate "
+                "`# lint: wall-clock-ok(<reason>)`"))
+
+
+# --------------------------------------------------------------------------
+# Driver
+
+# Trees never linted: generated build output and the lint's own fixture
+# corpus (which is deliberately full of violations).
+EXCLUDED_PARTS = ("build", ".git", "fixtures")
+
+
+def iter_files(root, paths):
+    for path in paths:
+        base = os.path.join(root, path)
+        if os.path.isfile(base):
+            yield os.path.relpath(base, root)
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d not in EXCLUDED_PARTS)
+            for name in sorted(filenames):
+                yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def lint_tree(root, paths):
+    findings = []
+    for rel_path in iter_files(root, paths):
+        rel_path = rel_path.replace(os.sep, "/")
+        abs_path = os.path.join(root, rel_path)
+        try:
+            with open(abs_path, "r", encoding="utf-8",
+                      errors="replace") as fh:
+                lines = fh.read().splitlines()
+        except OSError as error:
+            findings.append(Finding(rel_path, 1, "io-error", str(error)))
+            continue
+        if rel_path.endswith((".h", ".cpp", ".cc", ".hpp")):
+            check_cpp(rel_path, abs_path, lines, findings)
+        elif rel_path.endswith(".py"):
+            check_python(rel_path, lines, findings)
+    return findings
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="cloudmap determinism & hygiene lint (see module "
+                    "docstring for the rule catalogue)")
+    parser.add_argument("--root", default=None,
+                        help="tree root (default: the repo containing this "
+                             "script)")
+    parser.add_argument("paths", nargs="*",
+                        help="files/dirs relative to the root "
+                             "(default: src tools)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ("nondeterministic-call", "unordered-iteration",
+                     "raw-thread", "pragma-once", "include-order",
+                     "bad-pragma", "py-bare-except", "py-wall-clock"):
+            print(rule)
+        return 0
+
+    root = args.root
+    if root is None:
+        root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+    paths = args.paths
+    if not paths:
+        paths = [p for p in ("src", "tools") if
+                 os.path.isdir(os.path.join(root, p))]
+        if not paths:
+            print("cloudmap_lint: nothing to lint under %s" % root,
+                  file=sys.stderr)
+            return 2
+
+    findings = lint_tree(root, paths)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print("cloudmap_lint: %d finding(s)" % len(findings),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

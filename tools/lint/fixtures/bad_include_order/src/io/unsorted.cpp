@@ -1,0 +1,10 @@
+// Fixture: an unsorted include block, and a system include trailing a
+// project block.
+#include <vector>
+#include <cstdint>
+
+#include "io/serialize.h"
+
+#include <string>
+
+namespace cloudmap {}

@@ -1,0 +1,17 @@
+// Fixture: inference code reaching for ambient randomness and wall clocks.
+#include <chrono>
+#include <cstdlib>
+
+namespace cloudmap {
+
+int jitter() {
+  return std::rand() % 7;  // nondeterministic-call: std::rand
+}
+
+long stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+const char* knob() { return getenv("CLOUDMAP_SECRET_KNOB"); }
+
+}  // namespace cloudmap

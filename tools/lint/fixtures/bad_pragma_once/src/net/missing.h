@@ -1,0 +1,9 @@
+// Fixture: a header with no #pragma once before code.
+
+namespace cloudmap {
+
+struct Unguarded {
+  int value = 0;
+};
+
+}  // namespace cloudmap

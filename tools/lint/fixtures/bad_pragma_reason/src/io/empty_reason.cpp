@@ -1,0 +1,15 @@
+// Fixture: a pragma with no reason is itself a finding.
+#include <cstdint>
+#include <unordered_map>
+
+namespace cloudmap {
+
+inline std::uint64_t sum(
+    const std::unordered_map<std::uint32_t, std::uint32_t>& m) {
+  std::uint64_t total = 0;
+  // lint: sorted-ok()
+  for (const auto& [k, v] : m) total += v;
+  return total;
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,9 @@
+"""Fixture: a bare except swallowing everything including SystemExit."""
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except:
+        return None

@@ -1,0 +1,7 @@
+"""Fixture: a diff tool stamping its output with the wall clock."""
+
+import time
+
+
+def report(lines):
+    return {"generated_at": time.time(), "lines": lines}

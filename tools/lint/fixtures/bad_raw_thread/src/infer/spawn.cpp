@@ -1,0 +1,11 @@
+// Fixture: spawning a thread outside the sanctioned pool.
+#include <thread>
+
+namespace cloudmap {
+
+void fire_and_forget() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+}  // namespace cloudmap

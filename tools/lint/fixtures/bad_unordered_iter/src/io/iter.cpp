@@ -1,0 +1,16 @@
+// Fixture: serializing straight out of an unordered container — the bytes
+// depend on hash-table layout.
+#include <cstdint>
+#include <ostream>
+#include <unordered_map>
+
+namespace cloudmap {
+
+void dump(std::ostream& out,
+          const std::unordered_map<std::uint32_t, std::uint32_t>& pins) {
+  for (const auto& [address, metro] : pins) {
+    out << address << ' ' << metro << '\n';
+  }
+}
+
+}  // namespace cloudmap

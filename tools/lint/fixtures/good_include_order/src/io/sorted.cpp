@@ -1,0 +1,11 @@
+// Fixture: own header first, then a sorted system block, then a sorted
+// project block.
+#include "io/sorted.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "io/serialize.h"
+#include "net/ids.h"
+
+namespace cloudmap {}

@@ -1,0 +1,9 @@
+// Fixture: core/options is the sanctioned environment-knob reader
+// (allowlisted), and seeded RNG use is always fine.
+#include <cstdlib>
+
+namespace cloudmap {
+
+const char* threads_knob() { return std::getenv("CLOUDMAP_THREADS"); }
+
+}  // namespace cloudmap

@@ -1,0 +1,11 @@
+// Fixture: outside the allowlist, a documented pragma is accepted.
+#include <chrono>
+
+namespace cloudmap {
+
+long progress_stamp() {
+  // lint: wall-clock-ok(progress logging only; never reaches a result)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,10 @@
+// Fixture: lead comment, then the guard, then code.
+#pragma once
+
+namespace cloudmap {
+
+struct Guarded {
+  int value = 0;
+};
+
+}  // namespace cloudmap

@@ -1,0 +1,9 @@
+"""Fixture: named exceptions only."""
+
+
+def load(path):
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except OSError:
+        return None

@@ -1,0 +1,11 @@
+"""Fixture: deterministic output; the one timing read is annotated."""
+
+import time
+
+
+def measure(fn):
+    # lint: wall-clock-ok(progress reporting on stderr only; not in the diff)
+    started = time.monotonic()
+    result = fn()
+    # lint: wall-clock-ok(progress reporting on stderr only; not in the diff)
+    return result, time.monotonic() - started

@@ -1,0 +1,10 @@
+// Fixture: src/util/parallel.h is the one sanctioned thread-spawning site.
+#pragma once
+
+#include <thread>
+
+namespace cloudmap {
+
+inline unsigned workers() { return std::thread::hardware_concurrency(); }
+
+}  // namespace cloudmap

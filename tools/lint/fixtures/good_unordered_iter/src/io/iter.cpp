@@ -1,0 +1,22 @@
+// Fixture: the same shape, but the iteration carries a sorted-ok pragma
+// because the keys are sorted before anything is emitted.
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+namespace cloudmap {
+
+void dump(std::ostream& out,
+          const std::unordered_map<std::uint32_t, std::uint32_t>& pins) {
+  std::vector<std::uint32_t> keys;
+  // lint: sorted-ok(keys are collected then sorted before emission)
+  for (const auto& [address, metro] : pins) keys.push_back(address);
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint32_t address : keys) {
+    out << address << ' ' << pins.at(address) << '\n';
+  }
+}
+
+}  // namespace cloudmap

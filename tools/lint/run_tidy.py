@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""clang-tidy driver for the `tidy` CMake target and the CI job.
+
+Runs clang-tidy (config from the repo's .clang-tidy) over every .cpp under
+src/, or over an explicit file list, against a compile_commands.json. A
+missing clang-tidy binary is a hard error when --require is given (CI) and
+a skip otherwise (developer machines without LLVM still get `lint`).
+
+    python3 tools/lint/run_tidy.py -p build [files...]
+"""
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+
+
+def file_digest(hasher, path):
+    try:
+        with open(path, "rb") as fh:
+            hasher.update(fh.read())
+    except OSError:
+        hasher.update(b"<unreadable>")
+
+
+def tree_key(root, binary):
+    """Hash of everything that invalidates *every* cached verdict: the
+    .clang-tidy config, the clang-tidy version, and all headers under src/
+    (HeaderFilterRegex confines diagnostics to them, and a header edit can
+    change any TU's findings)."""
+    hasher = hashlib.sha256()
+    version = subprocess.run([binary, "--version"], capture_output=True,
+                             text=True, check=False).stdout
+    hasher.update(version.encode())
+    file_digest(hasher, os.path.join(root, ".clang-tidy"))
+    for dirpath, dirnames, filenames in os.walk(os.path.join(root, "src")):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith(".h"):
+                file_digest(hasher, os.path.join(dirpath, name))
+    return hasher.hexdigest()
+
+
+def load_cache(path):
+    if path is None or not os.path.isfile(path):
+        return {}
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        return data if isinstance(data, dict) else {}
+    except (OSError, ValueError):
+        return {}
+
+
+def source_files(root):
+    out = []
+    for dirpath, dirnames, filenames in os.walk(os.path.join(root, "src")):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith(".cpp"):
+                out.append(os.path.join(dirpath, name))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-p", "--build-dir", default="build",
+                        help="directory holding compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary to use")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (exit 2) when clang-tidy is missing "
+                             "instead of skipping")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=os.cpu_count() or 1)
+    parser.add_argument("--cache",
+                        help="JSON file remembering clean verdicts keyed by "
+                             "(config+headers, source) hashes; files whose "
+                             "key is unchanged are skipped (CI persists "
+                             "this between runs)")
+    parser.add_argument("files", nargs="*",
+                        help="files to check (default: all of src/**.cpp)")
+    args = parser.parse_args()
+
+    binary = shutil.which(args.clang_tidy)
+    if binary is None:
+        message = "run_tidy: %r not found" % args.clang_tidy
+        if args.require:
+            print(message, file=sys.stderr)
+            return 2
+        print(message + " — skipping (install clang-tidy, or rely on CI)",
+              file=sys.stderr)
+        return 0
+
+    root = repo_root()
+    database = os.path.join(args.build_dir, "compile_commands.json")
+    if not os.path.isfile(database):
+        print("run_tidy: no %s (configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)" % database,
+              file=sys.stderr)
+        return 2
+
+    files = args.files or source_files(root)
+    if not files:
+        print("run_tidy: nothing to check", file=sys.stderr)
+        return 0
+
+    base_key = tree_key(root, binary) if args.cache else ""
+    cache = load_cache(args.cache)
+
+    def source_key(path):
+        hasher = hashlib.sha256()
+        hasher.update(base_key.encode())
+        file_digest(hasher, path)
+        return hasher.hexdigest()
+
+    keys = {path: source_key(path) for path in files} if args.cache else {}
+    to_check = [p for p in files
+                if not args.cache or cache.get(os.path.relpath(p, root))
+                != keys[p]]
+    skipped = len(files) - len(to_check)
+    if skipped:
+        print("run_tidy: %d file(s) unchanged since last clean run" %
+              skipped)
+
+    def check(path):
+        result = subprocess.run(
+            [binary, "-p", args.build_dir, "--quiet", path],
+            capture_output=True, text=True, check=False)
+        return path, result.returncode, result.stdout, result.stderr
+
+    failed = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for path, code, out, err in pool.map(check, to_check):
+            if out.strip():
+                print(out.strip())
+            if code != 0:
+                failed += 1
+                # clang-tidy prints diagnostics on stdout; stderr carries
+                # config/database errors worth surfacing on failure.
+                if err.strip():
+                    print(err.strip(), file=sys.stderr)
+            elif args.cache:
+                # Only clean verdicts are cached; a failing file reruns
+                # until fixed.
+                cache[os.path.relpath(path, root)] = keys[path]
+
+    if args.cache:
+        os.makedirs(os.path.dirname(os.path.abspath(args.cache)),
+                    exist_ok=True)
+        with open(args.cache, "w", encoding="utf-8") as fh:
+            json.dump(cache, fh, indent=1, sort_keys=True)
+
+    if failed:
+        print("run_tidy: %d file(s) with findings" % failed,
+              file=sys.stderr)
+        return 1
+    print("run_tidy: %d file(s) clean (%d checked, %d cached)" %
+          (len(files), len(to_check), skipped))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,8 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/options.h"
 #include "core/pipeline.h"
@@ -27,6 +29,33 @@
 #include "util/table.h"
 
 namespace cloudmap::bench {
+
+// ---------------------------------------------------------------------------
+// Bench trajectory artifacts (BENCH_<slug>.json)
+//
+// Every bench emits a canonical trajectory file next to its metrics
+// artifact: a machine-diffable record of what the run measured (iterations,
+// ns/op, thread count) plus the deterministic per-stage counters — and
+// nothing wall-clock-derived beyond the ns/op measurements themselves (no
+// timestamps, host info, or timer totals), so two files from the same code
+// differ only in the timings under comparison. tools/bench_compare.py diffs
+// two trajectories and flags per-core regressions; the committed BENCH_*.json
+// files at the repo root are the current baselines (regenerate with the
+// `bench-baselines` CMake target).
+//
+// Output directory: $CLOUDMAP_BENCH_DIR when set, else the cwd.
+// ---------------------------------------------------------------------------
+
+// One measured benchmark within a trajectory. `counters` carries
+// deterministic per-iteration quantities (probe counts, world facts), never
+// wall-clock values.
+struct TrajectoryEntry {
+  std::string name;
+  std::int64_t iterations = 0;
+  double ns_per_op = 0.0;
+  int threads = 1;
+  std::vector<std::pair<std::string, double>> counters;
+};
 
 inline constexpr std::uint64_t kBenchSeed = 1;
 
@@ -51,6 +80,93 @@ inline int bench_threads() {
 inline std::string& metrics_path_slot() {
   static std::string path = "cloudmap_metrics.json";
   return path;
+}
+
+// Trajectory slug for this binary, derived alongside the metrics path.
+inline std::string& trajectory_slug_slot() {
+  static std::string slug = "cloudmap";
+  return slug;
+}
+
+namespace detail {
+
+inline std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (const char c : in) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+inline std::string json_number(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace detail
+
+// Writes BENCH_<slug>.json into $CLOUDMAP_BENCH_DIR (default: cwd).
+// `entries` may be empty (counter-only trajectories from the reproduction
+// benches); `world` and `registry` may be null when unavailable.
+inline void write_trajectory(const std::string& slug,
+                             const std::vector<TrajectoryEntry>& entries,
+                             const World* world, int threads,
+                             const MetricsRegistry* registry) {
+  std::string dir;
+  if (const char* env = std::getenv("CLOUDMAP_BENCH_DIR")) dir = env;
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  const std::string path = dir + "BENCH_" + slug + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "trajectory: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n";
+  out << "  \"schema\": \"cloudmap-bench-trajectory-v1\",\n";
+  out << "  \"bench\": \"" << detail::json_escape(slug) << "\",\n";
+  out << "  \"threads\": " << threads << ",\n";
+  if (world != nullptr) {
+    out << "  \"world\": {\"seed\": " << kBenchSeed
+        << ", \"ases\": " << world->ases.size()
+        << ", \"routers\": " << world->routers.size()
+        << ", \"interconnects\": " << world->interconnects.size()
+        << ", \"regions\": " << world->regions.size() << "},\n";
+  }
+  out << "  \"benchmarks\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const TrajectoryEntry& entry = entries[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"name\": \"" << detail::json_escape(entry.name)
+        << "\", \"iterations\": " << entry.iterations
+        << ", \"ns_per_op\": " << detail::json_number(entry.ns_per_op)
+        << ", \"threads\": " << entry.threads;
+    if (!entry.counters.empty()) {
+      out << ", \"counters\": {";
+      for (std::size_t c = 0; c < entry.counters.size(); ++c) {
+        if (c != 0) out << ", ";
+        out << "\"" << detail::json_escape(entry.counters[c].first)
+            << "\": " << detail::json_number(entry.counters[c].second);
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << (entries.empty() ? "],\n" : "\n  ],\n");
+  out << "  \"counters\": {";
+  if (registry != nullptr) {
+    const MetricsRegistry::Snapshot snap = registry->snapshot();
+    for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n");
+      out << "    \"" << detail::json_escape(snap.counters[i].first)
+          << "\": " << snap.counters[i].second;
+    }
+    if (!snap.counters.empty()) out << "\n  ";
+  }
+  out << "}\n}\n";
+  std::printf("trajectory: wrote %s\n", path.c_str());
 }
 
 inline const World& world() {
@@ -81,6 +197,10 @@ inline void emit_metrics_at_exit() {
   }
   pipeline->write_metrics_json(out);
   std::printf("\nmetrics: wrote %s\n", path.c_str());
+  // Counter-only trajectory for the reproduction benches: the per-stage
+  // registry counters are deterministic for a fixed world and seed.
+  write_trajectory(trajectory_slug_slot(), {}, &world(), bench_threads(),
+                   &pipeline->metrics());
 }
 }  // namespace detail
 
@@ -107,7 +227,10 @@ inline void header(const std::string& title, const std::string& paper_note) {
     if (slug.size() >= 24) break;
   }
   while (!slug.empty() && slug.back() == '_') slug.pop_back();
-  if (!slug.empty()) metrics_path_slot() = slug + "_metrics.json";
+  if (!slug.empty()) {
+    metrics_path_slot() = slug + "_metrics.json";
+    trajectory_slug_slot() = slug;
+  }
 
   std::printf("================================================================\n");
   std::printf("%s\n", title.c_str());

@@ -4,8 +4,11 @@
 // campaign's thread-scaling curve.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "bench_common.h"
 #include "controlplane/bgp.h"
 #include "core/pipeline.h"
 #include "dataplane/traceroute.h"
@@ -116,14 +119,22 @@ void BM_CampaignRound1(benchmark::State& state) {
   CampaignConfig config;
   config.threads = static_cast<int>(state.range(0));
   std::uint64_t traceroutes = 0;
+  RoundStats last{};
   for (auto _ : state) {
     Campaign campaign(pipeline->world(), pipeline->forwarder(),
                       CloudProvider::kAmazon, config);
     const RoundStats stats = campaign.run_round1(pipeline->annotator());
     benchmark::DoNotOptimize(stats);
     traceroutes += stats.traceroutes;
+    last = stats;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(traceroutes));
+  // Deterministic per-round quantities for the trajectory artifact: the
+  // round's work is identical every iteration and at every thread count.
+  state.counters["traceroutes"] = static_cast<double>(last.traceroutes);
+  state.counters["probes"] = static_cast<double>(last.probes);
+  state.counters["targets"] = static_cast<double>(last.targets);
+  state.counters["campaign_threads"] = static_cast<double>(config.threads);
 }
 BENCHMARK(BM_CampaignRound1)
     ->Arg(1)
@@ -149,9 +160,13 @@ void BM_QuerySaturation(benchmark::State& state) {
   static const QueryEngine* engine = new QueryEngine(*index, registry);
 
   const std::vector<std::uint32_t>& peers = index->peer_asns();
-  Rng rng(0x9E3779B97F4A7C15ull ^
-          static_cast<std::uint64_t>(state.thread_index()));
-  std::uint64_t queries = 0;
+  // Disjoint per-thread query streams: the thread index is expanded through
+  // splitmix64 before seeding, so no two reader threads replay the same
+  // index sequence (an xor of the raw index only perturbs low seed bits,
+  // which xoshiro's seeding leaves correlated).
+  std::uint64_t seed_state =
+      0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(state.thread_index());
+  Rng rng(splitmix64(seed_state));
   for (auto _ : state) {
     const std::uint64_t roll = rng.next();
     switch (roll & 7u) {
@@ -175,9 +190,14 @@ void BM_QuerySaturation(benchmark::State& state) {
             engine->lookup(Ipv4(static_cast<std::uint32_t>(roll >> 16))));
         break;
     }
-    ++queries;
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(queries));
+  // Each thread processed exactly its own iteration count — the framework
+  // sums per-thread items, so counting anything shared here double-reports.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  // kAvgThreads: the value is a world fact, not per-thread work — without
+  // the flag the framework sums it over reader threads.
+  state.counters["peer_asns"] = benchmark::Counter(
+      static_cast<double>(peers.size()), benchmark::Counter::kAvgThreads);
 }
 BENCHMARK(BM_QuerySaturation)
     ->Threads(1)
@@ -200,6 +220,73 @@ void BM_RttToInterface(benchmark::State& state) {
 }
 BENCHMARK(BM_RttToInterface);
 
+// Console reporter that also records every completed run for the bench
+// trajectory artifacts. Families split by benchmark name so one invocation
+// emits all three committed baselines: BM_CampaignRound1 runs land in
+// BENCH_campaign_round1.json, BM_QuerySaturation in
+// BENCH_query_saturation.json, and everything else in BENCH_perf_micro.json.
+class TrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      cloudmap::bench::TrajectoryEntry entry;
+      entry.name = run.benchmark_name();
+      entry.iterations = static_cast<std::int64_t>(run.iterations);
+      entry.threads = run.threads;
+      entry.ns_per_op = run.iterations == 0
+                            ? 0.0
+                            : run.real_accumulated_time /
+                                  static_cast<double>(run.iterations) * 1e9;
+      // Rate counters (items/s, bytes/s) are wall-clock-derived — the
+      // trajectory carries only the deterministic ones.
+      for (const auto& [name, counter] : run.counters)
+        if ((counter.flags & benchmark::Counter::kIsRate) == 0)
+          entry.counters.emplace_back(name, counter.value);
+      auto& family = family_of(entry.name);
+      // On hosts where hardware_concurrency collapses onto an explicit Arg,
+      // the same configuration runs twice; keep the first measurement.
+      bool duplicate = false;
+      for (const auto& seen : family)
+        if (seen.name == entry.name) duplicate = true;
+      if (!duplicate) family.push_back(std::move(entry));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  void write_trajectories() const {
+    for (const auto& [slug, entries] : families_) {
+      if (entries.empty()) continue;
+      cloudmap::bench::write_trajectory(slug, entries, &bench_world(),
+                                        /*threads=*/1, nullptr);
+    }
+  }
+
+ private:
+  std::vector<cloudmap::bench::TrajectoryEntry>& family_of(
+      const std::string& name) {
+    const char* slug = "perf_micro";
+    if (name.rfind("BM_CampaignRound1", 0) == 0) slug = "campaign_round1";
+    if (name.rfind("BM_QuerySaturation", 0) == 0) slug = "query_saturation";
+    for (auto& [existing, entries] : families_)
+      if (existing == slug) return entries;
+    families_.emplace_back(slug,
+                           std::vector<cloudmap::bench::TrajectoryEntry>{});
+    return families_.back().second;
+  }
+
+  std::vector<
+      std::pair<std::string, std::vector<cloudmap::bench::TrajectoryEntry>>>
+      families_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  TrajectoryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.write_trajectories();
+  return 0;
+}

@@ -38,16 +38,38 @@ void Bdrmap::run_region(RegionId region, std::uint64_t seed,
                      std::unordered_map<std::uint32_t, std::size_t>>
       downstream_votes;
 
-  auto asn_of = [&](Ipv4 address) -> Asn {
-    const Asn* origin = region_snapshot.origin_of.lookup(address);
-    return origin == nullptr ? Asn{} : *origin;
-  };
   auto is_subject = [&](Asn asn) {
     return !asn.is_unknown() && as2org_->org_of(asn) == subject_org_;
   };
 
+  // Per-record scratch, reused across targets: the record's hop storage and
+  // the batched-annotation buffers grow once and stay.
+  TracerouteRecord record;
+  std::vector<Ipv4> batch_addresses;
+  std::vector<const Asn*> batch_origins;
+  std::vector<Asn> hop_asns;
   for (const Ipv4 target : targets_) {
-    const TracerouteRecord record = engine.trace(vp, target);
+    engine.trace_into(vp, target, record);
+    // Resolve every responding hop plus the destination against the region
+    // RIB in one batched LPM pass; both walks below read the result.
+    batch_addresses.clear();
+    for (const TracerouteHop& hop : record.hops)
+      if (hop.responded) batch_addresses.push_back(hop.address);
+    batch_addresses.push_back(record.destination);
+    batch_origins.resize(batch_addresses.size());
+    region_snapshot.origin_of.lookup_batch(
+        batch_addresses.data(), batch_addresses.size(), batch_origins.data());
+    hop_asns.assign(record.hops.size(), Asn{});
+    std::size_t next_result = 0;
+    for (std::size_t i = 0; i < record.hops.size(); ++i) {
+      if (!record.hops[i].responded) continue;
+      const Asn* origin = batch_origins[next_result++];
+      if (origin != nullptr) hop_asns[i] = *origin;
+    }
+    const Asn dest_asn = batch_origins.back() == nullptr
+                             ? Asn{}
+                             : *batch_origins.back();
+
     // Walk: hops that are subject-owned or ASN 0 are "inside"; the first
     // hop with a foreign nonzero ASN is the CBI.
     std::size_t cbi_index = record.hops.size();
@@ -55,7 +77,7 @@ void Bdrmap::run_region(RegionId region, std::uint64_t seed,
     std::size_t last_responding_inside = record.hops.size();
     for (std::size_t i = 0; i < record.hops.size(); ++i) {
       if (!record.hops[i].responded) continue;
-      const Asn asn = asn_of(record.hops[i].address);
+      const Asn asn = hop_asns[i];
       if (asn.is_unknown() || is_subject(asn)) {
         last_responding_inside = i;
         continue;
@@ -84,7 +106,7 @@ void Bdrmap::run_region(RegionId region, std::uint64_t seed,
     for (std::size_t i = 0; i < record.hops.size(); ++i) {
       if (!record.hops[i].responded) continue;
       const Ipv4 address = record.hops[i].address;
-      if (is_subject(asn_of(address)) || address.is_private() ||
+      if (is_subject(hop_asns[i]) || address.is_private() ||
           address.is_shared())
         last_subject = i;
     }
@@ -101,7 +123,6 @@ void Bdrmap::run_region(RegionId region, std::uint64_t seed,
     const std::uint32_t cbi = record.hops[unresolved].address.value();
     out.cbi_owner.emplace(cbi, Asn{});
     // Third-party votes: the destination's origin AS hints at the owner.
-    const Asn dest_asn = asn_of(record.destination);
     if (!dest_asn.is_unknown()) ++downstream_votes[cbi][dest_asn.value];
   }
 

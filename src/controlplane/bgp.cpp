@@ -1,3 +1,4 @@
+// lint: hot-path
 #include "controlplane/bgp.h"
 
 #include <deque>
@@ -108,6 +109,17 @@ const std::vector<RouteEntry>& BgpSimulator::routes_to(AsId origin) const {
   return published_table(origin);
 }
 
+void BgpSimulator::warm_routes(const std::vector<AsId>& origins) const {
+  const MutexLock lock(&fill_mutex_);
+  for (const AsId origin : origins) {
+    std::atomic<bool>& ready = cached_[origin.value];
+    if (ready.load(std::memory_order_relaxed)) continue;
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    compute(origin, cache_[origin.value]);
+    ready.store(true, std::memory_order_release);
+  }
+}
+
 void BgpSimulator::compute(AsId origin, std::vector<RouteEntry>& table) const {
   const auto& ases = world_->ases;
   table.assign(ases.size(), RouteEntry{});
@@ -192,6 +204,15 @@ BgpSnapshot build_snapshot(const World& world, const BgpSimulator& sim,
                            const SnapshotOptions& options) {
   BgpSnapshot snapshot;
 
+  // One lock round-trip for every table this snapshot will read.
+  std::vector<AsId> origins;
+  for (std::uint32_t o = 0; o < world.ases.size(); ++o) {
+    const AutonomousSystem& origin = world.ases[o];
+    if (origin.type != AsType::kCloud && !origin.announced_prefixes.empty())
+      origins.push_back(AsId{o});
+  }
+  sim.warm_routes(origins);
+
   auto add_path_links = [&](const std::vector<AsId>& path) {
     for (std::size_t i = 0; i + 1 < path.size(); ++i) {
       snapshot.as_links.insert(BgpSnapshot::link_key(
@@ -237,6 +258,7 @@ BgpSnapshot build_snapshot(const World& world, const BgpSimulator& sim,
       snapshot.origin_of.insert(prefix, world.ases[primary.value].asn);
   }
 
+  snapshot.origin_of.freeze();
   return snapshot;
 }
 

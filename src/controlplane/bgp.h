@@ -16,9 +16,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "net/flat_prefix_trie.h"
 #include "net/ids.h"
 #include "net/prefix.h"
-#include "net/prefix_trie.h"
 #include "topology/world.h"
 #include "util/thread_annotations.h"
 
@@ -60,6 +60,13 @@ class BgpSimulator {
   // many threads — the cache fill is guarded, and a published table is
   // never mutated again.
   const std::vector<RouteEntry>& routes_to(AsId origin) const
+      CM_EXCLUDES(fill_mutex_);
+
+  // Batched variant: compute and publish the tables of every listed origin
+  // under a single lock acquisition (one mutex round-trip instead of one
+  // per cache miss). After it returns, routes_to() for each origin is a
+  // lock-free hit. Counts one miss per table actually computed.
+  void warm_routes(const std::vector<AsId>& origins) const
       CM_EXCLUDES(fill_mutex_);
 
   // The AS path from `from` toward `origin` (inclusive of both ends);
@@ -111,7 +118,7 @@ class BgpSimulator {
 // links appearing on the feeds' best paths (the synthetic CAIDA AS-rel
 // dataset).
 struct BgpSnapshot {
-  PrefixTrie<Asn> origin_of;                    // prefix → origin ASN
+  FlatPrefixTrie<Asn> origin_of;                // prefix → origin ASN
   std::unordered_set<std::uint64_t> as_links;   // canonical (lo,hi) ASN pairs
 
   static std::uint64_t link_key(Asn a, Asn b) {

@@ -21,6 +21,7 @@ PeeringDb PeeringDb::from_world(const World& world,
     db.ixp_by_prefix_.insert(world.ixps[x].peering_prefix, IxpId{x});
     db.ixp_prefixes_.emplace_back(IxpId{x}, world.ixps[x].peering_prefix);
   }
+  db.ixp_by_prefix_.freeze();
 
   // Tenancies: an AS is a tenant of a colo when one of its routers sits in
   // the facility or it terminates an interconnect there. Listed with

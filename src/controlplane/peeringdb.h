@@ -12,9 +12,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "net/flat_prefix_trie.h"
 #include "net/ids.h"
 #include "net/ipv4.h"
-#include "net/prefix_trie.h"
 #include "topology/world.h"
 
 namespace cloudmap {
@@ -62,7 +62,7 @@ class PeeringDb {
                                     CloudProvider provider) const;
 
  private:
-  PrefixTrie<IxpId> ixp_by_prefix_;
+  FlatPrefixTrie<IxpId> ixp_by_prefix_;
   std::vector<std::pair<IxpId, Prefix>> ixp_prefixes_;
   std::unordered_map<std::uint32_t, Asn> lan_assignments_;
   std::unordered_map<std::uint32_t, std::vector<Asn>> tenants_by_colo_;

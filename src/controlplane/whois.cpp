@@ -14,6 +14,7 @@ WhoisRegistry WhoisRegistry::from_world(const World& world, double coverage,
     if (coverage < 1.0 && !rng.chance(coverage)) return;
     registry.records_.insert(prefix, world.ases[owner.value].asn);
   });
+  registry.records_.freeze();
   return registry;
 }
 

@@ -7,9 +7,9 @@
 
 #include <optional>
 
+#include "net/flat_prefix_trie.h"
 #include "net/ids.h"
 #include "net/ipv4.h"
-#include "net/prefix_trie.h"
 #include "topology/world.h"
 
 namespace cloudmap {
@@ -30,7 +30,7 @@ class WhoisRegistry {
   std::size_t record_count() const { return records_.size(); }
 
  private:
-  PrefixTrie<Asn> records_;
+  FlatPrefixTrie<Asn> records_;
 };
 
 }  // namespace cloudmap

@@ -1,8 +1,10 @@
 #include "dataplane/forwarding.h"
 
 #include <algorithm>
+#include <array>
 
 #include "net/geo.h"
+#include "net/prefix_trie.h"
 #include "util/rng.h"
 
 namespace cloudmap {
@@ -15,28 +17,36 @@ Forwarder::Forwarder(const World& world, const BgpSimulator& sim)
     const RouterId ra = world.interfaces[link.side_a.value].router;
     const RouterId rb = world.interfaces[link.side_b.value].router;
     if (link.kind == LinkKind::kIntraAs) {
-      intra_links_.emplace(key(ra.value, rb.value), LinkId{l});
-      intra_links_.emplace(key(rb.value, ra.value), LinkId{l});
+      intra_links_.insert(key(ra.value, rb.value), LinkId{l});
+      intra_links_.insert(key(rb.value, ra.value), LinkId{l});
     } else if (link.kind == LinkKind::kTransit ||
                link.kind == LinkKind::kPeer) {
       const AsId asa = world.router_owner(ra);
       const AsId asb = world.router_owner(rb);
-      inter_as_links_.emplace(key(asa.value, asb.value), LinkId{l});
-      inter_as_links_.emplace(key(asb.value, asa.value), LinkId{l});
+      inter_as_links_.insert(key(asa.value, asb.value), LinkId{l});
+      inter_as_links_.insert(key(asb.value, asa.value), LinkId{l});
     }
   }
+  intra_links_.freeze();
+  inter_as_links_.freeze();
+  for (const auto& [address, iface] : world.interface_by_ip)
+    iface_by_ip_.insert(address, iface);
+  iface_by_ip_.freeze();
   // Announced-prefix origin table (the BGP ground truth; collector snapshots
   // are a filtered view of this).
   for (const AutonomousSystem& as : world.ases)
     for (const Prefix& prefix : as.announced_prefixes)
       announced_origin_.insert(prefix, as.asn);
+  announced_origin_.freeze();
 
   // Cloud FIBs: per-interconnect announcements plus exact /32 routes for
-  // both interconnect endpoints.
+  // both interconnect endpoints. Accumulated in a binary trie (incremental
+  // at_or_default), then flattened for the lookup path.
+  PrefixTrie<FibEntry> fib_build[kCloudProviderCount];
   for (std::uint32_t i = 0; i < world.interconnects.size(); ++i) {
     const GroundTruthInterconnect& ic = world.interconnects[i];
     if (ic.private_address) continue;
-    auto& fib = cloud_fib_[static_cast<int>(ic.cloud)];
+    auto& fib = fib_build[static_cast<int>(ic.cloud)];
     const Ipv4 client_addr = world.interfaces[ic.client_interface.value].address;
     for (const Prefix& prefix : ic.announced_to_cloud) {
       fib.at_or_default(prefix).egress.push_back(ic.link);
@@ -47,6 +57,36 @@ Forwarder::Forwarder(const World& world, const BgpSimulator& sim)
     if (ic.secondary_link.valid())
       fib.at_or_default(Prefix(client_addr, 32))
           .egress.push_back(ic.secondary_link);
+  }
+  for (int p = 0; p < static_cast<int>(kCloudProviderCount); ++p)
+    cloud_fib_[p] = FlatPrefixTrie<FibEntry>::from(fib_build[p]);
+
+  // Per-link egress metadata for the choose_egress scan.
+  link_border_router_.resize(world.links.size());
+  link_client_owner_.resize(world.links.size());
+  for (std::uint32_t l = 0; l < world.links.size(); ++l) {
+    const Link& link = world.links[l];
+    link_border_router_[l] = world.interfaces[link.side_a.value].router;
+    link_client_owner_[l] =
+        world.router_owner(world.interfaces[link.side_b.value].router);
+  }
+
+  // Distance memo: every per-hop score in cloud_internal_chain and
+  // choose_egress reads these instead of recomputing the haversine trig.
+  const std::size_t n_routers = world.routers.size();
+  core_km_.resize(world.regions.size() * n_routers);
+  metro_km_.resize(world.regions.size() * n_routers);
+  for (std::uint32_t r = 0; r < world.regions.size(); ++r) {
+    const GeoPoint& core =
+        world.router_location(world.regions[r].core_router);
+    const GeoPoint& metro = world.metro(world.regions[r].metro).location;
+    double* core_row = &core_km_[r * n_routers];
+    double* metro_row = &metro_km_[r * n_routers];
+    for (std::uint32_t i = 0; i < n_routers; ++i) {
+      const GeoPoint& at = world.router_location(RouterId{i});
+      core_row[i] = haversine_km(core, at);
+      metro_row[i] = haversine_km(metro, at);
+    }
   }
 }
 
@@ -63,15 +103,15 @@ void Forwarder::append_link_hop(LinkId link, RouterId from_router,
 }
 
 std::optional<LinkId> Forwarder::intra_link(RouterId a, RouterId b) const {
-  const auto it = intra_links_.find(key(a.value, b.value));
-  if (it == intra_links_.end()) return std::nullopt;
-  return it->second;
+  const LinkId* link = intra_links_.find(key(a.value, b.value));
+  if (link == nullptr) return std::nullopt;
+  return *link;
 }
 
 std::optional<LinkId> Forwarder::inter_as_link(AsId a, AsId b) const {
-  const auto it = inter_as_links_.find(key(a.value, b.value));
-  if (it == inter_as_links_.end()) return std::nullopt;
-  return it->second;
+  const LinkId* link = inter_as_links_.find(key(a.value, b.value));
+  if (link == nullptr) return std::nullopt;
+  return *link;
 }
 
 namespace {
@@ -88,12 +128,16 @@ bool Forwarder::cloud_internal_chain(RegionId region, RouterId target,
                                      std::vector<ForwardHop>& hops) const {
   const RouterId core = world_->region(region).core_router;
   if (target == core) return true;
-  const GeoPoint& src = world_->router_location(core);
+  const double* core_km =
+      &core_km_[static_cast<std::size_t>(region.value) *
+                world_->routers.size()];
   // Climb upstream from the target toward a core, at each step taking the
   // attachment whose far end is closest to the source region — the border's
   // observed upstream interface (the ABI) therefore depends on where the
-  // probe entered the backbone.
-  std::vector<LinkId> chain;
+  // probe entered the backbone. The guard bounds the climb at 32 levels, so
+  // the chain fits a fixed stack buffer.
+  std::array<LinkId, 34> chain;
+  int chain_len = 0;
   RouterId current = target;
   int guard = 0;
   while (world_->routers[current.value].uplink.valid()) {
@@ -107,14 +151,13 @@ bool Forwarder::cloud_internal_chain(RegionId region, RouterId target,
       parent = (ra == current) ? rb : ra;
     }
     // Score attachments by distance toward the source, with per-flow ECMP
-    // jitter so near-equal choices split across destinations.
+    // jitter so near-equal choices split across destinations. Distances come
+    // from the memo; the jitter draw is pure, so one evaluation stands in
+    // for both uses in the scoring expression.
     auto score = [&](RouterId candidate, LinkId link) {
-      const double km =
-          candidate == core
-              ? 0.0
-              : haversine_km(src, world_->router_location(candidate));
-      return km * (1.0 + 0.35 * flow_jitter(flow_hash, link.value)) +
-             flow_jitter(flow_hash, link.value);
+      const double km = candidate == core ? 0.0 : core_km[candidate.value];
+      const double j = flow_jitter(flow_hash, link.value);
+      return km * (1.0 + 0.35 * j) + j;
     };
     double best_score = score(parent, up);
     for (const LinkId extra : router.extra_uplinks) {
@@ -129,7 +172,7 @@ bool Forwarder::cloud_internal_chain(RegionId region, RouterId target,
         parent = candidate;
       }
     }
-    chain.push_back(up);
+    chain[chain_len++] = up;
     current = parent;
     if (++guard > 32) return false;
   }
@@ -141,8 +184,8 @@ bool Forwarder::cloud_internal_chain(RegionId region, RouterId target,
   }
   // Descend the chain toward the target.
   RouterId at = current;
-  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-    append_link_hop(*it, at, hops);
+  for (int i = chain_len - 1; i >= 0; --i) {
+    append_link_hop(chain[i], at, hops);
     at = hops.back().router;
   }
   return at == target;
@@ -150,34 +193,47 @@ bool Forwarder::cloud_internal_chain(RegionId region, RouterId target,
 
 LinkId Forwarder::choose_egress(RegionId region,
                                 const std::vector<LinkId>& candidates,
-                                std::uint32_t flow_hash) const {
-  const GeoPoint& src =
-      world_->metro(world_->region(region).metro).location;
+                                std::uint32_t flow_hash,
+                                AsId direct_origin) const {
+  const double* metro_km =
+      &metro_km_[static_cast<std::size_t>(region.value) *
+                 world_->routers.size()];
   LinkId best = candidates.front();
   double best_score = 1e18;
+  LinkId best_direct;
+  double best_direct_score = 1e18;
+  bool any_direct = false;
   for (LinkId link : candidates) {
-    const Link& l = world_->link(link);
     // Cloud side is side_a by construction (the generator adds the border
     // interface first); use its router's metro for hot-potato choice, with
-    // per-destination ECMP jitter splitting near-equal candidates.
-    const RouterId border = world_->interface(l.side_a).router;
-    const double km = haversine_km(src, world_->router_location(border));
+    // per-destination ECMP jitter splitting near-equal candidates. Border
+    // router and client owner come from the per-link flat arrays.
+    const RouterId border = link_border_router_[link.value];
+    const double j = flow_jitter(flow_hash, link.value);
     const double candidate_score =
-        km * (1.0 + 0.35 * flow_jitter(flow_hash, link.value)) +
-        flow_jitter(flow_hash, link.value);
+        metro_km[border.value] * (1.0 + 0.35 * j) + j;
     if (candidate_score < best_score) {
       best_score = candidate_score;
       best = link;
     }
+    // A link is direct when its client side belongs to the origin AS.
+    if (direct_origin.valid() &&
+        link_client_owner_[link.value] == direct_origin) {
+      any_direct = true;
+      if (candidate_score < best_direct_score) {
+        best_direct_score = candidate_score;
+        best_direct = link;
+      }
+    }
   }
-  return best;
+  return any_direct ? best_direct : best;
 }
 
 PathOutcome Forwarder::walk_client_side(RouterId entry, Ipv4 dst,
+                                        InterfaceId dst_iface,
                                         std::vector<ForwardHop>& hops) const {
   // Destination interface (if the target is an interface address) takes
   // priority over the hosting-prefix router.
-  const InterfaceId dst_iface = world_->find_interface(dst);
   const Asn* origin_asn = announced_origin_.lookup(dst);
   AsId origin{};
   if (origin_asn != nullptr) {
@@ -195,9 +251,12 @@ PathOutcome Forwarder::walk_client_side(RouterId entry, Ipv4 dst,
   RouterId current = entry;
   AsId current_as = world_->router_owner(entry);
   int guard = 0;
+  // One cache probe for the whole walk: the published table is immutable,
+  // so every AS hop reads the same vector.
+  const std::vector<RouteEntry>& table = sim_->routes_to(origin);
   while (current_as != origin) {
     if (++guard > 32) return PathOutcome::kNoRoute;
-    const RouteEntry& route = sim_->routes_to(origin)[current_as.value];
+    const RouteEntry& route = table[current_as.value];
     if (!route.has_route()) return PathOutcome::kNoRoute;
     const AsId next = route.next_hop;
     const auto link = inter_as_link(current_as, next);
@@ -237,6 +296,20 @@ PathOutcome Forwarder::walk_client_side(RouterId entry, Ipv4 dst,
 
 ForwardPath Forwarder::path(const VantagePoint& vp, Ipv4 dst) const {
   ForwardPath out;
+  path_into(vp, dst, out);
+  return out;
+}
+
+void Forwarder::path_into(const VantagePoint& vp, Ipv4 dst,
+                          ForwardPath& out) const {
+  out.hops.clear();
+  out.outcome = PathOutcome::kNoRoute;
+  out.egress_interconnect = LinkId{};
+  // One address-table probe per path; every consumer below (and the
+  // traceroute engine, via the result) reads this copy.
+  const InterfaceId* found = iface_by_ip_.find(dst.value());
+  const InterfaceId dst_iface = found == nullptr ? InterfaceId{} : *found;
+  out.dst_interface = dst_iface;
   if (vp.is_cloud()) {
     const Region& region = world_->region(vp.region);
     const RouterId core = region.core_router;
@@ -248,53 +321,44 @@ ForwardPath Forwarder::path(const VantagePoint& vp, Ipv4 dst) const {
     if (entry != nullptr && !entry->egress.empty()) {
       // Prefer a direct route to the destination's origin AS over transit
       // re-announcements of the same prefix, then hot-potato.
-      std::vector<LinkId> direct;
+      AsId direct_origin{};
       const Asn* origin_asn = announced_origin_.lookup(dst);
       if (origin_asn != nullptr) {
         const auto as_it = world_->as_by_asn.find(origin_asn->value);
-        if (as_it != world_->as_by_asn.end()) {
-          for (LinkId link : entry->egress) {
-            // A link is direct when its client side belongs to the origin.
-            const Link& l = world_->link(link);
-            const RouterId rb = world_->interface(l.side_b).router;
-            if (world_->router_owner(rb) == as_it->second)
-              direct.push_back(link);
-          }
-        }
+        if (as_it != world_->as_by_asn.end()) direct_origin = as_it->second;
       }
-      const LinkId egress = choose_egress(
-          vp.region, direct.empty() ? entry->egress : direct, dst.value());
+      const LinkId egress =
+          choose_egress(vp.region, entry->egress, dst.value(), direct_origin);
       const Link& l = world_->link(egress);
       const RouterId border = world_->interface(l.side_a).router;
       if (!cloud_internal_chain(vp.region, border, dst.value(), out.hops)) {
         out.outcome = PathOutcome::kNoRoute;
-        return out;
+        return;
       }
       append_link_hop(egress, border, out.hops);
       out.egress_interconnect = egress;
       const RouterId client_router = out.hops.back().router;
       // Delivered if the target is this very interface/router; otherwise
       // continue the walk on the client side.
-      const InterfaceId dst_iface = world_->find_interface(dst);
       if (dst_iface.valid() &&
           world_->interface(dst_iface).router == client_router) {
         out.outcome = PathOutcome::kDelivered;
       } else {
-        out.outcome = walk_client_side(client_router, dst, out.hops);
+        out.outcome =
+            walk_client_side(client_router, dst, dst_iface, out.hops);
       }
-      return out;
+      return;
     }
     // No egress FIB entry: cloud-internal destination?
-    const InterfaceId iface = world_->find_interface(dst);
-    if (iface.valid()) {
-      const RouterId router = world_->interface(iface).router;
+    if (dst_iface.valid()) {
+      const RouterId router = world_->interface(dst_iface).router;
       const AsId owner = world_->router_owner(router);
       const OrgId cloud_org =
           world_->ases[world_->cloud_primary(vp.provider).value].org;
       if (world_->ases[owner.value].org == cloud_org) {
         if (cloud_internal_chain(vp.region, router, dst.value(), out.hops)) {
           out.outcome = PathOutcome::kDelivered;
-          return out;
+          return;
         }
       }
     }
@@ -307,17 +371,16 @@ ForwardPath Forwarder::path(const VantagePoint& vp, Ipv4 dst) const {
       if (world_->ases[owner.value].org == cloud_org &&
           cloud_internal_chain(vp.region, *hosting, dst.value(), out.hops)) {
         out.outcome = PathOutcome::kDelivered;
-        return out;
+        return;
       }
     }
     out.outcome = PathOutcome::kNoRoute;
-    return out;
+    return;
   }
 
   // Public-Internet vantage: start at the host router, no gateway hop.
   out.hops.push_back(ForwardHop{vp.host_router, InterfaceId{}, 0.0});
-  out.outcome = walk_client_side(vp.host_router, dst, out.hops);
-  return out;
+  out.outcome = walk_client_side(vp.host_router, dst, dst_iface, out.hops);
 }
 
 std::optional<double> Forwarder::rtt_to_address(const VantagePoint& vp,

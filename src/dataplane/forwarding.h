@@ -12,12 +12,12 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "controlplane/bgp.h"
 #include "dataplane/vantage.h"
-#include "net/prefix_trie.h"
+#include "net/flat_hash.h"
+#include "net/flat_prefix_trie.h"
 #include "topology/world.h"
 
 namespace cloudmap {
@@ -41,6 +41,10 @@ struct ForwardPath {
   // Set when the path crossed a cloud-client interconnect of the source
   // cloud (the ground-truth link the probe egressed through).
   LinkId egress_interconnect;
+  // Interface owning the destination address, if any. Resolved once per
+  // path so downstream consumers (the traceroute engine's final-hop check)
+  // need not repeat the address-table probe.
+  InterfaceId dst_interface;
 };
 
 class Forwarder {
@@ -50,6 +54,11 @@ class Forwarder {
 
   // Path from a vantage point to a destination address.
   ForwardPath path(const VantagePoint& vp, Ipv4 dst) const;
+
+  // As path(), but writes into a caller-owned result whose hop storage is
+  // reused across calls (the traceroute engine keeps one scratch path per
+  // engine, so steady-state tracing performs no per-path allocation).
+  void path_into(const VantagePoint& vp, Ipv4 dst, ForwardPath& out) const;
 
   // Round-trip propagation delay from a vantage point to the router owning
   // interface `target` (no response simulation — pure geometry); nullopt
@@ -90,21 +99,41 @@ class Forwarder {
   std::optional<LinkId> inter_as_link(AsId a, AsId b) const;
 
   // Pick the hot-potato egress among candidates for a source region, with
-  // per-destination ECMP tie-breaking among near-equal choices.
+  // per-destination ECMP tie-breaking among near-equal choices. When
+  // `direct_origin` is valid and any candidate lands in that AS, the choice
+  // is restricted to those direct candidates (preferring a direct route to
+  // the destination's origin over transit re-announcements).
   LinkId choose_egress(RegionId region, const std::vector<LinkId>& candidates,
-                       std::uint32_t flow_hash) const;
+                       std::uint32_t flow_hash, AsId direct_origin) const;
 
   // Walk from an entry router inside AS `current` toward the origin AS of
-  // `dst`, appending hops; returns outcome.
+  // `dst`, appending hops; returns outcome. `dst_iface` is the caller's
+  // already-resolved find_interface(dst).
   PathOutcome walk_client_side(RouterId entry, Ipv4 dst,
+                               InterfaceId dst_iface,
                                std::vector<ForwardHop>& hops) const;
 
   const World* world_;
   const BgpSimulator* sim_;
-  PrefixTrie<FibEntry> cloud_fib_[kCloudProviderCount];
-  PrefixTrie<Asn> announced_origin_;  // all announced prefixes → origin ASN
-  std::unordered_map<std::uint64_t, LinkId> intra_links_;
-  std::unordered_map<std::uint64_t, LinkId> inter_as_links_;
+  FlatPrefixTrie<FibEntry> cloud_fib_[kCloudProviderCount];
+  FlatPrefixTrie<Asn> announced_origin_;  // all announced prefixes → origin
+  FlatHashMap<std::uint64_t, LinkId> intra_links_;
+  FlatHashMap<std::uint64_t, LinkId> inter_as_links_;
+  // World::find_interface re-indexed into the flat probe table (built once,
+  // the world is immutable for the forwarder's lifetime).
+  FlatHashMap<std::uint32_t, InterfaceId> iface_by_ip_;
+  // Memoized great-circle distances, [region * routers.size() + router]:
+  // from the region core (backbone-climb scoring) and from the region's
+  // metro (hot-potato egress choice). Entries are the exact doubles
+  // haversine_km returns for the same endpoints, so the memo cannot perturb
+  // route choice.
+  std::vector<double> core_km_;
+  std::vector<double> metro_km_;
+  // Per-link egress metadata, indexed by link id: the cloud-side border
+  // router (side_a's router) and the owner AS of the client side. Folds the
+  // link → interface → router indirections out of the choose_egress scan.
+  std::vector<RouterId> link_border_router_;
+  std::vector<AsId> link_client_owner_;
 
   static std::uint64_t key(std::uint32_t a, std::uint32_t b) {
     return (static_cast<std::uint64_t>(a) << 32) | b;

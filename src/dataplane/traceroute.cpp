@@ -1,3 +1,4 @@
+// lint: hot-path
 #include "dataplane/traceroute.h"
 
 #include <algorithm>
@@ -42,13 +43,23 @@ double TracerouteEngine::jitter() {
 }
 
 TracerouteRecord TracerouteEngine::trace(const VantagePoint& vp, Ipv4 dst) {
-  const World& world = forwarder_->world();
   TracerouteRecord record;
+  trace_into(vp, dst, record);
+  return record;
+}
+
+void TracerouteEngine::trace_into(const VantagePoint& vp, Ipv4 dst,
+                                  TracerouteRecord& record) {
+  const World& world = forwarder_->world();
   record.vantage = vp;
   record.destination = dst;
+  record.status = TracerouteStatus::kUnreachable;
+  record.hops.clear();
 
-  const ForwardPath path = forwarder_->path(vp, dst);
+  forwarder_->path_into(vp, dst, path_scratch_);
+  const ForwardPath& path = path_scratch_;
   record.true_egress = path.egress_interconnect;
+  record.hops.reserve(path.hops.size() + options_.gap_limit + 1);
 
   int consecutive_misses = 0;
   for (const ForwardHop& hop : path.hops) {
@@ -84,7 +95,7 @@ TracerouteRecord TracerouteEngine::trace(const VantagePoint& vp, Ipv4 dst) {
     } else if (++consecutive_misses >= options_.gap_limit) {
       record.hops.push_back(out);
       record.status = TracerouteStatus::kGapLimit;
-      return record;
+      return;
     }
     record.hops.push_back(out);
   }
@@ -95,14 +106,14 @@ TracerouteRecord TracerouteEngine::trace(const VantagePoint& vp, Ipv4 dst) {
     record.status = TracerouteStatus::kGapLimit;
     for (int i = 0; i < options_.gap_limit; ++i)
       record.hops.push_back(TracerouteHop{});
-    return record;
+    return;
   }
 
   // The destination host itself: answers rarely (UDP probes to closed
   // ports; §3 reports ~7.7% completion). A destination that happens to be a
   // router interface answers like its router.
   ++probes_sent_;
-  const InterfaceId dst_iface = world.find_interface(dst);
+  const InterfaceId dst_iface = path.dst_interface;
   bool dst_answers = false;
   if (dst_iface.valid() &&
       world.interface(dst_iface).router == path.hops.back().router) {
@@ -125,7 +136,6 @@ TracerouteRecord TracerouteEngine::trace(const VantagePoint& vp, Ipv4 dst) {
     for (int i = 0; i < options_.gap_limit; ++i)
       record.hops.push_back(TracerouteHop{});
   }
-  return record;
 }
 
 }  // namespace cloudmap

@@ -65,6 +65,12 @@ class TracerouteEngine {
 
   TracerouteRecord trace(const VantagePoint& vp, Ipv4 dst);
 
+  // As trace(), but reuses the caller's record storage. The campaign keeps
+  // one record per chunk, so steady-state tracing allocates nothing: the
+  // forward path lands in the engine's scratch buffer and hops reuse the
+  // record's capacity. Draws the exact RNG stream trace() draws.
+  void trace_into(const VantagePoint& vp, Ipv4 dst, TracerouteRecord& record);
+
   // Number of probes issued so far (drives the simulated campaign clock).
   std::uint64_t probes_sent() const noexcept { return probes_sent_; }
 
@@ -75,6 +81,9 @@ class TracerouteEngine {
   Rng rng_;
   TracerouteOptions options_;
   std::uint64_t probes_sent_ = 0;
+  // Arena for the forwarder's answer; owned by the engine (one engine per
+  // worker chunk), never aliased by the records handed back to callers.
+  ForwardPath path_scratch_;
 };
 
 }  // namespace cloudmap

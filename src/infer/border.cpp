@@ -1,7 +1,5 @@
 #include "infer/border.h"
 
-#include <unordered_set>
-
 namespace cloudmap {
 
 std::optional<CandidateSegment> extract_segment(const TracerouteRecord& record,
@@ -13,12 +11,10 @@ std::optional<CandidateSegment> extract_segment(const TracerouteRecord& record,
   // Locate the CBI: the first responding hop whose org is neither unknown
   // (ASN 0 / private space) nor the cloud's.
   std::size_t cbi_index = record.hops.size();
-  std::vector<HopAnnotation> annotations(record.hops.size());
   for (std::size_t i = 0; i < record.hops.size(); ++i) {
     const TracerouteHop& hop = record.hops[i];
     if (!hop.responded) continue;
-    annotations[i] = annotator.annotate(hop.address);
-    const HopAnnotation& a = annotations[i];
+    const HopAnnotation a = annotator.annotate(hop.address);
     if (!a.org.is_unknown() && a.org != cloud_org) {
       cbi_index = i;
       break;
@@ -44,20 +40,24 @@ std::optional<CandidateSegment> extract_segment(const TracerouteRecord& record,
   }
   // Exclusion: duplicates or IP-level loops before the border (a repeated
   // address that is non-adjacent is a loop; adjacent repetition a duplicate
-  // — both disqualify the probe).
-  {
-    std::unordered_set<std::uint32_t> seen;
-    for (std::size_t i = 0; i <= cbi_index; ++i) {
-      const std::uint32_t value = record.hops[i].address.value();
-      if (!seen.insert(value).second) {
-        const bool adjacent =
-            i > 0 && record.hops[i - 1].address.value() == value;
-        if (adjacent)
-          ++stats.duplicate_before_border;
-        else
-          ++stats.loop;
-        return std::nullopt;
+  // — both disqualify the probe). The window ends at the CBI — a handful of
+  // hops — so a quadratic scan replaces the per-trace hash-set allocation.
+  for (std::size_t i = 1; i <= cbi_index; ++i) {
+    const std::uint32_t value = record.hops[i].address.value();
+    bool repeated = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (record.hops[j].address.value() == value) {
+        repeated = true;
+        break;
       }
+    }
+    if (repeated) {
+      const bool adjacent = record.hops[i - 1].address.value() == value;
+      if (adjacent)
+        ++stats.duplicate_before_border;
+      else
+        ++stats.loop;
+      return std::nullopt;
     }
   }
   // Exclusion: the CBI is the probed destination itself (likely a response

@@ -81,8 +81,11 @@ Campaign::SweepChunkResult Campaign::sweep_chunk(
 
   const ReprobePolicy reprobe = config_.reprobe.clamped();
   std::vector<std::size_t> failed;
+  // One record per chunk: trace_into reuses its hop storage, so the probe
+  // loop stops allocating once the deepest trace has sized the buffers.
+  TracerouteRecord record;
   for (std::size_t t = begin; t < end; ++t) {
-    const TracerouteRecord record = engine.trace(vp, targets[t]);
+    engine.trace_into(vp, targets[t], record);
     process(record);
     if (reprobe.enabled() && record.status != TracerouteStatus::kCompleted)
       failed.push_back(t);
@@ -103,7 +106,7 @@ Campaign::SweepChunkResult Campaign::sweep_chunk(
       ++result.backoff_waits;
       TracerouteEngine retry_engine(*forwarder_, retry_rng.next(),
                                     config_.traceroute);
-      const TracerouteRecord record = retry_engine.trace(vp, targets[t]);
+      retry_engine.trace_into(vp, targets[t], record);
       ++result.retries;
       const bool extracted = process(record);
       result.probes += retry_engine.probes_sent();

@@ -1,3 +1,4 @@
+// lint: hot-path
 #include "io/snapshot.h"
 
 #include <algorithm>
@@ -17,22 +18,28 @@ constexpr std::size_t kHeaderSize = 6 + 2 + 4;
 constexpr std::size_t kTableEntrySize = 4 + 8 + 8 + 4;
 
 // --- little-endian append helpers -----------------------------------------
+//
+// Buffered writers: each fixed-width field is serialized into a stack
+// buffer and appended in one call — a single capacity check and memcpy —
+// instead of one push_back (and one growth check) per byte. The encoders
+// below additionally reserve each section's exact payload size up front,
+// so building a section performs no reallocation at all. The bytes written
+// are identical to the old per-byte path.
+
+template <typename T>
+void put_le(std::string& out, T v) {
+  char buf[sizeof(T)];
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.append(buf, sizeof(T));
+}
 
 void put_u8(std::string& out, std::uint8_t v) {
   out.push_back(static_cast<char>(v));
 }
-void put_u16(std::string& out, std::uint16_t v) {
-  for (int i = 0; i < 2; ++i)
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-void put_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i)
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i)
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
+void put_u16(std::string& out, std::uint16_t v) { put_le(out, v); }
+void put_u32(std::string& out, std::uint32_t v) { put_le(out, v); }
+void put_u64(std::string& out, std::uint64_t v) { put_le(out, v); }
 void put_i32(std::string& out, std::int32_t v) {
   put_u32(out, static_cast<std::uint32_t>(v));
 }
@@ -118,6 +125,10 @@ std::string encode_meta(const RunSnapshot& s) {
 
 std::string encode_segments(const RunSnapshot& s) {
   std::string out;
+  std::size_t payload = 4;
+  for (const SnapshotSegment& seg : s.segments)
+    payload += 43 + 4 * seg.regions.size() + 4 * seg.dest_slash24s.size();
+  out.reserve(payload);
   put_u32(out, static_cast<std::uint32_t>(s.segments.size()));
   for (const SnapshotSegment& seg : s.segments) {
     put_u32(out, seg.abi.value());
@@ -143,6 +154,7 @@ std::string encode_segments(const RunSnapshot& s) {
 
 std::string encode_pins(const RunSnapshot& s) {
   std::string out;
+  out.reserve(8 + 14 * s.pins.size() + 8 * s.regional.size());
   put_u32(out, static_cast<std::uint32_t>(s.pins.size()));
   for (const SnapshotPin& pin : s.pins) {
     put_u32(out, pin.address);
@@ -161,6 +173,10 @@ std::string encode_pins(const RunSnapshot& s) {
 
 std::string encode_aliases(const RunSnapshot& s) {
   std::string out;
+  std::size_t payload = 4;
+  for (const std::vector<std::uint32_t>& set : s.alias_sets)
+    payload += 4 + 4 * set.size();
+  out.reserve(payload);
   put_u32(out, static_cast<std::uint32_t>(s.alias_sets.size()));
   for (const std::vector<std::uint32_t>& set : s.alias_sets) {
     put_u32(out, static_cast<std::uint32_t>(set.size()));
@@ -171,6 +187,13 @@ std::string encode_aliases(const RunSnapshot& s) {
 
 std::string encode_metrics(const RunSnapshot& s, std::uint16_t version) {
   std::string out;
+  std::size_t payload = 4;
+  for (const StageReport& report : s.stage_reports) {
+    payload += 69 + (version >= 2 ? 32 : 0);
+    for (const auto& [name, value] : report.tallies)
+      payload += 4 + name.size() + 8;
+  }
+  out.reserve(payload);
   put_u32(out, static_cast<std::uint32_t>(s.stage_reports.size()));
   for (const StageReport& report : s.stage_reports) {
     put_u8(out, static_cast<std::uint8_t>(report.id));
@@ -200,6 +223,7 @@ std::string encode_metrics(const RunSnapshot& s, std::uint16_t version) {
 
 std::string encode_confidence(const RunSnapshot& s) {
   std::string out;
+  out.reserve(4 + 24 * s.segments.size());
   put_u32(out, static_cast<std::uint32_t>(s.segments.size()));
   for (const SnapshotSegment& seg : s.segments) {
     put_u32(out, seg.observations);
@@ -427,25 +451,28 @@ void save_snapshot(std::ostream& out, const RunSnapshot& snapshot,
     sections.push_back(
         {SnapshotSection::kConfidence, encode_confidence(canonical)});
 
-  std::string header;
-  header.append(kMagic, sizeof(kMagic));
-  put_u16(header, version);
-  put_u32(header, static_cast<std::uint32_t>(sections.size()));
+  // Assemble header, table, and payloads into one buffer so the stream sees
+  // a single write (the bytes are identical to writing section by section).
+  std::size_t total = kHeaderSize + sections.size() * kTableEntrySize;
+  for (const Section& section : sections) total += section.payload.size();
+  std::string file;
+  file.reserve(total);
+  file.append(kMagic, sizeof(kMagic));
+  put_u16(file, version);
+  put_u32(file, static_cast<std::uint32_t>(sections.size()));
   std::uint64_t offset = kHeaderSize + sections.size() * kTableEntrySize;
   for (const Section& section : sections) {
-    put_u32(header, static_cast<std::uint32_t>(section.id));
-    put_u64(header, offset);
-    put_u64(header, section.payload.size());
-    put_u32(header,
+    put_u32(file, static_cast<std::uint32_t>(section.id));
+    put_u64(file, offset);
+    put_u64(file, section.payload.size());
+    put_u32(file,
             snapshot_crc32(
                 reinterpret_cast<const unsigned char*>(section.payload.data()),
                 section.payload.size()));
     offset += section.payload.size();
   }
-  out.write(header.data(), static_cast<std::streamsize>(header.size()));
-  for (const Section& section : sections)
-    out.write(section.payload.data(),
-              static_cast<std::streamsize>(section.payload.size()));
+  for (const Section& section : sections) file.append(section.payload);
+  out.write(file.data(), static_cast<std::streamsize>(file.size()));
 }
 
 bool save_snapshot_file(const std::string& path, const RunSnapshot& snapshot,

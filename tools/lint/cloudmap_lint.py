@@ -46,6 +46,11 @@ Rules (C++ unless noted):
                           block never mixes <...> and "..." styles; the
                           own header of a .cpp comes first.
   bad-pragma              a lint pragma with an empty reason.
+  hot-path-container      std::map / std::set in a file carrying a
+                          `// lint: hot-path` marker — node-based containers
+                          chase a pointer per element; hot paths use the
+                          flat structures (FlatPrefixTrie, FlatHashMap,
+                          sorted vectors).
   py-bare-except          (Python) a bare `except:` clause.
   py-wall-clock           (Python) wall-clock reads — diff and validation
                           tools must be deterministic.
@@ -145,6 +150,10 @@ RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*:\s*(.*)\)?\s*\{?\s*$")
 THREAD_RE = re.compile(r"\bstd::thread\b|#\s*include\s*<thread>")
 THREAD_HOME = "src/util/parallel.h"
 
+# Files that declare themselves hot paths opt into the flat-structure rule.
+HOT_PATH_MARKER_RE = re.compile(r"lint:\s*hot-path\s*$|lint:\s*hot-path\s")
+HOT_PATH_CONTAINER_RE = re.compile(r"\bstd::(?:map|set)\s*<")
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"])([^>"]+)[>"]')
 
 
@@ -206,6 +215,16 @@ def check_cpp(rel_path, abs_path, lines, findings):
                         "iteration over an unordered container on a "
                         "serialization path — sort the output or annotate "
                         "`// lint: sorted-ok(<reason>)`"))
+
+    # --- hot-path-container (only in files carrying the hot-path marker)
+    if any(HOT_PATH_MARKER_RE.search(line) for line in lines):
+        for i, raw in enumerate(lines):
+            if HOT_PATH_CONTAINER_RE.search(strip_comment(raw)):
+                findings.append(Finding(
+                    rel_path, i + 1, "hot-path-container",
+                    "std::map/std::set in a `// lint: hot-path` file — "
+                    "node-based containers chase a pointer per element; "
+                    "use FlatPrefixTrie, FlatHashMap, or a sorted vector"))
 
     # --- raw-thread
     if rel_path != THREAD_HOME:
@@ -374,7 +393,8 @@ def main(argv=None):
     if args.list_rules:
         for rule in ("nondeterministic-call", "unordered-iteration",
                      "raw-thread", "pragma-once", "include-order",
-                     "bad-pragma", "py-bare-except", "py-wall-clock"):
+                     "bad-pragma", "hot-path-container", "py-bare-except",
+                     "py-wall-clock"):
             print(rule)
         return 0
 

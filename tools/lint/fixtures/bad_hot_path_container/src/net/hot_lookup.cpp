@@ -1,0 +1,16 @@
+// Fixture: a declared hot path reaching for node-based containers.
+// lint: hot-path
+#include <map>
+#include <set>
+
+namespace cloudmap {
+
+int count_routes() {
+  std::map<int, int> routes;  // hot-path-container: std::map
+  std::set<int> seen;         // hot-path-container: std::set
+  routes[1] = 2;
+  seen.insert(1);
+  return static_cast<int>(routes.size() + seen.size());
+}
+
+}  // namespace cloudmap

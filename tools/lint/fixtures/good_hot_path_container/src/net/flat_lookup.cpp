@@ -1,0 +1,13 @@
+// Fixture: a declared hot path using flat storage lints clean.
+// lint: hot-path
+#include <vector>
+
+namespace cloudmap {
+
+int count_routes() {
+  std::vector<int> routes;
+  routes.push_back(1);
+  return static_cast<int>(routes.size());
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,13 @@
+// Fixture: node-based containers stay legal in files without the marker
+// (cold paths value the stable references std::map hands out).
+#include <map>
+
+namespace cloudmap {
+
+int count_counters() {
+  std::map<int, int> counters;
+  counters[1] = 2;
+  return static_cast<int>(counters.size());
+}
+
+}  // namespace cloudmap

@@ -23,6 +23,7 @@ EXPECTED_RULE = {
     "bad_pragma_once": "pragma-once",
     "bad_include_order": "include-order",
     "bad_pragma_reason": "bad-pragma",
+    "bad_hot_path_container": "hot-path-container",
     "bad_py_bare_except": "py-bare-except",
     "bad_py_wall_clock": "py-wall-clock",
 }

@@ -1,0 +1,276 @@
+// serve_loadgen — the client-driven counterpart of BM_QuerySaturation:
+// instead of calling QueryEngine in-process, it starts a real serve::Server
+// on a loopback port over a freshly saved format-v3 snapshot, saturates it
+// with concurrent serve::Client threads issuing the same query mix, and
+// reports mean/p50/p99 round-trip latency per thread count into the
+// committed bench trajectory (BENCH_serve_saturation.json, gated by
+// tools/bench_compare.py like every other family).
+//
+// Mid-run the main thread hot-swaps the daemon between two snapshots built
+// from different world seeds; the bench FAILS (exit 1) if any request is
+// dropped or errors during the swaps — the zero-failed-query guarantee is
+// perf-gated here and CI-gated in the serve-smoke job.
+//
+// Knobs: CLOUDMAP_LOADGEN_REQUESTS (requests per client thread, default
+// 800). Runs argument-free like every other bench binary.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "io/snapshot.h"
+#include "query/request.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "topology/generator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cloudmap;
+
+constexpr int kSwapsPerPhase = 4;
+
+// Builds a paper-shape world with `seed`, runs the pipeline, and saves the
+// resulting snapshot (format v3, the zero-copy layout the daemon maps) to
+// `path`. Returns false if the file cannot be written.
+bool save_world_snapshot(std::uint64_t seed, const std::string& path) {
+  GeneratorConfig config = GeneratorConfig::paper_shape();
+  config.seed = seed;
+  const World world = generate_world(config);
+  Pipeline pipeline(world);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  save_snapshot(out, pipeline.run_snapshot());
+  return out.good();
+}
+
+int requests_per_thread() {
+  if (const char* env = std::getenv("CLOUDMAP_LOADGEN_REQUESTS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return 800;
+}
+
+// The BM_QuerySaturation mix, expressed as QueryRequests: a 1/8 split over
+// counts / peers_of / vpi_candidates / interfaces_in with the remaining
+// half going to address lookups.
+QueryRequest mix_request(std::uint64_t roll,
+                         const std::vector<std::uint32_t>& peers) {
+  QueryRequest request;
+  switch (roll & 7u) {
+    case 0:
+      request.kind = QueryKind::kCounts;
+      break;
+    case 1:
+      request.kind = QueryKind::kPeersOf;
+      request.asn = peers.empty()
+                        ? 0u
+                        : peers[static_cast<std::size_t>(roll) % peers.size()];
+      break;
+    case 2:
+      request.kind = QueryKind::kVpiCandidates;
+      break;
+    case 3:
+      request.kind = QueryKind::kInterfacesIn;
+      request.metro = static_cast<std::uint32_t>(roll >> 8) % 64;
+      break;
+    default:
+      request.kind = QueryKind::kLookup;
+      request.address = static_cast<std::uint32_t>(roll >> 16);
+      break;
+  }
+  return request;
+}
+
+struct PhaseResult {
+  std::vector<std::uint64_t> latencies_ns;  // one per completed request
+  std::uint64_t failures = 0;
+};
+
+// One client thread: its own connection, its own deterministic query
+// stream (thread index expanded through splitmix64 exactly as in
+// BM_QuerySaturation, so no two threads replay the same sequence).
+void client_worker(std::uint16_t port, int thread_index, int requests,
+                   const std::vector<std::uint32_t>& peers,
+                   PhaseResult* result) {
+  std::string error;
+  std::optional<serve::Client> client =
+      serve::Client::connect("127.0.0.1", port, &error);
+  if (!client) {
+    std::fprintf(stderr, "loadgen: %s\n", error.c_str());
+    result->failures += static_cast<std::uint64_t>(requests);
+    return;
+  }
+  std::uint64_t seed_state =
+      0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(thread_index);
+  Rng rng(splitmix64(seed_state));
+  result->latencies_ns.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    const QueryRequest request = mix_request(rng.next(), peers);
+    QueryResponse response;
+    const auto start = std::chrono::steady_clock::now();
+    const bool ok = client->query(request, response, &error);
+    const auto stop = std::chrono::steady_clock::now();
+    if (!ok || response.status != QueryStatus::kOk) {
+      ++result->failures;
+      if (!ok) {
+        std::fprintf(stderr, "loadgen: thread %d request %d: %s\n",
+                     thread_index, i, error.c_str());
+        return;  // connection gone; remaining requests count as failures
+      }
+      continue;
+    }
+    result->latencies_ns.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+            .count()));
+  }
+}
+
+std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[rank < sorted.size() ? rank : sorted.size() - 1];
+}
+
+}  // namespace
+
+int main() {
+  const std::string path_a = "serve_loadgen_a.snap";
+  const std::string path_b = "serve_loadgen_b.snap";
+  std::printf("serve_loadgen: building two paper-shape snapshots...\n");
+  if (!save_world_snapshot(1, path_a) || !save_world_snapshot(2, path_b)) {
+    std::fprintf(stderr, "loadgen: cannot write snapshot files\n");
+    return 1;
+  }
+
+  MetricsRegistry registry(true);
+  serve::Server::Config config;
+  config.port = 0;  // kernel-assigned loopback port
+  config.max_clients = 64;
+  serve::Server server(config, &registry);
+  std::string error;
+  if (!server.start(path_a, &error)) {
+    std::fprintf(stderr, "loadgen: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("serve_loadgen: daemon on 127.0.0.1:%u\n",
+              static_cast<unsigned>(server.port()));
+
+  // Fetch the peer-ASN list once over the wire; every thread's peers_of
+  // stream draws from it.
+  std::vector<std::uint32_t> peers;
+  {
+    std::optional<serve::Client> control =
+        serve::Client::connect("127.0.0.1", server.port(), &error);
+    QueryRequest request;
+    request.kind = QueryKind::kPeerList;
+    QueryResponse response;
+    if (!control || !control->query(request, response, &error)) {
+      std::fprintf(stderr, "loadgen: peer list: %s\n", error.c_str());
+      return 1;
+    }
+    peers = response.items;
+  }
+
+  const int requests = requests_per_thread();
+  std::vector<int> thread_counts = {1, 2, 4};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > 4) thread_counts.push_back(hw);
+
+  std::vector<cloudmap::bench::TrajectoryEntry> entries;
+  std::uint64_t total_failures = 0;
+  for (const int threads : thread_counts) {
+    std::vector<PhaseResult> results(static_cast<std::size_t>(threads));
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+      workers.emplace_back(client_worker, server.port(), t, requests,
+                           std::cref(peers),
+                           &results[static_cast<std::size_t>(t)]);
+
+    // Hot-swap the served snapshot back and forth while the clients hammer
+    // it. Every request issued across a swap must still succeed.
+    std::optional<serve::Client> swapper =
+        serve::Client::connect("127.0.0.1", server.port(), &error);
+    for (int s = 0; s < kSwapsPerPhase; ++s) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      const std::string& next = (s % 2 == 0) ? path_b : path_a;
+      if (!swapper || !swapper->swap(next, &error)) {
+        std::fprintf(stderr, "loadgen: swap: %s\n", error.c_str());
+        ++total_failures;
+      }
+    }
+    for (std::thread& worker : workers) worker.join();
+
+    std::vector<std::uint64_t> all;
+    std::uint64_t failures = 0;
+    for (const PhaseResult& result : results) {
+      all.insert(all.end(), result.latencies_ns.begin(),
+                 result.latencies_ns.end());
+      failures += result.failures;
+    }
+    total_failures += failures;
+    std::sort(all.begin(), all.end());
+    double mean = 0.0;
+    for (const std::uint64_t v : all) mean += static_cast<double>(v);
+    if (!all.empty()) mean /= static_cast<double>(all.size());
+    const std::uint64_t p50 = percentile(all, 0.50);
+    const std::uint64_t p99 = percentile(all, 0.99);
+    std::printf(
+        "threads %d: %zu requests, %llu failed, mean %.1f us, "
+        "p50 %.1f us, p99 %.1f us\n",
+        threads, all.size(), static_cast<unsigned long long>(failures),
+        mean / 1e3, static_cast<double>(p50) / 1e3,
+        static_cast<double>(p99) / 1e3);
+
+    const std::string prefix =
+        "ServeSaturation/threads:" + std::to_string(threads);
+    const auto iterations = static_cast<std::int64_t>(all.size());
+    const std::vector<std::pair<std::string, double>> counters = {
+        {"requests", static_cast<double>(all.size())},
+        {"failed", static_cast<double>(failures)},
+        {"swaps", static_cast<double>(kSwapsPerPhase)},
+    };
+    entries.push_back({prefix + "/mean", iterations, mean, threads, counters});
+    entries.push_back({prefix + "/p50", iterations,
+                       static_cast<double>(p50), threads, {}});
+    entries.push_back({prefix + "/p99", iterations,
+                       static_cast<double>(p99), threads, {}});
+  }
+
+  const serve::ServerStats stats = server.stats();
+  std::printf("server: served %llu, failed %llu, swaps %llu\n",
+              static_cast<unsigned long long>(stats.served),
+              static_cast<unsigned long long>(stats.failed),
+              static_cast<unsigned long long>(stats.swaps));
+  server.stop();
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+
+  cloudmap::bench::write_trajectory("serve_saturation", entries, nullptr,
+                                    /*threads=*/1, nullptr);
+
+  if (total_failures != 0 || stats.failed != 0) {
+    std::fprintf(stderr,
+                 "loadgen: FAILED — %llu client failures, %llu server-side "
+                 "failures (hot-swap must not drop queries)\n",
+                 static_cast<unsigned long long>(total_failures),
+                 static_cast<unsigned long long>(stats.failed));
+    return 1;
+  }
+  std::printf("serve_loadgen: zero failed queries across %d hot-swaps/phase\n",
+              kSwapsPerPhase);
+  return 0;
+}

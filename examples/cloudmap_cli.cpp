@@ -10,7 +10,16 @@
 //                                         (counts | peers [asn] | metro N |
 //                                          vpis | lookup IP | confidence |
 //                                          resave OUT)
+//   cloudmap_cli remote HOST:PORT ACTION [ARG]
+//                                         same query actions against a
+//                                         running cloudmap_serve daemon,
+//                                         plus swap PATH | stats | ping |
+//                                         stop
 //   cloudmap_cli diff A B                 longitudinal snapshot comparison
+//
+// Local and remote queries build the same QueryRequest and print through
+// the same code; the only difference is whether execute() runs in-process
+// or across the serve wire protocol.
 //
 // Shared flags (parsed by cloudmap::options_from_env_and_args, so the CLI,
 // the examples, and the benches agree on validation and precedence):
@@ -40,6 +49,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -55,6 +65,8 @@
 #include "query/diff.h"
 #include "query/engine.h"
 #include "query/fabric_index.h"
+#include "query/request.h"
+#include "serve/client.h"
 
 using namespace cloudmap;
 
@@ -227,24 +239,143 @@ void print_counts(const FabricCounts& c) {
               c.mean_confidence, c.confident_segments);
 }
 
-void print_segment_line(const FabricIndex& index, std::uint32_t seg_index) {
-  const SnapshotSegment& seg = index.segments()[seg_index];
-  std::printf("  [%u] %s > %s  peer AS%u  %s%s%s  conf %.3f\n", seg_index,
-              seg.abi.to_string().c_str(), seg.cbi.to_string().c_str(),
-              seg.peer_asn.value, to_string(seg.confirmation),
-              seg.ixp ? " ixp" : "", seg.vpi ? " vpi" : "", seg.confidence);
+void print_brief_line(const SegmentBrief& b) {
+  std::printf("  [%u] %s > %s  peer AS%u  %s%s%s  conf %.3f\n", b.index,
+              Ipv4(b.abi).to_string().c_str(), Ipv4(b.cbi).to_string().c_str(),
+              b.peer_asn, to_string(static_cast<Confirmation>(b.confirmation)),
+              b.ixp ? " ixp" : "", b.vpi ? " vpi" : "", b.confidence);
 }
 
-// Drop listed segments below the --min-confidence threshold (no-op when the
-// flag was not given).
-std::vector<std::uint32_t> apply_min_confidence(
-    const FabricIndex& index, std::vector<std::uint32_t> segs,
-    double min_confidence) {
-  if (min_confidence < 0.0) return segs;
-  std::vector<std::uint32_t> out;
-  for (const std::uint32_t s : segs)
-    if (index.segments()[s].confidence >= min_confidence) out.push_back(s);
-  return out;
+// How a query actually runs: in-process (engine.execute) or across the
+// serve wire protocol (serve::Client::query). Returns false with a
+// diagnostic when transport or execution fails.
+using QueryExec = std::function<bool(const QueryRequest&, QueryResponse&,
+                                     std::string*)>;
+
+// Execute one request and surface transport or request errors uniformly.
+bool run_query(const QueryExec& exec, const QueryRequest& request,
+               QueryResponse& response) {
+  std::string error;
+  if (!exec(request, response, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return false;
+  }
+  if (response.status != QueryStatus::kOk) {
+    std::fprintf(stderr, "query failed: %s\n", response.error.c_str());
+    return false;
+  }
+  return true;
+}
+
+// The shared ACTION [ARG] front end for `query` (local) and `remote`
+// (daemon): builds one QueryRequest per action, runs it through `exec`,
+// and prints from the QueryResponse alone — so local and remote output are
+// identical bytes. `at` is the index of ACTION in args.
+int run_action(const QueryExec& exec, const std::vector<std::string>& args,
+               std::size_t at, double min_confidence) {
+  const std::string& action = args[at];
+  QueryRequest request;
+  request.min_confidence = min_confidence;
+  request.want_briefs = true;
+  QueryResponse response;
+
+  if (action == "counts") {
+    request.kind = QueryKind::kCounts;
+    if (!run_query(exec, request, response)) return 1;
+    print_counts(*response.counts);
+  } else if (action == "peers") {
+    if (args.size() > at + 1) {
+      request.kind = QueryKind::kPeersOf;
+      request.asn = static_cast<std::uint32_t>(
+          std::strtoul(args[at + 1].c_str(), nullptr, 10));
+      if (!run_query(exec, request, response)) return 1;
+      std::printf("AS%u: %zu segments\n", request.asn,
+                  response.items.size());
+      for (const SegmentBrief& b : response.briefs) print_brief_line(b);
+    } else {
+      request.kind = QueryKind::kPeerList;
+      if (!run_query(exec, request, response)) return 1;
+      std::printf("%zu peer ASes\n", response.items.size());
+      for (const std::uint32_t asn : response.items) {
+        QueryRequest per_asn;
+        per_asn.kind = QueryKind::kPeersOf;
+        per_asn.asn = asn;
+        QueryResponse segs;
+        if (!run_query(exec, per_asn, segs)) return 1;
+        std::printf("  AS%-10u %zu segments\n", asn, segs.items.size());
+      }
+    }
+  } else if (action == "metro") {
+    if (args.size() < at + 2) {
+      std::fprintf(stderr, "query metro requires a metro index\n");
+      return 2;
+    }
+    request.kind = QueryKind::kInterfacesIn;
+    request.metro = static_cast<std::uint32_t>(
+        std::strtoul(args[at + 1].c_str(), nullptr, 10));
+    if (!run_query(exec, request, response)) return 1;
+    std::printf("metro %u: %zu pinned interfaces\n", request.metro,
+                response.items.size());
+    for (const std::uint32_t a : response.items)
+      std::printf("  %s\n", Ipv4(a).to_string().c_str());
+  } else if (action == "vpis") {
+    request.kind = QueryKind::kVpiCandidates;
+    if (!run_query(exec, request, response)) return 1;
+    std::printf("%zu VPI segments\n", response.items.size());
+    for (const SegmentBrief& b : response.briefs) print_brief_line(b);
+  } else if (action == "confidence") {
+    request.kind = QueryKind::kConfidenceHistogram;
+    if (!run_query(exec, request, response)) return 1;
+    const ConfidenceHistogram& hist = *response.histogram;
+    std::printf("confidence over %zu segments: mean %.3f, min %.3f, "
+                "max %.3f\n",
+                hist.segments, hist.mean, hist.min, hist.max);
+    for (std::size_t b = 0; b < hist.bins.size(); ++b)
+      std::printf("  [%.1f, %.1f%c %zu\n", 0.1 * static_cast<double>(b),
+                  0.1 * static_cast<double>(b + 1),
+                  b + 1 == hist.bins.size() ? ']' : ')', hist.bins[b]);
+    if (min_confidence >= 0.0) {
+      QueryRequest threshold;
+      threshold.kind = QueryKind::kMinConfidence;
+      threshold.min_confidence = min_confidence;
+      threshold.want_briefs = true;
+      QueryResponse matches;
+      if (!run_query(exec, threshold, matches)) return 1;
+      std::printf("%zu segments with confidence >= %.3f\n",
+                  matches.items.size(), min_confidence);
+      for (const SegmentBrief& b : matches.briefs) print_brief_line(b);
+    }
+  } else if (action == "lookup") {
+    if (args.size() < at + 2) {
+      std::fprintf(stderr, "query lookup requires an IPv4 address\n");
+      return 2;
+    }
+    const std::optional<Ipv4> address = Ipv4::parse(args[at + 1]);
+    if (!address) {
+      std::fprintf(stderr, "bad IPv4 address '%s'\n", args[at + 1].c_str());
+      return 2;
+    }
+    request.kind = QueryKind::kLookup;
+    request.address = address->value();
+    if (!run_query(exec, request, response)) return 1;
+    if (!response.found) {
+      std::printf("%s: no covering fabric entry\n",
+                  address->to_string().c_str());
+    } else {
+      const Prefix prefix(Ipv4(response.prefix_network),
+                          response.prefix_length);
+      std::printf("%s: %s %s%s%s, %zu segments\n",
+                  address->to_string().c_str(), prefix.to_string().c_str(),
+                  response.is_interface ? "interface" : "destination cone",
+                  response.role_abi ? " abi" : "",
+                  response.role_cbi ? " cbi" : "", response.items.size());
+      for (const SegmentBrief& b : response.briefs) print_brief_line(b);
+    }
+  } else {
+    std::fprintf(stderr, "unknown query action '%s'\n", action.c_str());
+    return 2;
+  }
+  return 0;
 }
 
 // Serve typed queries from a saved snapshot; no world or pipeline needed.
@@ -267,77 +398,7 @@ int cmd_query(const std::vector<std::string>& args,
   const QueryEngine engine(index, &registry);
   const std::string& action = args[2];
 
-  if (action == "counts") {
-    print_counts(engine.counts());
-  } else if (action == "peers") {
-    if (args.size() > 3) {
-      const Asn asn{
-          static_cast<std::uint32_t>(std::strtoul(args[3].c_str(), nullptr, 10))};
-      const std::vector<std::uint32_t> segs = apply_min_confidence(
-          index, engine.peers_of(asn), front.min_confidence);
-      std::printf("AS%u: %zu segments\n", asn.value, segs.size());
-      for (std::uint32_t s : segs) print_segment_line(index, s);
-    } else {
-      std::printf("%zu peer ASes\n", index.peer_asns().size());
-      for (std::uint32_t asn : index.peer_asns())
-        std::printf("  AS%-10u %zu segments\n", asn,
-                    engine.peers_of(Asn{asn}).size());
-    }
-  } else if (action == "metro") {
-    if (args.size() < 4) {
-      std::fprintf(stderr, "query metro requires a metro index\n");
-      return 2;
-    }
-    const std::uint32_t metro =
-        static_cast<std::uint32_t>(std::strtoul(args[3].c_str(), nullptr, 10));
-    const std::vector<std::uint32_t> addrs = engine.interfaces_in(metro);
-    std::printf("metro %u: %zu pinned interfaces\n", metro, addrs.size());
-    for (std::uint32_t a : addrs)
-      std::printf("  %s\n", Ipv4(a).to_string().c_str());
-  } else if (action == "vpis") {
-    const std::vector<std::uint32_t> segs = apply_min_confidence(
-        index, engine.vpi_candidates(), front.min_confidence);
-    std::printf("%zu VPI segments\n", segs.size());
-    for (std::uint32_t s : segs) print_segment_line(index, s);
-  } else if (action == "confidence") {
-    const ConfidenceHistogram& hist = engine.confidence_histogram();
-    std::printf("confidence over %zu segments: mean %.3f, min %.3f, "
-                "max %.3f\n",
-                hist.segments, hist.mean, hist.min, hist.max);
-    for (std::size_t b = 0; b < hist.bins.size(); ++b)
-      std::printf("  [%.1f, %.1f%c %zu\n", 0.1 * static_cast<double>(b),
-                  0.1 * static_cast<double>(b + 1),
-                  b + 1 == hist.bins.size() ? ']' : ')', hist.bins[b]);
-    if (front.min_confidence >= 0.0) {
-      const std::vector<std::uint32_t> segs =
-          engine.segments_min_confidence(front.min_confidence);
-      std::printf("%zu segments with confidence >= %.3f\n", segs.size(),
-                  front.min_confidence);
-      for (std::uint32_t s : segs) print_segment_line(index, s);
-    }
-  } else if (action == "lookup") {
-    if (args.size() < 4) {
-      std::fprintf(stderr, "query lookup requires an IPv4 address\n");
-      return 2;
-    }
-    const std::optional<Ipv4> address = Ipv4::parse(args[3]);
-    if (!address) {
-      std::fprintf(stderr, "bad IPv4 address '%s'\n", args[3].c_str());
-      return 2;
-    }
-    const std::optional<LookupHit> hit = engine.lookup(*address);
-    if (!hit) {
-      std::printf("%s: no covering fabric entry\n",
-                  address->to_string().c_str());
-    } else {
-      std::printf("%s: %s %s%s%s, %zu segments\n",
-                  address->to_string().c_str(), hit->prefix.to_string().c_str(),
-                  hit->is_interface ? "interface" : "destination cone",
-                  hit->abi ? " abi" : "", hit->cbi ? " cbi" : "",
-                  hit->segments->size());
-      for (std::uint32_t s : *hit->segments) print_segment_line(index, s);
-    }
-  } else if (action == "resave") {
+  if (action == "resave") {
     if (args.size() < 4) {
       std::fprintf(stderr, "query resave requires an output path\n");
       return 2;
@@ -348,8 +409,14 @@ int cmd_query(const std::vector<std::string>& args,
     }
     std::printf("resaved %s -> %s\n", args[1].c_str(), args[3].c_str());
   } else {
-    std::fprintf(stderr, "unknown query action '%s'\n", action.c_str());
-    return 2;
+    const QueryExec local = [&engine](const QueryRequest& request,
+                                      QueryResponse& response,
+                                      std::string*) {
+      response = engine.execute(request);
+      return true;
+    };
+    if (const int rc = run_action(local, args, 2, front.min_confidence))
+      return rc;
   }
 
   if (!front.metrics_json.empty()) {
@@ -371,6 +438,90 @@ int cmd_query(const std::vector<std::string>& args,
     std::printf("metrics: wrote %s\n", front.metrics_json.c_str());
   }
   return 0;
+}
+
+// The same query actions against a running cloudmap_serve daemon, plus the
+// daemon-control verbs. One connection per invocation.
+int cmd_remote(const std::vector<std::string>& args,
+               const FrontendOptions& front) {
+  if (args.size() < 3) {
+    std::fprintf(stderr,
+                 "usage: remote HOST:PORT counts | peers [asn] | metro N | "
+                 "vpis | lookup IP | confidence | swap PATH | stats | ping | "
+                 "stop  [--min-confidence X]\n");
+    return 2;
+  }
+  const std::string& endpoint = args[1];
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "remote expects HOST:PORT, got '%s'\n",
+                 endpoint.c_str());
+    return 2;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const unsigned long port = std::strtoul(endpoint.c_str() + colon + 1,
+                                          nullptr, 10);
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "bad port in '%s'\n", endpoint.c_str());
+    return 2;
+  }
+  std::string error;
+  std::optional<serve::Client> client = serve::Client::connect(
+      host, static_cast<std::uint16_t>(port), &error);
+  if (!client) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  const std::string& action = args[2];
+  if (action == "swap") {
+    if (args.size() < 4) {
+      std::fprintf(stderr, "remote swap requires a snapshot path\n");
+      return 2;
+    }
+    if (!client->swap(args[3], &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("swapped to %s\n", args[3].c_str());
+    return 0;
+  }
+  if (action == "stats") {
+    serve::ServerStats stats;
+    if (!client->stats(stats, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("served %llu, failed %llu, swaps %llu, clients %llu\n",
+                static_cast<unsigned long long>(stats.served),
+                static_cast<unsigned long long>(stats.failed),
+                static_cast<unsigned long long>(stats.swaps),
+                static_cast<unsigned long long>(stats.clients));
+    return 0;
+  }
+  if (action == "ping") {
+    if (!client->ping(&error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (action == "stop") {
+    if (!client->stop_server(&error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("server stopping\n");
+    return 0;
+  }
+
+  const QueryExec remote = [&client](const QueryRequest& request,
+                                     QueryResponse& response,
+                                     std::string* exec_error) {
+    return client->query(request, response, exec_error);
+  };
+  return run_action(remote, args, 2, front.min_confidence);
 }
 
 // Longitudinal comparison of two snapshots (query/diff.h).
@@ -417,6 +568,7 @@ int main(int argc, char** argv) {
     return cmd_snapshot(seed, snap_path, front);
   }
   if (command == "query") return cmd_query(args, front);
+  if (command == "remote") return cmd_remote(args, front);
   if (command == "diff") return cmd_diff(args);
   if (command == "all") {
     if (const int rc = cmd_worldgen(seed)) return rc;
@@ -430,7 +582,8 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "usage: %s [worldgen|campaign|analyze|all|snapshot] [seed] "
-               "[file] | %s query FILE ACTION [ARG] | %s diff A B "
+               "[file] | %s query FILE ACTION [ARG] | %s remote HOST:PORT "
+               "ACTION [ARG] | diff A B "
                "[--threads N] [--metrics-json PATH] [--metrics-csv PATH] "
                "[--no-metrics] [--snapshot PATH] [--retry-budget N] "
                "[--retry-backoff T] [--response-scale X] [--host-response X] "

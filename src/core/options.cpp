@@ -174,4 +174,74 @@ FrontendOptions options_from_env_and_args(int argc, char** argv) {
   return out;
 }
 
+ServeOptions serve_options_from_env_and_args(int argc, char** argv) {
+  ServeOptions out;
+
+  const auto parse_port = [&](const std::string& text, const char* what,
+                              int& into) {
+    const int value = parse_threads(text);
+    if (value < 0 || value > 65535) {
+      out.error = std::string("error: ") + what +
+                  " expects a port number in [0, 65535], got '" + text + "'";
+      return false;
+    }
+    into = value;
+    return true;
+  };
+  const auto parse_clients = [&](const std::string& text, const char* what,
+                                 int& into) {
+    const int value = parse_threads(text);
+    if (value < 1) {
+      out.error = std::string("error: ") + what +
+                  " expects a positive integer, got '" + text + "'";
+      return false;
+    }
+    into = value;
+    return true;
+  };
+
+  if (const char* env = std::getenv(  // NOLINT(concurrency-mt-unsafe) -- startup, pre-thread
+          "CLOUDMAP_SERVE_PORT")) {
+    if (!parse_port(env, "CLOUDMAP_SERVE_PORT", out.port)) return out;
+  }
+  if (const char* env = std::getenv(  // NOLINT(concurrency-mt-unsafe) -- startup, pre-thread
+          "CLOUDMAP_SERVE_SNAPSHOT"))
+    out.snapshot_path = env;
+  if (const char* env = std::getenv(  // NOLINT(concurrency-mt-unsafe) -- startup, pre-thread
+          "CLOUDMAP_SERVE_MAX_CLIENTS")) {
+    if (!parse_clients(env, "CLOUDMAP_SERVE_MAX_CLIENTS", out.max_clients))
+      return out;
+  }
+
+  const auto flag_value = [&](int& i, const char* flag,
+                              std::string& into) -> bool {
+    if (i + 1 >= argc) {
+      out.error = std::string("error: ") + flag + " requires a value";
+      return false;
+    }
+    into = argv[++i];
+    return true;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port") {
+      std::string value;
+      if (!flag_value(i, "--port", value)) return out;
+      if (!parse_port(value, "--port", out.port)) return out;
+    } else if (arg == "--snapshot") {
+      if (!flag_value(i, "--snapshot", out.snapshot_path)) return out;
+    } else if (arg == "--max-clients") {
+      std::string value;
+      if (!flag_value(i, "--max-clients", value)) return out;
+      if (!parse_clients(value, "--max-clients", out.max_clients)) return out;
+    } else if (arg == "--no-metrics") {
+      out.metrics = false;
+    } else {
+      out.positional.push_back(arg);
+    }
+  }
+  return out;
+}
+
 }  // namespace cloudmap

@@ -48,4 +48,29 @@ FrontendOptions options_from_env();
 // `positional`.
 FrontendOptions options_from_env_and_args(int argc, char** argv);
 
+// Knobs for the snapshot-serving daemon (examples/cloudmap_serve.cpp,
+// serve/server.h). Same precedence rules as FrontendOptions: environment
+// first (CLOUDMAP_SERVE_PORT, CLOUDMAP_SERVE_SNAPSHOT,
+// CLOUDMAP_SERVE_MAX_CLIENTS), command-line flags override.
+struct ServeOptions {
+  // Loopback TCP port to listen on; 0 = kernel-assigned ephemeral port
+  // (the daemon prints the bound port at startup).
+  int port = 0;
+  // Format-v3 snapshot file to serve (required; the daemon mmaps it).
+  std::string snapshot_path;
+  // Concurrent client connections beyond which new ones are refused.
+  int max_clients = 64;
+  // Register query counters in a metrics registry (--no-metrics disables).
+  bool metrics = true;
+  // Arguments not consumed by a recognized flag, in original order.
+  std::vector<std::string> positional;
+  // Non-empty on a parse/validation failure.
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+// Environment first, then flags: --port N, --snapshot PATH,
+// --max-clients N, --no-metrics. Everything else lands in `positional`.
+ServeOptions serve_options_from_env_and_args(int argc, char** argv);
+
 }  // namespace cloudmap

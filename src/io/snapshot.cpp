@@ -8,6 +8,10 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <vector>
+
+#include "io/snapshot_v3.h"
+#include "io/wire.h"
 
 namespace cloudmap {
 
@@ -17,101 +21,19 @@ constexpr char kMagic[6] = {'C', 'M', 'S', 'N', 'A', 'P'};
 constexpr std::size_t kHeaderSize = 6 + 2 + 4;
 constexpr std::size_t kTableEntrySize = 4 + 8 + 8 + 4;
 
-// --- little-endian append helpers -----------------------------------------
-//
-// Buffered writers: each fixed-width field is serialized into a stack
-// buffer and appended in one call — a single capacity check and memcpy —
-// instead of one push_back (and one growth check) per byte. The encoders
-// below additionally reserve each section's exact payload size up front,
-// so building a section performs no reallocation at all. The bytes written
-// are identical to the old per-byte path.
-
-template <typename T>
-void put_le(std::string& out, T v) {
-  char buf[sizeof(T)];
-  for (std::size_t i = 0; i < sizeof(T); ++i)
-    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
-  out.append(buf, sizeof(T));
-}
-
-void put_u8(std::string& out, std::uint8_t v) {
-  out.push_back(static_cast<char>(v));
-}
-void put_u16(std::string& out, std::uint16_t v) { put_le(out, v); }
-void put_u32(std::string& out, std::uint32_t v) { put_le(out, v); }
-void put_u64(std::string& out, std::uint64_t v) { put_le(out, v); }
-void put_i32(std::string& out, std::int32_t v) {
-  put_u32(out, static_cast<std::uint32_t>(v));
-}
-void put_f64(std::string& out, double v) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  put_u64(out, bits);
-}
-void put_string(std::string& out, const std::string& v) {
-  put_u32(out, static_cast<std::uint32_t>(v.size()));
-  out.append(v);
-}
-
-// --- bounds-checked cursor over a loaded buffer ---------------------------
-
-struct Cursor {
-  const unsigned char* data;
-  std::size_t size;
-  std::size_t pos = 0;
-  bool failed = false;
-
-  bool need(std::size_t n) {
-    if (failed || size - pos < n || pos > size) {
-      failed = true;
-      return false;
-    }
-    return true;
-  }
-  std::uint8_t u8() {
-    if (!need(1)) return 0;
-    return data[pos++];
-  }
-  std::uint16_t u16() {
-    if (!need(2)) return 0;
-    std::uint16_t v = 0;
-    for (int i = 0; i < 2; ++i)
-      v = static_cast<std::uint16_t>(v | (std::uint16_t{data[pos + i]}
-                                          << (8 * i)));
-    pos += 2;
-    return v;
-  }
-  std::uint32_t u32() {
-    if (!need(4)) return 0;
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= std::uint32_t{data[pos + i]} << (8 * i);
-    pos += 4;
-    return v;
-  }
-  std::uint64_t u64() {
-    if (!need(8)) return 0;
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= std::uint64_t{data[pos + i]} << (8 * i);
-    pos += 8;
-    return v;
-  }
-  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
-  double f64() {
-    const std::uint64_t bits = u64();
-    double v = 0.0;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-  std::string str() {
-    const std::uint32_t n = u32();
-    if (!need(n)) return {};
-    std::string v(reinterpret_cast<const char*>(data + pos), n);
-    pos += n;
-    return v;
-  }
-  bool at_end() const { return !failed && pos == size; }
-};
+// Little-endian append helpers and the bounds-checked read cursor live in
+// io/wire.h (shared with the v3 flat blob and the serve protocol). Each
+// fixed-width field is appended in one capacity-checked call, and the
+// encoders below reserve each section's exact payload size up front, so
+// building a section performs no reallocation at all.
+using wire::Cursor;
+using wire::put_f64;
+using wire::put_i32;
+using wire::put_string;
+using wire::put_u16;
+using wire::put_u32;
+using wire::put_u64;
+using wire::put_u8;
 
 // --- section payloads -----------------------------------------------------
 
@@ -240,6 +162,17 @@ bool decode_meta(Cursor& in, RunSnapshot& s) {
   s.seed = in.u64();
   s.threads = in.i32();
   s.subject = in.u8();
+  return in.at_end();
+}
+
+// v3 pads the meta payload to 20 bytes for alignment; the reserved bytes
+// must be zero so they stay available for future fields.
+bool decode_meta_v3(Cursor& in, RunSnapshot& s) {
+  s.seed = in.u64();
+  s.threads = in.i32();
+  s.subject = in.u8();
+  for (int i = 0; i < 7; ++i)
+    if (in.u8() != 0) return false;
   return in.at_end();
 }
 
@@ -430,9 +363,9 @@ void canonicalize(RunSnapshot& snapshot) {
 
 void save_snapshot(std::ostream& out, const RunSnapshot& snapshot,
                    std::uint16_t version) {
-  // Anything other than the explicitly supported legacy layout writes the
-  // current format.
-  if (version != 1) version = kSnapshotFormatVersion;
+  // Anything other than an explicitly supported legacy layout writes the
+  // current flat format.
+  if (version != 1 && version != 2) version = kSnapshotFormatVersion;
   RunSnapshot canonical = snapshot;
   canonicalize(canonical);
 
@@ -440,16 +373,28 @@ void save_snapshot(std::ostream& out, const RunSnapshot& snapshot,
     SnapshotSection id;
     std::string payload;
   };
-  std::vector<Section> sections = {
-      {SnapshotSection::kMeta, encode_meta(canonical)},
-      {SnapshotSection::kSegments, encode_segments(canonical)},
-      {SnapshotSection::kPins, encode_pins(canonical)},
-      {SnapshotSection::kAliases, encode_aliases(canonical)},
-      {SnapshotSection::kMetrics, encode_metrics(canonical, version)},
-  };
-  if (version >= 2)
-    sections.push_back(
-        {SnapshotSection::kConfidence, encode_confidence(canonical)});
+  std::vector<Section> sections;
+  if (version >= 3) {
+    // v3: meta (padded to 20 bytes so the flat payload lands at file offset
+    // 12 + 2×24 + 20 = 80, a multiple of 8 — the mmap path casts the
+    // payload to its record structs in place) plus the flat fabric blob.
+    std::string meta = encode_meta(canonical);
+    meta.append(20 - meta.size(), '\0');
+    sections.push_back({SnapshotSection::kMeta, std::move(meta)});
+    sections.push_back({SnapshotSection::kFlatFabric,
+                        snapv3::encode_flat_fabric(canonical)});
+  } else {
+    sections = {
+        {SnapshotSection::kMeta, encode_meta(canonical)},
+        {SnapshotSection::kSegments, encode_segments(canonical)},
+        {SnapshotSection::kPins, encode_pins(canonical)},
+        {SnapshotSection::kAliases, encode_aliases(canonical)},
+        {SnapshotSection::kMetrics, encode_metrics(canonical, version)},
+    };
+    if (version >= 2)
+      sections.push_back(
+          {SnapshotSection::kConfidence, encode_confidence(canonical)});
+  }
 
   // Assemble header, table, and payloads into one buffer so the stream sees
   // a single write (the bytes are identical to writing section by section).
@@ -512,12 +457,15 @@ std::optional<RunSnapshot> load_snapshot(std::istream& in,
   if (!header.need(std::size_t{section_count} * kTableEntrySize))
     return reject("truncated section table");
 
-  // A v1 file has no confidence section; its id (6) is treated as unknown
-  // there, exactly as v1 readers did.
+  // Known (and required) section ids depend on the version: v3 carries meta
+  // plus the flat fabric blob; v1/v2 carry the sectioned layout (a v1 file
+  // has no confidence section; its id is treated as unknown there, exactly
+  // as v1 readers did). Anything else is skipped for forward compatibility.
+  const bool flat = version >= 3;
   const std::uint32_t max_known_section = version >= 2 ? 6 : 5;
   RunSnapshot snapshot;
   std::vector<ConfidenceRecord> confidence;
-  bool seen[7] = {};
+  bool seen[8] = {};
   // Every byte must be owned by the header, the table, or a payload: a file
   // with unaccounted trailing bytes would not re-save byte-identically.
   std::uint64_t end_of_payloads =
@@ -533,7 +481,7 @@ std::optional<RunSnapshot> load_snapshot(std::istream& in,
     end_of_payloads = std::max(end_of_payloads, offset + size);
     if (snapshot_crc32(data + offset, size) != crc)
       return reject("section " + std::to_string(id) + " CRC mismatch");
-    if (id < 1 || id > max_known_section)
+    if (flat ? (id != 1 && id != 7) : (id < 1 || id > max_known_section))
       continue;  // unknown section: skip (forward compat)
     if (seen[id])
       return reject("duplicate section " + std::to_string(id));
@@ -541,7 +489,10 @@ std::optional<RunSnapshot> load_snapshot(std::istream& in,
     Cursor body{data + offset, static_cast<std::size_t>(size), 0};
     bool ok = false;
     switch (static_cast<SnapshotSection>(id)) {
-      case SnapshotSection::kMeta: ok = decode_meta(body, snapshot); break;
+      case SnapshotSection::kMeta:
+        ok = flat ? decode_meta_v3(body, snapshot)
+                  : decode_meta(body, snapshot);
+        break;
       case SnapshotSection::kSegments:
         ok = decode_segments(body, snapshot);
         break;
@@ -555,18 +506,38 @@ std::optional<RunSnapshot> load_snapshot(std::istream& in,
       case SnapshotSection::kConfidence:
         ok = decode_confidence(body, confidence);
         break;
+      case SnapshotSection::kFlatFabric: {
+        // The buffer's alignment is whatever the string allocator gave us;
+        // copy the blob to 8-aligned scratch before casting record structs
+        // over it (this IS the copying path — the zero-copy one is
+        // io/mapped_snapshot.h, where the mapping is page-aligned).
+        std::vector<std::uint64_t> aligned((size + 7) / 8);
+        if (size > 0) std::memcpy(aligned.data(), data + offset, size);
+        const auto* blob =
+            reinterpret_cast<const unsigned char*>(aligned.data());
+        std::string flat_error;
+        if (!snapv3::validate_flat_fabric(
+                blob, static_cast<std::size_t>(size), &flat_error))
+          return reject(flat_error);
+        snapv3::decode_flat_fabric(blob, snapshot);
+        ok = true;
+        break;
+      }
     }
     if (!ok)
       return reject("section " + std::to_string(id) +
                     " is malformed (bad field or trailing bytes)");
   }
-  for (std::uint32_t id = 1; id <= max_known_section; ++id) {
+  const std::uint32_t first_required = 1;
+  const std::uint32_t last_required = flat ? 7 : max_known_section;
+  for (std::uint32_t id = first_required; id <= last_required; ++id) {
+    if (flat && id > 1 && id < 7) continue;  // v3 has no sections 2–6
     if (!seen[id])
       return reject("missing required section " + std::to_string(id));
   }
   if (end_of_payloads != buffer.size())
     return reject("trailing bytes past the last section");
-  if (version >= 2) {
+  if (!flat && version >= 2) {
     if (confidence.size() != snapshot.segments.size())
       return reject("confidence section has " +
                     std::to_string(confidence.size()) + " records for " +

@@ -4,9 +4,9 @@
 // pass into the query engine.
 //
 // Byte layout (all integers little-endian, fixed width; full spec with the
-// per-section record formats in DESIGN.md §7–§8):
+// per-section record formats in DESIGN.md §7–§8 and §11):
 //
-//   header   magic "CMSNAP" (6 bytes) | u16 format version (= 2)
+//   header   magic "CMSNAP" (6 bytes) | u16 format version (= 3)
 //            | u32 section count
 //   table    section count × { u32 section id, u64 payload offset (from
 //            file start), u64 payload size, u32 CRC-32 of the payload }
@@ -14,19 +14,24 @@
 //
 // Sections (ids are stable; readers skip unknown ids so additive sections
 // do not need a version bump): 1 meta, 2 segments, 3 pins, 4 alias sets,
-// 5 stage metrics, 6 per-segment confidence (v2+). CRC-32 is the zlib
-// polynomial (0xEDB88320), so tools/diff_snapshots.py verifies with
-// Python's zlib.crc32.
+// 5 stage metrics, 6 per-segment confidence (v2), 7 flat fabric (v3).
+// CRC-32 is the zlib polynomial (0xEDB88320), so tools/diff_snapshots.py
+// verifies with Python's zlib.crc32.
 //
-// Versioning: v2 adds the confidence section and appends the retry counters
-// to each stage-metrics record. The loader still accepts v1 files
-// (confidence fields default to zero); the writer can emit the v1 layout on
-// request for compatibility tests and downgrades.
+// Versioning: v2 added the confidence section and the retry counters in
+// each stage-metrics record. v3 replaces sections 2–6 with one "flat
+// fabric" section (io/snapshot_v3.h) whose payload is the query layer's
+// in-memory layout — the v3 meta payload is padded to 20 bytes so that
+// payload always starts at file offset 80, 8-byte aligned for the mmap
+// path (io/mapped_snapshot.h). The loader still accepts v1 and v2 files
+// via the copying path; the writer emits either legacy layout on request
+// (version = 1 or 2) for compatibility tests and downgrades.
 //
-// Determinism contract: save_snapshot() canonicalizes collection order, so
-// save → load → save produces byte-identical files (enforced in CI). A
-// corrupted or truncated file is rejected with a diagnostic — never a crash
-// or a silent partial load.
+// Determinism contract: save_snapshot() canonicalizes collection order, and
+// every v3 index array derives deterministically from the canonical
+// segments, so save → load → save produces byte-identical files (enforced
+// in CI). A corrupted or truncated file is rejected with a diagnostic —
+// never a crash or a silent partial load.
 #pragma once
 
 #include <cstdint>
@@ -38,24 +43,25 @@
 
 namespace cloudmap {
 
-inline constexpr std::uint16_t kSnapshotFormatVersion = 2;
+inline constexpr std::uint16_t kSnapshotFormatVersion = 3;
 // Oldest version the loader still accepts.
 inline constexpr std::uint16_t kSnapshotMinFormatVersion = 1;
 
 // Section ids of the current format.
 enum class SnapshotSection : std::uint32_t {
   kMeta = 1,
-  kSegments = 2,
-  kPins = 3,
-  kAliases = 4,
-  kMetrics = 5,
-  kConfidence = 6,  // v2+: one record per segment, same order as kSegments
+  kSegments = 2,     // v1/v2
+  kPins = 3,         // v1/v2
+  kAliases = 4,      // v1/v2
+  kMetrics = 5,      // v1/v2
+  kConfidence = 6,   // v2: one record per segment, same order as kSegments
+  kFlatFabric = 7,   // v3: the zero-copy blob (io/snapshot_v3.h)
 };
 
 // Serialize (canonicalizing collection order first; see query/snapshot.h).
-// `version` selects the on-disk layout: 1 writes the legacy layout (no
-// confidence section, no retry counters in the metrics records); anything
-// else writes the current format.
+// `version` selects the on-disk layout: 1 writes the legacy v1 layout (no
+// confidence section, no retry counters in the metrics records), 2 writes
+// the sectioned v2 layout; anything else writes the current flat format.
 void save_snapshot(std::ostream& out, const RunSnapshot& snapshot,
                    std::uint16_t version = kSnapshotFormatVersion);
 bool save_snapshot_file(const std::string& path, const RunSnapshot& snapshot,

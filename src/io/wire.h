@@ -1,0 +1,108 @@
+// Shared little-endian wire primitives: buffered append helpers for
+// serializers and a bounds-checked read cursor for parsers. Extracted from
+// the snapshot codec so the snapshot sections (io/snapshot.cpp), the flat
+// v3 fabric blob (io/snapshot_v3.cpp), and the serve daemon's framed
+// protocol (serve/protocol.cpp) all agree on byte order and on the
+// never-read-past-the-end parsing discipline.
+//
+// Writers append fixed-width fields in one capacity-checked call each (a
+// stack buffer plus one memcpy), so encoders that reserve their exact
+// payload size up front perform no reallocation. The Cursor saturates: the
+// first out-of-bounds read sets `failed` and every later read returns zero,
+// so decoders can run a whole record unconditionally and check once.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace cloudmap::wire {
+
+template <typename T>
+void put_le(std::string& out, T v) {
+  char buf[sizeof(T)];
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.append(buf, sizeof(T));
+}
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+inline void put_u16(std::string& out, std::uint16_t v) { put_le(out, v); }
+inline void put_u32(std::string& out, std::uint32_t v) { put_le(out, v); }
+inline void put_u64(std::string& out, std::uint64_t v) { put_le(out, v); }
+inline void put_i32(std::string& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+inline void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+inline void put_string(std::string& out, const std::string& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  out.append(v);
+}
+
+// --- bounds-checked cursor over a byte buffer -----------------------------
+
+struct Cursor {
+  const unsigned char* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  bool need(std::size_t n) {
+    if (failed || size - pos < n || pos > size) {
+      failed = true;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data[pos++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i)
+      v = static_cast<std::uint16_t>(v | (std::uint16_t{data[pos + i]}
+                                          << (8 * i)));
+    pos += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{data[pos + i]} << (8 * i);
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{data[pos + i]} << (8 * i);
+    pos += 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!need(n)) return {};
+    std::string v(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return v;
+  }
+  bool at_end() const { return !failed && pos == size; }
+};
+
+}  // namespace cloudmap::wire

@@ -1,96 +1,222 @@
 #include "query/engine.h"
 
+#include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 namespace cloudmap {
 
+namespace {
+
+// One metrics counter per QueryKind, resolved once at engine construction.
+constexpr std::array<const char*, kQueryKindCount> kCounterNames = {
+    "query.counts",         "query.peers_of",
+    "query.peer_list",      "query.interfaces_in",
+    "query.vpi_candidates", "query.lookups",
+    "query.min_confidence", "query.confidence_histogram",
+};
+
+SegmentBrief brief_of(const FabricBackend& backend, std::uint32_t index) {
+  const SegmentFacts facts = backend.segment(index);
+  SegmentBrief brief;
+  brief.index = index;
+  brief.abi = facts.abi;
+  brief.cbi = facts.cbi;
+  brief.peer_asn = facts.peer_asn;
+  brief.confirmation = facts.confirmation;
+  brief.ixp = facts.ixp;
+  brief.vpi = facts.vpi;
+  brief.confidence = facts.confidence;
+  return brief;
+}
+
+}  // namespace
+
 QueryEngine::QueryEngine(const FabricIndex& index, MetricsRegistry* metrics)
-    : index_(&index) {
+    : QueryEngine(static_cast<const FabricBackend&>(index), metrics) {
+  index_ = &index;
+}
+
+QueryEngine::QueryEngine(const FabricBackend& backend,
+                         MetricsRegistry* metrics)
+    : backend_(&backend) {
   if (metrics != nullptr && metrics->enabled()) {
-    lookups_ = &metrics->counter("query.lookups");
-    peers_queries_ = &metrics->counter("query.peers_of");
-    metro_queries_ = &metrics->counter("query.interfaces_in");
-    vpi_queries_ = &metrics->counter("query.vpi_candidates");
-    count_queries_ = &metrics->counter("query.counts");
-    confidence_queries_ = &metrics->counter("query.min_confidence");
-    histogram_queries_ = &metrics->counter("query.confidence_histogram");
+    for (std::size_t k = 0; k < kCounterNames.size(); ++k)
+      counters_[k] = &metrics->counter(kCounterNames[k]);
   }
 }
 
+QueryResponse QueryEngine::execute(const QueryRequest& request) const {
+  QueryResponse out;
+  out.kind = request.kind;
+  const auto k = static_cast<std::size_t>(request.kind);
+  if (k >= kQueryKindCount) {
+    out.status = QueryStatus::kBadRequest;
+    out.error = "unknown query kind " + std::to_string(k);
+    return out;
+  }
+  if (MetricsRegistry::Counter* c = counter(request.kind); c != nullptr)
+    c->add();
+
+  // Segment-index results share the filter + brief tail below; the other
+  // kinds return directly from their case.
+  bool segment_items = false;
+  switch (request.kind) {
+    case QueryKind::kCounts: {
+      FabricCounts counts;
+      std::unordered_set<std::uint32_t> abis;
+      std::unordered_set<std::uint32_t> cbis;
+      std::unordered_set<std::uint32_t> orgs;
+      std::unordered_set<std::uint32_t> vpi_cbis;
+      std::array<std::unordered_set<std::uint32_t>, kPeeringGroupCount>
+          group_ases;
+      double confidence_sum = 0.0;
+      const auto total =
+          static_cast<std::uint32_t>(backend_->segment_count());
+      for (std::uint32_t i = 0; i < total; ++i) {
+        const SegmentFacts seg = backend_->segment(i);
+        ++counts.segments;
+        confidence_sum += seg.confidence;
+        if (seg.confidence >= 0.5) ++counts.confident_segments;
+        abis.insert(seg.abi);
+        cbis.insert(seg.cbi);
+        if (seg.peer_org != 0) orgs.insert(seg.peer_org);
+        ++counts.by_confirmation[seg.confirmation];
+        if (seg.ixp) ++counts.ixp_segments;
+        if (seg.vpi) vpi_cbis.insert(seg.cbi);
+        if (seg.group == kSnapshotNoGroup) {
+          ++counts.unattributed_segments;
+        } else {
+          ++counts.group_segments[seg.group];
+          if (seg.peer_asn != 0) group_ases[seg.group].insert(seg.peer_asn);
+        }
+      }
+      counts.unique_abis = abis.size();
+      counts.unique_cbis = cbis.size();
+      counts.peer_ases = backend_->asn_list().size();
+      counts.peer_orgs = orgs.size();
+      counts.vpi_cbis = vpi_cbis.size();
+      for (std::size_t g = 0; g < kPeeringGroupCount; ++g)
+        counts.group_ases[g] = group_ases[g].size();
+      counts.pinned_interfaces = backend_->pin_total();
+      counts.regional_only = backend_->regional_total();
+      if (counts.segments > 0)
+        counts.mean_confidence =
+            confidence_sum / static_cast<double>(counts.segments);
+      out.counts = counts;
+      return out;
+    }
+    case QueryKind::kPeersOf: {
+      const Span32 hits = backend_->peer_segments(request.asn);
+      out.items.assign(hits.begin(), hits.end());
+      segment_items = true;
+      break;
+    }
+    case QueryKind::kPeerList: {
+      const Span32 asns = backend_->asn_list();
+      out.items.assign(asns.begin(), asns.end());
+      return out;
+    }
+    case QueryKind::kInterfacesIn: {
+      const Span32 hits = backend_->metro_interfaces(request.metro);
+      out.items.assign(hits.begin(), hits.end());
+      return out;  // items are addresses, not segment indices: no briefs
+    }
+    case QueryKind::kVpiCandidates: {
+      const Span32 hits = backend_->vpi_list();
+      out.items.assign(hits.begin(), hits.end());
+      segment_items = true;
+      break;
+    }
+    case QueryKind::kLookup: {
+      const auto hit = backend_->find(Ipv4(request.address));
+      if (hit) {
+        out.found = true;
+        out.prefix_network = hit->prefix.network().value();
+        out.prefix_length = static_cast<std::uint8_t>(hit->prefix.length());
+        out.is_interface = hit->is_interface;
+        out.role_abi = hit->abi;
+        out.role_cbi = hit->cbi;
+        out.items.assign(hit->segments.begin(), hit->segments.end());
+        if (request.want_briefs)
+          for (const std::uint32_t i : out.items)
+            out.briefs.push_back(brief_of(*backend_, i));
+      }
+      return out;
+    }
+    case QueryKind::kMinConfidence: {
+      out.items = backend_->min_confidence_list(
+          std::max(request.min_confidence, 0.0));
+      segment_items = true;
+      break;
+    }
+    case QueryKind::kConfidenceHistogram: {
+      out.histogram = backend_->histogram();
+      return out;
+    }
+  }
+
+  if (segment_items) {
+    // kMinConfidence already honoured its threshold as the query itself.
+    if (request.min_confidence >= 0.0 &&
+        request.kind != QueryKind::kMinConfidence) {
+      std::erase_if(out.items, [&](std::uint32_t i) {
+        return backend_->segment(i).confidence < request.min_confidence;
+      });
+    }
+    if (request.want_briefs)
+      for (const std::uint32_t i : out.items)
+        out.briefs.push_back(brief_of(*backend_, i));
+  }
+  return out;
+}
+
 std::vector<std::uint32_t> QueryEngine::peers_of(Asn peer) const {
-  if (peers_queries_ != nullptr) peers_queries_->add();
-  const std::vector<std::uint32_t>* hits = index_->segments_of_peer(peer);
-  return hits == nullptr ? std::vector<std::uint32_t>{} : *hits;
+  QueryRequest request;
+  request.kind = QueryKind::kPeersOf;
+  request.asn = peer.value;
+  return std::move(execute(request).items);
 }
 
 std::vector<std::uint32_t> QueryEngine::interfaces_in(
     std::uint32_t metro) const {
-  if (metro_queries_ != nullptr) metro_queries_->add();
-  const std::vector<std::uint32_t>* hits = index_->interfaces_in_metro(metro);
-  return hits == nullptr ? std::vector<std::uint32_t>{} : *hits;
+  QueryRequest request;
+  request.kind = QueryKind::kInterfacesIn;
+  request.metro = metro;
+  return std::move(execute(request).items);
 }
 
 std::vector<std::uint32_t> QueryEngine::vpi_candidates() const {
-  if (vpi_queries_ != nullptr) vpi_queries_->add();
-  return index_->vpi_segments();
-}
-
-std::optional<LookupHit> QueryEngine::lookup(Ipv4 address) const {
-  if (lookups_ != nullptr) lookups_->add();
-  return index_->lookup(address);
+  QueryRequest request;
+  request.kind = QueryKind::kVpiCandidates;
+  return std::move(execute(request).items);
 }
 
 std::vector<std::uint32_t> QueryEngine::segments_min_confidence(
     double min_confidence) const {
-  if (confidence_queries_ != nullptr) confidence_queries_->add();
-  return index_->segments_min_confidence(min_confidence);
-}
-
-const ConfidenceHistogram& QueryEngine::confidence_histogram() const {
-  if (histogram_queries_ != nullptr) histogram_queries_->add();
-  return index_->confidence_histogram();
+  QueryRequest request;
+  request.kind = QueryKind::kMinConfidence;
+  request.min_confidence = min_confidence;
+  return std::move(execute(request).items);
 }
 
 FabricCounts QueryEngine::counts() const {
-  if (count_queries_ != nullptr) count_queries_->add();
-  FabricCounts out;
-  std::unordered_set<std::uint32_t> abis;
-  std::unordered_set<std::uint32_t> cbis;
-  std::unordered_set<std::uint32_t> orgs;
-  std::unordered_set<std::uint32_t> vpi_cbis;
-  std::array<std::unordered_set<std::uint32_t>, kPeeringGroupCount>
-      group_ases;
-  double confidence_sum = 0.0;
-  for (const SnapshotSegment& seg : index_->segments()) {
-    ++out.segments;
-    confidence_sum += seg.confidence;
-    if (seg.confidence >= 0.5) ++out.confident_segments;
-    abis.insert(seg.abi.value());
-    cbis.insert(seg.cbi.value());
-    if (!seg.peer_org.is_unknown()) orgs.insert(seg.peer_org.value);
-    ++out.by_confirmation[static_cast<std::size_t>(seg.confirmation)];
-    if (seg.ixp) ++out.ixp_segments;
-    if (seg.vpi) vpi_cbis.insert(seg.cbi.value());
-    if (seg.group == kSnapshotNoGroup) {
-      ++out.unattributed_segments;
-    } else {
-      ++out.group_segments[seg.group];
-      if (!seg.peer_asn.is_unknown())
-        group_ases[seg.group].insert(seg.peer_asn.value);
-    }
-  }
-  out.unique_abis = abis.size();
-  out.unique_cbis = cbis.size();
-  out.peer_ases = index_->peer_asns().size();
-  out.peer_orgs = orgs.size();
-  out.vpi_cbis = vpi_cbis.size();
-  for (std::size_t g = 0; g < kPeeringGroupCount; ++g)
-    out.group_ases[g] = group_ases[g].size();
-  out.pinned_interfaces = index_->snapshot().pins.size();
-  out.regional_only = index_->snapshot().regional.size();
-  if (out.segments > 0)
-    out.mean_confidence = confidence_sum / static_cast<double>(out.segments);
-  return out;
+  QueryRequest request;
+  request.kind = QueryKind::kCounts;
+  return *execute(request).counts;
+}
+
+const ConfidenceHistogram& QueryEngine::confidence_histogram() const {
+  if (MetricsRegistry::Counter* c = counter(QueryKind::kConfidenceHistogram);
+      c != nullptr)
+    c->add();
+  return backend_->histogram();
+}
+
+std::optional<LookupHit> QueryEngine::lookup(Ipv4 address) const {
+  if (MetricsRegistry::Counter* c = counter(QueryKind::kLookup); c != nullptr)
+    c->add();
+  return index_->lookup(address);
 }
 
 }  // namespace cloudmap

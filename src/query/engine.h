@@ -1,13 +1,18 @@
-// QueryEngine: the read-mostly serving layer over a FabricIndex. All query
+// QueryEngine: the read-mostly serving layer over a FabricBackend. One
+// dispatcher — execute(QueryRequest) — answers every query class, so the
+// metrics counters, min-confidence filtering, brief expansion, and error
+// reporting live in a single place; the CLI, the serve daemon's wire
+// protocol (serve/protocol.h), and the tests all go through it. All query
 // methods are const, allocate only their result, and touch nothing but the
-// immutable index plus (optionally) relaxed-atomic metrics counters — so any
-// number of threads may share one engine with zero locking after build, and
-// answers are bit-identical at every reader thread count.
+// immutable backend plus (optionally) relaxed-atomic metrics counters — so
+// any number of threads may share one engine with zero locking after build,
+// and answers are bit-identical at every reader thread count.
 //
 // Counter names (all created at construction so they appear in a metrics
 // artifact even when a query class was never exercised): query.lookups,
-// query.peers_of, query.interfaces_in, query.vpi_candidates, query.counts,
-// query.min_confidence, query.confidence_histogram.
+// query.peers_of, query.peer_list, query.interfaces_in,
+// query.vpi_candidates, query.counts, query.min_confidence,
+// query.confidence_histogram.
 #pragma once
 
 #include <array>
@@ -15,77 +20,63 @@
 #include <optional>
 #include <vector>
 
-#include "analysis/grouping.h"
 #include "obs/metrics.h"
 #include "query/fabric_index.h"
+#include "query/request.h"
 
 namespace cloudmap {
-
-// Aggregate answers in the shape of the paper's tables: interface totals
-// per confirmation class (Tables 1/2), the VPI overlap (Table 4), and the
-// six-group peering breakdown (Table 5), plus the §6 pinning coverage.
-struct FabricCounts {
-  std::size_t segments = 0;
-  std::size_t unique_abis = 0;
-  std::size_t unique_cbis = 0;
-  std::size_t peer_ases = 0;
-  std::size_t peer_orgs = 0;
-  std::array<std::size_t, 5> by_confirmation{};  // indexed by Confirmation
-  std::size_t ixp_segments = 0;   // public peerings (CBI on an IXP LAN)
-  std::size_t vpi_cbis = 0;       // unique CBIs in the multi-cloud overlap
-  std::array<std::size_t, kPeeringGroupCount> group_segments{};
-  std::array<std::size_t, kPeeringGroupCount> group_ases{};
-  std::size_t unattributed_segments = 0;
-  std::size_t pinned_interfaces = 0;   // metro-level pins
-  std::size_t regional_only = 0;       // regional fallback entries
-  // Confidence aggregates (v2 snapshots; zero for v1, where every segment
-  // scores 0).
-  double mean_confidence = 0.0;
-  std::size_t confident_segments = 0;  // confidence >= 0.5
-};
 
 class QueryEngine {
  public:
   // `metrics` may be null or disabled; counter handles are resolved once
   // here so the hot path is a relaxed atomic add, never a name lookup.
+  //
+  // The FabricIndex overload additionally enables the deprecated
+  // index()/lookup() accessors below; a generic backend (e.g. a zero-copy
+  // FabricView) serves every QueryRequest but has no FabricIndex to expose.
   explicit QueryEngine(const FabricIndex& index,
                        MetricsRegistry* metrics = nullptr);
+  explicit QueryEngine(const FabricBackend& backend,
+                       MetricsRegistry* metrics = nullptr);
 
-  const FabricIndex& index() const noexcept { return *index_; }
+  // The one dispatch point: validates the request, bumps the per-kind
+  // counter, applies min-confidence filtering and brief expansion, and
+  // never throws — malformed requests come back as status kBadRequest.
+  QueryResponse execute(const QueryRequest& request) const;
 
-  // Segments whose peer AS is `peer` (ascending indices; empty = none).
+  const FabricBackend& backend() const noexcept { return *backend_; }
+
+  // --- deprecated entry points ---------------------------------------------
+  // Thin shims over execute(), kept for one release so existing callers
+  // migrate incrementally; new code should build a QueryRequest instead.
+
+  // Deprecated: execute({.kind = QueryKind::kPeersOf, .asn = ...}).
   std::vector<std::uint32_t> peers_of(Asn peer) const;
-
-  // Interface addresses pinned to `metro`, ascending.
+  // Deprecated: execute({.kind = QueryKind::kInterfacesIn, .metro = ...}).
   std::vector<std::uint32_t> interfaces_in(std::uint32_t metro) const;
-
-  // Segments in the §7.1 multi-cloud overlap (virtual interconnections).
+  // Deprecated: execute({.kind = QueryKind::kVpiCandidates}).
   std::vector<std::uint32_t> vpi_candidates() const;
-
-  // Longest-prefix lookup of an arbitrary address against the fabric.
-  std::optional<LookupHit> lookup(Ipv4 address) const;
-
-  // Segments whose confidence score is >= min_confidence (ascending
-  // indices). min_confidence <= 0 returns every segment.
+  // Deprecated: execute({.kind = QueryKind::kMinConfidence, ...}).
   std::vector<std::uint32_t> segments_min_confidence(
       double min_confidence) const;
-
-  // The precomputed confidence distribution over all segments.
-  const ConfidenceHistogram& confidence_histogram() const;
-
-  // Full aggregate pass (brute-force over the index's segment table; the
-  // result is deterministic and cheap relative to rebuilding the map).
+  // Deprecated: execute({.kind = QueryKind::kCounts}).
   FabricCounts counts() const;
+  // Deprecated: execute({.kind = QueryKind::kConfidenceHistogram}).
+  const ConfidenceHistogram& confidence_histogram() const;
+  // Deprecated: execute({.kind = QueryKind::kLookup, .address = ...}).
+  // Requires FabricIndex backing (the hit points into the index's trie).
+  std::optional<LookupHit> lookup(Ipv4 address) const;
+  // Requires FabricIndex backing.
+  const FabricIndex& index() const noexcept { return *index_; }
 
  private:
-  const FabricIndex* index_;
-  MetricsRegistry::Counter* lookups_ = nullptr;
-  MetricsRegistry::Counter* peers_queries_ = nullptr;
-  MetricsRegistry::Counter* metro_queries_ = nullptr;
-  MetricsRegistry::Counter* vpi_queries_ = nullptr;
-  MetricsRegistry::Counter* count_queries_ = nullptr;
-  MetricsRegistry::Counter* confidence_queries_ = nullptr;
-  MetricsRegistry::Counter* histogram_queries_ = nullptr;
+  MetricsRegistry::Counter* counter(QueryKind kind) const {
+    return counters_[static_cast<std::size_t>(kind)];
+  }
+
+  const FabricBackend* backend_;
+  const FabricIndex* index_ = nullptr;  // non-null only for the index ctor
+  std::array<MetricsRegistry::Counter*, kQueryKindCount> counters_{};
 };
 
 }  // namespace cloudmap

@@ -160,4 +160,41 @@ const std::vector<std::uint32_t>* FabricIndex::alias_set_of(
              : &snapshot_.alias_sets[it->second];
 }
 
+SegmentFacts FabricIndex::segment(std::uint32_t index) const {
+  const SnapshotSegment& seg = snapshot_.segments[index];
+  SegmentFacts facts;
+  facts.abi = seg.abi.value();
+  facts.cbi = seg.cbi.value();
+  facts.peer_asn = seg.peer_asn.value;
+  facts.peer_org = seg.peer_org.value;
+  facts.confirmation = static_cast<std::uint8_t>(seg.confirmation);
+  facts.group = seg.group;
+  facts.ixp = seg.ixp;
+  facts.vpi = seg.vpi;
+  facts.confidence = seg.confidence;
+  return facts;
+}
+
+Span32 FabricIndex::peer_segments(std::uint32_t peer_asn) const {
+  const std::vector<std::uint32_t>* hits = segments_of_peer(Asn{peer_asn});
+  return hits == nullptr ? Span32{} : Span32{hits->data(), hits->size()};
+}
+
+Span32 FabricIndex::metro_interfaces(std::uint32_t metro) const {
+  const std::vector<std::uint32_t>* hits = interfaces_in_metro(metro);
+  return hits == nullptr ? Span32{} : Span32{hits->data(), hits->size()};
+}
+
+std::optional<BackendHit> FabricIndex::find(Ipv4 address) const {
+  const auto hit = lookup(address);
+  if (!hit) return std::nullopt;
+  BackendHit out;
+  out.prefix = hit->prefix;
+  out.is_interface = hit->is_interface;
+  out.abi = hit->abi;
+  out.cbi = hit->cbi;
+  out.segments = {hit->segments->data(), hit->segments->size()};
+  return out;
+}
+
 }  // namespace cloudmap

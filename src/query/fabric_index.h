@@ -16,21 +16,10 @@
 #include <vector>
 
 #include "net/prefix_trie.h"
+#include "query/backend.h"
 #include "query/snapshot.h"
 
 namespace cloudmap {
-
-// Distribution of per-segment confidence scores: ten equal-width bins over
-// [0, 1] (scores of exactly 1.0 land in the last bin) plus summary moments.
-// Precomputed at index build; scores come from the snapshot's v2 confidence
-// section (all zero for v1 files, which land in bin 0).
-struct ConfidenceHistogram {
-  std::array<std::size_t, 10> bins{};
-  std::size_t segments = 0;
-  double mean = 0.0;
-  double min = 0.0;
-  double max = 0.0;
-};
 
 // One longest-prefix match: a /32 hit names an interface (with its fabric
 // roles), a shorter hit names a destination cone reached through the listed
@@ -44,7 +33,7 @@ struct LookupHit {
   const std::vector<std::uint32_t>* segments = nullptr;
 };
 
-class FabricIndex {
+class FabricIndex : public FabricBackend {
  public:
   // Takes the snapshot by value (canonicalized on save/load, so index
   // iteration orders are deterministic) and builds every index eagerly.
@@ -98,6 +87,35 @@ class FabricIndex {
 
   // Alias set containing an address; nullptr when the address is in none.
   const std::vector<std::uint32_t>* alias_set_of(Ipv4 address) const;
+
+  // --- FabricBackend (query/backend.h) -------------------------------------
+  // The generic face of the same data, so QueryEngine::execute() dispatches
+  // identically over a decoded index and a zero-copy FabricView.
+  std::size_t segment_count() const override { return segments().size(); }
+  SegmentFacts segment(std::uint32_t index) const override;
+  Span32 peer_segments(std::uint32_t peer_asn) const override;
+  Span32 asn_list() const override {
+    return {peer_asns_.data(), peer_asns_.size()};
+  }
+  Span32 vpi_list() const override {
+    return {vpi_segments_.data(), vpi_segments_.size()};
+  }
+  Span32 metro_interfaces(std::uint32_t metro) const override;
+  Span32 metro_list() const override {
+    return {pinned_metros_.data(), pinned_metros_.size()};
+  }
+  std::optional<BackendHit> find(Ipv4 address) const override;
+  std::vector<std::uint32_t> min_confidence_list(
+      double min_confidence) const override {
+    return segments_min_confidence(min_confidence);
+  }
+  const ConfidenceHistogram& histogram() const override {
+    return confidence_histogram_;
+  }
+  std::size_t pin_total() const override { return snapshot_.pins.size(); }
+  std::size_t regional_total() const override {
+    return snapshot_.regional.size();
+  }
 
  private:
   struct TrieEntry {

@@ -1,0 +1,59 @@
+// Synchronous client for the serve daemon's wire protocol
+// (serve/protocol.h): one TCP connection, one in-flight request at a time.
+// Used by `cloudmap_cli remote`, the saturation load generator
+// (bench/serve_loadgen.cpp), and the serve tests — all of which therefore
+// exercise the exact bytes the daemon speaks, not a parallel code path.
+//
+// Every call returns false with a one-line diagnostic on connection loss,
+// frame corruption, or a server-side kError reply. A Client is not
+// thread-safe; give each thread its own connection (the daemon serves each
+// on its own thread).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "query/request.h"
+#include "serve/protocol.h"
+
+namespace cloudmap::serve {
+
+class Client {
+ public:
+  // Connect to a daemon on a numeric IPv4 address ("127.0.0.1" for the
+  // loopback daemon). Returns nullopt with a diagnostic on failure.
+  static std::optional<Client> connect(const std::string& host,
+                                       std::uint16_t port,
+                                       std::string* error = nullptr);
+
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  // Round-trip one QueryRequest; `response` is valid only on true.
+  bool query(const QueryRequest& request, QueryResponse& response,
+             std::string* error = nullptr);
+  // Ask the daemon to hot-swap to the snapshot at `path` (a path on the
+  // daemon's host).
+  bool swap(const std::string& path, std::string* error = nullptr);
+  bool ping(std::string* error = nullptr);
+  bool stats(ServerStats& stats, std::string* error = nullptr);
+  // Ask the daemon to shut down (the reply arrives before it stops).
+  bool stop_server(std::string* error = nullptr);
+
+ private:
+  // Send one frame, read one reply frame; false unless the reply is kReply
+  // (a kError reply surfaces its message in *error).
+  bool roundtrip(MsgType type, const std::string& payload, Frame& reply,
+                 std::string* error);
+
+  int fd_ = -1;
+};
+
+}  // namespace cloudmap::serve

@@ -1,0 +1,236 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace cloudmap::serve {
+
+std::shared_ptr<const ServedSnapshot> load_served_snapshot(
+    const std::string& path, MetricsRegistry* metrics, std::string* error) {
+  auto mapped = MappedSnapshot::open(path, error);
+  if (!mapped) return nullptr;
+  auto served = std::make_shared<ServedSnapshot>();
+  served->mapping = std::move(*mapped);
+  served->view = std::make_unique<FabricView>(served->mapping.blob());
+  served->engine = std::make_unique<QueryEngine>(
+      static_cast<const FabricBackend&>(*served->view), metrics);
+  return served;
+}
+
+Server::Server(Config config, MetricsRegistry* metrics)
+    : config_(config), metrics_(metrics) {}
+
+Server::~Server() { stop(); }
+
+std::shared_ptr<const ServedSnapshot> Server::snapshot() const {
+#if defined(__cpp_lib_atomic_shared_ptr)
+  return current_.load(std::memory_order_acquire);
+#else
+  std::lock_guard<std::mutex> lock(current_mutex_);
+  return current_;
+#endif
+}
+
+void Server::store_snapshot(std::shared_ptr<const ServedSnapshot> next) {
+#if defined(__cpp_lib_atomic_shared_ptr)
+  current_.store(std::move(next), std::memory_order_release);
+#else
+  std::lock_guard<std::mutex> lock(current_mutex_);
+  current_ = std::move(next);
+#endif
+}
+
+bool Server::start(const std::string& snapshot_path, std::string* error) {
+  auto served = load_served_snapshot(snapshot_path, metrics_, error);
+  if (served == nullptr) return false;
+  store_snapshot(std::move(served));
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = "serve: cannot create socket";
+    return false;
+  }
+  const int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    if (error != nullptr)
+      *error = "serve: cannot bind loopback port " +
+               std::to_string(config_.port);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });  // lint: thread-ok(joined in stop())
+  return true;
+}
+
+bool Server::swap(const std::string& path, std::string* error) {
+  auto next = load_served_snapshot(path, metrics_, error);
+  if (next == nullptr) return false;
+  store_snapshot(std::move(next));
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+ServerStats Server::stats() const {
+  ServerStats out;
+  out.served = served_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  out.swaps = swaps_.load(std::memory_order_relaxed);
+  out.clients = static_cast<std::uint64_t>(
+      active_clients_.load(std::memory_order_relaxed));
+  return out;
+}
+
+void Server::request_stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  stop_cv_.notify_all();
+}
+
+void Server::wait() {
+  {
+    std::unique_lock<std::mutex> lock(stop_mutex_);
+    stop_cv_.wait(lock, [this] { return stopping_.load(); });
+  }
+  join_all();
+}
+
+void Server::stop() {
+  request_stop();
+  join_all();
+}
+
+void Server::join_all() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (joined_) return;
+    joined_ = true;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Unblock every client thread still parked in recv().
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    for (const int fd : client_fds_)
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+  // Threads remove themselves from client_fds_ but never from
+  // client_threads_, so joining outside the lock is safe: the vector only
+  // grows from the accept thread, which is already joined.
+  for (std::thread& t : client_threads_)  // lint: thread-ok(join at shutdown)
+    if (t.joinable()) t.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (stop) or failed
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    if (active_clients_.load(std::memory_order_relaxed) >=
+        config_.max_clients) {
+      write_frame(fd, MsgType::kError, encode_text("server full"));
+      ::close(fd);
+      continue;
+    }
+    active_clients_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    client_fds_.push_back(fd);
+    const std::size_t slot = client_fds_.size() - 1;
+    client_threads_.emplace_back(  // lint: thread-ok(one per client; joined in stop())
+        [this, fd, slot] { handle_client(fd, slot); });
+  }
+}
+
+void Server::handle_client(int fd, std::size_t slot) {
+  Frame frame;
+  while (read_frame(fd, frame)) {
+    switch (frame.type) {
+      case MsgType::kQuery: {
+        QueryRequest request;
+        if (!decode_query_request(frame.payload, request)) {
+          failed_.fetch_add(1, std::memory_order_relaxed);
+          write_frame(fd, MsgType::kError,
+                      encode_text("malformed query payload"));
+          break;
+        }
+        // The shared_ptr copy pins this snapshot for the whole query, so a
+        // concurrent swap never pulls the mapping out from under us.
+        const std::shared_ptr<const ServedSnapshot> snap = snapshot();
+        const QueryResponse response = snap->engine->execute(request);
+        if (response.status == QueryStatus::kOk)
+          served_.fetch_add(1, std::memory_order_relaxed);
+        else
+          failed_.fetch_add(1, std::memory_order_relaxed);
+        write_frame(fd, MsgType::kReply, encode_query_response(response));
+        break;
+      }
+      case MsgType::kSwap: {
+        std::string path;
+        if (!decode_text(frame.payload, path)) {
+          failed_.fetch_add(1, std::memory_order_relaxed);
+          write_frame(fd, MsgType::kError,
+                      encode_text("malformed swap payload"));
+          break;
+        }
+        std::string swap_error;
+        if (swap(path, &swap_error)) {
+          write_frame(fd, MsgType::kReply, encode_text(""));
+        } else {
+          failed_.fetch_add(1, std::memory_order_relaxed);
+          write_frame(fd, MsgType::kError, encode_text(swap_error));
+        }
+        break;
+      }
+      case MsgType::kPing:
+        write_frame(fd, MsgType::kReply, std::string());
+        break;
+      case MsgType::kStats:
+        write_frame(fd, MsgType::kReply, encode_stats(stats()));
+        break;
+      case MsgType::kStop:
+        write_frame(fd, MsgType::kReply, std::string());
+        request_stop();
+        break;
+      default:
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        write_frame(fd, MsgType::kError,
+                    encode_text("unexpected message type"));
+        break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    client_fds_[slot] = -1;
+  }
+  ::close(fd);
+  active_clients_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace cloudmap::serve

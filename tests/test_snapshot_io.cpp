@@ -169,19 +169,22 @@ TEST(SnapshotIo, LegacyV1SaveLoadsWithZeroConfidence) {
   ASSERT_EQ(loaded->stage_reports.size(), 1u);
   EXPECT_EQ(loaded->stage_reports[0].retries, 0u);
   EXPECT_EQ(loaded->stage_reports[0].backoff_ticks, 0u);
-  // A v1 file is strictly smaller (one fewer section, shorter records) and
-  // resaving it at the current version restores the default v2 layout.
-  EXPECT_LT(bytes.size(), save_to_string(original).size());
+  // Resaving a legacy file at the default version upgrades it to the
+  // current flat format.
   const std::string resaved = save_to_string(*loaded);
-  EXPECT_EQ(resaved[6], 2);
+  EXPECT_EQ(resaved[6], 3);
 }
 
 TEST(SnapshotIo, RejectsConfidenceOutOfRangeWithValidCrc) {
   // Corrupt the first confidence score to 2.0 and fix up the section CRC,
-  // so only the domain check can catch it.
+  // so only the domain check can catch it. The confidence section only
+  // exists in the v2 layout (v3 carries confidence inside the flat blob, a
+  // case test_snapshot_v3.cpp covers), so save v2 explicitly.
   RunSnapshot snap = sample_snapshot();
   canonicalize(snap);
-  const std::string good = save_to_string(snap);
+  std::ostringstream v2_out;
+  save_snapshot(v2_out, snap, /*version=*/2);
+  const std::string good = v2_out.str();
   std::size_t conf_offset = 0, conf_size = 0, crc_pos = 0;
   for (std::size_t i = 0; i < 6; ++i) {
     const std::size_t base = 12 + i * 24;
@@ -270,8 +273,12 @@ TEST(SnapshotIo, RejectsUnknownVersion) {
 
 TEST(SnapshotIo, CrcCatchesEveryPayloadByteFlip) {
   const std::string good = save_to_string(sample_snapshot());
-  // Payloads start after header + table (6 sections × 24B entries + 12B).
-  const std::size_t payload_start = 12 + 6 * 24;
+  // Payloads start after the header and the section table; read the section
+  // count from the file so the sweep covers every payload byte regardless
+  // of which format version the writer emits.
+  std::uint32_t section_count = 0;
+  std::memcpy(&section_count, good.data() + 8, 4);
+  const std::size_t payload_start = 12 + section_count * std::size_t{24};
   ASSERT_LT(payload_start, good.size());
   // Flip one bit of every payload byte in turn: each must be caught by the
   // section CRC (or a downstream range check), never crash, never load.
@@ -303,10 +310,14 @@ TEST(SnapshotIo, RejectsTrailingGarbage) {
 
 TEST(SnapshotIo, RejectsOutOfRangeEnumWithValidCrc) {
   // Corrupt a field *and* fix up the section CRC so only the range check
-  // can catch it: confirmation byte of the first segment record.
+  // can catch it: confirmation byte of the first segment record. The
+  // byte-addressed segment section is v1/v2 only, so save v2 explicitly
+  // (v3 enum checks are exercised in test_snapshot_v3.cpp).
   RunSnapshot snap = sample_snapshot();
   canonicalize(snap);
-  const std::string good = save_to_string(snap);
+  std::ostringstream v2_out;
+  save_snapshot(v2_out, snap, /*version=*/2);
+  const std::string good = v2_out.str();
   // Find the segments section (id 2) in the table to locate its payload.
   const auto entry_at = [&](std::size_t i) {
     return 12 + i * 24;  // header is 12 bytes, entries 24

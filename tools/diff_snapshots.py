@@ -3,13 +3,17 @@
 
 Usage: diff_snapshots.py A.snap B.snap
 
-Independently re-implements the snapshot reader (format spec: DESIGN.md §7–8,
-src/io/snapshot.h) so CI cross-checks the C++ codec: magic, format version
-(v1 and v2 both accepted), and every section CRC are verified with Python's
-zlib.crc32 before anything is compared. Prints the segment- and pin-level
-churn between the two runs — the same added/removed/re-confirmed/re-pinned
-classes `cloudmap_cli diff` reports — plus per-segment confidence drift for
-v2 snapshots and the metadata of each side.
+Independently re-implements the snapshot reader (format spec: DESIGN.md §7–8
+and §11, src/io/snapshot.h, src/io/snapshot_v3.h) so CI cross-checks the C++
+codec: magic, format version (v1, v2, and the flat zero-copy v3 all
+accepted), and every section CRC are verified with Python's zlib.crc32
+before anything is compared. For v3 files the flat-fabric blob's directory
+is walked directly (the same records FabricView serves from). Prints the
+segment- and pin-level churn between the two runs — the same
+added/removed/re-confirmed/re-pinned classes `cloudmap_cli diff` reports —
+plus per-segment confidence drift for v2+ snapshots and the metadata of
+each side, so mixed-version pairs (e.g. a v2 archive against a v3 re-save)
+diff cleanly.
 
 Exit status: 0 when both files parse (identical or not), 1 on any parse or
 validation error — or, with --expect-identical, when the two runs disagree
@@ -24,9 +28,18 @@ import sys
 import zlib
 
 MAGIC = b"CMSNAP"
-FORMAT_VERSIONS = (1, 2)  # v2 adds the per-segment confidence section (id 6)
+# v2 adds the per-segment confidence section (id 6); v3 replaces sections
+# 2-6 with one flat zero-copy blob (section id 7).
+FORMAT_VERSIONS = (1, 2, 3)
 HEADER = struct.Struct("<6sHI")
 TABLE_ENTRY = struct.Struct("<IQQI")
+
+FLAT_MAGIC = 0x33464D43  # "CMF3", little-endian
+# V3Segment prefix through rounds_mask (spans and floats read separately).
+V3_SEGMENT = struct.Struct("<IIIIiBBBBIIIII")
+V3_SEGMENT_SIZE = 80
+V3_PIN = struct.Struct("<IIBBHi")
+V3_PIN_SIZE = 16
 
 CONFIRMATION_NAMES = [
     "unconfirmed", "ixp_client", "hybrid", "reachability", "alias_relabel",
@@ -85,13 +98,26 @@ def read_snapshot(path):
             raise SnapshotError("%s: section %d CRC mismatch" % (path, sid))
         sections[sid] = payload
 
-    for sid in (1, 2, 3):
+    required = (1, 7) if version >= 3 else (1, 2, 3)
+    for sid in required:
         if sid not in sections:
             raise SnapshotError("%s: missing required section %d" % (path, sid))
 
     meta = Cursor(sections[1], "meta")
     seed, threads, subject = meta.take("QiB")
+    if version >= 3:
+        # v3 pads the meta section to 20 bytes so the flat blob that follows
+        # sits 8-byte aligned in the file.
+        pad = meta.take("7B")
+        if any(pad):
+            raise SnapshotError("%s: nonzero meta padding" % path)
     meta.done()
+
+    if version >= 3:
+        segments, pins, confidence = read_flat_fabric(path, sections[7])
+        return {"path": path, "seed": seed, "threads": threads,
+                "subject": subject, "version": version, "segments": segments,
+                "pins": pins, "confidence": confidence}
 
     segments = {}
     segment_order = []  # (abi, cbi) in file order, for the confidence section
@@ -147,6 +173,57 @@ def read_snapshot(path):
     return {"path": path, "seed": seed, "threads": threads,
             "subject": subject, "version": version, "segments": segments,
             "pins": pins, "confidence": confidence}
+
+
+def read_flat_fabric(path, blob):
+    """Parse the v3 flat-fabric blob into the same (segments, pins,
+    confidence) shape the v1/v2 section walk produces, bounds-checking the
+    directory like snapv3::validate_flat_fabric does."""
+    if len(blob) < 400:
+        raise SnapshotError("%s: flat blob shorter than its directory" % path)
+    magic, blob_size = struct.unpack_from("<II", blob, 0)
+    if magic != FLAT_MAGIC:
+        raise SnapshotError("%s: bad flat-fabric magic" % path)
+    if blob_size != len(blob):
+        raise SnapshotError("%s: flat blob size field %d != payload size %d"
+                            % (path, blob_size, len(blob)))
+
+    def table(index):
+        # Directory off/count pairs start at byte 8: segments, reports,
+        # tallies, pins, regional, trie, by_peer, by_metro, alias, pool,
+        # strings (src/io/snapshot_v3.h).
+        return struct.unpack_from("<II", blob, 8 + index * 8)
+
+    segments_off, segment_count = table(0)
+    pins_off, pin_count = table(3)
+    if segments_off + segment_count * V3_SEGMENT_SIZE > len(blob):
+        raise SnapshotError("%s: segment records out of bounds" % path)
+    if pins_off + pin_count * V3_PIN_SIZE > len(blob):
+        raise SnapshotError("%s: pin records out of bounds" % path)
+
+    segments = {}
+    confidence = {}
+    for i in range(segment_count):
+        base = segments_off + i * V3_SEGMENT_SIZE
+        (abi, cbi, _prior, _post, _round, confirmation, flags, group, _pad,
+         _owner, peer_asn, _org, observations,
+         rounds_mask) = V3_SEGMENT.unpack_from(blob, base)
+        if confirmation >= len(CONFIRMATION_NAMES):
+            raise SnapshotError("%s: confirmation %d out of range"
+                                % (path, confirmation))
+        density, score = struct.unpack_from("<dd", blob, base + 64)
+        if not (0.0 <= density <= 1.0) or not (0.0 <= score <= 1.0):
+            raise SnapshotError("%s: confidence fields out of range for "
+                                "%s > %s" % (path, ip(abi), ip(cbi)))
+        segments[(abi, cbi)] = (confirmation, flags, group, peer_asn)
+        confidence[(abi, cbi)] = (observations, rounds_mask, density, score)
+
+    pins = {}
+    for i in range(pin_count):
+        address, metro, _rule, _source, _pad, _round = V3_PIN.unpack_from(
+            blob, pins_off + i * V3_PIN_SIZE)
+        pins[address] = metro
+    return segments, pins, confidence
 
 
 def ip(value):

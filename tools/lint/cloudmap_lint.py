@@ -140,7 +140,7 @@ NONDET_ALLOWLIST = (
 
 # Paths whose output ordering is a serialized artifact: iterating an
 # unordered container here without sorting changes bytes run-to-run.
-ORDER_SENSITIVE = ("src/io/", "src/query/", "src/obs/emit.cpp")
+ORDER_SENSITIVE = ("src/io/", "src/query/", "src/serve/", "src/obs/emit.cpp")
 
 # Identifier declared (or received as a parameter) with an unordered type.
 UNORDERED_DECL_RE = re.compile(

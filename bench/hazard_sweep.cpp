@@ -1,0 +1,74 @@
+// BM_HazardSweep — cost of the adversarial scenario engine: one full
+// pipeline run per hazard preset on the scorecard world, timed end to end
+// (world hazards + campaign + inference + scoring; the churn preset times
+// the whole longitudinal sequence). Emits BENCH_hazard_sweep.json for the
+// trajectory gate, with the deterministic inference results as counters so
+// a regression in *what* the hazards do shows up next to a regression in
+// how long they take.
+//
+//   CLOUDMAP_THREADS     campaign worker count (default: all hardware)
+//   CLOUDMAP_BENCH_DIR   trajectory output directory (default: cwd)
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "scenario/score.h"
+
+using namespace cloudmap;
+
+namespace {
+
+double elapsed_ns(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  const int threads = bench::bench_threads();
+  ScorecardConfig config;
+  config.threads = threads;
+
+  std::printf("BM_HazardSweep: scorecard pipeline per hazard preset "
+              "(world seed %llu, hazard seed %llu, threads %d)\n\n",
+              static_cast<unsigned long long>(config.world_seed),
+              static_cast<unsigned long long>(config.hazard_seed), threads);
+
+  std::vector<bench::TrajectoryEntry> entries;
+  for (const std::string& name : HazardProfile::preset_names()) {
+    const HazardProfile profile = *HazardProfile::preset(name);
+    const auto start = std::chrono::steady_clock::now();
+    const HazardScore row = score_profile(profile, config);
+    const double ns = elapsed_ns(start);
+
+    bench::TrajectoryEntry entry;
+    entry.name = "BM_HazardSweep/" + name;
+    entry.iterations = 1;
+    entry.ns_per_op = ns;
+    entry.threads = threads;
+    entry.counters.emplace_back("segments",
+                                static_cast<double>(row.segments));
+    entry.counters.emplace_back("precision", row.precision);
+    entry.counters.emplace_back("recall", row.recall);
+    if (row.has_remote_rule)
+      entry.counters.emplace_back(
+          "remote_recovered", static_cast<double>(row.remote_rule.recovered));
+    if (row.has_churn)
+      entry.counters.emplace_back(
+          "churn_reconstructed",
+          static_cast<double>(row.churn.reconstructed));
+    entries.push_back(entry);
+
+    std::printf("  %-16s %8.1f ms  segments %4zu  precision %.3f  "
+                "recall %.3f\n",
+                name.c_str(), ns / 1e6, row.segments, row.precision,
+                row.recall);
+  }
+
+  bench::write_trajectory("hazard_sweep", entries, nullptr, threads, nullptr);
+  return 0;
+}

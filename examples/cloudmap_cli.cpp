@@ -16,6 +16,10 @@
 //                                         plus swap PATH | stats | ping |
 //                                         stop
 //   cloudmap_cli diff A B                 longitudinal snapshot comparison
+//   cloudmap_cli hazards list             presets + hazard kinds
+//   cloudmap_cli hazards describe P       canonical spec of a profile
+//   cloudmap_cli hazards score [P ...]    degradation scorecard per profile
+//                                         [--json PATH] [--out-dir DIR]
 //
 // Local and remote queries build the same QueryRequest and print through
 // the same code; the only difference is whether execute() runs in-process
@@ -42,6 +46,10 @@
 //   --deterministic-metrics  zero wall-clock metrics fields so artifacts and
 //                        snapshots are byte-identical across runs
 //   --min-confidence X   filter query listings to segments scoring >= X
+//   --hazard-profile P   apply an adversarial hazard profile (preset name or
+//                        spec like "loss:0.2,mpls:0.3") to the world and the
+//                        campaign; churn profiles only take effect under
+//                        `hazards score` (they emit world sequences)
 //   CLOUDMAP_THREADS / CLOUDMAP_METRICS_JSON / CLOUDMAP_SNAPSHOT /
 //   CLOUDMAP_RETRY_BUDGET / CLOUDMAP_DETERMINISTIC_METRICS env equivalents
 //
@@ -66,20 +74,26 @@
 #include "query/engine.h"
 #include "query/fabric_index.h"
 #include "query/request.h"
+#include "scenario/score.h"
+#include "scenario/world_hazards.h"
 #include "serve/client.h"
 
 using namespace cloudmap;
 
 namespace {
 
-World make_world(std::uint64_t seed) {
+// The hazard master seed is the world seed: `--hazard-profile P SEED` is a
+// complete replay key (profile + seed => byte-identical snapshot).
+World make_world(std::uint64_t seed, const HazardProfile& hazards) {
   GeneratorConfig config = GeneratorConfig::small();
   config.seed = seed;
-  return generate_world(config);
+  World world = generate_world(config);
+  if (!hazards.empty()) apply_world_hazards(world, hazards, seed);
+  return world;
 }
 
-int cmd_worldgen(std::uint64_t seed) {
-  const World world = make_world(seed);
+int cmd_worldgen(std::uint64_t seed, const FrontendOptions& front) {
+  const World world = make_world(seed, front.hazard_profile);
   std::printf("world (seed %llu)\n", static_cast<unsigned long long>(seed));
   std::printf("  metros        %zu\n", world.metros.size());
   std::printf("  colos         %zu\n", world.colos.size());
@@ -130,7 +144,7 @@ int emit_metrics(const Pipeline& pipeline, const FrontendOptions& front) {
 
 int cmd_campaign(std::uint64_t seed, const std::string& path,
                  const FrontendOptions& front) {
-  const World world = make_world(seed);
+  const World world = make_world(seed, front.hazard_profile);
   Pipeline pipeline(world, front.pipeline);
   if (front.metrics_json.empty() && front.metrics_csv.empty()) {
     pipeline.run_until(StageId::kAliasVerification);  // rounds + §5
@@ -167,7 +181,7 @@ int cmd_campaign(std::uint64_t seed, const std::string& path,
 
 int cmd_analyze(std::uint64_t seed, const std::string& path,
                 const FrontendOptions& front) {
-  const World world = make_world(seed);
+  const World world = make_world(seed, front.hazard_profile);
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot read %s (run `campaign` first)\n",
@@ -203,7 +217,7 @@ int cmd_analyze(std::uint64_t seed, const std::string& path,
 // stored, so `query` below never needs the world.
 int cmd_snapshot(std::uint64_t seed, const std::string& path,
                  const FrontendOptions& front) {
-  const World world = make_world(seed);
+  const World world = make_world(seed, front.hazard_profile);
   Pipeline pipeline(world, front.pipeline);
   const RunSnapshot& snap = pipeline.run_snapshot();
   std::string error;
@@ -546,10 +560,159 @@ int cmd_diff(const std::vector<std::string>& args) {
   return 0;
 }
 
+void print_score_row(const HazardScore& row) {
+  std::printf("%-14s segments %4zu  precision %.3f  recall %.3f  "
+              "pin %.3f  conf %.3f  calib %+.3f\n",
+              row.profile.c_str(), row.segments, row.precision, row.recall,
+              row.pinning_accuracy, row.mean_confidence, row.calibration_gap);
+  if (row.has_remote_rule)
+    std::printf("    remote-rule: planted %zu, measured %zu, recovered %zu, "
+                "false-remote %zu (>= %.1f ms)\n",
+                row.remote_rule.planted, row.remote_rule.measured,
+                row.remote_rule.recovered, row.remote_rule.false_remote,
+                row.remote_rule.threshold_ms);
+  if (row.has_churn)
+    std::printf("    churn: %zu events, %zu observable, %zu reconstructed\n",
+                row.churn.events, row.churn.observable,
+                row.churn.reconstructed);
+}
+
+// hazards list | describe NAME|SPEC | score [PROFILE ...] [--json PATH]
+// [--out-dir DIR]. The scorecard runs the full pipeline once per profile
+// (plus a longitudinal world per churn step) on the fixed scorecard world.
+int cmd_hazards(const std::vector<std::string>& args,
+                const FrontendOptions& front) {
+  const std::string action = args.size() > 1 ? args[1] : "list";
+
+  if (action == "list") {
+    std::printf("hazard kinds:\n");
+    for (int k = 0; k < kHazardKindCount; ++k) {
+      const auto kind = static_cast<HazardKind>(k);
+      std::printf("  %-12s %s\n", hazard_kind_name(kind),
+                  hazard_kind_description(kind));
+    }
+    std::printf("presets:\n");
+    for (const std::string& name : HazardProfile::preset_names()) {
+      const auto preset = HazardProfile::preset(name);
+      const std::string spec = preset->spec_string();
+      std::printf("  %-16s %s\n", name.c_str(),
+                  spec.empty() ? "(no hazards)" : spec.c_str());
+    }
+    return 0;
+  }
+
+  if (action == "describe") {
+    if (args.size() < 3) {
+      std::fprintf(stderr, "usage: hazards describe NAME|SPEC\n");
+      return 2;
+    }
+    std::string error;
+    const auto profile = HazardProfile::parse(args[2], &error);
+    if (!profile) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    const std::string spec = profile->spec_string();
+    std::printf("profile %s: %s\n", profile->name.c_str(),
+                spec.empty() ? "(no hazards)" : spec.c_str());
+    for (const HazardSpec& hazard : profile->hazards) {
+      std::printf("  %-12s intensity %.3g%s  %s\n",
+                  hazard_kind_name(hazard.kind), hazard.intensity,
+                  hazard.kind == HazardKind::kPeeringChurn
+                      ? (" over " + std::to_string(hazard.steps) + " steps")
+                            .c_str()
+                      : "",
+                  hazard_kind_description(hazard.kind));
+    }
+    return 0;
+  }
+
+  if (action != "score") {
+    std::fprintf(stderr,
+                 "usage: hazards list | describe NAME|SPEC | "
+                 "score [PROFILE ...] [--json PATH] [--out-dir DIR]\n");
+    return 2;
+  }
+
+  // Flags land in `args` because the shared option parser does not know
+  // them; split them from the profile operands here.
+  std::string json_path;
+  std::string out_dir;
+  std::vector<std::string> names;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    if (args[i] == "--json" || args[i] == "--out-dir") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "%s requires a value\n", args[i].c_str());
+        return 2;
+      }
+      std::string& into = args[i] == "--json" ? json_path : out_dir;
+      into = args[++i];
+    } else {
+      names.push_back(args[i]);
+    }
+  }
+  if (names.empty())
+    for (const std::string& name : HazardProfile::preset_names())
+      if (name != "baseline") names.push_back(name);
+
+  std::vector<HazardProfile> profiles;
+  for (const std::string& name : names) {
+    std::string error;
+    const auto profile = HazardProfile::parse(name, &error);
+    if (!profile) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    profiles.push_back(*profile);
+  }
+
+  ScorecardConfig config;
+  config.threads = front.pipeline.campaign.threads;
+  config.deterministic_metrics = front.pipeline.deterministic_metrics;
+
+  const HazardScore baseline = score_profile(HazardProfile{}, config);
+  std::printf("scorecard (world seed %llu, hazard seed %llu)\n",
+              static_cast<unsigned long long>(config.world_seed),
+              static_cast<unsigned long long>(config.hazard_seed));
+  print_score_row(baseline);
+  std::vector<HazardScore> rows;
+  for (const HazardProfile& profile : profiles) {
+    rows.push_back(score_profile(profile, config));
+    print_score_row(rows.back());
+    if (!out_dir.empty() &&
+        profile.find(HazardKind::kPeeringChurn) != nullptr) {
+      const ChurnRun run = run_churn_sequence(profile, config);
+      for (std::size_t t = 0; t < run.snapshots.size(); ++t) {
+        const std::string path =
+            out_dir + "/world_t" + std::to_string(t) + ".snap";
+        std::string error;
+        if (!save_snapshot_file(path, run.snapshots[t], &error)) {
+          std::fprintf(stderr, "%s\n", error.c_str());
+          return 1;
+        }
+      }
+      std::printf("    wrote %zu churn-step snapshots to %s\n",
+                  run.snapshots.size(), out_dir.c_str());
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    write_scorecard_json(out, baseline, rows, config);
+    std::printf("scorecard: wrote %s (%zu profiles)\n", json_path.c_str(),
+                rows.size());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const FrontendOptions front = options_from_env_and_args(argc, argv);
+  FrontendOptions front = options_from_env_and_args(argc, argv);
   if (!front.ok()) {
     std::fprintf(stderr, "%s\n", front.error.c_str());
     return 2;
@@ -560,7 +723,21 @@ int main(int argc, char** argv) {
       args.size() > 1 ? std::strtoull(args[1].c_str(), nullptr, 10) : 7;
   const std::string path = args.size() > 2 ? args[2] : "cloudmap_fabric.txt";
 
-  if (command == "worldgen") return cmd_worldgen(seed);
+  if (command == "hazards") return cmd_hazards(args, front);
+  if (!front.hazard_profile.empty()) {
+    // World hazards are applied in make_world; the dataplane projection and
+    // provenance label ride on the pipeline options. Churn emits world
+    // sequences, which only `hazards score` and examples/longitudinal_churn
+    // run — warn rather than silently half-apply it.
+    apply_dataplane_hazards(front.pipeline, front.hazard_profile, seed);
+    if (front.hazard_profile.find(HazardKind::kPeeringChurn) != nullptr)
+      std::fprintf(stderr,
+                   "note: churn hazard ignored by '%s' (longitudinal "
+                   "sequences run under `hazards score`)\n",
+                   command.c_str());
+  }
+
+  if (command == "worldgen") return cmd_worldgen(seed, front);
   if (command == "campaign") return cmd_campaign(seed, path, front);
   if (command == "analyze") return cmd_analyze(seed, path, front);
   if (command == "snapshot") {
@@ -571,7 +748,7 @@ int main(int argc, char** argv) {
   if (command == "remote") return cmd_remote(args, front);
   if (command == "diff") return cmd_diff(args);
   if (command == "all") {
-    if (const int rc = cmd_worldgen(seed)) return rc;
+    if (const int rc = cmd_worldgen(seed, front)) return rc;
     if (const int rc = cmd_campaign(seed, path, front)) return rc;
     // The campaign pipeline already wrote the metrics artifact; analysis
     // reloads the fabric without re-running stages.
@@ -583,11 +760,12 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "usage: %s [worldgen|campaign|analyze|all|snapshot] [seed] "
                "[file] | %s query FILE ACTION [ARG] | %s remote HOST:PORT "
-               "ACTION [ARG] | diff A B "
+               "ACTION [ARG] | diff A B | hazards list|describe P|score "
                "[--threads N] [--metrics-json PATH] [--metrics-csv PATH] "
                "[--no-metrics] [--snapshot PATH] [--retry-budget N] "
                "[--retry-backoff T] [--response-scale X] [--host-response X] "
-               "[--deterministic-metrics] [--min-confidence X]\n",
+               "[--deterministic-metrics] [--min-confidence X] "
+               "[--hazard-profile P]\n",
                argv[0], argv[0], argv[0]);
   return 2;
 }

@@ -66,6 +66,17 @@ FrontendOptions options_from_env() {
   if (env_truthy(std::getenv(  // NOLINT(concurrency-mt-unsafe) -- startup, pre-thread
           "CLOUDMAP_DETERMINISTIC_METRICS")))
     out.pipeline.deterministic_metrics = true;
+  if (const char* env = std::getenv(  // NOLINT(concurrency-mt-unsafe) -- startup, pre-thread
+          "CLOUDMAP_HAZARD_PROFILE")) {
+    std::string parse_error;
+    const auto profile = HazardProfile::parse(env, &parse_error);
+    if (!profile) {
+      out.error =
+          std::string("CLOUDMAP_HAZARD_PROFILE: ") + parse_error;
+      return out;
+    }
+    out.hazard_profile = *profile;
+  }
   return out;
 }
 
@@ -161,6 +172,16 @@ FrontendOptions options_from_env_and_args(int argc, char** argv) {
         return out;
       }
       out.min_confidence = threshold;
+    } else if (arg == "--hazard-profile") {
+      std::string value;
+      if (!flag_value(i, "--hazard-profile", value)) return out;
+      std::string parse_error;
+      const auto profile = HazardProfile::parse(value, &parse_error);
+      if (!profile) {
+        out.error = "error: --hazard-profile: " + parse_error;
+        return out;
+      }
+      out.hazard_profile = *profile;
     } else if (arg == "--deterministic-metrics") {
       out.pipeline.deterministic_metrics = true;
     } else if (arg == "--no-metrics") {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "scenario/hazard.h"
 
 namespace cloudmap {
 
@@ -26,6 +27,13 @@ struct FrontendOptions {
   // Minimum segment confidence for query front-ends (--min-confidence).
   // Negative = unset: callers apply no filter.
   double min_confidence = -1.0;
+  // Adversarial hazard profile (--hazard-profile NAME|SPEC, or the
+  // CLOUDMAP_HAZARD_PROFILE environment variable). Accepts a preset name
+  // (`cloudmap_cli hazards list`) or a spec like "loss:0.2,remote:0.5".
+  // Empty = no hazards; the front-end is expected to apply world hazards
+  // before building the pipeline and dataplane hazards via
+  // apply_dataplane_hazards (scenario/score.h).
+  HazardProfile hazard_profile;
   // Arguments not consumed by a recognized flag, in original order.
   std::vector<std::string> positional;
   // Non-empty on a parse/validation failure (unknown value, negative
@@ -44,8 +52,8 @@ FrontendOptions options_from_env();
 // Environment first, then flags: --threads N, --metrics-json PATH,
 // --metrics-csv PATH, --no-metrics, --snapshot PATH, --retry-budget N,
 // --retry-backoff TICKS, --response-scale X, --host-response X,
-// --deterministic-metrics, --min-confidence X. Everything else lands in
-// `positional`.
+// --deterministic-metrics, --min-confidence X, --hazard-profile NAME|SPEC.
+// Everything else lands in `positional`.
 FrontendOptions options_from_env_and_args(int argc, char** argv);
 
 // Knobs for the snapshot-serving daemon (examples/cloudmap_serve.cpp,

@@ -327,6 +327,7 @@ const RunSnapshot& Pipeline::run_snapshot() {
   out.seed = options_.seed;
   out.threads = options_.campaign.threads;
   out.subject = static_cast<std::uint8_t>(options_.subject);
+  out.hazard_profile = options_.hazard_label;
 
   out.segments.reserve(campaign_->fabric().segments().size());
   for (const InferredSegment& seg : campaign_->fabric().segments()) {

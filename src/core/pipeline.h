@@ -67,6 +67,12 @@ struct PipelineOptions {
   // runs. Counters and structural fields are untouched. CI uses this to
   // assert snapshot identity with `cmp` instead of result-level diffing.
   bool deterministic_metrics = false;
+  // Hazard provenance stamped into the RunSnapshot (the canonical
+  // HazardProfile spec string; scenario/hazard.h). Informational only — the
+  // hazards themselves ride on campaign.traceroute.hazards and on the world
+  // passed in. Empty ⇒ the snapshot carries no hazard section and keeps its
+  // pre-hazard bytes.
+  std::string hazard_label;
 };
 
 // Ground-truth scoring of the inferred fabric (only possible because the

@@ -294,14 +294,21 @@ PathOutcome Forwarder::walk_client_side(RouterId entry, Ipv4 dst,
   return PathOutcome::kDelivered;
 }
 
-ForwardPath Forwarder::path(const VantagePoint& vp, Ipv4 dst) const {
+ForwardPath Forwarder::path(const VantagePoint& vp, Ipv4 dst,
+                            std::uint32_t epoch) const {
   ForwardPath out;
-  path_into(vp, dst, out);
+  path_into(vp, dst, out, epoch);
   return out;
 }
 
-void Forwarder::path_into(const VantagePoint& vp, Ipv4 dst,
-                          ForwardPath& out) const {
+void Forwarder::path_into(const VantagePoint& vp, Ipv4 dst, ForwardPath& out,
+                          std::uint32_t epoch) const {
+  // The per-destination flow hash keys every ECMP tie-break below. Epoch 0
+  // must leave it untouched (the route-churn hazard's determinism contract:
+  // no hazard ⇒ bit-identical paths), so the perturbation is gated rather
+  // than unconditionally mixed.
+  const std::uint32_t flow =
+      epoch == 0 ? dst.value() : dst.value() ^ (0x9E3779B9u * epoch);
   out.hops.clear();
   out.outcome = PathOutcome::kNoRoute;
   out.egress_interconnect = LinkId{};
@@ -328,10 +335,10 @@ void Forwarder::path_into(const VantagePoint& vp, Ipv4 dst,
         if (as_it != world_->as_by_asn.end()) direct_origin = as_it->second;
       }
       const LinkId egress =
-          choose_egress(vp.region, entry->egress, dst.value(), direct_origin);
+          choose_egress(vp.region, entry->egress, flow, direct_origin);
       const Link& l = world_->link(egress);
       const RouterId border = world_->interface(l.side_a).router;
-      if (!cloud_internal_chain(vp.region, border, dst.value(), out.hops)) {
+      if (!cloud_internal_chain(vp.region, border, flow, out.hops)) {
         out.outcome = PathOutcome::kNoRoute;
         return;
       }
@@ -356,7 +363,7 @@ void Forwarder::path_into(const VantagePoint& vp, Ipv4 dst,
       const OrgId cloud_org =
           world_->ases[world_->cloud_primary(vp.provider).value].org;
       if (world_->ases[owner.value].org == cloud_org) {
-        if (cloud_internal_chain(vp.region, router, dst.value(), out.hops)) {
+        if (cloud_internal_chain(vp.region, router, flow, out.hops)) {
           out.outcome = PathOutcome::kDelivered;
           return;
         }
@@ -369,7 +376,7 @@ void Forwarder::path_into(const VantagePoint& vp, Ipv4 dst,
       const OrgId cloud_org =
           world_->ases[world_->cloud_primary(vp.provider).value].org;
       if (world_->ases[owner.value].org == cloud_org &&
-          cloud_internal_chain(vp.region, *hosting, dst.value(), out.hops)) {
+          cloud_internal_chain(vp.region, *hosting, flow, out.hops)) {
         out.outcome = PathOutcome::kDelivered;
         return;
       }

@@ -52,13 +52,19 @@ class Forwarder {
   // Builds FIBs and helper indices; `sim` must outlive the forwarder.
   Forwarder(const World& world, const BgpSimulator& sim);
 
-  // Path from a vantage point to a destination address.
-  ForwardPath path(const VantagePoint& vp, Ipv4 dst) const;
+  // Path from a vantage point to a destination address. `epoch` selects a
+  // forwarding-state generation for the route-churn hazard: epoch 0 is the
+  // unperturbed state (bit-identical to the pre-hazard forwarder); any
+  // other value re-keys the per-destination ECMP tie-breaks, modelling an
+  // IGP/BGP reconvergence that shifted equal-cost choices fabric-wide.
+  ForwardPath path(const VantagePoint& vp, Ipv4 dst,
+                   std::uint32_t epoch = 0) const;
 
   // As path(), but writes into a caller-owned result whose hop storage is
   // reused across calls (the traceroute engine keeps one scratch path per
   // engine, so steady-state tracing performs no per-path allocation).
-  void path_into(const VantagePoint& vp, Ipv4 dst, ForwardPath& out) const;
+  void path_into(const VantagePoint& vp, Ipv4 dst, ForwardPath& out,
+                 std::uint32_t epoch = 0) const;
 
   // Round-trip propagation delay from a vantage point to the router owning
   // interface `target` (no response simulation — pure geometry); nullopt

@@ -27,13 +27,27 @@ TracerouteOptions TracerouteOptions::clamped() const {
   out.response_scale = clamp_or(out.response_scale, 0.0, 1.0);
   out.jitter_mean_ms = clamp_or(out.jitter_mean_ms, 0.0, 1e6);
   out.queueing_max_ms = clamp_or(out.queueing_max_ms, 0.0, 1e6);
+  out.hazards = out.hazards.clamped();
   return out;
 }
 
 TracerouteEngine::TracerouteEngine(const Forwarder& forwarder,
                                    std::uint64_t seed,
                                    TracerouteOptions options)
-    : forwarder_(&forwarder), rng_(seed), options_(options.clamped()) {}
+    : forwarder_(&forwarder), rng_(seed), options_(options.clamped()) {
+  // Hazard zero (loss) composes multiplicatively with the legacy
+  // response_scale alias. A zero loss multiplies by exactly 1.0, so the
+  // pre-hazard probability — and with it every chance() draw — is bit-exact.
+  effective_response_scale_ =
+      options_.response_scale * (1.0 - options_.hazards.loss);
+}
+
+bool TracerouteEngine::rate_limited(std::uint32_t router) {
+  const auto allowed = static_cast<std::uint64_t>(
+      (1.0 - options_.hazards.rate_limit) * kRateLimitWindow + 0.5);
+  const std::uint64_t position = rate_buckets_[router]++ % kRateLimitWindow;
+  return position >= allowed;
+}
 
 double TracerouteEngine::jitter() {
   double extra = rng_.exponential(options_.jitter_mean_ms);
@@ -56,19 +70,33 @@ void TracerouteEngine::trace_into(const VantagePoint& vp, Ipv4 dst,
   record.status = TracerouteStatus::kUnreachable;
   record.hops.clear();
 
-  forwarder_->path_into(vp, dst, path_scratch_);
+  forwarder_->path_into(vp, dst, path_scratch_, options_.hazards.epoch);
   const ForwardPath& path = path_scratch_;
   record.true_egress = path.egress_interconnect;
   record.hops.reserve(path.hops.size() + options_.gap_limit + 1);
 
   int consecutive_misses = 0;
   for (const ForwardHop& hop : path.hops) {
+    // MPLS tunnel interior: the hop is spliced out of the record — no TTL
+    // expiry, no probe, no RNG draw, no gap-limit miss; its latency still
+    // accumulates into the next visible hop's RTT, like a real LSP.
+    if (options_.hazards.mpls_fraction > 0.0 &&
+        hazard_chance(options_.hazards.seed, HazardKind::kMplsHiddenHops,
+                      hop.router.value, 0, options_.hazards.mpls_fraction))
+      continue;
     ++probes_sent_;
     const Router& router = world.router(hop.router);
     TracerouteHop out;
     const bool answers =
         router.reply_policy != ReplyPolicy::kSilent &&
-        rng_.chance(router.response_probability * options_.response_scale);
+        rng_.chance(router.response_probability * effective_response_scale_);
+    // A reply the router generated, whether or not the rate limiter lets it
+    // out. Jitter and the loop-artifact chance are drawn whenever a reply
+    // is generated — even one the limiter then drops — so the RNG stream is
+    // invariant in the rate-limit knob and suppression at intensity `a` is
+    // a superset of suppression at any `b > a` (the monotonicity property
+    // tests rely on both).
+    bool generated = false;
     if (answers) {
       InterfaceId reply = hop.incoming;
       if (router.reply_policy == ReplyPolicy::kFixedInterface)
@@ -76,15 +104,23 @@ void TracerouteEngine::trace_into(const VantagePoint& vp, Ipv4 dst,
       if (!reply.valid() && !router.interfaces.empty())
         reply = router.interfaces.front();
       if (reply.valid()) {
-        out.address = world.interface(reply).address;
-        out.rtt_ms = 2.0 * hop.oneway_ms + jitter();
-        out.responded = true;
+        generated = true;
+        const double rtt = 2.0 * hop.oneway_ms + jitter();
+        const bool delivered = options_.hazards.rate_limit <= 0.0 ||
+                               !rate_limited(hop.router.value);
+        if (delivered) {
+          out.address = world.interface(reply).address;
+          out.rtt_ms = rtt;
+          out.responded = true;
+        }
       }
     }
-    if (out.responded) {
-      consecutive_misses = 0;
+    if (generated) {
       // Rare forwarding-loop artifact: repeat the previous answered hop.
-      if (record.hops.size() > 1 && rng_.chance(options_.loop_probability)) {
+      // Only a delivered reply can exhibit it, but the chance is drawn
+      // post-generation (stream invariance, see above).
+      if (record.hops.size() > 1 && rng_.chance(options_.loop_probability) &&
+          out.responded) {
         for (auto it = record.hops.rbegin(); it != record.hops.rend(); ++it) {
           if (it->responded) {
             record.hops.push_back(*it);
@@ -92,6 +128,9 @@ void TracerouteEngine::trace_into(const VantagePoint& vp, Ipv4 dst,
           }
         }
       }
+    }
+    if (out.responded) {
+      consecutive_misses = 0;
     } else if (++consecutive_misses >= options_.gap_limit) {
       record.hops.push_back(out);
       record.status = TracerouteStatus::kGapLimit;
@@ -120,7 +159,7 @@ void TracerouteEngine::trace_into(const VantagePoint& vp, Ipv4 dst,
     const Router& router = world.router(path.hops.back().router);
     dst_answers =
         router.reply_policy != ReplyPolicy::kSilent &&
-        rng_.chance(router.response_probability * options_.response_scale);
+        rng_.chance(router.response_probability * effective_response_scale_);
   } else {
     dst_answers = rng_.chance(options_.host_response);
   }

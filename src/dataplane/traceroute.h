@@ -6,11 +6,13 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "dataplane/forwarding.h"
 #include "dataplane/vantage.h"
 #include "net/ipv4.h"
+#include "scenario/hazard.h"
 #include "util/rng.h"
 
 namespace cloudmap {
@@ -47,7 +49,13 @@ struct TracerouteOptions {
   // Loss injection: scales every router's response_probability. 1.0 leaves
   // the world untouched (and draws the exact same RNG stream); lower values
   // simulate a degraded measurement plane for the re-probing machinery.
+  // This is the documented alias of hazards.loss (hazard zero of the
+  // scenario framework): the engine responds with probability
+  // response_probability * response_scale * (1 - hazards.loss).
   double response_scale = 1.0;
+  // Adversarial dataplane hazards (scenario/hazard.h). All-defaults draws
+  // the exact pre-hazard RNG stream; see DataplaneHazards for the contract.
+  DataplaneHazards hazards;
 
   // Copy with every field forced into its valid domain. gap_limit <= 0
   // would make the silent-padding loops in traceroute.cpp degenerate (every
@@ -75,15 +83,34 @@ class TracerouteEngine {
   std::uint64_t probes_sent() const noexcept { return probes_sent_; }
 
  private:
+  // Replies per rate-limit window: each router delivers the first
+  // round((1 - rate_limit) * window) of every kRateLimitWindow consecutive
+  // replies it generates on the simulated campaign clock and suppresses the
+  // rest. Windowing by the router's own reply stream (not the global probe
+  // count) is what makes the budget bite for hot border routers while
+  // leaving rarely-hit routers untouched — and makes the delivered set at a
+  // lower intensity a superset of the set at any higher one.
+  static constexpr std::uint64_t kRateLimitWindow = 32;
+
   double jitter();
+
+  // True when the rate-limit hazard suppresses this reply: the reply's
+  // position in the router's current window is past the budget. Always
+  // advances the router's reply counter, delivered or not.
+  bool rate_limited(std::uint32_t router);
 
   const Forwarder* forwarder_;
   Rng rng_;
   TracerouteOptions options_;
+  double effective_response_scale_ = 1.0;
   std::uint64_t probes_sent_ = 0;
   // Arena for the forwarder's answer; owned by the engine (one engine per
   // worker chunk), never aliased by the records handed back to callers.
   ForwardPath path_scratch_;
+  // ICMP rate-limit reply counters, by router id. Only touched when the
+  // hazard is active (per-engine state, so results stay chunk-local and
+  // thread-count invariant).
+  std::unordered_map<std::uint32_t, std::uint64_t> rate_buckets_;
 };
 
 }  // namespace cloudmap

@@ -39,11 +39,18 @@ Campaign::Campaign(const World& world, const Forwarder& forwarder,
 Campaign::SweepChunkResult Campaign::sweep_chunk(
     const Annotator& annotator, const std::vector<Ipv4>& targets,
     std::size_t vp_index, std::size_t begin, std::size_t end,
-    std::uint64_t chunk, std::uint64_t sweep_index) const {
+    std::uint64_t chunk, std::uint64_t sweep_index,
+    std::uint32_t epoch) const {
   const VantagePoint& vp = vps_[vp_index];
   const std::uint64_t chunk_seed =
       stream_seed(config_.seed, sweep_index, vp.region.value, chunk);
-  TracerouteEngine engine(*forwarder_, chunk_seed, config_.traceroute);
+  // The work item's forwarding-state epoch rides on the engine options so
+  // primary and retry engines see the same state. epoch 0 leaves the copy
+  // equal to config_.traceroute — the hazard-off path builds the exact
+  // engines it always built.
+  TracerouteOptions traceroute = config_.traceroute;
+  traceroute.hazards.epoch = epoch;
+  TracerouteEngine engine(*forwarder_, chunk_seed, traceroute);
   SweepChunkResult result;
   // Adjacencies repeat heavily across traces into the same /24; dedup per
   // chunk to keep the merge buffers small (the fabric's successor map is a
@@ -105,7 +112,7 @@ Campaign::SweepChunkResult Campaign::sweep_chunk(
       result.backoff_ticks += reprobe.backoff_ticks(attempt, retry_rng);
       ++result.backoff_waits;
       TracerouteEngine retry_engine(*forwarder_, retry_rng.next(),
-                                    config_.traceroute);
+                                    traceroute);
       retry_engine.trace_into(vp, targets[t], record);
       ++result.retries;
       const bool extracted = process(record);
@@ -147,13 +154,27 @@ RoundStats Campaign::sweep(const Annotator& annotator,
     }
   }
 
+  // Route-churn hazard: the last `route_churn` fraction of the canonical
+  // work-item list runs against forwarding-state epoch 1 — an atomic,
+  // fabric-wide swap at a deterministic item boundary, independent of the
+  // thread count (the boundary is an index into the canonical list, never
+  // a function of scheduling).
+  const double route_churn =
+      config_.traceroute.hazards.clamped().route_churn;
+  const std::size_t swap_at =
+      route_churn <= 0.0
+          ? items.size()
+          : items.size() -
+                static_cast<std::size_t>(
+                    static_cast<double>(items.size()) * route_churn);
+
   last_pool_stats_ = PoolStats{};
   std::vector<SweepChunkResult> results = parallel_transform(
       items.size(), config_.threads,
       [&](std::size_t i) {
         const WorkItem& item = items[i];
         return sweep_chunk(annotator, targets, item.vp, item.begin, item.end,
-                           item.chunk, sweep_index);
+                           item.chunk, sweep_index, i >= swap_at ? 1u : 0u);
       },
       metered ? &last_pool_stats_ : nullptr);
 

@@ -164,11 +164,15 @@ class Campaign {
 
   RoundStats sweep(const Annotator& annotator,
                    const std::vector<Ipv4>& targets, int round);
+  // `epoch` is the forwarding-state generation of this work item (the
+  // route-churn hazard swaps state atomically at a deterministic item
+  // boundary; 0 everywhere when the hazard is off).
   SweepChunkResult sweep_chunk(const Annotator& annotator,
                                const std::vector<Ipv4>& targets,
                                std::size_t vp_index, std::size_t begin,
                                std::size_t end, std::uint64_t chunk,
-                               std::uint64_t sweep_index) const;
+                               std::uint64_t sweep_index,
+                               std::uint32_t epoch) const;
 
   const World* world_;
   const Forwarder* forwarder_;

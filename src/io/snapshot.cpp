@@ -156,6 +156,24 @@ std::string encode_confidence(const RunSnapshot& s) {
   return out;
 }
 
+// Optional hazard-provenance section (id 8): profile spec string + sorted
+// name→double scorecard metrics. Only written when the profile is
+// non-empty, so hazard-free snapshots keep their exact pre-hazard bytes.
+std::string encode_hazard(const RunSnapshot& s) {
+  std::string out;
+  std::size_t payload = 4 + s.hazard_profile.size() + 4;
+  for (const auto& [name, value] : s.hazard_metrics)
+    payload += 4 + name.size() + 8;
+  out.reserve(payload);
+  put_string(out, s.hazard_profile);
+  put_u32(out, static_cast<std::uint32_t>(s.hazard_metrics.size()));
+  for (const auto& [name, value] : s.hazard_metrics) {
+    put_string(out, name);
+    put_f64(out, value);
+  }
+  return out;
+}
+
 // --- section decoders (each over its own bounds-checked cursor) -----------
 
 bool decode_meta(Cursor& in, RunSnapshot& s) {
@@ -311,6 +329,20 @@ bool decode_confidence(Cursor& in, std::vector<ConfidenceRecord>& records) {
   return in.at_end();
 }
 
+bool decode_hazard(Cursor& in, RunSnapshot& s) {
+  s.hazard_profile = in.str();
+  // The writer omits the section for an empty profile; a present-but-empty
+  // one would not re-save byte-identically, so it is malformed.
+  if (s.hazard_profile.empty()) return false;
+  const std::uint32_t metric_count = in.u32();
+  for (std::uint32_t i = 0; i < metric_count && !in.failed; ++i) {
+    std::string name = in.str();
+    const double value = in.f64();
+    s.hazard_metrics.emplace_back(std::move(name), value);
+  }
+  return in.at_end();
+}
+
 bool fail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
   return false;
@@ -359,6 +391,7 @@ void canonicalize(RunSnapshot& snapshot) {
             });
   for (StageReport& report : snapshot.stage_reports)
     std::sort(report.tallies.begin(), report.tallies.end());
+  std::sort(snapshot.hazard_metrics.begin(), snapshot.hazard_metrics.end());
 }
 
 void save_snapshot(std::ostream& out, const RunSnapshot& snapshot,
@@ -383,6 +416,8 @@ void save_snapshot(std::ostream& out, const RunSnapshot& snapshot,
     sections.push_back({SnapshotSection::kMeta, std::move(meta)});
     sections.push_back({SnapshotSection::kFlatFabric,
                         snapv3::encode_flat_fabric(canonical)});
+    if (!canonical.hazard_profile.empty())
+      sections.push_back({SnapshotSection::kHazard, encode_hazard(canonical)});
   } else {
     sections = {
         {SnapshotSection::kMeta, encode_meta(canonical)},
@@ -465,7 +500,7 @@ std::optional<RunSnapshot> load_snapshot(std::istream& in,
   const std::uint32_t max_known_section = version >= 2 ? 6 : 5;
   RunSnapshot snapshot;
   std::vector<ConfidenceRecord> confidence;
-  bool seen[8] = {};
+  bool seen[9] = {};
   // Every byte must be owned by the header, the table, or a payload: a file
   // with unaccounted trailing bytes would not re-save byte-identically.
   std::uint64_t end_of_payloads =
@@ -481,7 +516,8 @@ std::optional<RunSnapshot> load_snapshot(std::istream& in,
     end_of_payloads = std::max(end_of_payloads, offset + size);
     if (snapshot_crc32(data + offset, size) != crc)
       return reject("section " + std::to_string(id) + " CRC mismatch");
-    if (flat ? (id != 1 && id != 7) : (id < 1 || id > max_known_section))
+    if (flat ? (id != 1 && id != 7 && id != 8)
+             : (id < 1 || id > max_known_section))
       continue;  // unknown section: skip (forward compat)
     if (seen[id])
       return reject("duplicate section " + std::to_string(id));
@@ -523,6 +559,9 @@ std::optional<RunSnapshot> load_snapshot(std::istream& in,
         ok = true;
         break;
       }
+      case SnapshotSection::kHazard:
+        ok = decode_hazard(body, snapshot);
+        break;
     }
     if (!ok)
       return reject("section " + std::to_string(id) +

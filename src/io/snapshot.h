@@ -56,6 +56,11 @@ enum class SnapshotSection : std::uint32_t {
   kMetrics = 5,      // v1/v2
   kConfidence = 6,   // v2: one record per segment, same order as kSegments
   kFlatFabric = 7,   // v3: the zero-copy blob (io/snapshot_v3.h)
+  // Optional hazard provenance (scenario/hazard.h): the profile spec string
+  // plus name→double scorecard metrics. Written only when the snapshot
+  // carries a non-empty profile — additive, so no version bump; pre-hazard
+  // readers (including the mmap path and tools/diff_snapshots.py) skip it.
+  kHazard = 8,
 };
 
 // Serialize (canonicalizing collection order first; see query/snapshot.h).

@@ -20,6 +20,21 @@ class PrefixTrie {
  public:
   PrefixTrie() : root_(std::make_unique<Node>()) {}
 
+  // Deep copy (node-by-node clone). Lets a World — and with it a whole
+  // longitudinal scenario step — be duplicated; tries are small relative to
+  // the entity tables, so the recursive clone is not a hot path.
+  PrefixTrie(const PrefixTrie& other)
+      : root_(clone(other.root_.get())), size_(other.size_) {}
+  PrefixTrie& operator=(const PrefixTrie& other) {
+    if (this != &other) {
+      root_ = clone(other.root_.get());
+      size_ = other.size_;
+    }
+    return *this;
+  }
+  PrefixTrie(PrefixTrie&&) noexcept = default;
+  PrefixTrie& operator=(PrefixTrie&&) noexcept = default;
+
   // Insert or overwrite the value attached to an exact prefix.
   void insert(const Prefix& prefix, Value value) {
     Node* node = walk_to(prefix, /*create=*/true);
@@ -96,6 +111,15 @@ class PrefixTrie {
     std::unique_ptr<Node> child[2];
     std::optional<Value> value;
   };
+
+  static std::unique_ptr<Node> clone(const Node* node) {
+    if (node == nullptr) return nullptr;
+    auto out = std::make_unique<Node>();
+    out->value = node->value;
+    out->child[0] = clone(node->child[0].get());
+    out->child[1] = clone(node->child[1].get());
+    return out;
+  }
 
   Node* walk_to(const Prefix& prefix, bool create) const {
     Node* node = root_.get();

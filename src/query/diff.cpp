@@ -22,6 +22,8 @@ SegmentKey unkey(std::uint64_t key) {
 
 SnapshotDiff diff_snapshots(const RunSnapshot& a, const RunSnapshot& b) {
   SnapshotDiff out;
+  out.hazard_profile_a = a.hazard_profile;
+  out.hazard_profile_b = b.hazard_profile;
 
   // Ordered maps give ascending output without a post-sort.
   std::map<std::uint64_t, const SnapshotSegment*> segments_a;
@@ -74,6 +76,13 @@ SnapshotDiff diff_snapshots(const RunSnapshot& a, const RunSnapshot& b) {
 }
 
 void write_diff(std::ostream& out, const SnapshotDiff& diff) {
+  if (!diff.hazard_profile_a.empty() || !diff.hazard_profile_b.empty()) {
+    const auto label = [](const std::string& profile) {
+      return profile.empty() ? "(none)" : profile.c_str();
+    };
+    out << "hazards: " << label(diff.hazard_profile_a) << " => "
+        << label(diff.hazard_profile_b) << '\n';
+  }
   out << "segments: +" << diff.added.size() << " -" << diff.removed.size()
       << " reconfirmed " << diff.reconfirmed.size() << " (common "
       << diff.common_segments << ")\n";

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "query/snapshot.h"
@@ -42,6 +43,11 @@ struct SnapshotDiff {
   std::vector<PinChange> repinned;
   std::size_t common_segments = 0;   // present in both (incl. reconfirmed)
   std::size_t common_pins = 0;       // addresses pinned in both
+  // Hazard provenance of the two sides (empty when a side carried none).
+  // A longitudinal churn sequence stamps its profile here, so the diff
+  // report says which world hazards the runs were produced under.
+  std::string hazard_profile_a;
+  std::string hazard_profile_b;
   bool identical() const {
     return added.empty() && removed.empty() && reconfirmed.empty() &&
            repinned.empty();

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -68,6 +69,12 @@ struct RunSnapshot {
   std::vector<std::pair<std::uint32_t, std::uint32_t>> regional;
   std::vector<std::vector<std::uint32_t>> alias_sets;  // member addresses
   std::vector<StageReport> stage_reports;  // canonical stage order
+  // Hazard provenance (scenario/hazard.h): the canonical profile spec the
+  // run was produced under, plus optional scorecard metrics stamped by the
+  // degradation scorecard. Empty profile ⇒ the hazard section is not
+  // written, so pre-hazard snapshots stay byte-identical.
+  std::string hazard_profile;
+  std::vector<std::pair<std::string, double>> hazard_metrics;  // by name
 };
 
 // Sort every collection into the canonical order documented above (in

@@ -1,0 +1,258 @@
+#include "scenario/hazard.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/rng.h"
+
+namespace cloudmap {
+
+namespace {
+
+// Clamp to [lo, hi] with NaN taking the lower bound (same contract as the
+// traceroute option clamp: a NaN must never reach a chance() draw).
+double clamp_or(double value, double lo, double hi) {
+  if (!(value >= lo)) return lo;
+  if (value > hi) return hi;
+  return value;
+}
+
+struct KindInfo {
+  HazardKind kind;
+  const char* name;
+  const char* description;
+};
+
+constexpr KindInfo kKinds[kHazardKindCount] = {
+    {HazardKind::kLoss, "loss",
+     "uniform probe loss; scales every router's response probability "
+     "(hazard zero: the --response-scale knob folded into the framework)"},
+    {HazardKind::kRemotePeering, "remote",
+     "world: flip the given fraction of local public-IXP peers to remote "
+     "partners, inflating the IXP LAN segment by a 2.5-12 ms one-way tail"},
+    {HazardKind::kPeeringChurn, "churn",
+     "world: longitudinal peering turnover; emits a sequence of worlds "
+     "(churn:<rate>@<steps>) whose snapshot diffs must reconstruct it"},
+    {HazardKind::kMplsHiddenHops, "mpls",
+     "dataplane: the given fraction of routers sit inside MPLS tunnels and "
+     "are spliced out of traceroute records (latency still accumulates)"},
+    {HazardKind::kIcmpRateLimit, "rate-limit",
+     "dataplane: per-router ICMP reply budget per window of the simulated "
+     "campaign clock; the knob is the fraction of replies suppressed"},
+    {HazardKind::kRouteChurn, "route-churn",
+     "dataplane: forwarding state swaps atomically mid-sweep; the knob is "
+     "the fraction of each sweep's work items run post-swap"},
+};
+
+const KindInfo& info(HazardKind kind) noexcept {
+  return kKinds[static_cast<int>(kind)];
+}
+
+// Strict double parse: the whole token must be consumed.
+bool parse_double(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+std::string format_intensity(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+// Parse one `kind:intensity[@steps]` term into `spec`.
+bool parse_term(const std::string& term, HazardSpec* spec,
+                std::string* error) {
+  const std::size_t colon = term.find(':');
+  if (colon == std::string::npos)
+    return fail(error, "hazard term '" + term + "' is not kind:intensity");
+  const std::string kind_name = term.substr(0, colon);
+  const auto kind = hazard_kind_from_name(kind_name);
+  if (!kind) return fail(error, "unknown hazard kind '" + kind_name + "'");
+  std::string value = term.substr(colon + 1);
+  spec->kind = *kind;
+  spec->steps = 0;
+  const std::size_t at = value.find('@');
+  if (at != std::string::npos) {
+    if (*kind != HazardKind::kPeeringChurn)
+      return fail(error, "'@steps' only applies to churn, got '" + term + "'");
+    double steps = 0.0;
+    if (!parse_double(value.substr(at + 1), &steps) || steps < 2.0 ||
+        steps > 64.0 || steps != static_cast<double>(static_cast<int>(steps)))
+      return fail(error, "churn steps must be an integer in [2, 64]");
+    spec->steps = static_cast<int>(steps);
+    value = value.substr(0, at);
+  } else if (*kind == HazardKind::kPeeringChurn) {
+    spec->steps = 4;  // observable default: t0 plus three transitions
+  }
+  if (!parse_double(value, &spec->intensity) || spec->intensity < 0.0 ||
+      spec->intensity > 1.0)
+    return fail(error,
+                "hazard intensity in '" + term + "' must be in [0, 1]");
+  return true;
+}
+
+}  // namespace
+
+const char* hazard_kind_name(HazardKind kind) noexcept {
+  return info(kind).name;
+}
+
+const char* hazard_kind_description(HazardKind kind) noexcept {
+  return info(kind).description;
+}
+
+std::optional<HazardKind> hazard_kind_from_name(const std::string& name) {
+  for (const KindInfo& k : kKinds)
+    if (name == k.name) return k.kind;
+  return std::nullopt;
+}
+
+std::uint64_t hazard_stream_seed(std::uint64_t seed, HazardKind kind,
+                                 std::uint64_t entity,
+                                 std::uint64_t round) noexcept {
+  std::uint64_t state =
+      seed + 0xa0761d6478bd642fULL * (static_cast<std::uint64_t>(kind) + 1);
+  state ^= splitmix64(state) + 0x9e3779b97f4a7c15ULL * (entity + 1);
+  state ^= splitmix64(state) + 0xbf58476d1ce4e5b9ULL * (round + 1);
+  return splitmix64(state);
+}
+
+double hazard_u01(std::uint64_t seed, HazardKind kind, std::uint64_t entity,
+                  std::uint64_t round) noexcept {
+  // Same 53-bit mantissa construction as Rng::uniform.
+  return static_cast<double>(hazard_stream_seed(seed, kind, entity, round) >>
+                             11) *
+         0x1.0p-53;
+}
+
+bool hazard_chance(std::uint64_t seed, HazardKind kind, std::uint64_t entity,
+                   std::uint64_t round, double probability) noexcept {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  return hazard_u01(seed, kind, entity, round) < probability;
+}
+
+const HazardSpec* HazardProfile::find(HazardKind kind) const noexcept {
+  for (const HazardSpec& spec : hazards)
+    if (spec.kind == kind) return &spec;
+  return nullptr;
+}
+
+double HazardProfile::intensity(HazardKind kind) const noexcept {
+  const HazardSpec* spec = find(kind);
+  return spec == nullptr ? 0.0 : spec->intensity;
+}
+
+std::string HazardProfile::spec_string() const {
+  std::string out;
+  for (const HazardSpec& spec : hazards) {
+    if (!out.empty()) out += ',';
+    out += hazard_kind_name(spec.kind);
+    out += ':';
+    out += format_intensity(spec.intensity);
+    if (spec.kind == HazardKind::kPeeringChurn) {
+      out += '@';
+      out += std::to_string(spec.steps);
+    }
+  }
+  return out;
+}
+
+const std::vector<std::string>& HazardProfile::preset_names() {
+  static const std::vector<std::string> kNames = {
+      "baseline",   "loss",        "remote-peering", "mpls",
+      "rate-limit", "route-churn", "churn",          "gauntlet",
+  };
+  return kNames;
+}
+
+std::optional<HazardProfile> HazardProfile::preset(const std::string& name) {
+  const auto make = [&name](const std::string& spec) {
+    HazardProfile profile = *parse(spec);
+    profile.name = name;
+    return profile;
+  };
+  if (name == "baseline") return make("");
+  if (name == "loss") return make("loss:0.25");
+  if (name == "remote-peering") return make("remote:0.6");
+  if (name == "mpls") return make("mpls:0.3");
+  if (name == "rate-limit") return make("rate-limit:0.5");
+  if (name == "route-churn") return make("route-churn:0.5");
+  if (name == "churn") return make("churn:0.3@4");
+  if (name == "gauntlet")
+    return make("loss:0.15,remote:0.4,mpls:0.2,rate-limit:0.35,"
+                "route-churn:0.5");
+  return std::nullopt;
+}
+
+std::optional<HazardProfile> HazardProfile::parse(const std::string& text,
+                                                  std::string* error) {
+  HazardProfile profile;
+  if (text.empty() || text == "baseline") return profile;
+  if (text.find(':') == std::string::npos) {
+    auto named = preset(text);
+    if (!named) {
+      fail(error, "unknown hazard preset '" + text +
+                      "' (and not a kind:intensity spec)");
+      return std::nullopt;
+    }
+    return named;
+  }
+  profile.name = text;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::string term =
+        text.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    HazardSpec spec;
+    if (!parse_term(term, &spec, error)) return std::nullopt;
+    if (profile.find(spec.kind) != nullptr) {
+      fail(error, std::string("duplicate hazard kind '") +
+                      hazard_kind_name(spec.kind) + "'");
+      return std::nullopt;
+    }
+    if (spec.intensity > 0.0) profile.hazards.push_back(spec);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  std::sort(profile.hazards.begin(), profile.hazards.end(),
+            [](const HazardSpec& a, const HazardSpec& b) {
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  if (profile.hazards.empty()) profile.name = "baseline";
+  return profile;
+}
+
+DataplaneHazards DataplaneHazards::clamped() const {
+  DataplaneHazards out = *this;
+  out.loss = clamp_or(out.loss, 0.0, 1.0);
+  out.mpls_fraction = clamp_or(out.mpls_fraction, 0.0, 1.0);
+  out.rate_limit = clamp_or(out.rate_limit, 0.0, 1.0);
+  out.route_churn = clamp_or(out.route_churn, 0.0, 1.0);
+  return out;
+}
+
+DataplaneHazards dataplane_hazards(const HazardProfile& profile,
+                                   std::uint64_t seed) {
+  DataplaneHazards out;
+  out.seed = seed;
+  out.loss = profile.intensity(HazardKind::kLoss);
+  out.mpls_fraction = profile.intensity(HazardKind::kMplsHiddenHops);
+  out.rate_limit = profile.intensity(HazardKind::kIcmpRateLimit);
+  out.route_churn = profile.intensity(HazardKind::kRouteChurn);
+  return out.clamped();
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,125 @@
+// Adversarial scenario engine: pluggable hazards that degrade the
+// measurement plane the way real fabrics do (ROADMAP item 3). The paper's
+// Amazon study only had to cope with silence, third-party addressing, and
+// /30 ambiguity; other clouds hide behind MPLS tunnels, ICMP rate-limiting,
+// route churn, and remote peering ("O Peer, Where Art Thou?", traIXroute).
+// A HazardProfile names a composition of such hazards; the scorecard in
+// scenario/score.h reruns the pipeline per profile against planted truth.
+//
+// Hazards act at two layers:
+//   * world construction (scenario/world_hazards.h) — remote peering with
+//     RTT inflation on IXP segments, longitudinal peering turnover;
+//   * dataplane (DataplaneHazards, hooked into TracerouteEngine/Campaign) —
+//     probabilistic loss (hazard zero: the PR-4 response_scale knob),
+//     MPLS-style hidden hops, per-router ICMP rate-limiting on the
+//     simulated campaign clock, and mid-campaign route churn that swaps
+//     forwarding state atomically between work items.
+//
+// Every hazard draws from dedicated splitmix64 streams keyed on
+// (seed, kind, entity, round) — never from the campaign's probe RNG — so
+// hazard replay is bit-identical at any thread count.
+//
+// This header is a LEAF: it must not include topology/dataplane/infer
+// headers (dataplane/traceroute.h embeds DataplaneHazards in its options).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cloudmap {
+
+enum class HazardKind : std::uint8_t {
+  kLoss = 0,           // uniform probe loss (alias of response_scale)
+  kRemotePeering,      // world: flip local IXP peers remote, inflate RTT
+  kPeeringChurn,       // world: longitudinal interconnect turnover
+  kMplsHiddenHops,     // dataplane: splice tunnel-interior hops out
+  kIcmpRateLimit,      // dataplane: per-router reply budget per clock window
+  kRouteChurn,         // dataplane: swap forwarding state mid-campaign
+};
+inline constexpr int kHazardKindCount = 6;
+
+// Spec-string / CLI token for a kind ("loss", "remote", "churn", "mpls",
+// "rate-limit", "route-churn") and a one-line description for
+// `cloudmap_cli hazards list`.
+const char* hazard_kind_name(HazardKind kind) noexcept;
+const char* hazard_kind_description(HazardKind kind) noexcept;
+std::optional<HazardKind> hazard_kind_from_name(const std::string& name);
+
+// Dedicated RNG stream for one (hazard, entity, round) decision, derived
+// from the hazard master seed the way infer/campaign.cpp's stream_seed
+// derives chunk streams: chained splitmix64 so streams are decorrelated
+// however the inputs collide, with no dependence on thread count or on the
+// order other hazards consume randomness.
+std::uint64_t hazard_stream_seed(std::uint64_t seed, HazardKind kind,
+                                 std::uint64_t entity,
+                                 std::uint64_t round) noexcept;
+// The stream's first draw as a uniform double in [0, 1), and the matching
+// Bernoulli helper. Stateless: the same (seed, kind, entity, round) always
+// answers the same, which is what makes world hazards order-independent.
+double hazard_u01(std::uint64_t seed, HazardKind kind, std::uint64_t entity,
+                  std::uint64_t round) noexcept;
+bool hazard_chance(std::uint64_t seed, HazardKind kind, std::uint64_t entity,
+                   std::uint64_t round, double probability) noexcept;
+
+// One hazard with its intensity in [0, 1]. `steps` only applies to
+// kPeeringChurn: the number of longitudinal worlds the churn sequence
+// emits (>= 2 to be observable).
+struct HazardSpec {
+  HazardKind kind = HazardKind::kLoss;
+  double intensity = 0.0;
+  int steps = 0;
+};
+
+// A named composition of hazards. Parsed from either a preset name
+// ("baseline", "mpls", "gauntlet", ...) or a spec string of
+// comma-separated `kind:intensity` terms, churn taking an optional step
+// count: "loss:0.25,mpls:0.3,churn:0.3@4". spec_string() emits the
+// canonical kind-ordered form and round-trips through parse().
+struct HazardProfile {
+  std::string name = "baseline";
+  std::vector<HazardSpec> hazards;  // kind-ordered, at most one per kind
+
+  bool empty() const noexcept { return hazards.empty(); }
+  const HazardSpec* find(HazardKind kind) const noexcept;
+  double intensity(HazardKind kind) const noexcept;
+  std::string spec_string() const;
+
+  static const std::vector<std::string>& preset_names();
+  static std::optional<HazardProfile> preset(const std::string& name);
+  static std::optional<HazardProfile> parse(const std::string& text,
+                                            std::string* error = nullptr);
+};
+
+// The dataplane projection of a profile, embedded in TracerouteOptions so
+// every engine the campaign builds (primary and retry) applies the same
+// hazards. All-defaults (`any() == false`) is the contract for "draws the
+// exact pre-hazard RNG stream": loss multiplies response_scale by 1.0
+// (bit-exact), mpls/rate-limit guards are `> 0` checks, and epoch 0 leaves
+// the forwarder's flow hash untouched.
+struct DataplaneHazards {
+  std::uint64_t seed = 0;     // hazard master seed (not the campaign seed)
+  double loss = 0.0;          // extra probe loss: scale *= (1 - loss)
+  double mpls_fraction = 0.0; // fraction of routers inside hidden tunnels
+  double rate_limit = 0.0;    // fraction of each router's replies suppressed
+  double route_churn = 0.0;   // fraction of each sweep run post-swap
+  // Forwarding-state epoch of the current work item; set per chunk by
+  // Campaign::sweep (0 = pre-swap state, identical to no hazard).
+  std::uint32_t epoch = 0;
+
+  bool any() const noexcept {
+    return loss > 0.0 || mpls_fraction > 0.0 || rate_limit > 0.0 ||
+           route_churn > 0.0;
+  }
+  DataplaneHazards clamped() const;
+};
+
+// Project the profile's dataplane hazards (loss, mpls, rate-limit,
+// route-churn) onto engine knobs under the given hazard master seed. World
+// hazards (remote, churn) are ignored here — apply those with
+// scenario/world_hazards.h before building the forwarder.
+DataplaneHazards dataplane_hazards(const HazardProfile& profile,
+                                   std::uint64_t seed);
+
+}  // namespace cloudmap

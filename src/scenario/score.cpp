@@ -1,0 +1,297 @@
+#include "scenario/score.h"
+
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pinning/evaluate.h"
+#include "query/diff.h"
+
+namespace cloudmap {
+
+namespace {
+
+// Addresses of every discoverable subject client border interface — the
+// ground-truth CBI set calibration is scored against.
+std::set<std::uint32_t> truth_cbis(const World& world, CloudProvider subject) {
+  std::set<std::uint32_t> out;
+  for (const GroundTruthInterconnect& ic : world.interconnects) {
+    if (ic.cloud != subject || ic.private_address) continue;
+    if (!ic.client_interface.valid()) continue;
+    out.insert(world.interfaces[ic.client_interface.value].address.value());
+  }
+  return out;
+}
+
+PipelineOptions pipeline_options(const HazardProfile& profile,
+                                 const ScorecardConfig& config) {
+  PipelineOptions options;
+  options.campaign.threads = config.threads;
+  options.deterministic_metrics = config.deterministic_metrics;
+  apply_dataplane_hazards(options, profile, config.hazard_seed);
+  return options;
+}
+
+// Fill the inference/pinning/calibration block of a row from a pipeline that
+// has already run.
+void score_pipeline(Pipeline& pipeline, const World& world,
+                    CloudProvider subject, HazardScore& row) {
+  const InferenceScore inference = pipeline.score();
+  row.precision = inference.precision();
+  row.recall = inference.recall();
+  row.router_precision = inference.router_precision();
+  row.router_recall = inference.router_recall();
+
+  const GroundTruthAccuracy pins =
+      score_against_truth(world, pipeline.pinning());
+  row.pinning_accuracy = pins.accuracy;
+  row.regional_accuracy = pins.regional_accuracy;
+
+  const RunSnapshot& snapshot = pipeline.run_snapshot();
+  row.segments = snapshot.segments.size();
+  const std::set<std::uint32_t> truth = truth_cbis(world, subject);
+  double sum = 0.0, true_sum = 0.0, false_sum = 0.0;
+  std::size_t true_count = 0, false_count = 0;
+  for (const SnapshotSegment& segment : snapshot.segments) {
+    sum += segment.confidence;
+    if (truth.count(segment.cbi.value())) {
+      true_sum += segment.confidence;
+      ++true_count;
+    } else {
+      false_sum += segment.confidence;
+      ++false_count;
+    }
+  }
+  row.mean_confidence =
+      snapshot.segments.empty()
+          ? 0.0
+          : sum / static_cast<double>(snapshot.segments.size());
+  const double true_mean =
+      true_count == 0 ? 0.0 : true_sum / static_cast<double>(true_count);
+  const double false_mean =
+      false_count == 0 ? 0.0 : false_sum / static_cast<double>(false_count);
+  row.calibration_gap = true_mean - false_mean;
+}
+
+// The ≥2 ms rule: both ports of a public peering sit on the IXP LAN, so
+// their best-VP RTTs differ only by the LAN segment. Local members show a
+// sub-millisecond delta; a remote peer reached through a connectivity
+// partner carries the partner's backhaul on the client side only.
+RemoteRuleScore score_remote_rule(const World& world, CloudProvider subject,
+                                  const RemotePeeringPlan& plan,
+                                  RttCampaign& rtts) {
+  RemoteRuleScore out;
+  out.planted = plan.planted.size();
+  std::set<std::size_t> planted;
+  for (const PlantedRemotePeer& peer : plan.planted)
+    planted.insert(peer.interconnect);
+  for (std::size_t i = 0; i < world.interconnects.size(); ++i) {
+    const GroundTruthInterconnect& ic = world.interconnects[i];
+    if (ic.cloud != subject || ic.kind != PeeringKind::kPublicIxp)
+      continue;
+    if (!ic.client_interface.valid() || !ic.cloud_interface.valid()) continue;
+    const auto client = rtts.best_rtt(ic.client_interface);
+    const auto cloud = rtts.best_rtt(ic.cloud_interface);
+    if (!client || !cloud) continue;
+    const bool flagged = client->first - cloud->first >= out.threshold_ms;
+    if (planted.count(i)) {
+      ++out.measured;
+      if (flagged) ++out.recovered;
+    } else if (!ic.remote && flagged) {
+      ++out.false_remote;
+    }
+  }
+  return out;
+}
+
+void json_string(std::ostream& out, const std::string& value) {
+  out << '"';
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+void json_number(std::ostream& out, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  out << buffer;
+}
+
+void write_row(std::ostream& out, const HazardScore& row,
+               const HazardScore* baseline, const char* indent) {
+  out << "{\n" << indent << "  \"profile\": ";
+  json_string(out, row.profile);
+  out << ",\n" << indent << "  \"spec\": ";
+  json_string(out, row.spec);
+  out << ",\n" << indent << "  \"segments\": " << row.segments;
+  const auto field = [&](const char* name, double value) {
+    out << ",\n" << indent << "  \"" << name << "\": ";
+    json_number(out, value);
+  };
+  field("precision", row.precision);
+  field("recall", row.recall);
+  field("router_precision", row.router_precision);
+  field("router_recall", row.router_recall);
+  field("pinning_accuracy", row.pinning_accuracy);
+  field("regional_accuracy", row.regional_accuracy);
+  field("mean_confidence", row.mean_confidence);
+  field("calibration_gap", row.calibration_gap);
+  if (baseline != nullptr) {
+    out << ",\n" << indent << "  \"drift\": {";
+    const char* sep = "";
+    const auto delta = [&](const char* name, double ours, double base) {
+      out << sep << "\"" << name << "\": ";
+      json_number(out, ours - base);
+      sep = ", ";
+    };
+    delta("precision", row.precision, baseline->precision);
+    delta("recall", row.recall, baseline->recall);
+    delta("pinning_accuracy", row.pinning_accuracy,
+          baseline->pinning_accuracy);
+    delta("mean_confidence", row.mean_confidence, baseline->mean_confidence);
+    delta("calibration_gap", row.calibration_gap, baseline->calibration_gap);
+    out << "}";
+  }
+  if (row.has_remote_rule) {
+    out << ",\n" << indent << "  \"remote_rule\": {\"threshold_ms\": ";
+    json_number(out, row.remote_rule.threshold_ms);
+    out << ", \"planted\": " << row.remote_rule.planted
+        << ", \"measured\": " << row.remote_rule.measured
+        << ", \"recovered\": " << row.remote_rule.recovered
+        << ", \"false_remote\": " << row.remote_rule.false_remote << "}";
+  }
+  if (row.has_churn) {
+    out << ",\n" << indent << "  \"churn\": {\"events\": " << row.churn.events
+        << ", \"observable\": " << row.churn.observable
+        << ", \"reconstructed\": " << row.churn.reconstructed << "}";
+  }
+  out << "\n" << indent << "}";
+}
+
+}  // namespace
+
+void apply_dataplane_hazards(PipelineOptions& options,
+                             const HazardProfile& profile,
+                             std::uint64_t hazard_seed) {
+  options.campaign.traceroute.hazards = dataplane_hazards(profile, hazard_seed);
+  options.hazard_label = profile.spec_string();
+}
+
+HazardScore score_profile(const HazardProfile& profile,
+                          const ScorecardConfig& config) {
+  HazardScore row;
+  row.profile = profile.name;
+  row.spec = profile.spec_string();
+
+  GeneratorConfig generator = config.world;
+  generator.seed = config.world_seed;
+  World world = generate_world(generator);
+  const RemotePeeringPlan plan =
+      apply_world_hazards(world, profile, config.hazard_seed);
+
+  const PipelineOptions options = pipeline_options(profile, config);
+  Pipeline pipeline(world, options);
+  pipeline.run_all();
+  score_pipeline(pipeline, world, options.subject, row);
+
+  if (profile.find(HazardKind::kRemotePeering) != nullptr) {
+    row.has_remote_rule = true;
+    row.remote_rule =
+        score_remote_rule(world, options.subject, plan, pipeline.mutable_rtts());
+  }
+  if (profile.find(HazardKind::kPeeringChurn) != nullptr) {
+    row.has_churn = true;
+    row.churn = run_churn_sequence(profile, config).score;
+  }
+  return row;
+}
+
+ChurnRun run_churn_sequence(const HazardProfile& profile,
+                            const ScorecardConfig& config) {
+  ChurnRun out;
+  const HazardSpec* spec = profile.find(HazardKind::kPeeringChurn);
+  if (spec == nullptr) return out;
+
+  GeneratorConfig generator = config.world;
+  generator.seed = config.world_seed;
+  World base = generate_world(generator);
+  // Compose: the other world hazards apply to the base world every step
+  // inherits; churn then emits the longitudinal sequence on top.
+  apply_world_hazards(base, profile, config.hazard_seed);
+
+  const PipelineOptions options = pipeline_options(profile, config);
+  const LongitudinalWorlds sequence = make_churn_sequence(
+      base, options.subject, spec->intensity, spec->steps, config.hazard_seed);
+  out.events = sequence.events;
+  out.snapshots.reserve(sequence.steps.size());
+  for (const World& step : sequence.steps) {
+    Pipeline pipeline(step, options);
+    out.snapshots.push_back(pipeline.run_snapshot());
+  }
+  out.score = score_turnover_reconstruction(out.snapshots, out.events);
+  return out;
+}
+
+ChurnScore score_turnover_reconstruction(
+    const std::vector<RunSnapshot>& snapshots,
+    const std::vector<TurnoverEvent>& events) {
+  ChurnScore out;
+  out.events = events.size();
+  if (snapshots.size() < 2) return out;
+
+  std::vector<std::set<std::uint32_t>> cbis(snapshots.size());
+  for (std::size_t t = 0; t < snapshots.size(); ++t)
+    for (const SnapshotSegment& segment : snapshots[t].segments)
+      cbis[t].insert(segment.cbi.value());
+
+  // Per-step diff projections: the CBIs `cloudmap_cli diff` reports as
+  // added/removed between steps t-1 and t.
+  std::vector<std::set<std::uint32_t>> added(snapshots.size());
+  std::vector<std::set<std::uint32_t>> removed(snapshots.size());
+  for (std::size_t t = 1; t < snapshots.size(); ++t) {
+    const SnapshotDiff diff = diff_snapshots(snapshots[t - 1], snapshots[t]);
+    for (const SegmentKey& key : diff.added) added[t].insert(key.cbi.value());
+    for (const SegmentKey& key : diff.removed)
+      removed[t].insert(key.cbi.value());
+  }
+
+  for (const TurnoverEvent& event : events) {
+    const auto step = static_cast<std::size_t>(event.step);
+    if (event.step <= 0 || step >= snapshots.size()) continue;
+    if (event.removed) {
+      // Observable only if the campaign had discovered the CBI before the
+      // peering went down.
+      if (!cbis[step - 1].count(event.cbi)) continue;
+      ++out.observable;
+      if (removed[step].count(event.cbi)) ++out.reconstructed;
+    } else {
+      if (!cbis[step].count(event.cbi)) continue;
+      ++out.observable;
+      if (added[step].count(event.cbi)) ++out.reconstructed;
+    }
+  }
+  return out;
+}
+
+void write_scorecard_json(std::ostream& out, const HazardScore& baseline,
+                          const std::vector<HazardScore>& profiles,
+                          const ScorecardConfig& config) {
+  out << "{\n  \"schema\": \"cloudmap-hazard-scorecard-v1\",\n"
+      << "  \"world_seed\": " << config.world_seed << ",\n"
+      << "  \"hazard_seed\": " << config.hazard_seed << ",\n"
+      << "  \"threads\": " << config.threads << ",\n"
+      << "  \"baseline\": ";
+  write_row(out, baseline, nullptr, "  ");
+  out << ",\n  \"profiles\": [";
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    out << (i == 0 ? "\n    " : ",\n    ");
+    write_row(out, profiles[i], &baseline, "    ");
+  }
+  out << (profiles.empty() ? "]" : "\n  ]") << "\n}\n";
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,113 @@
+// DegradationScorecard: rerun the full inference pipeline under a hazard
+// profile and report how much each hazard degrades the paper's §4–§7
+// machinery against planted ground truth — the validation loop the real
+// Internet could never provide ("O Peer, Where Art Thou?" §9, our PAPER.md
+// §9). Per profile: precision/recall of border inference (interface and
+// router level), §6 pinning accuracy, confidence-calibration drift, and two
+// hazard-specific recoveries — whether a ≥2 ms IXP local/remote RTT rule
+// recovers the planted remote peers, and whether `cloudmap_cli diff` over a
+// longitudinal churn snapshot sequence reconstructs the planted turnover.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "scenario/hazard.h"
+#include "scenario/world_hazards.h"
+#include "topology/generator.h"
+
+namespace cloudmap {
+
+// World + execution knobs shared by every profile of one scorecard run.
+struct ScorecardConfig {
+  GeneratorConfig world = GeneratorConfig::small();
+  std::uint64_t world_seed = 42;   // generator seed (fixtures' small world)
+  std::uint64_t hazard_seed = 7;   // master seed for every hazard stream
+  int threads = 1;                 // 0 = hardware concurrency
+  bool deterministic_metrics = true;
+};
+
+// The ≥2 ms local/remote rule over the IXP fabric: a public peer whose
+// client-port RTT exceeds the cloud-side port RTT by at least threshold_ms
+// is classified remote. Scored against the planted remote set.
+struct RemoteRuleScore {
+  double threshold_ms = 2.0;
+  std::size_t planted = 0;      // interconnects the hazard flipped remote
+  std::size_t measured = 0;     // planted peers with both RTTs measurable
+  std::size_t recovered = 0;    // measured && classified remote
+  std::size_t false_remote = 0; // truly-local peers the rule flags remote
+};
+
+// Longitudinal churn reconstruction: of the planted turnover events, how
+// many were observable (the CBI was discovered on the side where it
+// existed) and how many the snapshot-sequence diff reconstructs.
+struct ChurnScore {
+  std::size_t events = 0;
+  std::size_t observable = 0;
+  std::size_t reconstructed = 0;
+};
+
+// One scorecard row.
+struct HazardScore {
+  std::string profile;  // profile name ("baseline", "gauntlet", or spec)
+  std::string spec;     // canonical spec string ("" for baseline)
+  std::size_t segments = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double router_precision = 0.0;
+  double router_recall = 0.0;
+  double pinning_accuracy = 0.0;
+  double regional_accuracy = 0.0;
+  double mean_confidence = 0.0;
+  // Calibration: mean confidence of true-CBI segments minus mean confidence
+  // of false-CBI segments. Positive = confidence still separates signal
+  // from noise under the hazard; drift toward zero = calibration lost.
+  double calibration_gap = 0.0;
+  bool has_remote_rule = false;
+  RemoteRuleScore remote_rule;
+  bool has_churn = false;
+  ChurnScore churn;
+};
+
+// Run the pipeline under `profile` and score it. Applies world hazards,
+// projects dataplane hazards onto the campaign, and — when the profile
+// carries churn — also runs the longitudinal sequence for the churn score.
+HazardScore score_profile(const HazardProfile& profile,
+                          const ScorecardConfig& config = {});
+
+// The longitudinal churn run behind score_profile's churn block, exposed so
+// the CLI and examples/longitudinal_churn.cpp can persist the snapshot
+// sequence (world_t0.snap … world_tN.snap) and replay the diffs.
+struct ChurnRun {
+  std::vector<RunSnapshot> snapshots;  // one per step, pipeline-produced
+  std::vector<TurnoverEvent> events;   // the planted turnover
+  ChurnScore score;
+};
+ChurnRun run_churn_sequence(const HazardProfile& profile,
+                            const ScorecardConfig& config = {});
+
+// Score a snapshot sequence's diffs against planted turnover events (the
+// reconstruction check both the ChurnRun scoring and CI use).
+ChurnScore score_turnover_reconstruction(
+    const std::vector<RunSnapshot>& snapshots,
+    const std::vector<TurnoverEvent>& events);
+
+// Apply `profile` to already-built pipeline options: dataplane hazards onto
+// the campaign engines and the canonical spec onto the snapshot provenance
+// label. World hazards are NOT applied here (they mutate the World before
+// the pipeline is built; see scenario/world_hazards.h).
+void apply_dataplane_hazards(PipelineOptions& options,
+                             const HazardProfile& profile,
+                             std::uint64_t hazard_seed);
+
+// Scorecard JSON (schema tools/hazard_schema.json, validated by
+// tools/validate_scorecard.py): a baseline row plus one row per profile
+// with drift-vs-baseline deltas.
+void write_scorecard_json(std::ostream& out, const HazardScore& baseline,
+                          const std::vector<HazardScore>& profiles,
+                          const ScorecardConfig& config);
+
+}  // namespace cloudmap

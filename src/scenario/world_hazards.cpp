@@ -1,0 +1,84 @@
+#include "scenario/world_hazards.h"
+
+#include <algorithm>
+
+namespace cloudmap {
+
+namespace {
+
+// Eligible for churn: a probeable interconnect of the subject cloud. VPIs
+// on private addressing are invisible to every probe the study can launch,
+// so toggling them could never be reconstructed from snapshots.
+bool churn_eligible(const GroundTruthInterconnect& ic,
+                    CloudProvider subject) {
+  return ic.cloud == subject && !ic.private_address;
+}
+
+}  // namespace
+
+RemotePeeringPlan apply_remote_peering(World& world, double fraction,
+                                       std::uint64_t seed) {
+  RemotePeeringPlan plan;
+  if (!(fraction > 0.0)) return plan;
+  for (std::size_t i = 0; i < world.interconnects.size(); ++i) {
+    GroundTruthInterconnect& ic = world.interconnects[i];
+    if (ic.kind != PeeringKind::kPublicIxp || ic.remote) continue;
+    if (!hazard_chance(seed, HazardKind::kRemotePeering, i, 0, fraction))
+      continue;
+    // The client router keeps its physical metro; what changes is the L2
+    // path to the IXP port — a reseller tail whose one-way delay lands in
+    // [2.5, 12) ms, comfortably past the rule's 2 ms RTT threshold while
+    // staying within the same-continent delays remote peering shows.
+    const double tail_ms =
+        2.5 + 9.5 * hazard_u01(seed, HazardKind::kRemotePeering, i, 1);
+    world.links[ic.link.value].latency_ms += tail_ms;
+    if (ic.secondary_link.valid())
+      world.links[ic.secondary_link.value].latency_ms += tail_ms;
+    ic.remote = true;
+    plan.planted.push_back(PlantedRemotePeer{i, tail_ms});
+  }
+  return plan;
+}
+
+LongitudinalWorlds make_churn_sequence(const World& base,
+                                       CloudProvider subject,
+                                       double intensity, int steps,
+                                       std::uint64_t seed) {
+  LongitudinalWorlds out;
+  steps = std::max(steps, 1);
+  std::vector<bool> active(base.interconnects.size(), true);
+  out.steps.push_back(base);
+  for (int t = 1; t < steps; ++t) {
+    for (std::size_t i = 0; i < base.interconnects.size(); ++i) {
+      const GroundTruthInterconnect& ic = base.interconnects[i];
+      if (!churn_eligible(ic, subject)) continue;
+      const double u = hazard_u01(seed, HazardKind::kPeeringChurn, i,
+                                  static_cast<std::uint64_t>(t));
+      const std::uint32_t cbi =
+          base.interfaces[ic.client_interface.value].address.value();
+      if (active[i] && u < intensity) {
+        active[i] = false;
+        out.events.push_back(TurnoverEvent{t, true, i, cbi});
+      } else if (!active[i] && u < 0.5) {
+        active[i] = true;
+        out.events.push_back(TurnoverEvent{t, false, i, cbi});
+      }
+    }
+    World step = base;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < step.interconnects.size(); ++i)
+      if (active[i]) step.interconnects[kept++] = step.interconnects[i];
+    step.interconnects.resize(kept);
+    out.steps.push_back(std::move(step));
+  }
+  return out;
+}
+
+RemotePeeringPlan apply_world_hazards(World& world,
+                                      const HazardProfile& profile,
+                                      std::uint64_t seed) {
+  return apply_remote_peering(
+      world, profile.intensity(HazardKind::kRemotePeering), seed);
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,81 @@
+// World-construction hazards: deterministic mutations of a generated World
+// that plant ground truth for the scorecard to recover. Two passes live
+// here (the dataplane hazards ride on TracerouteOptions::hazards instead):
+//
+//   * remote peering (HazardKind::kRemotePeering) — flips a fraction of the
+//     currently-local public-IXP interconnects to remote partners reached
+//     over a layer-2 reseller tail, inflating the IXP LAN segment's latency
+//     by a 2.5-12 ms one-way tail. The ≥2 ms local/remote RTT rule from
+//     "O Peer, Where Art Thou?" should recover exactly these plants — the
+//     scorecard checks that it does.
+//   * peering churn (HazardKind::kPeeringChurn) — emits a *sequence* of
+//     longitudinal worlds by toggling subject-cloud interconnects down/up
+//     between steps, recording every planted turnover event so the
+//     snapshot-sequence diff can be scored against it.
+//
+// All decisions draw from hazard_stream_seed(kind, entity, round) streams,
+// never from a shared RNG, so each plant is a pure function of (seed,
+// interconnect index, step) — order- and thread-count-independent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scenario/hazard.h"
+#include "topology/world.h"
+
+namespace cloudmap {
+
+// One interconnect flipped remote, with the planted one-way tail (ms).
+struct PlantedRemotePeer {
+  std::size_t interconnect = 0;  // index into world.interconnects
+  double tail_ms = 0.0;
+};
+
+struct RemotePeeringPlan {
+  std::vector<PlantedRemotePeer> planted;
+};
+
+// Flip `fraction` of the local public-IXP interconnects of `world` remote:
+// mark the ground truth, and add a one-way tail in [2.5, 12) ms to the IXP
+// LAN link (and the redundant secondary link, which shares the L2 fabric).
+// Interconnect indices are preserved. Already-remote peers and non-IXP
+// interconnects are never touched, so the plan is exactly the planted set.
+RemotePeeringPlan apply_remote_peering(World& world, double fraction,
+                                       std::uint64_t seed);
+
+// One planted turnover event: interconnect `interconnect` of the BASE world
+// went down (removed=true) or came back up in the transition into step
+// `step`. `cbi` is the client-side border address — the identity under
+// which `cloudmap_cli diff` should see the segment appear or disappear.
+struct TurnoverEvent {
+  int step = 0;
+  bool removed = false;
+  std::size_t interconnect = 0;
+  std::uint32_t cbi = 0;
+};
+
+struct LongitudinalWorlds {
+  std::vector<World> steps;          // worlds t0 .. tN-1
+  std::vector<TurnoverEvent> events; // every planted transition, step order
+};
+
+// Emit `steps` longitudinal worlds from `base`: step 0 is the base itself;
+// each later step toggles every eligible subject-cloud interconnect down
+// with probability `intensity` (and a downed one back up with probability
+// 1/2), drawing from the (interconnect, step) hazard stream. An inactive
+// interconnect is erased from the world's ground-truth list, so the
+// forwarder built over that step installs no routes through it.
+LongitudinalWorlds make_churn_sequence(const World& base,
+                                       CloudProvider subject,
+                                       double intensity, int steps,
+                                       std::uint64_t seed);
+
+// Apply every world-construction hazard of `profile` (currently: remote
+// peering) to `world` in place. Churn is not applied here — it yields a
+// sequence, not a mutation; use make_churn_sequence.
+RemotePeeringPlan apply_world_hazards(World& world,
+                                      const HazardProfile& profile,
+                                      std::uint64_t seed);
+
+}  // namespace cloudmap

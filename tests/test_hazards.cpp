@@ -1,0 +1,300 @@
+// Adversarial scenario engine: hazard stream determinism, profile parsing,
+// the empty-profile bit-identity contract, thread-count invariance under a
+// full dataplane profile, MPLS splicing, rate-limit monotonicity, the
+// planted remote-peering recovery, and longitudinal churn reconstruction.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "controlplane/bgp.h"
+#include "dataplane/traceroute.h"
+#include "fixtures.h"
+#include "io/snapshot.h"
+#include "scenario/hazard.h"
+#include "scenario/score.h"
+#include "scenario/world_hazards.h"
+#include "topology/generator.h"
+
+namespace cloudmap {
+namespace {
+
+using testfx::small_world;
+
+TEST(HazardStreams, DeterministicAndDistinct) {
+  const std::uint64_t a =
+      hazard_stream_seed(7, HazardKind::kLoss, 11, 3);
+  EXPECT_EQ(a, hazard_stream_seed(7, HazardKind::kLoss, 11, 3));
+  // Any coordinate change moves the stream.
+  EXPECT_NE(a, hazard_stream_seed(8, HazardKind::kLoss, 11, 3));
+  EXPECT_NE(a, hazard_stream_seed(7, HazardKind::kMplsHiddenHops, 11, 3));
+  EXPECT_NE(a, hazard_stream_seed(7, HazardKind::kLoss, 12, 3));
+  EXPECT_NE(a, hazard_stream_seed(7, HazardKind::kLoss, 11, 4));
+
+  for (std::uint64_t entity = 0; entity < 100; ++entity) {
+    const double u = hazard_u01(7, HazardKind::kIcmpRateLimit, entity, 0);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  EXPECT_TRUE(hazard_chance(7, HazardKind::kLoss, 1, 0, 1.0));
+  EXPECT_FALSE(hazard_chance(7, HazardKind::kLoss, 1, 0, 0.0));
+}
+
+TEST(HazardProfiles, SpecStringRoundTrips) {
+  for (const std::string& name : HazardProfile::preset_names()) {
+    const auto preset = HazardProfile::preset(name);
+    ASSERT_TRUE(preset.has_value()) << name;
+    const auto reparsed = HazardProfile::parse(preset->spec_string());
+    ASSERT_TRUE(reparsed.has_value()) << name;
+    EXPECT_EQ(reparsed->spec_string(), preset->spec_string()) << name;
+  }
+  const auto profile = HazardProfile::parse("churn:0.4@6,loss:0.1");
+  ASSERT_TRUE(profile.has_value());
+  // Canonical form is kind-ordered.
+  EXPECT_EQ(profile->spec_string(), "loss:0.1,churn:0.4@6");
+  EXPECT_EQ(profile->find(HazardKind::kPeeringChurn)->steps, 6);
+}
+
+TEST(HazardProfiles, ParseRejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_FALSE(HazardProfile::parse("warp:0.5", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(HazardProfile::parse("loss:0.2,loss:0.3", &error).has_value());
+  EXPECT_FALSE(HazardProfile::parse("loss:nope", &error).has_value());
+  EXPECT_FALSE(HazardProfile::parse("churn:0.3@1", &error).has_value());
+}
+
+// Normalize the declared thread-count provenance (meta field and per-stage
+// worker stamps) so byte comparison checks the *results*, matching the
+// repo-wide standard: thread count is recorded, never load-bearing.
+RunSnapshot normalized(RunSnapshot snapshot) {
+  snapshot.threads = 0;
+  for (StageReport& report : snapshot.stage_reports) {
+    report.threads = 0;
+    report.workers = 0;
+  }
+  return snapshot;
+}
+
+std::string snapshot_bytes(const RunSnapshot& snapshot) {
+  std::ostringstream out;
+  save_snapshot(out, snapshot);
+  return out.str();
+}
+
+TEST(HazardPipeline, EmptyProfileIsBitIdenticalToPreHazardEngine) {
+  PipelineOptions plain;
+  plain.campaign.threads = 1;
+  plain.deterministic_metrics = true;
+
+  PipelineOptions hazarded = plain;
+  apply_dataplane_hazards(hazarded, HazardProfile{}, /*hazard_seed=*/7);
+  ASSERT_FALSE(hazarded.campaign.traceroute.hazards.any());
+
+  Pipeline a(small_world(), plain);
+  Pipeline b(small_world(), hazarded);
+  EXPECT_EQ(snapshot_bytes(a.run_snapshot()), snapshot_bytes(b.run_snapshot()));
+}
+
+TEST(HazardPipeline, DataplaneProfileIsThreadCountInvariant) {
+  const auto profile =
+      HazardProfile::parse("loss:0.15,mpls:0.2,rate-limit:0.35,"
+                           "route-churn:0.5");
+  ASSERT_TRUE(profile.has_value());
+
+  PipelineOptions serial;
+  serial.deterministic_metrics = true;
+  apply_dataplane_hazards(serial, *profile, /*hazard_seed=*/7);
+  serial.campaign.threads = 1;
+  PipelineOptions parallel = serial;
+  parallel.campaign.threads = 4;
+
+  Pipeline a(small_world(), serial);
+  Pipeline b(small_world(), parallel);
+  EXPECT_EQ(snapshot_bytes(normalized(a.run_snapshot())),
+            snapshot_bytes(normalized(b.run_snapshot())));
+}
+
+class DataplaneHazardTest : public ::testing::Test {
+ protected:
+  DataplaneHazardTest()
+      : world_(small_world()), sim_(world_), forwarder_(world_, sim_) {}
+
+  VantagePoint vp() const {
+    const auto regions = world_.regions_of(CloudProvider::kAmazon);
+    return VantagePoint::cloud_vm(CloudProvider::kAmazon, regions[0], "vm");
+  }
+
+  const World& world_;
+  BgpSimulator sim_;
+  Forwarder forwarder_;
+};
+
+TEST_F(DataplaneHazardTest, FullMplsFractionHidesEveryInteriorHop) {
+  TracerouteOptions options;
+  options.hazards.seed = 7;
+  options.hazards.mpls_fraction = 1.0;
+  TracerouteEngine engine(forwarder_, 1, options);
+  int responded_hops = 0;
+  int traces = 0;
+  for (const Prefix& target : world_.probeable_slash24s()) {
+    if (++traces > 50) break;
+    const Ipv4 dst = target.network().next(1);
+    const TracerouteRecord record = engine.trace(vp(), dst);
+    for (const TracerouteHop& hop : record.hops) {
+      if (!hop.responded) continue;
+      ++responded_hops;
+      // Every interior router is spliced out, so the only address that can
+      // appear is the destination host's own reply.
+      EXPECT_EQ(hop.address.value(), dst.value());
+    }
+  }
+  // The sweep must have produced at least some destination replies, or the
+  // assertion above is vacuous.
+  EXPECT_GT(responded_hops, 0);
+}
+
+TEST_F(DataplaneHazardTest, RateLimitSuppressionIsMonotoneInTheKnob) {
+  // One engine per intensity sweeping the same target list, so each
+  // router's reply counter accumulates across traces and the limiter
+  // actually bites. Reply generation (and with it every RNG draw) is
+  // independent of the knob; only delivery changes.
+  const double intensities[] = {0.0, 0.3, 0.6, 0.9};
+  std::vector<std::size_t> delivered;
+  for (const double intensity : intensities) {
+    TracerouteOptions options;
+    options.loop_probability = 0.0;
+    options.hazards.seed = 7;
+    options.hazards.rate_limit = intensity;
+    TracerouteEngine engine(forwarder_, 11, options);
+    std::size_t responded = 0;
+    int traces = 0;
+    for (const Prefix& target : world_.probeable_slash24s()) {
+      if (++traces > 200) break;
+      const TracerouteRecord record =
+          engine.trace(vp(), target.network().next(1));
+      for (const TracerouteHop& hop : record.hops)
+        if (hop.responded) ++responded;
+    }
+    delivered.push_back(responded);
+  }
+  for (std::size_t i = 1; i < delivered.size(); ++i)
+    EXPECT_LE(delivered[i], delivered[i - 1])
+        << "intensity " << intensities[i] << " delivered more replies than "
+        << intensities[i - 1];
+  // The hazard must actually suppress something, or the test is vacuous.
+  EXPECT_LT(delivered.back(), delivered.front());
+}
+
+TEST(WorldHazards, RemotePeeringPlantsExactlyTheReportedSet) {
+  World world = small_world();  // deep copy; hazards mutate it
+  std::set<std::size_t> local_ixp_before;
+  for (std::size_t i = 0; i < world.interconnects.size(); ++i) {
+    const GroundTruthInterconnect& ic = world.interconnects[i];
+    if (ic.kind == PeeringKind::kPublicIxp && !ic.remote)
+      local_ixp_before.insert(i);
+  }
+  std::vector<double> latency_before;
+  for (const Link& link : world.links) latency_before.push_back(link.latency_ms);
+
+  const RemotePeeringPlan plan = apply_remote_peering(world, 0.5, 7);
+  ASSERT_FALSE(plan.planted.empty());
+  std::set<std::size_t> planted;
+  for (const PlantedRemotePeer& peer : plan.planted) {
+    EXPECT_TRUE(local_ixp_before.count(peer.interconnect));
+    EXPECT_GE(peer.tail_ms, 2.5);
+    EXPECT_LT(peer.tail_ms, 12.0);
+    planted.insert(peer.interconnect);
+    const GroundTruthInterconnect& ic = world.interconnects[peer.interconnect];
+    EXPECT_TRUE(ic.remote);
+    EXPECT_NEAR(world.links[ic.link.value].latency_ms,
+                latency_before[ic.link.value] + peer.tail_ms, 1e-9);
+  }
+  // Untouched interconnects keep their remote flag and link latency.
+  for (std::size_t i = 0; i < world.interconnects.size(); ++i) {
+    if (planted.count(i)) continue;
+    EXPECT_EQ(world.interconnects[i].remote,
+              small_world().interconnects[i].remote);
+  }
+  EXPECT_TRUE(world.validate().empty()) << world.validate();
+
+  // Replay: the same seed plants the same set.
+  World again = small_world();
+  const RemotePeeringPlan replay = apply_remote_peering(again, 0.5, 7);
+  ASSERT_EQ(replay.planted.size(), plan.planted.size());
+  for (std::size_t i = 0; i < plan.planted.size(); ++i) {
+    EXPECT_EQ(replay.planted[i].interconnect, plan.planted[i].interconnect);
+    EXPECT_EQ(replay.planted[i].tail_ms, plan.planted[i].tail_ms);
+  }
+}
+
+TEST(WorldHazards, ChurnSequenceEmitsConsistentWorlds) {
+  const LongitudinalWorlds sequence = make_churn_sequence(
+      small_world(), CloudProvider::kAmazon, 0.3, 4, 7);
+  ASSERT_EQ(sequence.steps.size(), 4u);
+  EXPECT_EQ(sequence.steps[0].interconnects.size(),
+            small_world().interconnects.size());
+  ASSERT_FALSE(sequence.events.empty());
+  for (const TurnoverEvent& event : sequence.events) {
+    EXPECT_GE(event.step, 1);
+    EXPECT_LT(event.step, 4);
+    EXPECT_LT(event.interconnect, small_world().interconnects.size());
+    EXPECT_NE(event.cbi, 0u);
+  }
+  for (const World& step : sequence.steps)
+    EXPECT_TRUE(step.validate().empty()) << step.validate();
+}
+
+TEST(Scorecard, RemoteRuleRecoversEveryPlantedRemotePeer) {
+  const auto profile = HazardProfile::preset("remote-peering");
+  ASSERT_TRUE(profile.has_value());
+  const HazardScore row = score_profile(*profile);
+  ASSERT_TRUE(row.has_remote_rule);
+  EXPECT_GE(row.remote_rule.planted, 1u);
+  EXPECT_EQ(row.remote_rule.measured, row.remote_rule.planted);
+  EXPECT_EQ(row.remote_rule.recovered, row.remote_rule.measured);
+  EXPECT_EQ(row.remote_rule.false_remote, 0u);
+}
+
+TEST(Scorecard, ChurnDiffReconstructsPlantedTurnover) {
+  const auto profile = HazardProfile::preset("churn");
+  ASSERT_TRUE(profile.has_value());
+  const ChurnRun run = run_churn_sequence(*profile);
+  EXPECT_EQ(run.snapshots.size(), 4u);
+  EXPECT_GE(run.score.events, 1u);
+  EXPECT_GE(run.score.observable, 1u);
+  EXPECT_EQ(run.score.reconstructed, run.score.observable);
+}
+
+TEST(HazardSection, AbsentByDefaultAndRoundTrips) {
+  RunSnapshot plain;
+  plain.seed = 3;
+  const std::string plain_bytes = snapshot_bytes(plain);
+
+  RunSnapshot stamped = plain;
+  stamped.hazard_profile = "loss:0.25,mpls:0.3";
+  stamped.hazard_metrics = {{"recall", 0.42}, {"precision", 0.9}};
+  const std::string stamped_bytes = snapshot_bytes(stamped);
+  EXPECT_GT(stamped_bytes.size(), plain_bytes.size());
+
+  std::istringstream in(stamped_bytes);
+  const auto loaded = load_snapshot(in);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->hazard_profile, "loss:0.25,mpls:0.3");
+  // canonicalize() name-sorts the metrics on save.
+  ASSERT_EQ(loaded->hazard_metrics.size(), 2u);
+  EXPECT_EQ(loaded->hazard_metrics[0].first, "precision");
+  // Loaded snapshots re-save byte-identically (the v3 contract).
+  EXPECT_EQ(snapshot_bytes(*loaded), stamped_bytes);
+
+  std::istringstream plain_in(plain_bytes);
+  const auto plain_loaded = load_snapshot(plain_in);
+  ASSERT_TRUE(plain_loaded.has_value());
+  EXPECT_TRUE(plain_loaded->hazard_profile.empty());
+  EXPECT_TRUE(plain_loaded->hazard_metrics.empty());
+}
+
+}  // namespace
+}  // namespace cloudmap

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Compare two cloudmap binary snapshots longitudinally.
+"""Compare two or more cloudmap binary snapshots longitudinally.
 
-Usage: diff_snapshots.py A.snap B.snap
+Usage: diff_snapshots.py A.snap B.snap [C.snap ...]
 
 Independently re-implements the snapshot reader (format spec: DESIGN.md §7–8
 and §11, src/io/snapshot.h, src/io/snapshot_v3.h) so CI cross-checks the C++
@@ -13,11 +13,18 @@ segment- and pin-level churn between the two runs — the same
 added/removed/re-confirmed/re-pinned classes `cloudmap_cli diff` reports —
 plus per-segment confidence drift for v2+ snapshots and the metadata of
 each side, so mixed-version pairs (e.g. a v2 archive against a v3 re-save)
-diff cleanly.
+diff cleanly. The optional hazard section (id 8) is decoded when present
+and each side's hazard profile is reported.
 
-Exit status: 0 when both files parse (identical or not), 1 on any parse or
-validation error — or, with --expect-identical, when the two runs disagree
-at the segment/pin level (the stage-metrics section carries real wall-clock
+With more than two snapshots the tool switches to a longitudinal summary:
+one turnover row per consecutive pair (added/removed/re-confirmed segments,
+re-pinned addresses, mean confidence drift) — the table the churn scorecard
+and the hazard-matrix CI job read to check that a snapshot sequence
+reconstructs planted peering turnover.
+
+Exit status: 0 when all files parse (identical or not), 1 on any parse or
+validation error — or, with --expect-identical, when any consecutive pair
+disagrees at the segment/pin level (the stage-metrics section carries real wall-clock
 timings, so whole-file byte equality across runs is NOT expected; equality
 of the *results* is). Use `cloudmap_cli diff` when you need the full
 per-segment listing; this tool is the CI-friendly summary.
@@ -113,11 +120,13 @@ def read_snapshot(path):
             raise SnapshotError("%s: nonzero meta padding" % path)
     meta.done()
 
+    hazard = read_hazard(path, sections.get(8))
+
     if version >= 3:
         segments, pins, confidence = read_flat_fabric(path, sections[7])
         return {"path": path, "seed": seed, "threads": threads,
                 "subject": subject, "version": version, "segments": segments,
-                "pins": pins, "confidence": confidence}
+                "pins": pins, "confidence": confidence, "hazard": hazard}
 
     segments = {}
     segment_order = []  # (abi, cbi) in file order, for the confidence section
@@ -172,7 +181,25 @@ def read_snapshot(path):
 
     return {"path": path, "seed": seed, "threads": threads,
             "subject": subject, "version": version, "segments": segments,
-            "pins": pins, "confidence": confidence}
+            "pins": pins, "confidence": confidence, "hazard": hazard}
+
+
+def read_hazard(path, payload):
+    """Decode the optional hazard-provenance section (id 8): the profile
+    spec string plus name->value scorecard metrics. Absent section (the
+    pre-hazard layout) decodes as an empty profile."""
+    if payload is None:
+        return {"profile": "", "metrics": {}}
+    body = Cursor(payload, "hazard")
+    # Strings are u32 length + raw bytes (same codec as every other string
+    # in the format).
+    profile = body.take("%ds" % body.take("I")).decode("utf-8")
+    metrics = {}
+    for _ in range(body.take("I")):
+        name = body.take("%ds" % body.take("I")).decode("utf-8")
+        metrics[name] = body.take("d")
+    body.done()
+    return {"profile": profile, "metrics": metrics}
 
 
 def read_flat_fabric(path, blob):
@@ -231,27 +258,8 @@ def ip(value):
                             value >> 8 & 255, value & 255)
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("a")
-    parser.add_argument("b")
-    parser.add_argument(
-        "--expect-identical", action="store_true",
-        help="exit 1 if the snapshots differ at the segment/pin level")
-    args = parser.parse_args()
-
-    try:
-        a = read_snapshot(args.a)
-        b = read_snapshot(args.b)
-    except SnapshotError as error:
-        print("FAIL: %s" % error, file=sys.stderr)
-        sys.exit(1)
-
-    for side in (a, b):
-        print("%s: v%d, seed %d, %d threads, %d segments, %d pins"
-              % (side["path"], side["version"], side["seed"], side["threads"],
-                 len(side["segments"]), len(side["pins"])))
-
+def pair_diff(a, b):
+    """The segment/pin churn between two parsed snapshots."""
     added = sorted(set(b["segments"]) - set(a["segments"]))
     removed = sorted(set(a["segments"]) - set(b["segments"]))
     common = sorted(set(a["segments"]) & set(b["segments"]))
@@ -260,34 +268,105 @@ def main():
     repinned = sorted(address for address in
                       set(a["pins"]) & set(b["pins"])
                       if a["pins"][address] != b["pins"][address])
-
-    print("segments: +%d -%d, %d common, %d re-confirmed"
-          % (len(added), len(removed), len(common), len(reconfirmed)))
-    print("pins: %d re-pinned" % len(repinned))
-
-    # Confidence drift: only meaningful when both sides carry the v2 section.
     rescored = []
     if a["confidence"] and b["confidence"]:
         rescored = [key for key in common
                     if a["confidence"].get(key) != b["confidence"].get(key)]
+    changed = bool(added or removed or reconfirmed or repinned or rescored
+                   or a["pins"] != b["pins"])
+    return {"added": added, "removed": removed, "common": common,
+            "reconfirmed": reconfirmed, "repinned": repinned,
+            "rescored": rescored, "changed": changed}
+
+
+def mean_confidence(side):
+    if not side["confidence"]:
+        return None
+    scores = [entry[3] for entry in side["confidence"].values()]
+    return sum(scores) / len(scores) if scores else 0.0
+
+
+def print_header(side):
+    line = ("%s: v%d, seed %d, %d threads, %d segments, %d pins"
+            % (side["path"], side["version"], side["seed"], side["threads"],
+               len(side["segments"]), len(side["pins"])))
+    if side["hazard"]["profile"]:
+        line += ", hazards %s" % side["hazard"]["profile"]
+    print(line)
+
+
+def print_pair(a, b, diff):
+    print("segments: +%d -%d, %d common, %d re-confirmed"
+          % (len(diff["added"]), len(diff["removed"]), len(diff["common"]),
+             len(diff["reconfirmed"])))
+    print("pins: %d re-pinned" % len(diff["repinned"]))
+
+    # Confidence drift: only meaningful when both sides carry the v2 section.
+    if a["confidence"] and b["confidence"]:
         print("confidence: %d of %d common segments re-scored"
-              % (len(rescored), len(common)))
-        for key in rescored[:10]:
+              % (len(diff["rescored"]), len(diff["common"])))
+        for key in diff["rescored"][:10]:
             print("  ~ %s > %s: %.3f -> %.3f"
                   % (ip(key[0]), ip(key[1]),
                      a["confidence"][key][3], b["confidence"][key][3]))
-    for abi, cbi in added[:10]:
+    for abi, cbi in diff["added"][:10]:
         print("  + %s > %s" % (ip(abi), ip(cbi)))
-    for abi, cbi in removed[:10]:
+    for abi, cbi in diff["removed"][:10]:
         print("  - %s > %s" % (ip(abi), ip(cbi)))
-    for key in reconfirmed[:10]:
+    for key in diff["reconfirmed"][:10]:
         print("  ~ %s > %s: %s -> %s"
               % (ip(key[0]), ip(key[1]),
                  CONFIRMATION_NAMES[a["segments"][key][0]],
                  CONFIRMATION_NAMES[b["segments"][key][0]]))
-    changed = bool(added or removed or reconfirmed or repinned or rescored
-                   or a["pins"] != b["pins"])
-    if not changed:
+
+
+def print_longitudinal(sides, diffs):
+    """One turnover row per consecutive pair, plus mean confidence drift —
+    the summary the churn scorecard's snapshot sequences are read with."""
+    print("longitudinal turnover over %d snapshots:" % len(sides))
+    print("  %-24s %6s %6s %8s %8s %10s" %
+          ("transition", "+segs", "-segs", "reconf", "repin", "conf-drift"))
+    for i, diff in enumerate(diffs):
+        before, after = mean_confidence(sides[i]), mean_confidence(sides[i + 1])
+        drift = ("%+.4f" % (after - before)
+                 if before is not None and after is not None else "n/a")
+        print("  t%-3d -> t%-17d %6d %6d %8d %8d %10s"
+              % (i, i + 1, len(diff["added"]), len(diff["removed"]),
+                 len(diff["reconfirmed"]), len(diff["repinned"]), drift))
+    total_added = sum(len(d["added"]) for d in diffs)
+    total_removed = sum(len(d["removed"]) for d in diffs)
+    print("total turnover: +%d -%d across %d transitions"
+          % (total_added, total_removed, len(diffs)))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshots", nargs="+", metavar="SNAP",
+                        help="two or more snapshot files, oldest first")
+    parser.add_argument(
+        "--expect-identical", action="store_true",
+        help="exit 1 if any consecutive pair differs at the segment/pin level")
+    args = parser.parse_args()
+    if len(args.snapshots) < 2:
+        parser.error("need at least two snapshots to diff")
+
+    try:
+        sides = [read_snapshot(path) for path in args.snapshots]
+    except SnapshotError as error:
+        print("FAIL: %s" % error, file=sys.stderr)
+        sys.exit(1)
+
+    for side in sides:
+        print_header(side)
+
+    diffs = [pair_diff(sides[i], sides[i + 1])
+             for i in range(len(sides) - 1)]
+    if len(sides) == 2:
+        print_pair(sides[0], sides[1], diffs[0])
+    else:
+        print_longitudinal(sides, diffs)
+
+    if not any(diff["changed"] for diff in diffs):
         print("snapshots are identical at the segment/pin level")
     elif args.expect_identical:
         print("FAIL: snapshots were expected to be identical", file=sys.stderr)

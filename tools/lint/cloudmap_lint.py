@@ -36,8 +36,9 @@ Rules (C++ unless noted):
                           wall-clock layer, core/options env knobs).
   unordered-iteration     range-for / .begin() over a container declared
                           unordered_map/unordered_set, inside serialization
-                          paths (src/io/, src/query/, src/obs/emit.cpp),
-                          without a sorted-ok pragma.
+                          paths (src/io/, src/query/, src/scenario/,
+                          src/serve/, src/obs/emit.cpp), without a
+                          sorted-ok pragma.
   raw-thread              std::thread (or #include <thread>) anywhere but
                           src/util/parallel.h.
   pragma-once             every header starts with #pragma once before any
@@ -140,7 +141,10 @@ NONDET_ALLOWLIST = (
 
 # Paths whose output ordering is a serialized artifact: iterating an
 # unordered container here without sorting changes bytes run-to-run.
-ORDER_SENSITIVE = ("src/io/", "src/query/", "src/serve/", "src/obs/emit.cpp")
+# src/scenario/ is on the list because scorecard JSON and churn snapshot
+# sequences are byte-compared in CI.
+ORDER_SENSITIVE = ("src/io/", "src/query/", "src/scenario/", "src/serve/",
+                   "src/obs/emit.cpp")
 
 # Identifier declared (or received as a parameter) with an unordered type.
 UNORDERED_DECL_RE = re.compile(

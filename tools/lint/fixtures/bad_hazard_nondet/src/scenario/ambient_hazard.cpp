@@ -1,0 +1,16 @@
+// Fixture: hazard code drawing from ambient randomness instead of the
+// dedicated hazard_stream_seed splitmix64 streams — exactly the bug that
+// would break bit-identical hazard replay at different thread counts.
+#include <cstdlib>
+#include <random>
+
+namespace cloudmap {
+
+bool mpls_hides(unsigned router) {
+  static std::random_device entropy;  // nondeterministic-call: random_device
+  return (entropy() ^ router) % 3 == 0;
+}
+
+double churn_draw() { return std::rand() / 32768.0; }
+
+}  // namespace cloudmap

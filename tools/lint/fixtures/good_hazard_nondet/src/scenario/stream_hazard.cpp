@@ -1,0 +1,16 @@
+// Fixture: hazard decisions as pure functions of dedicated seed streams —
+// the sanctioned pattern (scenario/hazard.h). No ambient randomness, no
+// clocks; sorted iteration wherever bytes are emitted.
+#include <cstdint>
+
+namespace cloudmap {
+
+std::uint64_t splitmix(std::uint64_t x);
+std::uint64_t hazard_stream_seed(std::uint64_t seed, int kind,
+                                 std::uint64_t entity, std::uint64_t round);
+
+bool mpls_hides(std::uint64_t seed, std::uint64_t router) {
+  return (hazard_stream_seed(seed, 3, router, 0) >> 11) % 3 == 0;
+}
+
+}  // namespace cloudmap

@@ -18,6 +18,7 @@ FIXTURES = os.path.join(HERE, "fixtures")
 # fixture directory -> rule id its bad half must trigger
 EXPECTED_RULE = {
     "bad_nondet_call": "nondeterministic-call",
+    "bad_hazard_nondet": "nondeterministic-call",
     "bad_unordered_iter": "unordered-iteration",
     "bad_raw_thread": "raw-thread",
     "bad_pragma_once": "pragma-once",

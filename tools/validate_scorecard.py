@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Validate a hazard scorecard against tools/hazard_schema.json.
+
+Usage: validate_scorecard.py SCORECARD.json [--schema SCHEMA.json]
+           [--require-profiles loss,mpls,...]
+           [--require-remote-recovery] [--require-churn-reconstruction]
+
+Checks, in order:
+  1. the artifact is well-formed JSON;
+  2. every required top-level key is present and "schema" identifies a
+     hazard scorecard;
+  3. the baseline row and every profile row carry every per-row key, every
+     rate lies in [0, 1], and profile rows carry the drift-vs-baseline
+     block (the baseline must not);
+  4. optional remote_rule / churn blocks are well-shaped wherever present;
+  5. with --require-profiles, every named profile has a row;
+  6. with --require-remote-recovery, every remote_rule block recovered
+     every measurable planted remote peer with zero false positives (the
+     ISSUE's >= 2 ms rule acceptance check);
+  7. with --require-churn-reconstruction, every churn block reconstructed
+     every observable planted turnover event.
+
+Exit status 0 on success, 1 on any failure, with one line per problem so CI
+logs point straight at the offending row.
+"""
+import argparse
+import json
+import os
+import sys
+
+
+def fail(problems):
+    for problem in problems:
+        print("FAIL: %s" % problem, file=sys.stderr)
+    sys.exit(1)
+
+
+def check_row(schema, row, label, is_baseline, problems):
+    if not isinstance(row, dict):
+        problems.append("%s is not an object" % label)
+        return
+    for key in schema["required_row_keys"]:
+        if key not in row:
+            problems.append("%s missing key '%s'" % (label, key))
+        elif key in ("profile", "spec"):
+            if not isinstance(row[key], str):
+                problems.append("%s key '%s' is not a string" % (label, key))
+        elif not isinstance(row[key], (int, float)):
+            problems.append("%s key '%s' is not numeric" % (label, key))
+    for key in schema["unit_interval_keys"]:
+        value = row.get(key)
+        if isinstance(value, (int, float)) and not 0.0 <= value <= 1.0:
+            problems.append("%s key '%s' = %r outside [0, 1]"
+                            % (label, key, value))
+
+    if is_baseline:
+        if "drift" in row:
+            problems.append("%s must not carry a drift block" % label)
+    else:
+        drift = row.get("drift")
+        if not isinstance(drift, dict):
+            problems.append("%s missing drift block" % label)
+        else:
+            for key in schema["drift_keys"]:
+                if not isinstance(drift.get(key), (int, float)):
+                    problems.append("%s drift key '%s' is not numeric"
+                                    % (label, key))
+
+    for block_name, keys in (("remote_rule", schema["remote_rule_keys"]),
+                             ("churn", schema["churn_keys"])):
+        if block_name not in row:
+            continue
+        block = row[block_name]
+        if not isinstance(block, dict):
+            problems.append("%s %s is not an object" % (label, block_name))
+            continue
+        for key in keys:
+            if not isinstance(block.get(key), (int, float)):
+                problems.append("%s %s key '%s' is not numeric"
+                                % (label, block_name, key))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact",
+                        help="scorecard JSON from `hazards score --json`")
+    parser.add_argument(
+        "--schema",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "hazard_schema.json"),
+        help="schema description (default: alongside this script)")
+    parser.add_argument(
+        "--require-profiles", default="",
+        help="comma-separated profile names that must each have a row")
+    parser.add_argument(
+        "--require-remote-recovery", action="store_true",
+        help="every remote_rule block must recover all measured peers with "
+             "zero false positives")
+    parser.add_argument(
+        "--require-churn-reconstruction", action="store_true",
+        help="every churn block must reconstruct all observable events")
+    args = parser.parse_args()
+
+    with open(args.schema) as handle:
+        schema = json.load(handle)
+
+    try:
+        with open(args.artifact) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as error:
+        fail(["cannot parse %s: %s" % (args.artifact, error)])
+
+    problems = []
+    for key in schema["required_top"]:
+        if key not in doc:
+            problems.append("missing top-level key '%s'" % key)
+    if problems:
+        fail(problems)
+
+    if doc["schema"] != schema["schema"]:
+        problems.append("schema is %r, expected %r"
+                        % (doc["schema"], schema["schema"]))
+
+    check_row(schema, doc["baseline"], "baseline", True, problems)
+    profiles = doc["profiles"]
+    if not isinstance(profiles, list):
+        fail(problems + ["'profiles' is not an array"])
+    rows = {}
+    for index, row in enumerate(profiles):
+        label = ("profile '%s'" % row["profile"]
+                 if isinstance(row, dict) and "profile" in row
+                 else "profiles[%d]" % index)
+        check_row(schema, row, label, False, problems)
+        if isinstance(row, dict) and "profile" in row:
+            rows[row["profile"]] = row
+
+    for name in filter(None, args.require_profiles.split(",")):
+        if name not in rows:
+            problems.append("required profile '%s' has no row" % name)
+
+    if args.require_remote_recovery:
+        blocks = [(name, row["remote_rule"]) for name, row in rows.items()
+                  if "remote_rule" in row]
+        if not blocks:
+            problems.append("--require-remote-recovery: no remote_rule rows")
+        for name, rule in blocks:
+            if rule.get("measured", 0) < 1:
+                problems.append("profile '%s': no planted remote peer was "
+                                "measurable" % name)
+            if rule.get("recovered") != rule.get("measured"):
+                problems.append(
+                    "profile '%s': >=2ms rule recovered %r of %r measured"
+                    % (name, rule.get("recovered"), rule.get("measured")))
+            if rule.get("false_remote") != 0:
+                problems.append("profile '%s': %r local peers falsely "
+                                "flagged remote"
+                                % (name, rule.get("false_remote")))
+
+    if args.require_churn_reconstruction:
+        blocks = [(name, row["churn"]) for name, row in rows.items()
+                  if "churn" in row]
+        if not blocks:
+            problems.append("--require-churn-reconstruction: no churn rows")
+        for name, churn in blocks:
+            if churn.get("observable", 0) < 1:
+                problems.append("profile '%s': no planted turnover event was "
+                                "observable" % name)
+            if churn.get("reconstructed") != churn.get("observable"):
+                problems.append(
+                    "profile '%s': diff reconstructed %r of %r observable "
+                    "turnover events"
+                    % (name, churn.get("reconstructed"),
+                       churn.get("observable")))
+
+    if problems:
+        fail(problems)
+    print("ok: %s (baseline + %d profiles)" % (args.artifact, len(profiles)))
+
+
+if __name__ == "__main__":
+    main()

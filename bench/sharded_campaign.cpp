@@ -1,0 +1,303 @@
+// BM_ShardedCampaign — memory-flatness of the sharded campaign protocol on
+// a world ~10x the quickstart's (WorldSpec-derived, 5400 client ASes).
+// Every phase runs in a forked child whose peak RSS the parent reads back
+// from wait4(2), so the trajectory artifact carries a real RSS column next
+// to the wall times:
+//
+//   single_process   full two-round pipeline + snapshot in one process
+//   shard_round1/2   each of the 4 shard processes, streaming its owned
+//                    (region, chunk) items to a part file
+//   merge            absorb all parts, run the remaining stages, write the
+//                    final snapshot
+//
+// The parent enforces the tentpole invariants in-binary: the merged
+// snapshot must be byte-identical to the single-process one, and peak RSS
+// across the sharded phases must stay under 1.5x the largest single shard
+// (the streaming merge must not re-accumulate the campaign in memory).
+// The world is generated once in the parent; children inherit it
+// copy-on-write, so every phase pays the same resident-world floor and the
+// RSS deltas isolate what each phase adds.
+//
+//   CLOUDMAP_THREADS     campaign worker count (default: all hardware)
+//   CLOUDMAP_BENCH_DIR   trajectory output directory (default: cwd)
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "io/shard.h"
+#include "io/snapshot.h"
+#include "topology/generator.h"
+
+using namespace cloudmap;
+
+namespace {
+
+constexpr std::uint64_t kDigest = 0xB16B005D16E57ull;
+constexpr int kShards = 4;
+
+const World& bench_world() {
+  static const World world = [] {
+    WorldSpec spec;
+    spec.seed = bench::kBenchSeed;
+    spec.total_ases = 5400;  // ~10x the quickstart preset's 540 client ASes
+    return generate_world(GeneratorConfig::from_spec(spec));
+  }();
+  return world;
+}
+
+PipelineOptions base_options() {
+  PipelineOptions options = bench::frontend_options().pipeline;
+  // Byte-identity is asserted on the snapshot files, so wall-clock and
+  // execution-environment metrics fields must be normalized away.
+  options.deterministic_metrics = true;
+  return options;
+}
+
+struct ChildStats {
+  double wall_ns = 0.0;
+  double rss_mib = 0.0;
+};
+
+// Run `body` in a forked child; return its wall time and peak RSS.
+ChildStats run_child(const char* label, const std::function<void()>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("sharded_campaign: fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    body();
+    std::_Exit(0);  // skip atexit: the parent owns the trajectory artifact
+  }
+  int status = 0;
+  struct rusage usage = {};
+  if (wait4(pid, &status, 0, &usage) != pid || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "sharded_campaign: %s child failed\n", label);
+    std::exit(1);
+  }
+  ChildStats stats;
+  stats.wall_ns = std::chrono::duration<double, std::nano>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  stats.rss_mib = static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB
+  return stats;
+}
+
+[[noreturn]] void child_fail(const std::string& message) {
+  std::fprintf(stderr, "sharded_campaign: %s\n", message.c_str());
+  std::_Exit(1);
+}
+
+// One shard process for one round: probe the owned (region, chunk) items
+// and stream them to a part file — exactly `cloudmap_cli campaign --shard`.
+void run_shard_round(const std::string& prefix, int round, int index) {
+  PipelineOptions options = base_options();
+  options.campaign.shard_index = index;
+  options.campaign.shard_count = kShards;
+  Pipeline pipeline(bench_world(), options);
+  Campaign& campaign = pipeline.mutable_campaign();
+
+  std::string error;
+  ShardMerge round1_parts;
+  if (round == 2) {
+    std::vector<std::string> paths;
+    for (int s = 0; s < kShards; ++s)
+      paths.push_back(shard_part_path(prefix, 1, s, kShards));
+    if (!round1_parts.open(paths, &error)) child_fail(error);
+    campaign.absorb_round1([&round1_parts](Campaign::SweepChunkResult& r) {
+      return round1_parts.next(r);
+    });
+  }
+
+  Annotator annotator = pipeline.annotator();
+  annotator.set_snapshot(round == 1 ? &pipeline.snapshot_round1()
+                                    : &pipeline.snapshot_round2());
+  const std::vector<Ipv4> targets =
+      round == 1 ? campaign.round1_targets() : campaign.expansion_targets();
+
+  ShardPartHeader header;
+  header.config_digest = kDigest;
+  header.round = static_cast<std::uint32_t>(round);
+  header.shard_index = static_cast<std::uint32_t>(index);
+  header.shard_count = kShards;
+  header.total_items = campaign.sweep_item_count(targets.size());
+  header.target_count = targets.size();
+
+  ShardPartWriter writer;
+  if (!writer.open(shard_part_path(prefix, round, index, kShards), header,
+                   &error))
+    child_fail(error);
+  const Campaign::ShardSink sink =
+      [&](std::uint64_t item, const Campaign::SweepChunkResult& result) {
+        if (!writer.append(item, result, &error)) child_fail(error);
+      };
+  if (round == 1)
+    campaign.run_round1_shard(annotator, sink);
+  else
+    campaign.run_round2_shard(annotator, sink);
+  if (!writer.finish(&error)) child_fail(error);
+}
+
+void write_snapshot_file(const RunSnapshot& snapshot,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) child_fail("cannot write " + path);
+  save_snapshot(out, snapshot);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main() {
+  const int threads = bench::bench_threads();
+  char dir_template[] = "/tmp/cloudmap_shard_bench_XXXXXX";
+  if (mkdtemp(dir_template) == nullptr) {
+    std::perror("sharded_campaign: mkdtemp");
+    return 1;
+  }
+  const std::string dir = dir_template;
+  const std::string prefix = dir + "/campaign";
+  const std::string single_path = dir + "/single.snap";
+  const std::string merged_path = dir + "/merged.snap";
+
+  std::printf("BM_ShardedCampaign: %d-shard campaign vs single process\n",
+              kShards);
+  const World& world = bench_world();
+  std::printf("world: seed %llu, %zu ASes, %zu routers, %zu regions "
+              "(~10x quickstart), campaign threads %d\n\n",
+              static_cast<unsigned long long>(bench::kBenchSeed),
+              world.ases.size(), world.routers.size(), world.regions.size(),
+              threads);
+
+  std::vector<bench::TrajectoryEntry> entries;
+  entries.reserve(8);  // returned entry pointers must survive later records
+  const auto record = [&](const std::string& name, double wall_ns,
+                          double rss_mib) {
+    bench::TrajectoryEntry entry;
+    entry.name = "BM_ShardedCampaign/" + name;
+    entry.iterations = 1;
+    entry.ns_per_op = wall_ns;
+    entry.threads = threads;
+    entry.counters.emplace_back("rss_mib", rss_mib);
+    entries.push_back(entry);
+    std::printf("  %-16s %9.1f ms  peak RSS %8.1f MiB\n", name.c_str(),
+                wall_ns / 1e6, rss_mib);
+    return &entries.back();
+  };
+
+  // Single-process baseline: both rounds plus inference, one snapshot.
+  const ChildStats single = run_child("single_process", [&] {
+    Pipeline pipeline(bench_world(), base_options());
+    write_snapshot_file(pipeline.run_snapshot(), single_path);
+  });
+  record("single_process", single.wall_ns, single.rss_mib);
+
+  // The sharded protocol: N round-1 shards, N round-2 shards, one merge.
+  double shard_rss_max = 0.0;
+  for (const int round : {1, 2}) {
+    double round_wall = 0.0;
+    double round_rss = 0.0;
+    for (int i = 0; i < kShards; ++i) {
+      const ChildStats shard = run_child("shard", [&, round, i] {
+        run_shard_round(prefix, round, i);
+      });
+      round_wall += shard.wall_ns;
+      round_rss = std::max(round_rss, shard.rss_mib);
+    }
+    shard_rss_max = std::max(shard_rss_max, round_rss);
+    auto* entry = record("shard_round" + std::to_string(round), round_wall,
+                         round_rss);
+    entry->counters.emplace_back("shards", kShards);
+  }
+
+  const ChildStats merge = run_child("merge", [&] {
+    std::vector<std::string> round1_paths;
+    std::vector<std::string> round2_paths;
+    for (int s = 0; s < kShards; ++s) {
+      round1_paths.push_back(shard_part_path(prefix, 1, s, kShards));
+      round2_paths.push_back(shard_part_path(prefix, 2, s, kShards));
+    }
+    ShardMerge round1_parts;
+    ShardMerge round2_parts;
+    std::string error;
+    if (!round1_parts.open(round1_paths, &error)) child_fail(error);
+    if (!round2_parts.open(round2_paths, &error)) child_fail(error);
+    Pipeline pipeline(bench_world(), base_options());
+    pipeline.set_absorb_sources(
+        [&round1_parts](Campaign::SweepChunkResult& r) {
+          return round1_parts.next(r);
+        },
+        [&round2_parts](Campaign::SweepChunkResult& r) {
+          return round2_parts.next(r);
+        });
+    write_snapshot_file(pipeline.run_snapshot(), merged_path);
+  });
+  auto* merge_entry = record("merge", merge.wall_ns, merge.rss_mib);
+
+  // --- in-binary gates -----------------------------------------------------
+  int failures = 0;
+
+  // Determinism: sharded + merged must reproduce the single-process
+  // snapshot byte for byte.
+  const std::string single_bytes = read_file(single_path);
+  const bool identical =
+      !single_bytes.empty() && single_bytes == read_file(merged_path);
+  merge_entry->counters.emplace_back("snapshot_identical",
+                                     identical ? 1.0 : 0.0);
+  merge_entry->counters.emplace_back(
+      "snapshot_bytes", static_cast<double>(single_bytes.size()));
+  if (!identical) {
+    std::fprintf(stderr, "\nFAIL: merged snapshot differs from the "
+                         "single-process snapshot\n");
+    ++failures;
+  }
+
+  // Memory flatness: the merge streams parts through fixed-size state, so
+  // the sharded protocol's peak must stay under 1.5x its largest shard.
+  const double sharded_peak = std::max(shard_rss_max, merge.rss_mib);
+  const double ratio = sharded_peak / shard_rss_max;
+  merge_entry->counters.emplace_back("rss_vs_single_shard", ratio);
+  std::printf("\n  sharded peak RSS %.1f MiB = %.2fx largest shard "
+              "(gate < 1.5), single process %.1f MiB\n",
+              sharded_peak, ratio, single.rss_mib);
+  std::printf("  merged snapshot %s single-process snapshot (%zu bytes)\n",
+              identical ? "==" : "!=", single_bytes.size());
+  if (ratio >= 1.5) {
+    std::fprintf(stderr, "\nFAIL: sharded peak RSS %.2fx largest shard "
+                         "(limit 1.5x)\n", ratio);
+    ++failures;
+  }
+
+  bench::write_trajectory("sharded_campaign", entries, &world, threads,
+                          nullptr);
+
+  // Best-effort cleanup of the part and snapshot files.
+  for (const int round : {1, 2})
+    for (int s = 0; s < kShards; ++s)
+      std::remove(shard_part_path(prefix, round, s, kShards).c_str());
+  std::remove(single_path.c_str());
+  std::remove(merged_path.c_str());
+  rmdir(dir.c_str());
+  return failures == 0 ? 0 : 1;
+}

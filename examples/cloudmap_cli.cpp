@@ -15,6 +15,18 @@
 //                                         running cloudmap_serve daemon,
 //                                         plus swap PATH | stats | ping |
 //                                         stop
+//   cloudmap_cli campaign SEED PREFIX --shard I/N [--shard-round R]
+//                                         run only shard I of an N-way
+//                                         campaign round, streaming its
+//                                         share of the sweep to
+//                                         PREFIX.r<R>.s<I>of<N>.part (round
+//                                         2 needs all round-1 parts)
+//   cloudmap_cli merge-shards SEED PREFIX N OUT.snap
+//                                         absorb every shard's parts, run
+//                                         the remaining stages, write the
+//                                         snapshot — byte-identical to a
+//                                         single-process `snapshot` run
+//                                         under --deterministic-metrics
 //   cloudmap_cli diff A B                 longitudinal snapshot comparison
 //   cloudmap_cli hazards list             presets + hazard kinds
 //   cloudmap_cli hazards describe P       canonical spec of a profile
@@ -50,6 +62,9 @@
 //                        spec like "loss:0.2,mpls:0.3") to the world and the
 //                        campaign; churn profiles only take effect under
 //                        `hazards score` (they emit world sequences)
+//   --shard I/N          campaign only: run shard I of an N-way campaign
+//                        (0 <= I < N; N = 1 still writes a part file)
+//   --shard-round R      which round a --shard invocation executes (1 or 2)
 //   CLOUDMAP_THREADS / CLOUDMAP_METRICS_JSON / CLOUDMAP_SNAPSHOT /
 //   CLOUDMAP_RETRY_BUDGET / CLOUDMAP_DETERMINISTIC_METRICS env equivalents
 //
@@ -68,6 +83,7 @@
 #include "core/options.h"
 #include "core/pipeline.h"
 #include "io/serialize.h"
+#include "io/shard.h"
 #include "io/snapshot.h"
 #include "obs/emit.h"
 #include "query/diff.h"
@@ -142,8 +158,189 @@ int emit_metrics(const Pipeline& pipeline, const FrontendOptions& front) {
   return 0;
 }
 
+// Canonical configuration key of a campaign run: every knob that changes
+// campaign RESULTS (never execution-environment knobs like --threads or
+// --shard). All shard and merge invocations of one campaign must hash to
+// the same digest, or the merge refuses the parts.
+std::string shard_campaign_key(std::uint64_t seed,
+                               const FrontendOptions& front) {
+  const CampaignConfig& campaign = front.pipeline.campaign;
+  std::string key = "world:" + std::to_string(seed);
+  key += "|seed:" + std::to_string(front.pipeline.seed);
+  key += "|subject:" +
+         std::to_string(static_cast<int>(front.pipeline.subject));
+  key += "|stride:" + std::to_string(campaign.expansion_stride);
+  key += "|retry:" + std::to_string(campaign.reprobe.budget) + ":" +
+         std::to_string(campaign.reprobe.backoff_base_ticks);
+  key += "|response:" + std::to_string(campaign.traceroute.response_scale) +
+         ":" + std::to_string(campaign.traceroute.host_response);
+  key += "|hazards:" + front.hazard_profile.spec_string();
+  return key;
+}
+
+// One shard of the distributed campaign: run only this process's share of
+// one round's canonical work items and stream the results to
+// PREFIX.r<round>.s<i>of<n>.part. Round 2 first absorbs the merged round-1
+// parts (identically in every shard), because its expansion targets derive
+// from the round-1 fabric.
+int cmd_campaign_shard(std::uint64_t seed, const std::string& prefix,
+                       const FrontendOptions& front) {
+  const World world = make_world(seed, front.hazard_profile);
+  Pipeline pipeline(world, front.pipeline);
+  Campaign& campaign = pipeline.mutable_campaign();
+  const int index = front.pipeline.campaign.shard_index;
+  const int count = front.pipeline.campaign.shard_count;
+  const int round = front.shard_round;
+  const std::uint64_t digest = shard_digest(shard_campaign_key(seed, front));
+  std::string error;
+
+  ShardMerge round1_parts;
+  if (round == 2) {
+    std::vector<std::string> paths;
+    for (int s = 0; s < count; ++s)
+      paths.push_back(shard_part_path(prefix, 1, s, count));
+    if (!round1_parts.open(paths, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    if (round1_parts.header().config_digest != digest) {
+      std::fprintf(stderr,
+                   "round-1 parts were produced under a different "
+                   "configuration (digest mismatch); re-run round 1\n");
+      return 1;
+    }
+  }
+
+  try {
+    if (round == 2)
+      campaign.absorb_round1([&round1_parts](Campaign::SweepChunkResult& r) {
+        return round1_parts.next(r);
+      });
+
+    Annotator annotator = pipeline.annotator();
+    annotator.set_snapshot(round == 1 ? &pipeline.snapshot_round1()
+                                      : &pipeline.snapshot_round2());
+    const std::vector<Ipv4> targets =
+        round == 1 ? campaign.round1_targets() : campaign.expansion_targets();
+
+    ShardPartHeader header;
+    header.config_digest = digest;
+    header.round = static_cast<std::uint32_t>(round);
+    header.shard_index = static_cast<std::uint32_t>(index);
+    header.shard_count = static_cast<std::uint32_t>(count);
+    header.total_items = campaign.sweep_item_count(targets.size());
+    header.target_count = targets.size();
+    const std::string path = shard_part_path(prefix, round, index, count);
+    ShardPartWriter writer;
+    if (!writer.open(path, header, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    bool write_ok = true;
+    const Campaign::ShardSink sink =
+        [&](std::uint64_t item, const Campaign::SweepChunkResult& result) {
+          if (write_ok && !writer.append(item, result, &error))
+            write_ok = false;
+        };
+    if (round == 1)
+      campaign.run_round1_shard(annotator, sink);
+    else
+      campaign.run_round2_shard(annotator, sink);
+    if (!write_ok || !writer.finish(&error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("shard %d/%d round %d: wrote %s (%llu of %llu work items)\n",
+                index, count, round, path.c_str(),
+                static_cast<unsigned long long>(
+                    header.total_items / count +
+                    (static_cast<std::uint64_t>(index) <
+                             header.total_items % count
+                         ? 1
+                         : 0)),
+                static_cast<unsigned long long>(header.total_items));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+// merge-shards SEED PREFIX N OUT.snap: absorb every shard's round-1 and
+// round-2 parts in canonical order, run the remaining pipeline stages
+// in-process, and write the final snapshot — byte-identical to a
+// single-process `snapshot` run under --deterministic-metrics.
+int cmd_merge_shards(const std::vector<std::string>& args,
+                     FrontendOptions front) {
+  if (args.size() < 5) {
+    std::fprintf(stderr, "usage: merge-shards SEED PREFIX N OUT.snap\n");
+    return 2;
+  }
+  const std::uint64_t seed = std::strtoull(args[1].c_str(), nullptr, 10);
+  const std::string& prefix = args[2];
+  const int count = static_cast<int>(std::strtol(args[3].c_str(), nullptr, 10));
+  const std::string& out_path = args[4];
+  if (count < 1) {
+    std::fprintf(stderr, "merge-shards: shard count must be >= 1, got '%s'\n",
+                 args[3].c_str());
+    return 2;
+  }
+  // The merge process runs heuristics/VPI/pinning itself; the shard split
+  // only ever applied to the probe sweeps.
+  front.pipeline.campaign.shard_index = 0;
+  front.pipeline.campaign.shard_count = 1;
+  const std::uint64_t digest = shard_digest(shard_campaign_key(seed, front));
+
+  std::string error;
+  ShardMerge round1_parts;
+  ShardMerge round2_parts;
+  for (int round = 1; round <= 2; ++round) {
+    ShardMerge& merge = round == 1 ? round1_parts : round2_parts;
+    std::vector<std::string> paths;
+    for (int s = 0; s < count; ++s)
+      paths.push_back(shard_part_path(prefix, round, s, count));
+    if (!merge.open(paths, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    if (merge.header().config_digest != digest) {
+      std::fprintf(stderr,
+                   "round-%d parts were produced under a different "
+                   "configuration (digest mismatch)\n",
+                   round);
+      return 1;
+    }
+  }
+
+  const World world = make_world(seed, front.hazard_profile);
+  Pipeline pipeline(world, front.pipeline);
+  pipeline.set_absorb_sources(
+      [&round1_parts](Campaign::SweepChunkResult& r) {
+        return round1_parts.next(r);
+      },
+      [&round2_parts](Campaign::SweepChunkResult& r) {
+        return round2_parts.next(r);
+      });
+  try {
+    const RunSnapshot& snap = pipeline.run_snapshot();
+    if (!save_snapshot_file(out_path, snap, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("merged %d shards: wrote %s (%zu segments, %zu pins)\n",
+                count, out_path.c_str(), snap.segments.size(),
+                snap.pins.size());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return emit_metrics(pipeline, front);
+}
+
 int cmd_campaign(std::uint64_t seed, const std::string& path,
                  const FrontendOptions& front) {
+  if (front.shard_requested)
+    return cmd_campaign_shard(seed, path, front);
   const World world = make_world(seed, front.hazard_profile);
   Pipeline pipeline(world, front.pipeline);
   if (front.metrics_json.empty() && front.metrics_csv.empty()) {
@@ -739,6 +936,7 @@ int main(int argc, char** argv) {
 
   if (command == "worldgen") return cmd_worldgen(seed, front);
   if (command == "campaign") return cmd_campaign(seed, path, front);
+  if (command == "merge-shards") return cmd_merge_shards(args, front);
   if (command == "analyze") return cmd_analyze(seed, path, front);
   if (command == "snapshot") {
     const std::string snap_path = args.size() > 2 ? args[2] : "cloudmap.snap";
@@ -760,12 +958,13 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "usage: %s [worldgen|campaign|analyze|all|snapshot] [seed] "
                "[file] | %s query FILE ACTION [ARG] | %s remote HOST:PORT "
-               "ACTION [ARG] | diff A B | hazards list|describe P|score "
+               "ACTION [ARG] | merge-shards SEED PREFIX N OUT.snap | "
+               "diff A B | hazards list|describe P|score "
                "[--threads N] [--metrics-json PATH] [--metrics-csv PATH] "
                "[--no-metrics] [--snapshot PATH] [--retry-budget N] "
                "[--retry-backoff T] [--response-scale X] [--host-response X] "
                "[--deterministic-metrics] [--min-confidence X] "
-               "[--hazard-profile P]\n",
+               "[--hazard-profile P] [--shard I/N] [--shard-round R]\n",
                argv[0], argv[0], argv[0]);
   return 2;
 }

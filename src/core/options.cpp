@@ -182,6 +182,33 @@ FrontendOptions options_from_env_and_args(int argc, char** argv) {
         return out;
       }
       out.hazard_profile = *profile;
+    } else if (arg == "--shard") {
+      std::string value;
+      if (!flag_value(i, "--shard", value)) return out;
+      const std::size_t slash = value.find('/');
+      const int index =
+          slash == std::string::npos ? -1
+                                     : parse_threads(value.substr(0, slash));
+      const int count =
+          slash == std::string::npos ? -1
+                                     : parse_threads(value.substr(slash + 1));
+      if (index < 0 || count < 1 || index >= count) {
+        out.error = "error: --shard expects I/N with 0 <= I < N, got '" +
+                    value + "'";
+        return out;
+      }
+      out.pipeline.campaign.shard_index = index;
+      out.pipeline.campaign.shard_count = count;
+      out.shard_requested = true;
+    } else if (arg == "--shard-round") {
+      std::string value;
+      if (!flag_value(i, "--shard-round", value)) return out;
+      const int round = parse_threads(value);
+      if (round != 1 && round != 2) {
+        out.error = "error: --shard-round expects 1 or 2, got '" + value + "'";
+        return out;
+      }
+      out.shard_round = round;
     } else if (arg == "--deterministic-metrics") {
       out.pipeline.deterministic_metrics = true;
     } else if (arg == "--no-metrics") {

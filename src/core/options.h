@@ -27,6 +27,15 @@ struct FrontendOptions {
   // Minimum segment confidence for query front-ends (--min-confidence).
   // Negative = unset: callers apply no filter.
   double min_confidence = -1.0;
+  // Sharded campaign round selector (--shard-round, only meaningful with
+  // --shard I/N): which round this shard invocation executes. Round 2
+  // requires every shard's round-1 part (it absorbs the merged round-1
+  // fabric before probing its own round-2 share).
+  int shard_round = 1;
+  // Set when --shard was given explicitly, so front-ends can distinguish a
+  // requested 1-shard run (--shard 0/1, which still writes a part file for
+  // merge-shards) from the unsharded default.
+  bool shard_requested = false;
   // Adversarial hazard profile (--hazard-profile NAME|SPEC, or the
   // CLOUDMAP_HAZARD_PROFILE environment variable). Accepts a preset name
   // (`cloudmap_cli hazards list`) or a spec like "loss:0.2,remote:0.5".
@@ -52,7 +61,9 @@ FrontendOptions options_from_env();
 // Environment first, then flags: --threads N, --metrics-json PATH,
 // --metrics-csv PATH, --no-metrics, --snapshot PATH, --retry-budget N,
 // --retry-backoff TICKS, --response-scale X, --host-response X,
-// --deterministic-metrics, --min-confidence X, --hazard-profile NAME|SPEC.
+// --deterministic-metrics, --min-confidence X, --hazard-profile NAME|SPEC,
+// --shard I/N (run only shard I of an N-way campaign; 0 <= I < N),
+// --shard-round R (which round a --shard invocation executes; 1 or 2).
 // Everything else lands in `positional`.
 FrontendOptions options_from_env_and_args(int argc, char** argv);
 

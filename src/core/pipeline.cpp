@@ -106,10 +106,22 @@ void Pipeline::run_stage(StageId stage) {
                 .count()) /
         1e6;
   }
-  if (options_.deterministic_metrics) report.worker_utilization = 0.0;
   const BgpCacheStats bgp_after = bgp_->cache_stats();
   report.bgp_cache_hits = bgp_after.hits - bgp_before.hits;
   report.bgp_cache_misses = bgp_after.misses - bgp_before.misses;
+  if (options_.deterministic_metrics) {
+    // Execution-environment fields: how many workers drained the queue, how
+    // the shared BGP route cache happened to interleave, what the thread
+    // knob was. None of them affect results, but all of them land in the
+    // snapshot's stage-metrics section — zero them so a snapshot's bytes
+    // are identical across thread counts and across the sharded-campaign
+    // merge path (absorbing shards does no probing and no BGP traffic).
+    report.threads = 0;
+    report.workers = 0;
+    report.worker_utilization = 0.0;
+    report.bgp_cache_hits = 0;
+    report.bgp_cache_misses = 0;
+  }
 
   const std::string prefix = std::string("stage.") + to_string(stage);
   metrics_.add(prefix + ".runs", 1);
@@ -123,9 +135,16 @@ void Pipeline::run_stage(StageId stage) {
   reports_[i] = std::move(report);
 }
 
+void Pipeline::set_absorb_sources(Campaign::ShardSource round1,
+                                  Campaign::ShardSource round2) {
+  absorb_round1_ = std::move(round1);
+  absorb_round2_ = std::move(round2);
+}
+
 void Pipeline::stage_round1(StageReport& report) {
   annotator_.set_snapshot(&snapshot1_);
-  round1_ = campaign_->run_round1(annotator_);
+  round1_ = absorb_round1_ ? campaign_->absorb_round1(absorb_round1_)
+                           : campaign_->run_round1(annotator_);
   report.targets = round1_->targets;
   report.traceroutes = round1_->traceroutes;
   report.probes = round1_->probes;
@@ -140,7 +159,8 @@ void Pipeline::stage_round1(StageReport& report) {
 void Pipeline::stage_round2(StageReport& report) {
   // §4.2: expansion probing, annotated against the fresher snapshot.
   annotator_.set_snapshot(&snapshot2_);
-  round2_ = campaign_->run_round2(annotator_);
+  round2_ = absorb_round2_ ? campaign_->absorb_round2(absorb_round2_)
+                           : campaign_->run_round2(annotator_);
   report.targets = round2_->targets;
   report.traceroutes = round2_->traceroutes;
   report.probes = round2_->probes;
@@ -325,7 +345,9 @@ const RunSnapshot& Pipeline::run_snapshot() {
 
   RunSnapshot out;
   out.seed = options_.seed;
-  out.threads = options_.campaign.threads;
+  // The thread knob is execution environment, not a result — blank it under
+  // deterministic metrics so snapshots cmp equal across thread counts.
+  out.threads = options_.deterministic_metrics ? 0 : options_.campaign.threads;
   out.subject = static_cast<std::uint8_t>(options_.subject);
   out.hazard_profile = options_.hazard_label;
 

@@ -162,6 +162,16 @@ class Pipeline {
   // query/). Memoized like every other stage artifact.
   const RunSnapshot& run_snapshot();
 
+  // Sharded-campaign merge mode: when sources are set, the round-1/round-2
+  // stages absorb the merged part streams (io/shard.h) instead of probing —
+  // the fabric, stats, and RNG-stream bookkeeping come out exactly as if
+  // this process had probed everything itself, so the rest of the pipeline
+  // (heuristics, verification, VPI detection, pinning, snapshot) runs
+  // unchanged and the final snapshot is byte-identical to a single-process
+  // run under --deterministic-metrics. Must be called before any stage runs.
+  void set_absorb_sources(Campaign::ShardSource round1,
+                          Campaign::ShardSource round2);
+
   // --- components (prepared on construction) ---
   // Accessors are const; mutation is explicit via the mutable_* variants so
   // benches cannot silently perturb a memoized stage.
@@ -247,6 +257,10 @@ class Pipeline {
   VantagePoint public_vp_;
 
   Annotator annotator_;
+
+  // Merge-mode part streams (empty = probe in-process as usual).
+  Campaign::ShardSource absorb_round1_;
+  Campaign::ShardSource absorb_round2_;
 
   // Stage artifacts; reports_ doubles as the memoization state (a stage ran
   // iff its report slot is filled).

@@ -160,7 +160,7 @@ bool Forwarder::cloud_internal_chain(RegionId region, RouterId target,
       return km * (1.0 + 0.35 * j) + j;
     };
     double best_score = score(parent, up);
-    for (const LinkId extra : router.extra_uplinks) {
+    for (const LinkId extra : world_->router_extra_uplinks(router)) {
       const Link& l = world_->link(extra);
       const RouterId ra = world_->interface(l.side_a).router;
       const RouterId rb = world_->interface(l.side_b).router;

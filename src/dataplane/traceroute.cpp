@@ -102,7 +102,7 @@ void TracerouteEngine::trace_into(const VantagePoint& vp, Ipv4 dst,
       if (router.reply_policy == ReplyPolicy::kFixedInterface)
         reply = router.fixed_reply;
       if (!reply.valid() && !router.interfaces.empty())
-        reply = router.interfaces.front();
+        reply = world.router_interfaces(hop.router).front();
       if (reply.valid()) {
         generated = true;
         const double rtt = 2.0 * hop.oneway_ms + jitter();

@@ -1,7 +1,9 @@
 #include "infer/campaign.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_set>
+#include <utility>
 
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -126,6 +128,71 @@ Campaign::SweepChunkResult Campaign::sweep_chunk(
   return result;
 }
 
+Campaign::SweepPlan Campaign::make_plan(std::size_t target_count) const {
+  SweepPlan plan;
+  // Work items in canonical (region, chunk) order — the same order the
+  // sequential loop used to visit (vantage-point outer, targets inner).
+  for (std::size_t v = 0; v < vps_.size(); ++v) {
+    std::uint64_t chunk = 0;
+    for (std::size_t begin = 0; begin < target_count;
+         begin += kSweepChunk, ++chunk) {
+      plan.items.push_back(WorkItem{
+          v, begin, std::min(begin + kSweepChunk, target_count), chunk});
+    }
+  }
+
+  // Route-churn hazard: the last `route_churn` fraction of the canonical
+  // work-item list runs against forwarding-state epoch 1 — an atomic,
+  // fabric-wide swap at a deterministic item boundary, independent of the
+  // thread count and of sharding (the boundary is an index into the
+  // canonical list, never a function of scheduling).
+  const double route_churn =
+      config_.traceroute.hazards.clamped().route_churn;
+  plan.swap_at =
+      route_churn <= 0.0
+          ? plan.items.size()
+          : plan.items.size() -
+                static_cast<std::size_t>(
+                    static_cast<double>(plan.items.size()) * route_churn);
+  return plan;
+}
+
+std::uint64_t Campaign::sweep_item_count(std::size_t target_count) const {
+  const std::uint64_t chunks_per_vp =
+      (target_count + kSweepChunk - 1) / kSweepChunk;
+  return static_cast<std::uint64_t>(vps_.size()) * chunks_per_vp;
+}
+
+void Campaign::merge_result(RoundStats& stats, const SweepChunkResult& result,
+                            int round) {
+  stats.traceroutes += result.traceroutes;
+  stats.probes += result.probes;
+  stats.retried_targets += result.retried_targets;
+  stats.retries += result.retries;
+  stats.backoff_waits += result.backoff_waits;
+  stats.backoff_ticks += result.backoff_ticks;
+  stats.recovered_targets += result.recovered_targets;
+  stats.walk.add(result.walk);
+  for (const auto& [from, to] : result.adjacencies)
+    fabric_.add_adjacency(Ipv4(from), Ipv4(to));
+  for (const CandidateSegment& segment : result.segments)
+    fabric_.add_segment(segment, round);
+}
+
+void Campaign::add_sweep_metrics(const RoundStats& stats) {
+  if (metrics_ == nullptr || !metrics_->enabled()) return;
+  metrics_->add("campaign.sweeps");
+  metrics_->add("campaign.targets", stats.targets);
+  metrics_->add("campaign.traceroutes", stats.traceroutes);
+  metrics_->add("campaign.probes", stats.probes);
+  // Registered even when zero so every artifact carries the retry family
+  // (tools/metrics_schema.json lists them as retry_counters).
+  metrics_->add("campaign.retry.attempts", stats.retries);
+  metrics_->add("campaign.retry.backoff_waits", stats.backoff_waits);
+  metrics_->add("campaign.retry.backoff_ticks", stats.backoff_ticks);
+  metrics_->add("campaign.retry.recovered_targets", stats.recovered_targets);
+}
+
 RoundStats Campaign::sweep(const Annotator& annotator,
                            const std::vector<Ipv4>& targets, int round) {
   const bool metered = metrics_ != nullptr && metrics_->enabled();
@@ -134,87 +201,120 @@ RoundStats Campaign::sweep(const Annotator& annotator,
   RoundStats stats;
   stats.targets = targets.size();
   const std::uint64_t sweep_index = sweep_counter_++;
+  const SweepPlan plan = make_plan(targets.size());
 
-  // Work items in canonical (region, chunk) order — the same order the
-  // sequential loop used to visit (vantage-point outer, targets inner).
-  struct WorkItem {
-    std::size_t vp;
-    std::size_t begin;
-    std::size_t end;
-    std::uint64_t chunk;
-  };
-  std::vector<WorkItem> items;
-  for (std::size_t v = 0; v < vps_.size(); ++v) {
-    std::uint64_t chunk = 0;
-    for (std::size_t begin = 0; begin < targets.size();
-         begin += kSweepChunk, ++chunk) {
-      items.push_back(WorkItem{v, begin,
-                               std::min(begin + kSweepChunk, targets.size()),
-                               chunk});
-    }
-  }
-
-  // Route-churn hazard: the last `route_churn` fraction of the canonical
-  // work-item list runs against forwarding-state epoch 1 — an atomic,
-  // fabric-wide swap at a deterministic item boundary, independent of the
-  // thread count (the boundary is an index into the canonical list, never
-  // a function of scheduling).
-  const double route_churn =
-      config_.traceroute.hazards.clamped().route_churn;
-  const std::size_t swap_at =
-      route_churn <= 0.0
-          ? items.size()
-          : items.size() -
-                static_cast<std::size_t>(
-                    static_cast<double>(items.size()) * route_churn);
-
+  // Stream each item's contribution to the calling thread, which merges in
+  // canonical work-item order: segment insertion order (and with it
+  // prior/post-hop freshness and destination sampling) matches a serial run
+  // exactly, while peak buffering stays O(workers) instead of
+  // materializing every chunk's output (flat RSS at Internet scale).
   last_pool_stats_ = PoolStats{};
-  std::vector<SweepChunkResult> results = parallel_transform(
-      items.size(), config_.threads,
+  parallel_consume(
+      plan.items.size(), config_.threads,
       [&](std::size_t i) {
-        const WorkItem& item = items[i];
+        const WorkItem& item = plan.items[i];
         return sweep_chunk(annotator, targets, item.vp, item.begin, item.end,
-                           item.chunk, sweep_index, i >= swap_at ? 1u : 0u);
+                           item.chunk, sweep_index,
+                           i >= plan.swap_at ? 1u : 0u);
+      },
+      [&](std::size_t, SweepChunkResult&& result) {
+        merge_result(stats, result, round);
       },
       metered ? &last_pool_stats_ : nullptr);
+  add_sweep_metrics(stats);
+  return stats;
+}
 
-  // Merge on the calling thread, in work-item order: segment insertion order
-  // (and with it prior/post-hop freshness and destination sampling) matches
-  // a serial run exactly.
-  for (const SweepChunkResult& result : results) {
-    stats.traceroutes += result.traceroutes;
-    stats.probes += result.probes;
-    stats.retried_targets += result.retried_targets;
-    stats.retries += result.retries;
-    stats.backoff_waits += result.backoff_waits;
-    stats.backoff_ticks += result.backoff_ticks;
-    stats.recovered_targets += result.recovered_targets;
-    stats.walk.add(result.walk);
-    for (const auto& [from, to] : result.adjacencies)
-      fabric_.add_adjacency(Ipv4(from), Ipv4(to));
-    for (const CandidateSegment& segment : result.segments)
-      fabric_.add_segment(segment, round);
+void Campaign::run_shard_sweep(const Annotator& annotator,
+                               const std::vector<Ipv4>& targets,
+                               const ShardSink& sink) {
+  const bool metered = metrics_ != nullptr && metrics_->enabled();
+  const MetricsRegistry::ScopedTimer sweep_timer(
+      metered ? metrics_ : nullptr, "campaign.sweep");
+  const std::uint64_t sweep_index = sweep_counter_++;
+  const SweepPlan plan = make_plan(targets.size());
+
+  const std::size_t shard_count =
+      config_.shard_count < 1 ? 1 : static_cast<std::size_t>(config_.shard_count);
+  const std::size_t shard_index =
+      config_.shard_index < 0 ? 0 : static_cast<std::size_t>(config_.shard_index);
+  std::vector<std::size_t> owned;
+  for (std::size_t i = shard_index; i < plan.items.size(); i += shard_count)
+    owned.push_back(i);
+
+  // Same per-item execution as sweep(), but results flow to the sink (the
+  // part writer) instead of the fabric: merging must happen in GLOBAL
+  // canonical order across all shards, which only the absorb side can do.
+  last_pool_stats_ = PoolStats{};
+  parallel_consume(
+      owned.size(), config_.threads,
+      [&](std::size_t k) {
+        const std::size_t i = owned[k];
+        const WorkItem& item = plan.items[i];
+        return sweep_chunk(annotator, targets, item.vp, item.begin, item.end,
+                           item.chunk, sweep_index,
+                           i >= plan.swap_at ? 1u : 0u);
+      },
+      [&](std::size_t k, SweepChunkResult&& result) {
+        sink(owned[k], result);
+      },
+      metered ? &last_pool_stats_ : nullptr);
+}
+
+RoundStats Campaign::absorb_sweep(const ShardSource& source,
+                                  std::size_t target_count, int round) {
+  const bool metered = metrics_ != nullptr && metrics_->enabled();
+  const MetricsRegistry::ScopedTimer sweep_timer(
+      metered ? metrics_ : nullptr, "campaign.sweep");
+  RoundStats stats;
+  stats.targets = target_count;
+  // The absorbed sweep occupies the same RNG-stream slot the probing sweep
+  // would have, so later in-process sweeps (round 2, VPI detection) draw
+  // from the same streams as a single-process run.
+  sweep_counter_++;
+  const std::uint64_t items = sweep_item_count(target_count);
+  last_pool_stats_ = PoolStats{};
+  SweepChunkResult result;
+  for (std::uint64_t i = 0; i < items; ++i) {
+    result = SweepChunkResult{};
+    if (!source(result)) {
+      throw std::runtime_error(
+          "campaign: shard part stream ended after " + std::to_string(i) +
+          " of " + std::to_string(items) + " work items");
+    }
+    merge_result(stats, result, round);
   }
-  if (metered) {
-    metrics_->add("campaign.sweeps");
-    metrics_->add("campaign.targets", stats.targets);
-    metrics_->add("campaign.traceroutes", stats.traceroutes);
-    metrics_->add("campaign.probes", stats.probes);
-    // Registered even when zero so every artifact carries the retry family
-    // (tools/metrics_schema.json lists them as retry_counters).
-    metrics_->add("campaign.retry.attempts", stats.retries);
-    metrics_->add("campaign.retry.backoff_waits", stats.backoff_waits);
-    metrics_->add("campaign.retry.backoff_ticks", stats.backoff_ticks);
-    metrics_->add("campaign.retry.recovered_targets", stats.recovered_targets);
-  }
+  add_sweep_metrics(stats);
   return stats;
 }
 
 RoundStats Campaign::run_round1(const Annotator& annotator) {
+  return sweep(annotator, round1_targets(), 1);
+}
+
+std::vector<Ipv4> Campaign::round1_targets() const {
   std::vector<Ipv4> targets;
   for (const Prefix& prefix : world_->probeable_slash24s())
     targets.push_back(prefix.network().next(1));
-  return sweep(annotator, targets, 1);
+  return targets;
+}
+
+void Campaign::run_round1_shard(const Annotator& annotator,
+                                const ShardSink& sink) {
+  run_shard_sweep(annotator, round1_targets(), sink);
+}
+
+void Campaign::run_round2_shard(const Annotator& annotator,
+                                const ShardSink& sink) {
+  run_shard_sweep(annotator, expansion_targets(), sink);
+}
+
+RoundStats Campaign::absorb_round1(const ShardSource& source) {
+  return absorb_sweep(source, round1_targets().size(), 1);
+}
+
+RoundStats Campaign::absorb_round2(const ShardSource& source) {
+  return absorb_sweep(source, expansion_targets().size(), 2);
 }
 
 std::vector<Ipv4> Campaign::expansion_targets() const {

@@ -12,7 +12,9 @@
 // bit-identical whatever the thread count.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -44,6 +46,14 @@ struct CampaignConfig {
   // from untouched RNG streams, so a zero budget reproduces the
   // no-reprobing campaign bit for bit.
   ReprobePolicy reprobe;
+  // Multi-process sharding (scale-out across machines): shard runs execute
+  // only the canonical work items with index % shard_count == shard_index.
+  // The default 0/1 owns every item. A shard run streams its items' results
+  // to a part file instead of touching the fabric; the merge process
+  // absorbs all shards' parts in canonical order, which is what makes the
+  // sharded campaign byte-identical to a single-process one.
+  int shard_index = 0;
+  int shard_count = 1;
 };
 
 struct RoundStats {
@@ -95,6 +105,31 @@ class Campaign {
   Campaign(const World& world, const Forwarder& forwarder,
            CloudProvider subject, const CampaignConfig& config = {});
 
+  // Everything one (region, chunk) work item contributes, buffered so
+  // contributions can be merged in canonical item order — streamed on the
+  // calling thread by sweep(), or across processes via shard part files
+  // (io/shard.h).
+  //
+  // The merge path is deliberately lock-free BY CONSTRUCTION, not by
+  // guarding: workers build only their own item's result, and the merge
+  // consumes results on the calling thread in canonical order
+  // (parallel_consume). The static guards are therefore the raw-thread
+  // lint rule (no stray std::thread can add a second writer) and the
+  // CM_GUARDED_BY annotations inside parallel.h / MetricsRegistry / the
+  // BGP cache — there is intentionally no mutex here to annotate.
+  struct SweepChunkResult {
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> adjacencies;
+    std::vector<CandidateSegment> segments;
+    BorderWalkStats walk;
+    std::uint64_t traceroutes = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t retried_targets = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t backoff_waits = 0;
+    std::uint64_t backoff_ticks = 0;
+    std::uint64_t recovered_targets = 0;
+  };
+
   // Round 1: .1 of every probeable /24, from every subject region.
   RoundStats run_round1(const Annotator& annotator);
 
@@ -104,6 +139,46 @@ class Campaign {
   // Probe an explicit target list (used by the VPI detector, §7.1).
   RoundStats run_targets(const Annotator& annotator,
                          const std::vector<Ipv4>& targets, int round);
+
+  // --- sharded execution (multi-process scale-out) -----------------------
+  //
+  // The shard protocol: each of N processes runs run_roundX_shard, which
+  // executes ONLY the work items owned by (config.shard_index,
+  // config.shard_count) and streams each result — in increasing canonical
+  // index — to `sink` (typically an io/shard.h part writer). The fabric is
+  // deliberately left untouched: segment-insertion order across ALL items
+  // is what the byte-identity invariant rests on, so merging happens in
+  // absorb_roundX, which consumes one result per canonical item in global
+  // order (io/shard.h's round-robin merge over N part streams) and updates
+  // the fabric, the round stats, the sweep counter, and the metrics exactly
+  // as an in-process sweep would have.
+  //
+  // Round 2 requires the absorbed round-1 fabric first (expansion targets
+  // derive from it), so a shard process runs: absorb_round1(merged parts)
+  // → run_round2_shard(sink).
+
+  using ShardSink =
+      std::function<void(std::uint64_t item, const SweepChunkResult& result)>;
+  using ShardSource = std::function<bool(SweepChunkResult& result)>;
+
+  // Canonical work-item count of a sweep over `target_count` targets — the
+  // same plan every shard derives; part headers carry it so the merge can
+  // prove coverage is complete.
+  std::uint64_t sweep_item_count(std::size_t target_count) const;
+
+  // Round-1 target list (the .1 of every probeable /24), exposed so shard
+  // and merge processes derive identical plans.
+  std::vector<Ipv4> round1_targets() const;
+
+  void run_round1_shard(const Annotator& annotator, const ShardSink& sink);
+  void run_round2_shard(const Annotator& annotator, const ShardSink& sink);
+
+  // Merge one full sweep's per-item results, already in canonical order.
+  // `source` is called exactly sweep_item_count(targets) times and must
+  // yield a result each time (a short stream throws — the io layer
+  // validates part coverage before handing the stream over).
+  RoundStats absorb_round1(const ShardSource& source);
+  RoundStats absorb_round2(const ShardSource& source);
 
   Fabric& fabric() { return fabric_; }
   const Fabric& fabric() const noexcept { return fabric_; }
@@ -138,32 +213,35 @@ class Campaign {
   // same per-chunk RNG streams.
   static constexpr std::size_t kSweepChunk = 256;
 
-  // Everything one work item contributes, buffered so the main thread can
-  // merge contributions in canonical (region, chunk) order.
-  //
-  // The merge path is deliberately lock-free BY CONSTRUCTION, not by
-  // guarding: workers write only their own chunk's result slot
-  // (parallel_transform indexes by item), and the merge runs on the
-  // calling thread after the pool joins. The static guards are therefore
-  // the raw-thread lint rule (no stray std::thread can add a second
-  // writer) and the CM_GUARDED_BY annotations inside parallel.h /
-  // MetricsRegistry / the BGP cache — there is intentionally no mutex
-  // here to annotate.
-  struct SweepChunkResult {
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> adjacencies;
-    std::vector<CandidateSegment> segments;
-    BorderWalkStats walk;
-    std::uint64_t traceroutes = 0;
-    std::uint64_t probes = 0;
-    std::uint64_t retried_targets = 0;
-    std::uint64_t retries = 0;
-    std::uint64_t backoff_waits = 0;
-    std::uint64_t backoff_ticks = 0;
-    std::uint64_t recovered_targets = 0;
+  // One canonical work item: a (vantage point, target slice) pair. The
+  // canonical list is region-outer, chunk-inner — the order the sequential
+  // loop used to visit.
+  struct WorkItem {
+    std::size_t vp;
+    std::size_t begin;
+    std::size_t end;
+    std::uint64_t chunk;
   };
+  // The full deterministic plan of one sweep: the canonical item list plus
+  // the route-churn epoch boundary. Every process (any shard, any thread
+  // count) derives the same plan from the same target count.
+  struct SweepPlan {
+    std::vector<WorkItem> items;
+    std::size_t swap_at = 0;  // items at index >= swap_at run at epoch 1
+  };
+  SweepPlan make_plan(std::size_t target_count) const;
 
   RoundStats sweep(const Annotator& annotator,
                    const std::vector<Ipv4>& targets, int round);
+  void run_shard_sweep(const Annotator& annotator,
+                       const std::vector<Ipv4>& targets, const ShardSink& sink);
+  RoundStats absorb_sweep(const ShardSource& source, std::size_t target_count,
+                          int round);
+  // Fold one item's buffered contribution into the fabric and the running
+  // stats — the single merge path shared by streaming sweeps and absorbs.
+  void merge_result(RoundStats& stats, const SweepChunkResult& result,
+                    int round);
+  void add_sweep_metrics(const RoundStats& stats);
   // `epoch` is the forwarding-state generation of this work item (the
   // route-churn hazard swaps state atomically at a deterministic item
   // boundary; 0 everywhere when the hazard is off).

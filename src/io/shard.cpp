@@ -1,0 +1,339 @@
+#include "io/shard.h"
+
+#include <stdexcept>
+
+#include "io/snapshot.h"
+#include "io/wire.h"
+
+namespace cloudmap {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'M', 'S', 'H', 'A', 'R', 'D', '1'};
+// magic + digest + (round, shard index, shard count) + 3 × u64 totals.
+constexpr std::size_t kHeaderSize = 8 + 8 + 3 * 4 + 3 * 8;
+// Offset of the record-count field, patched by finish().
+constexpr std::size_t kRecordCountOffset = kHeaderSize - 8;
+
+std::string encode_header(const ShardPartHeader& header) {
+  std::string out;
+  out.reserve(kHeaderSize);
+  out.append(kMagic, sizeof(kMagic));
+  wire::put_u64(out, header.config_digest);
+  wire::put_u32(out, header.round);
+  wire::put_u32(out, header.shard_index);
+  wire::put_u32(out, header.shard_count);
+  wire::put_u64(out, header.total_items);
+  wire::put_u64(out, header.target_count);
+  wire::put_u64(out, header.record_count);
+  return out;
+}
+
+std::string encode_result(const Campaign::SweepChunkResult& result) {
+  std::string out;
+  wire::put_u64(out, result.traceroutes);
+  wire::put_u64(out, result.probes);
+  wire::put_u64(out, result.retried_targets);
+  wire::put_u64(out, result.retries);
+  wire::put_u64(out, result.backoff_waits);
+  wire::put_u64(out, result.backoff_ticks);
+  wire::put_u64(out, result.recovered_targets);
+  wire::put_u64(out, result.walk.examined);
+  wire::put_u64(out, result.walk.extracted);
+  wire::put_u64(out, result.walk.never_left_cloud);
+  wire::put_u64(out, result.walk.loop);
+  wire::put_u64(out, result.walk.gap_before_border);
+  wire::put_u64(out, result.walk.cbi_is_destination);
+  wire::put_u64(out, result.walk.duplicate_before_border);
+  wire::put_u64(out, result.walk.reentered_cloud);
+  wire::put_u32(out, static_cast<std::uint32_t>(result.adjacencies.size()));
+  for (const auto& [from, to] : result.adjacencies) {
+    wire::put_u32(out, from);
+    wire::put_u32(out, to);
+  }
+  wire::put_u32(out, static_cast<std::uint32_t>(result.segments.size()));
+  for (const CandidateSegment& segment : result.segments) {
+    wire::put_u32(out, segment.cbi.value());
+    wire::put_u32(out, segment.abi.value());
+    wire::put_u32(out, segment.prior_abi.value());
+    wire::put_u32(out, segment.post_cbi.value());
+    wire::put_u32(out, segment.destination.value());
+    wire::put_u32(out, segment.region.value);
+    wire::put_f64(out, segment.abi_rtt_ms);
+    wire::put_f64(out, segment.cbi_rtt_ms);
+    wire::put_f64(out, segment.hop_density);
+  }
+  return out;
+}
+
+bool decode_result(const std::string& payload,
+                   Campaign::SweepChunkResult& result) {
+  wire::Cursor cursor{
+      reinterpret_cast<const unsigned char*>(payload.data()), payload.size()};
+  result.traceroutes = cursor.u64();
+  result.probes = cursor.u64();
+  result.retried_targets = cursor.u64();
+  result.retries = cursor.u64();
+  result.backoff_waits = cursor.u64();
+  result.backoff_ticks = cursor.u64();
+  result.recovered_targets = cursor.u64();
+  result.walk.examined = cursor.u64();
+  result.walk.extracted = cursor.u64();
+  result.walk.never_left_cloud = cursor.u64();
+  result.walk.loop = cursor.u64();
+  result.walk.gap_before_border = cursor.u64();
+  result.walk.cbi_is_destination = cursor.u64();
+  result.walk.duplicate_before_border = cursor.u64();
+  result.walk.reentered_cloud = cursor.u64();
+  const std::uint32_t adjacency_count = cursor.u32();
+  result.adjacencies.clear();
+  result.adjacencies.reserve(adjacency_count);
+  for (std::uint32_t i = 0; i < adjacency_count && !cursor.failed; ++i) {
+    const std::uint32_t from = cursor.u32();
+    const std::uint32_t to = cursor.u32();
+    result.adjacencies.emplace_back(from, to);
+  }
+  const std::uint32_t segment_count = cursor.u32();
+  result.segments.clear();
+  result.segments.reserve(segment_count);
+  for (std::uint32_t i = 0; i < segment_count && !cursor.failed; ++i) {
+    CandidateSegment segment;
+    segment.cbi = Ipv4(cursor.u32());
+    segment.abi = Ipv4(cursor.u32());
+    segment.prior_abi = Ipv4(cursor.u32());
+    segment.post_cbi = Ipv4(cursor.u32());
+    segment.destination = Ipv4(cursor.u32());
+    segment.region = RegionId{cursor.u32()};
+    segment.abi_rtt_ms = cursor.f64();
+    segment.cbi_rtt_ms = cursor.f64();
+    segment.hop_density = cursor.f64();
+    result.segments.push_back(segment);
+  }
+  return cursor.at_end();
+}
+
+// Owned items of shard i under round-robin ownership of `total` items.
+std::uint64_t owned_items(std::uint64_t total, std::uint32_t index,
+                          std::uint32_t count) {
+  if (count == 0) return 0;
+  return total / count + (index < total % count ? 1 : 0);
+}
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("shard part " + path + ": " + what);
+}
+
+}  // namespace
+
+std::uint64_t shard_digest(const std::string& key) {
+  std::uint64_t hash = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;  // FNV-1a prime
+  }
+  return hash;
+}
+
+std::string shard_part_path(const std::string& prefix, int round,
+                            int shard_index, int shard_count) {
+  return prefix + ".r" + std::to_string(round) + ".s" +
+         std::to_string(shard_index) + "of" + std::to_string(shard_count) +
+         ".part";
+}
+
+bool ShardPartWriter::open(const std::string& path,
+                           const ShardPartHeader& header, std::string* error) {
+  path_ = path;
+  header_ = header;
+  header_.record_count = 0;
+  records_ = 0;
+  out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!out_) {
+    if (error != nullptr) *error = "cannot write shard part " + path;
+    return false;
+  }
+  const std::string bytes = encode_header(header_);
+  out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out_);
+}
+
+bool ShardPartWriter::append(std::uint64_t item,
+                             const Campaign::SweepChunkResult& result,
+                             std::string* error) {
+  const std::string payload = encode_result(result);
+  std::string record;
+  record.reserve(8 + 4 + payload.size() + 4);
+  wire::put_u64(record, item);
+  wire::put_u32(record, static_cast<std::uint32_t>(payload.size()));
+  record.append(payload);
+  wire::put_u32(record,
+                snapshot_crc32(
+                    reinterpret_cast<const unsigned char*>(payload.data()),
+                    payload.size()));
+  out_.write(record.data(), static_cast<std::streamsize>(record.size()));
+  if (!out_) {
+    if (error != nullptr) *error = "short write on shard part " + path_;
+    return false;
+  }
+  ++records_;
+  return true;
+}
+
+bool ShardPartWriter::finish(std::string* error) {
+  // Patch the record count into the header: a crash mid-run leaves zero
+  // there, which the reader reports as a truncated part.
+  out_.seekp(static_cast<std::streamoff>(kRecordCountOffset));
+  std::string count;
+  wire::put_u64(count, records_);
+  out_.write(count.data(), static_cast<std::streamsize>(count.size()));
+  out_.close();
+  if (out_.fail()) {
+    if (error != nullptr) *error = "cannot finalize shard part " + path_;
+    return false;
+  }
+  return true;
+}
+
+bool ShardPartReader::open(const std::string& path, std::string* error) {
+  path_ = path;
+  read_ = 0;
+  in_.open(path, std::ios::binary);
+  if (!in_) {
+    if (error != nullptr) *error = "cannot read shard part " + path;
+    return false;
+  }
+  std::string bytes(kHeaderSize, '\0');
+  in_.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (in_.gcount() != static_cast<std::streamsize>(kHeaderSize) ||
+      bytes.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    if (error != nullptr)
+      *error = "shard part " + path + ": bad magic or truncated header";
+    return false;
+  }
+  wire::Cursor cursor{
+      reinterpret_cast<const unsigned char*>(bytes.data()) + sizeof(kMagic),
+      kHeaderSize - sizeof(kMagic)};
+  header_.config_digest = cursor.u64();
+  header_.round = cursor.u32();
+  header_.shard_index = cursor.u32();
+  header_.shard_count = cursor.u32();
+  header_.total_items = cursor.u64();
+  header_.target_count = cursor.u64();
+  header_.record_count = cursor.u64();
+  if (header_.shard_count == 0 ||
+      header_.shard_index >= header_.shard_count) {
+    if (error != nullptr)
+      *error = "shard part " + path + ": invalid shard index " +
+               std::to_string(header_.shard_index) + "/" +
+               std::to_string(header_.shard_count);
+    return false;
+  }
+  return true;
+}
+
+bool ShardPartReader::next(std::uint64_t& item,
+                           Campaign::SweepChunkResult& result) {
+  if (read_ >= header_.record_count) return false;
+  std::string prefix(12, '\0');
+  in_.read(prefix.data(), static_cast<std::streamsize>(prefix.size()));
+  if (in_.gcount() != static_cast<std::streamsize>(prefix.size()))
+    fail(path_, "truncated at record " + std::to_string(read_) + " of " +
+                    std::to_string(header_.record_count));
+  wire::Cursor cursor{
+      reinterpret_cast<const unsigned char*>(prefix.data()), prefix.size()};
+  item = cursor.u64();
+  const std::uint32_t size = cursor.u32();
+  std::string payload(size, '\0');
+  in_.read(payload.data(), static_cast<std::streamsize>(size));
+  std::string crc_bytes(4, '\0');
+  in_.read(crc_bytes.data(), 4);
+  if (in_.gcount() != 4)
+    fail(path_, "truncated at record " + std::to_string(read_) + " of " +
+                    std::to_string(header_.record_count));
+  wire::Cursor crc_cursor{
+      reinterpret_cast<const unsigned char*>(crc_bytes.data()),
+      crc_bytes.size()};
+  if (crc_cursor.u32() !=
+      snapshot_crc32(reinterpret_cast<const unsigned char*>(payload.data()),
+                     payload.size()))
+    fail(path_, "CRC mismatch at record " + std::to_string(read_));
+  if (!decode_result(payload, result))
+    fail(path_, "malformed record " + std::to_string(read_));
+  ++read_;
+  return true;
+}
+
+bool ShardMerge::open(const std::vector<std::string>& paths,
+                      std::string* error) {
+  readers_.clear();
+  next_item_ = 0;
+  if (paths.empty()) {
+    if (error != nullptr) *error = "shard merge: no part files given";
+    return false;
+  }
+  std::vector<ShardPartReader> opened(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i)
+    if (!opened[i].open(paths[i], error)) return false;
+
+  reference_ = opened[0].header();
+  if (reference_.shard_count != paths.size()) {
+    if (error != nullptr)
+      *error = "shard merge: " + std::to_string(paths.size()) +
+               " parts given but parts declare " +
+               std::to_string(reference_.shard_count) + " shards";
+    return false;
+  }
+  readers_.resize(paths.size());
+  std::vector<bool> seen(paths.size(), false);
+  for (ShardPartReader& reader : opened) {
+    const ShardPartHeader& h = reader.header();
+    if (h.config_digest != reference_.config_digest ||
+        h.round != reference_.round ||
+        h.shard_count != reference_.shard_count ||
+        h.total_items != reference_.total_items ||
+        h.target_count != reference_.target_count) {
+      if (error != nullptr)
+        *error = "shard part " + reader.path() +
+                 ": header disagrees with " + opened[0].path() +
+                 " (different configuration, round, or world?)";
+      return false;
+    }
+    if (seen[h.shard_index]) {
+      if (error != nullptr)
+        *error = "shard merge: duplicate part for shard " +
+                 std::to_string(h.shard_index) + " (" + reader.path() + ")";
+      return false;
+    }
+    const std::uint64_t expected =
+        owned_items(h.total_items, h.shard_index, h.shard_count);
+    if (h.record_count != expected) {
+      if (error != nullptr)
+        *error = "shard part " + reader.path() + ": " +
+                 std::to_string(h.record_count) + " records, expected " +
+                 std::to_string(expected) +
+                 " (truncated or unfinished part)";
+      return false;
+    }
+    seen[h.shard_index] = true;
+    readers_[h.shard_index] = std::move(reader);
+  }
+  return true;
+}
+
+bool ShardMerge::next(Campaign::SweepChunkResult& result) {
+  if (next_item_ >= reference_.total_items) return false;
+  ShardPartReader& reader =
+      readers_[next_item_ % reference_.shard_count];
+  std::uint64_t item = 0;
+  if (!reader.next(item, result))
+    fail(reader.path(), "ran out of records before item " +
+                            std::to_string(next_item_));
+  if (item != next_item_)
+    fail(reader.path(), "record for item " + std::to_string(item) +
+                            " where item " + std::to_string(next_item_) +
+                            " was expected (out-of-order part)");
+  ++next_item_;
+  return true;
+}
+
+}  // namespace cloudmap

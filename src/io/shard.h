@@ -1,0 +1,121 @@
+// Shard part files: the interchange format of the multi-process campaign
+// (infer/campaign.h's shard protocol). Each shard process streams its owned
+// work items' SweepChunkResults — in increasing canonical index — into one
+// part file per round; the merge side opens all N parts of a round and
+// replays the results in GLOBAL canonical order, which is the order the
+// byte-identity invariant rests on.
+//
+// Byte layout (all integers little-endian, fixed width):
+//
+//   header   magic "CMSHARD1" (8 bytes)
+//            | u64 config digest   (shard_digest of the producer's key)
+//            | u32 round           (1 or 2)
+//            | u32 shard index     | u32 shard count
+//            | u64 total items     (canonical work items of the WHOLE sweep)
+//            | u64 target count    (the sweep's target-list length)
+//            | u64 record count    (records in THIS part; patched on finish)
+//   records  record count × { u64 canonical item index
+//                             | u32 payload size | payload
+//                             | u32 CRC-32 of the payload }
+//
+// The payload is the wire encoding of one SweepChunkResult (counters, walk
+// stats, adjacencies, candidate segments). CRC-32 is the zlib polynomial
+// (io/snapshot.h's snapshot_crc32), per record, so a truncated or bit-rotted
+// part is rejected with a diagnostic instead of corrupting the merge.
+//
+// Memory model: both sides stream. The writer holds one record; the merge
+// holds one open cursor per part and one in-flight record — absorbing N
+// parts of any size is O(N) resident, never O(items). That is what keeps
+// the merge process's RSS flat at Internet scale.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "infer/campaign.h"
+
+namespace cloudmap {
+
+// FNV-1a over a canonical configuration key. Shard and merge processes
+// derive the key from every knob that changes campaign results (seed,
+// subject, strides, hazards, ...); a digest mismatch at merge time means
+// the parts were produced under a different configuration and the merged
+// output would NOT be byte-identical to a single-process run.
+std::uint64_t shard_digest(const std::string& key);
+
+// Canonical part path: "<prefix>.r<round>.s<index>of<count>.part".
+std::string shard_part_path(const std::string& prefix, int round,
+                            int shard_index, int shard_count);
+
+// The fixed-size part header (see layout above).
+struct ShardPartHeader {
+  std::uint64_t config_digest = 0;
+  std::uint32_t round = 0;
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 0;
+  std::uint64_t total_items = 0;
+  std::uint64_t target_count = 0;
+  std::uint64_t record_count = 0;  // filled by ShardPartWriter::finish
+};
+
+// Streams one shard's results to disk. Usage: open → append (once per owned
+// item, increasing canonical index) → finish (patches the record count into
+// the header; a part without it is detected as truncated by the reader).
+class ShardPartWriter {
+ public:
+  bool open(const std::string& path, const ShardPartHeader& header,
+            std::string* error);
+  bool append(std::uint64_t item, const Campaign::SweepChunkResult& result,
+              std::string* error);
+  bool finish(std::string* error);
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  ShardPartHeader header_;
+  std::uint64_t records_ = 0;
+};
+
+// Sequential reader over one part file; validates the header on open and
+// every record's CRC on read.
+class ShardPartReader {
+ public:
+  bool open(const std::string& path, std::string* error);
+  const ShardPartHeader& header() const noexcept { return header_; }
+  const std::string& path() const noexcept { return path_; }
+  // False once record_count records were read; throws std::runtime_error on
+  // a short read or CRC mismatch (truncation / corruption).
+  bool next(std::uint64_t& item, Campaign::SweepChunkResult& result);
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  ShardPartHeader header_;
+  std::uint64_t read_ = 0;
+};
+
+// K-way merge over the N parts of one round, yielding results in global
+// canonical item order (item j comes from the part owning j, i.e. shard
+// j % N). open() validates the set: consistent digest / round / totals
+// across parts, every shard index 0..N-1 present exactly once, and each
+// part's record count equal to its owned-item count — duplicates, gaps,
+// and truncated parts are rejected with a diagnostic before any result is
+// consumed.
+class ShardMerge {
+ public:
+  bool open(const std::vector<std::string>& paths, std::string* error);
+  const ShardPartHeader& header() const noexcept { return reference_; }
+  // Campaign::ShardSource: false exactly once, after total_items results.
+  // Throws std::runtime_error on out-of-order items or mid-stream
+  // corruption.
+  bool next(Campaign::SweepChunkResult& result);
+
+ private:
+  std::vector<ShardPartReader> readers_;  // indexed by shard index
+  ShardPartHeader reference_;
+  std::uint64_t next_item_ = 0;
+};
+
+}  // namespace cloudmap

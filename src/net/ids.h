@@ -4,8 +4,11 @@
 #pragma once
 
 #include <compare>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
+#include <string>
 
 namespace cloudmap {
 
@@ -75,6 +78,33 @@ struct RegionId {
   constexpr auto operator<=>(const RegionId&) const = default;
   constexpr bool valid() const noexcept { return value != kInvalidIndex; }
 };
+
+// Checked narrowing for minting entity IDs from container sizes. IDs are
+// 32-bit on purpose (half the footprint at Internet scale), so every mint
+// site must refuse — loudly — once a table outgrows the 32-bit space rather
+// than silently wrapping and aliasing two entities under one ID.
+// kInvalidIndex is the reserved "none" sentinel and is rejected as well.
+// `what` names the table being minted from, for the diagnostic.
+template <typename Id>
+Id narrow_id(std::size_t value, const char* what) {
+  if (value >= kInvalidIndex) {
+    throw std::length_error(std::string(what) +
+                            ": entity count overflows 32-bit id space (" +
+                            std::to_string(value) + ")");
+  }
+  return Id{static_cast<std::uint32_t>(value)};
+}
+
+// Checked 64→32-bit narrowing for derived numeric identifiers (e.g. ASN
+// arithmetic) where every 32-bit value is representable but a wrap would
+// still alias identities.
+inline std::uint32_t narrow_u32(std::uint64_t value, const char* what) {
+  if (value > 0xFFFFFFFFull) {
+    throw std::length_error(std::string(what) + ": value overflows 32 bits (" +
+                            std::to_string(value) + ")");
+  }
+  return static_cast<std::uint32_t>(value);
+}
 
 }  // namespace cloudmap
 

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -88,6 +89,11 @@ bool Server::swap(const std::string& path, std::string* error) {
   return true;
 }
 
+std::size_t Server::client_slots() const {
+  std::lock_guard<std::mutex> lock(clients_mutex_);
+  return clients_.size();
+}
+
 ServerStats Server::stats() const {
   ServerStats out;
   out.served = served_.load(std::memory_order_relaxed);
@@ -128,14 +134,14 @@ void Server::join_all() {
   {
     // Unblock every client thread still parked in recv().
     std::lock_guard<std::mutex> lock(clients_mutex_);
-    for (const int fd : client_fds_)
-      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    for (const ClientSlot& client : clients_)
+      if (client.fd >= 0) ::shutdown(client.fd, SHUT_RDWR);
   }
-  // Threads remove themselves from client_fds_ but never from
-  // client_threads_, so joining outside the lock is safe: the vector only
-  // grows from the accept thread, which is already joined.
-  for (std::thread& t : client_threads_)  // lint: thread-ok(join at shutdown)
-    if (t.joinable()) t.join();
+  // The accept thread is joined, so no slot can be handed out or have its
+  // thread object reassigned any more; joining outside the lock lets the
+  // client threads take it to mark themselves done on the way out.
+  for (ClientSlot& client : clients_)  // lint: thread-ok(join at shutdown)
+    if (client.thread.joinable()) client.thread.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -153,17 +159,51 @@ void Server::accept_loop() {
       ::close(fd);
       break;
     }
-    if (active_clients_.load(std::memory_order_relaxed) >=
-        config_.max_clients) {
+    // Admission is a compare-and-increment: the load-then-add it replaces
+    // could let a racing accept path pass the check while the counter was
+    // already at the cap, exceeding max_clients.
+    int admitted = active_clients_.load(std::memory_order_relaxed);
+    bool admit = false;
+    while (admitted < config_.max_clients) {
+      if (active_clients_.compare_exchange_weak(admitted, admitted + 1,
+                                                std::memory_order_relaxed)) {
+        admit = true;
+        break;
+      }
+    }
+    if (!admit) {
+      // Best-effort rejection. The peer may never drain its receive buffer,
+      // so bound the send with a short SO_SNDTIMEO instead of letting a
+      // full socket buffer wedge the accept loop; write_frame's write_all
+      // handles partial writes, and the timeout turns a blocked send into a
+      // failed one, which rejection can ignore.
+      timeval reject_timeout = {};
+      reject_timeout.tv_sec = 1;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &reject_timeout,
+                   sizeof(reject_timeout));
       write_frame(fd, MsgType::kError, encode_text("server full"));
       ::close(fd);
       continue;
     }
-    active_clients_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(clients_mutex_);
-    client_fds_.push_back(fd);
-    const std::size_t slot = client_fds_.size() - 1;
-    client_threads_.emplace_back(  // lint: thread-ok(one per client; joined in stop())
+    // Prefer a finished slot: reap its thread and hand the slot over.
+    std::size_t slot = clients_.size();
+    for (std::size_t s = 0; s < clients_.size(); ++s) {
+      if (clients_[s].done) {
+        slot = s;
+        break;
+      }
+    }
+    if (slot == clients_.size()) {
+      clients_.emplace_back();
+    } else if (clients_[slot].thread.joinable()) {
+      // `done` is set on the thread's way out, so this join is momentary.
+      clients_[slot].thread.join();
+    }
+    ClientSlot& client = clients_[slot];
+    client.fd = fd;
+    client.done = false;
+    client.thread = std::thread(  // lint: thread-ok(one per client; joined on slot reuse or in stop())
         [this, fd, slot] { handle_client(fd, slot); });
   }
 }
@@ -227,9 +267,13 @@ void Server::handle_client(int fd, std::size_t slot) {
   }
   {
     std::lock_guard<std::mutex> lock(clients_mutex_);
-    client_fds_[slot] = -1;
+    clients_[slot].fd = -1;
+    clients_[slot].done = true;
   }
   ::close(fd);
+  // Decrement AFTER marking done: a slot that is not done is therefore
+  // always covered by the active count, which is what bounds clients_ at
+  // max_clients entries.
   active_clients_.fetch_sub(1, std::memory_order_relaxed);
 }
 

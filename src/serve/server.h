@@ -74,6 +74,12 @@ class Server {
 
   ServerStats stats() const;
 
+  // Number of connection slots currently allocated. Slots are reused as
+  // clients come and go, so this stays bounded by max_clients however many
+  // connections the daemon has served (regression guard for the unbounded
+  // per-connection growth this replaces).
+  std::size_t client_slots() const;
+
   // Ask the server to shut down (idempotent; also triggered by kStop).
   void request_stop();
   // Block until a stop is requested, then join every thread. The daemon's
@@ -113,10 +119,23 @@ class Server {
   std::mutex stop_mutex_;
   std::condition_variable stop_cv_;
 
+  // Per-connection bookkeeping. Slots are index-stable and REUSED: a client
+  // thread marks its slot `done` on the way out, and the accept loop joins
+  // that finished thread and hands the slot to the next connection. Because
+  // a slot only stays not-done while its connection is counted in
+  // active_clients_, the vector can never outgrow max_clients — a daemon
+  // serving millions of short-lived connections holds at most max_clients
+  // slots, where the previous push_back-per-connection scheme leaked one
+  // thread object and one fd entry per connection for the process lifetime.
+  struct ClientSlot {
+    std::thread thread;  // lint: thread-ok(joined on slot reuse or in stop())
+    int fd = -1;         // -1 once its connection has closed
+    bool done = false;   // thread finished: joinable and reusable
+  };
+
   std::thread accept_thread_;  // lint: thread-ok(joined in stop())
-  std::mutex clients_mutex_;
-  std::vector<std::thread> client_threads_;  // lint: thread-ok(joined in stop())
-  std::vector<int> client_fds_;  // -1 once its connection has closed
+  mutable std::mutex clients_mutex_;
+  std::vector<ClientSlot> clients_;
 };
 
 }  // namespace cloudmap::serve

@@ -28,11 +28,15 @@ AddressPlan AddressPlan::standard() {
   plan.cloud_infra = PrefixPool(Prefix(Ipv4(44, 0, 0, 0), 10));
   // RFC1918 space used inside cloud backbones.
   plan.cloud_private = PrefixPool(Prefix(Ipv4(10, 0, 0, 0), 8));
-  // Client space.
-  plan.client_announced = PrefixPool(Prefix(Ipv4(20, 0, 0, 0), 8));
-  plan.client_whois = PrefixPool(Prefix(Ipv4(60, 0, 0, 0), 12));
+  // Client space. Pools are sized for Internet-scale worlds (~60k ASes via
+  // WorldSpec); allocation is a bump from the pool base, so widening them
+  // leaves every address in table-sized worlds untouched.
+  plan.client_announced = PrefixPool(Prefix(Ipv4(20, 0, 0, 0), 6));
+  // /8: WHOIS-only client space also feeds overflow interconnect /30s at
+  // scale (client_p2p), so it must hold a /24 per dense-fan-out AS.
+  plan.client_whois = PrefixPool(Prefix(Ipv4(60, 0, 0, 0), 8));
   // IXP LANs and cloud-exchange ports.
-  plan.ixp_lans = PrefixPool(Prefix(Ipv4(80, 0, 0, 0), 14));
+  plan.ixp_lans = PrefixPool(Prefix(Ipv4(80, 0, 0, 0), 12));
   plan.exchange_ports = PrefixPool(Prefix(Ipv4(80, 64, 0, 0), 14));
   return plan;
 }

@@ -16,6 +16,38 @@
 
 namespace cloudmap {
 
+// A (first, count) window into a World-owned id pool. Hot entity tables
+// store these instead of per-entity heap vectors (SoA/arena layout): the
+// whole world's router→interface and router→uplink adjacency lives in one
+// flat allocation apiece, so a 60k-AS world costs two arrays instead of
+// hundreds of thousands of small vectors, and walking a router's interfaces
+// touches contiguous memory. Spans are resolved against the owning pool via
+// World::router_interfaces / World::router_extra_uplinks.
+struct IdSpan {
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+  bool empty() const { return count == 0; }
+  std::uint32_t size() const { return count; }
+};
+
+// Read-only view of one span's slice of its pool; iterable like a vector.
+template <typename T>
+class IdSpanView {
+ public:
+  IdSpanView(const T* data, std::uint32_t count)
+      : data_(data), count_(count) {}
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + count_; }
+  std::uint32_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  const T& front() const { return data_[0]; }
+  const T& operator[](std::uint32_t i) const { return data_[i]; }
+
+ private:
+  const T* data_;
+  std::uint32_t count_;
+};
+
 // The cloud providers that appear in the study: Amazon as the subject,
 // the other four as the foreign vantage points of §7.1.
 enum class CloudProvider : std::uint8_t {
@@ -40,6 +72,7 @@ enum class AsType : std::uint8_t {
   kContent,     // content provider
   kCdn,         // content delivery network
 };
+inline constexpr std::size_t kAsTypeCount = 7;
 const char* to_string(AsType type);
 
 // A metropolitan area. Pinning (§6) is defined at metro granularity.
@@ -140,7 +173,9 @@ struct Router {
   AsId owner;
   MetroId metro;
   ColoId colo;  // invalid when not in a colo facility
-  std::vector<InterfaceId> interfaces;
+  // Interfaces of this router, as a span into World::router_iface_pool
+  // (valid after World::seal(); resolve via World::router_interfaces).
+  IdSpan interfaces;
   ReplyPolicy reply_policy = ReplyPolicy::kIncomingInterface;
   InterfaceId fixed_reply;  // used when reply_policy == kFixedInterface
   // Probability that a given probe gets any answer at all.
@@ -161,8 +196,10 @@ struct Router {
   // routers attach to the backbone in several directions, so the interface
   // they answer with (the observed ABI) depends on where the probe came
   // from — this is what gives CBIs their multi-ABI degree (Fig. 7b) and
-  // stitches the ICG together (§7.4).
-  std::vector<LinkId> extra_uplinks;
+  // stitches the ICG together (§7.4). Span into World::router_uplink_pool
+  // (appended via World::add_extra_uplink, resolved via
+  // World::router_extra_uplinks).
+  IdSpan extra_uplinks;
 };
 
 struct Interface {

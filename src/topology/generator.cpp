@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <cmath>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "net/geo.h"
@@ -113,6 +116,9 @@ class Builder {
     make_client_routers();
     make_inter_as_links();
     make_cloud_peerings();
+    // Pack the router→interface arena before anything resolves spans
+    // (finalize_hosting reads router interface lists for fixed replies).
+    world_.seal();
     finalize_hosting();
     return std::move(world_);
   }
@@ -120,17 +126,32 @@ class Builder {
  private:
   // ---------------- metros ----------------
   void make_metros() {
-    const int count = std::min(cfg_.metro_count, kMetroSeedCount);
-    for (int i = 0; i < count; ++i) {
+    const int seeded = std::min(cfg_.metro_count, kMetroSeedCount);
+    for (int i = 0; i < seeded; ++i) {
       const MetroSeed& seed = kMetroSeeds[i];
       world_.metros.push_back(Metro{seed.name, seed.airport, seed.country,
                                     GeoPoint{seed.lat, seed.lon}});
     }
+    // Past the curated table, synthesize metros deterministically so scale
+    // presets (WorldSpec) are not capped at kMetroSeedCount. Codes start
+    // with 'x' (no real 3-letter code in the table does) and encode the
+    // index, so names stay unique at any count. Configs that fit the table
+    // draw nothing here and are byte-identical to the pre-synthetic worlds.
+    for (int i = seeded; i < cfg_.metro_count; ++i) {
+      const int n = i - kMetroSeedCount;
+      std::string code{'x', static_cast<char>('a' + n / 26 % 26),
+                       static_cast<char>('a' + n % 26)};
+      if (n >= 26 * 26) code += std::to_string(n / (26 * 26));
+      const double lat = rng_.uniform(-55.0, 68.0);
+      const double lon = rng_.uniform(-180.0, 180.0);
+      world_.metros.push_back(Metro{"metro-" + std::to_string(i + 1), code,
+                                    "zz", GeoPoint{lat, lon}});
+    }
   }
 
   MetroId random_metro() {
-    return MetroId{static_cast<std::uint32_t>(
-        rng_.bounded(world_.metros.size()))};
+    return narrow_id<MetroId>(rng_.bounded(world_.metros.size()),
+                              "metro index");
   }
 
   // ---------------- colos & IXPs ----------------
@@ -147,9 +168,12 @@ class Builder {
         if (metro_has_ixp && f == 0) {
           Ixp ixp;
           ixp.name = std::string("ix-") + world_.metros[m].airport_code;
-          ixp.peering_prefix = plan_.ixp_lans.allocate(23);
+          ixp.peering_prefix = plan_.ixp_lans.allocate(
+              static_cast<std::uint8_t>(cfg_.ixp_lan_prefix));
           ixp.metros.push_back(MetroId{m});
-          colo.ixp = IxpId{static_cast<std::uint32_t>(world_.ixps.size())};
+          colo.ixp = narrow_id<IxpId>(world_.ixps.size(), "ixp table");
+          colo_of_ixp_.push_back(
+              narrow_id<ColoId>(world_.colos.size(), "colo table"));
           world_.ixps.push_back(std::move(ixp));
         }
         world_.colos.push_back(std::move(colo));
@@ -162,18 +186,20 @@ class Builder {
       if (extra != world_.ixps[victim].metros.front())
         world_.ixps[victim].metros.push_back(extra);
     }
+    // Bucket colos by metro once; the per-call linear scan this replaces was
+    // an O(metros × colos) pass at cloud-placement time.
+    colos_by_metro_.resize(world_.metros.size());
+    for (std::uint32_t c = 0; c < world_.colos.size(); ++c)
+      colos_by_metro_[world_.colos[c].metro.value].push_back(ColoId{c});
   }
 
-  std::vector<ColoId> colos_in_metro(MetroId metro) const {
-    std::vector<ColoId> out;
-    for (std::uint32_t c = 0; c < world_.colos.size(); ++c)
-      if (world_.colos[c].metro == metro) out.push_back(ColoId{c});
-    return out;
+  const std::vector<ColoId>& colos_in_metro(MetroId metro) const {
+    return colos_by_metro_[metro.value];
   }
 
   // ---------------- ASes ----------------
   AsId new_as(Asn asn, OrgId org, AsType type, std::string name) {
-    const AsId id{static_cast<std::uint32_t>(world_.ases.size())};
+    const AsId id = narrow_id<AsId>(world_.ases.size(), "as table");
     AutonomousSystem as;
     as.asn = asn;
     as.org = org;
@@ -245,13 +271,6 @@ class Builder {
     spawn(AsType::kCdn, cfg_.cdn_count, 5, 12);
   }
 
-  std::vector<AsId> ases_of_type(AsType type) const {
-    std::vector<AsId> out;
-    for (std::uint32_t i = 0; i < world_.ases.size(); ++i)
-      if (world_.ases[i].type == type) out.push_back(AsId{i});
-    return out;
-  }
-
   void link_provider(AsId provider, AsId customer) {
     world_.ases[provider.value].customers.push_back(customer);
     world_.ases[customer.value].providers.push_back(provider);
@@ -263,8 +282,13 @@ class Builder {
   }
 
   void make_relationships() {
-    const auto tier1 = ases_of_type(AsType::kTier1);
-    const auto tier2 = ases_of_type(AsType::kTier2);
+    // Bucket ASes by type in one pass (was one linear table scan per type,
+    // i.e. O(types × ases) at 60k-AS scale).
+    std::vector<AsId> by_type[kAsTypeCount];
+    for (std::uint32_t i = 0; i < world_.ases.size(); ++i)
+      by_type[static_cast<int>(world_.ases[i].type)].push_back(AsId{i});
+    const auto& tier1 = by_type[static_cast<int>(AsType::kTier1)];
+    const auto& tier2 = by_type[static_cast<int>(AsType::kTier2)];
     // Tier-1 full mesh.
     for (std::size_t i = 0; i < tier1.size(); ++i)
       for (std::size_t j = i + 1; j < tier1.size(); ++j)
@@ -286,7 +310,7 @@ class Builder {
     // Edge ASes: one or two providers from tier-2 (sometimes tier-1).
     for (AsType type : {AsType::kAccess, AsType::kEnterprise,
                         AsType::kContent, AsType::kCdn}) {
-      for (AsId as : ases_of_type(type)) {
+      for (AsId as : by_type[static_cast<int>(type)]) {
         const int providers =
             std::min<int>(static_cast<int>(tier1.size() + tier2.size()),
                           rng_.chance(0.35) ? 2 : 1);
@@ -342,6 +366,11 @@ class Builder {
         case AsType::kCloud:
           break;
       }
+      // Scale presets shift client blocks toward longer prefixes so total
+      // announced space tracks the target-budget knob instead of growing
+      // linearly in AS count (WorldSpec / GeneratorConfig::from_spec).
+      length = static_cast<std::uint8_t>(
+          std::min(24, length + cfg_.client_prefix_shift));
       for (int b = 0; b < blocks; ++b)
         as.announced_prefixes.push_back(plan_.client_announced.allocate(length));
       if (rng_.chance(cfg_.client_whois_prefix))
@@ -367,10 +396,12 @@ class Builder {
     // on them resolve to a non-cloud org even without BGP. They are modelled
     // as owned by a dedicated "ixp-op" AS per IXP.
     for (std::uint32_t x = 0; x < world_.ixps.size(); ++x) {
-      const AsId op = new_as(Asn{64000 + x}, OrgId{64000 + x}, AsType::kContent,
+      const std::uint32_t op_number =
+          narrow_u32(64000ull + x, "ixp-operator asn");
+      const AsId op = new_as(Asn{op_number}, OrgId{op_number}, AsType::kContent,
                              "ixp-op-" + std::to_string(x));
       world_.ases[op.value].footprint.push_back(world_.ixps[x].metros.front());
-      ixp_operator_.push_back(op);
+      ixp_operator_.insert(op.value);
       world_.prefix_owner.insert(world_.ixps[x].peering_prefix, op);
     }
   }
@@ -384,12 +415,17 @@ class Builder {
 
   // ---------------- routers ----------------
   RouterId new_router(AsId owner, MetroId metro, ColoId colo = ColoId{}) {
-    const RouterId id{static_cast<std::uint32_t>(world_.routers.size())};
+    const RouterId id = narrow_id<RouterId>(world_.routers.size(),
+                                            "router table");
     Router router;
     router.owner = owner;
     router.metro = metro;
     router.colo = colo;
-    router.ipid_base = static_cast<std::uint32_t>(rng_.next());
+    // Fold both words of the 64-bit draw into the 32-bit IPID base; a bare
+    // truncation would throw away half the entropy the stream paid for.
+    const std::uint64_t ipid_draw = rng_.next();
+    router.ipid_base =
+        static_cast<std::uint32_t>(ipid_draw ^ (ipid_draw >> 32));
     router.ipid_velocity = rng_.uniform(20.0, 900.0);
     if (rng_.chance(cfg_.router_silent)) {
       router.reply_policy = ReplyPolicy::kSilent;
@@ -489,7 +525,7 @@ class Builder {
         native_metros.push_back(MetroId{metro_order[want_regions + extra]});
     }
     for (MetroId metro : native_metros) {
-      const auto colo_choices = colos_in_metro(metro);
+      const auto& colo_choices = colos_in_metro(metro);
       if (colo_choices.empty()) continue;
       const ColoId colo = colo_choices[rng_.bounded(colo_choices.size())];
       world_.colos[colo.value].set_native(provider);
@@ -539,7 +575,8 @@ class Builder {
           const Prefix extra_p2p = rng_.chance(cfg_.abi_infra_address)
                                        ? cloud_p2p(provider)
                                        : announced_cloud_p2p(provider);
-          world_.routers[border.value].extra_uplinks.push_back(
+          world_.add_extra_uplink(
+              border,
               connect_routers(other, border, LinkKind::kIntraAs, extra_p2p));
           ++added;
         }
@@ -575,14 +612,23 @@ class Builder {
   // Cloud border routers of a provider in a given colo (creating one if the
   // colo has none yet, which can happen for exchange colos where the cloud
   // is reachable but not native — we then use the nearest native border).
+  // Memoized: the border tables are fixed before the first call, and the
+  // un-memoized scan made peering construction O(clients × borders).
   RouterId border_at(CloudProvider provider, ColoId colo) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(provider) << 32) | colo.value;
+    const auto hit = border_at_memo_.find(key);
+    if (hit != border_at_memo_.end()) return hit->second;
     const auto& borders = cloud_borders_[static_cast<int>(provider)];
     RouterId best{};
     double best_km = 1e18;
     const MetroId metro = world_.colos[colo.value].metro;
     for (RouterId border : borders) {
       const Router& router = world_.routers[border.value];
-      if (router.colo == colo) return border;
+      if (router.colo == colo) {
+        best = border;
+        break;
+      }
       const double km = haversine_km(
           world_.metros[metro.value].location,
           world_.metros[router.metro.value].location);
@@ -591,6 +637,7 @@ class Builder {
         best = border;
       }
     }
+    border_at_memo_.emplace(key, best);
     return best;
   }
 
@@ -606,11 +653,19 @@ class Builder {
         r.publicly_reachable = rng_.chance(cfg_.client_public_reachability);
         maybe_fixed_reply(router, as.type);
       }
-      // Intra-AS full mesh over the AS's (few) routers, addressed out of the
-      // AS's own space.
+      // Intra-AS backbone over the AS's routers, addressed out of the AS's
+      // own space. Full mesh by default (paper-scale footprints are small);
+      // scale presets cap the mesh degree — a tier-1 spanning hundreds of
+      // synthetic metros would otherwise mint O(footprint²) links and
+      // exhaust its /30 space.
       const auto& routers = as.routers;
+      const std::size_t mesh_cap =
+          cfg_.max_intra_as_mesh > 0
+              ? static_cast<std::size_t>(cfg_.max_intra_as_mesh)
+              : routers.size();
       for (std::size_t a = 0; a < routers.size(); ++a) {
-        for (std::size_t b = a + 1; b < routers.size(); ++b) {
+        for (std::size_t b = a + 1;
+             b < routers.size() && b - a <= mesh_cap; ++b) {
           const Prefix p2p = client_p2p(AsId{i});
           connect_routers(routers[a], routers[b], LinkKind::kIntraAs, p2p);
         }
@@ -622,17 +677,39 @@ class Builder {
   // top of its first block downward (the low addresses stay free as "hosts",
   // i.e. sweep targets). The announced block remains the covering prefix for
   // annotation purposes, matching how operators number interconnects.
+  //
+  // Scale presets shrink client blocks (client_prefix_shift), so a dense
+  // footprint or interconnect fan-out can outgrow the primary block's
+  // point-to-point budget. Overflow /30s come from dedicated WHOIS-only
+  // /24s minted on demand — operators routinely number interconnects out of
+  // unannounced space, and the pool is a deterministic bump allocator, so
+  // paper-scale worlds (which never overflow) are byte-for-byte unchanged.
   Prefix client_p2p(AsId as_id) {
     AutonomousSystem& as = world_.ases[as_id.value];
-    auto& cursor = client_p2p_cursor_[as_id.value];
-    const Prefix& block = as.announced_prefixes.front();
-    // Use at most the top half of the block for point-to-point subnets.
-    const std::uint64_t max_subnets = block.size() / 8;
-    if (cursor >= max_subnets)
-      throw std::length_error("client /30 space exhausted for " + as.name);
+    P2pCursor& state = client_p2p_cursor_[as_id.value];
+    if (!state.overflow.has_value()) {
+      const Prefix& block = as.announced_prefixes.front();
+      // Use at most the top half of the block for point-to-point subnets.
+      const std::uint64_t max_subnets = block.size() / 8;
+      if (state.cursor < max_subnets) {
+        const std::uint32_t base = static_cast<std::uint32_t>(
+            block.network().value() + block.size() - (state.cursor + 1) * 4);
+        ++state.cursor;
+        return Prefix(Ipv4(base), 30);
+      }
+    }
+    // Overflow blocks carry no sweep targets, so they are carved in full.
+    if (!state.overflow.has_value() ||
+        state.cursor >= state.overflow->size() / 4) {
+      state.overflow = plan_.client_whois.allocate(24);
+      as.whois_only_prefixes.push_back(*state.overflow);
+      world_.prefix_owner.insert(*state.overflow, as_id);
+      state.cursor = 0;
+    }
+    const Prefix& block = *state.overflow;
     const std::uint32_t base = static_cast<std::uint32_t>(
-        block.network().value() + block.size() - (cursor + 1) * 4);
-    ++cursor;
+        block.network().value() + block.size() - (state.cursor + 1) * 4);
+    ++state.cursor;
     return Prefix(Ipv4(base), 30);
   }
 
@@ -742,9 +819,15 @@ class Builder {
   }
 
   // A second cloud border router near the colo, distinct from `primary`;
-  // invalid when none exists.
+  // invalid when none exists. Memoized like border_at (same staleness-free
+  // window: borders never change once peering construction starts).
   RouterId second_border(CloudProvider provider, ColoId colo,
                          RouterId primary) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(provider) << 56) |
+                              (static_cast<std::uint64_t>(colo.value) << 28) |
+                              primary.value;
+    const auto hit = second_border_memo_.find(key);
+    if (hit != second_border_memo_.end()) return hit->second;
     const auto& borders = cloud_borders_[static_cast<int>(provider)];
     const MetroId metro = world_.colos[colo.value].metro;
     RouterId best{};
@@ -760,7 +843,8 @@ class Builder {
     }
     // Only use it when it shares the metro (same L2 fabric reach).
     if (!best.valid() || world_.routers[best.value].metro != metro)
-      return RouterId{};
+      best = RouterId{};
+    second_border_memo_.emplace(key, best);
     return best;
   }
 
@@ -809,7 +893,7 @@ class Builder {
       Router& r = world_.routers[router.value];
       if (r.interfaces.empty()) continue;
       r.reply_policy = ReplyPolicy::kFixedInterface;
-      r.fixed_reply = r.interfaces.front();
+      r.fixed_reply = world_.router_interfaces(router).front();
     }
   }
 
@@ -819,9 +903,26 @@ class Builder {
   World world_;
   std::vector<RouterId> cloud_cores_[kCloudProviderCount];
   std::vector<RouterId> cloud_borders_[kCloudProviderCount];
-  std::vector<AsId> ixp_operator_;
+  std::unordered_set<std::uint32_t> ixp_operator_;
   std::vector<RouterId> fixed_reply_routers_;
-  std::unordered_map<std::uint32_t, std::uint64_t> client_p2p_cursor_;
+  // Lookup structures that replace per-call linear scans (tentpole of the
+  // Internet-scale work): colo buckets by metro, the colo hosting each IXP,
+  // the Amazon-adjacent IXP candidate list for public peerings, and memos
+  // for the nearest-border searches (borders are static once the clouds are
+  // built, so the memoized answers can never go stale).
+  std::vector<std::vector<ColoId>> colos_by_metro_;
+  std::vector<ColoId> colo_of_ixp_;
+  std::vector<IxpId> amazon_ixp_candidates_;
+  std::unordered_map<std::uint64_t, RouterId> border_at_memo_;
+  std::unordered_map<std::uint64_t, RouterId> second_border_memo_;
+  // Per-AS /30 carving state: cursor into the current block, plus the
+  // WHOIS-only overflow block once the primary's point-to-point budget is
+  // spent (scale presets only — see client_p2p).
+  struct P2pCursor {
+    std::uint64_t cursor = 0;
+    std::optional<Prefix> overflow;
+  };
+  std::unordered_map<std::uint32_t, P2pCursor> client_p2p_cursor_;
   std::unordered_map<std::uint32_t, std::uint64_t> ixp_lan_cursor_;
   std::unordered_map<std::uint64_t, std::vector<LinkId>> inter_as_links_;
 };
@@ -831,6 +932,23 @@ class Builder {
 // ----------------------------------------------------------------------
 
 void Builder::make_cloud_peerings() {
+  // Amazon-adjacent IXPs, computed once. add_public_peerings used to rebuild
+  // this list per client — an O(clients × ixps × borders) triple loop that
+  // dominated generation at Internet scale. Borders are final here, so the
+  // candidate list (IXP table order, matching the old scan) never changes.
+  {
+    std::unordered_set<std::uint32_t> amazon_metros;
+    for (RouterId border :
+         cloud_borders_[static_cast<int>(CloudProvider::kAmazon)])
+      amazon_metros.insert(world_.routers[border.value].metro.value);
+    for (std::uint32_t x = 0; x < world_.ixps.size(); ++x)
+      for (MetroId m : world_.ixps[x].metros)
+        if (amazon_metros.count(m.value)) {
+          amazon_ixp_candidates_.push_back(IxpId{x});
+          break;
+        }
+  }
+
   // Inter-cloud peering: the large clouds peer with each other both
   // privately and at IXPs (the paper finds Google and Microsoft among
   // Amazon's Pb-nB and Pr-nB peers). Modeled with Amazon as the subject
@@ -848,10 +966,7 @@ void Builder::make_cloud_peerings() {
     const AsType type = world_.ases[i].type;
     if (type == AsType::kCloud) continue;
     // IXP-operator pseudo-ASes take no cloud peerings.
-    bool is_operator = false;
-    for (AsId op : ixp_operator_)
-      if (op.value == i) is_operator = true;
-    if (is_operator) continue;
+    if (ixp_operator_.count(i)) continue;
 
     const AsId client{i};
     switch (type) {
@@ -917,29 +1032,16 @@ void Builder::make_cloud_peerings() {
 }
 
 void Builder::add_public_peerings(AsId client, int count) {
-  // Peer with Amazon at IXPs where Amazon has a border router in the metro.
-  std::vector<IxpId> candidates;
-  for (std::uint32_t x = 0; x < world_.ixps.size(); ++x) {
-    for (RouterId border : cloud_borders_[static_cast<int>(CloudProvider::kAmazon)]) {
-      const MetroId metro = world_.routers[border.value].metro;
-      for (MetroId m : world_.ixps[x].metros)
-        if (m == metro) {
-          candidates.push_back(IxpId{x});
-          goto next_ixp;
-        }
-    }
-  next_ixp:;
-  }
-  if (candidates.empty()) return;
+  // Peer with Amazon at IXPs where Amazon has a border router in the metro
+  // (candidate list precomputed in make_cloud_peerings).
+  if (amazon_ixp_candidates_.empty()) return;
+  std::vector<IxpId> candidates = amazon_ixp_candidates_;
   rng_.shuffle(candidates);
   count = std::min<int>(count, static_cast<int>(candidates.size()));
   const AutonomousSystem& as = world_.ases[client.value];
   for (int k = 0; k < count; ++k) {
     const IxpId ixp_id = candidates[k];
-    // Find the colo hosting this IXP.
-    ColoId colo{};
-    for (std::uint32_t c = 0; c < world_.colos.size(); ++c)
-      if (world_.colos[c].ixp == ixp_id) colo = ColoId{c};
+    const ColoId colo = colo_of_ixp_[ixp_id.value];
     if (!colo.valid()) continue;
     const MetroId metro = world_.colos[colo.value].metro;
     const RouterId amazon_border = border_at(CloudProvider::kAmazon, colo);
@@ -1184,6 +1286,66 @@ GeneratorConfig GeneratorConfig::small() {
 
 GeneratorConfig GeneratorConfig::paper_shape() {
   return GeneratorConfig{};  // defaults are the paper-shape preset
+}
+
+GeneratorConfig GeneratorConfig::from_spec(const WorldSpec& spec) {
+  GeneratorConfig cfg;  // start from the paper-shape defaults
+  cfg.seed = spec.seed;
+  const double r = std::max(1.0, static_cast<double>(spec.total_ases) / 540.0);
+  const double s = std::sqrt(r);
+
+  // Infrastructure tiers grow sub-linearly, the way the real Internet's do:
+  // a 100x bigger world has a handful more tier-1 carriers, ~10x the
+  // regional transits, not 100x of either.
+  cfg.tier1_count = std::min(
+      24, static_cast<int>(8.0 * (1.0 + std::log2(r) / 3.0)));
+  cfg.tier2_count = std::max(8, static_cast<int>(56.0 * s));
+  cfg.cdn_count = std::max(4, static_cast<int>(16.0 * s));
+  cfg.metro_count = std::min(2000, std::max(45, static_cast<int>(45.0 * s)));
+  cfg.amazon_edge_metros = std::max(22, static_cast<int>(22.0 * s));
+  if (spec.total_ases > 2000) {
+    // Big worlds: larger IXP LANs (more public peers land on each
+    // Amazon-adjacent IXP) and a capped intra-AS backbone mesh.
+    cfg.ixp_lan_prefix = 21;
+    cfg.max_intra_as_mesh = 3;
+  }
+
+  // Address budget: /24 targets the finished world should expose across the
+  // Amazon regions that sweep them. Expected /24 yield per AS of each type
+  // is (average block count) × (/24s per block at the current shift).
+  const double budget =
+      static_cast<double>(spec.targets_per_region) * cfg.amazon_regions;
+  const auto infra_yield = [&](int shift) {
+    const double tier1 = 4.5 * (1u << std::max(0, 8 - shift));  // /16 blocks
+    const double tier2 = 3.0 * (1u << std::max(0, 6 - shift));  // /18 blocks
+    const double cdn = 2.0 * (1u << std::max(0, 3 - shift));    // /21 blocks
+    return cfg.tier1_count * tier1 + cfg.tier2_count * tier2 +
+           cfg.cdn_count * cdn;
+  };
+  int shift = 0;
+  while (shift < 5 && infra_yield(shift) > 0.75 * budget) ++shift;
+  cfg.client_prefix_shift = shift;
+
+  // Split the remaining ASes: content keeps its paper-shape share, then the
+  // access/enterprise split is solved so expected targets land on what is
+  // left of the budget (access ASes yield big blocks, enterprises ~one /24).
+  const int infra = cfg.tier1_count + cfg.tier2_count + cfg.cdn_count;
+  const int rest = std::max(3, spec.total_ases - infra);
+  const int content = std::max(1, rest * 80 / 460);
+  const int edge = rest - content;
+  const double access_yield = 2.0 * (1u << std::max(0, 5 - shift));
+  const double content_yield = 1u << std::max(0, 2 - shift);
+  const double enterprise_yield = shift > 0 ? 1.0 : 1.5;
+  const double edge_budget =
+      std::max(0.0, budget - infra_yield(shift) - content * content_yield);
+  const double need = edge > 0 ? edge_budget / edge : 0.0;
+  const double access_share = std::clamp(
+      (need - enterprise_yield) / (access_yield - enterprise_yield), 0.02,
+      0.55);
+  cfg.content_count = content;
+  cfg.access_count = std::max(1, static_cast<int>(edge * access_share));
+  cfg.enterprise_count = std::max(1, edge - cfg.access_count);
+  return cfg;
 }
 
 }  // namespace cloudmap

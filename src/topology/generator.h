@@ -24,6 +24,25 @@
 
 namespace cloudmap {
 
+// Scale-parameterized world specification: the two knobs that matter when
+// growing worlds far past the paper-shape preset, e.g. toward ~60k-AS
+// Internet scale. GeneratorConfig::from_spec derives everything else:
+// infrastructure tiers (tier-1/tier-2/CDN) grow sub-linearly the way the
+// real Internet's do, metros extend past the curated table via synthetic
+// ones, client address blocks shrink so probeable space tracks the target
+// budget instead of the AS count, and the intra-AS backbone mesh is capped
+// so link counts stay near-linear in the AS count.
+struct WorldSpec {
+  std::uint64_t seed = 1;
+  // Total client ASes across the six business types.
+  int total_ases = 540;
+  // Approximate publicly probeable /24 targets per Amazon region the
+  // finished world exposes. A target, not a guarantee: every AS announces
+  // at least one /24, so the achievable floor is ~total_ases /24s summed
+  // over all regions.
+  int targets_per_region = 2000;
+};
+
 struct GeneratorConfig {
   std::uint64_t seed = 1;
 
@@ -47,6 +66,20 @@ struct GeneratorConfig {
   int amazon_edge_metros = 22;
   // Border routers per native colo (1..this).
   int max_border_routers_per_colo = 4;
+
+  // --- Internet-scale knobs (set by from_spec; the defaults reproduce the
+  //     classic presets byte-for-byte) ---
+  // Prefix length of each IXP peering LAN; hosts per LAN bound how many
+  // public peerings one IXP can absorb.
+  int ixp_lan_prefix = 23;
+  // Added to every client announced-block prefix length (clamped at /24),
+  // shrinking per-AS address space so huge worlds stay inside the plan's
+  // client pool and the probe-target budget.
+  int client_prefix_shift = 0;
+  // Cap on intra-AS backbone links per router (0 = full mesh). Needed once
+  // footprints span hundreds of metros: a full mesh is quadratic in
+  // footprint size and exhausts the AS's /30 space.
+  int max_intra_as_mesh = 0;
 
   // --- facility fabric ---
   double ixp_metro_probability = 0.75;       // metro hosts an IXP
@@ -132,6 +165,9 @@ struct GeneratorConfig {
   // Presets.
   static GeneratorConfig small();        // fast unit-test world
   static GeneratorConfig paper_shape();  // bench world (~1/6 paper scale)
+  // Derive a config from a scale specification (see WorldSpec above).
+  // from_spec(WorldSpec{}) lands on approximately the paper-shape mix.
+  static GeneratorConfig from_spec(const WorldSpec& spec);
 };
 
 // Build a world from the configuration. Deterministic in config.seed.

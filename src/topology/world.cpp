@@ -47,16 +47,45 @@ std::vector<Prefix> World::probeable_slash24s() const {
 
 InterfaceId World::add_interface(RouterId router_id, Ipv4 address,
                                  LinkId link_id) {
-  const InterfaceId id{static_cast<std::uint32_t>(interfaces.size())};
+  const InterfaceId id =
+      narrow_id<InterfaceId>(interfaces.size(), "interface table");
   interfaces.push_back(Interface{address, router_id, link_id, true});
-  routers[router_id.value].interfaces.push_back(id);
   if (!address.is_unspecified()) interface_by_ip[address.value()] = id;
   return id;
 }
 
+void World::add_extra_uplink(RouterId router_id, LinkId link) {
+  Router& router = routers[router_id.value];
+  if (router.extra_uplinks.count == 0)
+    router.extra_uplinks.first =
+        narrow_u32(router_uplink_pool.size(), "uplink arena");
+  router_uplink_pool.push_back(link);
+  ++router.extra_uplinks.count;
+}
+
+void World::seal() {
+  // Counting sort of interface ids by owning router: per-router order is
+  // global index order, which is exactly the old per-router push_back order.
+  for (Router& r : routers) r.interfaces = IdSpan{};
+  for (const Interface& iface : interfaces)
+    ++routers[iface.router.value].interfaces.count;
+  std::uint32_t offset = 0;
+  for (Router& r : routers) {
+    r.interfaces.first = offset;
+    offset += r.interfaces.count;
+  }
+  router_iface_pool.assign(interfaces.size(), InterfaceId{});
+  std::vector<std::uint32_t> cursor(routers.size(), 0);
+  for (std::uint32_t i = 0; i < interfaces.size(); ++i) {
+    const std::uint32_t r = interfaces[i].router.value;
+    router_iface_pool[routers[r].interfaces.first + cursor[r]++] =
+        InterfaceId{i};
+  }
+}
+
 LinkId World::add_link(InterfaceId a, InterfaceId b, LinkKind kind,
                        double latency_ms) {
-  const LinkId id{static_cast<std::uint32_t>(links.size())};
+  const LinkId id = narrow_id<LinkId>(links.size(), "link table");
   links.push_back(Link{a, b, kind, latency_ms});
   interfaces[a.value].link = id;
   interfaces[b.value].link = id;
@@ -78,10 +107,42 @@ std::string World::validate() const {
       err << "interface " << i << " has invalid router";
       return err.str();
     }
-    bool listed = false;
-    for (InterfaceId owned : routers[iface.router.value].interfaces)
-      if (owned.value == i) listed = true;
-    if (!listed) {
+  }
+  // Arena coverage: the router→interface spans must partition the pool, the
+  // pool must list every interface exactly once, and each listed interface
+  // must point back at its router. One linear pass over the arena replaces
+  // the old per-interface scan of its router's list.
+  if (router_iface_pool.size() != interfaces.size()) {
+    err << "router interface arena holds " << router_iface_pool.size()
+        << " entries for " << interfaces.size()
+        << " interfaces (seal() not run after construction?)";
+    return err.str();
+  }
+  std::vector<bool> listed(interfaces.size(), false);
+  for (std::uint32_t r = 0; r < routers.size(); ++r) {
+    const IdSpan span = routers[r].interfaces;
+    if (static_cast<std::size_t>(span.first) + span.count >
+        router_iface_pool.size()) {
+      err << "router " << r << " interface span exceeds the arena";
+      return err.str();
+    }
+    for (std::uint32_t k = 0; k < span.count; ++k) {
+      const InterfaceId owned = router_iface_pool[span.first + k];
+      if (!owned.valid() || owned.value >= interfaces.size() ||
+          interfaces[owned.value].router.value != r) {
+        err << "router " << r << " arena span lists a foreign interface";
+        return err.str();
+      }
+      if (listed[owned.value]) {
+        err << "interface " << owned.value
+            << " listed twice in the router arena";
+        return err.str();
+      }
+      listed[owned.value] = true;
+    }
+  }
+  for (std::uint32_t i = 0; i < interfaces.size(); ++i) {
+    if (!listed[i]) {
       err << "interface " << i << " missing from its router's list";
       return err.str();
     }

@@ -28,6 +28,13 @@ class World {
   std::vector<Link> links;
   std::vector<GroundTruthInterconnect> interconnects;
 
+  // --- arenas (SoA layout; see IdSpan in entities.h) ---
+  // Backing pools for Router::interfaces and Router::extra_uplinks spans.
+  // The interface pool is packed by seal(); the uplink pool is appended
+  // in-order during construction via add_extra_uplink.
+  std::vector<InterfaceId> router_iface_pool;
+  std::vector<LinkId> router_uplink_pool;
+
   // ASes of each cloud provider (primary AS first).
   std::vector<AsId> cloud_ases[kCloudProviderCount];
 
@@ -70,6 +77,20 @@ class World {
   // AS owner of a router (by its owner field).
   AsId router_owner(RouterId id) const { return routers[id.value].owner; }
 
+  // Interfaces of a router, resolved out of the arena (valid after seal()).
+  IdSpanView<InterfaceId> router_interfaces(RouterId id) const {
+    const IdSpan span = routers[id.value].interfaces;
+    return IdSpanView<InterfaceId>(router_iface_pool.data() + span.first,
+                                   span.count);
+  }
+
+  // Extra backbone uplinks of a cloud border router.
+  IdSpanView<LinkId> router_extra_uplinks(const Router& router) const {
+    return IdSpanView<LinkId>(
+        router_uplink_pool.data() + router.extra_uplinks.first,
+        router.extra_uplinks.count);
+  }
+
   // Interface lookup by address; invalid id when unknown.
   InterfaceId find_interface(Ipv4 address) const;
 
@@ -100,6 +121,16 @@ class World {
   // on each side with the given addresses. Returns the link id.
   LinkId connect(RouterId router_a, Ipv4 address_a, RouterId router_b,
                  Ipv4 address_b, LinkKind kind, double latency_ms);
+  // Record an extra backbone uplink for a router. Appends to the shared
+  // uplink arena, so all of one router's uplinks must be added before any
+  // other router's (the generator builds borders one at a time).
+  void add_extra_uplink(RouterId router_id, LinkId link);
+
+  // Pack the router→interface arena from the interface table. Must run after
+  // the last add_interface and before anything resolves Router::interfaces
+  // spans; the generator calls it at the end of construction. Per-router
+  // interface order is insertion order (== global interface index order).
+  void seal();
 
   // Internal consistency check (used by tests): every interface belongs to
   // its router's list, link endpoints agree, prefix owners exist, etc.

@@ -10,10 +10,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <thread>  // lint: thread-ok(this header IS the project's one sanctioned thread-spawning site)
 #include <type_traits>
 #include <utility>
@@ -171,6 +175,120 @@ auto parallel_transform(std::size_t n, int threads, Fn&& fn,
   std::vector<std::decay_t<decltype(fn(std::size_t{0}))>> out(n);
   parallel_for(n, threads, [&](std::size_t i) { out[i] = fn(i); }, stats);
   return out;
+}
+
+// Streaming variant of parallel_transform: produce(i) runs on the worker
+// pool while consume(i, result) runs on the CALLING thread, strictly in
+// item order, as soon as item i's result exists and items 0..i-1 have been
+// consumed. Results are buffered in a reorder window bounded at twice the
+// worker count (a worker that runs too far ahead of the consumer blocks on
+// the window), so peak memory is O(workers), not O(n) — the property that
+// keeps an Internet-scale campaign's RSS flat where parallel_transform
+// would materialize every chunk's output before the first merge.
+//
+// Ordering and determinism match parallel_transform exactly: the consumer
+// sees the same (index, result) sequence at every thread count, and with
+// one worker everything runs inline with zero buffering. Exceptions follow
+// parallel_for's contract — remaining items still run, the lowest-indexed
+// failure is rethrown at the end; consume is skipped for failed items.
+template <typename Produce, typename Consume>
+void parallel_consume(std::size_t n, int threads, Produce&& produce,
+                      Consume&& consume, PoolStats* stats = nullptr) {
+  using R = std::decay_t<decltype(produce(std::size_t{0}))>;
+  // lint: wall-clock-ok(PoolStats is observational wall-time accounting; it never feeds back into results)
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed_ns = [](Clock::time_point from, Clock::time_point to) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+            .count());
+  };
+  if (stats != nullptr) *stats = PoolStats{};
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(resolve_threads(threads), n);
+  const Clock::time_point wall_start =
+      stats != nullptr ? Clock::now() : Clock::time_point{};
+  if (stats != nullptr) {
+    stats->workers = static_cast<unsigned>(workers);
+    stats->items = n;
+  }
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) consume(i, produce(i));
+    if (stats != nullptr) {
+      stats->wall_ns = elapsed_ns(wall_start, Clock::now());
+      stats->busy_ns = stats->wall_ns;  // inline: the caller was the worker
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> busy_ns{0};
+  detail::ErrorCollector errors;
+  // Reorder window: results parked until their index is the next to
+  // consume. nullopt marks an item whose produce threw (consume skips it).
+  std::mutex window_mutex;
+  std::condition_variable ready_cv;   // signals the consumer: a result landed
+  std::condition_variable space_cv;   // signals workers: the window drained
+  std::map<std::size_t, std::optional<R>> window;
+  std::size_t next_to_consume = 0;    // guarded by window_mutex
+  const std::size_t window_cap = 2 * workers;
+
+  auto drain = [&]() noexcept {
+    std::uint64_t local_busy_ns = 0;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      const Clock::time_point item_start =
+          stats != nullptr ? Clock::now() : Clock::time_point{};
+      std::optional<R> result;
+      try {
+        result.emplace(produce(i));
+      } catch (...) {
+        errors.record(i, std::current_exception());
+      }
+      if (stats != nullptr)
+        local_busy_ns += elapsed_ns(item_start, Clock::now());
+      {
+        std::unique_lock<std::mutex> lock(window_mutex);
+        // Never park more than the window allows — unless this item IS the
+        // next to consume, which must always be insertable or the consumer
+        // would starve behind a full window of later items.
+        space_cv.wait(lock, [&] {
+          return window.size() < window_cap || i == next_to_consume;
+        });
+        window.emplace(i, std::move(result));
+      }
+      ready_cv.notify_one();
+    }
+    if (stats != nullptr)
+      busy_ns.fetch_add(local_busy_ns, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> pool;  // lint: thread-ok(the one sanctioned pool)
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(drain);
+
+  // The calling thread is the consumer: pop index i as soon as it lands,
+  // hand it to consume() outside the lock.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::optional<R> result;
+    {
+      std::unique_lock<std::mutex> lock(window_mutex);
+      ready_cv.wait(lock, [&] { return !window.empty() &&
+                                       window.begin()->first == i; });
+      result = std::move(window.begin()->second);
+      window.erase(window.begin());
+      next_to_consume = i + 1;
+    }
+    space_cv.notify_all();
+    if (result.has_value()) consume(i, std::move(*result));
+  }
+  for (std::thread& worker : pool) worker.join();
+  if (stats != nullptr) {
+    stats->wall_ns = elapsed_ns(wall_start, Clock::now());
+    stats->busy_ns = busy_ns.load(std::memory_order_relaxed);
+  }
+  errors.rethrow_if_error();
 }
 
 }  // namespace cloudmap

@@ -161,5 +161,33 @@ TEST_P(GeneratorProperty, ProviderCustomerListsAreSymmetric) {
 INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorProperty,
                          ::testing::Values(1, 2, 3, 11, 42, 1234));
 
+// Every ID-mint site narrows a container size through narrow_id — the
+// narrowing must fail loudly instead of wrapping once a table outgrows the
+// 32-bit ID space (or collides with the kInvalidIndex sentinel).
+TEST(NarrowId, AcceptsEveryRepresentableIndex) {
+  EXPECT_EQ((narrow_id<RouterId>(0, "router table").value), 0u);
+  EXPECT_EQ((narrow_id<RouterId>(kInvalidIndex - 1, "router table").value),
+            kInvalidIndex - 1);
+  EXPECT_EQ(narrow_u32(0xFFFFFFFFull, "asn"), 0xFFFFFFFFu);
+}
+
+TEST(NarrowId, RejectsSentinelAndOverflow) {
+  EXPECT_THROW(narrow_id<RouterId>(std::size_t{kInvalidIndex}, "router table"),
+               std::length_error);
+  EXPECT_THROW(narrow_id<InterfaceId>(std::size_t{1} << 32, "interface table"),
+               std::length_error);
+  EXPECT_THROW(narrow_u32(0x100000000ull, "ixp-operator asn"),
+               std::length_error);
+}
+
+TEST(NarrowId, DiagnosticNamesTheTable) {
+  try {
+    narrow_id<AsId>(std::size_t{kInvalidIndex}, "as table");
+    FAIL() << "expected std::length_error";
+  } catch (const std::length_error& e) {
+    EXPECT_NE(std::string(e.what()).find("as table"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace cloudmap

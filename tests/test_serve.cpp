@@ -291,6 +291,35 @@ TEST(Serve, ServerRefusesClientsPastMaxAndSurfacesErrors) {
   std::remove(path.c_str());
 }
 
+TEST(Serve, ManyShortLivedConnectionsKeepStateBounded) {
+  // Regression: the daemon used to push one thread object and one fd entry
+  // per connection, never reclaimed, so a churny client population grew the
+  // server's bookkeeping without bound. Slots are now reused: cycling far
+  // more connections than max_clients must leave at most max_clients slots.
+  const std::string path =
+      write_snapshot(testfx::small_pipeline(), "serve_churn.snap");
+  constexpr int kMaxClients = 4;
+  constexpr int kConnections = 60;
+  serve::Server server({/*port=*/0, /*max_clients=*/kMaxClients});
+  std::string error;
+  ASSERT_TRUE(server.start(path, &error)) << error;
+
+  for (int i = 0; i < kConnections; ++i) {
+    auto client = serve::Client::connect("127.0.0.1", server.port(), &error);
+    ASSERT_TRUE(client.has_value()) << error << " connection " << i;
+    ASSERT_TRUE(client->ping(&error)) << error << " connection " << i;
+    // client destructor closes the connection; the serving thread finishes
+    // and its slot becomes reusable.
+  }
+
+  EXPECT_LE(server.client_slots(), static_cast<std::size_t>(kMaxClients))
+      << "per-connection state grew with connection count";
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.failed, 0u);
+  server.stop();
+  std::remove(path.c_str());
+}
+
 // --- hot swap under load ---------------------------------------------------
 
 TEST(Serve, HotSwapUnderLoadDropsNothing) {

@@ -1,0 +1,103 @@
+// WorldSpec-driven scaling (GeneratorConfig::from_spec) and the SoA/arena
+// router layout: scale presets must produce valid worlds whose probeable
+// target count tracks the spec's budget, synthetic metros must extend the
+// curated table, and the sealed router→interface arena must agree with the
+// interface table exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "fixtures.h"
+#include "topology/generator.h"
+
+namespace cloudmap {
+namespace {
+
+TEST(WorldSpec, DefaultSpecApproximatesPaperShape) {
+  const GeneratorConfig cfg = GeneratorConfig::from_spec(WorldSpec{});
+  const GeneratorConfig paper = GeneratorConfig::paper_shape();
+  EXPECT_EQ(cfg.tier1_count, paper.tier1_count);
+  EXPECT_EQ(cfg.tier2_count, paper.tier2_count);
+  EXPECT_EQ(cfg.metro_count, paper.metro_count);
+  EXPECT_EQ(cfg.client_prefix_shift, 0);
+  EXPECT_EQ(cfg.max_intra_as_mesh, 0);
+  // The access/enterprise split is solved from the target budget rather
+  // than copied, so it lands near — not exactly on — the paper mix.
+  EXPECT_NEAR(cfg.access_count, paper.access_count, 15);
+  EXPECT_NEAR(cfg.enterprise_count, paper.enterprise_count, 15);
+}
+
+TEST(WorldSpec, ScaledWorldGeneratesValidatesAndMeetsBudget) {
+  WorldSpec spec;
+  spec.seed = 7;
+  spec.total_ases = 4000;
+  spec.targets_per_region = 1200;
+  const GeneratorConfig cfg = GeneratorConfig::from_spec(spec);
+
+  // Scale knobs engage: synthetic metros beyond the curated table, longer
+  // client prefixes, capped intra-AS mesh.
+  EXPECT_GT(cfg.metro_count, 50);
+  EXPECT_GT(cfg.client_prefix_shift, 0);
+  EXPECT_GT(cfg.max_intra_as_mesh, 0);
+
+  const World world = generate_world(cfg);
+  EXPECT_EQ(world.validate(), "");
+  EXPECT_EQ(world.metros.size(), static_cast<std::size_t>(cfg.metro_count));
+
+  // Synthetic metro names/codes stay unique (DNS hints key on the code).
+  std::unordered_set<std::string> codes;
+  for (const Metro& metro : world.metros)
+    EXPECT_TRUE(codes.insert(metro.airport_code).second)
+        << "duplicate airport code " << metro.airport_code;
+
+  // The world carries the requested client ASes (plus the cloud ASes and
+  // one IXP-operator pseudo-AS per IXP).
+  const std::size_t client_ases = static_cast<std::size_t>(
+      cfg.tier1_count + cfg.tier2_count + cfg.access_count +
+      cfg.enterprise_count + cfg.content_count + cfg.cdn_count);
+  EXPECT_NEAR(static_cast<double>(client_ases), spec.total_ases,
+              spec.total_ases * 0.02);
+  EXPECT_GE(world.ases.size(), client_ases);
+
+  // Probeable /24 targets track the budget (a target, not a guarantee —
+  // block-count draws are random, so allow a generous band).
+  const double budget =
+      static_cast<double>(spec.targets_per_region) * cfg.amazon_regions;
+  const double targets = static_cast<double>(world.probeable_slash24s().size());
+  EXPECT_GT(targets, budget * 0.6);
+  EXPECT_LT(targets, budget * 1.6);
+}
+
+TEST(WorldSpec, RouterInterfaceArenaMatchesInterfaceTable) {
+  const World& world = testfx::small_world();
+  // Every interface appears in exactly its router's span, in global index
+  // order — the exact contract seal() documents.
+  std::vector<std::vector<std::uint32_t>> expected(world.routers.size());
+  for (std::uint32_t i = 0; i < world.interfaces.size(); ++i)
+    expected[world.interfaces[i].router.value].push_back(i);
+  ASSERT_EQ(world.router_iface_pool.size(), world.interfaces.size());
+  for (std::uint32_t r = 0; r < world.routers.size(); ++r) {
+    const auto view = world.router_interfaces(RouterId{r});
+    ASSERT_EQ(view.size(), expected[r].size()) << "router " << r;
+    for (std::uint32_t k = 0; k < view.size(); ++k)
+      EXPECT_EQ(view[k].value, expected[r][k]) << "router " << r;
+  }
+}
+
+TEST(WorldSpec, ExtraUplinkArenaPointsAtRealLinks) {
+  const World& world = testfx::small_world();
+  std::size_t spanned = 0;
+  for (const Router& router : world.routers) {
+    for (const LinkId link : world.router_extra_uplinks(router)) {
+      ASSERT_TRUE(link.valid());
+      ASSERT_LT(link.value, world.links.size());
+      ++spanned;
+    }
+  }
+  EXPECT_EQ(spanned, world.router_uplink_pool.size());
+}
+
+}  // namespace
+}  // namespace cloudmap

@@ -2,6 +2,7 @@
 """Compare two or more cloudmap binary snapshots longitudinally.
 
 Usage: diff_snapshots.py A.snap B.snap [C.snap ...]
+       diff_snapshots.py --shard-parts PART [PART ...] [--expect-complete]
 
 Independently re-implements the snapshot reader (format spec: DESIGN.md §7–8
 and §11, src/io/snapshot.h, src/io/snapshot_v3.h) so CI cross-checks the C++
@@ -21,6 +22,17 @@ one turnover row per consecutive pair (added/removed/re-confirmed segments,
 re-pinned addresses, mean confidence drift) — the table the churn scorecard
 and the hazard-matrix CI job read to check that a snapshot sequence
 reconstructs planted peering turnover.
+
+With --shard-parts the arguments are campaign shard part files (the
+"CMSHARD1" interchange format of `cloudmap_cli campaign --shard`, spec in
+src/io/shard.h) instead of snapshots — any subset of a round's parts, so a
+half-finished distributed campaign can be audited in place. The reader is
+again independent of the C++ codec: header layout, per-record CRC-32,
+round-robin item ownership (item j belongs to shard j % N), and strictly
+increasing canonical order are all re-checked here, and the tool prints a
+coverage summary (which shard indices are present, records vs. owned
+items). Partial sets exit 0 unless --expect-complete is given; corrupt,
+inconsistent, or unfinished parts always exit 1.
 
 Exit status: 0 when all files parse (identical or not), 1 on any parse or
 validation error — or, with --expect-identical, when any consecutive pair
@@ -47,6 +59,11 @@ V3_SEGMENT = struct.Struct("<IIIIiBBBBIIIII")
 V3_SEGMENT_SIZE = 80
 V3_PIN = struct.Struct("<IIBBHi")
 V3_PIN_SIZE = 16
+
+# Campaign shard part files (src/io/shard.h): fixed 52-byte header, then
+# record_count x { u64 item | u32 size | payload | u32 CRC-32(payload) }.
+SHARD_MAGIC = b"CMSHARD1"
+SHARD_HEADER = struct.Struct("<8sQIIIQQQ")
 
 CONFIRMATION_NAMES = [
     "unconfirmed", "ixp_client", "hybrid", "reachability", "alias_relabel",
@@ -253,6 +270,115 @@ def read_flat_fabric(path, blob):
     return segments, pins, confidence
 
 
+def shard_owned_items(header):
+    """Work items owned by this shard under round-robin assignment."""
+    total, index, count = (header["total_items"], header["shard_index"],
+                           header["shard_count"])
+    return total // count + (1 if index < total % count else 0)
+
+
+def read_shard_part(path):
+    """Parse and fully validate one CMSHARD1 part file: header sanity,
+    per-record CRC, round-robin item ownership, strictly increasing
+    canonical order, and the finished record count."""
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    if len(blob) < SHARD_HEADER.size:
+        raise SnapshotError("%s: shorter than the shard header" % path)
+    (magic, digest, round_, index, count, total_items, target_count,
+     record_count) = SHARD_HEADER.unpack_from(blob, 0)
+    if magic != SHARD_MAGIC:
+        raise SnapshotError("%s: bad magic (not a shard part file)" % path)
+    if round_ not in (1, 2):
+        raise SnapshotError("%s: round %d out of range" % (path, round_))
+    if count < 1 or index >= count:
+        raise SnapshotError("%s: shard index %d of %d out of range"
+                            % (path, index, count))
+    header = {"path": path, "digest": digest, "round": round_,
+              "shard_index": index, "shard_count": count,
+              "total_items": total_items, "target_count": target_count,
+              "record_count": record_count, "bytes": len(blob)}
+    owned = shard_owned_items(header)
+    if record_count != owned:
+        raise SnapshotError(
+            "%s: truncated or unfinished part: %d records, shard owns %d "
+            "items" % (path, record_count, owned))
+
+    pos = SHARD_HEADER.size
+    previous_item = -1
+    for record in range(record_count):
+        if pos + 12 > len(blob):
+            raise SnapshotError("%s: record %d header past end of file"
+                                % (path, record))
+        item, size = struct.unpack_from("<QI", blob, pos)
+        pos += 12
+        if pos + size + 4 > len(blob):
+            raise SnapshotError("%s: record %d payload past end of file"
+                                % (path, record))
+        payload = blob[pos:pos + size]
+        (crc,) = struct.unpack_from("<I", blob, pos + size)
+        pos += size + 4
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise SnapshotError("%s: record %d (item %d) CRC mismatch"
+                                % (path, record, item))
+        if item % count != index:
+            raise SnapshotError("%s: record %d carries item %d, owned by "
+                                "shard %d" % (path, record, item,
+                                              item % count))
+        if item <= previous_item:
+            raise SnapshotError("%s: record %d out of canonical order "
+                                "(item %d after %d)"
+                                % (path, record, item, previous_item))
+        if item >= total_items:
+            raise SnapshotError("%s: record %d item %d >= total items %d"
+                                % (path, record, item, total_items))
+        previous_item = item
+    if pos != len(blob):
+        raise SnapshotError("%s: %d trailing bytes after the last record"
+                            % (path, len(blob) - pos))
+    return header
+
+
+def shard_summary(paths, expect_complete):
+    """Audit a (possibly partial) set of one round's shard parts: parse and
+    validate each, check cross-part consistency, print coverage."""
+    parts = [read_shard_part(path) for path in paths]
+    reference = parts[0]
+    seen = {}
+    for part in parts:
+        for field in ("digest", "round", "shard_count", "total_items",
+                      "target_count"):
+            if part[field] != reference[field]:
+                raise SnapshotError(
+                    "%s: %s %s disagrees with %s's %s (mixed campaigns or "
+                    "rounds?)" % (part["path"], field, part[field],
+                                  reference["path"], reference[field]))
+        if part["shard_index"] in seen:
+            raise SnapshotError("duplicate shard index %d: %s and %s"
+                                % (part["shard_index"],
+                                   seen[part["shard_index"]], part["path"]))
+        seen[part["shard_index"]] = part["path"]
+        print("%s: round %d, shard %d/%d, %d records, %d bytes"
+              % (part["path"], part["round"], part["shard_index"],
+                 part["shard_count"], part["record_count"], part["bytes"]))
+
+    count = reference["shard_count"]
+    missing = sorted(set(range(count)) - set(seen))
+    records = sum(part["record_count"] for part in parts)
+    print("coverage: %d of %d shards present, %d of %d work items "
+          "(digest %016x, round %d)"
+          % (len(parts), count, records, reference["total_items"],
+             reference["digest"], reference["round"]))
+    if missing:
+        print("missing shards: %s" % ", ".join(str(i) for i in missing))
+        if expect_complete:
+            raise SnapshotError(
+                "incomplete part set: %d of %d shards missing"
+                % (len(missing), count))
+    else:
+        print("part set is complete and merge-ready")
+
+
 def ip(value):
     return "%d.%d.%d.%d" % (value >> 24 & 255, value >> 16 & 255,
                             value >> 8 & 255, value & 255)
@@ -346,7 +472,22 @@ def main():
     parser.add_argument(
         "--expect-identical", action="store_true",
         help="exit 1 if any consecutive pair differs at the segment/pin level")
+    parser.add_argument(
+        "--shard-parts", action="store_true",
+        help="treat the arguments as campaign shard part files (any subset "
+             "of one round's parts) and audit them instead of diffing")
+    parser.add_argument(
+        "--expect-complete", action="store_true",
+        help="with --shard-parts: exit 1 unless every shard of the round "
+             "is present")
     args = parser.parse_args()
+    if args.shard_parts:
+        try:
+            shard_summary(args.snapshots, args.expect_complete)
+        except SnapshotError as error:
+            print("FAIL: %s" % error, file=sys.stderr)
+            sys.exit(1)
+        return
     if len(args.snapshots) < 2:
         parser.error("need at least two snapshots to diff")
 

@@ -1,0 +1,84 @@
+// Fuzz the serve protocol: frame decode over an adversarial byte stream,
+// then a strict decode→re-encode round trip of every payload codec on
+// whatever decode_frame accepts. The codecs validate every field (enums in
+// range, booleans exactly 0/1, counts capped against remaining bytes), so
+// an accepted payload must re-encode to its exact input bytes — silent
+// acceptance of non-canonical input is a finding, not just crashes.
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "fixup.h"
+#include "harness.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using namespace cloudmap::serve;
+
+void roundtrip_payload(const Frame& frame) {
+  cloudmap::QueryRequest request;
+  if (decode_query_request(frame.payload, request) &&
+      encode_query_request(request) != frame.payload)
+    __builtin_trap();
+  cloudmap::QueryResponse response;
+  if (decode_query_response(frame.payload, response) &&
+      encode_query_response(response) != frame.payload)
+    __builtin_trap();
+  ServerStats stats;
+  if (decode_stats(frame.payload, stats) &&
+      encode_stats(stats) != frame.payload)
+    __builtin_trap();
+  std::string text;
+  if (decode_text(frame.payload, text) &&
+      encode_text(text) != frame.payload)
+    __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzzhn::maybe_trip_canary(data, size);
+
+  std::size_t pos = 0;
+  while (pos < size) {
+    Frame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    const FrameStatus status =
+        decode_frame(data + pos, size - pos, frame, consumed, &error);
+    if (status != FrameStatus::kOk) {
+      // kCorrupt/kIncomplete must come with untouched progress: consumed
+      // is only meaningful on kOk. Stop at the first rejection, as the
+      // server's read loop does.
+      break;
+    }
+    if (consumed == 0 || consumed > size - pos) __builtin_trap();
+    // Round trip the frame envelope: re-encoding the decoded frame must
+    // reproduce the consumed bytes exactly.
+    std::string reencoded;
+    encode_frame(reencoded, frame.type, frame.payload);
+    if (reencoded.size() != consumed ||
+        std::memcmp(reencoded.data(), data + pos, consumed) != 0)
+      __builtin_trap();
+    roundtrip_payload(frame);
+    pos += consumed;
+  }
+  return 0;
+}
+
+#ifdef CLOUDMAP_FUZZER_BUILD
+extern "C" std::size_t LLVMFuzzerMutate(std::uint8_t* data, std::size_t size,
+                                        std::size_t max_size);
+
+extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data,
+                                               std::size_t size,
+                                               std::size_t max_size,
+                                               unsigned seed) {
+  (void)seed;
+  const std::size_t mutated = LLVMFuzzerMutate(data, size, max_size);
+  fuzzhn::fix_wire(data, mutated);
+  return mutated;
+}
+#endif

@@ -1,0 +1,54 @@
+// Sanitizer-optional corpus replay: a plain main() linked against one
+// harness's LLVMFuzzerTestOneInput. Each argument is a corpus file or a
+// directory of them; every input runs through the harness in sorted order,
+// so the committed corpus (seed inputs + minimized regression reproducers)
+// executes as an ordinary ctest on every build — gcc, no libFuzzer, no
+// sanitizers needed. Crashes and __builtin_trap() invariant failures abort
+// the process, which ctest reports as a failure.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path path(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else if (std::filesystem::is_regular_file(path, ec)) {
+      files.push_back(path.string());
+    } else {
+      std::fprintf(stderr, "replay: no such input: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "replay: empty corpus — nothing executed\n");
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "replay: cannot read %s\n", file.c_str());
+      return 1;
+    }
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  }
+  std::printf("replayed %zu corpus input(s)\n", files.size());
+  return 0;
+}

@@ -9,11 +9,13 @@ namespace cloudmap {
 
 namespace {
 
-constexpr char kMagic[8] = {'C', 'M', 'S', 'H', 'A', 'R', 'D', '1'};
-// magic + digest + (round, shard index, shard count) + 3 × u64 totals.
-constexpr std::size_t kHeaderSize = 8 + 8 + 3 * 4 + 3 * 8;
-// Offset of the record-count field, patched by finish().
-constexpr std::size_t kRecordCountOffset = kHeaderSize - 8;
+constexpr char kMagic[8] = {'C', 'M', 'S', 'H', 'A', 'R', 'D', '2'};
+// magic + digest + (round, shard index, shard count) + 3 × u64 totals
+// + u32 header CRC.
+constexpr std::size_t kHeaderSize = 8 + 8 + 3 * 4 + 3 * 8 + 4;
+// Every record carries at least an item index, a payload size, and a CRC;
+// the per-record and whole-file caps below rest on this floor.
+constexpr std::size_t kMinRecordSize = 8 + 4 + 4;
 
 std::string encode_header(const ShardPartHeader& header) {
   std::string out;
@@ -26,6 +28,12 @@ std::string encode_header(const ShardPartHeader& header) {
   wire::put_u64(out, header.total_items);
   wire::put_u64(out, header.target_count);
   wire::put_u64(out, header.record_count);
+  // Header CRC over everything above it: a bit flip in any header field
+  // (digest, round, totals) is rejected up front, not silently merged.
+  wire::put_u32(out,
+                snapshot_crc32(
+                    reinterpret_cast<const unsigned char*>(out.data()),
+                    out.size()));
   return out;
 }
 
@@ -85,7 +93,7 @@ bool decode_result(const std::string& payload,
   result.walk.cbi_is_destination = cursor.u64();
   result.walk.duplicate_before_border = cursor.u64();
   result.walk.reentered_cloud = cursor.u64();
-  const std::uint32_t adjacency_count = cursor.u32();
+  const std::uint32_t adjacency_count = wire::bounded_count(cursor, 8);
   result.adjacencies.clear();
   result.adjacencies.reserve(adjacency_count);
   for (std::uint32_t i = 0; i < adjacency_count && !cursor.failed; ++i) {
@@ -93,7 +101,7 @@ bool decode_result(const std::string& payload,
     const std::uint32_t to = cursor.u32();
     result.adjacencies.emplace_back(from, to);
   }
-  const std::uint32_t segment_count = cursor.u32();
+  const std::uint32_t segment_count = wire::bounded_count(cursor, 48);
   result.segments.clear();
   result.segments.reserve(segment_count);
   for (std::uint32_t i = 0; i < segment_count && !cursor.failed; ++i) {
@@ -180,12 +188,13 @@ bool ShardPartWriter::append(std::uint64_t item,
 }
 
 bool ShardPartWriter::finish(std::string* error) {
-  // Patch the record count into the header: a crash mid-run leaves zero
-  // there, which the reader reports as a truncated part.
-  out_.seekp(static_cast<std::streamoff>(kRecordCountOffset));
-  std::string count;
-  wire::put_u64(count, records_);
-  out_.write(count.data(), static_cast<std::streamsize>(count.size()));
+  // Rewrite the whole header with the final record count (and the header
+  // CRC that covers it): a crash mid-run leaves zero records declared and
+  // a stale CRC, either of which the reader reports as a truncated part.
+  header_.record_count = records_;
+  const std::string bytes = encode_header(header_);
+  out_.seekp(0);
+  out_.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   out_.close();
   if (out_.fail()) {
     if (error != nullptr) *error = "cannot finalize shard part " + path_;
@@ -202,6 +211,16 @@ bool ShardPartReader::open(const std::string& path, std::string* error) {
     if (error != nullptr) *error = "cannot read shard part " + path;
     return false;
   }
+  // The actual byte count on disk is the cap every declared length in the
+  // file is checked against, before any allocation.
+  in_.seekg(0, std::ios::end);
+  const std::streamoff end = in_.tellg();
+  in_.seekg(0, std::ios::beg);
+  if (end < 0) {
+    if (error != nullptr) *error = "cannot stat shard part " + path;
+    return false;
+  }
+  file_size_ = static_cast<std::uint64_t>(end);
   std::string bytes(kHeaderSize, '\0');
   in_.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   if (in_.gcount() != static_cast<std::streamsize>(kHeaderSize) ||
@@ -210,9 +229,15 @@ bool ShardPartReader::open(const std::string& path, std::string* error) {
       *error = "shard part " + path + ": bad magic or truncated header";
     return false;
   }
-  wire::Cursor cursor{
-      reinterpret_cast<const unsigned char*>(bytes.data()) + sizeof(kMagic),
-      kHeaderSize - sizeof(kMagic)};
+  const auto* raw = reinterpret_cast<const unsigned char*>(bytes.data());
+  wire::Cursor crc_check{raw + kHeaderSize - 4, 4};
+  if (crc_check.u32() != snapshot_crc32(raw, kHeaderSize - 4)) {
+    if (error != nullptr)
+      *error = "shard part " + path + ": header CRC mismatch";
+    return false;
+  }
+  wire::Cursor cursor{raw + sizeof(kMagic),
+                      kHeaderSize - sizeof(kMagic) - 4};
   header_.config_digest = cursor.u64();
   header_.round = cursor.u32();
   header_.shard_index = cursor.u32();
@@ -228,6 +253,18 @@ bool ShardPartReader::open(const std::string& path, std::string* error) {
                std::to_string(header_.shard_count);
     return false;
   }
+  // Declared-count-vs-file-size cap: a forged record count fails here with
+  // a diagnostic instead of driving next() into huge reads.
+  const std::uint64_t capacity = (file_size_ - kHeaderSize) / kMinRecordSize;
+  if (header_.record_count > capacity) {
+    if (error != nullptr)
+      *error = "shard part " + path + ": declares " +
+               std::to_string(header_.record_count) +
+               " records but the file can hold at most " +
+               std::to_string(capacity);
+    return false;
+  }
+  offset_ = kHeaderSize;
   return true;
 }
 
@@ -243,8 +280,19 @@ bool ShardPartReader::next(std::uint64_t& item,
       reinterpret_cast<const unsigned char*>(prefix.data()), prefix.size()};
   item = cursor.u64();
   const std::uint32_t size = cursor.u32();
+  // Cap the declared payload size against the bytes actually left in the
+  // file before allocating: a forged 4 GiB size field fails fast instead
+  // of attempting the allocation.
+  const std::uint64_t remaining = file_size_ - offset_ - prefix.size();
+  if (std::uint64_t{size} + 4 > remaining)
+    fail(path_, "record " + std::to_string(read_) + " declares a " +
+                    std::to_string(size) + "-byte payload but only " +
+                    std::to_string(remaining) + " bytes remain in the file");
   std::string payload(size, '\0');
   in_.read(payload.data(), static_cast<std::streamsize>(size));
+  if (in_.gcount() != static_cast<std::streamsize>(size))
+    fail(path_, "truncated at record " + std::to_string(read_) + " of " +
+                    std::to_string(header_.record_count));
   std::string crc_bytes(4, '\0');
   in_.read(crc_bytes.data(), 4);
   if (in_.gcount() != 4)
@@ -259,6 +307,7 @@ bool ShardPartReader::next(std::uint64_t& item,
     fail(path_, "CRC mismatch at record " + std::to_string(read_));
   if (!decode_result(payload, result))
     fail(path_, "malformed record " + std::to_string(read_));
+  offset_ += prefix.size() + size + crc_bytes.size();
   ++read_;
   return true;
 }

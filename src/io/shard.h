@@ -7,21 +7,26 @@
 //
 // Byte layout (all integers little-endian, fixed width):
 //
-//   header   magic "CMSHARD1" (8 bytes)
+//   header   magic "CMSHARD2" (8 bytes)
 //            | u64 config digest   (shard_digest of the producer's key)
 //            | u32 round           (1 or 2)
 //            | u32 shard index     | u32 shard count
 //            | u64 total items     (canonical work items of the WHOLE sweep)
 //            | u64 target count    (the sweep's target-list length)
 //            | u64 record count    (records in THIS part; patched on finish)
+//            | u32 CRC-32 of the 52 header bytes above
 //   records  record count × { u64 canonical item index
 //                             | u32 payload size | payload
 //                             | u32 CRC-32 of the payload }
 //
 // The payload is the wire encoding of one SweepChunkResult (counters, walk
 // stats, adjacencies, candidate segments). CRC-32 is the zlib polynomial
-// (io/snapshot.h's snapshot_crc32), per record, so a truncated or bit-rotted
-// part is rejected with a diagnostic instead of corrupting the merge.
+// (io/snapshot.h's snapshot_crc32): the header CRC means a bit flip in any
+// identity field (digest, round, totals) is rejected at open, and the
+// per-record CRC means a truncated or bit-rotted record is rejected with a
+// diagnostic instead of corrupting the merge. Every declared length is
+// additionally capped against the file's actual size before any allocation
+// (see DESIGN.md §14, the untrusted-input contract).
 //
 // Memory model: both sides stream. The writer holds one record; the merge
 // holds one open cursor per part and one in-flight record — absorbing N
@@ -94,6 +99,8 @@ class ShardPartReader {
   std::string path_;
   ShardPartHeader header_;
   std::uint64_t read_ = 0;
+  std::uint64_t file_size_ = 0;  // declared sizes are capped against this
+  std::uint64_t offset_ = 0;     // bytes consumed so far
 };
 
 // K-way merge over the N parts of one round, yielding results in global

@@ -195,7 +195,10 @@ bool decode_meta_v3(Cursor& in, RunSnapshot& s) {
 }
 
 bool decode_segments(Cursor& in, RunSnapshot& s) {
-  const std::uint32_t count = in.u32();
+  // Every declared count below is capped against the bytes actually
+  // present (wire::bounded_count) before the reserve, so a forged count
+  // field fails the section instead of reaching the allocator.
+  const std::uint32_t count = wire::bounded_count(in, 43);
   for (std::uint32_t i = 0; i < count && !in.failed; ++i) {
     SnapshotSegment seg;
     seg.abi = Ipv4(in.u32());
@@ -203,10 +206,8 @@ bool decode_segments(Cursor& in, RunSnapshot& s) {
     seg.prior_abi = Ipv4(in.u32());
     seg.post_cbi = Ipv4(in.u32());
     seg.first_round = in.i32();
-    const std::uint8_t confirmation = in.u8();
-    if (confirmation > static_cast<std::uint8_t>(Confirmation::kAliasRelabel))
-      return false;
-    seg.confirmation = static_cast<Confirmation>(confirmation);
+    seg.confirmation = wire::checked_read<Confirmation>(
+        in, static_cast<std::uint8_t>(Confirmation::kAliasRelabel));
     const std::uint8_t flags = in.u8();
     if (flags > 7) return false;
     seg.shifted = (flags & 1) != 0;
@@ -217,15 +218,13 @@ bool decode_segments(Cursor& in, RunSnapshot& s) {
     seg.owner_hint = Asn{in.u32()};
     seg.peer_asn = Asn{in.u32()};
     seg.peer_org = OrgId{in.u32()};
-    const std::uint32_t region_count = in.u32();
-    if (!in.need(std::size_t{region_count} * 4)) return false;
+    const std::uint32_t region_count = wire::bounded_count(in, 4);
     seg.regions.reserve(region_count);
-    for (std::uint32_t r = 0; r < region_count; ++r)
+    for (std::uint32_t r = 0; r < region_count && !in.failed; ++r)
       seg.regions.push_back(in.u32());
-    const std::uint32_t dest_count = in.u32();
-    if (!in.need(std::size_t{dest_count} * 4)) return false;
+    const std::uint32_t dest_count = wire::bounded_count(in, 4);
     seg.dest_slash24s.reserve(dest_count);
-    for (std::uint32_t d = 0; d < dest_count; ++d)
+    for (std::uint32_t d = 0; d < dest_count && !in.failed; ++d)
       seg.dest_slash24s.push_back(in.u32());
     s.segments.push_back(std::move(seg));
   }
@@ -233,21 +232,19 @@ bool decode_segments(Cursor& in, RunSnapshot& s) {
 }
 
 bool decode_pins(Cursor& in, RunSnapshot& s) {
-  const std::uint32_t pin_count = in.u32();
+  const std::uint32_t pin_count = wire::bounded_count(in, 14);
   for (std::uint32_t i = 0; i < pin_count && !in.failed; ++i) {
     SnapshotPin pin;
     pin.address = in.u32();
     pin.metro = in.u32();
-    pin.rule = in.u8();
-    if (pin.rule > 2) return false;  // PinRule range
-    pin.anchor_source = in.u8();
-    if (pin.anchor_source > 4) return false;  // AnchorSource range
+    pin.rule = wire::checked_read<std::uint8_t>(in, 2);  // PinRule range
+    pin.anchor_source =
+        wire::checked_read<std::uint8_t>(in, 4);  // AnchorSource range
     pin.round = in.i32();
     s.pins.push_back(pin);
   }
-  const std::uint32_t regional_count = in.u32();
-  if (!in.need(std::size_t{regional_count} * 8)) return false;
-  for (std::uint32_t i = 0; i < regional_count; ++i) {
+  const std::uint32_t regional_count = wire::bounded_count(in, 8);
+  for (std::uint32_t i = 0; i < regional_count && !in.failed; ++i) {
     const std::uint32_t address = in.u32();
     const std::uint32_t region = in.u32();
     s.regional.emplace_back(address, region);
@@ -256,25 +253,25 @@ bool decode_pins(Cursor& in, RunSnapshot& s) {
 }
 
 bool decode_aliases(Cursor& in, RunSnapshot& s) {
-  const std::uint32_t set_count = in.u32();
+  const std::uint32_t set_count = wire::bounded_count(in, 4);
   for (std::uint32_t i = 0; i < set_count && !in.failed; ++i) {
-    const std::uint32_t member_count = in.u32();
-    if (!in.need(std::size_t{member_count} * 4)) return false;
+    const std::uint32_t member_count = wire::bounded_count(in, 4);
     std::vector<std::uint32_t> set;
     set.reserve(member_count);
-    for (std::uint32_t m = 0; m < member_count; ++m) set.push_back(in.u32());
+    for (std::uint32_t m = 0; m < member_count && !in.failed; ++m)
+      set.push_back(in.u32());
     s.alias_sets.push_back(std::move(set));
   }
   return in.at_end();
 }
 
 bool decode_metrics(Cursor& in, RunSnapshot& s, std::uint16_t version) {
-  const std::uint32_t report_count = in.u32();
+  // 69 bytes is the v1 per-report floor; v2 reports are larger, so the
+  // count-vs-bytes cap below is valid for both layouts.
+  const std::uint32_t report_count = wire::bounded_count(in, 69);
   for (std::uint32_t i = 0; i < report_count && !in.failed; ++i) {
     StageReport report;
-    const std::uint8_t stage = in.u8();
-    if (stage >= kStageCount) return false;
-    report.id = static_cast<StageId>(stage);
+    report.id = wire::checked_read<StageId>(in, kStageCount - 1);
     report.threads = in.i32();
     report.workers = in.u32();
     report.targets = in.u64();
@@ -290,7 +287,8 @@ bool decode_metrics(Cursor& in, RunSnapshot& s, std::uint16_t version) {
     }
     report.wall_ms = in.f64();
     report.worker_utilization = in.f64();
-    const std::uint32_t tally_count = in.u32();
+    // 12 = u32 name length (empty name) + f64 value.
+    const std::uint32_t tally_count = wire::bounded_count(in, 12);
     for (std::uint32_t t = 0; t < tally_count && !in.failed; ++t) {
       std::string name = in.str();
       const double value = in.f64();
@@ -312,10 +310,9 @@ struct ConfidenceRecord {
 };
 
 bool decode_confidence(Cursor& in, std::vector<ConfidenceRecord>& records) {
-  const std::uint32_t count = in.u32();
-  if (!in.need(std::size_t{count} * 24)) return false;
+  const std::uint32_t count = wire::bounded_count(in, 24);
   records.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
+  for (std::uint32_t i = 0; i < count && !in.failed; ++i) {
     ConfidenceRecord record;
     record.observations = in.u32();
     record.rounds_mask = in.u32();
@@ -334,7 +331,8 @@ bool decode_hazard(Cursor& in, RunSnapshot& s) {
   // The writer omits the section for an empty profile; a present-but-empty
   // one would not re-save byte-identically, so it is malformed.
   if (s.hazard_profile.empty()) return false;
-  const std::uint32_t metric_count = in.u32();
+  // 12 = u32 name length (empty name) + f64 value.
+  const std::uint32_t metric_count = wire::bounded_count(in, 12);
   for (std::uint32_t i = 0; i < metric_count && !in.failed; ++i) {
     std::string name = in.str();
     const double value = in.f64();

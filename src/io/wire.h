@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <type_traits>
 
 namespace cloudmap::wire {
 
@@ -104,5 +105,53 @@ struct Cursor {
   }
   bool at_end() const { return !failed && pos == size; }
 };
+
+// --- hardening helpers for untrusted input --------------------------------
+//
+// Every length, count, and enum read off the wire is attacker-controlled:
+// a forged 4 GiB count must fail fast against the bytes actually present,
+// never reach an allocator, and a forged enum byte must never be cast into
+// a C++ enum whose switch it would fall out of. These helpers make the
+// checked form the easy form; the `untrusted-read` lint family
+// (tools/lint/cloudmap_lint.py) flags parse-path code that bypasses them.
+
+// Read a u32 element count and require that at least `min_elem_size` bytes
+// per element remain in the buffer — the declared-count-vs-actual-bytes
+// cap. On violation the cursor fails and 0 is returned, so a decoder can
+// reserve()/loop on the result unconditionally.
+inline std::uint32_t bounded_count(Cursor& in, std::size_t min_elem_size) {
+  const std::uint32_t count = in.u32();
+  // count ≤ 2^32 and min_elem_size is a small constant: no overflow in the
+  // 64-bit product.
+  if (!in.need(std::size_t{count} * min_elem_size)) return 0;
+  return count;
+}
+
+// Read an integer or enum of T's wire width and require the raw value be
+// ≤ max_value. The cast from wire bits to T lives here, once, behind the
+// range check. Usage: `kind = checked_read<QueryKind>(in, kQueryKindCount - 1)`.
+template <typename T>
+T checked_read(Cursor& in, std::uint64_t max_value) {
+  using U = typename std::conditional_t<std::is_enum_v<T>,
+                                        std::underlying_type<T>,
+                                        std::type_identity<T>>::type;
+  static_assert(std::is_unsigned_v<U>, "wire fields are unsigned");
+  std::uint64_t raw = 0;
+  if constexpr (sizeof(U) == 1) raw = in.u8();
+  else if constexpr (sizeof(U) == 2) raw = in.u16();
+  else if constexpr (sizeof(U) == 4) raw = in.u32();
+  else raw = in.u64();
+  if (raw > max_value) {
+    in.failed = true;
+    return T{};
+  }
+  return static_cast<T>(static_cast<U>(raw));
+}
+
+// A wire boolean: a u8 that must be exactly 0 or 1. Anything else fails the
+// cursor, so non-canonical input cannot round-trip to different bytes.
+inline bool get_bool(Cursor& in) {
+  return checked_read<std::uint8_t>(in, 1) != 0;
+}
 
 }  // namespace cloudmap::wire

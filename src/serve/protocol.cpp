@@ -37,8 +37,8 @@ SegmentBrief get_brief(Cursor& in) {
   brief.cbi = in.u32();
   brief.peer_asn = in.u32();
   brief.confirmation = in.u8();
-  brief.ixp = in.u8() != 0;
-  brief.vpi = in.u8() != 0;
+  brief.ixp = wire::get_bool(in);
+  brief.vpi = wire::get_bool(in);
   brief.confidence = in.f64();
   return brief;
 }
@@ -185,14 +185,12 @@ std::string encode_query_request(const QueryRequest& request) {
 bool decode_query_request(const std::string& payload, QueryRequest& request) {
   Cursor in{reinterpret_cast<const unsigned char*>(payload.data()),
             payload.size(), 0};
-  request.kind = static_cast<QueryKind>(in.u8());
+  request.kind = wire::checked_read<QueryKind>(in, kQueryKindCount - 1);
   request.asn = in.u32();
   request.metro = in.u32();
   request.address = in.u32();
   request.min_confidence = in.f64();
-  const std::uint8_t briefs = in.u8();
-  if (briefs > 1) return false;
-  request.want_briefs = briefs != 0;
+  request.want_briefs = wire::get_bool(in);
   return in.at_end();
 }
 
@@ -222,31 +220,30 @@ bool decode_query_response(const std::string& payload,
                            QueryResponse& response) {
   Cursor in{reinterpret_cast<const unsigned char*>(payload.data()),
             payload.size(), 0};
-  response.status = static_cast<QueryStatus>(in.u8());
-  response.kind = static_cast<QueryKind>(in.u8());
+  response.status =
+      wire::checked_read<QueryStatus>(in, 1);  // kOk / kBadRequest
+  response.kind = wire::checked_read<QueryKind>(in, kQueryKindCount - 1);
   response.error = in.str();
-  const std::uint32_t item_count = in.u32();
-  if (!in.need(std::size_t{item_count} * 4)) return false;
+  const std::uint32_t item_count = wire::bounded_count(in, 4);
   response.items.clear();
   response.items.reserve(item_count);
-  for (std::uint32_t i = 0; i < item_count; ++i)
+  for (std::uint32_t i = 0; i < item_count && !in.failed; ++i)
     response.items.push_back(in.u32());
-  const std::uint32_t brief_count = in.u32();
-  if (!in.need(std::size_t{brief_count} * 27)) return false;
+  const std::uint32_t brief_count = wire::bounded_count(in, 27);
   response.briefs.clear();
   response.briefs.reserve(brief_count);
-  for (std::uint32_t i = 0; i < brief_count; ++i)
+  for (std::uint32_t i = 0; i < brief_count && !in.failed; ++i)
     response.briefs.push_back(get_brief(in));
   response.counts.reset();
-  if (in.u8() != 0) response.counts = get_counts(in);
+  if (wire::get_bool(in)) response.counts = get_counts(in);
   response.histogram.reset();
-  if (in.u8() != 0) response.histogram = get_histogram(in);
-  response.found = in.u8() != 0;
+  if (wire::get_bool(in)) response.histogram = get_histogram(in);
+  response.found = wire::get_bool(in);
   response.prefix_network = in.u32();
-  response.prefix_length = in.u8();
-  response.is_interface = in.u8() != 0;
-  response.role_abi = in.u8() != 0;
-  response.role_cbi = in.u8() != 0;
+  response.prefix_length = wire::checked_read<std::uint8_t>(in, 32);
+  response.is_interface = wire::get_bool(in);
+  response.role_abi = wire::get_bool(in);
+  response.role_cbi = wire::get_bool(in);
   return in.at_end();
 }
 

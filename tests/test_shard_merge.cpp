@@ -187,14 +187,19 @@ TEST_F(ShardMergeRejection, MissingPartIsRejected) {
 
 TEST_F(ShardMergeRejection, UnfinishedPartIsRejected) {
   // A part whose writer never ran finish() keeps record_count = 0 in the
-  // header — the coverage check must refuse it up front.
+  // header (with the CRC the writer stamped at open) — the coverage check
+  // must refuse it up front.
   const std::string path = shard_part_path(prefix_, 1, 0, 2);
   std::ifstream in(path, std::ios::binary);
   std::stringstream buffer;
   buffer << in.rdbuf();
   std::string bytes = buffer.str();
-  ASSERT_GT(bytes.size(), 52u);
+  ASSERT_GT(bytes.size(), 56u);
   for (std::size_t i = 44; i < 52; ++i) bytes[i] = '\0';  // record count
+  const std::uint32_t crc = snapshot_crc32(
+      reinterpret_cast<const unsigned char*>(bytes.data()), 52);
+  for (std::size_t i = 0; i < 4; ++i)
+    bytes[52 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
   const std::string broken = prefix_ + ".unfinished.part";
   std::ofstream out(broken, std::ios::binary | std::ios::trunc);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));

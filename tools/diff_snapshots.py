@@ -24,22 +24,26 @@ and the hazard-matrix CI job read to check that a snapshot sequence
 reconstructs planted peering turnover.
 
 With --shard-parts the arguments are campaign shard part files (the
-"CMSHARD1" interchange format of `cloudmap_cli campaign --shard`, spec in
+"CMSHARD2" interchange format of `cloudmap_cli campaign --shard`, spec in
 src/io/shard.h) instead of snapshots — any subset of a round's parts, so a
 half-finished distributed campaign can be audited in place. The reader is
-again independent of the C++ codec: header layout, per-record CRC-32,
-round-robin item ownership (item j belongs to shard j % N), and strictly
-increasing canonical order are all re-checked here, and the tool prints a
-coverage summary (which shard indices are present, records vs. owned
-items). Partial sets exit 0 unless --expect-complete is given; corrupt,
-inconsistent, or unfinished parts always exit 1.
+again independent of the C++ codec: header layout, the header CRC-32, each
+record's payload CRC-32, round-robin item ownership (item j belongs to
+shard j % N), and strictly increasing canonical order are all re-checked
+here, and the tool prints a coverage summary (which shard indices are
+present, records vs. owned items). Partial sets exit 0 unless
+--expect-complete is given.
 
-Exit status: 0 when all files parse (identical or not), 1 on any parse or
-validation error — or, with --expect-identical, when any consecutive pair
-disagrees at the segment/pin level (the stage-metrics section carries real wall-clock
-timings, so whole-file byte equality across runs is NOT expected; equality
-of the *results* is). Use `cloudmap_cli diff` when you need the full
-per-segment listing; this tool is the CI-friendly summary.
+Exit status: 0 when all files parse (identical or not); 1 on a *semantic*
+failure — --expect-identical with a differing pair, --expect-complete with
+shards missing, or a part set mixing campaigns/rounds; 2 when any input
+file is truncated, corrupt, or not the claimed format at all, with a
+stderr diagnostic naming the byte offset of the violation (the
+untrusted-input contract, DESIGN.md §14 — garbage in must be a clean
+diagnosis, never a traceback). Whole-file byte equality across runs is NOT
+expected (the stage-metrics section carries real wall-clock timings);
+equality of the *results* is. Use `cloudmap_cli diff` when you need the
+full per-segment listing; this tool is the CI-friendly summary.
 """
 import argparse
 import struct
@@ -60,10 +64,11 @@ V3_SEGMENT_SIZE = 80
 V3_PIN = struct.Struct("<IIBBHi")
 V3_PIN_SIZE = 16
 
-# Campaign shard part files (src/io/shard.h): fixed 52-byte header, then
-# record_count x { u64 item | u32 size | payload | u32 CRC-32(payload) }.
-SHARD_MAGIC = b"CMSHARD1"
-SHARD_HEADER = struct.Struct("<8sQIIIQQQ")
+# Campaign shard part files (src/io/shard.h): fixed 56-byte header (52
+# identity bytes + their CRC-32), then record_count x { u64 item | u32 size
+# | payload | u32 CRC-32(payload) }.
+SHARD_MAGIC = b"CMSHARD2"
+SHARD_HEADER = struct.Struct("<8sQIIIQQQI")
 
 CONFIRMATION_NAMES = [
     "unconfirmed", "ixp_client", "hybrid", "reachability", "alias_relabel",
@@ -71,7 +76,13 @@ CONFIRMATION_NAMES = [
 
 
 class SnapshotError(Exception):
-    pass
+    """Semantic failure over well-formed inputs (mixed part sets,
+    --expect-complete with missing shards): exit 1."""
+
+
+class ParseError(SnapshotError):
+    """Malformed input bytes — truncation, bad magic, CRC mismatch, fields
+    out of range. Always names the offending byte offset: exit 2."""
 
 
 class Cursor(object):
@@ -85,47 +96,61 @@ class Cursor(object):
     def take(self, fmt):
         size = struct.calcsize(fmt)
         if self.pos + size > len(self.data):
-            raise SnapshotError("section %s truncated" % self.label)
+            raise ParseError(
+                "section %s truncated at offset %d (need %d more bytes, "
+                "%d remain)" % (self.label, self.pos, size,
+                                len(self.data) - self.pos))
         values = struct.unpack_from("<" + fmt, self.data, self.pos)
         self.pos += size
         return values if len(values) > 1 else values[0]
 
     def done(self):
         if self.pos != len(self.data):
-            raise SnapshotError("section %s has trailing bytes" % self.label)
+            raise ParseError("section %s has %d trailing bytes at offset %d"
+                             % (self.label, len(self.data) - self.pos,
+                                self.pos))
 
 
 def read_snapshot(path):
     with open(path, "rb") as handle:
         blob = handle.read()
     if len(blob) < HEADER.size:
-        raise SnapshotError("%s: shorter than the header" % path)
+        raise ParseError("%s: %d bytes, shorter than the %d-byte header"
+                         % (path, len(blob), HEADER.size))
     magic, version, section_count = HEADER.unpack_from(blob, 0)
     if magic != MAGIC:
-        raise SnapshotError("%s: bad magic (not a cloudmap snapshot)" % path)
+        raise ParseError("%s: bad magic at offset 0 (not a cloudmap "
+                         "snapshot)" % path)
     if version not in FORMAT_VERSIONS:
-        raise SnapshotError("%s: format version %d, expected one of %s"
-                            % (path, version, list(FORMAT_VERSIONS)))
+        raise ParseError("%s: format version %d at offset 6, expected "
+                         "one of %s" % (path, version,
+                                        list(FORMAT_VERSIONS)))
 
     sections = {}
     table_end = HEADER.size + section_count * TABLE_ENTRY.size
     if table_end > len(blob):
-        raise SnapshotError("%s: truncated section table" % path)
+        raise ParseError("%s: section table runs to offset %d but the file "
+                         "ends at %d" % (path, table_end, len(blob)))
     for i in range(section_count):
         sid, offset, size, crc = TABLE_ENTRY.unpack_from(
             blob, HEADER.size + i * TABLE_ENTRY.size)
         if offset + size > len(blob):
-            raise SnapshotError("%s: section %d extends past end of file"
-                                % (path, sid))
+            raise ParseError("%s: section %d (table entry at offset %d) "
+                             "declares bytes [%d, %d) past end of file (%d "
+                             "bytes)" % (path, sid,
+                                         HEADER.size + i * TABLE_ENTRY.size,
+                                         offset, offset + size, len(blob)))
         payload = blob[offset:offset + size]
         if zlib.crc32(payload) & 0xFFFFFFFF != crc:
-            raise SnapshotError("%s: section %d CRC mismatch" % (path, sid))
+            raise ParseError("%s: section %d CRC mismatch (payload at "
+                             "offset %d)" % (path, sid, offset))
         sections[sid] = payload
 
     required = (1, 7) if version >= 3 else (1, 2, 3)
     for sid in required:
         if sid not in sections:
-            raise SnapshotError("%s: missing required section %d" % (path, sid))
+            raise ParseError("%s: missing required section %d"
+                             % (path, sid))
 
     meta = Cursor(sections[1], "meta")
     seed, threads, subject = meta.take("QiB")
@@ -134,7 +159,7 @@ def read_snapshot(path):
         # sits 8-byte aligned in the file.
         pad = meta.take("7B")
         if any(pad):
-            raise SnapshotError("%s: nonzero meta padding" % path)
+            raise ParseError("%s: nonzero meta padding" % path)
     meta.done()
 
     hazard = read_hazard(path, sections.get(8))
@@ -153,8 +178,8 @@ def read_snapshot(path):
         _round = body.take("i")
         confirmation, flags, group = body.take("BBB")
         if confirmation >= len(CONFIRMATION_NAMES):
-            raise SnapshotError("%s: confirmation %d out of range"
-                                % (path, confirmation))
+            raise ParseError("%s: confirmation %d out of range"
+                             % (path, confirmation))
         _owner, peer_asn, _org = body.take("III")
         for _ in range(body.take("I")):
             body.take("I")  # regions
@@ -168,20 +193,20 @@ def read_snapshot(path):
     confidence = {}
     if version >= 2:
         if 6 not in sections:
-            raise SnapshotError("%s: v2 snapshot missing confidence section"
-                                % path)
+            raise ParseError("%s: v2 snapshot missing confidence section"
+                             % path)
         body = Cursor(sections[6], "confidence")
         count = body.take("I")
         if count != len(segment_order):
-            raise SnapshotError(
+            raise ParseError(
                 "%s: confidence count %d != segment count %d"
                 % (path, count, len(segment_order)))
         for key in segment_order:
             observations, rounds_mask = body.take("II")
             density, score = body.take("dd")
             if not (0.0 <= density <= 1.0) or not (0.0 <= score <= 1.0):
-                raise SnapshotError("%s: confidence fields out of range for "
-                                    "%s > %s" % (path, ip(key[0]), ip(key[1])))
+                raise ParseError("%s: confidence fields out of range for "
+                                 "%s > %s" % (path, ip(key[0]), ip(key[1])))
             confidence[key] = (observations, rounds_mask, density, score)
         body.done()
 
@@ -208,12 +233,22 @@ def read_hazard(path, payload):
     if payload is None:
         return {"profile": "", "metrics": {}}
     body = Cursor(payload, "hazard")
-    # Strings are u32 length + raw bytes (same codec as every other string
-    # in the format).
-    profile = body.take("%ds" % body.take("I")).decode("utf-8")
+
+    def string(what):
+        # Strings are u32 length + raw bytes (same codec as every other
+        # string in the format).
+        start = body.pos
+        raw = body.take("%ds" % body.take("I"))
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ParseError("%s: hazard %s at section offset %d is not "
+                             "UTF-8 (%s)" % (path, what, start, error))
+
+    profile = string("profile")
     metrics = {}
     for _ in range(body.take("I")):
-        name = body.take("%ds" % body.take("I")).decode("utf-8")
+        name = string("metric name")
         metrics[name] = body.take("d")
     body.done()
     return {"profile": profile, "metrics": metrics}
@@ -224,13 +259,15 @@ def read_flat_fabric(path, blob):
     confidence) shape the v1/v2 section walk produces, bounds-checking the
     directory like snapv3::validate_flat_fabric does."""
     if len(blob) < 400:
-        raise SnapshotError("%s: flat blob shorter than its directory" % path)
+        raise ParseError("%s: flat blob is %d bytes, shorter than its "
+                         "directory" % (path, len(blob)))
     magic, blob_size = struct.unpack_from("<II", blob, 0)
     if magic != FLAT_MAGIC:
-        raise SnapshotError("%s: bad flat-fabric magic" % path)
+        raise ParseError("%s: bad flat-fabric magic at blob offset 0"
+                         % path)
     if blob_size != len(blob):
-        raise SnapshotError("%s: flat blob size field %d != payload size %d"
-                            % (path, blob_size, len(blob)))
+        raise ParseError("%s: flat blob size field %d != payload size "
+                         "%d" % (path, blob_size, len(blob)))
 
     def table(index):
         # Directory off/count pairs start at byte 8: segments, reports,
@@ -241,9 +278,13 @@ def read_flat_fabric(path, blob):
     segments_off, segment_count = table(0)
     pins_off, pin_count = table(3)
     if segments_off + segment_count * V3_SEGMENT_SIZE > len(blob):
-        raise SnapshotError("%s: segment records out of bounds" % path)
+        raise ParseError("%s: %d segment records at blob offset %d run past "
+                         "the blob end (%d bytes)"
+                         % (path, segment_count, segments_off, len(blob)))
     if pins_off + pin_count * V3_PIN_SIZE > len(blob):
-        raise SnapshotError("%s: pin records out of bounds" % path)
+        raise ParseError("%s: %d pin records at blob offset %d run past the "
+                         "blob end (%d bytes)"
+                         % (path, pin_count, pins_off, len(blob)))
 
     segments = {}
     confidence = {}
@@ -253,12 +294,12 @@ def read_flat_fabric(path, blob):
          _owner, peer_asn, _org, observations,
          rounds_mask) = V3_SEGMENT.unpack_from(blob, base)
         if confirmation >= len(CONFIRMATION_NAMES):
-            raise SnapshotError("%s: confirmation %d out of range"
-                                % (path, confirmation))
+            raise ParseError("%s: confirmation %d out of range"
+                             % (path, confirmation))
         density, score = struct.unpack_from("<dd", blob, base + 64)
         if not (0.0 <= density <= 1.0) or not (0.0 <= score <= 1.0):
-            raise SnapshotError("%s: confidence fields out of range for "
-                                "%s > %s" % (path, ip(abi), ip(cbi)))
+            raise ParseError("%s: confidence fields out of range for "
+                             "%s > %s" % (path, ip(abi), ip(cbi)))
         segments[(abi, cbi)] = (confirmation, flags, group, peer_asn)
         confidence[(abi, cbi)] = (observations, rounds_mask, density, score)
 
@@ -278,29 +319,35 @@ def shard_owned_items(header):
 
 
 def read_shard_part(path):
-    """Parse and fully validate one CMSHARD1 part file: header sanity,
-    per-record CRC, round-robin item ownership, strictly increasing
-    canonical order, and the finished record count."""
+    """Parse and fully validate one CMSHARD2 part file: header sanity, the
+    header CRC, per-record payload CRC, round-robin item ownership, strictly
+    increasing canonical order, and the finished record count."""
     with open(path, "rb") as handle:
         blob = handle.read()
     if len(blob) < SHARD_HEADER.size:
-        raise SnapshotError("%s: shorter than the shard header" % path)
+        raise ParseError("%s: %d bytes, shorter than the %d-byte shard "
+                         "header" % (path, len(blob), SHARD_HEADER.size))
     (magic, digest, round_, index, count, total_items, target_count,
-     record_count) = SHARD_HEADER.unpack_from(blob, 0)
+     record_count, header_crc) = SHARD_HEADER.unpack_from(blob, 0)
     if magic != SHARD_MAGIC:
-        raise SnapshotError("%s: bad magic (not a shard part file)" % path)
+        raise ParseError("%s: bad magic at offset 0 (not a shard part file)"
+                         % path)
+    if zlib.crc32(blob[:SHARD_HEADER.size - 4]) & 0xFFFFFFFF != header_crc:
+        raise ParseError("%s: header CRC mismatch (stored at offset %d)"
+                         % (path, SHARD_HEADER.size - 4))
     if round_ not in (1, 2):
-        raise SnapshotError("%s: round %d out of range" % (path, round_))
+        raise ParseError("%s: round %d out of range (header offset 16)"
+                         % (path, round_))
     if count < 1 or index >= count:
-        raise SnapshotError("%s: shard index %d of %d out of range"
-                            % (path, index, count))
+        raise ParseError("%s: shard index %d of %d out of range (header "
+                         "offset 20)" % (path, index, count))
     header = {"path": path, "digest": digest, "round": round_,
               "shard_index": index, "shard_count": count,
               "total_items": total_items, "target_count": target_count,
               "record_count": record_count, "bytes": len(blob)}
     owned = shard_owned_items(header)
     if record_count != owned:
-        raise SnapshotError(
+        raise ParseError(
             "%s: truncated or unfinished part: %d records, shard owns %d "
             "items" % (path, record_count, owned))
 
@@ -308,41 +355,43 @@ def read_shard_part(path):
     previous_item = -1
     for record in range(record_count):
         if pos + 12 > len(blob):
-            raise SnapshotError("%s: record %d header past end of file"
-                                % (path, record))
+            raise ParseError("%s: record %d header at offset %d past end of "
+                             "file (%d bytes)" % (path, record, pos,
+                                                  len(blob)))
         item, size = struct.unpack_from("<QI", blob, pos)
         pos += 12
         if pos + size + 4 > len(blob):
-            raise SnapshotError("%s: record %d payload past end of file"
-                                % (path, record))
+            raise ParseError("%s: record %d declares a %d-byte payload at "
+                             "offset %d but the file ends at %d"
+                             % (path, record, size, pos, len(blob)))
         payload = blob[pos:pos + size]
         (crc,) = struct.unpack_from("<I", blob, pos + size)
         pos += size + 4
         if zlib.crc32(payload) & 0xFFFFFFFF != crc:
-            raise SnapshotError("%s: record %d (item %d) CRC mismatch"
-                                % (path, record, item))
+            raise ParseError("%s: record %d (item %d) CRC mismatch (payload "
+                             "at offset %d)" % (path, record, item,
+                                                pos - size - 4))
         if item % count != index:
-            raise SnapshotError("%s: record %d carries item %d, owned by "
-                                "shard %d" % (path, record, item,
-                                              item % count))
+            raise ParseError("%s: record %d carries item %d, owned by "
+                             "shard %d" % (path, record, item,
+                                           item % count))
         if item <= previous_item:
-            raise SnapshotError("%s: record %d out of canonical order "
-                                "(item %d after %d)"
-                                % (path, record, item, previous_item))
+            raise ParseError("%s: record %d out of canonical order "
+                             "(item %d after %d)"
+                             % (path, record, item, previous_item))
         if item >= total_items:
-            raise SnapshotError("%s: record %d item %d >= total items %d"
-                                % (path, record, item, total_items))
+            raise ParseError("%s: record %d item %d >= total items %d"
+                             % (path, record, item, total_items))
         previous_item = item
     if pos != len(blob):
-        raise SnapshotError("%s: %d trailing bytes after the last record"
-                            % (path, len(blob) - pos))
+        raise ParseError("%s: %d trailing bytes at offset %d after the last "
+                         "record" % (path, len(blob) - pos, pos))
     return header
 
 
-def shard_summary(paths, expect_complete):
-    """Audit a (possibly partial) set of one round's shard parts: parse and
-    validate each, check cross-part consistency, print coverage."""
-    parts = [read_shard_part(path) for path in paths]
+def shard_summary(parts, expect_complete):
+    """Audit a (possibly partial) set of one round's already-parsed shard
+    parts: check cross-part consistency and print coverage."""
     reference = parts[0]
     seen = {}
     for part in parts:
@@ -483,7 +532,12 @@ def main():
     args = parser.parse_args()
     if args.shard_parts:
         try:
-            shard_summary(args.snapshots, args.expect_complete)
+            parts = [read_shard_part(path) for path in args.snapshots]
+        except (ParseError, OSError) as error:
+            print("FAIL: %s" % error, file=sys.stderr)
+            sys.exit(2)
+        try:
+            shard_summary(parts, args.expect_complete)
         except SnapshotError as error:
             print("FAIL: %s" % error, file=sys.stderr)
             sys.exit(1)
@@ -493,9 +547,9 @@ def main():
 
     try:
         sides = [read_snapshot(path) for path in args.snapshots]
-    except SnapshotError as error:
+    except (ParseError, OSError) as error:
         print("FAIL: %s" % error, file=sys.stderr)
-        sys.exit(1)
+        sys.exit(2)
 
     for side in sides:
         print_header(side)

@@ -26,6 +26,7 @@ finding):
     // lint: sorted-ok(<reason>)       unordered iteration that is sorted
                                        (or provably order-insensitive)
     // lint: thread-ok(<reason>)       raw std::thread
+    // lint: bounds-ok(<reason>)       untrusted-read family (parse paths)
     # lint: wall-clock-ok(<reason>)    Python wall clocks
 
 Rules (C++ unless noted):
@@ -55,6 +56,25 @@ Rules (C++ unless noted):
   py-bare-except          (Python) a bare `except:` clause.
   py-wall-clock           (Python) wall-clock reads — diff and validation
                           tools must be deterministic.
+
+Untrusted-read family (parse paths only — src/io/, src/serve/protocol.cpp,
+src/serve/client.cpp — the code that interprets attacker-controllable
+bytes; contract in DESIGN.md §14). A value read straight off the wire
+(`cursor.u8()/.u16()/.u32()/.u64()`) is tainted until a visible cap:
+a `need()` / `wire::bounded_count` / `wire::checked_read` call, or a
+comparison in an if/while mentioning it. Suppressible only via
+`// lint: bounds-ok(<reason>)`.
+
+  untrusted-alloc         a tainted length/count flows into .resize() /
+                          .reserve() / new[] with no cap in between — a
+                          forged 4 GiB count becomes a 4 GiB allocation.
+  untrusted-cast          static_cast of a raw wire read to an enum, a
+                          signed type, or a narrower integer — values
+                          outside the target's range slip through; use
+                          wire::checked_read<T>(cursor, max).
+  untrusted-extent        a tainted size flows into memcpy/memmove/memset
+                          with no cap — reads or writes past the validated
+                          extent.
 """
 
 import argparse
@@ -160,6 +180,107 @@ HOT_PATH_CONTAINER_RE = re.compile(r"\bstd::(?:map|set)\s*<")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"])([^>"]+)[>"]')
 
+# --- untrusted-read family ---------------------------------------------------
+# Parse paths: the code that interprets attacker-controllable bytes. Only
+# here do the taint rules run — elsewhere a .resize(n) is just a resize.
+PARSE_PATHS = ("src/io/", "src/serve/protocol.cpp", "src/serve/client.cpp")
+
+# An identifier assigned straight from a cursor read. The (?<![\w.]) guard
+# keeps `entry.size = in.u64()` from tainting every local named `size`.
+TAINT_ASSIGN_RE = re.compile(
+    r"(?<![\w.])(\w+)\s*=\s*\w+(?:_|\b)*\.\s*(u8|u16|u32|u64)\s*\(\s*\)")
+READ_WIDTH = {"u8": 1, "u16": 2, "u32": 4, "u64": 8}
+
+# static_cast of a raw wire read; safe only when the target is an unsigned
+# integer at least as wide as the read. Enums, signed types, and narrower
+# integers need wire::checked_read (which range-checks before the cast).
+UNTRUSTED_CAST_RE = re.compile(
+    r"static_cast\s*<\s*([^<>]+?)\s*>\s*\(\s*\w+\.\s*(u8|u16|u32|u64)"
+    r"\s*\(\s*\)\s*\)")
+UNSIGNED_WIDTH = {
+    "std::uint8_t": 1, "uint8_t": 1, "unsigned char": 1,
+    "std::uint16_t": 2, "uint16_t": 2,
+    "std::uint32_t": 4, "uint32_t": 4, "unsigned": 4, "unsigned int": 4,
+    "std::uint64_t": 8, "uint64_t": 8, "std::size_t": 8, "size_t": 8,
+    "std::uintptr_t": 8, "uintptr_t": 8,
+}
+
+# A line that visibly caps a tainted value: the shared wire.h helpers, a
+# need() precondition, an explicit min-clamp, or a comparison in a branch.
+CAP_CALL_RE = re.compile(r"\bneed\s*\(|\bbounded_count\b|\bchecked_read\b|"
+                         r"\bstd::min\b|\bstd::clamp\b")
+CAP_BRANCH_RE = re.compile(r"\b(?:if|while|for)\s*\(")
+COMPARISON_RE = re.compile(r"[<>]=?|[=!]=")
+
+ALLOC_USE_RE = re.compile(
+    r"\.\s*(?:resize|reserve)\s*\(([^;]*)\)|\bnew\s+[\w:<>]+\s*\[([^\]]*)\]")
+EXTENT_USE_RE = re.compile(r"\bmem(?:cpy|move|set)\s*\(([^;]*)\)")
+
+
+def check_untrusted_reads(rel_path, lines, findings):
+    """Taint tracking, one function at a time (a `}` in column zero closes
+    the scope): wire reads taint their identifier; an allocation, memcpy, or
+    unchecked narrowing cast over a tainted identifier with no cap line in
+    between is a finding."""
+    taints = {}  # identifier -> line index of the tainting read
+
+    def capped(name, start, end):
+        word = re.compile(r"\b%s\b" % re.escape(name))
+        for j in range(start + 1, end + 1):
+            line = strip_comment(lines[j])
+            if not word.search(line):
+                continue
+            if CAP_CALL_RE.search(line):
+                return True
+            if CAP_BRANCH_RE.search(line) and COMPARISON_RE.search(line):
+                return True
+        return False
+
+    for i, raw in enumerate(lines):
+        if raw.startswith("}"):
+            taints.clear()
+            continue
+        line = strip_comment(raw)
+
+        cast = UNTRUSTED_CAST_RE.search(line)
+        if cast and "bounds" not in pragma_tokens(lines, i):
+            target = re.sub(r"\bconst\b|\bvolatile\b", "", cast.group(1))
+            target = " ".join(target.split())
+            width = UNSIGNED_WIDTH.get(target)
+            if width is None or width < READ_WIDTH[cast.group(2)]:
+                findings.append(Finding(
+                    rel_path, i + 1, "untrusted-cast",
+                    "unchecked static_cast<%s> of a raw %s wire read — "
+                    "out-of-range values slip through; use "
+                    "wire::checked_read<%s>(cursor, <max>) or annotate "
+                    "`// lint: bounds-ok(<reason>)`"
+                    % (target, cast.group(2), target)))
+
+        for match in TAINT_ASSIGN_RE.finditer(line):
+            taints[match.group(1)] = i
+
+        for use_re, rule, what in (
+                (ALLOC_USE_RE, "untrusted-alloc",
+                 "sizes an allocation"),
+                (EXTENT_USE_RE, "untrusted-extent",
+                 "bounds a raw memory operation")):
+            for use in use_re.finditer(line):
+                args = next(g for g in use.groups() if g is not None)
+                for name, taint_line in sorted(taints.items()):
+                    if not re.search(r"\b%s\b" % re.escape(name), args):
+                        continue
+                    if "bounds" in pragma_tokens(lines, i):
+                        continue
+                    if capped(name, taint_line, i):
+                        continue
+                    findings.append(Finding(
+                        rel_path, i + 1, rule,
+                        "wire-read value `%s` %s with no cap between the "
+                        "read and the use — check it against the remaining "
+                        "input (wire.h's need()/bounded_count) or annotate "
+                        "`// lint: bounds-ok(<reason>)`"
+                        % (name, what)))
+
 
 def unordered_names(lines):
     names = set()
@@ -219,6 +340,10 @@ def check_cpp(rel_path, abs_path, lines, findings):
                         "iteration over an unordered container on a "
                         "serialization path — sort the output or annotate "
                         "`// lint: sorted-ok(<reason>)`"))
+
+    # --- untrusted-read family (parse paths only)
+    if rel_path.startswith(PARSE_PATHS):
+        check_untrusted_reads(rel_path, lines, findings)
 
     # --- hot-path-container (only in files carrying the hot-path marker)
     if any(HOT_PATH_MARKER_RE.search(line) for line in lines):
@@ -389,7 +514,7 @@ def main(argv=None):
                              "script)")
     parser.add_argument("paths", nargs="*",
                         help="files/dirs relative to the root "
-                             "(default: src tools)")
+                             "(default: src tools fuzz)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule ids and exit")
     args = parser.parse_args(argv)
@@ -397,7 +522,8 @@ def main(argv=None):
     if args.list_rules:
         for rule in ("nondeterministic-call", "unordered-iteration",
                      "raw-thread", "pragma-once", "include-order",
-                     "bad-pragma", "hot-path-container", "py-bare-except",
+                     "bad-pragma", "hot-path-container", "untrusted-alloc",
+                     "untrusted-cast", "untrusted-extent", "py-bare-except",
                      "py-wall-clock"):
             print(rule)
         return 0
@@ -408,7 +534,7 @@ def main(argv=None):
             os.path.dirname(os.path.abspath(__file__))))
     paths = args.paths
     if not paths:
-        paths = [p for p in ("src", "tools") if
+        paths = [p for p in ("src", "tools", "fuzz") if
                  os.path.isdir(os.path.join(root, p))]
         if not paths:
             print("cloudmap_lint: nothing to lint under %s" % root,

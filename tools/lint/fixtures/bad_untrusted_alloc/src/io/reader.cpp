@@ -1,0 +1,25 @@
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/wire.h"
+
+namespace cloudmap {
+
+// A declared count sizes the reserve with no cap against the remaining
+// input: a forged 4 GiB count becomes a 4 GiB allocation attempt.
+bool decode_items(wire::Cursor& in, std::vector<std::uint32_t>& out) {
+  const std::uint32_t count = in.u32();
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) out.push_back(in.u32());
+  return in.at_end();
+}
+
+// Same bug through a string payload.
+bool decode_name(wire::Cursor& in, std::string& out) {
+  const std::uint32_t length = in.u32();
+  out.resize(length);
+  return in.at_end();
+}
+
+}  // namespace cloudmap

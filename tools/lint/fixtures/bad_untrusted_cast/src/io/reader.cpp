@@ -1,0 +1,22 @@
+#include <cstdint>
+
+#include "io/wire.h"
+
+namespace cloudmap {
+
+enum class Kind : std::uint8_t { kA = 0, kB = 1 };
+
+struct Record {
+  Kind kind = Kind::kA;
+  std::uint8_t flags = 0;
+};
+
+// Casting a raw wire byte straight into an enum admits every out-of-range
+// value; narrowing a u32 read to u8 silently truncates a forged field.
+bool decode_record(wire::Cursor& in, Record& out) {
+  out.kind = static_cast<Kind>(in.u8());
+  out.flags = static_cast<std::uint8_t>(in.u32());
+  return in.at_end();
+}
+
+}  // namespace cloudmap

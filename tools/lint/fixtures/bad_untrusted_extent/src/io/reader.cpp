@@ -1,0 +1,18 @@
+#include <cstdint>
+#include <cstring>
+
+#include "io/wire.h"
+
+namespace cloudmap {
+
+// A wire-read size bounds the memcpy with no cap against the validated
+// extent: a forged size reads past the end of the input buffer.
+bool copy_payload(wire::Cursor& in, const unsigned char* base,
+                  unsigned char* dst) {
+  const std::uint32_t offset = in.u32();
+  const std::uint32_t length = in.u32();
+  std::memcpy(dst, base + offset, length);
+  return in.at_end();
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,28 @@
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/wire.h"
+
+namespace cloudmap {
+
+// The shared helper caps the count against the remaining bytes before the
+// identifier exists; nothing tainted reaches the allocator.
+bool decode_items(wire::Cursor& in, std::vector<std::uint32_t>& out) {
+  const std::uint32_t count = wire::bounded_count(in, 4);
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count && !in.failed; ++i)
+    out.push_back(in.u32());
+  return in.at_end();
+}
+
+// An explicit need() precondition between the read and the use also
+// satisfies the rule.
+bool decode_name(wire::Cursor& in, std::string& out) {
+  const std::uint32_t length = in.u32();
+  if (!in.need(length)) return false;
+  out.resize(length);
+  return in.at_end();
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,24 @@
+#include <cstdint>
+
+#include "io/wire.h"
+
+namespace cloudmap {
+
+enum class Kind : std::uint8_t { kA = 0, kB = 1 };
+
+struct Record {
+  Kind kind = Kind::kA;
+  std::uint8_t flags = 0;
+  std::uint64_t total = 0;
+};
+
+// checked_read rejects out-of-range values before the cast; widening an
+// unsigned read is always value-preserving and passes as-is.
+bool decode_record(wire::Cursor& in, Record& out) {
+  out.kind = wire::checked_read<Kind>(in, 1);
+  out.flags = wire::checked_read<std::uint8_t>(in, 0x0F);
+  out.total = static_cast<std::uint64_t>(in.u32());
+  return in.at_end();
+}
+
+}  // namespace cloudmap

@@ -1,0 +1,22 @@
+#include <cstdint>
+#include <cstring>
+
+#include "io/wire.h"
+
+namespace cloudmap {
+
+// The branch comparing both wire reads against the validated extent caps
+// them before the memcpy.
+bool copy_payload(wire::Cursor& in, const unsigned char* base,
+                  std::size_t base_size, unsigned char* dst,
+                  std::size_t dst_size) {
+  const std::uint32_t offset = in.u32();
+  const std::uint32_t length = in.u32();
+  if (offset > base_size || length > base_size - offset ||
+      length > dst_size)
+    return false;
+  std::memcpy(dst, base + offset, length);
+  return in.at_end();
+}
+
+}  // namespace cloudmap

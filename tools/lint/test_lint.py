@@ -27,6 +27,9 @@ EXPECTED_RULE = {
     "bad_hot_path_container": "hot-path-container",
     "bad_py_bare_except": "py-bare-except",
     "bad_py_wall_clock": "py-wall-clock",
+    "bad_untrusted_alloc": "untrusted-alloc",
+    "bad_untrusted_cast": "untrusted-cast",
+    "bad_untrusted_extent": "untrusted-extent",
 }
 
 

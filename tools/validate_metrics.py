@@ -18,8 +18,11 @@ Checks, in order:
   7. with --require-recovered, campaign.retry.recovered_targets is > 0
      (lossy CI runs assert the re-probe pass actually recovered targets).
 
-Exit status 0 on success, 1 on any failure, with one line per problem so CI
-logs point straight at the missing key.
+Exit status 0 on success, 1 on any semantic failure (well-formed JSON that
+violates the schema), and 2 when the artifact bytes themselves are malformed
+(unreadable file or invalid JSON) — the exit-2 diagnostic names the byte
+offset of the first offending character.  One line per problem so CI logs
+point straight at the missing key.
 """
 import argparse
 import json
@@ -27,10 +30,10 @@ import os
 import sys
 
 
-def fail(problems):
+def fail(problems, status=1):
     for problem in problems:
         print("FAIL: %s" % problem, file=sys.stderr)
-    sys.exit(1)
+    sys.exit(status)
 
 
 def main():
@@ -61,8 +64,11 @@ def main():
     try:
         with open(args.artifact) as handle:
             doc = json.load(handle)
+    except json.JSONDecodeError as error:
+        fail(["%s: malformed JSON at offset %d: %s"
+              % (args.artifact, error.pos, error.msg)], status=2)
     except (OSError, ValueError) as error:
-        fail(["cannot parse %s: %s" % (args.artifact, error)])
+        fail(["cannot read %s: %s" % (args.artifact, error)], status=2)
 
     problems = []
     for key in schema["required_top"]:
